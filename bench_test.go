@@ -1,0 +1,276 @@
+package dnnperf
+
+import (
+	"fmt"
+	"testing"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/models"
+	"dnnperf/internal/train"
+)
+
+// benchExperiment runs one figure/table reproduction per iteration and
+// reports the experiment's headline value as a custom metric so the bench
+// output doubles as the reproduction record.
+func benchExperiment(b *testing.B, id string, headline func(*ResultTable) (string, float64)) {
+	b.Helper()
+	var tbl *ResultTable
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = RunExperiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if headline != nil {
+		unit, v := headline(tbl)
+		b.ReportMetric(v, unit)
+	}
+}
+
+func cell(tbl *ResultTable, row string, col int) float64 {
+	v, ok := tbl.Cell(row, col)
+	if !ok {
+		panic(fmt.Sprintf("missing cell %q[%d] in %s", row, col, tbl.ID))
+	}
+	return v
+}
+
+func lastCol(tbl *ResultTable, row string) float64 {
+	return cell(tbl, row, len(tbl.Columns)-1)
+}
+
+// BenchmarkTable1Platforms regenerates Table I (evaluation platforms).
+func BenchmarkTable1Platforms(b *testing.B) {
+	benchExperiment(b, "table1", func(t *ResultTable) (string, float64) {
+		return "platforms", float64(len(t.Rows))
+	})
+}
+
+// BenchmarkFig1aThreadsSweep reproduces Figure 1(a): ResNet-50 throughput
+// vs intra-op threads on Skylake-1.
+func BenchmarkFig1aThreadsSweep(b *testing.B) {
+	benchExperiment(b, "fig1a", func(t *ResultTable) (string, float64) {
+		return "img/s@28thr_bs128", lastCol(t, "BS=128")
+	})
+}
+
+// BenchmarkFig1bBatchSweep reproduces Figure 1(b): throughput vs batch size.
+func BenchmarkFig1bBatchSweep(b *testing.B) {
+	benchExperiment(b, "fig1b", func(t *ResultTable) (string, float64) {
+		return "bs16->256_gain_x100", 100 * cell(t, "28 threads", 4) / cell(t, "28 threads", 0)
+	})
+}
+
+// BenchmarkFig2Broadwell reproduces Figure 2 (Broadwell thread scaling).
+func BenchmarkFig2Broadwell(b *testing.B) {
+	benchExperiment(b, "fig2", func(t *ResultTable) (string, float64) {
+		return "img/s@28thr_bs128", lastCol(t, "BS=128")
+	})
+}
+
+// BenchmarkFig3Skylake2 reproduces Figure 3 (Skylake-2 thread scaling).
+func BenchmarkFig3Skylake2(b *testing.B) {
+	benchExperiment(b, "fig3", func(t *ResultTable) (string, float64) {
+		return "img/s@40thr_bs128", lastCol(t, "BS=128")
+	})
+}
+
+// BenchmarkFig4Skylake3 reproduces Figure 4 (hyper-thread oversubscription).
+func BenchmarkFig4Skylake3(b *testing.B) {
+	benchExperiment(b, "fig4", func(t *ResultTable) (string, float64) {
+		return "t96_over_t48_x100", 100 * cell(t, "BS=128", 8) / cell(t, "BS=128", 6)
+	})
+}
+
+// BenchmarkFig5PPNxBS reproduces Figure 5 (ppn x batch-size interplay).
+func BenchmarkFig5PPNxBS(b *testing.B) {
+	benchExperiment(b, "fig5", func(t *ResultTable) (string, float64) {
+		return "img/s@4ppn_bs64", cell(t, "4ppn", 2)
+	})
+}
+
+// BenchmarkFig6aSPvsMP reproduces Figure 6(a): ResNet-152 MP over SP.
+func BenchmarkFig6aSPvsMP(b *testing.B) {
+	benchExperiment(b, "fig6a", func(t *ResultTable) (string, float64) {
+		return "mp_over_sp_x100", 100 * lastCol(t, "MP/SP")
+	})
+}
+
+// BenchmarkFig6bSPvsMP reproduces Figure 6(b): Inception-v4 MP over SP.
+func BenchmarkFig6bSPvsMP(b *testing.B) {
+	benchExperiment(b, "fig6b", func(t *ResultTable) (string, float64) {
+		return "mp_over_sp_x100", 100 * lastCol(t, "MP/SP")
+	})
+}
+
+// BenchmarkFig7MultiNodeSkylake1 reproduces Figure 7.
+func BenchmarkFig7MultiNodeSkylake1(b *testing.B) {
+	benchExperiment(b, "fig7", func(t *ResultTable) (string, float64) {
+		return "rn50_img/s@8nodes", lastCol(t, "ResNet-50")
+	})
+}
+
+// BenchmarkFig8MultiNodeBroadwell reproduces Figure 8.
+func BenchmarkFig8MultiNodeBroadwell(b *testing.B) {
+	benchExperiment(b, "fig8", func(t *ResultTable) (string, float64) {
+		return "rn50_img/s@16nodes", lastCol(t, "ResNet-50")
+	})
+}
+
+// BenchmarkFig9MultiNodeSkylake2 reproduces Figure 9 (avg 15.6x at 16).
+func BenchmarkFig9MultiNodeSkylake2(b *testing.B) {
+	benchExperiment(b, "fig9", func(t *ResultTable) (string, float64) {
+		var sum float64
+		for _, r := range t.Rows {
+			sum += r.Values[len(r.Values)-1] / r.Values[0]
+		}
+		return "avg_speedup16_x10", 10 * sum / float64(len(t.Rows))
+	})
+}
+
+// BenchmarkFig10TunedDefaultSP reproduces Figure 10.
+func BenchmarkFig10TunedDefaultSP(b *testing.B) {
+	benchExperiment(b, "fig10", func(t *ResultTable) (string, float64) {
+		return "i4_tuned_over_sp_x100", 100 * cell(t, "Inception-v4", 2) / cell(t, "Inception-v4", 0)
+	})
+}
+
+// BenchmarkFig11BS128Nodes reproduces Figure 11.
+func BenchmarkFig11BS128Nodes(b *testing.B) {
+	benchExperiment(b, "fig11", func(t *ResultTable) (string, float64) {
+		return "rn50_img/s@bs64", lastCol(t, "ResNet-50")
+	})
+}
+
+// BenchmarkFig12PyTorchSkylake3 reproduces Figure 12.
+func BenchmarkFig12PyTorchSkylake3(b *testing.B) {
+	benchExperiment(b, "fig12", func(t *ResultTable) (string, float64) {
+		return "rn50_img/s@16nodes", lastCol(t, "ResNet-50")
+	})
+}
+
+// BenchmarkFig13EPYCTensorFlow reproduces Figure 13 (7.8x at 8 nodes).
+func BenchmarkFig13EPYCTensorFlow(b *testing.B) {
+	benchExperiment(b, "fig13", func(t *ResultTable) (string, float64) {
+		return "rn152_speedup8_x10", 10 * lastCol(t, "ResNet-152") / cell(t, "ResNet-152", 0)
+	})
+}
+
+// BenchmarkFig14EPYCPyTorch reproduces Figure 14 (7.98x at 8 nodes).
+func BenchmarkFig14EPYCPyTorch(b *testing.B) {
+	benchExperiment(b, "fig14", func(t *ResultTable) (string, float64) {
+		return "rn50_speedup8_x10", 10 * lastCol(t, "ResNet-50") / cell(t, "ResNet-50", 0)
+	})
+}
+
+// BenchmarkFig15GPUvsCPU reproduces Figure 15.
+func BenchmarkFig15GPUvsCPU(b *testing.B) {
+	benchExperiment(b, "fig15", func(t *ResultTable) (string, float64) {
+		return "v100_over_sky_rn101_x100", 100 * cell(t, "ResNet-101", 2) / cell(t, "ResNet-101", 3)
+	})
+}
+
+// BenchmarkFig16PTvsTFGPU reproduces Figure 16 (PyTorch 1.12x on 4 GPUs).
+func BenchmarkFig16PTvsTFGPU(b *testing.B) {
+	benchExperiment(b, "fig16", func(t *ResultTable) (string, float64) {
+		return "pt_over_tf_rn152_x100", 100 * cell(t, "ResNet-152", 5) / cell(t, "ResNet-152", 4)
+	})
+}
+
+// BenchmarkFig17Scaling128 reproduces Figure 17 (125x on 128 nodes).
+func BenchmarkFig17Scaling128(b *testing.B) {
+	benchExperiment(b, "fig17", func(t *ResultTable) (string, float64) {
+		return "rn152_speedup128", lastCol(t, "ResNet-152") / cell(t, "ResNet-152", 0)
+	})
+}
+
+// BenchmarkFig18HorovodTF reproduces Figure 18 (TF cycle-time profiling).
+func BenchmarkFig18HorovodTF(b *testing.B) {
+	benchExperiment(b, "fig18", func(t *ResultTable) (string, float64) {
+		return "he_ops_drop_x10", 10 * cell(t, "HE ResNet-50", 0) / lastCol(t, "HE ResNet-50")
+	})
+}
+
+// BenchmarkFig19HorovodPT reproduces Figure 19 (PyTorch cycle-time gains).
+func BenchmarkFig19HorovodPT(b *testing.B) {
+	benchExperiment(b, "fig19", func(t *ResultTable) (string, float64) {
+		return "pt_gain_x100", 100 * lastCol(t, "ResNet-50") / cell(t, "ResNet-50", 0)
+	})
+}
+
+// BenchmarkKeyInsights reproduces the Section IX headline-ratio table.
+func BenchmarkKeyInsights(b *testing.B) {
+	benchExperiment(b, "insights", func(t *ResultTable) (string, float64) {
+		return "insights", float64(len(t.Rows))
+	})
+}
+
+// BenchmarkAblations regenerates the mechanism-ablation table (extension).
+func BenchmarkAblations(b *testing.B) {
+	benchExperiment(b, "ablations", func(t *ResultTable) (string, float64) {
+		return "mkl_worth_x10", 10 * cell(t, "ResNet-152", 0) / cell(t, "ResNet-152", 3)
+	})
+}
+
+// BenchmarkModelZoo regenerates the extended model-zoo table (extension).
+func BenchmarkModelZoo(b *testing.B) {
+	benchExperiment(b, "modelzoo", func(t *ResultTable) (string, float64) {
+		return "models", float64(len(t.Rows))
+	})
+}
+
+// BenchmarkPipelineParallel regenerates the DP-vs-MP comparison (extension).
+func BenchmarkPipelineParallel(b *testing.B) {
+	benchExperiment(b, "pipeline", func(t *ResultTable) (string, float64) {
+		return "dp_over_mp_rn152_x10", 10 * cell(t, "ResNet-152", 2)
+	})
+}
+
+// BenchmarkBestConfigSearch measures the automated platform-tuning search.
+func BenchmarkBestConfigSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tc, err := BestConfig("resnet50", "tensorflow", Platform{CPU: Skylake3, Net: OmniPath}, 1, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tc.Config.PPN), "best_ppn")
+	}
+}
+
+// BenchmarkFunctionalTrainingStep measures the real (functional-layer)
+// training step of the TinyCNN demo model, images/second included.
+func BenchmarkFunctionalTrainingStep(b *testing.B) {
+	m := models.TinyCNN(models.Config{Batch: 8, ImageSize: 16, Classes: 4, Seed: 1})
+	tr, err := train.New(train.Config{Model: m, IntraThreads: 2, InterThreads: 2, LR: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	gen, err := data.NewLearnable(8, 3, 16, 4, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := gen.Next()
+	b.ResetTimer()
+	var imgs int
+	for i := 0; i < b.N; i++ {
+		st, err := tr.Step(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imgs += st.Images
+	}
+	b.ReportMetric(float64(imgs)/b.Elapsed().Seconds(), "img/s")
+}
+
+// BenchmarkSimulatePoint measures one simulator evaluation (the unit cost
+// of every sweep above).
+func BenchmarkSimulatePoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(SimConfig{Model: "resnet152", CPU: Skylake3, Net: OmniPath,
+			Nodes: 128, PPN: 4, BatchPerProc: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Command dnnperf regenerates the tables and figures of "Performance
+// Characterization of DNN Training using TensorFlow and PyTorch on Modern
+// Clusters" (CLUSTER 2019), runs ad-hoc simulation points, and searches for
+// the best process/thread configuration of a platform.
+//
+// Usage:
+//
+//	dnnperf -list
+//	dnnperf -exp fig6a
+//	dnnperf -all [-o experiments.txt]
+//	dnnperf -sim -model resnet152 -platform Skylake-3 -nodes 128 -ppn 4 -bs 32
+//	dnnperf -tune -model resnet50 -framework pytorch -platform Skylake-3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnnperf"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list all reproducible experiments")
+		exp    = flag.String("exp", "", "run one experiment by ID (e.g. fig6a)")
+		all    = flag.Bool("all", false, "run the full experiment suite")
+		report = flag.Bool("report", false, "run the full suite and emit a markdown report")
+		out    = flag.String("o", "", "write output to this file instead of stdout")
+
+		sim      = flag.Bool("sim", false, "run one ad-hoc simulation point")
+		tune     = flag.Bool("tune", false, "search the best configuration for a platform")
+		model    = flag.String("model", "resnet50", "model name (resnet50/101/152, inception3/4)")
+		fw       = flag.String("framework", "tensorflow", "framework profile: tensorflow or pytorch")
+		platform = flag.String("platform", "Skylake-3", "platform label from Table I")
+		nodes    = flag.Int("nodes", 1, "number of nodes")
+		ppn      = flag.Int("ppn", 1, "processes per node")
+		bs       = flag.Int("bs", 32, "batch size per process")
+		intra    = flag.Int("intra", 0, "intra-op threads per rank (0 = tuned default)")
+		inter    = flag.Int("inter", 0, "inter-op pool width (0 = tuned default)")
+		cycle    = flag.Float64("cycle", 0, "HOROVOD_CYCLE_TIME in ms (0 = 3.5)")
+		fusion   = flag.Float64("fusion", 0, "HOROVOD_FUSION_THRESHOLD in MiB (0 = 64)")
+		trace    = flag.String("trace", "", "with -sim: write the simulated iteration timeline as Chrome trace JSON to this file")
+		zoo      = flag.Bool("zoo", false, "list the model zoo with parameters and FLOPs")
+		dot      = flag.String("dot", "", "write the named model's graph in Graphviz DOT format (uses -model)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch {
+	case *zoo:
+		fmt.Fprintf(w, "%-12s %-14s %10s %12s %8s\n", "name", "display", "params(M)", "GFLOPs/img", "ops")
+		for _, name := range dnnperf.ModelNames() {
+			info, err := dnnperf.ModelInfo(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "%-12s %-14s %10.2f %12.2f %8d\n",
+				name, info.Display, info.ParamsM, info.GFLOPsPerImage, info.Ops)
+		}
+	case *dot != "":
+		f, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dnnperf.WriteModelDOT(f, *model); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "wrote %s graph to %s (render with: dot -Tsvg %s)\n", *model, *dot, *dot)
+	case *list:
+		for _, e := range dnnperf.Experiments() {
+			fmt.Fprintf(w, "%-8s  %-12s  %s\n", e.ID, e.PaperRef, e.Title)
+		}
+	case *exp != "":
+		tbl, err := dnnperf.RunExperiment(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		tbl.Render(w)
+	case *all:
+		if err := dnnperf.RunAll(w); err != nil {
+			fatal(err)
+		}
+	case *report:
+		if err := dnnperf.WriteReport(w); err != nil {
+			fatal(err)
+		}
+	case *sim:
+		p, err := dnnperf.PlatformFor(*platform)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := dnnperf.SimConfig{
+			Model: *model, Framework: *fw, CPU: p.CPU, Net: p.Net,
+			Nodes: *nodes, PPN: *ppn, BatchPerProc: *bs,
+			IntraThreads: *intra, InterThreads: *inter,
+			CycleTimeMS: *cycle, FusionMB: *fusion,
+		}
+		r, err := dnnperf.Simulate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if perNode, fits, merr := dnnperf.CheckMemory(cfg); merr == nil && !fits {
+			fmt.Fprintf(w, "  WARNING: ~%.0f GB/node exceeds %s's %d GB — this configuration could not run\n",
+				float64(perNode)/(1<<30), cfg.CPU.Label, cfg.CPU.MemGB)
+		}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			_, events, err := dnnperf.SimulateTrace(cfg)
+			if err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := dnnperf.WriteChromeTrace(f, events); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "  trace:             %s (%d events, open in chrome://tracing)\n", *trace, len(events))
+		}
+		fmt.Fprintf(w, "%s/%s on %s: %d node(s) x %d ppn x BS %d\n",
+			*model, *fw, *platform, *nodes, *ppn, *bs)
+		fmt.Fprintf(w, "  throughput:        %.1f images/sec (global batch %d)\n", r.ImagesPerSec, r.GlobalBatch)
+		fmt.Fprintf(w, "  iteration:         %.1f ms (compute %.1f ms, exposed comm %.1f ms)\n",
+			1e3*r.IterTimeSec, 1e3*r.ComputeSec, 1e3*r.ExposedCommSec)
+		fmt.Fprintf(w, "  horovod/iteration: %d tensors -> %d fused allreduces over %d cycles\n",
+			r.FrameworkTensors, r.EngineAllreduces, r.Cycles)
+	case *tune:
+		p, err := dnnperf.PlatformFor(*platform)
+		if err != nil {
+			fatal(err)
+		}
+		tc, err := dnnperf.BestConfig(*model, *fw, p, *nodes, *bs)
+		if err != nil {
+			fatal(err)
+		}
+		c := tc.Config
+		fmt.Fprintf(w, "best configuration for %s/%s on %s (%d node(s), BS %d/proc):\n",
+			*model, *fw, *platform, *nodes, *bs)
+		fmt.Fprintf(w, "  ppn=%d intra=%d inter=%d -> %.1f images/sec (searched %d candidates)\n",
+			c.PPN, c.IntraThreads, c.InterThreads, tc.ImagesPerSec, tc.Searched)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnnperf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command tfsim is the functional-layer analogue of tf_cnn_benchmarks: it
+// really trains a model on synthetic data through the dnnperf graph engine
+// and reports images/second. The flags mirror the tf_cnn_benchmarks options
+// the reproduced paper tunes (-num_intra_threads, -num_inter_threads,
+// -batch_size).
+//
+// The paper's full-size models at 224/299 px are far too slow to train on
+// pure-Go kernels, so tfsim defaults to the TinyCNN demo model and supports
+// the paper models at a reduced -image_size for functional verification.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/graph"
+	"dnnperf/internal/models"
+	"dnnperf/internal/train"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "tinycnn", "model: tinycnn, resnet50/101/152, inception3/4")
+		batch     = flag.Int("batch_size", 8, "minibatch size")
+		imageSize = flag.Int("image_size", 0, "input resolution (0 = model native; use small values for the paper models)")
+		classes   = flag.Int("num_classes", 10, "output classes")
+		intra     = flag.Int("num_intra_threads", runtime.NumCPU(), "intra-op parallelism threads")
+		inter     = flag.Int("num_inter_threads", 1, "inter-op parallelism threads")
+		steps     = flag.Int("num_batches", 10, "number of training steps")
+		lr        = flag.Float64("learning_rate", 0.05, "SGD learning rate")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		profile   = flag.Bool("profile", false, "print a per-op-kind time breakdown after training")
+	)
+	flag.Parse()
+
+	builder, err := models.Get(*model)
+	if err != nil {
+		fatal(err)
+	}
+	m := builder(models.Config{Batch: *batch, ImageSize: *imageSize, Classes: *classes, Seed: *seed})
+	fmt.Printf("model %s: %.2fM params, %.2f GFLOPs/image (fwd), %d ops\n",
+		models.DisplayName(m.Name), float64(m.Params())/1e6,
+		float64(m.FwdFLOPs())/1e9/float64(m.Cfg.Batch), m.OpCount())
+	fmt.Printf("config: batch=%d intra=%d inter=%d steps=%d\n", m.Cfg.Batch, *intra, *inter, *steps)
+
+	tr, err := train.New(train.Config{Model: m, IntraThreads: *intra, InterThreads: *inter, LR: float32(*lr)})
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+	var prof *graph.Profile
+	if *profile {
+		prof = graph.NewProfile()
+		tr.SetProfile(prof)
+	}
+
+	gen, err := data.NewSynthetic(m.Cfg.Batch, 3, m.Cfg.ImageSize, m.Cfg.Classes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := tr.Run(gen.Next, *steps)
+	if err != nil {
+		fatal(err)
+	}
+	for i, s := range stats {
+		fmt.Printf("step %3d: loss %.4f  acc %.2f  %6.1f img/s\n",
+			i+1, s.Loss, s.Accuracy, float64(s.Images)/s.Duration.Seconds())
+	}
+	fmt.Printf("total images/sec: %.1f (first step excluded)\n", train.Throughput(stats))
+	if prof != nil {
+		fmt.Println("\nper-op time breakdown:")
+		prof.Render(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package dnnperf_test
+
+import (
+	"fmt"
+	"log"
+
+	"dnnperf"
+)
+
+// The paper's headline experiment: ResNet-152 data-parallel training on 128
+// Skylake-3 (Stampede2) nodes with 4 ranks per node.
+func ExampleSimulate() {
+	res, err := dnnperf.Simulate(dnnperf.SimConfig{
+		Model: "resnet152", CPU: dnnperf.Skylake3, Net: dnnperf.OmniPath,
+		Nodes: 128, PPN: 4, BatchPerProc: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f images/sec\n", res.ImagesPerSec)
+	// Output: 4694 images/sec
+}
+
+// Model metadata matches the published architectures.
+func ExampleModelInfo() {
+	info, err := dnnperf.ModelInfo("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.2fM parameters, %.2f GFLOPs/image\n",
+		info.Display, info.ParamsM, info.GFLOPsPerImage)
+	// Output: ResNet-50: 25.56M parameters, 8.28 GFLOPs/image
+}
+
+// The automated tuner reproduces the paper's Section IX launch
+// recommendation for a 48-core hyper-threaded Skylake: 4 processes per
+// node, intra-op threads = cores/ppn - 1 (a spare core for Horovod's
+// progress thread), inter-op 2.
+func ExampleBestConfig() {
+	tc, err := dnnperf.BestConfig("resnet152", "tensorflow",
+		dnnperf.Platform{CPU: dnnperf.Skylake3, Net: dnnperf.OmniPath}, 1, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ppn=%d intra=%d inter=%d\n",
+		tc.Config.PPN, tc.Config.IntraThreads, tc.Config.InterThreads)
+	// Output: ppn=4 intra=11 inter=2
+}
+
+// Every table and figure of the paper is a registered experiment.
+func ExampleExperimentIDs() {
+	ids := dnnperf.ExperimentIDs()
+	fmt.Println(len(ids), "experiments, first:", ids[0], "last:", ids[len(ids)-1])
+	// Output: 26 experiments, first: table1 last: pipeline
+}

@@ -1,0 +1,75 @@
+// capacity_planning turns the characterization study into the planning
+// questions an HPC operator actually asks:
+//
+//  1. "How many Stampede2 nodes do I need to sustain N images/second on
+//     ResNet-152?" — inverted from the throughput model (NodesFor).
+//  2. "Will this configuration even fit in node memory?" — the paper's
+//     nodes have 128-256 GB; the memory model flags impossible runs.
+//  3. "What's the best launch configuration?" — the automated tuner.
+//
+// Run with: go run ./examples/capacity_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnnperf"
+)
+
+func main() {
+	base := dnnperf.SimConfig{
+		Model: "resnet152", CPU: dnnperf.Skylake3, Net: dnnperf.OmniPath,
+		PPN: 4, BatchPerProc: 32,
+	}
+
+	fmt.Println("== 1. nodes needed for a throughput target (ResNet-152, Skylake-3) ==")
+	for _, target := range []float64{100, 500, 1000, 2500, 4500} {
+		n, err := dnnperf.NodesFor(base, target, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := base
+		cfg.Nodes = n
+		r, err := dnnperf.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  >= %5.0f img/s  ->  %3d nodes (delivers %6.1f img/s)\n", target, n, r.ImagesPerSec)
+	}
+
+	fmt.Println("\n== 2. memory feasibility (per-node footprint vs 192 GB Skylake-3) ==")
+	for _, bs := range []int{32, 128, 512, 1024} {
+		cfg := base
+		cfg.BatchPerProc = bs
+		perNode, fits, err := dnnperf.CheckMemory(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ok"
+		if !fits {
+			verdict = "DOES NOT FIT"
+		}
+		fmt.Printf("  BS %4d x 4 ppn: %7.1f GB/node  %s\n", bs, float64(perNode)/(1<<30), verdict)
+	}
+	est, err := dnnperf.EstimateMemory("resnet152", 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  (per rank at BS 32: params %.2f GB, activations %.2f GB, workspace %.2f GB)\n",
+		float64(est.Params)/(1<<30), float64(est.Activations)/(1<<30), float64(est.Workspace)/(1<<30))
+
+	fmt.Println("\n== 3. best launch configuration per platform (ResNet-152, BS 32/proc) ==")
+	for _, label := range []string{"Skylake-1", "Skylake-2", "Skylake-3", "Broadwell", "EPYC"} {
+		p, err := dnnperf.PlatformFor(label)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tc, err := dnnperf.BestConfig("resnet152", "tensorflow", p, 1, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s -> mpirun -np %d with intra=%d inter=%d  (%.1f img/s)\n",
+			label, tc.Config.PPN, tc.Config.IntraThreads, tc.Config.InterThreads, tc.ImagesPerSec)
+	}
+}

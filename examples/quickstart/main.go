@@ -1,0 +1,72 @@
+// Quickstart: the two layers of dnnperf in one page.
+//
+//  1. Functional layer — really train a small CNN on a synthetic learnable
+//     task with the graph engine (watch the loss fall).
+//  2. Timing layer — predict cluster-scale throughput for the paper's
+//     headline experiment (ResNet-152 on 128 Skylake-3 nodes) and
+//     regenerate a published figure.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dnnperf"
+	"dnnperf/internal/data"
+	"dnnperf/internal/models"
+	"dnnperf/internal/train"
+)
+
+func main() {
+	// --- 1. Functional layer: train a real model. ---
+	fmt.Println("== functional layer: training TinyCNN on a synthetic task ==")
+	m := models.TinyCNN(models.Config{Batch: 16, ImageSize: 16, Classes: 4, Seed: 1})
+	tr, err := train.New(train.Config{Model: m, IntraThreads: 4, InterThreads: 2, LR: 0.08})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	gen, err := data.NewLearnable(16, 3, 16, 4, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := tr.Run(gen.Next, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < len(stats); i += 5 {
+		fmt.Printf("  step %2d: loss %.3f  accuracy %.2f\n", i+1, stats[i].Loss, stats[i].Accuracy)
+	}
+	fmt.Printf("  final: loss %.3f  accuracy %.2f  (%.0f img/s real execution)\n\n",
+		stats[len(stats)-1].Loss, stats[len(stats)-1].Accuracy, train.Throughput(stats))
+
+	// --- 2. Timing layer: the paper's headline number. ---
+	fmt.Println("== timing layer: ResNet-152 on 128 Skylake-3 nodes (paper: 5,001 img/s, 125x) ==")
+	one, err := dnnperf.Simulate(dnnperf.SimConfig{
+		Model: "resnet152", CPU: dnnperf.Skylake3, Net: dnnperf.OmniPath,
+		Nodes: 1, PPN: 4, BatchPerProc: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	big, err := dnnperf.Simulate(dnnperf.SimConfig{
+		Model: "resnet152", CPU: dnnperf.Skylake3, Net: dnnperf.OmniPath,
+		Nodes: 128, PPN: 4, BatchPerProc: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  1 node:    %7.1f img/s\n", one.ImagesPerSec)
+	fmt.Printf("  128 nodes: %7.1f img/s (%.1fx speedup)\n\n", big.ImagesPerSec, big.ImagesPerSec/one.ImagesPerSec)
+
+	// --- 3. Regenerate a published figure. ---
+	fmt.Println("== regenerating Figure 6(a): SP vs MP for ResNet-152 ==")
+	tbl, err := dnnperf.RunExperiment("fig6a")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl.Render(os.Stdout)
+}

@@ -1,0 +1,48 @@
+// resnet_scaling sweeps the multi-node scaling study of the paper's
+// Figure 17 (TensorFlow on Skylake-3/Stampede2 up to 128 nodes) with a
+// twist: it also decomposes each point into compute versus exposed
+// communication, showing *why* ResNet-152 scales to 125x while smaller
+// models lose efficiency earlier — larger models have a better
+// compute-to-gradient ratio, so Horovod hides their allreduces completely.
+//
+// Run with: go run ./examples/resnet_scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnnperf"
+)
+
+func main() {
+	nodes := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	models := []string{"resnet50", "resnet101", "resnet152"}
+
+	for _, m := range models {
+		fmt.Printf("== %s on Skylake-3 (4 ppn, BS 32/proc, TensorFlow + Horovod) ==\n", m)
+		fmt.Printf("%6s  %10s  %9s  %12s  %12s  %s\n",
+			"nodes", "img/s", "speedup", "compute(ms)", "exposed(ms)", "allreduces/iter")
+		var base float64
+		for _, n := range nodes {
+			r, err := dnnperf.Simulate(dnnperf.SimConfig{
+				Model: m, CPU: dnnperf.Skylake3, Net: dnnperf.OmniPath,
+				Nodes: n, PPN: 4, BatchPerProc: 32,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if base == 0 {
+				base = r.ImagesPerSec
+			}
+			fmt.Printf("%6d  %10.1f  %8.1fx  %12.1f  %12.1f  %d\n",
+				n, r.ImagesPerSec, r.ImagesPerSec/base,
+				1e3*r.ComputeSec, 1e3*r.ExposedCommSec, r.EngineAllreduces)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Observation: deeper ResNets keep exposed communication near zero out to")
+	fmt.Println("128 nodes (more backward compute to hide the same-order gradient volume),")
+	fmt.Println("which is exactly why the paper's best 128-node speedup (125x) is ResNet-152.")
+}

@@ -1,0 +1,73 @@
+// sp_vs_mp reproduces the paper's central recommendation — use multiple
+// MPI processes per node instead of one process with many threads — across
+// all five CPU platforms and all five models, and prints the MP/SP gain
+// matrix. It then uses the automated tuner to find each platform's best
+// configuration, reproducing the Section IX ppn guidelines.
+//
+// Run with: go run ./examples/sp_vs_mp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnnperf"
+)
+
+func main() {
+	platforms := []string{"Skylake-1", "Skylake-2", "Skylake-3", "Broadwell", "EPYC"}
+	models := dnnperf.PaperModels()
+
+	fmt.Println("MP-over-SP throughput gain (single node, TensorFlow, node batch 128)")
+	fmt.Printf("%-12s", "model")
+	for _, p := range platforms {
+		fmt.Printf("  %10s", p)
+	}
+	fmt.Println()
+	for _, m := range models {
+		fmt.Printf("%-12s", m)
+		for _, pl := range platforms {
+			p, err := dnnperf.PlatformFor(pl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cores := p.CPU.Cores()
+			sp, err := dnnperf.Simulate(dnnperf.SimConfig{
+				Model: m, CPU: p.CPU, Net: p.Net,
+				Nodes: 1, PPN: 1, BatchPerProc: 128, IntraThreads: cores,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ppn := 4
+			if cores == 28 {
+				ppn = 2 // paper's choice for the 28-core platforms
+			}
+			mp, err := dnnperf.Simulate(dnnperf.SimConfig{
+				Model: m, CPU: p.CPU, Net: p.Net,
+				Nodes: 1, PPN: ppn, BatchPerProc: 128 / ppn,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %9.2fx", mp.ImagesPerSec/sp.ImagesPerSec)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nAutomated tuning (paper Section IX: best ppn is 2/4/4 for 28/40/48-core Intel, cores for PyTorch)")
+	for _, pl := range platforms {
+		p, err := dnnperf.PlatformFor(pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, fw := range []string{"tensorflow", "pytorch"} {
+			tc, err := dnnperf.BestConfig("resnet50", fw, p, 1, 32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-10s %-11s -> ppn=%-3d intra=%-3d inter=%d  (%.1f img/s)\n",
+				pl, fw, tc.Config.PPN, tc.Config.IntraThreads, tc.Config.InterThreads, tc.ImagesPerSec)
+		}
+	}
+}

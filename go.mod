@@ -1,0 +1,3 @@
+module dnnperf
+
+go 1.22

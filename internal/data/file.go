@@ -1,0 +1,161 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"dnnperf/internal/tensor"
+)
+
+// File-backed datasets: a simple binary record format so the input pipeline
+// can also feed from disk (the role the paper's clusters delegate to their
+// parallel filesystems). Format:
+//
+//	magic "DNDS" | u32 count | u32 chans | u32 size | u32 classes |
+//	count x ( u32 label | chans*size*size float32 )
+//
+// Records are fixed length, so readers can seek and shard by stride.
+const dsMagic = "DNDS"
+
+// WriteDataset generates count labeled images from gen and writes them to w.
+func WriteDataset(w io.Writer, gen *Learnable, count int) error {
+	if count < 1 {
+		return fmt.Errorf("data: dataset count %d < 1", count)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(dsMagic); err != nil {
+		return err
+	}
+	for _, v := range []uint32{uint32(count), uint32(gen.Chans), uint32(gen.Size), uint32(gen.Classes)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	written := 0
+	for written < count {
+		b := gen.Next()
+		for i := 0; i < len(b.Labels) && written < count; i++ {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(b.Labels[i])); err != nil {
+				return err
+			}
+			per := gen.Chans * gen.Size * gen.Size
+			img := b.Images.Data()[i*per : (i+1)*per]
+			buf := make([]byte, 4*per)
+			for j, f := range img {
+				binary.LittleEndian.PutUint32(buf[4*j:], math.Float32bits(f))
+			}
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			written++
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDatasetFile writes a generated dataset to path.
+func WriteDatasetFile(path string, gen *Learnable, count int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDataset(f, gen, count); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Reader streams batches from a dataset file, optionally sharded across
+// data-parallel ranks (rank r reads records r, r+ranks, r+2*ranks, ...),
+// wrapping around at the end of the file like an epoch boundary.
+type Reader struct {
+	f       *os.File
+	count   int
+	chans   int
+	size    int
+	classes int
+
+	batch  int
+	rank   int
+	ranks  int
+	cursor int // index among this rank's records
+}
+
+// OpenReader opens a dataset for one rank of a data-parallel job.
+// rank/ranks of (0, 1) reads everything.
+func OpenReader(path string, batch, rank, ranks int) (*Reader, error) {
+	if batch < 1 || ranks < 1 || rank < 0 || rank >= ranks {
+		return nil, fmt.Errorf("data: invalid reader config batch=%d rank=%d/%d", batch, rank, ranks)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 4+16)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("data: dataset header: %w", err)
+	}
+	if string(hdr[:4]) != dsMagic {
+		f.Close()
+		return nil, fmt.Errorf("data: bad dataset magic %q", hdr[:4])
+	}
+	r := &Reader{
+		f:       f,
+		count:   int(binary.LittleEndian.Uint32(hdr[4:])),
+		chans:   int(binary.LittleEndian.Uint32(hdr[8:])),
+		size:    int(binary.LittleEndian.Uint32(hdr[12:])),
+		classes: int(binary.LittleEndian.Uint32(hdr[16:])),
+		batch:   batch, rank: rank, ranks: ranks,
+	}
+	if r.count < 1 || r.chans < 1 || r.size < 1 || r.classes < 2 {
+		f.Close()
+		return nil, fmt.Errorf("data: corrupt dataset header %+v", r)
+	}
+	if r.count < ranks {
+		f.Close()
+		return nil, fmt.Errorf("data: %d records cannot shard across %d ranks", r.count, ranks)
+	}
+	return r, nil
+}
+
+// Meta returns (count, chans, size, classes).
+func (r *Reader) Meta() (int, int, int, int) { return r.count, r.chans, r.size, r.classes }
+
+// Close releases the file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// recordBytes is the on-disk size of one record.
+func (r *Reader) recordBytes() int64 { return 4 + 4*int64(r.chans*r.size*r.size) }
+
+// Next reads this rank's next batch, wrapping at the epoch boundary.
+func (r *Reader) Next() (Batch, error) {
+	per := r.chans * r.size * r.size
+	images := tensor.New(r.batch, r.chans, r.size, r.size)
+	labels := make([]int, r.batch)
+	shard := (r.count + r.ranks - 1 - r.rank) / r.ranks // records owned by this rank
+	buf := make([]byte, r.recordBytes())
+	for i := 0; i < r.batch; i++ {
+		idx := r.rank + r.ranks*(r.cursor%shard)
+		r.cursor++
+		off := int64(4+16) + int64(idx)*r.recordBytes()
+		if _, err := r.f.ReadAt(buf, off); err != nil {
+			return Batch{}, fmt.Errorf("data: record %d: %w", idx, err)
+		}
+		lbl := int(binary.LittleEndian.Uint32(buf))
+		if lbl < 0 || lbl >= r.classes {
+			return Batch{}, fmt.Errorf("data: record %d has label %d of %d classes", idx, lbl, r.classes)
+		}
+		labels[i] = lbl
+		dst := images.Data()[i*per : (i+1)*per]
+		for j := range dst {
+			dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4+4*j:]))
+		}
+	}
+	return Batch{Images: images, Labels: labels}, nil
+}

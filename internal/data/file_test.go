@@ -1,0 +1,149 @@
+package data
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestDataset(t *testing.T, count int) string {
+	t.Helper()
+	gen, err := NewLearnable(4, 3, 8, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.bin")
+	if err := WriteDatasetFile(path, gen, count); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	path := writeTestDataset(t, 10)
+	r, err := OpenReader(path, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	count, chans, size, classes := r.Meta()
+	if count != 10 || chans != 3 || size != 8 || classes != 4 {
+		t.Fatalf("meta %d %d %d %d", count, chans, size, classes)
+	}
+	b, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Labels) != 4 || b.Images.Dim(0) != 4 || b.Images.Dim(2) != 8 {
+		t.Fatalf("batch shape wrong")
+	}
+	for _, l := range b.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d", l)
+		}
+	}
+	// Images must carry real data, not zeros.
+	if b.Images.L2Norm() == 0 {
+		t.Fatal("images are zero")
+	}
+}
+
+func TestDatasetDeterministicReads(t *testing.T) {
+	path := writeTestDataset(t, 8)
+	r1, _ := OpenReader(path, 8, 0, 1)
+	defer r1.Close()
+	r2, _ := OpenReader(path, 8, 0, 1)
+	defer r2.Close()
+	b1, err := r1.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Images.MaxAbsDiff(b2.Images) != 0 {
+		t.Fatal("same file must read identically")
+	}
+}
+
+func TestDatasetShardingDisjointAndComplete(t *testing.T) {
+	const count = 9
+	path := writeTestDataset(t, count)
+	// Two ranks: labels collected from each shard over one epoch must cover
+	// every record exactly once.
+	seen := map[float32]int{} // first pixel value is a near-unique fingerprint
+	total := 0
+	for rank := 0; rank < 2; rank++ {
+		shard := (count + 1 - rank) / 2
+		r, err := OpenReader(path, 1, rank, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < shard; i++ {
+			b, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[b.Images.Data()[0]]++
+			total++
+		}
+		r.Close()
+	}
+	if total != count {
+		t.Fatalf("read %d records, want %d", total, count)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("record fingerprint %v read %d times", v, n)
+		}
+	}
+}
+
+func TestDatasetEpochWraps(t *testing.T) {
+	path := writeTestDataset(t, 4)
+	r, _ := OpenReader(path, 4, 0, 1)
+	defer r.Close()
+	b1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.Next() // second epoch: same records
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Images.MaxAbsDiff(b2.Images) != 0 {
+		t.Fatal("wrap-around must revisit the same records in order")
+	}
+}
+
+func TestOpenReaderValidation(t *testing.T) {
+	path := writeTestDataset(t, 4)
+	if _, err := OpenReader(path, 0, 0, 1); err == nil {
+		t.Fatal("batch 0 must error")
+	}
+	if _, err := OpenReader(path, 1, 2, 2); err == nil {
+		t.Fatal("rank out of range must error")
+	}
+	if _, err := OpenReader(path, 1, 0, 100); err == nil {
+		t.Fatal("more ranks than records must error")
+	}
+	if _, err := OpenReader(filepath.Join(t.TempDir(), "missing"), 1, 0, 1); err == nil {
+		t.Fatal("missing file must error")
+	}
+	// Corrupt magic.
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("NOPE00000000000000000000"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(bad, 1, 0, 1); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func TestWriteDatasetValidation(t *testing.T) {
+	gen, _ := NewLearnable(2, 3, 8, 4, 1)
+	if err := WriteDatasetFile(filepath.Join(t.TempDir(), "x.bin"), gen, 0); err == nil {
+		t.Fatal("count 0 must error")
+	}
+}

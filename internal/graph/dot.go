@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection:
+// op nodes as boxes (labeled kind and output shape), variables as ellipses,
+// inputs as diamonds. Useful for eyeballing model structure and the cut
+// points model parallelism uses.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "graph"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	for _, n := range g.Nodes {
+		label := n.Name
+		shape := "box"
+		switch n.Kind {
+		case KindInput:
+			shape = "diamond"
+			label = fmt.Sprintf("%s\\n%v", n.Name, n.Shape())
+		case KindVariable:
+			shape = "ellipse"
+			label = fmt.Sprintf("%s\\n%v", n.Name, n.Shape())
+		case KindOp:
+			label = fmt.Sprintf("%s\\n%s %v", n.Name, n.Op.Kind(), n.Shape())
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s, label=\"%s\"];\n", n.ID, shape, label)
+	}
+	for _, n := range g.Nodes {
+		for _, dep := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", dep.ID, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"dnnperf/internal/tensor"
+)
+
+func TestWriteDOT(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	g, _, _ := buildBranchy(rng, 1)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "diamond"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`digraph "diamond"`, "shape=diamond", "shape=ellipse", "conv2d", "->"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// One node line per graph node and one edge line per input edge.
+	nodes := strings.Count(out, "[shape=")
+	if nodes != len(g.Nodes) {
+		t.Fatalf("%d node declarations for %d nodes", nodes, len(g.Nodes))
+	}
+	edges := 0
+	for _, n := range g.Nodes {
+		edges += len(n.Inputs)
+	}
+	if got := strings.Count(out, " -> "); got != edges {
+		t.Fatalf("%d edges rendered, want %d", got, edges)
+	}
+	// Default name.
+	var sb2 strings.Builder
+	if err := g.WriteDOT(&sb2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), `digraph "graph"`) {
+		t.Fatal("default name missing")
+	}
+}

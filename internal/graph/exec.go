@@ -1,0 +1,320 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dnnperf/internal/tensor"
+)
+
+// ExecState holds the per-execution tensors of one forward/backward pass:
+// node output values, accumulated output gradients, and op-private saved
+// state (pooling argmax, batch-norm statistics).
+type ExecState struct {
+	Intra *tensor.Pool
+
+	vals  []*tensor.Tensor
+	saved []any
+
+	grads   []*tensor.Tensor
+	gradMu  []sync.Mutex
+	pending []int
+}
+
+func (st *ExecState) save(id int, v any) { st.saved[id] = v }
+func (st *ExecState) load(id int) any    { return st.saved[id] }
+
+// Value returns node n's output tensor from this execution.
+func (st *ExecState) Value(n *Node) *tensor.Tensor { return st.vals[n.ID] }
+
+// Grad returns the accumulated output gradient of node n (nil if none).
+func (st *ExecState) Grad(n *Node) *tensor.Tensor { return st.grads[n.ID] }
+
+// Executor runs a graph with TensorFlow-style threading: Intra is the
+// intra-op worker pool shared by all kernels, and InterOp is the number of
+// op-level workers that may execute independent nodes concurrently.
+type Executor struct {
+	G       *Graph
+	Intra   *tensor.Pool
+	InterOp int
+	// GradHook, if set, is invoked as soon as a variable's gradient for this
+	// backward pass is fully accumulated — the "gradient readiness" event
+	// that Horovod's background engine consumes.
+	GradHook func(v *Node)
+	// Prof, if set, accumulates per-op-kind execution times.
+	Prof *Profile
+}
+
+// runFwd executes one op node's forward, timing it when profiling.
+func (e *Executor) runFwd(st *ExecState, node *Node) *tensor.Tensor {
+	if e.Prof == nil {
+		return node.Op.Forward(st, node, gatherVals(st, node))
+	}
+	t0 := time.Now()
+	out := node.Op.Forward(st, node, gatherVals(st, node))
+	e.Prof.add(node.Op.Kind(), true, time.Since(t0))
+	return out
+}
+
+// NewExecutor returns an executor over g using the given intra-op pool and
+// inter-op width (values < 1 are treated as 1).
+func NewExecutor(g *Graph, intra *tensor.Pool, interOp int) *Executor {
+	if interOp < 1 {
+		interOp = 1
+	}
+	if intra == nil {
+		intra = tensor.Serial
+	}
+	return &Executor{G: g, Intra: intra, InterOp: interOp}
+}
+
+// Forward executes the graph given placeholder feeds and returns the
+// execution state for value inspection and the backward pass.
+func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) (*ExecState, error) {
+	n := len(e.G.Nodes)
+	st := &ExecState{
+		Intra:   e.Intra,
+		vals:    make([]*tensor.Tensor, n),
+		saved:   make([]any, n),
+		grads:   make([]*tensor.Tensor, n),
+		gradMu:  make([]sync.Mutex, n),
+		pending: make([]int, n),
+	}
+	for _, node := range e.G.Nodes {
+		switch node.Kind {
+		case KindInput:
+			t, ok := feeds[node]
+			if !ok {
+				return nil, fmt.Errorf("graph: missing feed for input %q", node.Name)
+			}
+			if !tensor.ShapeEq(t.Shape(), node.shape) {
+				return nil, fmt.Errorf("graph: feed for %q has shape %v, want %v", node.Name, t.Shape(), node.shape)
+			}
+			st.vals[node.ID] = t
+		case KindVariable:
+			node.Materialize()
+			st.vals[node.ID] = node.Value
+		}
+	}
+	if e.InterOp == 1 {
+		for _, node := range e.G.Nodes {
+			if node.Kind != KindOp {
+				continue
+			}
+			st.vals[node.ID] = e.runFwd(st, node)
+		}
+		return st, nil
+	}
+	e.forwardParallel(st)
+	return st, nil
+}
+
+func gatherVals(st *ExecState, node *Node) []*tensor.Tensor {
+	in := make([]*tensor.Tensor, len(node.Inputs))
+	for i, dep := range node.Inputs {
+		in[i] = st.vals[dep.ID]
+	}
+	return in
+}
+
+// forwardParallel executes op nodes with an inter-op worker pool: a node is
+// dispatched once all of its inputs have values.
+func (e *Executor) forwardParallel(st *ExecState) {
+	type counter struct{ remaining int }
+	counts := make([]counter, len(e.G.Nodes))
+	consumers := make([][]*Node, len(e.G.Nodes))
+	var total int
+	for _, node := range e.G.Nodes {
+		if node.Kind != KindOp {
+			continue
+		}
+		total++
+		deps := 0
+		for _, in := range node.Inputs {
+			if in.Kind == KindOp {
+				deps++
+				consumers[in.ID] = append(consumers[in.ID], node)
+			}
+		}
+		counts[node.ID].remaining = deps
+	}
+	ready := make(chan *Node, total+1)
+	for _, node := range e.G.Nodes {
+		if node.Kind == KindOp && counts[node.ID].remaining == 0 {
+			ready <- node
+		}
+	}
+	var mu sync.Mutex
+	var done int
+	var wg sync.WaitGroup
+	wg.Add(e.InterOp)
+	for w := 0; w < e.InterOp; w++ {
+		go func() {
+			defer wg.Done()
+			for node := range ready {
+				st.vals[node.ID] = e.runFwd(st, node)
+				mu.Lock()
+				for _, c := range consumers[node.ID] {
+					counts[c.ID].remaining--
+					if counts[c.ID].remaining == 0 {
+						ready <- c
+					}
+				}
+				done++
+				if done == total {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	if total == 0 {
+		close(ready)
+	}
+	wg.Wait()
+}
+
+// Backward runs reverse-mode differentiation from output with upstream
+// gradient dy, accumulating into each variable's Grad buffer (add, not
+// overwrite, so gradient accumulation across micro-batches works).
+// Variables receive their GradHook callback the moment their gradient for
+// this pass is complete, in reverse-topological completion order — the
+// readiness stream that drives Horovod overlap.
+func (e *Executor) Backward(st *ExecState, output *Node, dy *tensor.Tensor) error {
+	if st.vals[output.ID] == nil {
+		return fmt.Errorf("graph: Backward before Forward for node %q", output.Name)
+	}
+	if !tensor.ShapeEq(dy.Shape(), output.shape) {
+		return fmt.Errorf("graph: upstream gradient shape %v, want %v", dy.Shape(), output.shape)
+	}
+	// Restrict to the ancestor set of output.
+	active := make([]bool, len(e.G.Nodes))
+	var mark func(n *Node)
+	mark = func(n *Node) {
+		if active[n.ID] {
+			return
+		}
+		active[n.ID] = true
+		for _, in := range n.Inputs {
+			mark(in)
+		}
+	}
+	mark(output)
+
+	// pending[n] = number of active consumers that still owe a gradient
+	// contribution to n.
+	for i := range st.pending {
+		st.pending[i] = 0
+		st.grads[i] = nil
+	}
+	for _, node := range e.G.Nodes {
+		if node.Kind != KindOp || !active[node.ID] {
+			continue
+		}
+		for _, in := range node.Inputs {
+			st.pending[in.ID]++
+		}
+	}
+	st.grads[output.ID] = dy
+
+	if e.InterOp == 1 {
+		// Sequential: reverse topological order guarantees every node's
+		// gradient is complete before its backward runs.
+		for i := len(e.G.Nodes) - 1; i >= 0; i-- {
+			node := e.G.Nodes[i]
+			if !active[node.ID] {
+				continue
+			}
+			e.finishNode(st, node)
+		}
+		return nil
+	}
+	return e.backwardParallel(st, active, output)
+}
+
+// finishNode consumes node's completed output gradient: ops propagate to
+// inputs, variables fold into Grad and fire the hook.
+func (e *Executor) finishNode(st *ExecState, node *Node) {
+	g := st.grads[node.ID]
+	switch node.Kind {
+	case KindVariable:
+		if g != nil {
+			tensor.AXPY(st.Intra, node.Grad, 1, g)
+			if e.GradHook != nil {
+				e.GradHook(node)
+			}
+		}
+	case KindOp:
+		if g == nil {
+			return
+		}
+		var t0 time.Time
+		if e.Prof != nil {
+			t0 = time.Now()
+		}
+		inGrads := node.Op.Backward(st, node, gatherVals(st, node), st.vals[node.ID], g)
+		if e.Prof != nil {
+			e.Prof.add(node.Op.Kind(), false, time.Since(t0))
+		}
+		for i, ig := range inGrads {
+			if ig == nil {
+				continue
+			}
+			dep := node.Inputs[i]
+			st.gradMu[dep.ID].Lock()
+			if st.grads[dep.ID] == nil {
+				st.grads[dep.ID] = ig.Clone()
+			} else {
+				tensor.AXPY(tensor.Serial, st.grads[dep.ID], 1, ig)
+			}
+			st.gradMu[dep.ID].Unlock()
+		}
+	}
+}
+
+func (e *Executor) backwardParallel(st *ExecState, active []bool, output *Node) error {
+	// A node may run its backward once all active consumers have delivered
+	// their contributions (pending == 0).
+	var mu sync.Mutex
+	total := 0
+	for _, node := range e.G.Nodes {
+		if active[node.ID] {
+			total++
+		}
+	}
+	ready := make(chan *Node, total+1)
+	remaining := make([]int, len(e.G.Nodes))
+	copy(remaining, st.pending)
+	if remaining[output.ID] != 0 {
+		// output feeding other active nodes cannot happen: active set is
+		// ancestors of output, and the graph is acyclic.
+		return fmt.Errorf("graph: output node %q has active consumers", output.Name)
+	}
+	ready <- output
+	done := 0
+	var wg sync.WaitGroup
+	wg.Add(e.InterOp)
+	for w := 0; w < e.InterOp; w++ {
+		go func() {
+			defer wg.Done()
+			for node := range ready {
+				e.finishNode(st, node)
+				mu.Lock()
+				for _, in := range node.Inputs {
+					remaining[in.ID]--
+					if remaining[in.ID] == 0 {
+						ready <- in
+					}
+				}
+				done++
+				if done == total {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}

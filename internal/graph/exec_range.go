@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"dnnperf/internal/tensor"
+)
+
+// Range execution supports model parallelism (the paper's Section II-B:
+// the model is split across processes, with Send/Recv implementing the
+// distributed forward and backward passes). A stage executes only the op
+// nodes in a contiguous ID range, consuming boundary activations produced
+// by the previous stage and emitting its own boundary tensor.
+//
+// Range execution is sequential (inter-op width 1): pipeline parallelism
+// across stages supplies the concurrency.
+
+// ForwardRange executes op nodes with lo < ID <= hi. presets provides the
+// values of boundary dependencies (nodes with ID <= lo, including the
+// graph's placeholders for the first stage). Variables inside the range
+// are materialized on demand.
+func (e *Executor) ForwardRange(presets map[*Node]*tensor.Tensor, lo, hi int) (*ExecState, error) {
+	if lo < -1 || hi >= len(e.G.Nodes) || lo >= hi {
+		return nil, fmt.Errorf("graph: invalid range (%d, %d]", lo, hi)
+	}
+	n := len(e.G.Nodes)
+	st := &ExecState{
+		Intra:   e.Intra,
+		vals:    make([]*tensor.Tensor, n),
+		saved:   make([]any, n),
+		grads:   make([]*tensor.Tensor, n),
+		gradMu:  make([]sync.Mutex, n),
+		pending: make([]int, n),
+	}
+	for node, v := range presets {
+		if v == nil {
+			return nil, fmt.Errorf("graph: nil preset for %q", node.Name)
+		}
+		if !tensor.ShapeEq(v.Shape(), node.shape) {
+			return nil, fmt.Errorf("graph: preset for %q has shape %v, want %v", node.Name, v.Shape(), node.shape)
+		}
+		st.vals[node.ID] = v
+	}
+	for id := lo + 1; id <= hi; id++ {
+		node := e.G.Nodes[id]
+		switch node.Kind {
+		case KindVariable:
+			node.Materialize()
+			st.vals[id] = node.Value
+		case KindInput:
+			if st.vals[id] == nil {
+				// Tolerated until something in range consumes it.
+				continue
+			}
+		case KindOp:
+			for _, dep := range node.Inputs {
+				if st.vals[dep.ID] == nil {
+					if dep.Kind == KindVariable {
+						dep.Materialize()
+						st.vals[dep.ID] = dep.Value
+						continue
+					}
+					return nil, fmt.Errorf("graph: node %q needs %q, which is outside the range and not preset",
+						node.Name, dep.Name)
+				}
+			}
+			st.vals[id] = e.runFwd(st, node)
+		}
+	}
+	return st, nil
+}
+
+// BackwardRange runs reverse-mode differentiation over op nodes with
+// lo < ID <= from.ID, seeding the output gradient dy at node `from`.
+// Variable gradients accumulate as usual; the returned map holds the
+// gradients that flow out of the range (to boundary nodes with ID <= lo) —
+// what a pipeline stage sends back to its predecessor.
+func (e *Executor) BackwardRange(st *ExecState, from *Node, dy *tensor.Tensor, lo int) (map[*Node]*tensor.Tensor, error) {
+	if st.vals[from.ID] == nil {
+		return nil, fmt.Errorf("graph: BackwardRange before ForwardRange for %q", from.Name)
+	}
+	if !tensor.ShapeEq(dy.Shape(), from.shape) {
+		return nil, fmt.Errorf("graph: upstream gradient shape %v, want %v", dy.Shape(), from.shape)
+	}
+	for i := range st.grads {
+		st.grads[i] = nil
+	}
+	st.grads[from.ID] = dy
+	for id := from.ID; id > lo; id-- {
+		node := e.G.Nodes[id]
+		if node.Kind == KindInput {
+			continue
+		}
+		if st.grads[id] == nil && node.Kind == KindOp {
+			continue
+		}
+		e.finishNode(st, node)
+	}
+	out := make(map[*Node]*tensor.Tensor)
+	for id := 0; id <= lo; id++ {
+		if g := st.grads[id]; g != nil {
+			out[e.G.Nodes[id]] = g
+		}
+	}
+	// Input placeholders inside the range also surface their gradients
+	// (stage 0 reports the data gradient this way).
+	for id := lo + 1; id <= from.ID; id++ {
+		if e.G.Nodes[id].Kind == KindInput {
+			if g := st.grads[id]; g != nil {
+				out[e.G.Nodes[id]] = g
+			}
+		}
+	}
+	return out, nil
+}
+
+// CutPoints returns the IDs of op nodes where the graph can be cleanly
+// split: every edge crossing the cut originates at the cut node itself, so
+// exactly one tensor flows between the resulting stages. Chain-structured
+// CNNs (ResNets between blocks, Inceptions between modules) have many.
+func (g *Graph) CutPoints() []int {
+	n := len(g.Nodes)
+	// maxTo[j] = highest consumer ID of node j (j itself if none).
+	maxTo := make([]int, n)
+	for i := range maxTo {
+		maxTo[i] = i
+	}
+	for _, node := range g.Nodes {
+		for _, dep := range node.Inputs {
+			if node.ID > maxTo[dep.ID] {
+				maxTo[dep.ID] = node.ID
+			}
+		}
+	}
+	var cuts []int
+	// A cut after node i is valid iff no node j < i has a consumer > i.
+	// Track the running maximum of maxTo over j <= i, excluding i itself.
+	runningMax := 0
+	for i, node := range g.Nodes {
+		if i > 0 && maxTo[i-1] > runningMax {
+			runningMax = maxTo[i-1]
+		}
+		if node.Kind != KindOp || i == n-1 {
+			continue
+		}
+		if runningMax <= i {
+			cuts = append(cuts, i)
+		}
+	}
+	return cuts
+}

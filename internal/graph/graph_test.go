@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dnnperf/internal/tensor"
+)
+
+// buildMLP constructs a tiny 2-layer perceptron: dense(4->h) relu dense(h->3).
+func buildMLP(rng *tensor.RNG, batch, hidden int) (*Graph, *Node, *Node) {
+	g := New()
+	x := g.Input("x", batch, 4)
+	w1 := g.Variable("w1", []int{4, hidden}, ConstInit(rng.HeInit(4, 4, hidden)))
+	b1 := g.Variable("b1", []int{hidden}, Zeros)
+	h := g.Apply(DenseOp{}, "fc1", x, w1, b1)
+	a := g.Apply(ReLUOp{}, "relu1", h)
+	w2 := g.Variable("w2", []int{hidden, 3}, ConstInit(rng.HeInit(hidden, hidden, 3)))
+	b2 := g.Variable("b2", []int{3}, Zeros)
+	out := g.Apply(DenseOp{}, "fc2", a, w2, b2)
+	return g, x, out
+}
+
+func TestGraphBuildAndValidate(t *testing.T) {
+	g, _, out := buildMLP(tensor.NewRNG(1), 2, 8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(out.Shape(), []int{2, 3}) {
+		t.Fatalf("logits shape %v", out.Shape())
+	}
+	if got := g.ParamCount(); got != 4*8+8+8*3+3 {
+		t.Fatalf("ParamCount = %d", got)
+	}
+	if g.GradBytes() != 4*g.ParamCount() {
+		t.Fatal("GradBytes must be 4x params")
+	}
+}
+
+func TestForwardMissingFeed(t *testing.T) {
+	g, _, _ := buildMLP(tensor.NewRNG(1), 2, 8)
+	ex := NewExecutor(g, tensor.Serial, 1)
+	if _, err := ex.Forward(nil); err == nil {
+		t.Fatal("expected error for missing feed")
+	}
+}
+
+func TestForwardBadFeedShape(t *testing.T) {
+	g, x, _ := buildMLP(tensor.NewRNG(1), 2, 8)
+	ex := NewExecutor(g, tensor.Serial, 1)
+	if _, err := ex.Forward(map[*Node]*tensor.Tensor{x: tensor.New(3, 4)}); err == nil {
+		t.Fatal("expected error for bad feed shape")
+	}
+}
+
+func TestForwardSequentialVsParallel(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	g, x, out := buildMLP(rng, 4, 16)
+	in := rng.Uniform(-1, 1, 4, 4)
+
+	ex1 := NewExecutor(g, tensor.Serial, 1)
+	st1, err := ex1.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tensor.NewPool(2)
+	defer p.Close()
+	ex2 := NewExecutor(g, p, 4)
+	st2, err := ex2.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := st1.Value(out).MaxAbsDiff(st2.Value(out)); d > 1e-5 {
+		t.Fatalf("parallel forward differs by %g", d)
+	}
+}
+
+// lossOf runs forward and returns sum(logits * wgt), a smooth scalar loss.
+func lossOf(ex *Executor, x *Node, in *tensor.Tensor, out *Node, wgt *tensor.Tensor) float64 {
+	st, err := ex.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		panic(err)
+	}
+	return tensor.Dot(st.Value(out), wgt)
+}
+
+func TestBackwardNumericGradientMLP(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	g, x, out := buildMLP(rng, 3, 8)
+	in := rng.Uniform(-1, 1, 3, 4)
+	wgt := rng.Uniform(-1, 1, 3, 3)
+	ex := NewExecutor(g, tensor.Serial, 1)
+
+	st, err := ex.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ZeroGrads()
+	if err := ex.Backward(st, out, wgt); err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-2
+	for _, v := range g.Variables() {
+		for _, i := range []int{0, v.Value.Len() / 2, v.Value.Len() - 1} {
+			orig := v.Value.Data()[i]
+			v.Value.Data()[i] = orig + eps
+			up := lossOf(ex, x, in, out, wgt)
+			v.Value.Data()[i] = orig - eps
+			down := lossOf(ex, x, in, out, wgt)
+			v.Value.Data()[i] = orig
+			num := (up - down) / (2 * eps)
+			got := float64(v.Grad.Data()[i])
+			if d := num - got; d > 0.02 || d < -0.02 {
+				t.Fatalf("%s grad[%d]: numeric %g vs analytic %g", v.Name, i, num, got)
+			}
+		}
+	}
+}
+
+// buildBranchy makes a diamond graph (two parallel conv branches that are
+// concatenated), exercising inter-op concurrency and concat/split grads.
+func buildBranchy(rng *tensor.RNG, batch int) (*Graph, *Node, *Node) {
+	g := New()
+	x := g.Input("x", batch, 2, 8, 8)
+	spec := tensor.ConvSpec{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	k1 := g.Variable("k1", []int{3, 2, 3, 3}, ConstInit(rng.HeInit(18, 3, 2, 3, 3)))
+	k2 := g.Variable("k2", []int{5, 2, 3, 3}, ConstInit(rng.HeInit(18, 5, 2, 3, 3)))
+	b1 := g.Apply(&Conv2DOp{Spec: spec}, "conv1", x, k1)
+	b2 := g.Apply(&Conv2DOp{Spec: spec}, "conv2", x, k2)
+	r1 := g.Apply(ReLUOp{}, "relu1", b1)
+	r2 := g.Apply(ReLUOp{}, "relu2", b2)
+	cat := g.Apply(&ConcatOp{Axis: 1}, "concat", r1, r2)
+	gap := g.Apply(GlobalAvgPoolOp{}, "gap", cat)
+	return g, x, gap
+}
+
+func TestBranchyForwardParallelAndBackward(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	g, x, out := buildBranchy(rng, 2)
+	if !tensor.ShapeEq(out.Shape(), []int{2, 8}) {
+		t.Fatalf("out shape %v", out.Shape())
+	}
+	in := rng.Uniform(-1, 1, 2, 2, 8, 8)
+	wgt := rng.Uniform(-1, 1, 2, 8)
+
+	// Sequential reference.
+	exSeq := NewExecutor(g, tensor.Serial, 1)
+	stSeq, err := exSeq.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ZeroGrads()
+	if err := exSeq.Backward(stSeq, out, wgt); err != nil {
+		t.Fatal(err)
+	}
+	seqGrads := make([]*tensor.Tensor, 0, 2)
+	for _, v := range g.Variables() {
+		seqGrads = append(seqGrads, v.Grad.Clone())
+	}
+
+	// Parallel run.
+	exPar := NewExecutor(g, tensor.Serial, 3)
+	stPar, err := exPar.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stSeq.Value(out).MaxAbsDiff(stPar.Value(out)); d > 1e-5 {
+		t.Fatalf("parallel forward differs by %g", d)
+	}
+	g.ZeroGrads()
+	if err := exPar.Backward(stPar, out, wgt); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g.Variables() {
+		if d := v.Grad.MaxAbsDiff(seqGrads[i]); d > 1e-4 {
+			t.Fatalf("%s parallel grad differs by %g", v.Name, d)
+		}
+	}
+}
+
+func TestGradHookFiresOncePerVariable(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	g, x, out := buildBranchy(rng, 1)
+	ex := NewExecutor(g, tensor.Serial, 2)
+	var mu sync.Mutex
+	fired := map[string]int{}
+	ex.GradHook = func(v *Node) {
+		mu.Lock()
+		fired[v.Name]++
+		mu.Unlock()
+	}
+	in := rng.Uniform(-1, 1, 1, 2, 8, 8)
+	st, err := ex.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ZeroGrads()
+	if err := ex.Backward(st, out, tensor.Ones(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired["k1"] != 1 || fired["k2"] != 1 {
+		t.Fatalf("GradHook fired %v", fired)
+	}
+}
+
+func TestBackwardBeforeForwardErrors(t *testing.T) {
+	g, _, out := buildMLP(tensor.NewRNG(1), 2, 4)
+	ex := NewExecutor(g, tensor.Serial, 1)
+	st := &ExecState{vals: make([]*tensor.Tensor, len(g.Nodes))}
+	if err := ex.Backward(st, out, tensor.New(2, 3)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGradAccumulationAcrossPasses(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	g, x, out := buildMLP(rng, 2, 4)
+	ex := NewExecutor(g, tensor.Serial, 1)
+	in := rng.Uniform(-1, 1, 2, 4)
+	wgt := tensor.Ones(2, 3)
+
+	run := func() {
+		st, err := ex.Forward(map[*Node]*tensor.Tensor{x: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Backward(st, out, wgt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.ZeroGrads()
+	run()
+	v := g.Variables()[0]
+	once := v.Grad.Clone()
+	run() // second pass without zeroing must double the gradient
+	twice := v.Grad
+	diff := tensor.Sub(tensor.Serial, twice, tensor.Scale(tensor.Serial, 2, once))
+	if diff.L2Norm() > 1e-4 {
+		t.Fatalf("gradients must accumulate: residual %g", diff.L2Norm())
+	}
+}
+
+func TestShapeInferenceErrors(t *testing.T) {
+	g := New()
+	x := g.Input("x", 1, 3, 8, 8)
+	k := g.Variable("k", []int{4, 2, 3, 3}, Zeros) // wrong in-channels
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for channel mismatch")
+		}
+	}()
+	g.Apply(&Conv2DOp{Spec: tensor.ConvSpec{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}}, "bad", x, k)
+}
+
+func TestFLOPsAccounting(t *testing.T) {
+	op := &Conv2DOp{Spec: tensor.ConvSpec{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}}
+	in := [][]int{{2, 8, 16, 16}, {16, 8, 3, 3}}
+	out := op.InferShape(in)
+	fwd := op.FwdFLOPs(in, out)
+	want := int64(2) * 2 * 16 * 16 * 16 * 8 * 3 * 3
+	if fwd != want {
+		t.Fatalf("FwdFLOPs = %d, want %d", fwd, want)
+	}
+	if op.BwdFLOPs(in, out) != 2*want {
+		t.Fatal("BwdFLOPs must be 2x forward for conv")
+	}
+}
+
+// Property: backward through the diamond graph conserves gradient linearity:
+// backward(a*dy) == a * backward(dy).
+func TestQuickBackwardLinearity(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	g, x, out := buildBranchy(rng, 1)
+	ex := NewExecutor(g, tensor.Serial, 1)
+	in := rng.Uniform(-1, 1, 1, 2, 8, 8)
+
+	gradOf := func(dy *tensor.Tensor) *tensor.Tensor {
+		st, err := ex.Forward(map[*Node]*tensor.Tensor{x: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ZeroGrads()
+		if err := ex.Backward(st, out, dy); err != nil {
+			t.Fatal(err)
+		}
+		return g.Variables()[0].Grad.Clone()
+	}
+
+	f := func(seed int64) bool {
+		r := tensor.NewRNG(seed)
+		dy := r.Uniform(-1, 1, 1, 8)
+		g1 := gradOf(dy)
+		g2 := gradOf(tensor.Scale(tensor.Serial, 3, dy))
+		return g2.MaxAbsDiff(tensor.Scale(tensor.Serial, 3, g1)) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariableLazyMaterialization(t *testing.T) {
+	g := New()
+	calls := 0
+	v := g.Variable("w", []int{2, 2}, func(shape []int) *tensor.Tensor {
+		calls++
+		return tensor.Ones(shape...)
+	})
+	if v.Value != nil {
+		t.Fatal("variable must not materialize at build time")
+	}
+	v.Materialize()
+	v.Materialize()
+	if calls != 1 {
+		t.Fatalf("initializer called %d times", calls)
+	}
+	if v.Value.At(1, 1) != 1 || v.Grad == nil {
+		t.Fatal("materialization incomplete")
+	}
+}

@@ -1,0 +1,407 @@
+package graph
+
+import (
+	"fmt"
+
+	"dnnperf/internal/tensor"
+)
+
+// Op is a differentiable operation. Implementations are stateless across
+// executions; anything the backward pass needs is stashed in the ExecState.
+type Op interface {
+	// Kind returns a short operation class name ("conv2d", "relu", ...).
+	Kind() string
+	// InferShape computes the output shape from input shapes, panicking on
+	// invalid combinations (build-time error, like TF graph construction).
+	InferShape(in [][]int) []int
+	// Forward computes the op's output.
+	Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tensor.Tensor
+	// Backward computes per-input gradients given the upstream gradient dy.
+	// A nil entry means "no gradient flows to this input".
+	Backward(st *ExecState, n *Node, in []*tensor.Tensor, out, dy *tensor.Tensor) []*tensor.Tensor
+	// FwdFLOPs estimates the forward floating-point work for these shapes.
+	FwdFLOPs(in [][]int, out []int) int64
+	// BwdFLOPs estimates the backward floating-point work for these shapes.
+	BwdFLOPs(in [][]int, out []int) int64
+}
+
+func elems(shape []int) int64 { return int64(tensor.NumElems(shape)) }
+
+// ---------------------------------------------------------------- Conv2D
+
+// Conv2DOp convolves input 0 (NCHW) with kernel input 1 ([F,C,KH,KW]).
+type Conv2DOp struct{ Spec tensor.ConvSpec }
+
+// Kind implements Op.
+func (o *Conv2DOp) Kind() string { return "conv2d" }
+
+// InferShape implements Op.
+func (o *Conv2DOp) InferShape(in [][]int) []int {
+	x, k := in[0], in[1]
+	if len(x) != 4 || len(k) != 4 {
+		panic(fmt.Sprintf("conv2d: need 4-D input/kernel, got %v %v", x, k))
+	}
+	if x[1] != k[1] {
+		panic(fmt.Sprintf("conv2d: channel mismatch input %v kernel %v", x, k))
+	}
+	oh, ow := o.Spec.OutSize(x[2], x[3])
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("conv2d: non-positive output for input %v spec %+v", x, o.Spec))
+	}
+	return []int{x[0], k[0], oh, ow}
+}
+
+// Forward implements Op.
+func (o *Conv2DOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	return tensor.Conv2D(st.Intra, in[0], in[1], o.Spec)
+}
+
+// Backward implements Op.
+func (o *Conv2DOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	dx, dk := tensor.Conv2DBackward(st.Intra, in[0], in[1], dy, o.Spec)
+	return []*tensor.Tensor{dx, dk}
+}
+
+// FwdFLOPs implements Op.
+func (o *Conv2DOp) FwdFLOPs(in [][]int, out []int) int64 {
+	x, k := in[0], in[1]
+	return tensor.ConvFLOPs(x[0], x[1], out[1], out[2], out[3], k[2], k[3])
+}
+
+// BwdFLOPs implements Op: dX plus dW, each roughly the forward cost.
+func (o *Conv2DOp) BwdFLOPs(in [][]int, out []int) int64 {
+	return 2 * o.FwdFLOPs(in, out)
+}
+
+// ---------------------------------------------------------------- ReLU
+
+// ReLUOp applies max(x, 0).
+type ReLUOp struct{}
+
+// Kind implements Op.
+func (ReLUOp) Kind() string { return "relu" }
+
+// InferShape implements Op.
+func (ReLUOp) InferShape(in [][]int) []int { return in[0] }
+
+// Forward implements Op.
+func (ReLUOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	return tensor.ReLU(st.Intra, in[0])
+}
+
+// Backward implements Op.
+func (ReLUOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{tensor.ReLUGrad(st.Intra, in[0], dy)}
+}
+
+// FwdFLOPs implements Op.
+func (ReLUOp) FwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }
+
+// BwdFLOPs implements Op.
+func (ReLUOp) BwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }
+
+// ---------------------------------------------------------------- Add
+
+// AddOp sums two same-shaped tensors (residual connections).
+type AddOp struct{}
+
+// Kind implements Op.
+func (AddOp) Kind() string { return "add" }
+
+// InferShape implements Op.
+func (AddOp) InferShape(in [][]int) []int {
+	if !tensor.ShapeEq(in[0], in[1]) {
+		panic(fmt.Sprintf("add: shape mismatch %v vs %v", in[0], in[1]))
+	}
+	return in[0]
+}
+
+// Forward implements Op.
+func (AddOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	return tensor.Add(st.Intra, in[0], in[1])
+}
+
+// Backward implements Op.
+func (AddOp) Backward(_ *ExecState, _ *Node, _ []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{dy, dy}
+}
+
+// FwdFLOPs implements Op.
+func (AddOp) FwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }
+
+// BwdFLOPs implements Op.
+func (AddOp) BwdFLOPs(in [][]int, _ []int) int64 { return 0 }
+
+// ---------------------------------------------------------------- BatchNorm
+
+// BatchNormOp normalizes input 0 per channel with scale input 1 (gamma) and
+// shift input 2 (beta), using batch statistics (training mode).
+type BatchNormOp struct{ Eps float32 }
+
+// Kind implements Op.
+func (o *BatchNormOp) Kind() string { return "batchnorm" }
+
+// InferShape implements Op.
+func (o *BatchNormOp) InferShape(in [][]int) []int {
+	x := in[0]
+	if len(x) != 4 {
+		panic("batchnorm: need NCHW input")
+	}
+	c := x[1]
+	if tensor.NumElems(in[1]) != c || tensor.NumElems(in[2]) != c {
+		panic(fmt.Sprintf("batchnorm: gamma/beta must have %d elements", c))
+	}
+	return x
+}
+
+// Forward implements Op.
+func (o *BatchNormOp) Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tensor.Tensor {
+	out, bnst := tensor.BatchNorm2D(st.Intra, in[0], in[1], in[2], o.Eps)
+	st.save(n.ID, bnst)
+	return out
+}
+
+// Backward implements Op.
+func (o *BatchNormOp) Backward(st *ExecState, n *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	bnst := st.load(n.ID).(*tensor.BatchNormState)
+	dx, dgamma, dbeta := tensor.BatchNorm2DBackward(st.Intra, in[0], in[1], dy, bnst)
+	return []*tensor.Tensor{dx, dgamma, dbeta}
+}
+
+// FwdFLOPs implements Op: two statistics passes plus normalization.
+func (o *BatchNormOp) FwdFLOPs(in [][]int, _ []int) int64 { return 8 * elems(in[0]) }
+
+// BwdFLOPs implements Op.
+func (o *BatchNormOp) BwdFLOPs(in [][]int, _ []int) int64 { return 10 * elems(in[0]) }
+
+// ---------------------------------------------------------------- Pooling
+
+// MaxPoolOp applies max pooling to an NCHW input.
+type MaxPoolOp struct{ Spec tensor.PoolSpec }
+
+// Kind implements Op.
+func (o *MaxPoolOp) Kind() string { return "maxpool" }
+
+// InferShape implements Op.
+func (o *MaxPoolOp) InferShape(in [][]int) []int {
+	x := in[0]
+	oh, ow := o.Spec.OutSize(x[2], x[3])
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("maxpool: non-positive output for %v", x))
+	}
+	return []int{x[0], x[1], oh, ow}
+}
+
+// Forward implements Op.
+func (o *MaxPoolOp) Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tensor.Tensor {
+	out, argmax := tensor.MaxPool2D(st.Intra, in[0], o.Spec)
+	st.save(n.ID, argmax)
+	return out
+}
+
+// Backward implements Op.
+func (o *MaxPoolOp) Backward(st *ExecState, n *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	argmax := st.load(n.ID).([]int32)
+	return []*tensor.Tensor{tensor.MaxPool2DBackward(st.Intra, in[0].Shape(), dy, argmax, o.Spec)}
+}
+
+// FwdFLOPs implements Op.
+func (o *MaxPoolOp) FwdFLOPs(_ [][]int, out []int) int64 {
+	return elems(out) * int64(o.Spec.KH*o.Spec.KW)
+}
+
+// BwdFLOPs implements Op.
+func (o *MaxPoolOp) BwdFLOPs(_ [][]int, out []int) int64 { return elems(out) }
+
+// AvgPoolOp applies average pooling to an NCHW input.
+type AvgPoolOp struct{ Spec tensor.PoolSpec }
+
+// Kind implements Op.
+func (o *AvgPoolOp) Kind() string { return "avgpool" }
+
+// InferShape implements Op.
+func (o *AvgPoolOp) InferShape(in [][]int) []int {
+	x := in[0]
+	oh, ow := o.Spec.OutSize(x[2], x[3])
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("avgpool: non-positive output for %v", x))
+	}
+	return []int{x[0], x[1], oh, ow}
+}
+
+// Forward implements Op.
+func (o *AvgPoolOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPool2D(st.Intra, in[0], o.Spec)
+}
+
+// Backward implements Op.
+func (o *AvgPoolOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{tensor.AvgPool2DBackward(st.Intra, in[0].Shape(), dy, o.Spec)}
+}
+
+// FwdFLOPs implements Op.
+func (o *AvgPoolOp) FwdFLOPs(_ [][]int, out []int) int64 {
+	return elems(out) * int64(o.Spec.KH*o.Spec.KW)
+}
+
+// BwdFLOPs implements Op.
+func (o *AvgPoolOp) BwdFLOPs(_ [][]int, out []int) int64 {
+	return elems(out) * int64(o.Spec.KH*o.Spec.KW)
+}
+
+// GlobalAvgPoolOp reduces NCHW to [N, C] by spatial averaging.
+type GlobalAvgPoolOp struct{}
+
+// Kind implements Op.
+func (GlobalAvgPoolOp) Kind() string { return "gap" }
+
+// InferShape implements Op.
+func (GlobalAvgPoolOp) InferShape(in [][]int) []int {
+	x := in[0]
+	if len(x) != 4 {
+		panic("gap: need NCHW input")
+	}
+	return []int{x[0], x[1]}
+}
+
+// Forward implements Op.
+func (GlobalAvgPoolOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	return tensor.GlobalAvgPool(st.Intra, in[0])
+}
+
+// Backward implements Op.
+func (GlobalAvgPoolOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{tensor.GlobalAvgPoolBackward(st.Intra, in[0].Shape(), dy)}
+}
+
+// FwdFLOPs implements Op.
+func (GlobalAvgPoolOp) FwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }
+
+// BwdFLOPs implements Op.
+func (GlobalAvgPoolOp) BwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }
+
+// ---------------------------------------------------------------- Concat
+
+// ConcatOp concatenates its inputs along Axis (channel axis 1 for the
+// Inception modules).
+type ConcatOp struct{ Axis int }
+
+// Kind implements Op.
+func (o *ConcatOp) Kind() string { return "concat" }
+
+// InferShape implements Op.
+func (o *ConcatOp) InferShape(in [][]int) []int {
+	out := append([]int(nil), in[0]...)
+	for _, s := range in[1:] {
+		if len(s) != len(out) {
+			panic("concat: rank mismatch")
+		}
+		for d := range s {
+			if d == o.Axis {
+				continue
+			}
+			if s[d] != out[d] {
+				panic(fmt.Sprintf("concat: dim %d mismatch %v vs %v", d, s, out))
+			}
+		}
+		out[o.Axis] += s[o.Axis]
+	}
+	return out
+}
+
+// Forward implements Op.
+func (o *ConcatOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	return tensor.Concat(st.Intra, o.Axis, in...)
+}
+
+// Backward implements Op.
+func (o *ConcatOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	sizes := make([]int, len(in))
+	for i, t := range in {
+		sizes[i] = t.Shape()[o.Axis]
+	}
+	return tensor.SplitGrad(st.Intra, dy, o.Axis, sizes)
+}
+
+// FwdFLOPs implements Op: pure data movement; count element copies.
+func (o *ConcatOp) FwdFLOPs(_ [][]int, out []int) int64 { return elems(out) }
+
+// BwdFLOPs implements Op.
+func (o *ConcatOp) BwdFLOPs(_ [][]int, out []int) int64 { return elems(out) }
+
+// ---------------------------------------------------------------- Dense
+
+// DenseOp computes x @ W + b for x [N, in], W [in, out], b [out].
+type DenseOp struct{}
+
+// Kind implements Op.
+func (DenseOp) Kind() string { return "dense" }
+
+// InferShape implements Op.
+func (DenseOp) InferShape(in [][]int) []int {
+	x, w, b := in[0], in[1], in[2]
+	if len(x) != 2 || len(w) != 2 {
+		panic(fmt.Sprintf("dense: need 2-D x and W, got %v %v", x, w))
+	}
+	if x[1] != w[0] || tensor.NumElems(b) != w[1] {
+		panic(fmt.Sprintf("dense: shape mismatch x %v W %v b %v", x, w, b))
+	}
+	return []int{x[0], w[1]}
+}
+
+// Forward implements Op.
+func (DenseOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	out := tensor.MatMul(st.Intra, in[0], in[1])
+	tensor.AddBiasRows(st.Intra, out, in[2])
+	return out
+}
+
+// Backward implements Op.
+func (DenseOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	dx := tensor.MatMulTB(st.Intra, dy, in[1]) // dy [N,out] @ Wᵀ
+	dw := tensor.MatMulTA(st.Intra, in[0], dy) // xᵀ @ dy
+	db := tensor.SumRows(st.Intra, dy)
+	return []*tensor.Tensor{dx, dw, db}
+}
+
+// FwdFLOPs implements Op.
+func (DenseOp) FwdFLOPs(in [][]int, out []int) int64 {
+	return 2 * int64(in[0][0]) * int64(in[0][1]) * int64(out[1])
+}
+
+// BwdFLOPs implements Op.
+func (DenseOp) BwdFLOPs(in [][]int, out []int) int64 { return 2 * DenseOp{}.FwdFLOPs(in, out) }
+
+// ---------------------------------------------------------------- Flatten
+
+// FlattenOp reshapes [N, ...] to [N, prod(...)].
+type FlattenOp struct{}
+
+// Kind implements Op.
+func (FlattenOp) Kind() string { return "flatten" }
+
+// InferShape implements Op.
+func (FlattenOp) InferShape(in [][]int) []int {
+	x := in[0]
+	if len(x) < 2 {
+		panic("flatten: need at least 2 dims")
+	}
+	return []int{x[0], tensor.NumElems(x[1:])}
+}
+
+// Forward implements Op.
+func (FlattenOp) Forward(_ *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	x := in[0]
+	return x.Clone().Reshape(x.Shape()[0], -1)
+}
+
+// Backward implements Op.
+func (FlattenOp) Backward(_ *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{dy.Clone().Reshape(in[0].Shape()...)}
+}
+
+// FwdFLOPs implements Op.
+func (FlattenOp) FwdFLOPs(in [][]int, _ []int) int64 { return 0 }
+
+// BwdFLOPs implements Op.
+func (FlattenOp) BwdFLOPs(in [][]int, _ []int) int64 { return 0 }

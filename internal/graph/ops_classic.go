@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dnnperf/internal/tensor"
+)
+
+// Ops used by the classic (pre-batch-norm) architectures: per-channel bias,
+// AlexNet's local response normalization, and inverted dropout.
+
+// BiasAddOp adds a per-channel bias (input 1, length C) to an NCHW tensor.
+type BiasAddOp struct{}
+
+// Kind implements Op.
+func (BiasAddOp) Kind() string { return "biasadd" }
+
+// InferShape implements Op.
+func (BiasAddOp) InferShape(in [][]int) []int {
+	x, b := in[0], in[1]
+	if len(x) != 4 || tensor.NumElems(b) != x[1] {
+		panic(fmt.Sprintf("biasadd: bias %v does not match input %v", b, x))
+	}
+	return x
+}
+
+// Forward implements Op.
+func (BiasAddOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+	return tensor.BiasAddNCHW(st.Intra, in[0], in[1])
+}
+
+// Backward implements Op.
+func (BiasAddOp) Backward(st *ExecState, _ *Node, _ []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	return []*tensor.Tensor{dy, tensor.BiasAddNCHWGrad(st.Intra, dy)}
+}
+
+// FwdFLOPs implements Op.
+func (BiasAddOp) FwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }
+
+// BwdFLOPs implements Op.
+func (BiasAddOp) BwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }
+
+// LRNOp is AlexNet-style cross-channel local response normalization.
+type LRNOp struct{ Spec tensor.LRNSpec }
+
+// Kind implements Op.
+func (o *LRNOp) Kind() string { return "lrn" }
+
+// InferShape implements Op.
+func (o *LRNOp) InferShape(in [][]int) []int {
+	if len(in[0]) != 4 {
+		panic("lrn: need NCHW input")
+	}
+	if o.Spec.Size < 1 || o.Spec.Size%2 == 0 {
+		panic(fmt.Sprintf("lrn: window size %d must be odd and positive", o.Spec.Size))
+	}
+	return in[0]
+}
+
+// Forward implements Op.
+func (o *LRNOp) Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tensor.Tensor {
+	out, scale := tensor.LRN(st.Intra, in[0], o.Spec)
+	st.save(n.ID, scale)
+	return out
+}
+
+// Backward implements Op.
+func (o *LRNOp) Backward(st *ExecState, n *Node, in []*tensor.Tensor, out, dy *tensor.Tensor) []*tensor.Tensor {
+	scale := st.load(n.ID).(*tensor.Tensor)
+	return []*tensor.Tensor{tensor.LRNBackward(st.Intra, in[0], out, scale, dy, o.Spec)}
+}
+
+// FwdFLOPs implements Op: a window pass plus the power per element.
+func (o *LRNOp) FwdFLOPs(in [][]int, _ []int) int64 {
+	return elems(in[0]) * int64(o.Spec.Size+8)
+}
+
+// BwdFLOPs implements Op.
+func (o *LRNOp) BwdFLOPs(in [][]int, _ []int) int64 {
+	return elems(in[0]) * int64(o.Spec.Size+8)
+}
+
+// DropoutOp applies inverted dropout with a fresh deterministic mask per
+// execution (the step counter advances the seed so successive steps use
+// different masks while distributed replicas stay consistent).
+type DropoutOp struct {
+	Rate float32
+	Seed int64
+	step atomic.Int64
+}
+
+// Kind implements Op.
+func (o *DropoutOp) Kind() string { return "dropout" }
+
+// InferShape implements Op.
+func (o *DropoutOp) InferShape(in [][]int) []int {
+	if o.Rate < 0 || o.Rate >= 1 {
+		panic(fmt.Sprintf("dropout: rate %v out of [0,1)", o.Rate))
+	}
+	return in[0]
+}
+
+// Forward implements Op.
+func (o *DropoutOp) Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tensor.Tensor {
+	if o.Rate == 0 {
+		return in[0]
+	}
+	step := o.step.Add(1)
+	mask := tensor.DropoutMask(o.Rate, o.Seed*1000003+step, in[0].Shape()...)
+	st.save(n.ID, mask)
+	return tensor.Mul(st.Intra, in[0], mask)
+}
+
+// Backward implements Op.
+func (o *DropoutOp) Backward(st *ExecState, n *Node, _ []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	if o.Rate == 0 {
+		return []*tensor.Tensor{dy}
+	}
+	mask := st.load(n.ID).(*tensor.Tensor)
+	return []*tensor.Tensor{tensor.Mul(st.Intra, dy, mask)}
+}
+
+// FwdFLOPs implements Op.
+func (o *DropoutOp) FwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }
+
+// BwdFLOPs implements Op.
+func (o *DropoutOp) BwdFLOPs(in [][]int, _ []int) int64 { return elems(in[0]) }

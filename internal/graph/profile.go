@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profile accumulates per-op-kind execution time across forward and
+// backward passes — the op-level breakdown performance studies use to
+// identify where CPU training time goes (convolutions vs normalization vs
+// data movement).
+type Profile struct {
+	mu    sync.Mutex
+	fwd   map[string]time.Duration
+	bwd   map[string]time.Duration
+	calls map[string]int64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		fwd:   make(map[string]time.Duration),
+		bwd:   make(map[string]time.Duration),
+		calls: make(map[string]int64),
+	}
+}
+
+func (p *Profile) add(kind string, fwd bool, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fwd {
+		p.fwd[kind] += d
+	} else {
+		p.bwd[kind] += d
+	}
+	p.calls[kind]++
+}
+
+// Entry is one row of a profile report.
+type Entry struct {
+	Kind     string
+	Forward  time.Duration
+	Backward time.Duration
+	Calls    int64
+}
+
+// Total returns the entry's combined time.
+func (e Entry) Total() time.Duration { return e.Forward + e.Backward }
+
+// Entries returns the profile rows sorted by descending total time.
+func (p *Profile) Entries() []Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kinds := map[string]bool{}
+	for k := range p.fwd {
+		kinds[k] = true
+	}
+	for k := range p.bwd {
+		kinds[k] = true
+	}
+	out := make([]Entry, 0, len(kinds))
+	for k := range kinds {
+		out = append(out, Entry{Kind: k, Forward: p.fwd[k], Backward: p.bwd[k], Calls: p.calls[k]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total() > out[j].Total() })
+	return out
+}
+
+// TotalTime returns the sum over all kinds.
+func (p *Profile) TotalTime() time.Duration {
+	var t time.Duration
+	for _, e := range p.Entries() {
+		t += e.Total()
+	}
+	return t
+}
+
+// Reset clears all accumulated data.
+func (p *Profile) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fwd = make(map[string]time.Duration)
+	p.bwd = make(map[string]time.Duration)
+	p.calls = make(map[string]int64)
+}
+
+// Render writes an aligned report to w.
+func (p *Profile) Render(w io.Writer) {
+	entries := p.Entries()
+	total := p.TotalTime()
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %7s %6s\n", "op", "fwd", "bwd", "total", "calls", "share")
+	for _, e := range entries {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(e.Total()) / float64(total)
+		}
+		fmt.Fprintf(w, "%-12s %10s %10s %10s %7d %5.1f%%\n",
+			e.Kind, e.Forward.Round(time.Microsecond), e.Backward.Round(time.Microsecond),
+			e.Total().Round(time.Microsecond), e.Calls, share)
+	}
+	fmt.Fprintf(w, "%-12s %32s\n", "total", total.Round(time.Microsecond))
+}

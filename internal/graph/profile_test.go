@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"dnnperf/internal/tensor"
+)
+
+func TestProfileCollectsOpTimes(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	g, x, out := buildBranchy(rng, 2)
+	ex := NewExecutor(g, tensor.Serial, 1)
+	ex.Prof = NewProfile()
+
+	st, err := ex.Forward(map[*Node]*tensor.Tensor{x: rng.Uniform(-1, 1, 2, 2, 8, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ZeroGrads()
+	if err := ex.Backward(st, out, tensor.Ones(2, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := ex.Prof.Entries()
+	kinds := map[string]Entry{}
+	for _, e := range entries {
+		kinds[e.Kind] = e
+	}
+	for _, k := range []string{"conv2d", "relu", "concat", "gap"} {
+		e, ok := kinds[k]
+		if !ok {
+			t.Fatalf("profile missing kind %q: %v", k, entries)
+		}
+		if e.Calls < 1 || e.Total() <= 0 {
+			t.Fatalf("kind %q: calls=%d total=%v", k, e.Calls, e.Total())
+		}
+	}
+	// conv2d has both forward and backward components.
+	if kinds["conv2d"].Forward <= 0 || kinds["conv2d"].Backward <= 0 {
+		t.Fatalf("conv2d fwd/bwd times: %+v", kinds["conv2d"])
+	}
+	if ex.Prof.TotalTime() <= 0 {
+		t.Fatal("total time must be positive")
+	}
+}
+
+func TestProfileRenderAndReset(t *testing.T) {
+	p := NewProfile()
+	p.add("conv2d", true, 1000)
+	p.add("conv2d", false, 2000)
+	p.add("relu", true, 100)
+	var sb strings.Builder
+	p.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"conv2d", "relu", "total", "share"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// conv2d must rank first (largest total).
+	if e := p.Entries(); e[0].Kind != "conv2d" {
+		t.Fatalf("ordering: %v", e)
+	}
+	p.Reset()
+	if len(p.Entries()) != 0 || p.TotalTime() != 0 {
+		t.Fatal("reset must clear the profile")
+	}
+}
+
+func TestForwardRangeMatchesFullForward(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	g, x, out := buildBranchy(rng, 1)
+	in := rng.Uniform(-1, 1, 1, 2, 8, 8)
+	ex := NewExecutor(g, tensor.Serial, 1)
+
+	full, err := ex.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split at the concat node (a cut point in this diamond's tail).
+	cuts := g.CutPoints()
+	if len(cuts) == 0 {
+		t.Fatal("no cut points in diamond tail")
+	}
+	cut := cuts[len(cuts)-1]
+	st1, err := ex.ForwardRange(map[*Node]*tensor.Tensor{x: in}, -1, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := g.Nodes[cut]
+	st2, err := ex.ForwardRange(map[*Node]*tensor.Tensor{boundary: st1.Value(boundary)}, cut, out.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := st2.Value(out).MaxAbsDiff(full.Value(out)); d > 1e-6 {
+		t.Fatalf("staged forward differs by %g", d)
+	}
+}
+
+func TestForwardRangeErrors(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	g, x, out := buildBranchy(rng, 1)
+	ex := NewExecutor(g, tensor.Serial, 1)
+	if _, err := ex.ForwardRange(nil, 5, 2); err == nil {
+		t.Fatal("inverted range must error")
+	}
+	if _, err := ex.ForwardRange(nil, -1, out.ID); err == nil {
+		t.Fatal("missing input preset must error")
+	}
+	if _, err := ex.ForwardRange(map[*Node]*tensor.Tensor{x: tensor.New(9, 9)}, -1, out.ID); err == nil {
+		t.Fatal("wrong preset shape must error")
+	}
+}
+
+func TestBackwardRangeBoundaryGradient(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	g, x, out := buildBranchy(rng, 1)
+	in := rng.Uniform(-1, 1, 1, 2, 8, 8)
+	ex := NewExecutor(g, tensor.Serial, 1)
+	dy := rng.Uniform(-1, 1, 1, 8)
+
+	// Full backward reference gradient on the input.
+	full, err := ex.Forward(map[*Node]*tensor.Tensor{x: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ZeroGrads()
+	if err := ex.Backward(full, out, dy); err != nil {
+		t.Fatal(err)
+	}
+	wantInputGrad := full.Grad(x).Clone()
+	var refGrads []*tensor.Tensor
+	for _, v := range g.Variables() {
+		refGrads = append(refGrads, v.Grad.Clone())
+	}
+
+	// Staged: split at the last cut.
+	cuts := g.CutPoints()
+	cut := cuts[len(cuts)-1]
+	boundary := g.Nodes[cut]
+	st1, err := ex.ForwardRange(map[*Node]*tensor.Tensor{x: in}, -1, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ex.ForwardRange(map[*Node]*tensor.Tensor{boundary: st1.Value(boundary)}, cut, out.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ZeroGrads()
+	out2, err := ex.BackwardRange(st2, out, dy, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, ok := out2[boundary]
+	if !ok {
+		t.Fatal("stage 2 must emit a boundary gradient")
+	}
+	out1, err := ex.BackwardRange(st1, boundary, bg, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := out1[x].MaxAbsDiff(wantInputGrad); d > 1e-5 {
+		t.Fatalf("staged input gradient differs by %g", d)
+	}
+	for i, v := range g.Variables() {
+		if d := v.Grad.MaxAbsDiff(refGrads[i]); d > 1e-5 {
+			t.Fatalf("staged %s gradient differs by %g", v.Name, d)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package horovod
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnperf/internal/mpi"
+)
+
+// BenchmarkEngineStep measures one full data-parallel gradient exchange:
+// many tensors submitted, negotiated, fused and reduced across ranks.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, ranks := range []int{2, 4} {
+		for _, tensors := range []int{8, 64} {
+			b.Run(fmt.Sprintf("ranks=%d/tensors=%d", ranks, tensors), func(b *testing.B) {
+				w, err := mpi.NewWorld(ranks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines := make([]*Engine, ranks)
+				for r := 0; r < ranks; r++ {
+					engines[r] = NewEngine(w.Comm(r), Config{CycleTime: 100 * time.Microsecond, Average: true})
+				}
+				data := make([][][]float32, ranks)
+				for r := range data {
+					data[r] = make([][]float32, tensors)
+					for t := range data[r] {
+						data[r][t] = make([]float32, 1024)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					wg.Add(ranks)
+					for r := 0; r < ranks; r++ {
+						go func(r, step int) {
+							defer wg.Done()
+							var inner sync.WaitGroup
+							inner.Add(tensors)
+							for t := 0; t < tensors; t++ {
+								name := fmt.Sprintf("s%d/t%d", step, t)
+								if err := engines[r].AllreduceAsync(name, data[r][t], func(error) { inner.Done() }); err != nil {
+									b.Error(err)
+									inner.Done()
+								}
+							}
+							inner.Wait()
+						}(r, i)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				// Shutdown must be concurrent: each rank's engine waits for
+				// every other rank to signal shutdown too.
+				var down sync.WaitGroup
+				down.Add(len(engines))
+				for _, e := range engines {
+					go func(e *Engine) {
+						defer down.Done()
+						e.Shutdown()
+					}(e)
+				}
+				down.Wait()
+				s := engines[0].Stats()
+				b.ReportMetric(float64(s.EngineAllreduces)/float64(b.N), "fusedAR/step")
+			})
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package horovod
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Readiness message wire format:
+//
+//	[1B shutdown][4B bitsetBytes][bitset][4B count]([4B size][4B nameLen][name])*
+//
+// The bitset announces tensors whose names have entered the response cache
+// (bit i = cached tensor id i is ready); full name/size records follow for
+// tensors not yet cached. After the first training step every gradient is
+// announced by a single bit, collapsing the control-plane payload.
+func encodeReadiness(down bool, bits []byte, names []string, sizes []int) []byte {
+	size := 9 + len(bits)
+	for _, n := range names {
+		size += 8 + len(n)
+	}
+	out := make([]byte, 0, size)
+	if down {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(bits)))
+	out = append(out, b4[:]...)
+	out = append(out, bits...)
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(names)))
+	out = append(out, b4[:]...)
+	for i, n := range names {
+		binary.LittleEndian.PutUint32(b4[:], uint32(sizes[i]))
+		out = append(out, b4[:]...)
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(n)))
+		out = append(out, b4[:]...)
+		out = append(out, n...)
+	}
+	return out
+}
+
+func decodeReadiness(b []byte) (down bool, bits []byte, names []string, sizes []int, err error) {
+	if len(b) < 9 {
+		return false, nil, nil, nil, fmt.Errorf("horovod: truncated readiness message")
+	}
+	down = b[0] == 1
+	bl := binary.LittleEndian.Uint32(b[1:])
+	b = b[5:]
+	if uint32(len(b)) < bl+4 {
+		return false, nil, nil, nil, fmt.Errorf("horovod: truncated bitset")
+	}
+	bits = b[:bl]
+	b = b[bl:]
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	// Each record needs at least its 8-byte header.
+	if uint64(count)*8 > uint64(len(b)) {
+		return false, nil, nil, nil, fmt.Errorf("horovod: record count %d impossible for %d bytes", count, len(b))
+	}
+	names = make([]string, 0, count)
+	sizes = make([]int, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 8 {
+			return false, nil, nil, nil, fmt.Errorf("horovod: truncated tensor header %d", i)
+		}
+		sz := binary.LittleEndian.Uint32(b)
+		nl := binary.LittleEndian.Uint32(b[4:])
+		b = b[8:]
+		if uint32(len(b)) < nl {
+			return false, nil, nil, nil, fmt.Errorf("horovod: truncated tensor name %d", i)
+		}
+		names = append(names, string(b[:nl]))
+		sizes = append(sizes, int(sz))
+		b = b[nl:]
+	}
+	return down, bits, names, sizes, nil
+}
+
+// setBit grows the bitset as needed and sets bit id.
+func setBit(bits []byte, id uint32) []byte {
+	idx := int(id / 8)
+	for len(bits) <= idx {
+		bits = append(bits, 0)
+	}
+	bits[idx] |= 1 << (id % 8)
+	return bits
+}
+
+// forEachBit invokes fn for every set bit.
+func forEachBit(bits []byte, fn func(id uint32)) {
+	for i, byt := range bits {
+		if byt == 0 {
+			continue
+		}
+		for j := 0; j < 8; j++ {
+			if byt&(1<<j) != 0 {
+				fn(uint32(8*i + j))
+			}
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package horovod implements a Horovod-style distributed training engine on
+// top of the mpi package: a background coordination thread per rank that
+// negotiates tensor readiness every cycle, fuses ready gradients into large
+// buffers (Tensor Fusion), and executes fused allreduces.
+//
+// The two runtime knobs the reproduced paper studies are modeled exactly:
+//
+//   - Config.CycleTime — HOROVOD_CYCLE_TIME, how often the background engine
+//     wakes up to negotiate. Longer cycles batch more tensors per
+//     negotiation, trading latency for fewer, larger allreduces.
+//   - Config.FusionThreshold — HOROVOD_FUSION_THRESHOLD, the fusion buffer
+//     capacity in bytes.
+//
+// The engine also exposes the profiling counters the paper's authors added
+// to Horovod: the number of allreduce operations requested by the DL
+// framework versus the number of fused allreduce operations the engine
+// actually issued (Figures 18 and 19).
+package horovod
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dnnperf/internal/mpi"
+)
+
+// DefaultCycleTime matches Horovod's default HOROVOD_CYCLE_TIME of 3.5 ms,
+// quoted in the paper's profiling section.
+const DefaultCycleTime = 3500 * time.Microsecond
+
+// DefaultFusionThreshold matches Horovod's default 64 MiB fusion buffer.
+const DefaultFusionThreshold = 64 << 20
+
+// Config holds the engine's runtime parameters.
+type Config struct {
+	// CycleTime is the background-loop wake-up period (0 = default).
+	CycleTime time.Duration
+	// FusionThreshold is the fusion buffer capacity in bytes (0 = default).
+	FusionThreshold int
+	// Average divides results by the job size after summing, yielding the
+	// averaged gradients data-parallel SGD wants.
+	Average bool
+	// GroupSize, when > 1, uses the hierarchical allreduce (intra-group +
+	// leader ring + broadcast) with this many consecutive ranks per group —
+	// the MVAPICH2-on-a-cluster topology where a group is one node.
+	GroupSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CycleTime <= 0 {
+		c.CycleTime = DefaultCycleTime
+	}
+	if c.FusionThreshold <= 0 {
+		c.FusionThreshold = DefaultFusionThreshold
+	}
+	return c
+}
+
+// Stats are the engine's profiling counters (cumulative).
+type Stats struct {
+	// FrameworkRequests counts allreduce operations submitted by the DL
+	// framework (one per gradient tensor per step).
+	FrameworkRequests int64
+	// EngineAllreduces counts fused MPI allreduce operations the engine
+	// issued — the "Allreduce operations called by Horovod Engine" series
+	// in the paper's Figures 18/19.
+	EngineAllreduces int64
+	// Cycles counts negotiation rounds executed.
+	Cycles int64
+	// FusedBytes is the total payload moved through fused allreduces.
+	FusedBytes int64
+	// MaxFusedTensors is the largest number of tensors fused into a single
+	// allreduce.
+	MaxFusedTensors int
+	// ControlBytes counts readiness-announcement bytes this rank sent.
+	ControlBytes int64
+	// CachedAnnouncements counts tensors announced via the response cache
+	// (a single bit on the wire instead of the full name).
+	CachedAnnouncements int64
+	// NamedAnnouncements counts tensors announced by full name (cache miss).
+	NamedAnnouncements int64
+}
+
+type pendingTensor struct {
+	name string
+	data []float32
+	done func(error)
+}
+
+type cacheEntry struct {
+	name string
+	size int
+}
+
+// Engine is one rank's Horovod engine instance.
+type Engine struct {
+	comm *mpi.Comm
+	cfg  Config
+
+	mu        sync.Mutex
+	submitted []*pendingTensor          // ready, not yet negotiated
+	inFlight  map[string]*pendingTensor // negotiated name -> tensor
+	shutdown  bool
+	stats     Stats
+
+	// Response cache: stable tensor names get small ids after their first
+	// negotiation, so later steps announce readiness with one bit per
+	// tensor. Ids are assigned deterministically (sorted executable names),
+	// keeping all ranks' caches identical without extra messages.
+	cacheByName map[string]uint32
+	cacheByID   []cacheEntry
+
+	loopDone chan struct{}
+	loopErr  error
+}
+
+// NewEngine starts the background engine on comm. Every rank of the job
+// must create its engine; the background loops synchronize through
+// collectives each cycle.
+func NewEngine(comm *mpi.Comm, cfg Config) *Engine {
+	e := &Engine{
+		comm:        comm,
+		cfg:         cfg.withDefaults(),
+		inFlight:    make(map[string]*pendingTensor),
+		cacheByName: make(map[string]uint32),
+		loopDone:    make(chan struct{}),
+	}
+	go e.loop()
+	return e
+}
+
+// AllreduceAsync submits a gradient tensor for reduction. done is invoked
+// (from the engine goroutine) when data has been reduced in place, or with
+// an error. Names must be unique among in-flight tensors, as in Horovod.
+func (e *Engine) AllreduceAsync(name string, data []float32, done func(error)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shutdown {
+		return fmt.Errorf("horovod: engine is shut down")
+	}
+	if _, dup := e.inFlight[name]; dup {
+		return fmt.Errorf("horovod: tensor %q already in flight", name)
+	}
+	for _, p := range e.submitted {
+		if p.name == name {
+			return fmt.Errorf("horovod: tensor %q already submitted", name)
+		}
+	}
+	e.submitted = append(e.submitted, &pendingTensor{name: name, data: data, done: done})
+	e.stats.FrameworkRequests++
+	return nil
+}
+
+// Allreduce is the blocking convenience wrapper around AllreduceAsync.
+func (e *Engine) Allreduce(name string, data []float32) error {
+	ch := make(chan error, 1)
+	if err := e.AllreduceAsync(name, data, func(err error) { ch <- err }); err != nil {
+		return err
+	}
+	return <-ch
+}
+
+// Stats returns a snapshot of the profiling counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Shutdown signals the engine to stop once all ranks have also called
+// Shutdown and all negotiated work is drained, then waits for the loop to
+// exit. Tensors still queued locally but never globally negotiated fail
+// with an error.
+func (e *Engine) Shutdown() error {
+	e.mu.Lock()
+	e.shutdown = true
+	e.mu.Unlock()
+	<-e.loopDone
+	return e.loopErr
+}
+
+// loop is the background coordination thread: sleep a cycle, negotiate
+// readiness with all ranks, execute the agreed fused allreduces.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+	for {
+		time.Sleep(e.cfg.CycleTime)
+
+		e.mu.Lock()
+		ready := e.submitted
+		e.submitted = nil
+		for _, p := range ready {
+			e.inFlight[p.name] = p
+		}
+		down := e.shutdown
+		e.stats.Cycles++
+		e.mu.Unlock()
+
+		halt, batches, err := e.negotiate(ready, down)
+		if err != nil {
+			e.fail(fmt.Errorf("horovod: negotiation: %w", err))
+			return
+		}
+		for _, batch := range batches {
+			if err := e.executeBatch(batch); err != nil {
+				e.fail(fmt.Errorf("horovod: fused allreduce: %w", err))
+				return
+			}
+		}
+		if halt {
+			e.fail(errors.New("horovod: engine shut down before tensor was negotiated"))
+			return
+		}
+	}
+}
+
+// fail completes all remaining tensors with err (nil loopErr if none were
+// pending and err is the clean-shutdown sentinel).
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pend := 0
+	for _, p := range e.inFlight {
+		p.done(err)
+		pend++
+	}
+	for _, p := range e.submitted {
+		p.done(err)
+		pend++
+	}
+	e.inFlight = map[string]*pendingTensor{}
+	e.submitted = nil
+	if pend > 0 {
+		e.loopErr = err
+	}
+}
+
+// negotiate exchanges every rank's complete in-flight announcement and
+// derives the coordinated decision: whether to halt, and the fusion batches
+// (ordered name groups) every rank must now execute identically. Because
+// all ranks see identical post-allgather inputs and apply the same
+// deterministic rule, the decision needs no separate response broadcast.
+func (e *Engine) negotiate(_ []*pendingTensor, down bool) (halt bool, batches [][]string, err error) {
+	e.mu.Lock()
+	var names []string
+	var sizes []int
+	var bits []byte
+	for n, p := range e.inFlight {
+		if id, ok := e.cacheByName[n]; ok {
+			if e.cacheByID[id].size != len(p.data) {
+				e.mu.Unlock()
+				return false, nil, fmt.Errorf("tensor %q size changed (%d vs cached %d)",
+					n, len(p.data), e.cacheByID[id].size)
+			}
+			bits = setBit(bits, id)
+			e.stats.CachedAnnouncements++
+		} else {
+			names = append(names, n)
+			sizes = append(sizes, len(p.data))
+			e.stats.NamedAnnouncements++
+		}
+	}
+	e.mu.Unlock()
+
+	msg := encodeReadiness(down, bits, names, sizes)
+	e.mu.Lock()
+	e.stats.ControlBytes += int64(len(msg))
+	e.mu.Unlock()
+	parts, err := e.comm.AllgatherBytes(msg)
+	if err != nil {
+		return false, nil, err
+	}
+
+	type tinfo struct {
+		count int
+		size  int
+	}
+	allDown := true
+	info := map[string]*tinfo{}
+	anyAnnounced := 0
+	announce := func(n string, size int) error {
+		ti := info[n]
+		if ti == nil {
+			ti = &tinfo{size: size}
+			info[n] = ti
+			anyAnnounced++
+		} else if ti.size != size {
+			return fmt.Errorf("tensor %q size mismatch across ranks (%d vs %d)", n, ti.size, size)
+		}
+		ti.count++
+		return nil
+	}
+	for _, part := range parts {
+		d, bs, ns, szs, derr := decodeReadiness(part)
+		if derr != nil {
+			return false, nil, derr
+		}
+		allDown = allDown && d
+		var bitErr error
+		forEachBit(bs, func(id uint32) {
+			if bitErr != nil {
+				return
+			}
+			if int(id) >= len(e.cacheByID) {
+				bitErr = fmt.Errorf("unknown cached tensor id %d", id)
+				return
+			}
+			ce := e.cacheByID[id]
+			bitErr = announce(ce.name, ce.size)
+		})
+		if bitErr != nil {
+			return false, nil, bitErr
+		}
+		for i, n := range ns {
+			if err := announce(n, szs[i]); err != nil {
+				return false, nil, err
+			}
+		}
+	}
+
+	// A tensor is executable once every rank has announced it.
+	executable := make([]string, 0, anyAnnounced)
+	for n, ti := range info {
+		if ti.count == e.comm.Size() {
+			executable = append(executable, n)
+		}
+	}
+	sort.Strings(executable) // deterministic order across ranks
+
+	// Admit newly executable names into the response cache in the same
+	// deterministic order on every rank.
+	for _, n := range executable {
+		if _, ok := e.cacheByName[n]; !ok {
+			e.cacheByName[n] = uint32(len(e.cacheByID))
+			e.cacheByID = append(e.cacheByID, cacheEntry{name: n, size: info[n].size})
+		}
+	}
+
+	// Fuse under the threshold, preserving order.
+	var cur []string
+	curBytes := 0
+	for _, n := range executable {
+		sz := 4 * info[n].size
+		if len(cur) > 0 && curBytes+sz > e.cfg.FusionThreshold {
+			batches = append(batches, cur)
+			cur, curBytes = nil, 0
+		}
+		cur = append(cur, n)
+		curBytes += sz
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+
+	halt = allDown && anyAnnounced == len(executable)
+	return halt, batches, nil
+}
+
+// executeBatch fuses the named tensors into one buffer, allreduces it, and
+// scatters the results back, completing each tensor's callback.
+func (e *Engine) executeBatch(names []string) error {
+	e.mu.Lock()
+	tensors := make([]*pendingTensor, len(names))
+	total := 0
+	for i, n := range names {
+		p := e.inFlight[n]
+		if p == nil {
+			e.mu.Unlock()
+			return fmt.Errorf("negotiated unknown tensor %q", n)
+		}
+		tensors[i] = p
+		total += len(p.data)
+	}
+	for _, n := range names {
+		delete(e.inFlight, n)
+	}
+	e.mu.Unlock()
+
+	fused := make([]float32, total)
+	off := 0
+	for _, p := range tensors {
+		copy(fused[off:], p.data)
+		off += len(p.data)
+	}
+	var err error
+	if e.cfg.GroupSize > 1 {
+		err = e.comm.AllreduceHierarchical(fused, e.cfg.GroupSize, mpi.OpSum)
+	} else {
+		err = e.comm.AllreduceRing(fused, mpi.OpSum)
+	}
+	if err == nil && e.cfg.Average {
+		inv := 1 / float32(e.comm.Size())
+		for i := range fused {
+			fused[i] *= inv
+		}
+	}
+	off = 0
+	for _, p := range tensors {
+		if err == nil {
+			copy(p.data, fused[off:off+len(p.data)])
+		}
+		off += len(p.data)
+		p.done(err)
+	}
+
+	e.mu.Lock()
+	e.stats.EngineAllreduces++
+	e.stats.FusedBytes += int64(4 * total)
+	if len(tensors) > e.stats.MaxFusedTensors {
+		e.stats.MaxFusedTensors = len(tensors)
+	}
+	e.mu.Unlock()
+	return err
+}

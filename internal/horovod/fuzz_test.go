@@ -1,0 +1,41 @@
+package horovod
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeReadiness hardens the wire decoder: arbitrary bytes must never
+// panic, and valid encodings must round-trip.
+func FuzzDecodeReadiness(f *testing.F) {
+	f.Add(encodeReadiness(false, nil, nil, nil))
+	f.Add(encodeReadiness(true, []byte{0xff, 0x01}, []string{"conv1/w"}, []int{2048}))
+	f.Add(encodeReadiness(false, []byte{0}, []string{"a", "bb", "ccc"}, []int{1, 2, 3}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		down, bits, names, sizes, err := decodeReadiness(data)
+		if err != nil {
+			return
+		}
+		if len(names) != len(sizes) {
+			t.Fatalf("names/sizes mismatch: %d vs %d", len(names), len(sizes))
+		}
+		// Valid decodes must re-encode to a decodable message with the same
+		// content (canonical round trip; the original bytes may have had a
+		// longer-than-needed bitset).
+		re := encodeReadiness(down, bits, names, sizes)
+		d2, b2, n2, s2, err := decodeReadiness(re)
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if d2 != down || !bytes.Equal(b2, bits) || len(n2) != len(names) {
+			t.Fatal("round trip mismatch")
+		}
+		for i := range names {
+			if n2[i] != names[i] || s2[i] != sizes[i] {
+				t.Fatal("payload mismatch")
+			}
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package horovod
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestHierarchicalEngineMatchesFlat verifies that the engine produces
+// identical reductions whether it runs the flat ring or the two-level
+// MVAPICH2-style hierarchy.
+func TestHierarchicalEngineMatchesFlat(t *testing.T) {
+	const n = 4
+	run := func(groupSize int) [][]float32 {
+		cfg := fastCfg()
+		cfg.GroupSize = groupSize
+		results := make([][]float32, n)
+		runEngines(t, n, cfg, func(r int, e *Engine) error {
+			data := make([]float32, 100)
+			for i := range data {
+				data[i] = float32(r*1000 + i)
+			}
+			if err := e.Allreduce("g", data); err != nil {
+				return err
+			}
+			results[r] = data
+			return nil
+		})
+		return results
+	}
+	flat := run(0)
+	hier := run(2)
+	for r := 0; r < n; r++ {
+		for i := range flat[r] {
+			if flat[r][i] != hier[r][i] {
+				t.Fatalf("rank %d elem %d: flat %v vs hierarchical %v", r, i, flat[r][i], hier[r][i])
+			}
+		}
+	}
+}
+
+func TestHierarchicalEngineMultiStep(t *testing.T) {
+	cfg := Config{CycleTime: 300 * time.Microsecond, Average: true, GroupSize: 3}
+	runEngines(t, 6, cfg, func(r int, e *Engine) error {
+		for s := 0; s < 4; s++ {
+			data := []float32{float32(r + 1)}
+			if err := e.Allreduce(fmt.Sprintf("t%d", s), data); err != nil {
+				return err
+			}
+			if data[0] != 3.5 { // mean of 1..6
+				return fmt.Errorf("rank %d step %d: %v", r, s, data[0])
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,248 @@
+// Package modelpar implements model parallelism, the second distribution
+// strategy the reproduced paper describes (Section II-B): "the model is
+// split across all the processes[;] Send and Recv communication operations
+// are used to implement distributed forward and backward pass."
+//
+// A model's graph is partitioned at clean cut points into contiguous
+// stages balanced by forward FLOPs; each rank executes one stage, passing
+// boundary activations forward and boundary gradients backward over the
+// mpi transport. Micro-batching (GPipe-style) keeps multiple stages busy
+// concurrently; gradients accumulate across micro-batches before the
+// optimizer step, so results are independent of the micro-batch count for
+// batch-norm-free models.
+package modelpar
+
+import (
+	"fmt"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/models"
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/tensor"
+)
+
+// Plan is a staged partition of a model graph.
+type Plan struct {
+	// Bounds[s] is the last node ID of stage s; stage s covers node IDs
+	// (Bounds[s-1], Bounds[s]] with Bounds[-1] == -1.
+	Bounds []int
+}
+
+// Stages returns the stage count.
+func (p Plan) Stages() int { return len(p.Bounds) }
+
+// stageRange returns the (lo, hi] node-ID range of stage s.
+func (p Plan) stageRange(s int) (lo, hi int) {
+	lo = -1
+	if s > 0 {
+		lo = p.Bounds[s-1]
+	}
+	return lo, p.Bounds[s]
+}
+
+// Partition splits the model into `stages` contiguous stages at valid cut
+// points, balancing cumulative forward FLOPs.
+func Partition(m *models.Model, stages int) (Plan, error) {
+	if stages < 1 {
+		return Plan{}, fmt.Errorf("modelpar: stages %d < 1", stages)
+	}
+	if stages == 1 {
+		return Plan{Bounds: []int{len(m.G.Nodes) - 1}}, nil
+	}
+	cuts := m.G.CutPoints()
+	if len(cuts) < stages-1 {
+		return Plan{}, fmt.Errorf("modelpar: model has %d cut points, need %d for %d stages",
+			len(cuts), stages-1, stages)
+	}
+	// Cumulative forward FLOPs by node ID.
+	prefix := make([]int64, len(m.G.Nodes))
+	var total int64
+	for i, n := range m.G.Nodes {
+		if n.Kind == graph.KindOp {
+			in := make([][]int, len(n.Inputs))
+			for j, d := range n.Inputs {
+				in[j] = d.Shape()
+			}
+			total += n.Op.FwdFLOPs(in, n.Shape())
+		}
+		prefix[i] = total
+	}
+	bounds := make([]int, 0, stages)
+	cutIdx := 0
+	for s := 1; s < stages; s++ {
+		target := total * int64(s) / int64(stages)
+		// Advance to the cut closest to the target without starving the
+		// remaining stages of cut points.
+		best := -1
+		for i := cutIdx; i < len(cuts)-(stages-1-s); i++ {
+			if best == -1 || absDiff(prefix[cuts[i]], target) < absDiff(prefix[cuts[best]], target) {
+				best = i
+			}
+			if prefix[cuts[i]] > target && best != -1 {
+				break
+			}
+		}
+		if best == -1 {
+			return Plan{}, fmt.Errorf("modelpar: could not place cut %d", s)
+		}
+		bounds = append(bounds, cuts[best])
+		cutIdx = best + 1
+	}
+	bounds = append(bounds, len(m.G.Nodes)-1)
+	return Plan{Bounds: bounds}, nil
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Message tags of the pipeline protocol.
+const (
+	tagActivation uint32 = 100
+	tagGradient   uint32 = 101
+)
+
+// Worker executes one stage of a model-parallel pipeline on one rank.
+type Worker struct {
+	Model *models.Model
+	Plan  Plan
+	Comm  *mpi.Comm
+	LR    float32
+
+	exec     *graph.Executor
+	lo, hi   int
+	boundary *graph.Node // this stage's output node
+	upstream *graph.Node // previous stage's boundary (nil for stage 0)
+}
+
+// NewWorker builds the stage worker for comm.Rank(). All ranks must use
+// identically-built models (same seed) and the same plan.
+func NewWorker(m *models.Model, plan Plan, comm *mpi.Comm, lr float32) (*Worker, error) {
+	if comm.Size() != plan.Stages() {
+		return nil, fmt.Errorf("modelpar: %d ranks for %d stages", comm.Size(), plan.Stages())
+	}
+	if lr <= 0 {
+		lr = 0.05
+	}
+	s := comm.Rank()
+	lo, hi := plan.stageRange(s)
+	w := &Worker{
+		Model: m, Plan: plan, Comm: comm, LR: lr,
+		exec: graph.NewExecutor(m.G, tensor.Serial, 1),
+		lo:   lo, hi: hi,
+		boundary: m.G.Nodes[hi],
+	}
+	if s > 0 {
+		w.upstream = m.G.Nodes[lo]
+	}
+	return w, nil
+}
+
+// StageParams returns the number of parameters owned by this stage.
+func (w *Worker) StageParams() int64 {
+	var n int64
+	for _, v := range w.Model.G.Variables() {
+		if v.ID > w.lo && v.ID <= w.hi {
+			n += int64(tensor.NumElems(v.Shape()))
+		}
+	}
+	return n
+}
+
+// Step runs one model-parallel training step over microbatches. Stage 0
+// receives the input batches; the last stage receives labels and computes
+// the loss. Gradients accumulate across micro-batches; every stage then
+// applies SGD to its own variables. The mean loss is returned on the last
+// rank (0 elsewhere).
+func (w *Worker) Step(micro []MicroBatch) (float64, error) {
+	if len(micro) == 0 {
+		return 0, fmt.Errorf("modelpar: no micro-batches")
+	}
+	rank, size := w.Comm.Rank(), w.Comm.Size()
+	w.Model.G.ZeroGrads()
+
+	states := make([]*graph.ExecState, len(micro))
+	var totalLoss float64
+
+	// Forward sweep: stream micro-batches through the pipeline.
+	for i, mb := range micro {
+		presets := map[*graph.Node]*tensor.Tensor{}
+		if rank == 0 {
+			if mb.Images == nil {
+				return 0, fmt.Errorf("modelpar: stage 0 needs images in micro-batch %d", i)
+			}
+			presets[w.Model.Input] = mb.Images
+		} else {
+			act, err := w.Comm.RecvFloats(rank-1, tagActivation)
+			if err != nil {
+				return 0, fmt.Errorf("modelpar: recv activation: %w", err)
+			}
+			presets[w.upstream] = tensor.FromSlice(act, w.upstream.Shape()...)
+		}
+		st, err := w.exec.ForwardRange(presets, w.lo, w.hi)
+		if err != nil {
+			return 0, err
+		}
+		states[i] = st
+		if rank < size-1 {
+			if err := w.Comm.SendFloats(rank+1, tagActivation, st.Value(w.boundary).Data()); err != nil {
+				return 0, fmt.Errorf("modelpar: send activation: %w", err)
+			}
+		}
+	}
+
+	// Backward sweep (reverse micro-batch order keeps memory bounded in
+	// real pipelines; here it keeps the protocol deadlock-free).
+	for i := len(micro) - 1; i >= 0; i-- {
+		st := states[i]
+		var dy *tensor.Tensor
+		if rank == size-1 {
+			logits := st.Value(w.Model.Logits)
+			loss, grad := tensor.CrossEntropyLoss(tensor.Serial, logits, micro[i].Labels)
+			totalLoss += loss
+			dy = grad
+		} else {
+			g, err := w.Comm.RecvFloats(rank+1, tagGradient)
+			if err != nil {
+				return 0, fmt.Errorf("modelpar: recv gradient: %w", err)
+			}
+			dy = tensor.FromSlice(g, w.boundary.Shape()...)
+		}
+		out, err := w.exec.BackwardRange(st, w.boundary, dy, w.lo)
+		if err != nil {
+			return 0, err
+		}
+		if rank > 0 {
+			g, ok := out[w.upstream]
+			if !ok {
+				return 0, fmt.Errorf("modelpar: stage %d produced no boundary gradient", rank)
+			}
+			if err := w.Comm.SendFloats(rank-1, tagGradient, g.Data()); err != nil {
+				return 0, fmt.Errorf("modelpar: send gradient: %w", err)
+			}
+		}
+	}
+
+	// Local SGD on this stage's parameters (gradients already accumulated
+	// over all micro-batches; scale by 1/micro for the mean).
+	inv := 1 / float32(len(micro))
+	for _, v := range w.Model.G.Variables() {
+		if v.ID > w.lo && v.ID <= w.hi && v.Grad != nil {
+			tensor.AXPY(tensor.Serial, v.Value, -w.LR*inv, v.Grad)
+		}
+	}
+	if rank == size-1 {
+		return totalLoss / float64(len(micro)), nil
+	}
+	return 0, nil
+}
+
+// MicroBatch is one pipeline micro-batch: stage 0 consumes Images, the
+// last stage consumes Labels.
+type MicroBatch struct {
+	Images *tensor.Tensor
+	Labels []int
+}

@@ -1,0 +1,297 @@
+package modelpar
+
+import (
+	"fmt"
+	"testing"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/graph"
+	"dnnperf/internal/models"
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/tensor"
+	"dnnperf/internal/train"
+)
+
+func TestCutPointsChainModel(t *testing.T) {
+	m := models.TinyCNN(models.Config{Batch: 2, ImageSize: 16, Classes: 4, Seed: 1})
+	cuts := m.G.CutPoints()
+	if len(cuts) < 3 {
+		t.Fatalf("TinyCNN should have several cut points, got %d", len(cuts))
+	}
+	// Every cut must be an op node and no edge may jump across it except
+	// from the cut node itself.
+	for _, c := range cuts {
+		if m.G.Nodes[c].Kind != graph.KindOp {
+			t.Fatalf("cut %d is not an op node", c)
+		}
+		for _, n := range m.G.Nodes {
+			for _, dep := range n.Inputs {
+				if dep.ID < c && n.ID > c {
+					t.Fatalf("edge %d->%d crosses cut %d", dep.ID, n.ID, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCutPointsResNetHasBlockBoundaries(t *testing.T) {
+	m := models.ResNet50(models.Config{Batch: 1})
+	cuts := m.G.CutPoints()
+	// ResNet-50 has 16 residual blocks plus stem/head boundaries.
+	if len(cuts) < 16 {
+		t.Fatalf("ResNet-50 cut points = %d, want >= 16", len(cuts))
+	}
+}
+
+func TestPartitionBalancesFLOPs(t *testing.T) {
+	m := models.ResNet50(models.Config{Batch: 1})
+	plan, err := Partition(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages() != 4 {
+		t.Fatalf("stages = %d", plan.Stages())
+	}
+	// Per-stage FLOPs within a reasonable factor of each other.
+	flopsOf := func(lo, hi int) int64 {
+		var f int64
+		for id := lo + 1; id <= hi; id++ {
+			n := m.G.Nodes[id]
+			if n.Kind != graph.KindOp {
+				continue
+			}
+			in := make([][]int, len(n.Inputs))
+			for j, d := range n.Inputs {
+				in[j] = d.Shape()
+			}
+			f += n.Op.FwdFLOPs(in, n.Shape())
+		}
+		return f
+	}
+	var minF, maxF int64
+	for s := 0; s < 4; s++ {
+		lo, hi := plan.stageRange(s)
+		f := flopsOf(lo, hi)
+		if s == 0 || f < minF {
+			minF = f
+		}
+		if f > maxF {
+			maxF = f
+		}
+	}
+	if minF <= 0 || float64(maxF)/float64(minF) > 3 {
+		t.Fatalf("stage imbalance %d..%d", minF, maxF)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	m := models.TinyCNN(models.Config{Batch: 2, ImageSize: 16, Classes: 4})
+	if _, err := Partition(m, 0); err == nil {
+		t.Fatal("0 stages must error")
+	}
+	if _, err := Partition(m, 1000); err == nil {
+		t.Fatal("more stages than cut points must error")
+	}
+	p, err := Partition(m, 1)
+	if err != nil || p.Stages() != 1 {
+		t.Fatalf("1-stage plan: %v %v", p, err)
+	}
+}
+
+// runPipeline trains a TinyCNN pipeline across `stages` ranks for `steps`
+// steps with the given micro-batch split and returns the final variables
+// (gathered by stage ownership) and the last loss.
+func runPipeline(t *testing.T, stages, steps, microPer int, batchPer int) ([]*tensor.Tensor, float64) {
+	t.Helper()
+	w, err := mpi.NewWorld(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]*models.Model, stages)
+	var lastLoss float64
+	err = w.Run(func(c *mpi.Comm) error {
+		m := models.TinyCNN(models.Config{Batch: batchPer, ImageSize: 16, Classes: 4, Seed: 11})
+		ms[c.Rank()] = m
+		plan, err := Partition(m, stages)
+		if err != nil {
+			return err
+		}
+		wk, err := NewWorker(m, plan, c, 0.05)
+		if err != nil {
+			return err
+		}
+		gen, err := data.NewLearnable(batchPer, 3, 16, 4, 21)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < steps; s++ {
+			var micro []MicroBatch
+			b := gen.Next()
+			for i := 0; i < microPer; i++ {
+				micro = append(micro, MicroBatch{Images: b.Images, Labels: b.Labels})
+			}
+			// One micro-batch per step here: keep exactness.
+			micro = micro[:1]
+			loss, err := wk.Step(micro)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == stages-1 {
+				lastLoss = loss
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gather variables from the owning stage.
+	var out []*tensor.Tensor
+	refPlan, _ := Partition(ms[0], stages)
+	for _, v := range ms[0].G.Variables() {
+		owner := 0
+		for s := 0; s < stages; s++ {
+			lo, hi := refPlan.stageRange(s)
+			if v.ID > lo && v.ID <= hi {
+				owner = s
+			}
+		}
+		for _, ov := range ms[owner].G.Variables() {
+			if ov.Name == v.Name {
+				out = append(out, ov.Value)
+			}
+		}
+	}
+	return out, lastLoss
+}
+
+func TestPipelineMatchesSerialTraining(t *testing.T) {
+	const batch, steps = 8, 3
+	// Serial reference.
+	ref := models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: 11})
+	tr, err := train.New(train.Config{Model: ref, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	gen, _ := data.NewLearnable(batch, 3, 16, 4, 21)
+	var refLoss float64
+	for s := 0; s < steps; s++ {
+		st, err := tr.Step(gen.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refLoss = st.Loss
+	}
+
+	for _, stages := range []int{2, 3} {
+		vars, loss := runPipeline(t, stages, steps, 1, batch)
+		refVars := ref.G.Variables()
+		if len(vars) != len(refVars) {
+			t.Fatalf("stages=%d: %d vars vs %d", stages, len(vars), len(refVars))
+		}
+		for i, v := range vars {
+			if d := v.MaxAbsDiff(refVars[i].Value); d > 1e-4 {
+				t.Fatalf("stages=%d: variable %s differs from serial by %g", stages, refVars[i].Name, d)
+			}
+		}
+		if d := loss - refLoss; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("stages=%d: loss %g vs serial %g", stages, loss, refLoss)
+		}
+	}
+}
+
+func TestPipelineMicroBatchesConverge(t *testing.T) {
+	const stages = 2
+	w, _ := mpi.NewWorld(stages)
+	var losses []float64
+	err := w.Run(func(c *mpi.Comm) error {
+		m := models.TinyCNN(models.Config{Batch: 4, ImageSize: 16, Classes: 4, Seed: 3})
+		plan, err := Partition(m, stages)
+		if err != nil {
+			return err
+		}
+		wk, err := NewWorker(m, plan, c, 0.08)
+		if err != nil {
+			return err
+		}
+		gen, err := data.NewLearnable(4, 3, 16, 4, 5)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < 15; s++ {
+			// Two micro-batches of 4 images each per step.
+			micro := []MicroBatch{
+				{Images: gen.Next().Images, Labels: gen.Next().Labels},
+				{Images: gen.Next().Images, Labels: gen.Next().Labels},
+			}
+			b1, b2 := gen.Next(), gen.Next()
+			micro = []MicroBatch{{Images: b1.Images, Labels: b1.Labels}, {Images: b2.Images, Labels: b2.Labels}}
+			loss, err := wk.Step(micro)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == stages-1 {
+				losses = append(losses, loss)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 15 {
+		t.Fatalf("%d losses", len(losses))
+	}
+	first := (losses[0] + losses[1]) / 2
+	last := (losses[13] + losses[14]) / 2
+	if last >= first {
+		t.Fatalf("pipeline training did not converge: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestWorkerValidation(t *testing.T) {
+	m := models.TinyCNN(models.Config{Batch: 2, ImageSize: 16, Classes: 4})
+	plan, _ := Partition(m, 2)
+	w, _ := mpi.NewWorld(3) // wrong size
+	if _, err := NewWorker(m, plan, w.Comm(0), 0.05); err == nil {
+		t.Fatal("rank/stage mismatch must error")
+	}
+}
+
+func TestStageParamsPartitionCompletely(t *testing.T) {
+	m := models.TinyCNN(models.Config{Batch: 2, ImageSize: 16, Classes: 4, Seed: 1})
+	plan, err := Partition(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := mpi.NewWorld(3)
+	var total int64
+	for r := 0; r < 3; r++ {
+		wk, err := NewWorker(m, plan, w.Comm(r), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += wk.StageParams()
+	}
+	if total != m.Params() {
+		t.Fatalf("stage params %d != model params %d", total, m.Params())
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	m := models.TinyCNN(models.Config{Batch: 2, ImageSize: 16, Classes: 4})
+	plan, _ := Partition(m, 1)
+	w, _ := mpi.NewWorld(1)
+	wk, err := NewWorker(m, plan, w.Comm(0), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wk.Step(nil); err == nil {
+		t.Fatal("empty micro-batches must error")
+	}
+	if _, err := wk.Step([]MicroBatch{{}}); err == nil {
+		t.Fatal("stage 0 without images must error")
+	}
+	_ = fmt.Sprintf("%v", plan)
+}

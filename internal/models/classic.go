@@ -1,0 +1,149 @@
+package models
+
+import (
+	"dnnperf/internal/graph"
+	"dnnperf/internal/tensor"
+)
+
+// Classic (pre-batch-norm) architectures and the basic-block ResNets. These
+// extend the paper's model set with the networks its related work
+// benchmarks (Shi et al. evaluate AlexNet/VGG-class models), giving the
+// characterization harness a wider compute/parameter spectrum: AlexNet and
+// VGG-16 are parameter-heavy but shallow (communication-bound at scale),
+// the basic-block ResNets are light and linear.
+
+// convBias adds conv + per-channel bias (+ optional ReLU) — the classic
+// building block without batch normalization.
+func (b *builder) convBias(x *graph.Node, outC, kh, kw, sh, sw, ph, pw int, relu bool) *graph.Node {
+	inC := x.Shape()[1]
+	spec := tensor.ConvSpec{KH: kh, KW: kw, StrideH: sh, StrideW: sw, PadH: ph, PadW: pw}
+	k := b.g.Variable(b.name("w"), []int{outC, inC, kh, kw}, b.varInit(inC*kh*kw))
+	t := b.g.Apply(&graph.Conv2DOp{Spec: spec}, b.name("conv"), x, k)
+	bias := b.g.Variable(b.name("bias"), []int{outC}, graph.Zeros)
+	t = b.g.Apply(graph.BiasAddOp{}, b.name("biasadd"), t, bias)
+	if relu {
+		t = b.g.Apply(graph.ReLUOp{}, b.name("relu"), t)
+	}
+	return t
+}
+
+// dense adds a fully-connected layer with optional ReLU and dropout.
+func (b *builder) dense(x *graph.Node, out int, relu bool, dropRate float32) *graph.Node {
+	inF := x.Shape()[1]
+	w := b.g.Variable(b.name("fcw"), []int{inF, out}, b.varInit(inF))
+	bias := b.g.Variable(b.name("fcb"), []int{out}, graph.Zeros)
+	t := b.g.Apply(graph.DenseOp{}, b.name("fc"), x, w, bias)
+	if relu {
+		t = b.g.Apply(graph.ReLUOp{}, b.name("relu"), t)
+	}
+	if dropRate > 0 {
+		t = b.g.Apply(&graph.DropoutOp{Rate: dropRate, Seed: b.seed}, b.name("dropout"), t)
+	}
+	return t
+}
+
+// AlexNet builds the original single-tower AlexNet (Krizhevsky et al.)
+// with LRN after the first two convolutions and dropout in the classifier.
+// Native input is 227x227; ~61M parameters, most of them in the first
+// fully-connected layer — the opposite FLOP/parameter profile from the
+// ResNets, useful for stressing gradient-volume effects.
+func AlexNet(cfg Config) *Model {
+	cfg = cfg.withDefaults(227)
+	b := newBuilder(cfg.Seed)
+	x := b.g.Input("images", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	t := b.convBias(x, 96, 11, 11, 4, 4, 0, 0, true)
+	t = b.g.Apply(&graph.LRNOp{Spec: tensor.DefaultLRN}, b.name("lrn"), t)
+	t = b.maxPool(t, 3, 2, 0)
+
+	t = b.convBias(t, 256, 5, 5, 1, 1, 2, 2, true)
+	t = b.g.Apply(&graph.LRNOp{Spec: tensor.DefaultLRN}, b.name("lrn"), t)
+	t = b.maxPool(t, 3, 2, 0)
+
+	t = b.convBias(t, 384, 3, 3, 1, 1, 1, 1, true)
+	t = b.convBias(t, 384, 3, 3, 1, 1, 1, 1, true)
+	t = b.convBias(t, 256, 3, 3, 1, 1, 1, 1, true)
+	t = b.maxPool(t, 3, 2, 0)
+
+	t = b.g.Apply(graph.FlattenOp{}, b.name("flatten"), t)
+	t = b.dense(t, 4096, true, 0.5)
+	t = b.dense(t, 4096, true, 0.5)
+	logits := b.dense(t, cfg.Classes, false, 0)
+	return &Model{Name: "alexnet", G: b.g, Input: x, Logits: logits, Cfg: cfg}
+}
+
+// VGG16 builds VGG-16 (Simonyan & Zisserman, configuration D): thirteen
+// 3x3 convolutions plus three fully-connected layers, ~138M parameters.
+func VGG16(cfg Config) *Model {
+	cfg = cfg.withDefaults(224)
+	b := newBuilder(cfg.Seed)
+	x := b.g.Input("images", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	t := x
+	for _, stage := range []struct{ convs, ch int }{
+		{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+	} {
+		for i := 0; i < stage.convs; i++ {
+			t = b.convBias(t, stage.ch, 3, 3, 1, 1, 1, 1, true)
+		}
+		t = b.maxPool(t, 2, 2, 0)
+	}
+
+	t = b.g.Apply(graph.FlattenOp{}, b.name("flatten"), t)
+	t = b.dense(t, 4096, true, 0.5)
+	t = b.dense(t, 4096, true, 0.5)
+	logits := b.dense(t, cfg.Classes, false, 0)
+	return &Model{Name: "vgg16", G: b.g, Input: x, Logits: logits, Cfg: cfg}
+}
+
+// basicBlock adds a two-conv residual block (expansion 1), the ResNet-18/34
+// building block.
+func (b *builder) basicBlock(x *graph.Node, ch, stride int, proj bool) *graph.Node {
+	shortcut := x
+	if proj {
+		shortcut = b.conv(x, ch, 1, 1, stride, stride, 0, 0, false)
+	}
+	t := b.conv(x, ch, 3, 3, stride, stride, 1, 1, true)
+	t = b.conv(t, ch, 3, 3, 1, 1, 1, 1, false)
+	t = b.g.Apply(graph.AddOp{}, b.name("residual"), t, shortcut)
+	return b.g.Apply(graph.ReLUOp{}, b.name("relu"), t)
+}
+
+// resnetBasic builds a basic-block ResNet with the given stage depths.
+func resnetBasic(name string, cfg Config, layers [4]int) *Model {
+	cfg = cfg.withDefaults(224)
+	b := newBuilder(cfg.Seed)
+	x := b.g.Input("images", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	t := b.conv(x, 64, 7, 7, 2, 2, 3, 3, true)
+	t = b.maxPool(t, 3, 2, 1)
+
+	chans := []int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < layers[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			// Stage 0 keeps 64 channels, so its first block needs no
+			// projection; later stages change width and need one.
+			proj := blk == 0 && stage > 0
+			t = b.basicBlock(t, chans[stage], stride, proj)
+		}
+	}
+	logits := b.head(t, cfg.Classes)
+	return &Model{Name: name, G: b.g, Input: x, Logits: logits, Cfg: cfg}
+}
+
+// ResNet18 builds ResNet-18 (stages 2-2-2-2, 11.7M parameters).
+func ResNet18(cfg Config) *Model { return resnetBasic("resnet18", cfg, [4]int{2, 2, 2, 2}) }
+
+// ResNet34 builds ResNet-34 (stages 3-4-6-3, 21.8M parameters).
+func ResNet34(cfg Config) *Model { return resnetBasic("resnet34", cfg, [4]int{3, 4, 6, 3}) }
+
+func init() {
+	registry["alexnet"] = AlexNet
+	registry["vgg16"] = VGG16
+	registry["resnet18"] = ResNet18
+	registry["resnet34"] = ResNet34
+}

@@ -1,0 +1,188 @@
+package models
+
+import (
+	"testing"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/tensor"
+)
+
+func TestClassicModelParamCounts(t *testing.T) {
+	cases := []struct {
+		name         string
+		pMinM, pMaxM float64
+	}{
+		{"resnet18", 11.0, 12.5}, // 11.7M
+		{"resnet34", 21.0, 22.5}, // 21.8M
+		{"alexnet", 57.0, 65.0},  // ~61M
+		{"vgg16", 132.0, 142.0},  // 138.4M
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := Get(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := b(Config{Batch: 1})
+			if err := m.G.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			pm := float64(m.Params()) / 1e6
+			if pm < tc.pMinM || pm > tc.pMaxM {
+				t.Errorf("params = %.2fM, want [%.1f, %.1f]", pm, tc.pMinM, tc.pMaxM)
+			}
+		})
+	}
+}
+
+func TestVGGFLOPsExceedResNet50(t *testing.T) {
+	vgg := VGG16(Config{Batch: 1})
+	rn := ResNet50(Config{Batch: 1})
+	// VGG-16 (15.5 GMACs) is ~3.8x ResNet-50 (4.1 GMACs) at 224px.
+	ratio := float64(vgg.FwdFLOPs()) / float64(rn.FwdFLOPs())
+	if ratio < 3.0 || ratio > 4.5 {
+		t.Fatalf("VGG16/RN50 FLOP ratio %.2f, want ~3.8x", ratio)
+	}
+}
+
+func TestParamToComputeProfiles(t *testing.T) {
+	// AlexNet: heavyweight parameters, lightweight compute — the opposite
+	// of ResNet-50. Gradient-bytes per GFLOP separates the two regimes.
+	alex := AlexNet(Config{Batch: 1})
+	rn := ResNet50(Config{Batch: 1})
+	alexRatio := float64(alex.GradBytes()) / float64(alex.FwdFLOPs())
+	rnRatio := float64(rn.GradBytes()) / float64(rn.FwdFLOPs())
+	if alexRatio < 5*rnRatio {
+		t.Fatalf("AlexNet comm/compute ratio (%.3g) must dwarf ResNet-50's (%.3g)", alexRatio, rnRatio)
+	}
+}
+
+func TestBasicBlockOrdering(t *testing.T) {
+	r18 := ResNet18(Config{Batch: 1})
+	r34 := ResNet34(Config{Batch: 1})
+	r50 := ResNet50(Config{Batch: 1})
+	if !(r18.Params() < r34.Params() && r34.Params() < r50.Params()) {
+		t.Fatal("parameter ordering 18 < 34 < 50 violated")
+	}
+	if !(r18.FwdFLOPs() < r34.FwdFLOPs()) {
+		t.Fatal("FLOPs ordering 18 < 34 violated")
+	}
+}
+
+func TestAlexNetForwardBackwardSmall(t *testing.T) {
+	// A reduced AlexNet must really execute: input must survive the three
+	// stride-reducing pools, so use 67px (67->15->7->3 after convs/pools).
+	m := AlexNet(Config{Batch: 2, ImageSize: 67, Classes: 5, Seed: 2})
+	rng := tensor.NewRNG(1)
+	ex := graph.NewExecutor(m.G, tensor.Serial, 1)
+	st, err := ex.Forward(map[*graph.Node]*tensor.Tensor{m.Input: rng.Uniform(0, 1, 2, 3, 67, 67)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := st.Value(m.Logits)
+	if !tensor.ShapeEq(logits.Shape(), []int{2, 5}) {
+		t.Fatalf("logits shape %v", logits.Shape())
+	}
+	_, grad := tensor.CrossEntropyLoss(tensor.Serial, logits, []int{0, 3})
+	m.G.ZeroGrads()
+	if err := ex.Backward(st, m.Logits, grad); err != nil {
+		t.Fatal(err)
+	}
+	zero := 0
+	for _, v := range m.G.Variables() {
+		if v.Grad.L2Norm() == 0 {
+			zero++
+		}
+	}
+	// Dropout can zero a rare sliver, but the network must be trainable.
+	if zero > 2 {
+		t.Fatalf("%d variables received no gradient", zero)
+	}
+}
+
+func TestVGGSmallForward(t *testing.T) {
+	// 32px survives VGG's five 2x pools (32->16->8->4->2->1).
+	m := VGG16(Config{Batch: 1, ImageSize: 32, Classes: 3, Seed: 9})
+	rng := tensor.NewRNG(2)
+	ex := graph.NewExecutor(m.G, tensor.Serial, 1)
+	st, err := ex.Forward(map[*graph.Node]*tensor.Tensor{m.Input: rng.Uniform(0, 1, 1, 3, 32, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(st.Value(m.Logits).Shape(), []int{1, 3}) {
+		t.Fatalf("logits shape %v", st.Value(m.Logits).Shape())
+	}
+}
+
+func TestResNet18TrainsFunctionally(t *testing.T) {
+	m := ResNet18(Config{Batch: 2, ImageSize: 32, Classes: 4, Seed: 3})
+	rng := tensor.NewRNG(4)
+	ex := graph.NewExecutor(m.G, tensor.Serial, 1)
+	st, err := ex.Forward(map[*graph.Node]*tensor.Tensor{m.Input: rng.Uniform(0, 1, 2, 3, 32, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, grad := tensor.CrossEntropyLoss(tensor.Serial, st.Value(m.Logits), []int{1, 2})
+	if loss <= 0 {
+		t.Fatal("loss must be positive")
+	}
+	m.G.ZeroGrads()
+	if err := ex.Backward(st, m.Logits, grad); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.G.Variables() {
+		if v.Grad.L2Norm() == 0 {
+			t.Fatalf("variable %s has zero gradient", v.Name)
+		}
+	}
+}
+
+func TestClassicModelsRegistered(t *testing.T) {
+	for _, n := range []string{"alexnet", "vgg16", "resnet18", "resnet34"} {
+		if _, err := Get(n); err != nil {
+			t.Fatalf("%s not registered: %v", n, err)
+		}
+		if DisplayName(n) == "" {
+			t.Fatalf("%s has no display name", n)
+		}
+	}
+}
+
+func TestGoogLeNetParamsAndBranchiness(t *testing.T) {
+	m := GoogLeNet(Config{Batch: 1})
+	if err := m.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pm := float64(m.Params()) / 1e6
+	if pm < 5.5 || pm > 7.5 { // torchvision googlenet (no aux): 6.6M
+		t.Errorf("GoogLeNet params = %.2fM, want ~6.6M", pm)
+	}
+	gf := float64(m.FwdFLOPs()) / 1e9
+	if gf < 2.5 || gf > 4.5 { // ~3 GFLOPs
+		t.Errorf("GoogLeNet fwd GFLOPs = %.2f, want ~3", gf)
+	}
+	// Branchier than ResNet: each module fans into 4 branches.
+	maxFan := 0
+	for _, n := range m.G.Nodes {
+		if c := n.Consumers(); c > maxFan {
+			maxFan = c
+		}
+	}
+	if maxFan < 4 {
+		t.Errorf("GoogLeNet max fan-out %d, want >= 4", maxFan)
+	}
+}
+
+func TestGoogLeNetForwardSmall(t *testing.T) {
+	m := GoogLeNet(Config{Batch: 1, ImageSize: 64, Classes: 5, Seed: 2})
+	rng := tensor.NewRNG(3)
+	ex := graph.NewExecutor(m.G, tensor.Serial, 2)
+	st, err := ex.Forward(map[*graph.Node]*tensor.Tensor{m.Input: rng.Uniform(0, 1, 1, 3, 64, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEq(st.Value(m.Logits).Shape(), []int{1, 5}) {
+		t.Fatalf("logits %v", st.Value(m.Logits).Shape())
+	}
+}

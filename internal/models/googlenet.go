@@ -1,0 +1,67 @@
+package models
+
+import "dnnperf/internal/graph"
+
+// GoogLeNet builds Inception-v1 (Szegedy et al. 2014) in its batch-norm
+// variant (as in torchvision: BN after each convolution, 3x3 kernels in the
+// "5x5" branch, no auxiliary classifiers). With ~6.6M parameters and nine
+// inception modules it is the smallest, branchiest member of the model zoo
+// — a useful extreme for the inter-op parallelism axis the paper contrasts
+// ResNets and Inceptions on.
+func GoogLeNet(cfg Config) *Model {
+	cfg = cfg.withDefaults(224)
+	b := newBuilder(cfg.Seed)
+	x := b.g.Input("images", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	t := b.conv(x, 64, 7, 7, 2, 2, 3, 3, true)
+	t = b.maxPool(t, 3, 2, 1)
+	t = b.convSq(t, 64, 1, 1, 0)
+	t = b.convSq(t, 192, 3, 1, 1)
+	t = b.maxPool(t, 3, 2, 1)
+
+	type inc struct{ c1, c3r, c3, c5r, c5, pp int }
+	modules3 := []inc{
+		{64, 96, 128, 16, 32, 32},   // 3a -> 256
+		{128, 128, 192, 32, 96, 64}, // 3b -> 480
+	}
+	modules4 := []inc{
+		{192, 96, 208, 16, 48, 64},    // 4a -> 512
+		{160, 112, 224, 24, 64, 64},   // 4b -> 512
+		{128, 128, 256, 24, 64, 64},   // 4c -> 512
+		{112, 144, 288, 32, 64, 64},   // 4d -> 528
+		{256, 160, 320, 32, 128, 128}, // 4e -> 832
+	}
+	modules5 := []inc{
+		{256, 160, 320, 32, 128, 128}, // 5a -> 832
+		{384, 192, 384, 48, 128, 128}, // 5b -> 1024
+	}
+	module := func(t *graph.Node, m inc) *graph.Node {
+		b1 := b.convSq(t, m.c1, 1, 1, 0)
+		b3 := b.convSq(t, m.c3r, 1, 1, 0)
+		b3 = b.convSq(b3, m.c3, 3, 1, 1)
+		b5 := b.convSq(t, m.c5r, 1, 1, 0)
+		b5 = b.convSq(b5, m.c5, 3, 1, 1)
+		bp := b.maxPool(t, 3, 1, 1)
+		bp = b.convSq(bp, m.pp, 1, 1, 0)
+		return b.concat(b1, b3, b5, bp)
+	}
+
+	for _, m := range modules3 {
+		t = module(t, m)
+	}
+	t = b.maxPool(t, 3, 2, 1)
+	for _, m := range modules4 {
+		t = module(t, m)
+	}
+	t = b.maxPool(t, 3, 2, 1)
+	for _, m := range modules5 {
+		t = module(t, m)
+	}
+
+	logits := b.head(t, cfg.Classes)
+	return &Model{Name: "googlenet", G: b.g, Input: x, Logits: logits, Cfg: cfg}
+}
+
+func init() {
+	registry["googlenet"] = GoogLeNet
+}

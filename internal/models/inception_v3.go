@@ -1,0 +1,127 @@
+package models
+
+import "dnnperf/internal/graph"
+
+// InceptionV3 builds Inception-v3 (Szegedy et al., "Rethinking the Inception
+// Architecture") with the torchvision channel configuration and without the
+// auxiliary classifier (tf_cnn_benchmarks also trains without aux loss).
+// Native input is 299x299; the final feature map is 2048 channels at 8x8.
+func InceptionV3(cfg Config) *Model {
+	cfg = cfg.withDefaults(299)
+	b := newBuilder(cfg.Seed)
+	x := b.g.Input("images", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	// Stem.
+	t := b.convSq(x, 32, 3, 2, 0) // 149
+	t = b.convSq(t, 32, 3, 1, 0)  // 147
+	t = b.convSq(t, 64, 3, 1, 1)  // 147
+	t = b.maxPool(t, 3, 2, 0)     // 73
+	t = b.convSq(t, 80, 1, 1, 0)
+	t = b.convSq(t, 192, 3, 1, 0) // 71
+	t = b.maxPool(t, 3, 2, 0)     // 35
+
+	// 3x Inception-A.
+	t = b.inceptionA3(t, 32)
+	t = b.inceptionA3(t, 64)
+	t = b.inceptionA3(t, 64)
+	// Grid reduction to 17x17.
+	t = b.inceptionB3(t)
+	// 4x Inception-C (factorized 7x7).
+	t = b.inceptionC3(t, 128)
+	t = b.inceptionC3(t, 160)
+	t = b.inceptionC3(t, 160)
+	t = b.inceptionC3(t, 192)
+	// Grid reduction to 8x8.
+	t = b.inceptionD3(t)
+	// 2x Inception-E (expanded filter bank).
+	t = b.inceptionE3(t)
+	t = b.inceptionE3(t)
+
+	logits := b.head(t, cfg.Classes)
+	return &Model{Name: "inception3", G: b.g, Input: x, Logits: logits, Cfg: cfg}
+}
+
+// inceptionA3 is the 35x35 module: 1x1, 5x5, double-3x3 and pool branches.
+func (b *builder) inceptionA3(x *graph.Node, poolF int) *graph.Node {
+	b1 := b.convSq(x, 64, 1, 1, 0)
+
+	b5 := b.convSq(x, 48, 1, 1, 0)
+	b5 = b.convSq(b5, 64, 5, 1, 2)
+
+	b3 := b.convSq(x, 64, 1, 1, 0)
+	b3 = b.convSq(b3, 96, 3, 1, 1)
+	b3 = b.convSq(b3, 96, 3, 1, 1)
+
+	bp := b.avgPool(x, 3, 1, 1)
+	bp = b.convSq(bp, poolF, 1, 1, 0)
+
+	return b.concat(b1, b5, b3, bp)
+}
+
+// inceptionB3 is the 35->17 grid reduction.
+func (b *builder) inceptionB3(x *graph.Node) *graph.Node {
+	b3 := b.convSq(x, 384, 3, 2, 0)
+
+	bd := b.convSq(x, 64, 1, 1, 0)
+	bd = b.convSq(bd, 96, 3, 1, 1)
+	bd = b.convSq(bd, 96, 3, 2, 0)
+
+	bp := b.maxPool(x, 3, 2, 0)
+	return b.concat(b3, bd, bp)
+}
+
+// inceptionC3 is the 17x17 module with factorized 7x7 convolutions; c7 is
+// the bottleneck width (128/160/160/192 across the four instances).
+func (b *builder) inceptionC3(x *graph.Node, c7 int) *graph.Node {
+	b1 := b.convSq(x, 192, 1, 1, 0)
+
+	b7 := b.convSq(x, c7, 1, 1, 0)
+	b7 = b.conv(b7, c7, 1, 7, 1, 1, 0, 3, true)
+	b7 = b.conv(b7, 192, 7, 1, 1, 1, 3, 0, true)
+
+	bd := b.convSq(x, c7, 1, 1, 0)
+	bd = b.conv(bd, c7, 7, 1, 1, 1, 3, 0, true)
+	bd = b.conv(bd, c7, 1, 7, 1, 1, 0, 3, true)
+	bd = b.conv(bd, c7, 7, 1, 1, 1, 3, 0, true)
+	bd = b.conv(bd, 192, 1, 7, 1, 1, 0, 3, true)
+
+	bp := b.avgPool(x, 3, 1, 1)
+	bp = b.convSq(bp, 192, 1, 1, 0)
+
+	return b.concat(b1, b7, bd, bp)
+}
+
+// inceptionD3 is the 17->8 grid reduction.
+func (b *builder) inceptionD3(x *graph.Node) *graph.Node {
+	b3 := b.convSq(x, 192, 1, 1, 0)
+	b3 = b.convSq(b3, 320, 3, 2, 0)
+
+	b7 := b.convSq(x, 192, 1, 1, 0)
+	b7 = b.conv(b7, 192, 1, 7, 1, 1, 0, 3, true)
+	b7 = b.conv(b7, 192, 7, 1, 1, 1, 3, 0, true)
+	b7 = b.convSq(b7, 192, 3, 2, 0)
+
+	bp := b.maxPool(x, 3, 2, 0)
+	return b.concat(b3, b7, bp)
+}
+
+// inceptionE3 is the 8x8 module with expanded 3x3 filter banks.
+func (b *builder) inceptionE3(x *graph.Node) *graph.Node {
+	b1 := b.convSq(x, 320, 1, 1, 0)
+
+	b3 := b.convSq(x, 384, 1, 1, 0)
+	b3a := b.conv(b3, 384, 1, 3, 1, 1, 0, 1, true)
+	b3b := b.conv(b3, 384, 3, 1, 1, 1, 1, 0, true)
+	b3cat := b.concat(b3a, b3b)
+
+	bd := b.convSq(x, 448, 1, 1, 0)
+	bd = b.convSq(bd, 384, 3, 1, 1)
+	bda := b.conv(bd, 384, 1, 3, 1, 1, 0, 1, true)
+	bdb := b.conv(bd, 384, 3, 1, 1, 1, 1, 0, true)
+	bdcat := b.concat(bda, bdb)
+
+	bp := b.avgPool(x, 3, 1, 1)
+	bp = b.convSq(bp, 192, 1, 1, 0)
+
+	return b.concat(b1, b3cat, bdcat, bp)
+}

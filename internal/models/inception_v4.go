@@ -1,0 +1,135 @@
+package models
+
+import "dnnperf/internal/graph"
+
+// InceptionV4 builds Inception-v4 (Szegedy et al., "Inception-v4,
+// Inception-ResNet and the Impact of Residual Connections"): a deeper,
+// branchier network than v3 (4xA, 7xB, 3xC modules plus a branching stem),
+// which is why the paper uses it as its most inter-op-parallel workload.
+// Native input is 299x299; the final feature map is 1536 channels at 8x8.
+func InceptionV4(cfg Config) *Model {
+	cfg = cfg.withDefaults(299)
+	b := newBuilder(cfg.Seed)
+	x := b.g.Input("images", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	// Stem (itself contains three concat branch points).
+	t := b.convSq(x, 32, 3, 2, 0) // 149
+	t = b.convSq(t, 32, 3, 1, 0)  // 147
+	t = b.convSq(t, 64, 3, 1, 1)  // 147
+
+	s1a := b.maxPool(t, 3, 2, 0) // 73
+	s1b := b.convSq(t, 96, 3, 2, 0)
+	t = b.concat(s1a, s1b) // 160 ch
+
+	s2a := b.convSq(t, 64, 1, 1, 0)
+	s2a = b.convSq(s2a, 96, 3, 1, 0) // 71
+	s2b := b.convSq(t, 64, 1, 1, 0)
+	s2b = b.conv(s2b, 64, 7, 1, 1, 1, 3, 0, true)
+	s2b = b.conv(s2b, 64, 1, 7, 1, 1, 0, 3, true)
+	s2b = b.convSq(s2b, 96, 3, 1, 0)
+	t = b.concat(s2a, s2b) // 192 ch
+
+	s3a := b.convSq(t, 192, 3, 2, 0) // 35
+	s3b := b.maxPool(t, 3, 2, 0)
+	t = b.concat(s3a, s3b) // 384 ch, 35x35
+
+	for i := 0; i < 4; i++ {
+		t = b.inceptionA4(t)
+	}
+	t = b.reductionA4(t) // 1024 ch, 17x17
+	for i := 0; i < 7; i++ {
+		t = b.inceptionB4(t)
+	}
+	t = b.reductionB4(t) // 1536 ch, 8x8
+	for i := 0; i < 3; i++ {
+		t = b.inceptionC4(t)
+	}
+
+	logits := b.head(t, cfg.Classes)
+	return &Model{Name: "inception4", G: b.g, Input: x, Logits: logits, Cfg: cfg}
+}
+
+// inceptionA4 is the 35x35 module (output 384 channels).
+func (b *builder) inceptionA4(x *graph.Node) *graph.Node {
+	b1 := b.convSq(x, 96, 1, 1, 0)
+
+	b2 := b.convSq(x, 64, 1, 1, 0)
+	b2 = b.convSq(b2, 96, 3, 1, 1)
+
+	b3 := b.convSq(x, 64, 1, 1, 0)
+	b3 = b.convSq(b3, 96, 3, 1, 1)
+	b3 = b.convSq(b3, 96, 3, 1, 1)
+
+	bp := b.avgPool(x, 3, 1, 1)
+	bp = b.convSq(bp, 96, 1, 1, 0)
+
+	return b.concat(b1, b2, b3, bp)
+}
+
+// reductionA4 is the 35->17 grid reduction (output 1024 channels).
+func (b *builder) reductionA4(x *graph.Node) *graph.Node {
+	b1 := b.convSq(x, 384, 3, 2, 0)
+
+	b2 := b.convSq(x, 192, 1, 1, 0)
+	b2 = b.convSq(b2, 224, 3, 1, 1)
+	b2 = b.convSq(b2, 256, 3, 2, 0)
+
+	bp := b.maxPool(x, 3, 2, 0)
+	return b.concat(b1, b2, bp)
+}
+
+// inceptionB4 is the 17x17 module (output 1024 channels).
+func (b *builder) inceptionB4(x *graph.Node) *graph.Node {
+	b1 := b.convSq(x, 384, 1, 1, 0)
+
+	b2 := b.convSq(x, 192, 1, 1, 0)
+	b2 = b.conv(b2, 224, 1, 7, 1, 1, 0, 3, true)
+	b2 = b.conv(b2, 256, 7, 1, 1, 1, 3, 0, true)
+
+	b3 := b.convSq(x, 192, 1, 1, 0)
+	b3 = b.conv(b3, 192, 7, 1, 1, 1, 3, 0, true)
+	b3 = b.conv(b3, 224, 1, 7, 1, 1, 0, 3, true)
+	b3 = b.conv(b3, 224, 7, 1, 1, 1, 3, 0, true)
+	b3 = b.conv(b3, 256, 1, 7, 1, 1, 0, 3, true)
+
+	bp := b.avgPool(x, 3, 1, 1)
+	bp = b.convSq(bp, 128, 1, 1, 0)
+
+	return b.concat(b1, b2, b3, bp)
+}
+
+// reductionB4 is the 17->8 grid reduction (output 1536 channels).
+func (b *builder) reductionB4(x *graph.Node) *graph.Node {
+	b1 := b.convSq(x, 192, 1, 1, 0)
+	b1 = b.convSq(b1, 192, 3, 2, 0)
+
+	b2 := b.convSq(x, 256, 1, 1, 0)
+	b2 = b.conv(b2, 256, 1, 7, 1, 1, 0, 3, true)
+	b2 = b.conv(b2, 320, 7, 1, 1, 1, 3, 0, true)
+	b2 = b.convSq(b2, 320, 3, 2, 0)
+
+	bp := b.maxPool(x, 3, 2, 0)
+	return b.concat(b1, b2, bp)
+}
+
+// inceptionC4 is the 8x8 module (output 1536 channels).
+func (b *builder) inceptionC4(x *graph.Node) *graph.Node {
+	b1 := b.convSq(x, 256, 1, 1, 0)
+
+	b2 := b.convSq(x, 384, 1, 1, 0)
+	b2a := b.conv(b2, 256, 1, 3, 1, 1, 0, 1, true)
+	b2b := b.conv(b2, 256, 3, 1, 1, 1, 1, 0, true)
+	b2cat := b.concat(b2a, b2b)
+
+	b3 := b.convSq(x, 384, 1, 1, 0)
+	b3 = b.conv(b3, 448, 1, 3, 1, 1, 0, 1, true)
+	b3 = b.conv(b3, 512, 3, 1, 1, 1, 1, 0, true)
+	b3a := b.conv(b3, 256, 3, 1, 1, 1, 1, 0, true)
+	b3b := b.conv(b3, 256, 1, 3, 1, 1, 0, 1, true)
+	b3cat := b.concat(b3a, b3b)
+
+	bp := b.avgPool(x, 3, 1, 1)
+	bp = b.convSq(bp, 256, 1, 1, 0)
+
+	return b.concat(b1, b2cat, b3cat, bp)
+}

@@ -1,0 +1,246 @@
+// Package models builds the DNN architectures evaluated in the reproduced
+// paper — ResNet-50/101/152 and Inception-v3/v4 — as dnnperf computation
+// graphs, with exact parameter and FLOP accounting. A small TinyCNN is
+// included for fast functional training demos and tests.
+//
+// Builders are deterministic: every variable gets an independent RNG derived
+// from (Config.Seed, variable index), so weights do not depend on
+// materialization order and two builds with the same seed are identical.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/tensor"
+)
+
+// Config parameterizes a model build.
+type Config struct {
+	Batch     int   // minibatch size (per process)
+	ImageSize int   // input H=W; 0 selects the model's native size
+	Classes   int   // output classes; 0 selects 1000 (ImageNet)
+	Seed      int64 // weight initialization seed
+}
+
+func (c Config) withDefaults(native int) Config {
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	if c.ImageSize <= 0 {
+		c.ImageSize = native
+	}
+	if c.Classes <= 0 {
+		c.Classes = 1000
+	}
+	return c
+}
+
+// Model bundles a built graph with its I/O nodes and metadata.
+type Model struct {
+	Name   string
+	G      *graph.Graph
+	Input  *graph.Node
+	Logits *graph.Node
+	Cfg    Config
+}
+
+// Params returns the trainable parameter count.
+func (m *Model) Params() int64 { return m.G.ParamCount() }
+
+// GradBytes returns the gradient payload per step (what Horovod reduces).
+func (m *Model) GradBytes() int64 { return m.G.GradBytes() }
+
+// FwdFLOPs returns the forward floating-point work for the configured batch.
+func (m *Model) FwdFLOPs() int64 {
+	var total int64
+	for _, n := range m.G.Nodes {
+		if n.Kind != graph.KindOp {
+			continue
+		}
+		in := make([][]int, len(n.Inputs))
+		for i, d := range n.Inputs {
+			in[i] = d.Shape()
+		}
+		total += n.Op.FwdFLOPs(in, n.Shape())
+	}
+	return total
+}
+
+// BwdFLOPs returns the backward floating-point work for the configured batch.
+func (m *Model) BwdFLOPs() int64 {
+	var total int64
+	for _, n := range m.G.Nodes {
+		if n.Kind != graph.KindOp {
+			continue
+		}
+		in := make([][]int, len(n.Inputs))
+		for i, d := range n.Inputs {
+			in[i] = d.Shape()
+		}
+		total += n.Op.BwdFLOPs(in, n.Shape())
+	}
+	return total
+}
+
+// OpCount returns the number of op nodes in the graph.
+func (m *Model) OpCount() int {
+	c := 0
+	for _, n := range m.G.Nodes {
+		if n.Kind == graph.KindOp {
+			c++
+		}
+	}
+	return c
+}
+
+// Builder constructs a model for a configuration.
+type Builder func(Config) *Model
+
+var registry = map[string]Builder{
+	"resnet50":   ResNet50,
+	"resnet101":  ResNet101,
+	"resnet152":  ResNet152,
+	"inception3": InceptionV3,
+	"inception4": InceptionV4,
+	"tinycnn":    TinyCNN,
+}
+
+// PaperModels lists the five models of the paper's evaluation in its order.
+var PaperModels = []string{"resnet50", "resnet101", "resnet152", "inception3", "inception4"}
+
+// Get returns the builder registered under name.
+func Get(name string) (Builder, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names returns all registered model names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DisplayName maps a registry name to the paper's label.
+func DisplayName(name string) string {
+	switch name {
+	case "resnet50":
+		return "ResNet-50"
+	case "resnet101":
+		return "ResNet-101"
+	case "resnet152":
+		return "ResNet-152"
+	case "inception3":
+		return "Inception-v3"
+	case "inception4":
+		return "Inception-v4"
+	case "tinycnn":
+		return "TinyCNN"
+	case "alexnet":
+		return "AlexNet"
+	case "vgg16":
+		return "VGG-16"
+	case "resnet18":
+		return "ResNet-18"
+	case "resnet34":
+		return "ResNet-34"
+	case "googlenet":
+		return "GoogLeNet"
+	default:
+		return name
+	}
+}
+
+// builder carries shared state while assembling a graph.
+type builder struct {
+	g       *graph.Graph
+	seed    int64
+	nVars   int
+	nLayers int
+}
+
+func newBuilder(seed int64) *builder { return &builder{g: graph.New(), seed: seed} }
+
+// varInit returns an Initializer with an independent deterministic RNG.
+func (b *builder) varInit(fanIn int) graph.Initializer {
+	idx := int64(b.nVars)
+	b.nVars++
+	seed := b.seed
+	return func(shape []int) *tensor.Tensor {
+		return tensor.NewRNG(seed*1000003+idx).HeInit(fanIn, shape...)
+	}
+}
+
+func (b *builder) name(kind string) string {
+	b.nLayers++
+	return fmt.Sprintf("%s_%d", kind, b.nLayers)
+}
+
+// conv adds conv(+BN+optional ReLU). Kernels have no bias (BN provides the
+// shift), matching the ResNet/Inception reference implementations.
+func (b *builder) conv(x *graph.Node, outC, kh, kw, sh, sw, ph, pw int, relu bool) *graph.Node {
+	inC := x.Shape()[1]
+	spec := tensor.ConvSpec{KH: kh, KW: kw, StrideH: sh, StrideW: sw, PadH: ph, PadW: pw}
+	k := b.g.Variable(b.name("w"), []int{outC, inC, kh, kw}, b.varInit(inC*kh*kw))
+	t := b.g.Apply(&graph.Conv2DOp{Spec: spec}, b.name("conv"), x, k)
+	gamma := b.g.Variable(b.name("gamma"), []int{outC}, graph.OnesInit)
+	beta := b.g.Variable(b.name("beta"), []int{outC}, graph.Zeros)
+	t = b.g.Apply(&graph.BatchNormOp{Eps: 1e-5}, b.name("bn"), t, gamma, beta)
+	if relu {
+		t = b.g.Apply(graph.ReLUOp{}, b.name("relu"), t)
+	}
+	return t
+}
+
+// convSq is conv with a square kernel, symmetric stride/pad, and ReLU.
+func (b *builder) convSq(x *graph.Node, outC, k, stride, pad int) *graph.Node {
+	return b.conv(x, outC, k, k, stride, stride, pad, pad, true)
+}
+
+func (b *builder) maxPool(x *graph.Node, k, stride, pad int) *graph.Node {
+	spec := tensor.PoolSpec{KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+	return b.g.Apply(&graph.MaxPoolOp{Spec: spec}, b.name("maxpool"), x)
+}
+
+func (b *builder) avgPool(x *graph.Node, k, stride, pad int) *graph.Node {
+	spec := tensor.PoolSpec{KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+	return b.g.Apply(&graph.AvgPoolOp{Spec: spec}, b.name("avgpool"), x)
+}
+
+func (b *builder) concat(parts ...*graph.Node) *graph.Node {
+	return b.g.Apply(&graph.ConcatOp{Axis: 1}, b.name("concat"), parts...)
+}
+
+func (b *builder) head(x *graph.Node, classes int) *graph.Node {
+	t := b.g.Apply(graph.GlobalAvgPoolOp{}, b.name("gap"), x)
+	inF := t.Shape()[1]
+	w := b.g.Variable(b.name("fcw"), []int{inF, classes}, b.varInit(inF))
+	bias := b.g.Variable(b.name("fcb"), []int{classes}, graph.Zeros)
+	return b.g.Apply(graph.DenseOp{}, b.name("fc"), t, w, bias)
+}
+
+// TinyCNN is a small 3-conv network on 32x32 inputs for fast functional
+// training in examples and tests. It is not part of the paper's model set.
+func TinyCNN(cfg Config) *Model {
+	cfg = cfg.withDefaults(32)
+	if cfg.Classes == 1000 {
+		cfg.Classes = 10
+	}
+	b := newBuilder(cfg.Seed)
+	x := b.g.Input("images", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+	t := b.convSq(x, 16, 3, 1, 1)
+	t = b.maxPool(t, 2, 2, 0)
+	t = b.convSq(t, 32, 3, 1, 1)
+	t = b.maxPool(t, 2, 2, 0)
+	t = b.convSq(t, 64, 3, 1, 1)
+	logits := b.head(t, cfg.Classes)
+	return &Model{Name: "tinycnn", G: b.g, Input: x, Logits: logits, Cfg: cfg}
+}

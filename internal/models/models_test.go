@@ -1,0 +1,189 @@
+package models
+
+import (
+	"testing"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/tensor"
+)
+
+// Published reference values: parameters in millions, forward GFLOPs per
+// 224/299 image. Our builders should land close (BN/head bookkeeping causes
+// small deviations across references, so ranges are used).
+var refs = []struct {
+	name         string
+	pMinM, pMaxM float64 // parameter count bounds, millions
+	fMin, fMax   float64 // fwd GFLOPs per image bounds
+}{
+	{"resnet50", 24.5, 26.5, 7.0, 9.0},     // 25.6M, ~8.2 GFLOPs (2*MACs)
+	{"resnet101", 43.0, 46.0, 14.0, 16.5},  // 44.5M, ~15.2
+	{"resnet152", 58.5, 62.0, 21.0, 24.0},  // 60.2M, ~22.6
+	{"inception3", 21.5, 25.5, 10.5, 13.0}, // 23.8M, ~11.5
+	{"inception4", 41.0, 44.5, 23.0, 26.5}, // 42.7M, ~24.6
+}
+
+func TestModelParamAndFLOPCounts(t *testing.T) {
+	for _, ref := range refs {
+		ref := ref
+		t.Run(ref.name, func(t *testing.T) {
+			b, err := Get(ref.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := b(Config{Batch: 1})
+			if err := m.G.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			pm := float64(m.Params()) / 1e6
+			if pm < ref.pMinM || pm > ref.pMaxM {
+				t.Errorf("params = %.2fM, want [%.1f, %.1f]", pm, ref.pMinM, ref.pMaxM)
+			}
+			gf := float64(m.FwdFLOPs()) / 1e9
+			if gf < ref.fMin || gf > ref.fMax {
+				t.Errorf("fwd GFLOPs = %.2f, want [%.1f, %.1f]", gf, ref.fMin, ref.fMax)
+			}
+			if bf := m.BwdFLOPs(); bf < m.FwdFLOPs() {
+				t.Errorf("bwd FLOPs %d < fwd %d", bf, m.FwdFLOPs())
+			}
+		})
+	}
+}
+
+func TestModelDepthOrdering(t *testing.T) {
+	r50 := ResNet50(Config{Batch: 1})
+	r101 := ResNet101(Config{Batch: 1})
+	r152 := ResNet152(Config{Batch: 1})
+	if !(r50.Params() < r101.Params() && r101.Params() < r152.Params()) {
+		t.Fatal("ResNet parameter counts must increase with depth")
+	}
+	if !(r50.FwdFLOPs() < r101.FwdFLOPs() && r101.FwdFLOPs() < r152.FwdFLOPs()) {
+		t.Fatal("ResNet FLOPs must increase with depth")
+	}
+	if !(r50.OpCount() < r101.OpCount() && r101.OpCount() < r152.OpCount()) {
+		t.Fatal("ResNet op counts must increase with depth")
+	}
+}
+
+func TestFLOPsScaleLinearlyWithBatch(t *testing.T) {
+	m1 := ResNet50(Config{Batch: 1})
+	m4 := ResNet50(Config{Batch: 4})
+	if m4.FwdFLOPs() != 4*m1.FwdFLOPs() {
+		t.Fatalf("batch-4 FLOPs %d != 4x batch-1 %d", m4.FwdFLOPs(), m1.FwdFLOPs())
+	}
+	if m4.Params() != m1.Params() {
+		t.Fatal("params must not depend on batch")
+	}
+}
+
+func TestInceptionIsBranchierThanResNet(t *testing.T) {
+	// Count maximum out-degree style branching: inception modules fan one
+	// tensor into 3-4 branches; ResNet fans into at most 2.
+	branchFactor := func(m *Model) int {
+		max := 0
+		for _, n := range m.G.Nodes {
+			if c := n.Consumers(); c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	inc := InceptionV4(Config{Batch: 1})
+	rn := ResNet152(Config{Batch: 1})
+	if branchFactor(inc) <= branchFactor(rn) {
+		t.Fatalf("inception branch factor %d must exceed resnet %d", branchFactor(inc), branchFactor(rn))
+	}
+}
+
+func TestGetUnknownModel(t *testing.T) {
+	if _, err := Get("mobilenet"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestNamesAndDisplayNames(t *testing.T) {
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, n := range PaperModels {
+		if _, err := Get(n); err != nil {
+			t.Fatalf("paper model %q not registered", n)
+		}
+		if DisplayName(n) == n {
+			t.Fatalf("no display name for %q", n)
+		}
+	}
+}
+
+func TestBuildersAreDeterministic(t *testing.T) {
+	a := TinyCNN(Config{Batch: 2, Seed: 5})
+	b := TinyCNN(Config{Batch: 2, Seed: 5})
+	va, vb := a.G.Variables(), b.G.Variables()
+	if len(va) != len(vb) {
+		t.Fatal("variable count mismatch")
+	}
+	for i := range va {
+		va[i].Materialize()
+		vb[i].Materialize()
+		if va[i].Value.MaxAbsDiff(vb[i].Value) != 0 {
+			t.Fatalf("variable %d differs between identical builds", i)
+		}
+	}
+	c := TinyCNN(Config{Batch: 2, Seed: 6})
+	c.G.Variables()[0].Materialize()
+	if va[0].Value.MaxAbsDiff(c.G.Variables()[0].Value) == 0 {
+		t.Fatal("different seeds must give different weights")
+	}
+}
+
+func TestTinyCNNForwardBackward(t *testing.T) {
+	m := TinyCNN(Config{Batch: 2, Seed: 1})
+	if !tensor.ShapeEq(m.Logits.Shape(), []int{2, 10}) {
+		t.Fatalf("logits shape %v", m.Logits.Shape())
+	}
+	rng := tensor.NewRNG(3)
+	ex := graph.NewExecutor(m.G, tensor.Serial, 1)
+	st, err := ex.Forward(map[*graph.Node]*tensor.Tensor{m.Input: rng.Uniform(0, 1, 2, 3, 32, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := st.Value(m.Logits)
+	loss, grad := tensor.CrossEntropyLoss(tensor.Serial, logits, []int{3, 7})
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	m.G.ZeroGrads()
+	if err := ex.Backward(st, m.Logits, grad); err != nil {
+		t.Fatal(err)
+	}
+	// Every variable must receive a nonzero gradient (network is connected).
+	for _, v := range m.G.Variables() {
+		if v.Grad.L2Norm() == 0 {
+			t.Fatalf("variable %s has zero gradient", v.Name)
+		}
+	}
+}
+
+// The graph build must not materialize any weights (simulation-scale builds
+// of ResNet-152 at batch 1024 must stay cheap).
+func TestBuildDoesNotAllocateWeights(t *testing.T) {
+	m := ResNet152(Config{Batch: 1024})
+	for _, v := range m.G.Variables() {
+		if v.Value != nil {
+			t.Fatalf("variable %s materialized at build time", v.Name)
+		}
+	}
+}
+
+// Small-image inception build exercises the reduced-resolution path used in
+// functional tests.
+func TestInceptionSmallImageBuilds(t *testing.T) {
+	m := InceptionV3(Config{Batch: 1, ImageSize: 139, Classes: 10})
+	if m.Logits.Shape()[1] != 10 {
+		t.Fatalf("classes = %d", m.Logits.Shape()[1])
+	}
+	m4 := InceptionV4(Config{Batch: 1, ImageSize: 139, Classes: 10})
+	if err := m4.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

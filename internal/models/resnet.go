@@ -1,0 +1,53 @@
+package models
+
+import "dnnperf/internal/graph"
+
+// resnet builds a ResNet v1.5 (stride on the 3x3 conv of each bottleneck,
+// the variant tf_cnn_benchmarks and torchvision use) with the given stage
+// depths.
+func resnet(name string, cfg Config, layers [4]int) *Model {
+	cfg = cfg.withDefaults(224)
+	b := newBuilder(cfg.Seed)
+	x := b.g.Input("images", cfg.Batch, 3, cfg.ImageSize, cfg.ImageSize)
+
+	// Stem: 7x7/2 conv, BN, ReLU, 3x3/2 max pool.
+	t := b.conv(x, 64, 7, 7, 2, 2, 3, 3, true)
+	t = b.maxPool(t, 3, 2, 1)
+
+	base := []int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < layers[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			t = b.bottleneck(t, base[stage], stride, blk == 0)
+		}
+	}
+	logits := b.head(t, cfg.Classes)
+	return &Model{Name: name, G: b.g, Input: x, Logits: logits, Cfg: cfg}
+}
+
+// bottleneck adds a 1x1-3x3-1x1 residual block with expansion 4.
+// proj selects a projection (1x1 conv) shortcut; otherwise identity.
+func (b *builder) bottleneck(x *graph.Node, base, stride int, proj bool) *graph.Node {
+	outC := 4 * base
+	shortcut := x
+	if proj {
+		shortcut = b.conv(x, outC, 1, 1, stride, stride, 0, 0, false)
+	}
+	t := b.conv(x, base, 1, 1, 1, 1, 0, 0, true)
+	t = b.conv(t, base, 3, 3, stride, stride, 1, 1, true)
+	t = b.conv(t, outC, 1, 1, 1, 1, 0, 0, false)
+	t = b.g.Apply(graph.AddOp{}, b.name("residual"), t, shortcut)
+	return b.g.Apply(graph.ReLUOp{}, b.name("relu"), t)
+}
+
+// ResNet50 builds ResNet-50 (stages 3-4-6-3, 25.6M parameters).
+func ResNet50(cfg Config) *Model { return resnet("resnet50", cfg, [4]int{3, 4, 6, 3}) }
+
+// ResNet101 builds ResNet-101 (stages 3-4-23-3, 44.5M parameters).
+func ResNet101(cfg Config) *Model { return resnet("resnet101", cfg, [4]int{3, 4, 23, 3}) }
+
+// ResNet152 builds ResNet-152 (stages 3-8-36-3, 60.2M parameters).
+func ResNet152(cfg Config) *Model { return resnet("resnet152", cfg, [4]int{3, 8, 36, 3}) }

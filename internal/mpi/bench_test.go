@@ -1,0 +1,126 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Collective micro-benchmarks over the in-process transport: the algorithm
+// costs underneath the Horovod engine.
+
+func benchAllreduce(b *testing.B, ranks, elems int, algo string) {
+	w, err := NewWorld(ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bufs := make([][]float32, ranks)
+	for r := range bufs {
+		bufs[r] = make([]float32, elems)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(ranks)
+		for r := 0; r < ranks; r++ {
+			go func(r int) {
+				defer wg.Done()
+				c := w.Comm(r)
+				switch algo {
+				case "ring":
+					_ = c.AllreduceRing(bufs[r], OpSum)
+				case "rd":
+					_ = c.AllreduceRecursiveDoubling(bufs[r], OpSum)
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+	bytes := float64(4*elems) * float64(b.N)
+	b.ReportMetric(bytes/b.Elapsed().Seconds()/1e6, "MB/s/rank")
+}
+
+func BenchmarkRingAllreduce(b *testing.B) {
+	for _, ranks := range []int{2, 4, 8} {
+		for _, elems := range []int{1024, 262144} {
+			b.Run(fmt.Sprintf("ranks=%d/elems=%d", ranks, elems), func(b *testing.B) {
+				benchAllreduce(b, ranks, elems, "ring")
+			})
+		}
+	}
+}
+
+func BenchmarkRecursiveDoublingAllreduce(b *testing.B) {
+	for _, elems := range []int{1024, 262144} {
+		b.Run(fmt.Sprintf("ranks=4/elems=%d", elems), func(b *testing.B) {
+			benchAllreduce(b, 4, elems, "rd")
+		})
+	}
+}
+
+func BenchmarkBcast(b *testing.B) {
+	const ranks = 8
+	w, _ := NewWorld(ranks)
+	payload := make([]float32, 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(ranks)
+		for r := 0; r < ranks; r++ {
+			go func(r int) {
+				defer wg.Done()
+				buf := payload
+				if r != 0 {
+					buf = make([]float32, len(payload))
+				}
+				_ = w.Comm(r).Bcast(buf, 0)
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	const ranks = 8
+	w, _ := NewWorld(ranks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(ranks)
+		for r := 0; r < ranks; r++ {
+			go func(r int) {
+				defer wg.Done()
+				_ = w.Comm(r).Barrier()
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkSendRecvLatency(b *testing.B) {
+	w, _ := NewWorld(2)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	payload := []byte{1}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if _, err := c1.Recv(0, 1); err != nil {
+				return
+			}
+			if err := c1.Send(0, 2, payload); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c0.Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c0.Recv(1, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}

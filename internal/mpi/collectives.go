@@ -1,0 +1,295 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ReduceOp combines two float32 values element-wise during reductions.
+type ReduceOp func(a, b float32) float32
+
+// Predefined reduction operators.
+var (
+	// OpSum adds elements (the operator Horovod uses for gradients).
+	OpSum ReduceOp = func(a, b float32) float32 { return a + b }
+	// OpMax keeps the maximum.
+	OpMax ReduceOp = func(a, b float32) float32 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	// OpMin keeps the minimum.
+	OpMin ReduceOp = func(a, b float32) float32 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Barrier blocks until every rank has entered it (dissemination algorithm,
+// O(log p) rounds).
+func (c *Comm) Barrier() error {
+	p, r := c.Size(), c.Rank()
+	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
+		to := (r + k) % p
+		from := (r - k + p) % p
+		tag := tagBarrier + uint32(round)
+		errCh := make(chan error, 1)
+		go func() { errCh <- c.ep.Send(to, tag, nil) }()
+		if _, err := c.ep.Recv(from, tag); err != nil {
+			return fmt.Errorf("barrier round %d: %w", round, err)
+		}
+		if err := <-errCh; err != nil {
+			return fmt.Errorf("barrier round %d: %w", round, err)
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's buf to all ranks using a binomial tree
+// (O(log p) latency, the algorithm MPI libraries use for small payloads).
+// All ranks must pass a buffer of identical length.
+func (c *Comm) Bcast(buf []float32, root int) error {
+	b, err := c.BcastBytes(floatsToBytes(buf), root)
+	if err != nil {
+		return err
+	}
+	f, err := bytesToFloats(b)
+	if err != nil {
+		return err
+	}
+	copy(buf, f)
+	return nil
+}
+
+// BcastBytes broadcasts root's payload to all ranks and returns it.
+// Non-root callers may pass nil.
+func (c *Comm) BcastBytes(payload []byte, root int) ([]byte, error) {
+	p, r := c.Size(), c.Rank()
+	if root < 0 || root >= p {
+		return nil, fmt.Errorf("bcast: root %d out of range", root)
+	}
+	if p == 1 {
+		return payload, nil
+	}
+	// Standard MPICH binomial tree, rotated so the tree is rooted at 0:
+	// ranks receive from (vr - lowbit) and forward to vr + mask for
+	// descending power-of-two masks below their lowbit.
+	vr := (r - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := (vr - mask + root) % p
+			b, err := c.ep.Recv(parent, tagBcast)
+			if err != nil {
+				return nil, fmt.Errorf("bcast recv: %w", err)
+			}
+			payload = b
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < p {
+			child := (vr + mask + root) % p
+			if err := c.ep.Send(child, tagBcast, payload); err != nil {
+				return nil, fmt.Errorf("bcast send: %w", err)
+			}
+		}
+	}
+	return payload, nil
+}
+
+// Allreduce reduces buf element-wise across all ranks with op, leaving the
+// result in every rank's buf. Algorithm selection follows MPI practice:
+// recursive doubling for power-of-two jobs and small payloads, ring
+// otherwise (bandwidth-optimal for large gradients).
+func (c *Comm) Allreduce(buf []float32, op ReduceOp) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	if isPow2(c.Size()) && len(buf) <= 4096 {
+		return c.AllreduceRecursiveDoubling(buf, op)
+	}
+	return c.AllreduceRing(buf, op)
+}
+
+// AllreduceRing is the bandwidth-optimal ring allreduce: a reduce-scatter
+// phase followed by an allgather phase, each of p-1 steps moving 1/p of the
+// buffer. Total bytes on the wire per rank: 2(p-1)/p * len(buf)*4.
+func (c *Comm) AllreduceRing(buf []float32, op ReduceOp) error {
+	p, r := c.Size(), c.Rank()
+	if p == 1 {
+		return nil
+	}
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	bounds := chunkBounds(len(buf), p)
+	step := func(round int, sendChunk, recvChunk int, reduce bool) error {
+		tag := tagAllreduce + uint32(round)
+		sLo, sHi := bounds[sendChunk], bounds[sendChunk+1]
+		rLo, rHi := bounds[recvChunk], bounds[recvChunk+1]
+		// Serialize before spawning the send; the received chunk is written
+		// into a different region of buf, but snapshotting keeps the send
+		// independent of any later mutation.
+		out := floatsToBytes(buf[sLo:sHi])
+		errCh := make(chan error, 1)
+		go func() { errCh <- c.ep.Send(right, tag, out) }()
+		in, err := c.RecvFloats(left, tag)
+		if err != nil {
+			return err
+		}
+		if len(in) != rHi-rLo {
+			return fmt.Errorf("ring allreduce: got %d elems, want %d", len(in), rHi-rLo)
+		}
+		if reduce {
+			dst := buf[rLo:rHi]
+			for i := range dst {
+				dst[i] = op(dst[i], in[i])
+			}
+		} else {
+			copy(buf[rLo:rHi], in)
+		}
+		return <-errCh
+	}
+	// Reduce-scatter.
+	for s := 0; s < p-1; s++ {
+		sendChunk := (r - s + p) % p
+		recvChunk := (r - s - 1 + p) % p
+		if err := step(s, sendChunk, recvChunk, true); err != nil {
+			return fmt.Errorf("ring allreduce reduce-scatter step %d: %w", s, err)
+		}
+	}
+	// Allgather.
+	for s := 0; s < p-1; s++ {
+		sendChunk := (r + 1 - s + p) % p
+		recvChunk := (r - s + p) % p
+		if err := step(p-1+s, sendChunk, recvChunk, false); err != nil {
+			return fmt.Errorf("ring allreduce allgather step %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// AllreduceRecursiveDoubling exchanges full buffers along hypercube
+// dimensions; latency-optimal (log p rounds) for small payloads. The job
+// size must be a power of two.
+func (c *Comm) AllreduceRecursiveDoubling(buf []float32, op ReduceOp) error {
+	p, r := c.Size(), c.Rank()
+	if !isPow2(p) {
+		return fmt.Errorf("recursive doubling requires power-of-two size, got %d", p)
+	}
+	for mask, round := 1, 0; mask < p; mask, round = mask<<1, round+1 {
+		peer := r ^ mask
+		tag := tagAllreduce + 0x8000 + uint32(round)
+		// Serialize before spawning the send: the reduce below mutates buf.
+		out := floatsToBytes(buf)
+		errCh := make(chan error, 1)
+		go func() { errCh <- c.ep.Send(peer, tag, out) }()
+		in, err := c.RecvFloats(peer, tag)
+		if err != nil {
+			return fmt.Errorf("recursive doubling round %d: %w", round, err)
+		}
+		if len(in) != len(buf) {
+			return fmt.Errorf("recursive doubling: length mismatch %d vs %d", len(in), len(buf))
+		}
+		for i := range buf {
+			buf[i] = op(buf[i], in[i])
+		}
+		if err := <-errCh; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllgatherBytes gathers every rank's (variable-length) payload and returns
+// them indexed by rank, on every rank. Implemented as gather-to-root plus
+// broadcast, the pattern Horovod's coordinator uses for readiness messages.
+func (c *Comm) AllgatherBytes(mine []byte) ([][]byte, error) {
+	p, r := c.Size(), c.Rank()
+	parts := make([][]byte, p)
+	if r == 0 {
+		parts[0] = append([]byte(nil), mine...)
+		for from := 1; from < p; from++ {
+			b, err := c.ep.Recv(from, tagGather)
+			if err != nil {
+				return nil, fmt.Errorf("allgather recv from %d: %w", from, err)
+			}
+			parts[from] = b
+		}
+	} else {
+		if err := c.ep.Send(0, tagGather, mine); err != nil {
+			return nil, fmt.Errorf("allgather send: %w", err)
+		}
+	}
+	packed, err := c.BcastBytes(packParts(parts), 0)
+	if err != nil {
+		return nil, err
+	}
+	return unpackParts(packed)
+}
+
+// packParts frames variable-length blobs as [count][len0]blob0[len1]blob1...
+func packParts(parts [][]byte) []byte {
+	size := 4
+	for _, p := range parts {
+		size += 4 + len(p)
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(parts)))
+	out = append(out, hdr[:]...)
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		out = append(out, hdr[:]...)
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unpackParts(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("mpi: truncated pack header")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	// Each part needs at least a 4-byte length header; a count beyond that
+	// is hostile or corrupt input, not a short read.
+	if uint64(n)*4 > uint64(len(b)) {
+		return nil, fmt.Errorf("mpi: pack count %d impossible for %d bytes", n, len(b))
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("mpi: truncated pack length %d", i)
+		}
+		l := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < l {
+			return nil, fmt.Errorf("mpi: truncated pack payload %d", i)
+		}
+		out[i] = b[:l]
+		b = b[l:]
+	}
+	return out, nil
+}
+
+func chunkBounds(n, p int) []int {
+	bounds := make([]int, p+1)
+	base, rem := n/p, n%p
+	off := 0
+	for i := 0; i < p; i++ {
+		bounds[i] = off
+		off += base
+		if i < rem {
+			off++
+		}
+	}
+	bounds[p] = n
+	return bounds
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }

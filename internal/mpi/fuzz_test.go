@@ -1,0 +1,54 @@
+package mpi
+
+import "testing"
+
+// FuzzUnpackParts hardens the variable-length framing used by
+// AllgatherBytes: arbitrary input must never panic, and every valid packing
+// must round-trip.
+func FuzzUnpackParts(f *testing.F) {
+	f.Add(packParts(nil))
+	f.Add(packParts([][]byte{{1, 2, 3}}))
+	f.Add(packParts([][]byte{nil, []byte("hello"), {0}}))
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, err := unpackParts(data)
+		if err != nil {
+			return
+		}
+		re := packParts(parts)
+		parts2, err := unpackParts(re)
+		if err != nil {
+			t.Fatalf("re-pack failed: %v", err)
+		}
+		if len(parts2) != len(parts) {
+			t.Fatalf("count mismatch %d vs %d", len(parts2), len(parts))
+		}
+		for i := range parts {
+			if string(parts[i]) != string(parts2[i]) {
+				t.Fatalf("part %d mismatch", i)
+			}
+		}
+	})
+}
+
+// FuzzBytesToFloats ensures the float codec rejects bad lengths without
+// panicking and round-trips valid payloads.
+func FuzzBytesToFloats(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(floatsToBytes([]float32{1.5, -2.25, 0}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs, err := bytesToFloats(data)
+		if err != nil {
+			if len(data)%4 == 0 {
+				t.Fatalf("aligned payload rejected: %v", err)
+			}
+			return
+		}
+		re := floatsToBytes(fs)
+		if string(re) != string(data) {
+			t.Fatal("float round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// inprocMsg is one queued message.
+type inprocMsg struct {
+	tag     uint32
+	payload []byte
+}
+
+// World is an in-process MPI job: n ranks connected through buffered
+// channels. It models the paper's multi-process (MP) single-node
+// configuration without OS processes, which lets tests run hundreds of
+// "ranks" cheaply.
+type World struct {
+	n     int
+	boxes [][]chan inprocMsg // boxes[to][from]
+	once  []sync.Once
+}
+
+// NewWorld creates an n-rank in-process job.
+func NewWorld(n int) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", n)
+	}
+	w := &World{n: n, boxes: make([][]chan inprocMsg, n), once: make([]sync.Once, n)}
+	for to := 0; to < n; to++ {
+		w.boxes[to] = make([]chan inprocMsg, n)
+		for from := 0; from < n; from++ {
+			w.boxes[to][from] = make(chan inprocMsg, 1024)
+		}
+	}
+	return w, nil
+}
+
+// Size returns the job size.
+func (w *World) Size() int { return w.n }
+
+// Comm returns rank r's communicator.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.n {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.n))
+	}
+	return NewComm(&inprocEndpoint{w: w, rank: r})
+}
+
+// Run spawns fn for every rank on its own goroutine and waits for all to
+// return, collecting the first non-nil error.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.n)
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for r := 0; r < w.n; r++ {
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+type inprocEndpoint struct {
+	w      *World
+	rank   int
+	closed bool
+	mu     sync.Mutex
+}
+
+func (e *inprocEndpoint) Rank() int { return e.rank }
+func (e *inprocEndpoint) Size() int { return e.w.n }
+
+func (e *inprocEndpoint) Send(to int, tag uint32, payload []byte) error {
+	if err := e.check(to); err != nil {
+		return err
+	}
+	// Copy so senders may reuse their buffer immediately (MPI semantics).
+	cp := append([]byte(nil), payload...)
+	e.w.boxes[to][e.rank] <- inprocMsg{tag: tag, payload: cp}
+	return nil
+}
+
+func (e *inprocEndpoint) Recv(from int, tag uint32) ([]byte, error) {
+	if err := e.check(from); err != nil {
+		return nil, err
+	}
+	m, ok := <-e.w.boxes[e.rank][from]
+	if !ok {
+		return nil, fmt.Errorf("mpi: rank %d mailbox from %d closed", e.rank, from)
+	}
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %#x from %d, got %#x", e.rank, tag, from, m.tag)
+	}
+	return m.payload, nil
+}
+
+func (e *inprocEndpoint) check(peer int) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("mpi: rank %d endpoint is closed", e.rank)
+	}
+	if peer < 0 || peer >= e.w.n {
+		return fmt.Errorf("mpi: peer %d out of range [0,%d)", peer, e.w.n)
+	}
+	if peer == e.rank {
+		return fmt.Errorf("mpi: rank %d self-messaging is not supported", e.rank)
+	}
+	return nil
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("mpi: rank %d double close", e.rank)
+	}
+	e.closed = true
+	return nil
+}

@@ -1,0 +1,102 @@
+// Package mpi implements a message-passing runtime in the style of MPI —
+// the role MVAPICH2 plays in the reproduced paper. It provides ranked
+// point-to-point messaging over two transports (in-process channels and
+// TCP), and the collectives distributed DNN training needs: Barrier, Bcast,
+// ring and recursive-doubling Allreduce, and Allgather.
+//
+// Collective algorithms are implemented once against the Endpoint interface
+// so both transports share them, mirroring how MPI layers collectives over
+// point-to-point transport channels.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Endpoint is one rank's point-to-point transport handle.
+type Endpoint interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the job.
+	Size() int
+	// Send delivers payload to rank `to` with a matching tag. It may block
+	// until the receiver has buffer space but must not require the receiver
+	// to have posted a Recv.
+	Send(to int, tag uint32, payload []byte) error
+	// Recv returns the next message from rank `from`; the message's tag
+	// must equal tag (our protocols are deterministic per peer pair).
+	Recv(from int, tag uint32) ([]byte, error)
+	// Close releases transport resources. Further calls error.
+	Close() error
+}
+
+// Comm wraps an Endpoint with collective operations.
+type Comm struct {
+	ep Endpoint
+}
+
+// NewComm wraps ep in a Comm.
+func NewComm(ep Endpoint) *Comm { return &Comm{ep: ep} }
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.ep.Rank() }
+
+// Size returns the job size.
+func (c *Comm) Size() int { return c.ep.Size() }
+
+// Close closes the underlying endpoint.
+func (c *Comm) Close() error { return c.ep.Close() }
+
+// Send delivers raw bytes to a peer.
+func (c *Comm) Send(to int, tag uint32, payload []byte) error { return c.ep.Send(to, tag, payload) }
+
+// Recv receives raw bytes from a peer.
+func (c *Comm) Recv(from int, tag uint32) ([]byte, error) { return c.ep.Recv(from, tag) }
+
+// SendFloats delivers a float32 vector to a peer.
+func (c *Comm) SendFloats(to int, tag uint32, data []float32) error {
+	return c.ep.Send(to, tag, floatsToBytes(data))
+}
+
+// RecvFloats receives a float32 vector from a peer.
+func (c *Comm) RecvFloats(from int, tag uint32) ([]float32, error) {
+	b, err := c.ep.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	return bytesToFloats(b)
+}
+
+func floatsToBytes(data []float32) []byte {
+	out := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+func bytesToFloats(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("mpi: float payload length %d not a multiple of 4", len(b))
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}
+
+// Tag spaces for the built-in protocols. User messages should use tags
+// below TagBase.
+const (
+	// TagBase is the first tag reserved for collective protocols.
+	TagBase uint32 = 1 << 24
+
+	tagBarrier   = TagBase + 0x010000
+	tagBcast     = TagBase + 0x020000
+	tagAllreduce = TagBase + 0x030000
+	tagAllgather = TagBase + 0x040000
+	tagGather    = TagBase + 0x050000
+)

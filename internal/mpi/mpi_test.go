@@ -1,0 +1,339 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorldSizeValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Fatal("expected error for size 0")
+	}
+}
+
+func TestInprocSendRecv(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.SendFloats(1, 7, []float32{1, 2, 3})
+		}
+		got, err := c.RecvFloats(0, 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 3 || got[2] != 3 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInprocTagMismatch(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []byte{0})
+		}
+		_, err := c.Recv(0, 2)
+		if err == nil {
+			return fmt.Errorf("expected tag mismatch error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInprocSelfSendRejected(t *testing.T) {
+	w, _ := NewWorld(2)
+	c := w.Comm(0)
+	if err := c.Send(0, 1, nil); err == nil {
+		t.Fatal("self send must error")
+	}
+	if err := c.Send(5, 1, nil); err == nil {
+		t.Fatal("out-of-range send must error")
+	}
+}
+
+func TestClosedEndpointErrors(t *testing.T) {
+	w, _ := NewWorld(2)
+	c := w.Comm(0)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(1, 1, nil); err == nil {
+		t.Fatal("send after close must error")
+	}
+	if err := c.Close(); err == nil {
+		t.Fatal("double close must error")
+	}
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13} {
+		w, _ := NewWorld(n)
+		var mu sync.Mutex
+		arrived := 0
+		err := w.Run(func(c *Comm) error {
+			mu.Lock()
+			arrived++
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if arrived != n {
+				return fmt.Errorf("rank %d passed barrier with %d/%d arrived", c.Rank(), arrived, n)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBcastAllRootsAndSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		for root := 0; root < n; root++ {
+			w, _ := NewWorld(n)
+			err := w.Run(func(c *Comm) error {
+				buf := make([]float32, 5)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = float32(root*10 + i)
+					}
+				}
+				if err := c.Bcast(buf, root); err != nil {
+					return err
+				}
+				for i := range buf {
+					if buf[i] != float32(root*10+i) {
+						return fmt.Errorf("rank %d buf %v", c.Rank(), buf)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func allreduceReference(vectors [][]float32, op ReduceOp) []float32 {
+	out := append([]float32(nil), vectors[0]...)
+	for _, v := range vectors[1:] {
+		for i := range out {
+			out[i] = op(out[i], v[i])
+		}
+	}
+	return out
+}
+
+func runAllreduce(t *testing.T, n, l int, algo string) {
+	t.Helper()
+	w, _ := NewWorld(n)
+	vectors := make([][]float32, n)
+	for r := range vectors {
+		vectors[r] = make([]float32, l)
+		for i := range vectors[r] {
+			vectors[r][i] = float32(r*1000+i) * 0.25
+		}
+	}
+	want := allreduceReference(vectors, OpSum)
+	err := w.Run(func(c *Comm) error {
+		buf := append([]float32(nil), vectors[c.Rank()]...)
+		var err error
+		switch algo {
+		case "ring":
+			err = c.AllreduceRing(buf, OpSum)
+		case "rd":
+			err = c.AllreduceRecursiveDoubling(buf, OpSum)
+		default:
+			err = c.Allreduce(buf, OpSum)
+		}
+		if err != nil {
+			return err
+		}
+		for i := range buf {
+			diff := buf[i] - want[i]
+			if diff > 1e-2 || diff < -1e-2 {
+				return fmt.Errorf("rank %d elem %d: got %v want %v", c.Rank(), i, buf[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("n=%d l=%d algo=%s: %v", n, l, algo, err)
+	}
+}
+
+func TestRingAllreduce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		for _, l := range []int{1, 3, 16, 1000} {
+			runAllreduce(t, n, l, "ring")
+		}
+	}
+}
+
+func TestRecursiveDoublingAllreduce(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, l := range []int{1, 7, 256} {
+			runAllreduce(t, n, l, "rd")
+		}
+	}
+}
+
+func TestRecursiveDoublingRejectsNonPow2(t *testing.T) {
+	w, _ := NewWorld(3)
+	c := w.Comm(0)
+	if err := c.AllreduceRecursiveDoubling(make([]float32, 4), OpSum); err == nil {
+		t.Fatal("expected error for non-power-of-two size")
+	}
+}
+
+func TestAllreduceAutoSelect(t *testing.T) {
+	runAllreduce(t, 4, 100, "auto")   // small pow2: recursive doubling
+	runAllreduce(t, 6, 10000, "auto") // ring
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		buf := []float32{float32(c.Rank()), float32(-c.Rank())}
+		if err := c.AllreduceRing(buf, OpMax); err != nil {
+			return err
+		}
+		if buf[0] != 3 || buf[1] != 0 {
+			return fmt.Errorf("max got %v", buf)
+		}
+		buf = []float32{float32(c.Rank())}
+		if err := c.AllreduceRing(buf, OpMin); err != nil {
+			return err
+		}
+		if buf[0] != 0 {
+			return fmt.Errorf("min got %v", buf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherBytes(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		w, _ := NewWorld(n)
+		err := w.Run(func(c *Comm) error {
+			mine := []byte(fmt.Sprintf("rank-%d-payload", c.Rank()))
+			if c.Rank() == 1 {
+				mine = nil // variable length, including empty
+			}
+			parts, err := c.AllgatherBytes(mine)
+			if err != nil {
+				return err
+			}
+			if len(parts) != n {
+				return fmt.Errorf("got %d parts", len(parts))
+			}
+			for r, p := range parts {
+				want := fmt.Sprintf("rank-%d-payload", r)
+				if r == 1 && n > 1 {
+					want = ""
+				}
+				if string(p) != want {
+					return fmt.Errorf("part %d = %q, want %q", r, p, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// Property: ring allreduce with OpSum equals the serial sum for random
+// vectors, sizes and lengths.
+func TestQuickAllreduceSum(t *testing.T) {
+	f := func(seed int64, nRaw, lRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		l := int(lRaw%64) + 1
+		w, _ := NewWorld(n)
+		vectors := make([][]float32, n)
+		s := seed
+		for r := range vectors {
+			vectors[r] = make([]float32, l)
+			for i := range vectors[r] {
+				s = s*6364136223846793005 + 1442695040888963407
+				vectors[r][i] = float32(s%1000) / 100
+			}
+		}
+		want := allreduceReference(vectors, OpSum)
+		ok := true
+		err := w.Run(func(c *Comm) error {
+			buf := append([]float32(nil), vectors[c.Rank()]...)
+			if err := c.AllreduceRing(buf, OpSum); err != nil {
+				return err
+			}
+			for i := range buf {
+				d := buf[i] - want[i]
+				if d > 1e-2 || d < -1e-2 {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	parts := [][]byte{[]byte("a"), nil, []byte("hello world"), {0, 1, 2}}
+	got, err := unpackParts(packParts(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range parts {
+		if string(got[i]) != string(parts[i]) {
+			t.Fatalf("part %d mismatch", i)
+		}
+	}
+	if _, err := unpackParts([]byte{1, 2}); err == nil {
+		t.Fatal("truncated header must error")
+	}
+	if _, err := unpackParts([]byte{1, 0, 0, 0, 9, 0, 0, 0, 1}); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	b := chunkBounds(10, 3)
+	want := []int{0, 4, 7, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds %v", b)
+		}
+	}
+	b = chunkBounds(2, 4) // more ranks than elements
+	if b[0] != 0 || b[4] != 2 {
+		t.Fatalf("bounds %v", b)
+	}
+}

@@ -1,0 +1,366 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP wire format: every frame is [4B payloadLen][4B tag][payload].
+// Bootstrap: rank 0 runs a rendezvous service at a known address; every
+// rank registers its own listener address, receives the full table, and the
+// job then builds a full mesh (rank i dials every j < i; j accepts and
+// learns i from a hello frame).
+
+const (
+	tcpHelloTag   = 0xfffffffe
+	tcpDialWindow = 10 * time.Second
+)
+
+type tcpEndpoint struct {
+	rank, size int
+	conns      []*tcpConn // indexed by peer rank; nil at self
+	boxes      []chan inprocMsg
+	errs       []chan error
+	listener   net.Listener
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+type tcpConn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes writes
+}
+
+func (tc *tcpConn) writeFrame(tag uint32, payload []byte) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], tag)
+	if _, err := tc.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := tc.c.Write(payload)
+	return err
+}
+
+// maxFrameBytes bounds a single TCP frame (1 GiB): larger lengths indicate
+// a corrupt or hostile stream, not a legitimate gradient payload.
+const maxFrameBytes = 1 << 30
+
+func readFrame(c net.Conn) (uint32, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	tag := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("mpi: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c, payload); err != nil {
+		return 0, nil, err
+	}
+	return tag, payload, nil
+}
+
+// DialTCP joins a size-rank TCP job as the given rank. rootAddr is the
+// rendezvous address rank 0 listens on; bindAddr is this rank's listen
+// address pattern (use "127.0.0.1:0" to pick a free port).
+func DialTCP(rank, size int, rootAddr, bindAddr string) (*Comm, error) {
+	if size < 1 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: invalid rank %d of %d", rank, size)
+	}
+	ep := &tcpEndpoint{
+		rank:  rank,
+		size:  size,
+		conns: make([]*tcpConn, size),
+		boxes: make([]chan inprocMsg, size),
+		errs:  make([]chan error, size),
+	}
+	for i := range ep.boxes {
+		ep.boxes[i] = make(chan inprocMsg, 1024)
+		ep.errs[i] = make(chan error, 1)
+	}
+	if size == 1 {
+		return NewComm(ep), nil
+	}
+
+	var ln net.Listener
+	var err error
+	if rank == 0 {
+		ln, err = net.Listen("tcp", rootAddr)
+	} else {
+		ln, err = net.Listen("tcp", bindAddr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mpi: listen: %w", err)
+	}
+	ep.listener = ln
+
+	table, err := rendezvous(rank, size, rootAddr, ln)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if err := ep.mesh(table); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	for peer, tc := range ep.conns {
+		if tc != nil {
+			go ep.readLoop(peer, tc)
+		}
+	}
+	return NewComm(ep), nil
+}
+
+// rendezvous exchanges listener addresses through rank 0 and returns the
+// full table.
+func rendezvous(rank, size int, rootAddr string, ln net.Listener) ([]string, error) {
+	table := make([]string, size)
+	if rank == 0 {
+		table[0] = ln.Addr().String()
+		regs := make([]net.Conn, 0, size-1)
+		for i := 1; i < size; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return nil, fmt.Errorf("mpi: rendezvous accept: %w", err)
+			}
+			tag, payload, err := readFrame(c)
+			if err != nil || tag != tcpHelloTag || len(payload) < 4 {
+				c.Close()
+				return nil, fmt.Errorf("mpi: bad registration (tag %#x): %v", tag, err)
+			}
+			r := int(binary.LittleEndian.Uint32(payload))
+			if r < 1 || r >= size || table[r] != "" {
+				c.Close()
+				return nil, fmt.Errorf("mpi: bad or duplicate registration rank %d", r)
+			}
+			table[r] = string(payload[4:])
+			regs = append(regs, c)
+		}
+		packed := packParts(stringsToBytes(table))
+		for _, c := range regs {
+			tc := &tcpConn{c: c}
+			if err := tc.writeFrame(tcpHelloTag, packed); err != nil {
+				return nil, fmt.Errorf("mpi: rendezvous reply: %w", err)
+			}
+			c.Close()
+		}
+		return table, nil
+	}
+
+	// Non-root: register with retries (root may not be up yet).
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(tcpDialWindow)
+	for {
+		conn, err = net.Dial("tcp", rootAddr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mpi: rendezvous dial %s: %w", rootAddr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer conn.Close()
+	payload := make([]byte, 4+len(ln.Addr().String()))
+	binary.LittleEndian.PutUint32(payload, uint32(rank))
+	copy(payload[4:], ln.Addr().String())
+	tc := &tcpConn{c: conn}
+	if err := tc.writeFrame(tcpHelloTag, payload); err != nil {
+		return nil, fmt.Errorf("mpi: register: %w", err)
+	}
+	tag, packed, err := readFrame(conn)
+	if err != nil || tag != tcpHelloTag {
+		return nil, fmt.Errorf("mpi: rendezvous table (tag %#x): %v", tag, err)
+	}
+	parts, err := unpackParts(packed)
+	if err != nil || len(parts) != size {
+		return nil, fmt.Errorf("mpi: rendezvous table decode: %v", err)
+	}
+	for i, p := range parts {
+		table[i] = string(p)
+	}
+	return table, nil
+}
+
+func stringsToBytes(ss []string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+// mesh dials every lower rank and accepts every higher rank.
+func (ep *tcpEndpoint) mesh(table []string) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for accepted := 0; accepted < ep.size-1-ep.rank; accepted++ {
+			c, err := ep.listener.Accept()
+			if err != nil {
+				record(fmt.Errorf("mpi: mesh accept: %w", err))
+				return
+			}
+			tag, payload, err := readFrame(c)
+			if err != nil || tag != tcpHelloTag || len(payload) != 4 {
+				c.Close()
+				record(fmt.Errorf("mpi: mesh hello: %v", err))
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(payload))
+			if peer <= ep.rank || peer >= ep.size {
+				c.Close()
+				record(fmt.Errorf("mpi: mesh hello from invalid rank %d", peer))
+				return
+			}
+			mu.Lock()
+			ep.conns[peer] = &tcpConn{c: c}
+			mu.Unlock()
+		}
+	}()
+	for peer := 0; peer < ep.rank; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			var c net.Conn
+			var err error
+			deadline := time.Now().Add(tcpDialWindow)
+			for {
+				c, err = net.Dial("tcp", table[peer])
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					record(fmt.Errorf("mpi: mesh dial rank %d: %w", peer, err))
+					return
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			tc := &tcpConn{c: c}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(ep.rank))
+			if err := tc.writeFrame(tcpHelloTag, hello[:]); err != nil {
+				record(fmt.Errorf("mpi: mesh hello to %d: %w", peer, err))
+				return
+			}
+			mu.Lock()
+			ep.conns[peer] = tc
+			mu.Unlock()
+		}(peer)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func (ep *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
+	for {
+		tag, payload, err := readFrame(tc.c)
+		if err != nil {
+			select {
+			case ep.errs[peer] <- err:
+			default:
+			}
+			close(ep.boxes[peer])
+			return
+		}
+		ep.boxes[peer] <- inprocMsg{tag: tag, payload: payload}
+	}
+}
+
+func (ep *tcpEndpoint) Rank() int { return ep.rank }
+func (ep *tcpEndpoint) Size() int { return ep.size }
+
+func (ep *tcpEndpoint) Send(to int, tag uint32, payload []byte) error {
+	if to < 0 || to >= ep.size || to == ep.rank {
+		return fmt.Errorf("mpi: invalid send target %d", to)
+	}
+	tc := ep.conns[to]
+	if tc == nil {
+		return fmt.Errorf("mpi: no connection to rank %d", to)
+	}
+	return tc.writeFrame(tag, payload)
+}
+
+func (ep *tcpEndpoint) Recv(from int, tag uint32) ([]byte, error) {
+	if from < 0 || from >= ep.size || from == ep.rank {
+		return nil, fmt.Errorf("mpi: invalid recv source %d", from)
+	}
+	m, ok := <-ep.boxes[from]
+	if !ok {
+		err := <-ep.errs[from]
+		return nil, fmt.Errorf("mpi: connection to rank %d: %w", from, err)
+	}
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpi: expected tag %#x from %d, got %#x", tag, from, m.tag)
+	}
+	return m.payload, nil
+}
+
+func (ep *tcpEndpoint) Close() error {
+	ep.closeOnce.Do(func() {
+		if ep.listener != nil {
+			ep.closeErr = ep.listener.Close()
+		}
+		for _, tc := range ep.conns {
+			if tc != nil {
+				tc.c.Close()
+			}
+		}
+	})
+	return ep.closeErr
+}
+
+// StartLocalTCPJob bootstraps an n-rank TCP job entirely over loopback in
+// this process (each rank on its own goroutine during setup) and returns the
+// communicators indexed by rank. Used by tests and the quickstart tooling.
+func StartLocalTCPJob(n int) ([]*Comm, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rootAddr := ln.Addr().String()
+	ln.Close() // free the port for rank 0 to claim
+
+	comms := make([]*Comm, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = DialTCP(r, n, rootAddr, "127.0.0.1:0")
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, c := range comms {
+				if c != nil {
+					c.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return comms, nil
+}

@@ -1,0 +1,70 @@
+package perf
+
+import (
+	"math"
+
+	"dnnperf/internal/hw"
+)
+
+// Communication time models for the MVAPICH2-style hierarchy Horovod runs
+// on: shared-memory collectives inside a node, a bandwidth-optimal ring
+// across nodes, and a latency-bound negotiation round for the Horovod
+// control plane.
+
+// smLatencyUS is the per-hop latency of shared-memory message passing.
+const smLatencyUS = 0.4
+
+// smBWFraction is the fraction of stream bandwidth an intra-node
+// reduction sustains (read+reduce+write traffic).
+const smBWFraction = 0.4
+
+// IntraNodeAllreduceTime models a shared-memory allreduce among ppn ranks
+// on one node (reduce-scatter + allgather through memory).
+func IntraNodeAllreduceTime(bytes int64, ppn int, cpu hw.CPU) float64 {
+	if ppn <= 1 {
+		return 0
+	}
+	bw := cpu.MemBWGBs * 1e9 * smBWFraction
+	vol := 2 * float64(bytes) * float64(ppn-1) / float64(ppn)
+	return vol/bw + float64(2*ppn)*smLatencyUS*1e-6
+}
+
+// InterNodeRingTime models a ring allreduce across nodes at NIC bandwidth:
+// 2(n-1)/n of the payload crosses each NIC, with 2(n-1) latency hops.
+func InterNodeRingTime(bytes int64, nodes int, net hw.Network) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	vol := 2 * float64(bytes) * float64(nodes-1) / float64(nodes)
+	return vol/(net.BandwidthGBs*1e9) + 2*float64(nodes-1)*net.LatencyUS*1e-6
+}
+
+// AllreduceTime is the full hierarchical gradient allreduce: intra-node
+// reduce, inter-node ring on one leader rank per node, intra-node
+// broadcast of the result. Single-node multi-process jobs pay only the
+// shared-memory part — why the paper's MP-on-one-node overhead is small.
+func AllreduceTime(bytes int64, nodes, ppn int, net hw.Network, cpu hw.CPU) float64 {
+	t := IntraNodeAllreduceTime(bytes, ppn, cpu)
+	t += InterNodeRingTime(bytes, nodes, net)
+	if ppn > 1 && nodes > 1 {
+		// Intra-node result broadcast after the inter-node phase.
+		t += float64(bytes) / (cpu.MemBWGBs * 1e9 * smBWFraction) * float64(ppn-1) / float64(ppn)
+	}
+	return t
+}
+
+// NegotiationTime models one Horovod control-plane cycle: the coordinator
+// gathers readiness bitsets and broadcasts the response — latency-bound
+// small messages over log2(p) tree levels.
+func NegotiationTime(nodes, ppn int, net hw.Network) float64 {
+	p := nodes * ppn
+	if p <= 1 {
+		return 0
+	}
+	hops := 2 * math.Ceil(math.Log2(float64(p)))
+	lat := smLatencyUS
+	if nodes > 1 {
+		lat = net.LatencyUS
+	}
+	return hops * lat * 1e-6
+}

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"math"
+
+	"dnnperf/internal/hw"
+)
+
+// OpShape carries the cost-relevant facts of one operator instance.
+type OpShape struct {
+	// FLOPs is the floating-point work of this op execution (whole batch).
+	FLOPs int64
+	// Bytes is the memory traffic: inputs + outputs + parameters, in bytes.
+	Bytes int64
+	// ParallelWidth bounds the exploitable intra-op parallelism (work
+	// units): MKL-DNN convolution kernels parallelize over batch and
+	// spatial blocks, so small batches cannot feed many threads — the
+	// mechanism behind the paper's batch-size/thread-count interplay.
+	ParallelWidth int
+}
+
+// ExecEnv is the execution environment of one rank: the CPU platform, the
+// framework profile, the rank's core allotment (a node's cores divided by
+// ppn in the paper's multi-process configurations), and its intra-op
+// thread count.
+type ExecEnv struct {
+	CPU     hw.CPU
+	FW      Framework
+	Threads int // intra-op software threads per rank
+
+	RankCores   int     // physical cores available to this rank
+	RankLogical int     // hardware threads available to this rank
+	MemBWGBs    float64 // memory bandwidth available to this rank
+}
+
+// NewExecEnv builds the environment for one of ppn ranks on cpu with the
+// given intra-op thread count (0 = one thread per allotted core).
+func NewExecEnv(cpu hw.CPU, fw Framework, ppn, intraThreads int) ExecEnv {
+	if ppn < 1 {
+		ppn = 1
+	}
+	cores := cpu.Cores() / ppn
+	if cores < 1 {
+		cores = 1
+	}
+	logical := cpu.LogicalCPUs() / ppn
+	if logical < 1 {
+		logical = 1
+	}
+	if intraThreads <= 0 {
+		intraThreads = cores
+	}
+	bw := cpu.MemBWGBs
+	if ppn > 1 {
+		bw /= float64(ppn)
+	}
+	return ExecEnv{
+		CPU: cpu, FW: fw, Threads: intraThreads,
+		RankCores: cores, RankLogical: logical, MemBWGBs: bw,
+	}
+}
+
+// OpTime returns the wall-clock seconds one op takes in this environment
+// when `activeShare` in (0,1] of the rank's compute is actually available
+// (processor sharing with concurrently running ops; 1 = dedicated).
+func (e ExecEnv) OpTime(op OpShape, activeShare float64) float64 {
+	threads := e.Threads
+	if threads > e.RankLogical {
+		threads = e.RankLogical
+	}
+	if op.ParallelWidth > 0 && threads > op.ParallelWidth {
+		threads = op.ParallelWidth
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	share := clamp(activeShare, 0.01, 1)
+
+	units := e.effectiveUnits(threads)
+	eff := amdahl(threads, e.FW.SerialFrac) * socketEff(e.CPU, e.FW, threads)
+	perCore := e.CPU.ClockGHz * 1e9 * kernelRate(e.CPU, e.FW)
+	rate := units * eff * perCore * share
+
+	tFlop := float64(op.FLOPs) / rate
+	// Memory-bound term: roughly half the rank's cores saturate its
+	// bandwidth share.
+	bwFrac := clamp(2*float64(threads)/float64(e.RankCores), 0.08, 1)
+	tMem := float64(op.Bytes) / (e.MemBWGBs * 1e9 * bwFrac * share)
+
+	return math.Max(tFlop, tMem) + e.FW.DispatchUS*1e-6
+}
+
+// effectiveUnits converts software threads into compute units: full value
+// up to the rank's physical cores, HTGain per hyper-thread beyond, an
+// oversubscription penalty past the physical cores.
+func (e ExecEnv) effectiveUnits(threads int) float64 {
+	return e.UnitsF(float64(threads))
+}
+
+// UnitsF is the continuous form of the thread→compute-unit conversion,
+// used by the simulator's processor-sharing model: when several ops
+// co-run, their combined thread demand is converted through this curve and
+// shared proportionally, so concurrency never conjures extra cores.
+func (e ExecEnv) UnitsF(threads float64) float64 {
+	logical := float64(e.RankLogical)
+	if threads > logical {
+		threads = logical
+	}
+	cores := float64(e.RankCores)
+	if threads <= cores {
+		return threads
+	}
+	u := cores + e.FW.HTGain*(threads-cores)
+	// The oversubscription penalty phases in as the hyper-thread range
+	// fills, so the curve stays monotone across the core boundary.
+	if logical <= cores {
+		return u * e.FW.OversubPenalty
+	}
+	frac := (threads - cores) / (logical - cores)
+	pen := 1 - (1-e.FW.OversubPenalty)*frac
+	return u * pen
+}
+
+// EffThreads returns the thread demand of an op in this environment: the
+// configured intra-op threads clipped by the op's parallel width and the
+// rank's hardware threads.
+func (e ExecEnv) EffThreads(op OpShape) int {
+	t := e.Threads
+	if t > e.RankLogical {
+		t = e.RankLogical
+	}
+	if op.ParallelWidth > 0 && t > op.ParallelWidth {
+		t = op.ParallelWidth
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// kernelRate returns the framework-adjusted sustained FLOP/cycle/core.
+func kernelRate(cpu hw.CPU, fw Framework) float64 {
+	if fw.UsesMKL && cpu.HasMKL {
+		return cpu.FlopsPerCycleMKL * fw.KernelEffMKL
+	}
+	return cpu.FlopsPerCycleGeneric * fw.KernelEffGeneric
+}
+
+// socketEff penalizes the fraction of an op's threads that spill across
+// the socket boundary (remote-NUMA memory traffic). This produces the
+// paper's 14-thread scaling knee on the dual-socket 28-core platforms.
+// Ranks with a within-socket core allotment (the MP configurations) never
+// cross, which is a key reason MP beats SP.
+func socketEff(cpu hw.CPU, fw Framework, threads int) float64 {
+	cps := cpu.CoresPerSocket
+	if threads <= cps {
+		return 1
+	}
+	cross := float64(threads-cps) / float64(threads)
+	return 1 - fw.SocketPenalty*cross
+}
+
+// CPUOpTime is the single-process whole-node convenience wrapper.
+func CPUOpTime(cpu hw.CPU, fw Framework, threads int, op OpShape, activeShare float64) float64 {
+	env := NewExecEnv(cpu, fw, 1, threads)
+	return env.OpTime(op, activeShare)
+}
+
+// IntraScalingCurve returns relative throughput versus thread count for an
+// op shape — the quantity Figures 1-4 plot. Exposed for tests and docs.
+func IntraScalingCurve(cpu hw.CPU, fw Framework, op OpShape, maxThreads int) []float64 {
+	out := make([]float64, maxThreads)
+	for t := 1; t <= maxThreads; t++ {
+		out[t-1] = 1 / CPUOpTime(cpu, fw, t, op, 1)
+	}
+	return out
+}
+
+// OptimizerTime models the SGD parameter update: a bandwidth-bound sweep
+// over parameters and gradients (read params + grads, write params).
+func (e ExecEnv) OptimizerTime(paramBytes int64) float64 {
+	bwFrac := clamp(2*float64(e.Threads)/float64(e.RankCores), 0.08, 1)
+	return float64(3*paramBytes) / (e.MemBWGBs * 1e9 * bwFrac)
+}

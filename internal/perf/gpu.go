@@ -1,0 +1,52 @@
+package perf
+
+import (
+	"math"
+
+	"dnnperf/internal/hw"
+)
+
+// GPUFramework is an execution profile of a framework's GPU backend.
+type GPUFramework struct {
+	Name string
+	// KernelEff scales sustained GPU throughput (cuDNN integration quality).
+	KernelEff float64
+	// LaunchEff scales kernel launch overhead (PyTorch's eager dispatch is
+	// leaner per launch than TF v1's session runtime, one reason the paper
+	// finds PyTorch faster on GPUs).
+	LaunchEff float64
+	// IterOverheadMS is the fixed per-iteration overhead.
+	IterOverheadMS float64
+}
+
+// TensorFlowGPU models TensorFlow v1.12 + cuDNN.
+var TensorFlowGPU = GPUFramework{Name: "TensorFlow", KernelEff: 1.0, LaunchEff: 1.0, IterOverheadMS: 4}
+
+// PyTorchGPU models PyTorch v1.1 + cuDNN: the paper measured it
+// consistently faster than TensorFlow on GPUs (up to 1.12x on 4 GPUs).
+var PyTorchGPU = GPUFramework{Name: "PyTorch", KernelEff: 1.10, LaunchEff: 0.6, IterOverheadMS: 2.5}
+
+// GPUComputeTime returns seconds of forward+backward compute for one
+// training iteration on a single GPU.
+func GPUComputeTime(gpu hw.GPU, fw GPUFramework, trainFLOPs int64, ops int, batch int) float64 {
+	rate := gpu.EffGFLOPs(batch) * 1e9 * fw.KernelEff
+	compute := float64(trainFLOPs) / rate
+	// Memory-bound floor: activations roughly 4 bytes per FLOP/50.
+	memFloor := float64(trainFLOPs) / 50 / (gpu.MemBWGBs * 1e9)
+	launches := float64(3*ops) * gpu.KernelLaunchUS * 1e-6 * fw.LaunchEff
+	return math.Max(compute, memFloor) + launches
+}
+
+// GPUIterTime returns one data-parallel training iteration across `gpus`
+// devices (one rank per GPU, NCCL/MPI-style ring between them) including
+// the exposed gradient allreduce. overlap in (0,1] is the fraction of
+// communication hidden under backprop.
+func GPUIterTime(gpu hw.GPU, fw GPUFramework, trainFLOPs int64, ops int, batch int,
+	gradBytes int64, gpus int, net hw.Network, overlap float64) float64 {
+	t := GPUComputeTime(gpu, fw, trainFLOPs, ops, batch)
+	if gpus > 1 {
+		comm := InterNodeRingTime(gradBytes, gpus, net)
+		t += comm * (1 - clamp(overlap, 0, 0.95))
+	}
+	return t + fw.IterOverheadMS*1e-3
+}

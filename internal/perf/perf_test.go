@@ -1,0 +1,239 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dnnperf/internal/hw"
+)
+
+// A representative convolution op: ResNet-50 3x3 conv at batch 32.
+var convOp = OpShape{FLOPs: 32 * 231e6, Bytes: 32 * 4e6, ParallelWidth: 32}
+
+func TestAmdahlBasics(t *testing.T) {
+	if amdahl(1, 0.5) != 1 {
+		t.Fatal("single thread must be fully efficient")
+	}
+	if !(amdahl(2, 0.01) > amdahl(4, 0.01) && amdahl(4, 0.01) > amdahl(16, 0.01)) {
+		t.Fatal("efficiency must fall with thread count")
+	}
+	if amdahl(8, 0.3) >= amdahl(8, 0.01) {
+		t.Fatal("higher serial fraction must mean lower efficiency")
+	}
+}
+
+func TestOpTimeDecreasesWithThreadsUpToSocket(t *testing.T) {
+	cpu := hw.Skylake1
+	prev := CPUOpTime(cpu, TensorFlowCPU, 1, convOp, 1)
+	for th := 2; th <= cpu.CoresPerSocket; th++ {
+		cur := CPUOpTime(cpu, TensorFlowCPU, th, convOp, 1)
+		if cur >= prev {
+			t.Fatalf("op time must fall up to the socket boundary: t=%d %g >= %g", th, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSocketKneeSkylake1(t *testing.T) {
+	// Figures 1-2: strong scaling to 14 threads, weak from 14 to 28.
+	cpu := hw.Skylake1
+	t1 := CPUOpTime(cpu, TensorFlowCPU, 1, convOp, 1)
+	t14 := CPUOpTime(cpu, TensorFlowCPU, 14, convOp, 1)
+	t28 := CPUOpTime(cpu, TensorFlowCPU, 28, convOp, 1)
+	sp14 := t1 / t14
+	sp28 := t1 / t28
+	if sp14 < 9 {
+		t.Fatalf("14-thread speedup %g too low", sp14)
+	}
+	gain := sp28 / sp14
+	if gain > 1.8 || gain < 1.0 {
+		t.Fatalf("14->28 thread gain %g should be modest (socket crossing)", gain)
+	}
+}
+
+func TestHyperThreadingWorseThanPhysical(t *testing.T) {
+	// Figure 4: 96 threads slower than 48 on Skylake-3.
+	cpu := hw.Skylake3
+	big := OpShape{FLOPs: 128 * 231e6, Bytes: 128 * 4e6, ParallelWidth: 128}
+	t48 := CPUOpTime(cpu, TensorFlowCPU, 48, big, 1)
+	t96 := CPUOpTime(cpu, TensorFlowCPU, 96, big, 1)
+	if t96 <= t48 {
+		t.Fatalf("96 threads (%g) must be slower than 48 (%g)", t96, t48)
+	}
+}
+
+func TestParallelWidthLimitsThreads(t *testing.T) {
+	cpu := hw.Skylake1
+	narrow := OpShape{FLOPs: 16 * 231e6, Bytes: 16 * 4e6, ParallelWidth: 16}
+	t16 := CPUOpTime(cpu, TensorFlowCPU, 16, narrow, 1)
+	t28 := CPUOpTime(cpu, TensorFlowCPU, 28, narrow, 1)
+	if t28 < t16*0.999 {
+		t.Fatalf("threads beyond the op's width must not help: %g vs %g", t28, t16)
+	}
+}
+
+func TestMKLFallbackOnAMD(t *testing.T) {
+	// The paper: Intel optimizations do not help EPYC.
+	op := convOp
+	intelTime := CPUOpTime(hw.Skylake3, TensorFlowCPU, 16, op, 1)
+	amdTime := CPUOpTime(hw.EPYC, TensorFlowCPU, 16, op, 1)
+	if amdTime <= intelTime {
+		t.Fatalf("EPYC on generic path (%g) must be slower than Skylake MKL (%g)", amdTime, intelTime)
+	}
+	if hw.EPYC.FlopsPerCycle(true) != hw.EPYC.FlopsPerCycle(false) {
+		t.Fatal("EPYC must fall back to the generic rate for the MKL path")
+	}
+}
+
+func TestExecEnvDividesCoresAmongRanks(t *testing.T) {
+	e1 := NewExecEnv(hw.Skylake3, TensorFlowCPU, 1, 0)
+	e4 := NewExecEnv(hw.Skylake3, TensorFlowCPU, 4, 0)
+	if e1.RankCores != 48 || e4.RankCores != 12 {
+		t.Fatalf("rank cores: %d / %d", e1.RankCores, e4.RankCores)
+	}
+	if e4.RankLogical != 24 {
+		t.Fatalf("rank logical: %d", e4.RankLogical)
+	}
+	if e4.MemBWGBs >= e1.MemBWGBs {
+		t.Fatal("ppn must divide bandwidth")
+	}
+	if e4.Threads != 12 {
+		t.Fatalf("default intra threads = %d, want rank cores", e4.Threads)
+	}
+}
+
+func TestUnitsFConcaveAndMonotone(t *testing.T) {
+	e := NewExecEnv(hw.Skylake3, TensorFlowCPU, 4, 11)
+	f := func(raw uint8) bool {
+		d := float64(raw%48) + 1
+		// monotone nondecreasing
+		if e.UnitsF(d+1) < e.UnitsF(d)-1e-9 {
+			return false
+		}
+		// never more units than threads requested
+		return e.UnitsF(d) <= d+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.UnitsF(1000) != e.UnitsF(float64(e.RankLogical)) {
+		t.Fatal("units must cap at the rank's hardware threads")
+	}
+}
+
+func TestAllreduceTimeProperties(t *testing.T) {
+	const mb = 1 << 20
+	// Zero cost for a single rank.
+	if AllreduceTime(100*mb, 1, 1, hw.IBEDR, hw.Skylake3) != 0 {
+		t.Fatal("single rank allreduce must be free")
+	}
+	// Intra-node only for single node.
+	oneNode := AllreduceTime(100*mb, 1, 4, hw.IBEDR, hw.Skylake3)
+	multi := AllreduceTime(100*mb, 8, 4, hw.IBEDR, hw.Skylake3)
+	if oneNode <= 0 || multi <= oneNode {
+		t.Fatalf("multi-node (%g) must cost more than intra-node (%g)", multi, oneNode)
+	}
+	// More bytes cost more.
+	if AllreduceTime(200*mb, 8, 4, hw.IBEDR, hw.Skylake3) <= multi {
+		t.Fatal("allreduce time must grow with payload")
+	}
+	// Node count growth is bounded: ring volume approaches 2x payload.
+	t8 := InterNodeRingTime(100*mb, 8, hw.IBEDR)
+	t128 := InterNodeRingTime(100*mb, 128, hw.IBEDR)
+	if t128 < t8 || t128 > 2.5*t8 {
+		t.Fatalf("ring time should grow slowly with nodes: %g vs %g", t8, t128)
+	}
+}
+
+func TestNegotiationTimeGrowsWithJob(t *testing.T) {
+	small := NegotiationTime(2, 1, hw.IBEDR)
+	large := NegotiationTime(128, 4, hw.IBEDR)
+	if small <= 0 || large <= small {
+		t.Fatalf("negotiation: %g vs %g", small, large)
+	}
+	if NegotiationTime(1, 1, hw.IBEDR) != 0 {
+		t.Fatal("single rank negotiation must be free")
+	}
+}
+
+func TestGPUUtilSaturatesWithBatch(t *testing.T) {
+	g := hw.V100
+	if g.Util(4) >= g.Util(64) {
+		t.Fatal("utilization must grow with batch")
+	}
+	if g.Util(1<<20) > g.MaxUtil {
+		t.Fatal("utilization must not exceed MaxUtil")
+	}
+}
+
+func TestGPUOrderingV100P100K80(t *testing.T) {
+	flops := int64(64 * 24.6e9)
+	k := GPUComputeTime(hw.K80, TensorFlowGPU, flops, 200, 64)
+	p := GPUComputeTime(hw.P100, TensorFlowGPU, flops, 200, 64)
+	v := GPUComputeTime(hw.V100, TensorFlowGPU, flops, 200, 64)
+	if !(v < p && p < k) {
+		t.Fatalf("GPU ordering wrong: V100=%g P100=%g K80=%g", v, p, k)
+	}
+}
+
+func TestPyTorchFasterThanTFOnGPU(t *testing.T) {
+	flops := int64(64 * 24.6e9)
+	tf := GPUIterTime(hw.V100, TensorFlowGPU, flops, 200, 64, 100<<20, 4, hw.IBEDR, 0.7)
+	pt := GPUIterTime(hw.V100, PyTorchGPU, flops, 200, 64, 100<<20, 4, hw.IBEDR, 0.7)
+	if pt >= tf {
+		t.Fatalf("PyTorch (%g) must beat TensorFlow (%g) on GPUs", pt, tf)
+	}
+	ratio := tf / pt
+	if ratio > 1.3 {
+		t.Fatalf("GPU framework gap %g too large (paper: ~1.12x)", ratio)
+	}
+}
+
+func TestPyTorchCPUThreadScalingIsPoor(t *testing.T) {
+	// The paper's 2.1 img/s SP anchor comes from PyTorch's bad intra-op
+	// scaling: 48 threads must yield well under 8x one thread.
+	cpu := hw.Skylake3
+	op := OpShape{FLOPs: 16 * 24.6e9, Bytes: 16 * 40e6, ParallelWidth: 16}
+	t1 := CPUOpTime(cpu, PyTorchCPU, 1, op, 1)
+	t48 := CPUOpTime(cpu, PyTorchCPU, 48, op, 1)
+	if sp := t1 / t48; sp > 8 {
+		t.Fatalf("PyTorch 48-thread speedup %g should be small", sp)
+	}
+	// TensorFlow on the same op must scale much better.
+	tfSp := CPUOpTime(cpu, TensorFlowCPU, 1, op, 1) / CPUOpTime(cpu, TensorFlowCPU, 16, op, 1)
+	if tfSp < 10 {
+		t.Fatalf("TensorFlow 16-thread speedup %g too low", tfSp)
+	}
+}
+
+func TestOptimizerTimePositiveAndLinear(t *testing.T) {
+	e := NewExecEnv(hw.Skylake3, TensorFlowCPU, 4, 11)
+	small := e.OptimizerTime(100 << 20)
+	big := e.OptimizerTime(200 << 20)
+	if small <= 0 || big <= small {
+		t.Fatalf("optimizer time: %g vs %g", small, big)
+	}
+}
+
+func TestFrameworksRegistry(t *testing.T) {
+	fws := Frameworks()
+	if _, ok := fws["tensorflow"]; !ok {
+		t.Fatal("tensorflow profile missing")
+	}
+	if _, ok := fws["pytorch"]; !ok {
+		t.Fatal("pytorch profile missing")
+	}
+	if fws["pytorch"].InterOpCapable {
+		t.Fatal("eager PyTorch must not be inter-op capable")
+	}
+}
+
+func TestIntraScalingCurveShape(t *testing.T) {
+	curve := IntraScalingCurve(hw.Skylake1, TensorFlowCPU, convOp, 28)
+	if len(curve) != 28 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[13] <= curve[0] {
+		t.Fatal("throughput must rise with threads")
+	}
+}

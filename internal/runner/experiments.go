@@ -1,0 +1,627 @@
+package runner
+
+import (
+	"fmt"
+
+	"dnnperf/internal/hw"
+	"dnnperf/internal/models"
+	"dnnperf/internal/stats"
+	"dnnperf/internal/trainsim"
+)
+
+// ips runs one CPU simulation point and returns throughput.
+func ips(cfg trainsim.Config) (float64, error) {
+	r, err := trainsim.Simulate(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return r.ImagesPerSec, nil
+}
+
+// cpuCfg is shorthand for the common experiment point.
+func cpuCfg(model, fw string, p hw.Platform, nodes, ppn, bs, intra, inter int) trainsim.Config {
+	return trainsim.Config{
+		Model: model, Framework: fw, CPU: p.CPU, Net: p.Net,
+		Nodes: nodes, PPN: ppn, BatchPerProc: bs,
+		IntraThreads: intra, InterThreads: inter,
+	}
+}
+
+// threadSweep builds the SP thread-scaling tables of Figures 1(a), 2, 3, 4.
+func threadSweep(id, ref string, p hw.Platform, threads []int, batches []int) (*Table, error) {
+	t := &Table{
+		ID: id, Title: fmt.Sprintf("ResNet-50 SP thread scaling on %s (TensorFlow)", p.CPU.Label),
+		PaperRef: ref, XLabel: "threads", Unit: "images/sec",
+	}
+	for _, th := range threads {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d", th))
+	}
+	for _, bs := range batches {
+		row := Row{Name: fmt.Sprintf("BS=%d", bs)}
+		for _, th := range threads {
+			v, err := ips(cpuCfg("resnet50", "tensorflow", p, 1, 1, bs, th, 1))
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// multiNode builds the multi-node scaling tables (Figures 7, 8, 9, 17).
+func multiNode(id, title, ref, fw string, p hw.Platform, nodes []int, modelBS map[string]int, ppn, intra, inter int) (*Table, error) {
+	t := &Table{ID: id, Title: title, PaperRef: ref, XLabel: "nodes", Unit: "images/sec"}
+	for _, n := range nodes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d", n))
+	}
+	for _, m := range models.PaperModels {
+		bs, ok := modelBS[m]
+		if !ok {
+			continue
+		}
+		row := Row{Name: models.DisplayName(m)}
+		for _, n := range nodes {
+			v, err := ips(cpuCfg(m, fw, p, n, ppn, bs, intra, inter))
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, v)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func allBS(bs int) map[string]int {
+	out := map[string]int{}
+	for _, m := range models.PaperModels {
+		out[m] = bs
+	}
+	return out
+}
+
+func init() {
+	register(Experiment{
+		ID: "table1", Title: "Evaluation platforms", PaperRef: "Table I",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "table1", Title: "Evaluation platforms", PaperRef: "Table I",
+				XLabel:  "platform",
+				Columns: []string{"GHz", "cores", "thr/core", "GF/s(MKL)"},
+			}
+			for _, c := range hw.Table1() {
+				t.Rows = append(t.Rows, Row{
+					Name: fmt.Sprintf("%s (%s, %s)", c.Label, c.Model, c.Cluster),
+					Values: []float64{
+						c.ClockGHz, float64(c.Cores()), float64(c.ThreadsPerCore),
+						c.PeakGFLOPs(true),
+					},
+				})
+			}
+			t.AddNote("GF/s(MKL) is the calibrated sustained node rate on the MKL path; EPYC falls back to generic kernels")
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig1a", Title: "ResNet-50 throughput vs threads (Skylake-1)", PaperRef: "Figure 1(a)",
+		Run: func() (*Table, error) {
+			return threadSweep("fig1a", "Figure 1(a)", hw.PlatformSkylake1,
+				[]int{1, 2, 4, 8, 14, 20, 24, 28}, []int{16, 32, 64, 128, 256})
+		},
+	})
+
+	register(Experiment{
+		ID: "fig1b", Title: "ResNet-50 throughput vs batch size (Skylake-1)", PaperRef: "Figure 1(b)",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "fig1b", Title: "ResNet-50 SP batch-size scaling on Skylake-1 (TensorFlow)",
+				PaperRef: "Figure 1(b)", XLabel: "threads", Unit: "images/sec",
+			}
+			batches := []int{16, 32, 64, 128, 256, 512, 1024}
+			for _, bs := range batches {
+				t.Columns = append(t.Columns, fmt.Sprintf("BS%d", bs))
+			}
+			for _, th := range []int{8, 14, 28} {
+				row := Row{Name: fmt.Sprintf("%d threads", th)}
+				for _, bs := range batches {
+					v, err := ips(cpuCfg("resnet50", "tensorflow", hw.PlatformSkylake1, 1, 1, bs, th, 1))
+					if err != nil {
+						return nil, err
+					}
+					row.Values = append(row.Values, v)
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			g, _ := t.Cell("28 threads", 4)
+			s, _ := t.Cell("28 threads", 0)
+			t.AddNote("at 28 threads BS16->256 gains %.2fx; diminishing beyond BS 256 (paper: benefits diminish past 256)", g/s)
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig2", Title: "ResNet-50 throughput vs threads (Broadwell)", PaperRef: "Figure 2",
+		Run: func() (*Table, error) {
+			return threadSweep("fig2", "Figure 2", hw.PlatformBroadwell,
+				[]int{1, 2, 4, 8, 14, 20, 28}, []int{32, 64, 128})
+		},
+	})
+
+	register(Experiment{
+		ID: "fig3", Title: "ResNet-50 throughput vs threads (Skylake-2)", PaperRef: "Figure 3",
+		Run: func() (*Table, error) {
+			return threadSweep("fig3", "Figure 3", hw.PlatformSkylake2,
+				[]int{1, 2, 4, 8, 16, 20, 32, 40}, []int{32, 64, 128})
+		},
+	})
+
+	register(Experiment{
+		ID: "fig4", Title: "ResNet-50 throughput vs threads incl. hyper-threads (Skylake-3)", PaperRef: "Figure 4",
+		Run: func() (*Table, error) {
+			t, err := threadSweep("fig4", "Figure 4", hw.PlatformSkylake3,
+				[]int{1, 4, 8, 16, 24, 32, 48, 64, 96}, []int{32, 64, 128})
+			if err != nil {
+				return nil, err
+			}
+			v96, _ := t.Cell("BS=128", 8)
+			v48, _ := t.Cell("BS=128", 6)
+			t.AddNote("96 threads / 48 threads = %.2f (paper: hyper-thread oversubscription is worse)", v96/v48)
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig5", Title: "ResNet-152 ppn x BS interplay (Skylake-3)", PaperRef: "Figure 5",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "fig5", Title: "ResNet-152 node throughput across ppn and per-process BS (Skylake-3)",
+				PaperRef: "Figure 5", XLabel: "ppn", Unit: "images/sec",
+			}
+			batches := []int{16, 32, 64, 128}
+			for _, bs := range batches {
+				t.Columns = append(t.Columns, fmt.Sprintf("BS%d", bs))
+			}
+			for _, ppn := range []int{1, 2, 4, 8} {
+				intra := 48/ppn - 1
+				if ppn == 1 {
+					intra = 48
+				}
+				row := Row{Name: fmt.Sprintf("%dppn", ppn)}
+				for _, bs := range batches {
+					v, err := ips(cpuCfg("resnet152", "tensorflow", hw.PlatformSkylake3, 1, ppn, bs/min(ppn, bs), intra, 2))
+					if err != nil {
+						return nil, err
+					}
+					row.Values = append(row.Values, v)
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			t.AddNote("per-process batch = BS/ppn; ppn and BS interact non-linearly (paper: 4ppn best at BS=64, 8ppn at BS=32)")
+			return t, nil
+		},
+	})
+
+	registerSPvsMP := func(id, ref, model string, wantRatio float64) {
+		register(Experiment{
+			ID: id, Title: models.DisplayName(model) + " SP vs MP (Skylake-3)", PaperRef: ref,
+			Run: func() (*Table, error) {
+				t := &Table{
+					ID: id, Title: models.DisplayName(model) + " single-process vs multi-process on one Skylake-3 node",
+					PaperRef: ref, XLabel: "config", Unit: "images/sec",
+				}
+				batches := []int{64, 128, 256}
+				for _, bs := range batches {
+					t.Columns = append(t.Columns, fmt.Sprintf("BS%d", bs))
+				}
+				sp := Row{Name: "SP (48 threads)"}
+				mp := Row{Name: "MP (4ppn x 11 intra)"}
+				ratio := Row{Name: "MP/SP"}
+				for _, bs := range batches {
+					s, err := ips(cpuCfg(model, "tensorflow", hw.PlatformSkylake3, 1, 1, bs, 48, 1))
+					if err != nil {
+						return nil, err
+					}
+					m, err := ips(cpuCfg(model, "tensorflow", hw.PlatformSkylake3, 1, 4, bs/4, 11, 2))
+					if err != nil {
+						return nil, err
+					}
+					sp.Values = append(sp.Values, s)
+					mp.Values = append(mp.Values, m)
+					ratio.Values = append(ratio.Values, m/s)
+				}
+				t.Rows = []Row{sp, mp, ratio}
+				best := 0.0
+				for _, v := range ratio.Values {
+					if v > best {
+						best = v
+					}
+				}
+				t.AddNote("best MP/SP = %.2fx (paper: up to %.2fx)", best, wantRatio)
+				return t, nil
+			},
+		})
+	}
+	registerSPvsMP("fig6a", "Figure 6(a)", "resnet152", 1.35)
+	registerSPvsMP("fig6b", "Figure 6(b)", "inception4", 1.47)
+
+	register(Experiment{
+		ID: "fig7", Title: "Multi-node scaling on Skylake-1", PaperRef: "Figure 7",
+		Run: func() (*Table, error) {
+			return multiNode("fig7", "TensorFlow multi-node scaling of five models (Skylake-1, 2ppn)",
+				"Figure 7", "tensorflow", hw.PlatformSkylake1,
+				[]int{1, 2, 4, 8}, allBS(32), 2, 13, 1)
+		},
+	})
+
+	register(Experiment{
+		ID: "fig8", Title: "Multi-node scaling on Broadwell", PaperRef: "Figure 8",
+		Run: func() (*Table, error) {
+			bs := allBS(64)
+			bs["resnet50"] = 128 // the paper presents RN50 at BS 128 here
+			return multiNode("fig8", "TensorFlow multi-node scaling of five models (Broadwell, 2ppn x 13 intra)",
+				"Figure 8", "tensorflow", hw.PlatformBroadwell,
+				[]int{1, 2, 4, 8, 16}, bs, 2, 13, 1)
+		},
+	})
+
+	register(Experiment{
+		ID: "fig9", Title: "Multi-node scaling on Skylake-2", PaperRef: "Figure 9",
+		Run: func() (*Table, error) {
+			t, err := multiNode("fig9", "TensorFlow multi-node scaling of five models (Skylake-2, 2ppn)",
+				"Figure 9", "tensorflow", hw.PlatformSkylake2,
+				[]int{1, 2, 4, 8, 16}, allBS(32), 2, 19, 1)
+			if err != nil {
+				return nil, err
+			}
+			var speedups []float64
+			for _, r := range t.Rows {
+				sp := stats.Speedups(r.Values)
+				speedups = append(speedups, sp[len(sp)-1])
+			}
+			summary := stats.Summarize(speedups)
+			t.AddNote("average 16-node speedup = %.1fx across models (min %.1f, max %.1f; paper: 15.6x)",
+				summary.Mean, summary.Min, summary.Max)
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig10", Title: "MP-Tuned vs MP-Default vs SP on 32 nodes (Skylake-3)", PaperRef: "Figure 10",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "fig10", Title: "Thread-tuning on 32 Skylake-3 nodes: SP vs default vs tuned MP",
+				PaperRef: "Figure 10", XLabel: "model", Unit: "images/sec",
+				Columns: []string{"SP", "MP-Default", "MP-Tuned"},
+			}
+			for _, m := range models.PaperModels {
+				sp, err := ips(cpuCfg(m, "tensorflow", hw.PlatformSkylake3, 32, 1, 128, 48, 1))
+				if err != nil {
+					return nil, err
+				}
+				// Default TF threading: intra = all logical CPUs of the
+				// rank, inter = default 1 pool.
+				def, err := ips(cpuCfg(m, "tensorflow", hw.PlatformSkylake3, 32, 4, 32, 24, 1))
+				if err != nil {
+					return nil, err
+				}
+				tuned, err := ips(cpuCfg(m, "tensorflow", hw.PlatformSkylake3, 32, 4, 32, 11, 2))
+				if err != nil {
+					return nil, err
+				}
+				t.Rows = append(t.Rows, Row{Name: models.DisplayName(m), Values: []float64{sp, def, tuned}})
+			}
+			last := t.Rows[len(t.Rows)-1]
+			t.AddNote("Inception-v4: MP-Tuned/SP = %.2fx, MP-Tuned/MP-Default = %.2fx (paper: 1.5x and 1.1x)",
+				last.Values[2]/last.Values[0], last.Values[2]/last.Values[1])
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig11", Title: "Batch-size effect on 128 nodes (Skylake-3)", PaperRef: "Figure 11",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "fig11", Title: "Per-process batch size on 128 Skylake-3 nodes (TensorFlow)",
+				PaperRef: "Figure 11", XLabel: "model", Unit: "images/sec",
+				Columns: []string{"BS8", "BS16", "BS32", "BS64"},
+			}
+			for _, m := range models.PaperModels {
+				row := Row{Name: models.DisplayName(m)}
+				for _, bs := range []int{8, 16, 32, 64} {
+					v, err := ips(cpuCfg(m, "tensorflow", hw.PlatformSkylake3, 128, 4, bs, 11, 2))
+					if err != nil {
+						return nil, err
+					}
+					row.Values = append(row.Values, v)
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			r := t.Rows[0]
+			t.AddNote("ResNet-50 BS8->BS64 gain = %.2fx: small BS exposes communication (paper: larger BS clearly faster, most for ResNet-50)",
+				r.Values[3]/r.Values[0])
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig12", Title: "PyTorch multi-node scaling (Skylake-3)", PaperRef: "Figure 12",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "fig12", Title: "PyTorch multi-node scaling (Skylake-3, 48ppn)",
+				PaperRef: "Figure 12", XLabel: "model", Unit: "images/sec",
+			}
+			nodes := []int{1, 2, 4, 8, 16}
+			for _, n := range nodes {
+				t.Columns = append(t.Columns, fmt.Sprintf("%d", n))
+			}
+			// The paper uses BS 16 for ResNet-50/101 and BS 8 for
+			// ResNet-152 and Inception-v3.
+			pts := []struct {
+				model string
+				bs    int
+			}{
+				{"resnet50", 16}, {"resnet101", 16}, {"resnet152", 8}, {"inception3", 8},
+			}
+			for _, pt := range pts {
+				row := Row{Name: models.DisplayName(pt.model)}
+				for _, n := range nodes {
+					v, err := ips(cpuCfg(pt.model, "pytorch", hw.PlatformSkylake3, n, 48, pt.bs, 1, 1))
+					if err != nil {
+						return nil, err
+					}
+					row.Values = append(row.Values, v)
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			t.AddNote("48ppn (one rank per core) is PyTorch's best configuration; SP ResNet-50 measures ~2 img/s")
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig13", Title: "TensorFlow multi-node scaling (AMD EPYC)", PaperRef: "Figure 13",
+		Run: func() (*Table, error) {
+			t, err := multiNode("fig13", "TensorFlow multi-node scaling (EPYC, 16ppn x 5 intra x 2 inter)",
+				"Figure 13", "tensorflow", hw.PlatformEPYC,
+				[]int{1, 2, 4, 8}, allBS(32), 16, 5, 2)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range t.Rows {
+				if r.Name == "ResNet-152" {
+					t.AddNote("ResNet-152 8-node speedup = %.2fx (paper: 7.8x)", r.Values[3]/r.Values[0])
+				}
+			}
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig14", Title: "PyTorch multi-node scaling (AMD EPYC)", PaperRef: "Figure 14",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "fig14", Title: "PyTorch multi-node scaling (EPYC, 32ppn, BS 32)",
+				PaperRef: "Figure 14", XLabel: "model", Unit: "images/sec",
+			}
+			nodes := []int{1, 2, 4, 8}
+			for _, n := range nodes {
+				t.Columns = append(t.Columns, fmt.Sprintf("%d", n))
+			}
+			for _, m := range []string{"resnet50", "resnet101", "resnet152", "inception3"} {
+				row := Row{Name: models.DisplayName(m)}
+				for _, n := range nodes {
+					v, err := ips(cpuCfg(m, "pytorch", hw.PlatformEPYC, n, 32, 32, 2, 1))
+					if err != nil {
+						return nil, err
+					}
+					row.Values = append(row.Values, v)
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			r50 := t.Rows[0]
+			t.AddNote("ResNet-50 8-node speedup = %.2fx (paper: 7.98x)", r50.Values[3]/r50.Values[0])
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig15", Title: "GPU vs CPU comparison (TensorFlow)", PaperRef: "Figure 15",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "fig15", Title: "TensorFlow on K80 / P100 / V100 / Skylake-3 at each device's best batch size",
+				PaperRef: "Figure 15", XLabel: "model", Unit: "images/sec",
+				Columns: []string{"K80", "P100", "V100", "Skylake-3"},
+			}
+			gpuBS := map[string]int{"K80": 32, "P100": 64, "V100": 64}
+			for _, m := range models.PaperModels {
+				row := Row{Name: models.DisplayName(m)}
+				for _, g := range []hw.GPU{hw.K80, hw.P100, hw.V100} {
+					r, err := trainsim.SimulateGPU(trainsim.GPUConfig{
+						Model: m, GPU: g, GPUs: 1, BatchPerGPU: gpuBS[g.Label],
+					})
+					if err != nil {
+						return nil, err
+					}
+					row.Values = append(row.Values, r.ImagesPerSec)
+				}
+				cpu, err := ips(cpuCfg(m, "tensorflow", hw.PlatformSkylake3, 1, 4, 32, 11, 2))
+				if err != nil {
+					return nil, err
+				}
+				row.Values = append(row.Values, cpu)
+				t.Rows = append(t.Rows, row)
+			}
+			i4 := t.Rows[4]
+			r101 := t.Rows[1]
+			t.AddNote("Skylake-3/K80 on Inception-v4 = %.2fx (paper: up to 2.35x)", i4.Values[3]/i4.Values[0])
+			t.AddNote("V100/Skylake-3 on ResNet-101 = %.2fx (paper: up to 3.32x)", r101.Values[2]/r101.Values[3])
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig16", Title: "PyTorch vs TensorFlow on GPUs (1-4 V100)", PaperRef: "Figure 16",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "fig16", Title: "PyTorch vs TensorFlow data-parallel scaling on V100 GPUs",
+				PaperRef: "Figure 16", XLabel: "model", Unit: "images/sec",
+				Columns: []string{"1-TF", "1-PT", "2-TF", "2-PT", "4-TF", "4-PT"},
+			}
+			for _, m := range []string{"resnet50", "resnet101", "resnet152", "inception3"} {
+				row := Row{Name: models.DisplayName(m)}
+				for _, n := range []int{1, 2, 4} {
+					for _, fw := range []string{"tensorflow", "pytorch"} {
+						r, err := trainsim.SimulateGPU(trainsim.GPUConfig{
+							Model: m, Framework: fw, GPU: hw.V100, GPUs: n, BatchPerGPU: 64,
+						})
+						if err != nil {
+							return nil, err
+						}
+						row.Values = append(row.Values, r.ImagesPerSec)
+					}
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			r152 := t.Rows[2]
+			t.AddNote("ResNet-152 4-GPU PyTorch/TensorFlow = %.2fx (paper: 1.12x)", r152.Values[5]/r152.Values[4])
+			return t, nil
+		},
+	})
+
+	register(Experiment{
+		ID: "fig17", Title: "Multi-node scaling to 128 nodes (Skylake-3)", PaperRef: "Figure 17",
+		Run: func() (*Table, error) {
+			t, err := multiNode("fig17", "TensorFlow scaling of five models to 128 Skylake-3 nodes (4ppn)",
+				"Figure 17", "tensorflow", hw.PlatformSkylake3,
+				[]int{1, 2, 4, 8, 16, 32, 64, 128}, allBS(32), 4, 11, 2)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range t.Rows {
+				if r.Name == "ResNet-152" {
+					last := len(r.Values) - 1
+					t.AddNote("ResNet-152: %.0f img/s on 128 nodes, %.1fx speedup (paper: 5,001 img/s, 125x)",
+						r.Values[last], r.Values[last]/r.Values[0])
+				}
+			}
+			return t, nil
+		},
+	})
+
+	registerProfiling := func(id, ref, fw string, ppn, intra int, cycles []float64, wantNote string) {
+		register(Experiment{
+			ID: id, Title: fw + " Horovod profiling: cycle time vs engine allreduces", PaperRef: ref,
+			Run: func() (*Table, error) {
+				t := &Table{
+					ID: id, Title: fw + ": end-to-end throughput and Horovod-engine allreduce count over 40 iterations vs HOROVOD_CYCLE_TIME",
+					PaperRef: ref, XLabel: "series", Unit: "img/s | ops per 40 iters",
+				}
+				for _, c := range cycles {
+					t.Columns = append(t.Columns, fmt.Sprintf("%gms", c))
+				}
+				for _, m := range []string{"resnet50", "resnet101", "resnet152"} {
+					perfRow := Row{Name: models.DisplayName(m)}
+					heRow := Row{Name: "HE " + models.DisplayName(m)}
+					for _, c := range cycles {
+						cfg := cpuCfg(m, fw, hw.PlatformSkylake3, 4, ppn, 16, intra, 0)
+						cfg.CycleTimeMS = c
+						r, err := trainsim.Simulate(cfg)
+						if err != nil {
+							return nil, err
+						}
+						perfRow.Values = append(perfRow.Values, r.ImagesPerSec)
+						// Every engine wake-up issues a control-plane
+						// collective, plus the fused data allreduces.
+						heRow.Values = append(heRow.Values, float64(40*(r.Cycles+r.EngineAllreduces)))
+					}
+					t.Rows = append(t.Rows, perfRow, heRow)
+				}
+				r50 := t.Rows[0]
+				he50 := t.Rows[1]
+				t.AddNote("ResNet-50: throughput x%.2f and engine ops /%.0f from default to %gms (%s)",
+					r50.Values[len(r50.Values)-1]/r50.Values[0],
+					he50.Values[0]/he50.Values[len(he50.Values)-1],
+					cycles[len(cycles)-1], wantNote)
+				return t, nil
+			},
+		})
+	}
+	registerProfiling("fig18", "Figure 18", "tensorflow", 4, 11,
+		[]float64{3.5, 10, 30, 60, 90}, "paper: TF gains at most 1.04x from tuning")
+	registerProfiling("fig19", "Figure 19", "pytorch", 48, 1,
+		[]float64{3.5, 30, 100, 300, 600}, "paper: PyTorch gains up to 1.25x; engine ops drop ~199x")
+
+	register(Experiment{
+		ID: "insights", Title: "Section IX key-insight headline ratios", PaperRef: "Section IX",
+		Run: func() (*Table, error) {
+			t := &Table{
+				ID: "insights", Title: "Headline ratios of the paper's key insights, as measured by this reproduction",
+				PaperRef: "Section IX", XLabel: "insight",
+				Columns: []string{"paper", "measured"},
+			}
+			add := func(name string, paper, measured float64) {
+				t.Rows = append(t.Rows, Row{Name: name, Values: []float64{paper, measured}})
+			}
+
+			sp152, err := ips(cpuCfg("resnet152", "tensorflow", hw.PlatformSkylake3, 1, 1, 128, 48, 1))
+			if err != nil {
+				return nil, err
+			}
+			mp152, err := ips(cpuCfg("resnet152", "tensorflow", hw.PlatformSkylake3, 1, 4, 32, 11, 2))
+			if err != nil {
+				return nil, err
+			}
+			add("MP/SP ResNet-152 (Skylake-3)", 1.35, mp152/sp152)
+
+			spI4, err := ips(cpuCfg("inception4", "tensorflow", hw.PlatformSkylake3, 1, 1, 128, 48, 1))
+			if err != nil {
+				return nil, err
+			}
+			mpI4, err := ips(cpuCfg("inception4", "tensorflow", hw.PlatformSkylake3, 1, 4, 32, 11, 2))
+			if err != nil {
+				return nil, err
+			}
+			add("MP/SP Inception-v4 (Skylake-3)", 1.47, mpI4/spI4)
+
+			n128, err := ips(cpuCfg("resnet152", "tensorflow", hw.PlatformSkylake3, 128, 4, 32, 11, 2))
+			if err != nil {
+				return nil, err
+			}
+			add("ResNet-152 128-node speedup", 125, n128/mp152)
+
+			skyI4 := mpI4
+			k80, err := trainsim.SimulateGPU(trainsim.GPUConfig{Model: "inception4", GPU: hw.K80, GPUs: 1, BatchPerGPU: 32})
+			if err != nil {
+				return nil, err
+			}
+			add("Skylake-3 / K80 (Inception-v4)", 2.35, skyI4/k80.ImagesPerSec)
+
+			sky101, err := ips(cpuCfg("resnet101", "tensorflow", hw.PlatformSkylake3, 1, 4, 32, 11, 2))
+			if err != nil {
+				return nil, err
+			}
+			v100, err := trainsim.SimulateGPU(trainsim.GPUConfig{Model: "resnet101", GPU: hw.V100, GPUs: 1, BatchPerGPU: 64})
+			if err != nil {
+				return nil, err
+			}
+			add("V100 / Skylake-3 (ResNet-101)", 3.32, v100.ImagesPerSec/sky101)
+
+			ptDef := cpuCfg("resnet50", "pytorch", hw.PlatformSkylake3, 4, 48, 16, 1, 0)
+			rDef, err := trainsim.Simulate(ptDef)
+			if err != nil {
+				return nil, err
+			}
+			ptTuned := ptDef
+			ptTuned.CycleTimeMS = 100
+			rTuned, err := trainsim.Simulate(ptTuned)
+			if err != nil {
+				return nil, err
+			}
+			add("PyTorch cycle-time tuning gain (ResNet-50)", 1.25, rTuned.ImagesPerSec/rDef.ImagesPerSec)
+			return t, nil
+		},
+	})
+}

@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"testing"
+
+	"dnnperf/internal/trainsim"
+)
+
+func TestAblationsExperiment(t *testing.T) {
+	tbl := run(t, "ablations")
+	for _, r := range tbl.Rows {
+		base := r.Values[0]
+		for i := 1; i < len(r.Values); i++ {
+			if r.Values[i] > base*1.02 {
+				t.Errorf("%s: ablation %s must not beat baseline (%.1f vs %.1f)",
+					r.Name, tbl.Columns[i], r.Values[i], base)
+			}
+		}
+	}
+	// MKL is the single biggest mechanism on Intel.
+	rnBase, _ := tbl.Cell("ResNet-152", 0)
+	rnNoMKL, _ := tbl.Cell("ResNet-152", 3)
+	if rnBase/rnNoMKL < 3 {
+		t.Errorf("MKL ablation should cost >3x, got %.2fx", rnBase/rnNoMKL)
+	}
+}
+
+func TestOverlapMattersMostForParamHeavyModels(t *testing.T) {
+	vgg, err := AblationGain("vgg16", trainsim.Ablations{NoOverlap: true}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := AblationGain("resnet152", trainsim.Ablations{NoOverlap: true}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vgg < rn {
+		t.Fatalf("overlap must matter more for VGG-16 (%.3fx) than ResNet-152 (%.3fx)", vgg, rn)
+	}
+	if vgg < 1.01 {
+		t.Fatalf("overlap must matter for VGG-16 at 32 nodes, gain %.3fx", vgg)
+	}
+}
+
+func TestTensorFusionMatters(t *testing.T) {
+	gain, err := AblationGain("resnet152", trainsim.Ablations{NoTensorFusion: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 1.0 {
+		t.Fatalf("disabling fusion must not help: %.3fx", gain)
+	}
+}
+
+func TestElemFusionMatters(t *testing.T) {
+	gain, err := AblationGain("resnet152", trainsim.Ablations{NoElemFusion: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= 1.05 {
+		t.Fatalf("op fusion must be worth >5%% on BN-heavy ResNet: %.3fx", gain)
+	}
+}
+
+func TestModelZooExperiment(t *testing.T) {
+	tbl := run(t, "modelzoo")
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("expected 10 zoo models, got %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		// With Horovod overlap and fusion every model scales well at 32
+		// nodes; the straggler tax keeps it below perfect.
+		if eff := r.Values[4]; eff < 90 || eff > 101 {
+			t.Errorf("%s efficiency %.1f%% out of expected range", r.Name, eff)
+		}
+	}
+	// But the overlap is what saves the parameter-heavy models: without it
+	// VGG-16 loses more than ResNet-152 (asserted by the ablation tests).
+}

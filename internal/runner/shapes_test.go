@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+// Shape tests for the figures not covered by the headline tests: each pins
+// the qualitative behaviour the paper reports for that figure.
+
+func TestFig2And3ThreadScalingMonotoneToSocket(t *testing.T) {
+	// Broadwell and Skylake-2 have 14 and 20 cores per socket; scaling must
+	// be monotone at least through the within-socket columns.
+	for _, tc := range []struct {
+		id           string
+		withinSocket int // number of leading columns within one socket
+	}{
+		{"fig2", 5}, // threads 1,2,4,8,14
+		{"fig3", 6}, // threads 1,2,4,8,16,20
+	} {
+		tbl := run(t, tc.id)
+		for _, r := range tbl.Rows {
+			for i := 1; i < tc.withinSocket; i++ {
+				if r.Values[i] <= r.Values[i-1] {
+					t.Errorf("%s %s: not monotone at column %d", tc.id, r.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFig5PPNBSInterplay(t *testing.T) {
+	tbl := run(t, "fig5")
+	// The paper's non-linearity: the best ppn depends on BS. At the largest
+	// BS, 4ppn beats 8ppn; at the smallest, 8ppn is at least as good.
+	large4, _ := tbl.Cell("4ppn", 3)
+	large8, _ := tbl.Cell("8ppn", 3)
+	small4, _ := tbl.Cell("4ppn", 0)
+	small8, _ := tbl.Cell("8ppn", 0)
+	if large4 <= large8 {
+		t.Errorf("at BS128, 4ppn (%g) must beat 8ppn (%g)", large4, large8)
+	}
+	if small8 < small4*0.98 {
+		t.Errorf("at BS16, 8ppn (%g) must be competitive with 4ppn (%g)", small8, small4)
+	}
+	// And every ppn beats SP (1ppn) at the largest batch.
+	sp, _ := tbl.Cell("1ppn", 3)
+	if large4 <= sp {
+		t.Errorf("MP must beat SP: 4ppn %g vs 1ppn %g", large4, sp)
+	}
+}
+
+func TestMultiNodeFiguresMonotone(t *testing.T) {
+	for _, id := range []string{"fig7", "fig8", "fig9", "fig12", "fig13", "fig14"} {
+		tbl := run(t, id)
+		for _, r := range tbl.Rows {
+			for i := 1; i < len(r.Values); i++ {
+				if r.Values[i] <= r.Values[i-1] {
+					t.Errorf("%s %s: throughput not monotone in nodes at column %d", id, r.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiNodeModelOrderingPreserved(t *testing.T) {
+	// Within any node count, ResNet-50 > ResNet-101 > ResNet-152 (compute
+	// per image orders throughput), as in every multi-node figure.
+	for _, id := range []string{"fig7", "fig8", "fig9", "fig13", "fig17"} {
+		tbl := run(t, id)
+		for col := range tbl.Columns {
+			r50, ok1 := tbl.Cell("ResNet-50", col)
+			r101, ok2 := tbl.Cell("ResNet-101", col)
+			r152, ok3 := tbl.Cell("ResNet-152", col)
+			if !ok1 || !ok2 || !ok3 {
+				t.Fatalf("%s: missing ResNet rows", id)
+			}
+			if !(r50 > r101 && r101 > r152) {
+				t.Errorf("%s column %d: ResNet ordering violated (%g, %g, %g)", id, col, r50, r101, r152)
+			}
+		}
+	}
+}
+
+func TestFig11LargerBatchFaster(t *testing.T) {
+	tbl := run(t, "fig11")
+	for _, r := range tbl.Rows {
+		for i := 1; i < len(r.Values); i++ {
+			if r.Values[i] <= r.Values[i-1] {
+				t.Errorf("%s: 128-node throughput must grow with BS (column %d)", r.Name, i)
+			}
+		}
+	}
+}
+
+func TestFig12PyTorchBelowTensorFlow(t *testing.T) {
+	pt := run(t, "fig12")
+	tf := run(t, "fig17")
+	// Single-node PyTorch (48ppn) trails single-node TensorFlow (4ppn) for
+	// every shared model — "TensorFlow gives better performance on CPUs".
+	for _, name := range []string{"ResNet-50", "ResNet-101", "ResNet-152"} {
+		p, ok1 := pt.Cell(name, 0)
+		f, ok2 := tf.Cell(name, 0)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing %s", name)
+		}
+		if p >= f {
+			t.Errorf("%s: PyTorch (%g) must trail TensorFlow (%g) on CPU", name, p, f)
+		}
+	}
+}
+
+func TestFig13TensorFlowVsFig14PyTorchOnEPYC(t *testing.T) {
+	tf := run(t, "fig13")
+	pt := run(t, "fig14")
+	// On EPYC both run generic kernels and PyTorch's are better: at 8 nodes
+	// PyTorch wins for the models both figures share.
+	for _, name := range []string{"ResNet-50", "ResNet-101"} {
+		f, _ := tf.Cell(name, 3)
+		p, _ := pt.Cell(name, 3)
+		if p <= f*0.95 {
+			t.Errorf("%s on EPYC 8 nodes: PyTorch (%g) should match or beat TensorFlow (%g)", name, p, f)
+		}
+	}
+}
+
+func TestPipelineExperimentShape(t *testing.T) {
+	tbl := run(t, "pipeline")
+	for _, r := range tbl.Rows {
+		dp, mp, ratio := r.Values[0], r.Values[1], r.Values[2]
+		if dp <= mp {
+			t.Errorf("%s: DP (%g) must beat pipeline MP (%g) on throughput", r.Name, dp, mp)
+		}
+		if ratio < 1 {
+			t.Errorf("%s: ratio %g < 1", r.Name, ratio)
+		}
+		if r.Values[4] <= 0 {
+			t.Errorf("%s: max stage MB must be positive", r.Name)
+		}
+	}
+	if !strings.Contains(strings.Join(tbl.Notes, " "), "memory") {
+		t.Error("pipeline note should mention the memory payoff")
+	}
+}

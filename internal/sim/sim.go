@@ -1,0 +1,91 @@
+// Package sim provides a minimal discrete-event simulation core: a virtual
+// clock and a time-ordered event queue with deterministic FIFO tie-breaking.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now float64
+	seq int64
+	pq  eventHeap
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delta seconds from now.
+func (s *Sim) After(delta float64, fn func()) { s.At(s.now+delta, fn) }
+
+// Step runs the next event, returning false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pq).(*event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, stopping the clock at the last
+// executed event (or leaving it unchanged if none qualify).
+func (s *Sim) RunUntil(t float64) {
+	for len(s.pq) > 0 && s.pq[0].time <= t {
+		s.Step()
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.pq) }
+
+// NextTime peeks at the earliest queued event's time without running it.
+// ok is false when the queue is empty.
+func (s *Sim) NextTime() (t float64, ok bool) {
+	if len(s.pq) == 0 {
+		return 0, false
+	}
+	return s.pq[0].time, true
+}

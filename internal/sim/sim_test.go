@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Sim
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var s Sim
+	var hits []float64
+	s.At(1, func() {
+		hits = append(hits, s.Now())
+		s.After(2, func() { hits = append(hits, s.Now()) })
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	var s Sim
+	ran := false
+	s.At(5, func() {
+		s.At(1, func() { // in the past: clamp to now
+			if s.Now() != 5 {
+				t.Fatalf("clamped event at %v", s.Now())
+			}
+			ran = true
+		})
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("clamped event did not run")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	s.RunUntil(5)
+	if count != 5 || s.Pending() != 5 {
+		t.Fatalf("count=%d pending=%d", count, s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+// Property: any set of scheduled times is executed in nondecreasing order.
+func TestQuickTimeOrdering(t *testing.T) {
+	f := func(times []float64) bool {
+		var s Sim
+		var seen []float64
+		for _, tm := range times {
+			if tm < 0 {
+				tm = -tm
+			}
+			tm := tm
+			s.At(tm, func() { seen = append(seen, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if d := s.Std - math.Sqrt(2.5); math.Abs(d) > 1e-12 {
+		t.Fatalf("std %g", s.Std)
+	}
+}
+
+func TestSummarizeEvenMedianAndSingle(t *testing.T) {
+	if m := Summarize([]float64{1, 2, 3, 4}).Median; m != 2.5 {
+		t.Fatalf("median %g", m)
+	}
+	s := Summarize([]float64{7})
+	if s.Std != 0 || s.Mean != 7 || s.Median != 7 {
+		t.Fatalf("single: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestRelStd(t *testing.T) {
+	s := Summarize([]float64{99, 100, 101})
+	if rs := s.RelStd(); rs < 0.005 || rs > 0.015 {
+		t.Fatalf("RelStd %g", rs)
+	}
+	if !math.IsInf(Summary{}.RelStd(), 1) {
+		t.Fatal("zero mean must give +Inf")
+	}
+}
+
+func TestSpeedupsAndEfficiencies(t *testing.T) {
+	tp := []float64{10, 19, 36}
+	sp := Speedups(tp)
+	if sp[0] != 1 || sp[1] != 1.9 || sp[2] != 3.6 {
+		t.Fatalf("speedups %v", sp)
+	}
+	eff, err := Efficiencies(tp, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff[0] != 1 || eff[1] != 0.95 || eff[2] != 0.9 {
+		t.Fatalf("efficiencies %v", eff)
+	}
+	if Speedups(nil) != nil {
+		t.Fatal("empty series")
+	}
+	if _, err := Efficiencies(tp, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Efficiencies(tp, []int{0, 2, 4}); err == nil {
+		t.Fatal("zero count must error")
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2, err := LinFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("fit a=%g b=%g r2=%g", a, b, r2)
+	}
+}
+
+func TestLinFitErrors(t *testing.T) {
+	if _, _, _, err := LinFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("too few points must error")
+	}
+	if _, _, _, err := LinFit([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Fatal("degenerate x must error")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean %g %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("negative must error")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("empty must error")
+	}
+}
+
+// Property: mean is within [min, max] and shifting a sample shifts the mean.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = math.Mod(v, 1e6)
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i := range xs {
+			shifted[i] = xs[i] + 10
+		}
+		s2 := Summarize(shifted)
+		return math.Abs(s2.Mean-(s.Mean+10)) < 1e-6 && math.Abs(s2.Std-s.Std) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ConvSpec describes a 2-D convolution: kernel size, stride and symmetric
+// zero padding. Kernels are stored [outC, inC, KH, KW]; activations NCHW.
+type ConvSpec struct {
+	KH, KW  int
+	StrideH int
+	StrideW int
+	PadH    int
+	PadW    int
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (c ConvSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*c.PadH-c.KH)/c.StrideH + 1
+	ow = (w+2*c.PadW-c.KW)/c.StrideW + 1
+	return oh, ow
+}
+
+// Conv2D computes a 2-D convolution of x [N,C,H,W] with kernel
+// k [F,C,KH,KW] using im2col + matmul, parallelized over the batch.
+func Conv2D(p *Pool, x, k *Tensor, spec ConvSpec) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	f, kc := k.shape[0], k.shape[1]
+	if kc != c {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch input %d kernel %d", c, kc))
+	}
+	if k.shape[2] != spec.KH || k.shape[3] != spec.KW {
+		panic("tensor: Conv2D kernel shape does not match spec")
+	}
+	oh, ow := spec.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D non-positive output %dx%d for input %dx%d", oh, ow, h, w))
+	}
+	out := New(n, f, oh, ow)
+	colRows := c * spec.KH * spec.KW
+	colCols := oh * ow
+
+	if isPointwise(spec) {
+		// 1x1 stride-1 convolution is a plain matmul per image — no im2col
+		// buffer, the fast path MKL-DNN also takes for ResNet bottlenecks.
+		p.Run(n, 1, func(s, e int) {
+			for img := s; img < e; img++ {
+				matmulInto(Serial, out.data[img*f*oh*ow:(img+1)*f*oh*ow],
+					k.data, x.data[img*c*h*w:(img+1)*c*h*w], f, c, h*w, true)
+			}
+		})
+		return out
+	}
+
+	p.Run(n, 1, func(s, e int) {
+		cols := make([]float32, colRows*colCols)
+		for img := s; img < e; img++ {
+			im2col(x.data[img*c*h*w:(img+1)*c*h*w], cols, c, h, w, spec, oh, ow)
+			// out[img] = k_mat [f, colRows] @ cols [colRows, colCols]
+			matmulInto(Serial, out.data[img*f*oh*ow:(img+1)*f*oh*ow], k.data, cols, f, colRows, colCols, true)
+		}
+	})
+	return out
+}
+
+// isPointwise reports whether spec is a 1x1 stride-1 unpadded convolution.
+func isPointwise(spec ConvSpec) bool {
+	return spec.KH == 1 && spec.KW == 1 &&
+		spec.StrideH == 1 && spec.StrideW == 1 &&
+		spec.PadH == 0 && spec.PadW == 0
+}
+
+// Conv2DBackward computes the gradients of Conv2D with respect to the input
+// and the kernel, given upstream gradient dy [N,F,OH,OW].
+func Conv2DBackward(p *Pool, x, k, dy *Tensor, spec ConvSpec) (dx, dk *Tensor) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	f := k.shape[0]
+	oh, ow := spec.OutSize(h, w)
+	colRows := c * spec.KH * spec.KW
+	colCols := oh * ow
+
+	dx = New(n, c, h, w)
+	dk = New(k.shape...)
+
+	// Per-worker kernel gradient accumulators are merged at the end to keep
+	// the batch loop embarrassingly parallel.
+	type partial struct{ dk []float32 }
+	parts := make([]partial, p.Size())
+	var mu sync.Mutex
+	var next int
+
+	p.Run(n, 1, func(s, e int) {
+		mu.Lock()
+		slot := next
+		next++
+		mu.Unlock()
+		if parts[slot].dk == nil {
+			parts[slot].dk = make([]float32, dk.Len())
+		}
+		cols := make([]float32, colRows*colCols)
+		dcols := make([]float32, colRows*colCols)
+		for img := s; img < e; img++ {
+			im2col(x.data[img*c*h*w:(img+1)*c*h*w], cols, c, h, w, spec, oh, ow)
+			dyImg := dy.data[img*f*oh*ow : (img+1)*f*oh*ow]
+			// dk += dy_mat [f, colCols] @ colsᵀ [colCols, colRows]
+			for i := 0; i < f; i++ {
+				drow := dyImg[i*colCols : (i+1)*colCols]
+				dkrow := parts[slot].dk[i*colRows : (i+1)*colRows]
+				for t := 0; t < colRows; t++ {
+					crow := cols[t*colCols : (t+1)*colCols]
+					var acc float32
+					for j := range drow {
+						acc += drow[j] * crow[j]
+					}
+					dkrow[t] += acc
+				}
+			}
+			// dcols = kᵀ [colRows, f] @ dy_mat [f, colCols]
+			for i := range dcols {
+				dcols[i] = 0
+			}
+			for t := 0; t < f; t++ {
+				krow := k.data[t*colRows : (t+1)*colRows]
+				drow := dyImg[t*colCols : (t+1)*colCols]
+				for r, kv := range krow {
+					if kv == 0 {
+						continue
+					}
+					dcrow := dcols[r*colCols : (r+1)*colCols]
+					for j, dv := range drow {
+						dcrow[j] += kv * dv
+					}
+				}
+			}
+			col2im(dcols, dx.data[img*c*h*w:(img+1)*c*h*w], c, h, w, spec, oh, ow)
+		}
+	})
+	for _, pt := range parts {
+		if pt.dk == nil {
+			continue
+		}
+		for i, v := range pt.dk {
+			dk.data[i] += v
+		}
+	}
+	return dx, dk
+}
+
+// im2col expands one image [C,H,W] into cols [C*KH*KW, OH*OW].
+func im2col(img, cols []float32, c, h, w int, spec ConvSpec, oh, ow int) {
+	colCols := oh * ow
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for kh := 0; kh < spec.KH; kh++ {
+			for kw := 0; kw < spec.KW; kw++ {
+				dst := cols[row*colCols : (row+1)*colCols]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.StrideH + kh - spec.PadH
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					rowOff := chOff + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.StrideW + kw - spec.PadW
+						if ix < 0 || ix >= w {
+							dst[i] = 0
+						} else {
+							dst[i] = img[rowOff+ix]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// col2im accumulates cols [C*KH*KW, OH*OW] back into an image gradient.
+func col2im(cols, img []float32, c, h, w int, spec ConvSpec, oh, ow int) {
+	colCols := oh * ow
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for kh := 0; kh < spec.KH; kh++ {
+			for kw := 0; kw < spec.KW; kw++ {
+				src := cols[row*colCols : (row+1)*colCols]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.StrideH + kh - spec.PadH
+					if iy < 0 || iy >= h {
+						i += ow
+						continue
+					}
+					rowOff := chOff + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.StrideW + kw - spec.PadW
+						if ix >= 0 && ix < w {
+							img[rowOff+ix] += src[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// ConvFLOPs returns the multiply-add FLOP count (2 per MAC) of a forward
+// convolution producing [n, f, oh, ow] from inC input channels.
+func ConvFLOPs(n, inC, f, oh, ow, kh, kw int) int64 {
+	return 2 * int64(n) * int64(f) * int64(oh) * int64(ow) * int64(inC) * int64(kh) * int64(kw)
+}

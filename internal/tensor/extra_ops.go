@@ -1,0 +1,160 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// BiasAddNCHW adds a per-channel bias (length C) to x [N,C,H,W] in a new
+// tensor. Classic architectures (AlexNet, VGG) use conv+bias instead of
+// batch norm.
+func BiasAddNCHW(p *Pool, x, bias *Tensor) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if bias.Len() != c {
+		panic(fmt.Sprintf("tensor: BiasAddNCHW bias length %d != channels %d", bias.Len(), c))
+	}
+	out := New(x.shape...)
+	hw := h * w
+	xd, bd, od := x.data, bias.data, out.data
+	p.Run(n*c, 2, func(s, e int) {
+		for pl := s; pl < e; pl++ {
+			b := bd[pl%c]
+			src := xd[pl*hw : (pl+1)*hw]
+			dst := od[pl*hw : (pl+1)*hw]
+			for i, v := range src {
+				dst[i] = v + b
+			}
+		}
+	})
+	return out
+}
+
+// BiasAddNCHWGrad reduces dy [N,C,H,W] over batch and space into the bias
+// gradient (length C).
+func BiasAddNCHWGrad(p *Pool, dy *Tensor) *Tensor {
+	n, c, h, w := dy.shape[0], dy.shape[1], dy.shape[2], dy.shape[3]
+	out := New(c)
+	hw := h * w
+	dyd, od := dy.data, out.data
+	p.Run(c, 1, func(s, e int) {
+		for ch := s; ch < e; ch++ {
+			var sum float64
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					sum += float64(dyd[base+i])
+				}
+			}
+			od[ch] = float32(sum)
+		}
+	})
+	return out
+}
+
+// LRNSpec configures AlexNet-style local response normalization across
+// channels: y_i = x_i / (K + Alpha/Size * sum_{j near i} x_j^2)^Beta.
+type LRNSpec struct {
+	Size  int // channel window (odd, e.g. 5)
+	Alpha float32
+	Beta  float32
+	K     float32
+}
+
+// DefaultLRN is AlexNet's published setting.
+var DefaultLRN = LRNSpec{Size: 5, Alpha: 1e-4, Beta: 0.75, K: 2}
+
+// LRN applies cross-channel local response normalization to x [N,C,H,W].
+// It returns the output and the per-element scale denominator needed by the
+// backward pass.
+func LRN(p *Pool, x *Tensor, spec LRNSpec) (out, scale *Tensor) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out = New(x.shape...)
+	scale = New(x.shape...)
+	hw := h * w
+	half := spec.Size / 2
+	aOverN := spec.Alpha / float32(spec.Size)
+	xd, od, sd := x.data, out.data, scale.data
+	p.Run(n, 1, func(s0, e0 int) {
+		for img := s0; img < e0; img++ {
+			base := img * c * hw
+			for pos := 0; pos < hw; pos++ {
+				for ch := 0; ch < c; ch++ {
+					var sum float32
+					lo, hi := ch-half, ch+half
+					if lo < 0 {
+						lo = 0
+					}
+					if hi >= c {
+						hi = c - 1
+					}
+					for j := lo; j <= hi; j++ {
+						v := xd[base+j*hw+pos]
+						sum += v * v
+					}
+					sc := spec.K + aOverN*sum
+					idx := base + ch*hw + pos
+					sd[idx] = sc
+					od[idx] = xd[idx] * float32(math.Pow(float64(sc), -float64(spec.Beta)))
+				}
+			}
+		}
+	})
+	return out, scale
+}
+
+// LRNBackward computes dx for LRN given the forward inputs/outputs.
+func LRNBackward(p *Pool, x, y, scale, dy *Tensor, spec LRNSpec) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	dx := New(x.shape...)
+	hw := h * w
+	half := spec.Size / 2
+	aOverN := spec.Alpha / float32(spec.Size)
+	beta := float64(spec.Beta)
+	xd, yd, sd, gd, dd := x.data, y.data, scale.data, dy.data, dx.data
+	p.Run(n, 1, func(s0, e0 int) {
+		for img := s0; img < e0; img++ {
+			base := img * c * hw
+			for pos := 0; pos < hw; pos++ {
+				// dx_i = dy_i * s_i^-beta
+				//      - 2*beta*(alpha/n) * x_i * sum_j dy_j * y_j / s_j
+				// where j ranges over channels whose window contains i.
+				for ch := 0; ch < c; ch++ {
+					idx := base + ch*hw + pos
+					direct := gd[idx] * float32(math.Pow(float64(sd[idx]), -beta))
+					var cross float32
+					lo, hi := ch-half, ch+half
+					if lo < 0 {
+						lo = 0
+					}
+					if hi >= c {
+						hi = c - 1
+					}
+					for j := lo; j <= hi; j++ {
+						jdx := base + j*hw + pos
+						cross += gd[jdx] * yd[jdx] / sd[jdx]
+					}
+					dd[idx] = direct - 2*spec.Beta*aOverN*xd[idx]*cross
+				}
+			}
+		}
+	})
+	return dx
+}
+
+// DropoutMask generates a deterministic keep-mask with keep probability
+// 1-rate, scaled by 1/(1-rate) (inverted dropout). The same seed yields the
+// same mask, keeping distributed replicas consistent.
+func DropoutMask(rate float32, seed int64, shape ...int) *Tensor {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("tensor: dropout rate %v out of [0,1)", rate))
+	}
+	m := New(shape...)
+	rng := NewRNG(seed)
+	inv := 1 / (1 - rate)
+	for i := range m.data {
+		if rng.Float32() >= rate {
+			m.data[i] = inv
+		}
+	}
+	return m
+}

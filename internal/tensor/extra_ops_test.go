@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBiasAddNCHW(t *testing.T) {
+	x := New(1, 2, 2, 2)
+	bias := FromSlice([]float32{10, 20}, 2)
+	y := BiasAddNCHW(Serial, x, bias)
+	if y.At(0, 0, 1, 1) != 10 || y.At(0, 1, 0, 0) != 20 {
+		t.Fatalf("bias add wrong: %v", y.Data())
+	}
+}
+
+func TestBiasAddGradSums(t *testing.T) {
+	dy := Ones(2, 3, 4, 4)
+	g := BiasAddNCHWGrad(Serial, dy)
+	for ch := 0; ch < 3; ch++ {
+		if g.At(ch) != 32 { // 2 images * 16 positions
+			t.Fatalf("channel %d grad %v, want 32", ch, g.At(ch))
+		}
+	}
+}
+
+func TestBiasAddParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(3)
+	x := rng.Uniform(-1, 1, 3, 5, 4, 4)
+	bias := rng.Uniform(-1, 1, 5)
+	p := NewPool(4)
+	defer p.Close()
+	if d := BiasAddNCHW(Serial, x, bias).MaxAbsDiff(BiasAddNCHW(p, x, bias)); d != 0 {
+		t.Fatalf("parallel mismatch %g", d)
+	}
+}
+
+func TestLRNIdentityLimit(t *testing.T) {
+	// With alpha=0 the denominator is K^beta, a pure scale.
+	x := NewRNG(1).Uniform(-1, 1, 1, 4, 3, 3)
+	spec := LRNSpec{Size: 3, Alpha: 0, Beta: 0.75, K: 1}
+	y, _ := LRN(Serial, x, spec)
+	if d := y.MaxAbsDiff(x); d > 1e-6 {
+		t.Fatalf("K=1 alpha=0 LRN must be identity, diff %g", d)
+	}
+}
+
+func TestLRNSuppressesLoudChannels(t *testing.T) {
+	// A channel surrounded by loud neighbors must be attenuated more than
+	// one surrounded by silence.
+	x := New(1, 3, 1, 1)
+	x.Set(1, 0, 1, 0, 0) // middle channel active
+	quiet, _ := LRN(Serial, x, LRNSpec{Size: 3, Alpha: 1, Beta: 0.75, K: 1})
+
+	x2 := New(1, 3, 1, 1)
+	x2.Set(1, 0, 1, 0, 0)
+	x2.Set(3, 0, 0, 0, 0) // loud neighbor
+	x2.Set(3, 0, 2, 0, 0)
+	loud, _ := LRN(Serial, x2, LRNSpec{Size: 3, Alpha: 1, Beta: 0.75, K: 1})
+
+	if loud.At(0, 1, 0, 0) >= quiet.At(0, 1, 0, 0) {
+		t.Fatalf("loud neighbors must suppress: %v vs %v", loud.At(0, 1, 0, 0), quiet.At(0, 1, 0, 0))
+	}
+}
+
+func TestLRNBackwardNumeric(t *testing.T) {
+	rng := NewRNG(5)
+	spec := LRNSpec{Size: 3, Alpha: 0.3, Beta: 0.75, K: 2}
+	x := rng.Uniform(-1, 1, 1, 5, 2, 2)
+	wgt := rng.Uniform(-1, 1, 1, 5, 2, 2)
+	loss := func() float64 {
+		y, _ := LRN(Serial, x, spec)
+		return Dot(y, wgt)
+	}
+	y, scale := LRN(Serial, x, spec)
+	dx := LRNBackward(Serial, x, y, scale, wgt, spec)
+
+	const eps = 1e-3
+	for _, i := range []int{0, 5, 9, 13, 19} {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		up := loss()
+		x.Data()[i] = orig - eps
+		down := loss()
+		x.Data()[i] = orig
+		num := (up - down) / (2 * eps)
+		got := float64(dx.Data()[i])
+		if d := math.Abs(num - got); d > 5e-3 {
+			t.Fatalf("dx[%d]: numeric %g vs analytic %g", i, num, got)
+		}
+	}
+}
+
+func TestDropoutMaskProperties(t *testing.T) {
+	m := DropoutMask(0.5, 42, 10000)
+	var kept int
+	inv := float32(2)
+	for _, v := range m.Data() {
+		switch v {
+		case 0:
+		case inv:
+			kept++
+		default:
+			t.Fatalf("mask value %v not in {0, %v}", v, inv)
+		}
+	}
+	frac := float64(kept) / float64(m.Len())
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("keep fraction %v, want ~0.5", frac)
+	}
+	// Determinism.
+	if DropoutMask(0.5, 42, 10000).MaxAbsDiff(m) != 0 {
+		t.Fatal("same seed must give same mask")
+	}
+	if DropoutMask(0.5, 43, 10000).MaxAbsDiff(m) == 0 {
+		t.Fatal("different seed must give different mask")
+	}
+}
+
+func TestDropoutMaskRateZero(t *testing.T) {
+	m := DropoutMask(0, 1, 100)
+	for _, v := range m.Data() {
+		if v != 1 {
+			t.Fatalf("rate 0 must keep everything at scale 1, got %v", v)
+		}
+	}
+}
+
+func TestDropoutMaskBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DropoutMask(1.0, 1, 10)
+}

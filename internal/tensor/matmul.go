@@ -1,0 +1,132 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a @ b for a [m, k] and b [k, n], computed with a cache
+// blocked kernel parallelized over rows of the output.
+func MatMul(p *Pool, a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMul requires 2-D operands")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matmulInto(p, out.data, a.data, b.data, m, k, n, false)
+	return out
+}
+
+// MatMulTA returns aᵀ @ b for a [k, m] and b [k, n].
+func MatMulTA(p *Pool, a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTA inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	// out[i,j] = sum_t a[t,i] * b[t,j]. Parallelize over output rows i,
+	// accumulating rank-1 updates row-wise for locality.
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	p.Run(m, 8, func(s, e int) {
+		for t := 0; t < k; t++ {
+			brow := bd[t*n : (t+1)*n]
+			for i := s; i < e; i++ {
+				av := ad[t*m+i]
+				if av == 0 {
+					continue
+				}
+				orow := od[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTB returns a @ bᵀ for a [m, k] and b [n, k].
+func MatMulTB(p *Pool, a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTB inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	p.Run(m, 4, func(s, e int) {
+		for i := s; i < e; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var acc float32
+				for t := range arow {
+					acc += arow[t] * brow[t]
+				}
+				orow[j] = acc
+			}
+		}
+	})
+	return out
+}
+
+// matmulInto computes out += a @ b (row-major, out [m,n], a [m,k], b [k,n]).
+// If zero is true the output region is assumed pre-zeroed (it always is for
+// fresh tensors).
+func matmulInto(p *Pool, out, a, b []float32, m, k, n int, _ bool) {
+	const rowGrain = 4
+	p.Run(m, rowGrain, func(s, e int) {
+		// i-k-j loop order with the k loop hoisted keeps b rows streaming.
+		for i := s; i < e; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			for t, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[t*n : (t+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// AddBiasRows adds bias (length n) to every row of x ([m, n]) in place.
+func AddBiasRows(p *Pool, x, bias *Tensor) {
+	m, n := x.shape[0], x.shape[1]
+	if bias.Len() != n {
+		panic(fmt.Sprintf("tensor: AddBiasRows bias length %d != cols %d", bias.Len(), n))
+	}
+	xd, bd := x.data, bias.data
+	p.Run(m, 16, func(s, e int) {
+		for i := s; i < e; i++ {
+			row := xd[i*n : (i+1)*n]
+			for j := range row {
+				row[j] += bd[j]
+			}
+		}
+	})
+}
+
+// SumRows returns the column-wise sum of x ([m, n]) as a length-n tensor.
+// It is the bias gradient for AddBiasRows.
+func SumRows(p *Pool, x *Tensor) *Tensor {
+	m, n := x.shape[0], x.shape[1]
+	out := New(n)
+	xd, od := x.data, out.data
+	// Parallelize over columns to avoid write contention.
+	p.Run(n, 256, func(s, e int) {
+		for i := 0; i < m; i++ {
+			row := xd[i*n : (i+1)*n]
+			for j := s; j < e; j++ {
+				od[j] += row[j]
+			}
+		}
+	})
+	return out
+}

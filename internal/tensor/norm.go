@@ -1,0 +1,157 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchNormState carries the intermediates of a batch-norm forward pass that
+// the backward pass needs.
+type BatchNormState struct {
+	Mean, InvStd *Tensor // per channel
+	XHat         *Tensor // normalized input, same shape as x
+}
+
+// BatchNorm2D normalizes x [N,C,H,W] per channel using batch statistics and
+// applies scale gamma and shift beta (both length C). eps stabilizes the
+// variance. It returns the output and the state needed for backward.
+func BatchNorm2D(p *Pool, x, gamma, beta *Tensor, eps float32) (*Tensor, *BatchNormState) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if gamma.Len() != c || beta.Len() != c {
+		panic(fmt.Sprintf("tensor: BatchNorm2D gamma/beta length must be %d", c))
+	}
+	out := New(x.shape...)
+	st := &BatchNormState{Mean: New(c), InvStd: New(c), XHat: New(x.shape...)}
+	hw := h * w
+	cnt := float32(n * hw)
+	xd := x.data
+	p.Run(c, 1, func(s, e int) {
+		for ch := s; ch < e; ch++ {
+			var sum float64
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					sum += float64(xd[base+i])
+				}
+			}
+			mean := float32(sum / float64(cnt))
+			var vs float64
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					d := xd[base+i] - mean
+					vs += float64(d) * float64(d)
+				}
+			}
+			invStd := float32(1 / math.Sqrt(vs/float64(cnt)+float64(eps)))
+			st.Mean.data[ch] = mean
+			st.InvStd.data[ch] = invStd
+			g, b := gamma.data[ch], beta.data[ch]
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					xh := (xd[base+i] - mean) * invStd
+					st.XHat.data[base+i] = xh
+					out.data[base+i] = g*xh + b
+				}
+			}
+		}
+	})
+	return out, st
+}
+
+// BatchNorm2DBackward computes gradients of BatchNorm2D.
+func BatchNorm2DBackward(p *Pool, x, gamma, dy *Tensor, st *BatchNormState) (dx, dgamma, dbeta *Tensor) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	hw := h * w
+	cnt := float32(n * hw)
+	dx = New(x.shape...)
+	dgamma = New(c)
+	dbeta = New(c)
+	p.Run(c, 1, func(s, e int) {
+		for ch := s; ch < e; ch++ {
+			var sumDy, sumDyXhat float64
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					g := float64(dy.data[base+i])
+					sumDy += g
+					sumDyXhat += g * float64(st.XHat.data[base+i])
+				}
+			}
+			dbeta.data[ch] = float32(sumDy)
+			dgamma.data[ch] = float32(sumDyXhat)
+			gInv := gamma.data[ch] * st.InvStd.data[ch]
+			mDy := float32(sumDy) / cnt
+			mDyXhat := float32(sumDyXhat) / cnt
+			for img := 0; img < n; img++ {
+				base := (img*c + ch) * hw
+				for i := 0; i < hw; i++ {
+					xh := st.XHat.data[base+i]
+					dx.data[base+i] = gInv * (dy.data[base+i] - mDy - xh*mDyXhat)
+				}
+			}
+		}
+	})
+	return dx, dgamma, dbeta
+}
+
+// Softmax computes row-wise softmax of x [m, n].
+func Softmax(p *Pool, x *Tensor) *Tensor {
+	m, n := x.shape[0], x.shape[1]
+	out := New(x.shape...)
+	xd, od := x.data, out.data
+	p.Run(m, 8, func(s, e int) {
+		for i := s; i < e; i++ {
+			row := xd[i*n : (i+1)*n]
+			orow := od[i*n : (i+1)*n]
+			maxV := row[0]
+			for _, v := range row[1:] {
+				if v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for j, v := range row {
+				ev := math.Exp(float64(v - maxV))
+				orow[j] = float32(ev)
+				sum += ev
+			}
+			inv := float32(1 / sum)
+			for j := range orow {
+				orow[j] *= inv
+			}
+		}
+	})
+	return out
+}
+
+// CrossEntropyLoss computes the mean negative log-likelihood of the labels
+// under row-wise softmax(logits), and the gradient of that loss with respect
+// to the logits ((softmax - onehot)/m). logits is [m, classes].
+func CrossEntropyLoss(p *Pool, logits *Tensor, labels []int) (loss float64, grad *Tensor) {
+	m, n := logits.shape[0], logits.shape[1]
+	if len(labels) != m {
+		panic(fmt.Sprintf("tensor: CrossEntropyLoss got %d labels for %d rows", len(labels), m))
+	}
+	sm := Softmax(p, logits)
+	grad = sm.Clone()
+	var total float64
+	for i := 0; i < m; i++ {
+		lbl := labels[i]
+		if lbl < 0 || lbl >= n {
+			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", lbl, n))
+		}
+		pLbl := float64(sm.data[i*n+lbl])
+		if pLbl < 1e-12 {
+			pLbl = 1e-12
+		}
+		total -= math.Log(pLbl)
+		grad.data[i*n+lbl] -= 1
+	}
+	inv := float32(1.0 / float64(m))
+	for i := range grad.data {
+		grad.data[i] *= inv
+	}
+	return total / float64(m), grad
+}

@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// elemGrain is the minimum per-task element count for parallel element-wise
+// kernels; smaller work runs inline to avoid scheduling overhead.
+const elemGrain = 8192
+
+// Add returns t + u element-wise. Shapes must match.
+func Add(p *Pool, t, u *Tensor) *Tensor {
+	out := New(t.shape...)
+	AddInto(p, out, t, u)
+	return out
+}
+
+// AddInto computes dst = t + u element-wise.
+func AddInto(p *Pool, dst, t, u *Tensor) {
+	binaryCheck(dst, t, u, "Add")
+	td, ud, dd := t.data, u.data, dst.data
+	p.Run(len(td), elemGrain, func(s, e int) {
+		for i := s; i < e; i++ {
+			dd[i] = td[i] + ud[i]
+		}
+	})
+}
+
+// Sub returns t - u element-wise.
+func Sub(p *Pool, t, u *Tensor) *Tensor {
+	binaryCheck(t, t, u, "Sub")
+	out := New(t.shape...)
+	td, ud, dd := t.data, u.data, out.data
+	p.Run(len(td), elemGrain, func(s, e int) {
+		for i := s; i < e; i++ {
+			dd[i] = td[i] - ud[i]
+		}
+	})
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product t * u.
+func Mul(p *Pool, t, u *Tensor) *Tensor {
+	binaryCheck(t, t, u, "Mul")
+	out := New(t.shape...)
+	td, ud, dd := t.data, u.data, out.data
+	p.Run(len(td), elemGrain, func(s, e int) {
+		for i := s; i < e; i++ {
+			dd[i] = td[i] * ud[i]
+		}
+	})
+	return out
+}
+
+// AXPY computes dst += alpha * src element-wise.
+func AXPY(p *Pool, dst *Tensor, alpha float32, src *Tensor) {
+	if len(dst.data) != len(src.data) {
+		panic("tensor: AXPY size mismatch")
+	}
+	dd, sd := dst.data, src.data
+	p.Run(len(dd), elemGrain, func(s, e int) {
+		for i := s; i < e; i++ {
+			dd[i] += alpha * sd[i]
+		}
+	})
+}
+
+// Scale returns alpha * t.
+func Scale(p *Pool, alpha float32, t *Tensor) *Tensor {
+	out := New(t.shape...)
+	td, dd := t.data, out.data
+	p.Run(len(td), elemGrain, func(s, e int) {
+		for i := s; i < e; i++ {
+			dd[i] = alpha * td[i]
+		}
+	})
+	return out
+}
+
+// ReLU returns max(x, 0) element-wise.
+func ReLU(p *Pool, t *Tensor) *Tensor {
+	out := New(t.shape...)
+	td, dd := t.data, out.data
+	p.Run(len(td), elemGrain, func(s, e int) {
+		for i := s; i < e; i++ {
+			if v := td[i]; v > 0 {
+				dd[i] = v
+			}
+		}
+	})
+	return out
+}
+
+// ReLUGrad returns dy masked by x > 0: the gradient of ReLU at x.
+func ReLUGrad(p *Pool, x, dy *Tensor) *Tensor {
+	binaryCheck(x, x, dy, "ReLUGrad")
+	out := New(x.shape...)
+	xd, gd, dd := x.data, dy.data, out.data
+	p.Run(len(xd), elemGrain, func(s, e int) {
+		for i := s; i < e; i++ {
+			if xd[i] > 0 {
+				dd[i] = gd[i]
+			}
+		}
+	})
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Dot returns the inner product of t and u viewed as flat vectors.
+func Dot(t, u *Tensor) float64 {
+	if len(t.data) != len(u.data) {
+		panic("tensor: Dot size mismatch")
+	}
+	var s float64
+	for i := range t.data {
+		s += float64(t.data[i]) * float64(u.data[i])
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMaxRow returns, for a [rows, cols] matrix, the column index of the
+// maximum element in row r.
+func (t *Tensor) ArgMaxRow(r int) int {
+	if t.Dims() != 2 {
+		panic("tensor: ArgMaxRow requires a 2-D tensor")
+	}
+	cols := t.shape[1]
+	row := t.data[r*cols : (r+1)*cols]
+	best := 0
+	for i, v := range row {
+		if v > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Concat concatenates tensors along axis. All other dimensions must agree.
+func Concat(p *Pool, axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of no tensors")
+	}
+	first := ts[0]
+	rank := first.Dims()
+	if axis < 0 || axis >= rank {
+		panic(fmt.Sprintf("tensor: Concat axis %d out of range for rank %d", axis, rank))
+	}
+	outShape := append([]int(nil), first.shape...)
+	total := first.shape[axis]
+	for _, t := range ts[1:] {
+		if t.Dims() != rank {
+			panic("tensor: Concat rank mismatch")
+		}
+		for d := 0; d < rank; d++ {
+			if d != axis && t.shape[d] != first.shape[d] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch %v vs %v on axis %d", t.shape, first.shape, d))
+			}
+		}
+		total += t.shape[axis]
+	}
+	outShape[axis] = total
+
+	out := New(outShape...)
+	// outer = product of dims before axis; inner = product after.
+	outer, inner := 1, 1
+	for d := 0; d < axis; d++ {
+		outer *= first.shape[d]
+	}
+	for d := axis + 1; d < rank; d++ {
+		inner *= first.shape[d]
+	}
+	outRow := total * inner
+	off := 0
+	for _, t := range ts {
+		rows := t.shape[axis] * inner
+		src := t.data
+		dst := out.data
+		p.Run(outer, 1, func(s, e int) {
+			for o := s; o < e; o++ {
+				copy(dst[o*outRow+off:o*outRow+off+rows], src[o*rows:(o+1)*rows])
+			}
+		})
+		off += rows
+	}
+	return out
+}
+
+// SplitGrad is the adjoint of Concat: it slices dy back into pieces with the
+// given sizes along axis.
+func SplitGrad(p *Pool, dy *Tensor, axis int, sizes []int) []*Tensor {
+	rank := dy.Dims()
+	outer, inner := 1, 1
+	for d := 0; d < axis; d++ {
+		outer *= dy.shape[d]
+	}
+	for d := axis + 1; d < rank; d++ {
+		inner *= dy.shape[d]
+	}
+	outRow := dy.shape[axis] * inner
+	grads := make([]*Tensor, len(sizes))
+	off := 0
+	for i, sz := range sizes {
+		shape := append([]int(nil), dy.shape...)
+		shape[axis] = sz
+		g := New(shape...)
+		rows := sz * inner
+		src, dst := dy.data, g.data
+		o0 := off
+		p.Run(outer, 1, func(s, e int) {
+			for o := s; o < e; o++ {
+				copy(dst[o*rows:(o+1)*rows], src[o*outRow+o0:o*outRow+o0+rows])
+			}
+		})
+		grads[i] = g
+		off += rows
+	}
+	return grads
+}
+
+func binaryCheck(dst, t, u *Tensor, op string) {
+	if len(t.data) != len(u.data) || len(dst.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+	}
+}

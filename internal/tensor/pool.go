@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool used for intra-op parallelism: a single
+// tensor kernel splits its index space into ranges and executes them on the
+// pool's workers. It mirrors the role of the "intra-op" thread pool that the
+// -num_intra_threads flag controls in tf_cnn_benchmarks.
+//
+// A Pool with size 1 executes everything inline on the calling goroutine,
+// so single-threaded runs have no scheduling overhead.
+type Pool struct {
+	size  int
+	tasks chan func()
+	once  sync.Once
+}
+
+// NewPool creates a pool with n workers. n < 1 is treated as 1.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{size: n}
+	if n > 1 {
+		p.tasks = make(chan func(), 4*n)
+		for i := 0; i < n; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+// Default returns a pool sized to the machine's logical CPU count.
+func Default() *Pool { return NewPool(runtime.NumCPU()) }
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+func (p *Pool) worker() {
+	for f := range p.tasks {
+		f()
+	}
+}
+
+// Close shuts down the pool's workers. The pool must not be used afterwards.
+// Close is idempotent and a no-op for size-1 pools.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		if p.tasks != nil {
+			close(p.tasks)
+		}
+	})
+}
+
+// Run executes fn(start, end) over [0, n) split into contiguous ranges of at
+// least grain elements, one range per task, and waits for completion. With a
+// size-1 pool (or n <= grain) fn runs inline.
+func (p *Pool) Run(n, grain int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p.size == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := p.size
+	if max := (n + grain - 1) / grain; chunks > max {
+		chunks = max
+	}
+	step := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		start := c * step
+		end := start + step
+		if end > n {
+			end = n
+		}
+		s, e := start, end
+		p.tasks <- func() {
+			fn(s, e)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// Serial is a shared size-1 pool for callers that want inline execution.
+var Serial = NewPool(1)

@@ -1,0 +1,208 @@
+package tensor
+
+import "fmt"
+
+// PoolSpec describes a 2-D pooling window.
+type PoolSpec struct {
+	KH, KW  int
+	StrideH int
+	StrideW int
+	PadH    int
+	PadW    int
+}
+
+// OutSize returns the pooled spatial size for an input of h×w.
+func (s PoolSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*s.PadH-s.KH)/s.StrideH + 1
+	ow = (w+2*s.PadW-s.KW)/s.StrideW + 1
+	return oh, ow
+}
+
+// MaxPool2D applies max pooling to x [N,C,H,W]. It returns the pooled
+// tensor and an argmax index tensor (flat input offsets) used for backward.
+func MaxPool2D(p *Pool, x *Tensor, spec PoolSpec) (out *Tensor, argmax []int32) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := spec.OutSize(h, w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: MaxPool2D non-positive output for input %dx%d", h, w))
+	}
+	out = New(n, c, oh, ow)
+	argmax = make([]int32, out.Len())
+	planes := n * c
+	xd, od := x.data, out.data
+	p.Run(planes, 1, func(s0, e0 int) {
+		for pl := s0; pl < e0; pl++ {
+			in := xd[pl*h*w : (pl+1)*h*w]
+			base := pl * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(0)
+					bestIdx := int32(-1)
+					for ky := 0; ky < spec.KH; ky++ {
+						iy := oy*spec.StrideH + ky - spec.PadH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < spec.KW; kx++ {
+							ix := ox*spec.StrideW + kx - spec.PadW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := in[iy*w+ix]
+							if bestIdx < 0 || v > best {
+								best = v
+								bestIdx = int32(pl*h*w + iy*w + ix)
+							}
+						}
+					}
+					od[base+oy*ow+ox] = best
+					argmax[base+oy*ow+ox] = bestIdx
+				}
+			}
+		}
+	})
+	return out, argmax
+}
+
+// MaxPool2DBackward scatters dy back to the argmax positions.
+func MaxPool2DBackward(p *Pool, xShape []int, dy *Tensor, argmax []int32, spec PoolSpec) *Tensor {
+	dx := New(xShape...)
+	// Scatter is race-free across planes because each plane's argmax indices
+	// stay inside that plane.
+	n, c := xShape[0], xShape[1]
+	oh, ow := dy.shape[2], dy.shape[3]
+	planeOut := oh * ow
+	dyd, dxd := dy.data, dx.data
+	p.Run(n*c, 1, func(s, e int) {
+		for pl := s; pl < e; pl++ {
+			for i := pl * planeOut; i < (pl+1)*planeOut; i++ {
+				if idx := argmax[i]; idx >= 0 {
+					dxd[idx] += dyd[i]
+				}
+			}
+		}
+	})
+	return dx
+}
+
+// AvgPool2D applies average pooling (count includes only valid positions).
+func AvgPool2D(p *Pool, x *Tensor, spec PoolSpec) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := spec.OutSize(h, w)
+	out := New(n, c, oh, ow)
+	xd, od := x.data, out.data
+	p.Run(n*c, 1, func(s0, e0 int) {
+		for pl := s0; pl < e0; pl++ {
+			in := xd[pl*h*w : (pl+1)*h*w]
+			base := pl * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var sum float32
+					var cnt int
+					for ky := 0; ky < spec.KH; ky++ {
+						iy := oy*spec.StrideH + ky - spec.PadH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < spec.KW; kx++ {
+							ix := ox*spec.StrideW + kx - spec.PadW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += in[iy*w+ix]
+							cnt++
+						}
+					}
+					if cnt > 0 {
+						od[base+oy*ow+ox] = sum / float32(cnt)
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// AvgPool2DBackward distributes dy evenly over each window's valid inputs.
+func AvgPool2DBackward(p *Pool, xShape []int, dy *Tensor, spec PoolSpec) *Tensor {
+	n, c, h, w := xShape[0], xShape[1], xShape[2], xShape[3]
+	oh, ow := dy.shape[2], dy.shape[3]
+	dx := New(xShape...)
+	dyd, dxd := dy.data, dx.data
+	p.Run(n*c, 1, func(s0, e0 int) {
+		for pl := s0; pl < e0; pl++ {
+			out := dyd[pl*oh*ow : (pl+1)*oh*ow]
+			in := dxd[pl*h*w : (pl+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var cnt int
+					for ky := 0; ky < spec.KH; ky++ {
+						iy := oy*spec.StrideH + ky - spec.PadH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < spec.KW; kx++ {
+							ix := ox*spec.StrideW + kx - spec.PadW
+							if ix >= 0 && ix < w {
+								cnt++
+							}
+						}
+					}
+					if cnt == 0 {
+						continue
+					}
+					share := out[oy*ow+ox] / float32(cnt)
+					for ky := 0; ky < spec.KH; ky++ {
+						iy := oy*spec.StrideH + ky - spec.PadH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < spec.KW; kx++ {
+							ix := ox*spec.StrideW + kx - spec.PadW
+							if ix >= 0 && ix < w {
+								in[iy*w+ix] += share
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}
+
+// GlobalAvgPool reduces x [N,C,H,W] to [N,C] by spatial averaging.
+func GlobalAvgPool(p *Pool, x *Tensor) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c)
+	hw := h * w
+	xd, od := x.data, out.data
+	p.Run(n*c, 4, func(s, e int) {
+		for pl := s; pl < e; pl++ {
+			var sum float32
+			for _, v := range xd[pl*hw : (pl+1)*hw] {
+				sum += v
+			}
+			od[pl] = sum / float32(hw)
+		}
+	})
+	return out
+}
+
+// GlobalAvgPoolBackward expands dy [N,C] back to [N,C,H,W].
+func GlobalAvgPoolBackward(p *Pool, xShape []int, dy *Tensor) *Tensor {
+	h, w := xShape[2], xShape[3]
+	hw := h * w
+	dx := New(xShape...)
+	dyd, dxd := dy.data, dx.data
+	p.Run(dy.Len(), 16, func(s, e int) {
+		for pl := s; pl < e; pl++ {
+			g := dyd[pl] / float32(hw)
+			plane := dxd[pl*hw : (pl+1)*hw]
+			for i := range plane {
+				plane[i] = g
+			}
+		}
+	})
+	return dx
+}

@@ -1,0 +1,50 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a deterministic pseudo-random source for reproducible
+// experiments (the paper averages three runs; we make each run seedable).
+type RNG struct{ r *rand.Rand }
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// Float32 returns a uniform value in [0, 1).
+func (g *RNG) Float32() float32 { return g.r.Float32() }
+
+// Intn returns a uniform value in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// NormFloat32 returns a standard normal sample.
+func (g *RNG) NormFloat32() float32 { return float32(g.r.NormFloat64()) }
+
+// Randn fills a new tensor with N(0, stddev²) samples.
+func (g *RNG) Randn(stddev float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = stddev * g.NormFloat32()
+	}
+	return t
+}
+
+// Uniform fills a new tensor with uniform samples in [lo, hi).
+func (g *RNG) Uniform(lo, hi float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*g.Float32()
+	}
+	return t
+}
+
+// HeInit returns a conv/dense kernel initialized with He (Kaiming) normal
+// scaling, the standard initialization for ReLU networks: stddev
+// sqrt(2/fanIn).
+func (g *RNG) HeInit(fanIn int, shape ...int) *Tensor {
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	return g.Randn(float32(math.Sqrt(2/float64(fanIn))), shape...)
+}

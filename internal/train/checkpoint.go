@@ -1,0 +1,209 @@
+package train
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/models"
+	"dnnperf/internal/tensor"
+)
+
+// Checkpoint format (little endian):
+//
+//	magic "DNPF" | version u32 | varCount u32 |
+//	repeat: nameLen u32 | name | rank u32 | dims u32... | payload f32... |
+//	crc32(IEEE) of everything before it.
+const (
+	ckptMagic   = "DNPF"
+	ckptVersion = 1
+)
+
+// SaveCheckpoint writes every materialized variable of the model to w.
+func SaveCheckpoint(w io.Writer, m *models.Model) error {
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(w, crc)
+
+	if _, err := out.Write([]byte(ckptMagic)); err != nil {
+		return err
+	}
+	vars := m.G.Variables()
+	if err := writeU32(out, ckptVersion); err != nil {
+		return err
+	}
+	if err := writeU32(out, uint32(len(vars))); err != nil {
+		return err
+	}
+	for _, v := range vars {
+		v.Materialize()
+		if err := writeU32(out, uint32(len(v.Name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(out, v.Name); err != nil {
+			return err
+		}
+		shape := v.Value.Shape()
+		if err := writeU32(out, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := writeU32(out, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 4*v.Value.Len())
+		for i, f := range v.Value.Data() {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+		}
+		if _, err := out.Write(buf); err != nil {
+			return err
+		}
+	}
+	// Trailer: checksum of everything written so far (not through crc).
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], crc.Sum32())
+	_, err := w.Write(tr[:])
+	return err
+}
+
+// LoadCheckpoint restores variables into the model. Every checkpoint
+// variable must exist in the model with an identical shape; model variables
+// absent from the checkpoint keep their initialization.
+func LoadCheckpoint(r io.Reader, m *models.Model) error {
+	crc := crc32.NewIEEE()
+	in := io.TeeReader(r, crc)
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(in, magic); err != nil {
+		return fmt.Errorf("train: checkpoint header: %w", err)
+	}
+	if string(magic) != ckptMagic {
+		return fmt.Errorf("train: bad checkpoint magic %q", magic)
+	}
+	version, err := readU32(in)
+	if err != nil {
+		return err
+	}
+	if version != ckptVersion {
+		return fmt.Errorf("train: unsupported checkpoint version %d", version)
+	}
+	count, err := readU32(in)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]*graph.Node)
+	for _, v := range m.G.Variables() {
+		byName[v.Name] = v
+	}
+	for i := uint32(0); i < count; i++ {
+		nameLen, err := readU32(in)
+		if err != nil {
+			return err
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("train: corrupt checkpoint (name length %d)", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(in, nameBuf); err != nil {
+			return err
+		}
+		rank, err := readU32(in)
+		if err != nil {
+			return err
+		}
+		if rank > 8 {
+			return fmt.Errorf("train: corrupt checkpoint (rank %d)", rank)
+		}
+		shape := make([]int, rank)
+		n := 1
+		for d := range shape {
+			v, err := readU32(in)
+			if err != nil {
+				return err
+			}
+			shape[d] = int(v)
+			n *= int(v)
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(in, buf); err != nil {
+			return err
+		}
+		v, ok := byName[string(nameBuf)]
+		if !ok {
+			return fmt.Errorf("train: checkpoint variable %q not in model", nameBuf)
+		}
+		v.Materialize()
+		if !tensor.ShapeEq(v.Value.Shape(), shape) {
+			return fmt.Errorf("train: variable %q shape %v in checkpoint, %v in model",
+				nameBuf, shape, v.Value.Shape())
+		}
+		dst := v.Value.Data()
+		for j := range dst {
+			dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+	}
+	want := crc.Sum32()
+	got, err := readU32(r) // trailer is outside the checksum
+	if err != nil {
+		return fmt.Errorf("train: checkpoint trailer: %w", err)
+	}
+	if got != want {
+		return fmt.Errorf("train: checkpoint checksum mismatch (%08x vs %08x)", got, want)
+	}
+	return nil
+}
+
+// SaveCheckpointFile writes the model's weights to path atomically.
+func SaveCheckpointFile(path string, m *models.Model) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := SaveCheckpoint(bw, m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpointFile restores weights from path.
+func LoadCheckpointFile(path string, m *models.Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadCheckpoint(bufio.NewReader(f), m)
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

@@ -1,0 +1,171 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/tensor"
+)
+
+// Optimizer applies one parameter update from accumulated gradients.
+type Optimizer interface {
+	// Step updates every variable of g from its Grad buffer.
+	Step(pool *tensor.Pool, g *graph.Graph)
+	// Name identifies the optimizer in logs.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent with optional L2 weight decay.
+type SGD struct {
+	LR          float32
+	WeightDecay float32
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(pool *tensor.Pool, g *graph.Graph) {
+	for _, v := range g.Variables() {
+		if v.Grad == nil {
+			continue
+		}
+		if s.WeightDecay > 0 {
+			tensor.AXPY(pool, v.Grad, s.WeightDecay, v.Value)
+		}
+		tensor.AXPY(pool, v.Value, -s.LR, v.Grad)
+	}
+}
+
+// Momentum is SGD with (optionally Nesterov) momentum — the optimizer the
+// paper's tf_cnn_benchmarks runs use.
+type Momentum struct {
+	LR          float32
+	Mu          float32 // momentum coefficient, typically 0.9
+	Nesterov    bool
+	WeightDecay float32
+
+	velocity map[*graph.Node]*tensor.Tensor
+}
+
+// NewMomentum constructs a momentum optimizer (mu defaults to 0.9).
+func NewMomentum(lr, mu float32) *Momentum {
+	if mu == 0 {
+		mu = 0.9
+	}
+	return &Momentum{LR: lr, Mu: mu, velocity: make(map[*graph.Node]*tensor.Tensor)}
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// Step implements Optimizer.
+func (m *Momentum) Step(pool *tensor.Pool, g *graph.Graph) {
+	if m.velocity == nil {
+		m.velocity = make(map[*graph.Node]*tensor.Tensor)
+	}
+	for _, v := range g.Variables() {
+		if v.Grad == nil {
+			continue
+		}
+		if m.WeightDecay > 0 {
+			tensor.AXPY(pool, v.Grad, m.WeightDecay, v.Value)
+		}
+		vel := m.velocity[v]
+		if vel == nil {
+			vel = tensor.New(v.Value.Shape()...)
+			m.velocity[v] = vel
+		}
+		// vel = mu*vel + grad
+		vd, gd := vel.Data(), v.Grad.Data()
+		mu := m.Mu
+		pool.Run(len(vd), 8192, func(s, e int) {
+			for i := s; i < e; i++ {
+				vd[i] = mu*vd[i] + gd[i]
+			}
+		})
+		if m.Nesterov {
+			// w -= lr * (grad + mu*vel)
+			lr, muv := m.LR, m.Mu
+			wd := v.Value.Data()
+			pool.Run(len(wd), 8192, func(s, e int) {
+				for i := s; i < e; i++ {
+					wd[i] -= lr * (gd[i] + muv*vd[i])
+				}
+			})
+		} else {
+			tensor.AXPY(pool, v.Value, -m.LR, vel)
+		}
+	}
+}
+
+// LARS is layer-wise adaptive rate scaling (You et al.), the technique
+// behind the large-batch training regimes the paper cites ([22], [25]) as
+// the accuracy-preserving route to the big global batches that multi-node
+// CPU training produces.
+type LARS struct {
+	LR          float32
+	Mu          float32
+	Trust       float32 // trust coefficient eta, typically 1e-3..1e-2
+	WeightDecay float32
+
+	velocity map[*graph.Node]*tensor.Tensor
+}
+
+// NewLARS constructs a LARS optimizer with sensible defaults.
+func NewLARS(lr float32) *LARS {
+	return &LARS{LR: lr, Mu: 0.9, Trust: 0.001, velocity: make(map[*graph.Node]*tensor.Tensor)}
+}
+
+// Name implements Optimizer.
+func (l *LARS) Name() string { return "lars" }
+
+// Step implements Optimizer.
+func (l *LARS) Step(pool *tensor.Pool, g *graph.Graph) {
+	if l.velocity == nil {
+		l.velocity = make(map[*graph.Node]*tensor.Tensor)
+	}
+	for _, v := range g.Variables() {
+		if v.Grad == nil {
+			continue
+		}
+		wNorm := v.Value.L2Norm()
+		gNorm := v.Grad.L2Norm()
+		localLR := l.LR
+		if wNorm > 0 && gNorm > 0 {
+			ratio := float64(l.Trust) * wNorm / (gNorm + float64(l.WeightDecay)*wNorm)
+			localLR = l.LR * float32(math.Min(ratio, 10))
+		}
+		if l.WeightDecay > 0 {
+			tensor.AXPY(pool, v.Grad, l.WeightDecay, v.Value)
+		}
+		vel := l.velocity[v]
+		if vel == nil {
+			vel = tensor.New(v.Value.Shape()...)
+			l.velocity[v] = vel
+		}
+		vd, gd := vel.Data(), v.Grad.Data()
+		mu := l.Mu
+		pool.Run(len(vd), 8192, func(s, e int) {
+			for i := s; i < e; i++ {
+				vd[i] = mu*vd[i] + localLR*gd[i]
+			}
+		})
+		tensor.AXPY(pool, v.Value, -1, vel)
+	}
+}
+
+// NewOptimizer constructs an optimizer by name ("sgd", "momentum", "lars").
+func NewOptimizer(name string, lr float32) (Optimizer, error) {
+	switch name {
+	case "", "sgd":
+		return &SGD{LR: lr}, nil
+	case "momentum":
+		return NewMomentum(lr, 0.9), nil
+	case "lars":
+		return NewLARS(lr), nil
+	default:
+		return nil, fmt.Errorf("train: unknown optimizer %q", name)
+	}
+}

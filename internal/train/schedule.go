@@ -1,0 +1,139 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/tensor"
+)
+
+// Learning-rate schedules for large-batch training. The paper's batch-size
+// discussion leans on Goyal et al. [22] ("Accurate, Large Minibatch SGD"),
+// whose recipe — linear scaling with gradual warmup, then step decay — is
+// implemented here.
+
+// Schedule yields the learning rate for a (0-based) step.
+type Schedule interface {
+	// LR returns the learning rate to use at step.
+	LR(step int) float32
+	// Name identifies the schedule in logs.
+	Name() string
+}
+
+// Constant is a fixed learning rate.
+type Constant struct{ Rate float32 }
+
+// LR implements Schedule.
+func (c Constant) LR(int) float32 { return c.Rate }
+
+// Name implements Schedule.
+func (c Constant) Name() string { return "constant" }
+
+// Warmup ramps linearly from Start to Target over Steps steps, then defers
+// to Next — Goyal et al.'s "gradual warmup" that makes large global batches
+// trainable.
+type Warmup struct {
+	Start  float32
+	Target float32
+	Steps  int
+	Next   Schedule
+}
+
+// LR implements Schedule.
+func (w Warmup) LR(step int) float32 {
+	if w.Steps > 0 && step < w.Steps {
+		f := float32(step+1) / float32(w.Steps)
+		return w.Start + (w.Target-w.Start)*f
+	}
+	if w.Next != nil {
+		return w.Next.LR(step - w.Steps)
+	}
+	return w.Target
+}
+
+// Name implements Schedule.
+func (w Warmup) Name() string { return "warmup" }
+
+// StepDecay multiplies Base by Factor after each milestone step.
+type StepDecay struct {
+	Base       float32
+	Factor     float32
+	Milestones []int
+}
+
+// LR implements Schedule.
+func (s StepDecay) LR(step int) float32 {
+	lr := s.Base
+	for _, m := range s.Milestones {
+		if step >= m {
+			lr *= s.Factor
+		}
+	}
+	return lr
+}
+
+// Name implements Schedule.
+func (s StepDecay) Name() string { return "step-decay" }
+
+// Cosine anneals from Base to Min over Period steps.
+type Cosine struct {
+	Base   float32
+	Min    float32
+	Period int
+}
+
+// LR implements Schedule.
+func (c Cosine) LR(step int) float32 {
+	if c.Period <= 0 {
+		return c.Base
+	}
+	if step >= c.Period {
+		return c.Min
+	}
+	f := 0.5 * (1 + math.Cos(math.Pi*float64(step)/float64(c.Period)))
+	return c.Min + (c.Base-c.Min)*float32(f)
+}
+
+// Name implements Schedule.
+func (c Cosine) Name() string { return "cosine" }
+
+// LinearScaled returns the Goyal et al. large-batch recipe for a reference
+// learning rate tuned at refBatch: scale linearly to the actual global
+// batch and warm up over warmupSteps.
+func LinearScaled(refLR float32, refBatch, globalBatch, warmupSteps int, after Schedule) (Schedule, error) {
+	if refBatch < 1 || globalBatch < 1 {
+		return nil, fmt.Errorf("train: invalid batch sizes %d/%d", refBatch, globalBatch)
+	}
+	target := refLR * float32(globalBatch) / float32(refBatch)
+	if after == nil {
+		after = Constant{Rate: target}
+	}
+	return Warmup{Start: refLR, Target: target, Steps: warmupSteps, Next: after}, nil
+}
+
+// ScheduledOptimizer wraps an optimizer so its learning rate follows a
+// schedule. It supports the optimizers in this package.
+type ScheduledOptimizer struct {
+	Sched Schedule
+	Inner Optimizer
+	step  int
+}
+
+// Name implements Optimizer.
+func (s *ScheduledOptimizer) Name() string { return s.Inner.Name() + "+" + s.Sched.Name() }
+
+// Step implements Optimizer: set the inner optimizer's rate, then update.
+func (s *ScheduledOptimizer) Step(pool *tensor.Pool, g *graph.Graph) {
+	lr := s.Sched.LR(s.step)
+	s.step++
+	switch o := s.Inner.(type) {
+	case *SGD:
+		o.LR = lr
+	case *Momentum:
+		o.LR = lr
+	case *LARS:
+		o.LR = lr
+	}
+	s.Inner.Step(pool, g)
+}

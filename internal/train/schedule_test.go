@@ -1,0 +1,136 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/tensor"
+)
+
+// newLearnableGen adapts data.Learnable for tests.
+func newLearnableGen(batch int, seed int64) (func() data.Batch, error) {
+	g, err := data.NewLearnable(batch, 3, 16, 4, seed)
+	if err != nil {
+		return nil, err
+	}
+	return g.Next, nil
+}
+
+func TestConstantSchedule(t *testing.T) {
+	c := Constant{Rate: 0.1}
+	if c.LR(0) != 0.1 || c.LR(1000) != 0.1 {
+		t.Fatal("constant must not vary")
+	}
+}
+
+func TestWarmupRampsThenDefers(t *testing.T) {
+	w := Warmup{Start: 0.01, Target: 0.1, Steps: 9, Next: Constant{Rate: 0.1}}
+	if w.LR(0) <= 0.01 || w.LR(0) >= 0.1 {
+		t.Fatalf("step 0 lr %v", w.LR(0))
+	}
+	for s := 1; s < 9; s++ {
+		if w.LR(s) <= w.LR(s-1) {
+			t.Fatalf("warmup not increasing at %d", s)
+		}
+	}
+	if w.LR(9) != 0.1 || w.LR(100) != 0.1 {
+		t.Fatal("post-warmup must hold target")
+	}
+}
+
+func TestStepDecayMilestones(t *testing.T) {
+	s := StepDecay{Base: 1, Factor: 0.1, Milestones: []int{10, 20}}
+	if s.LR(0) != 1 || s.LR(9) != 1 {
+		t.Fatal("pre-milestone")
+	}
+	if d := s.LR(10) - 0.1; math.Abs(float64(d)) > 1e-7 {
+		t.Fatalf("after first milestone: %v", s.LR(10))
+	}
+	if d := s.LR(25) - 0.01; math.Abs(float64(d)) > 1e-8 {
+		t.Fatalf("after second milestone: %v", s.LR(25))
+	}
+}
+
+func TestCosineAnneals(t *testing.T) {
+	c := Cosine{Base: 1, Min: 0.1, Period: 100}
+	if c.LR(0) != 1 {
+		t.Fatalf("start %v", c.LR(0))
+	}
+	if c.LR(100) != 0.1 || c.LR(500) != 0.1 {
+		t.Fatal("end must clamp to Min")
+	}
+	mid := c.LR(50)
+	if mid < 0.5 || mid > 0.6 { // (1+0.1)/2 = 0.55
+		t.Fatalf("midpoint %v", mid)
+	}
+	for s := 1; s <= 100; s++ {
+		if c.LR(s) > c.LR(s-1)+1e-7 {
+			t.Fatalf("not monotone at %d", s)
+		}
+	}
+}
+
+func TestLinearScaledRecipe(t *testing.T) {
+	// Reference 0.1 at batch 256; global batch 8192 => target 3.2.
+	sched, err := LinearScaled(0.1, 256, 8192, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr := sched.LR(100); math.Abs(float64(lr-3.2)) > 1e-5 {
+		t.Fatalf("scaled target %v, want 3.2", lr)
+	}
+	if sched.LR(0) >= sched.LR(4) {
+		t.Fatal("warmup must ramp")
+	}
+	if _, err := LinearScaled(0.1, 0, 8192, 5, nil); err == nil {
+		t.Fatal("invalid batch must error")
+	}
+}
+
+func TestScheduledOptimizerDrivesLR(t *testing.T) {
+	m, w := quadGraph()
+	w.Materialize()
+	sched := &ScheduledOptimizer{
+		Sched: StepDecay{Base: 1, Factor: 0.5, Milestones: []int{1}},
+		Inner: &SGD{},
+	}
+	// Step 0 at lr 1: w -= grad.
+	w.Grad.Fill(1)
+	sched.Step(tensor.Serial, m.G)
+	afterFirst := w.Value.At(0, 1) // was 0, now -1
+	if afterFirst != -1 {
+		t.Fatalf("step 0 moved %v, want -1", afterFirst)
+	}
+	// Step 1 at lr 0.5.
+	w.Grad.Fill(1)
+	sched.Step(tensor.Serial, m.G)
+	if d := w.Value.At(0, 1) - (-1.5); math.Abs(float64(d)) > 1e-6 {
+		t.Fatalf("step 1 at decayed lr: %v", w.Value.At(0, 1))
+	}
+	if sched.Name() == "" {
+		t.Fatal("name")
+	}
+}
+
+func TestScheduledMomentumTrainingConverges(t *testing.T) {
+	m := tinyModel(21, 8)
+	sched, _ := LinearScaled(0.01, 8, 8, 3, StepDecay{Base: 0.05, Factor: 0.5, Milestones: []int{15}})
+	tr, err := New(Config{Model: m, Optimizer: &ScheduledOptimizer{Sched: sched, Inner: NewMomentum(0.05, 0.9)}, LR: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	gen, err := newLearnableGen(8, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Run(gen, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[len(stats)-1].Loss >= stats[0].Loss {
+		t.Fatalf("scheduled training did not converge: %.3f -> %.3f",
+			stats[0].Loss, stats[len(stats)-1].Loss)
+	}
+}

@@ -1,0 +1,91 @@
+package train
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/horovod"
+	"dnnperf/internal/mpi"
+)
+
+// TestDistributedTrainingOverTCP exercises the full production stack end to
+// end: TCP transport, Horovod engine with fusion and response cache, the
+// graph executor with gradient hooks, and SGD — the same path cmd/mpirun
+// drives across OS processes, here across goroutines with real sockets.
+func TestDistributedTrainingOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration in -short mode")
+	}
+	const ranks = 2
+	comms, err := mpi.StartLocalTCPJob(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+
+	losses := make([][]float64, ranks)
+	caches := make([]horovod.Stats, ranks)
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			eng := horovod.NewEngine(comms[r], horovod.Config{
+				CycleTime: 300 * time.Microsecond,
+				Average:   true,
+			})
+			m := tinyModel(13, 4)
+			tr, err := New(Config{Model: m, LR: 0.08, Engine: eng, Rank: r})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer tr.Close()
+			gen, err := data.NewLearnable(4, 3, 16, 4, data.Shard(51, r))
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			stats, err := tr.Run(gen.Next, 12)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			for _, s := range stats {
+				losses[r] = append(losses[r], s.Loss)
+			}
+			if err := eng.Shutdown(); err != nil {
+				errs[r] = err
+				return
+			}
+			caches[r] = eng.Stats()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, ls := range losses {
+		first := (ls[0] + ls[1]) / 2
+		last := (ls[len(ls)-1] + ls[len(ls)-2]) / 2
+		if last >= first {
+			t.Fatalf("rank %d: loss did not fall over TCP (%.3f -> %.3f)", r, first, last)
+		}
+	}
+	// Stable names across 12 steps: the response cache must dominate.
+	for r, s := range caches {
+		if s.CachedAnnouncements <= s.NamedAnnouncements {
+			t.Fatalf("rank %d: cache hits (%d) should dominate names (%d)",
+				r, s.CachedAnnouncements, s.NamedAnnouncements)
+		}
+	}
+}

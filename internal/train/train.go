@@ -1,0 +1,196 @@
+// Package train is the functional training loop: real SGD over the graph
+// engine, optionally data-parallel through the Horovod engine and MPI
+// runtime. It is the executable counterpart of the timing layer — the same
+// SP/MP/threading concepts, actually computing gradients.
+package train
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/graph"
+	"dnnperf/internal/horovod"
+	"dnnperf/internal/models"
+	"dnnperf/internal/tensor"
+)
+
+// Config drives a functional training run on one rank.
+type Config struct {
+	Model        *models.Model
+	IntraThreads int // intra-op pool size (0 = 1)
+	InterThreads int // inter-op executor width (0 = 1)
+	LR           float32
+	// Optimizer applies the parameter update; nil selects plain SGD at LR.
+	Optimizer Optimizer
+	// Engine, if non-nil, makes the run data parallel: gradients are
+	// submitted for allreduce the moment they are ready (Horovod overlap)
+	// and averaged across ranks before the update.
+	Engine *horovod.Engine
+	Rank   int
+}
+
+// StepStats reports one training step.
+type StepStats struct {
+	Loss        float64
+	Accuracy    float64
+	Images      int
+	Duration    time.Duration
+	GradTensors int
+}
+
+// Trainer owns the executor and optimizer state for a model.
+type Trainer struct {
+	cfg   Config
+	exec  *graph.Executor
+	intra *tensor.Pool
+	step  int
+}
+
+// New constructs a trainer. The caller keeps ownership of cfg.Engine.
+func New(cfg Config) (*Trainer, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("train: nil model")
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.05
+	}
+	if cfg.IntraThreads < 1 {
+		cfg.IntraThreads = 1
+	}
+	if cfg.InterThreads < 1 {
+		cfg.InterThreads = 1
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = &SGD{LR: cfg.LR}
+	}
+	intra := tensor.NewPool(cfg.IntraThreads)
+	ex := graph.NewExecutor(cfg.Model.G, intra, cfg.InterThreads)
+	return &Trainer{cfg: cfg, exec: ex, intra: intra}, nil
+}
+
+// Close releases the trainer's worker pool.
+func (t *Trainer) Close() { t.intra.Close() }
+
+// SetProfile attaches an op-level time profile to the trainer's executor;
+// pass nil to stop profiling.
+func (t *Trainer) SetProfile(p *graph.Profile) { t.exec.Prof = p }
+
+// Step runs one forward/backward/update on a batch and returns statistics.
+// With an Engine configured, each variable's gradient is submitted to
+// Horovod as soon as its backward completes, and the update waits for all
+// reductions — the overlap structure the paper profiles.
+func (t *Trainer) Step(b data.Batch) (StepStats, error) {
+	start := time.Now()
+	m := t.cfg.Model
+	t.step++
+
+	// Gradient-readiness plumbing: hook fires per variable.
+	type doneMsg struct {
+		v   *graph.Node
+		err error
+	}
+	var pending atomic.Int32
+	doneCh := make(chan doneMsg, len(m.G.Variables()))
+	if t.cfg.Engine != nil {
+		t.exec.GradHook = func(v *graph.Node) {
+			// Stable names across steps (as real frameworks use) let the
+			// engine's response cache announce by bitset after step one.
+			// Step serialization guarantees no in-flight duplicates.
+			name := v.Name
+			pending.Add(1)
+			err := t.cfg.Engine.AllreduceAsync(name, v.Grad.Data(), func(err error) {
+				doneCh <- doneMsg{v: v, err: err}
+			})
+			if err != nil {
+				// Submission failed: complete it locally so the wait below
+				// still sees exactly one message per submission.
+				doneCh <- doneMsg{v: v, err: err}
+			}
+		}
+	}
+
+	m.G.ZeroGrads()
+	st, err := t.exec.Forward(map[*graph.Node]*tensor.Tensor{m.Input: b.Images})
+	if err != nil {
+		return StepStats{}, err
+	}
+	logits := st.Value(m.Logits)
+	loss, grad := tensor.CrossEntropyLoss(t.intra, logits, b.Labels)
+	correct := 0
+	for i, lbl := range b.Labels {
+		if logits.ArgMaxRow(i) == lbl {
+			correct++
+		}
+	}
+	if err := t.exec.Backward(st, m.Logits, grad); err != nil {
+		return StepStats{}, err
+	}
+
+	grads := len(m.G.Variables())
+	if t.cfg.Engine != nil {
+		// Backward has returned, so every hook has fired and the count is
+		// final; wait for all reductions to land.
+		n := int(pending.Load())
+		var firstErr error
+		for i := 0; i < n; i++ {
+			msg := <-doneCh
+			if msg.err != nil && firstErr == nil {
+				firstErr = msg.err
+			}
+		}
+		t.exec.GradHook = nil
+		if firstErr != nil {
+			return StepStats{}, fmt.Errorf("train: allreduce: %w", firstErr)
+		}
+		grads = n
+	}
+
+	t.cfg.Optimizer.Step(t.intra, m.G)
+
+	n := len(b.Labels)
+	return StepStats{
+		Loss:        loss,
+		Accuracy:    float64(correct) / float64(n),
+		Images:      n,
+		Duration:    time.Since(start),
+		GradTensors: grads,
+	}, nil
+}
+
+// Run trains for steps batches from gen and returns per-step statistics.
+func (t *Trainer) Run(gen func() data.Batch, steps int) ([]StepStats, error) {
+	out := make([]StepStats, 0, steps)
+	for i := 0; i < steps; i++ {
+		s, err := t.Step(gen())
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Throughput summarizes images/second over a slice of steps, skipping the
+// first (warm-up) step when there are at least two, mirroring benchmark
+// practice.
+func Throughput(stats []StepStats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	s := stats
+	if len(s) > 1 {
+		s = s[1:]
+	}
+	var imgs int
+	var dur time.Duration
+	for _, st := range s {
+		imgs += st.Images
+		dur += st.Duration
+	}
+	if dur == 0 {
+		return 0
+	}
+	return float64(imgs) / dur.Seconds()
+}

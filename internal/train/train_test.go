@@ -1,0 +1,224 @@
+package train
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/graph"
+	"dnnperf/internal/horovod"
+	"dnnperf/internal/models"
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/tensor"
+)
+
+func tinyModel(seed int64, batch int) *models.Model {
+	return models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: seed})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil model must error")
+	}
+}
+
+func TestSingleProcessLossDecreases(t *testing.T) {
+	m := tinyModel(1, 8)
+	tr, err := New(Config{Model: m, IntraThreads: 2, LR: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	gen, err := data.NewLearnable(8, 3, 16, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Run(gen.Next, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := (stats[0].Loss + stats[1].Loss + stats[2].Loss) / 3
+	last := (stats[27].Loss + stats[28].Loss + stats[29].Loss) / 3
+	if !(last < first*0.8) {
+		t.Fatalf("loss must decrease on the learnable task: %.3f -> %.3f", first, last)
+	}
+	if math.IsNaN(last) {
+		t.Fatal("loss is NaN")
+	}
+}
+
+func TestAccuracyImproves(t *testing.T) {
+	m := tinyModel(2, 16)
+	tr, err := New(Config{Model: m, IntraThreads: 2, InterThreads: 2, LR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	gen, err := data.NewLearnable(16, 3, 16, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Run(gen.Next, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastAcc := (stats[37].Accuracy + stats[38].Accuracy + stats[39].Accuracy) / 3
+	if lastAcc < 0.5 { // 4 classes; chance = 0.25
+		t.Fatalf("accuracy after training %.2f, want > 0.5", lastAcc)
+	}
+}
+
+func TestThroughputSummary(t *testing.T) {
+	stats := []StepStats{
+		{Images: 8, Duration: time.Second}, // warm-up, skipped
+		{Images: 8, Duration: time.Second / 2},
+		{Images: 8, Duration: time.Second / 2},
+	}
+	tp := Throughput(stats)
+	if tp < 15.9 || tp > 16.1 {
+		t.Fatalf("throughput = %g, want 16", tp)
+	}
+	if Throughput(nil) != 0 {
+		t.Fatal("empty stats must give 0")
+	}
+}
+
+// mlpModel builds a small batch-norm-free model (dense-relu-dense over
+// flattened images). Without batch statistics, data-parallel training on
+// half batches is mathematically identical to serial training on the full
+// batch, enabling an exact equivalence test.
+func mlpModel(seed int64, batch int) *models.Model {
+	g := graph.New()
+	rng := tensor.NewRNG(seed)
+	in := 3 * 16 * 16
+	x := g.Input("images", batch, 3, 16, 16)
+	flat := g.Apply(graph.FlattenOp{}, "flatten", x)
+	w1 := g.Variable("w1", []int{in, 32}, graph.ConstInit(rng.HeInit(in, in, 32)))
+	b1 := g.Variable("b1", []int{32}, graph.Zeros)
+	h := g.Apply(graph.DenseOp{}, "fc1", flat, w1, b1)
+	a := g.Apply(graph.ReLUOp{}, "relu", h)
+	w2 := g.Variable("w2", []int{32, 4}, graph.ConstInit(rng.HeInit(32, 32, 4)))
+	b2 := g.Variable("b2", []int{4}, graph.Zeros)
+	logits := g.Apply(graph.DenseOp{}, "fc2", a, w2, b2)
+	return &models.Model{Name: "mlp", G: g, Input: x, Logits: logits}
+}
+
+// TestDataParallelMatchesSerial is the key functional integration test:
+// training with 2 Horovod ranks over the in-process MPI world must equal
+// single-process training on the combined batch (same effective gradient).
+func TestDataParallelMatchesSerial(t *testing.T) {
+	const (
+		batch = 4
+		steps = 3
+		lr    = 0.05
+	)
+	// Fixed batches shared by both setups: ranks each take half.
+	genAll, _ := data.NewLearnable(2*batch, 3, 16, 4, 21)
+	batches := make([]data.Batch, steps)
+	for i := range batches {
+		batches[i] = genAll.Next()
+	}
+	half := func(b data.Batch, r int) data.Batch {
+		imgs := b.Images.Data()
+		n := len(imgs) / 2
+		sub := imgs[r*n : (r+1)*n]
+		shape := append([]int{batch}, b.Images.Shape()[1:]...)
+		cp := make([]float32, n)
+		copy(cp, sub)
+		return data.Batch{
+			Images: tensor.FromSlice(cp, shape...),
+			Labels: append([]int(nil), b.Labels[r*batch:(r+1)*batch]...),
+		}
+	}
+
+	// Serial reference on the full batch.
+	ref := mlpModel(5, 2*batch)
+	refTr, err := New(Config{Model: ref, LR: lr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refTr.Close()
+	for _, b := range batches {
+		if _, err := refTr.Step(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two-rank data-parallel run with identical initial weights (same seed).
+	w, _ := mpi.NewWorld(2)
+	ranks := make([]*models.Model, 2)
+	err = w.Run(func(c *mpi.Comm) error {
+		m := mlpModel(5, batch) // same seed: identical init
+		ranks[c.Rank()] = m
+		eng := horovod.NewEngine(c, horovod.Config{CycleTime: 200 * time.Microsecond, Average: true})
+		tr, err := New(Config{Model: m, LR: lr, Engine: eng, Rank: c.Rank()})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		for _, b := range batches {
+			if _, err := tr.Step(half(b, c.Rank())); err != nil {
+				return err
+			}
+		}
+		return eng.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both ranks' weights must match each other and the serial reference.
+	v0, v1 := ranks[0].G.Variables(), ranks[1].G.Variables()
+	vr := ref.G.Variables()
+	for i := range v0 {
+		if d := v0[i].Value.MaxAbsDiff(v1[i].Value); d > 1e-5 {
+			t.Fatalf("ranks diverged on %s by %g", v0[i].Name, d)
+		}
+		if d := v0[i].Value.MaxAbsDiff(vr[i].Value); d > 1e-4 {
+			t.Fatalf("data-parallel differs from serial on %s by %g", v0[i].Name, d)
+		}
+	}
+}
+
+// TestDistributedTrainingReducesLoss exercises 4 ranks end to end.
+func TestDistributedTrainingReducesLoss(t *testing.T) {
+	const ranks = 4
+	w, _ := mpi.NewWorld(ranks)
+	losses := make([][]float64, ranks)
+	var mu sync.Mutex
+	err := w.Run(func(c *mpi.Comm) error {
+		m := tinyModel(9, 4)
+		eng := horovod.NewEngine(c, horovod.Config{CycleTime: 200 * time.Microsecond, Average: true})
+		tr, err := New(Config{Model: m, LR: 0.08, Engine: eng, Rank: c.Rank()})
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		gen, err := data.NewLearnable(4, 3, 16, 4, data.Shard(31, c.Rank()))
+		if err != nil {
+			return err
+		}
+		stats, err := tr.Run(gen.Next, 25)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, s := range stats {
+			losses[c.Rank()] = append(losses[c.Rank()], s.Loss)
+		}
+		mu.Unlock()
+		return eng.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, ls := range losses {
+		first := (ls[0] + ls[1]) / 2
+		last := (ls[len(ls)-1] + ls[len(ls)-2]) / 2
+		if last >= first {
+			t.Fatalf("rank %d loss did not decrease: %.3f -> %.3f", r, first, last)
+		}
+	}
+}

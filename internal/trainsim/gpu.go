@@ -1,0 +1,75 @@
+package trainsim
+
+import (
+	"fmt"
+
+	"dnnperf/internal/hw"
+	"dnnperf/internal/perf"
+)
+
+// GPUConfig describes one point of the GPU-CPU comparison experiments
+// (Figures 15 and 16): data-parallel training with one rank per GPU.
+type GPUConfig struct {
+	Model       string
+	Framework   string // "tensorflow" or "pytorch"
+	GPU         hw.GPU
+	Net         hw.Network
+	GPUs        int // total GPUs (ranks)
+	BatchPerGPU int
+
+	Runs int
+	Seed int64
+}
+
+// gpuOverlap is the fraction of the gradient allreduce hidden under
+// backpropagation by Horovod's pipelining on GPUs.
+const gpuOverlap = 0.7
+
+// SimulateGPU predicts data-parallel GPU training throughput.
+func SimulateGPU(cfg GPUConfig) (Result, error) {
+	if cfg.Model == "" || cfg.GPU.Label == "" {
+		return Result{}, fmt.Errorf("trainsim: Model and GPU are required")
+	}
+	var fw perf.GPUFramework
+	switch cfg.Framework {
+	case "", "tensorflow":
+		fw = perf.TensorFlowGPU
+	case "pytorch":
+		fw = perf.PyTorchGPU
+	default:
+		return Result{}, fmt.Errorf("trainsim: unknown GPU framework %q", cfg.Framework)
+	}
+	if cfg.GPUs < 1 {
+		cfg.GPUs = 1
+	}
+	if cfg.BatchPerGPU < 1 {
+		cfg.BatchPerGPU = 32
+	}
+	if cfg.Net.Label == "" {
+		cfg.Net = hw.IBEDR
+	}
+	if cfg.Runs < 1 {
+		cfg.Runs = 3
+	}
+	m, err := cachedModel(cfg.Model, cfg.BatchPerGPU)
+	if err != nil {
+		return Result{}, err
+	}
+	trainFLOPs := m.FwdFLOPs() + m.BwdFLOPs()
+	ops := m.OpCount()
+	gradBytes := m.GradBytes()
+
+	var res Result
+	var sumIPS, sumIter float64
+	for run := 0; run < cfg.Runs; run++ {
+		iter := perf.GPUIterTime(cfg.GPU, fw, trainFLOPs, ops, cfg.BatchPerGPU,
+			gradBytes, cfg.GPUs, cfg.Net, gpuOverlap)
+		iter *= 1 + 0.015*frac(cfg.Seed+int64(run)*104729)
+		sumIter += iter
+		sumIPS += float64(cfg.BatchPerGPU*cfg.GPUs) / iter
+	}
+	res.IterTimeSec = sumIter / float64(cfg.Runs)
+	res.ImagesPerSec = sumIPS / float64(cfg.Runs)
+	res.GlobalBatch = cfg.BatchPerGPU * cfg.GPUs
+	return res, nil
+}

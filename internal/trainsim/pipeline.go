@@ -1,0 +1,170 @@
+package trainsim
+
+import (
+	"fmt"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/hw"
+	"dnnperf/internal/modelpar"
+	"dnnperf/internal/perf"
+)
+
+// Pipeline (model-parallel) simulation: the paper's Section II-B strategy
+// at cluster scale. One stage per node; micro-batches stream through the
+// pipeline (GPipe-style), so steady-state throughput is set by the slowest
+// stage while the (stages-1) ramp adds a bubble.
+
+// PipelineConfig describes a model-parallel simulation point.
+type PipelineConfig struct {
+	Model     string
+	Framework string
+	CPU       hw.CPU
+	Net       hw.Network
+
+	Stages         int // pipeline stages, one per node
+	MicroBatches   int // micro-batches per step
+	MicroBatchSize int // images per micro-batch
+
+	IntraThreads int // per-stage intra-op threads (0 = all cores)
+	Runs         int
+	Seed         int64
+}
+
+// PipelineResult is the outcome of a pipeline simulation.
+type PipelineResult struct {
+	ImagesPerSec float64
+	IterTimeSec  float64
+	// StageSec is each stage's forward+backward compute time per
+	// micro-batch; the maximum paces the pipeline.
+	StageSec []float64
+	// BubbleFrac is the fraction of the iteration lost to pipeline
+	// fill/drain ((stages-1) / (micro + stages - 1)).
+	BubbleFrac float64
+	// ActivationBytes is the per-micro-batch boundary payload between
+	// adjacent stages (what Send/Recv moves).
+	ActivationBytes []int64
+	// StageParams is each stage's parameter bytes (the memory the split
+	// buys: no stage holds the whole model).
+	StageParams []int64
+}
+
+// SimulatePipeline predicts model-parallel training throughput.
+func SimulatePipeline(cfg PipelineConfig) (PipelineResult, error) {
+	if cfg.Model == "" || cfg.CPU.Label == "" {
+		return PipelineResult{}, fmt.Errorf("trainsim: Model and CPU are required")
+	}
+	if cfg.Framework == "" {
+		cfg.Framework = "tensorflow"
+	}
+	if _, ok := perf.Frameworks()[cfg.Framework]; !ok {
+		return PipelineResult{}, fmt.Errorf("trainsim: unknown framework %q", cfg.Framework)
+	}
+	if cfg.Stages < 1 {
+		cfg.Stages = 2
+	}
+	if cfg.MicroBatches < 1 {
+		cfg.MicroBatches = 4
+	}
+	if cfg.MicroBatchSize < 1 {
+		cfg.MicroBatchSize = 8
+	}
+	if cfg.Net.Label == "" {
+		cfg.Net = hw.IBEDR
+	}
+	if cfg.Runs < 1 {
+		cfg.Runs = 3
+	}
+	m, err := cachedModel(cfg.Model, cfg.MicroBatchSize)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	plan, err := modelpar.Partition(m, cfg.Stages)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	fw := perf.Frameworks()[cfg.Framework]
+	env := perf.NewExecEnv(cfg.CPU, fw, 1, cfg.IntraThreads)
+
+	res := PipelineResult{
+		StageSec:        make([]float64, cfg.Stages),
+		ActivationBytes: make([]int64, 0, cfg.Stages-1),
+		StageParams:     make([]int64, cfg.Stages),
+	}
+	lo := -1
+	for s := 0; s < cfg.Stages; s++ {
+		hiID := plan.Bounds[s]
+		var t float64
+		for id := lo + 1; id <= hiID; id++ {
+			n := m.G.Nodes[id]
+			switch n.Kind {
+			case graph.KindVariable:
+				res.StageParams[s] += 4 * int64(numElems(n.Shape()))
+			case graph.KindOp:
+				in := make([][]int, len(n.Inputs))
+				for j, d := range n.Inputs {
+					in[j] = d.Shape()
+				}
+				kind := n.Op.Kind()
+				fwd := perf.OpShape{
+					FLOPs:         n.Op.FwdFLOPs(in, n.Shape()),
+					Bytes:         fusedBytes(kind, opBytes(n), fw.ElemFusionEff),
+					ParallelWidth: parallelWidth(kind, cfg.MicroBatchSize),
+				}
+				bwd := perf.OpShape{
+					FLOPs:         n.Op.BwdFLOPs(in, n.Shape()),
+					Bytes:         fusedBytes(kind, 2*opBytes(n), fw.ElemFusionEff),
+					ParallelWidth: fwd.ParallelWidth,
+				}
+				t += env.OpTime(fwd, 1) + env.OpTime(bwd, 1)
+			}
+		}
+		// Boundary transfer (activation forward + gradient backward).
+		if s < cfg.Stages-1 {
+			actBytes := 4 * int64(numElems(m.G.Nodes[hiID].Shape()))
+			res.ActivationBytes = append(res.ActivationBytes, actBytes)
+			t += 2 * float64(actBytes) / (cfg.Net.BandwidthGBs * 1e9)
+			t += 2 * cfg.Net.LatencyUS * 1e-6
+		}
+		res.StageSec[s] = t
+		lo = hiID
+	}
+
+	var slowest float64
+	for _, t := range res.StageSec {
+		if t > slowest {
+			slowest = t
+		}
+	}
+	ticks := float64(cfg.MicroBatches + cfg.Stages - 1)
+	res.BubbleFrac = float64(cfg.Stages-1) / ticks
+
+	var sumIter, sumIPS float64
+	for run := 0; run < cfg.Runs; run++ {
+		iter := ticks*slowest + fw.IterOverheadMS*1e-3
+		iter += env.OptimizerTime(maxI64(res.StageParams)) // stages update concurrently
+		iter *= 1 + 0.015*frac(cfg.Seed+int64(run)*7919)
+		sumIter += iter
+		sumIPS += float64(cfg.MicroBatches*cfg.MicroBatchSize) / iter
+	}
+	res.IterTimeSec = sumIter / float64(cfg.Runs)
+	res.ImagesPerSec = sumIPS / float64(cfg.Runs)
+	return res, nil
+}
+
+func opBytes(n *graph.Node) int64 {
+	var b int64
+	for _, d := range n.Inputs {
+		b += 4 * int64(numElems(d.Shape()))
+	}
+	return b + 4*int64(numElems(n.Shape()))
+}
+
+func maxI64(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,123 @@
+package trainsim
+
+import (
+	"testing"
+
+	"dnnperf/internal/hw"
+)
+
+func TestSimulatePipelineBasics(t *testing.T) {
+	r, err := SimulatePipeline(PipelineConfig{
+		Model: "resnet50", CPU: hw.Skylake3, Net: hw.OmniPath,
+		Stages: 4, MicroBatches: 8, MicroBatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ImagesPerSec <= 0 || r.IterTimeSec <= 0 {
+		t.Fatalf("degenerate: %+v", r)
+	}
+	if len(r.StageSec) != 4 || len(r.ActivationBytes) != 3 || len(r.StageParams) != 4 {
+		t.Fatalf("shape wrong: %+v", r)
+	}
+	// FLOP balancing keeps stage times within a reasonable factor.
+	var minS, maxS float64
+	for i, s := range r.StageSec {
+		if i == 0 || s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if minS <= 0 || maxS/minS > 4 {
+		t.Fatalf("stage imbalance %g..%g", minS, maxS)
+	}
+	// Bubble fraction for 8 micro / 4 stages: 3/11.
+	if d := r.BubbleFrac - 3.0/11; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("bubble %g", r.BubbleFrac)
+	}
+	// Stage parameters partition the model.
+	var total int64
+	for _, p := range r.StageParams {
+		total += p
+	}
+	m, _ := cachedModel("resnet50", 8)
+	if total != 4*m.Params() {
+		t.Fatalf("stage params %d != 4*%d", total, m.Params())
+	}
+}
+
+func TestPipelineMoreMicroBatchesLessBubble(t *testing.T) {
+	at := func(micro int) PipelineResult {
+		r, err := SimulatePipeline(PipelineConfig{
+			Model: "resnet152", CPU: hw.Skylake3, Net: hw.OmniPath,
+			Stages: 4, MicroBatches: micro, MicroBatchSize: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	few := at(4)
+	many := at(32)
+	if many.BubbleFrac >= few.BubbleFrac {
+		t.Fatal("more micro-batches must shrink the bubble")
+	}
+	// Per-image efficiency improves with more micro-batches.
+	fewEff := few.ImagesPerSec
+	manyEff := many.ImagesPerSec
+	if manyEff <= fewEff {
+		t.Fatalf("throughput must improve: %g vs %g", fewEff, manyEff)
+	}
+}
+
+func TestPipelineSplitsMemory(t *testing.T) {
+	r, err := SimulatePipeline(PipelineConfig{
+		Model: "vgg16", CPU: hw.Skylake3, Net: hw.OmniPath,
+		Stages: 4, MicroBatches: 8, MicroBatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := cachedModel("vgg16", 4)
+	whole := 4 * m.Params()
+	for s, p := range r.StageParams {
+		if p >= whole {
+			t.Fatalf("stage %d holds the whole model", s)
+		}
+	}
+}
+
+func TestPipelineDataParallelComparison(t *testing.T) {
+	// For these models at this scale, data parallelism (with overlap) beats
+	// pipeline parallelism on throughput — the reason the paper's evaluation
+	// uses Horovod data parallelism. Pin that ordering.
+	dp, err := Simulate(Config{Model: "resnet152", CPU: hw.Skylake3, Net: hw.OmniPath,
+		Nodes: 4, PPN: 1, BatchPerProc: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := SimulatePipeline(PipelineConfig{
+		Model: "resnet152", CPU: hw.Skylake3, Net: hw.OmniPath,
+		Stages: 4, MicroBatches: 16, MicroBatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.ImagesPerSec >= dp.ImagesPerSec {
+		t.Fatalf("data parallel (%g) should beat pipeline (%g) here", dp.ImagesPerSec, pp.ImagesPerSec)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := SimulatePipeline(PipelineConfig{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+	if _, err := SimulatePipeline(PipelineConfig{Model: "resnet50", CPU: hw.Skylake3, Framework: "caffe"}); err == nil {
+		t.Fatal("unknown framework must error")
+	}
+	if _, err := SimulatePipeline(PipelineConfig{Model: "resnet50", CPU: hw.Skylake3, Stages: 500}); err == nil {
+		t.Fatal("too many stages must error")
+	}
+}

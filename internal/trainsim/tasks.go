@@ -1,0 +1,212 @@
+package trainsim
+
+import (
+	"sync"
+
+	"dnnperf/internal/graph"
+	"dnnperf/internal/models"
+	"dnnperf/internal/perf"
+)
+
+// task is one schedulable unit of the simulated iteration: the forward or
+// backward execution of one graph op.
+type task struct {
+	id        int
+	kind      string
+	shape     perf.OpShape
+	deps      int // unmet dependency count (reset per run)
+	initDeps  int
+	consumers []int // task ids unblocked by this task's completion
+	// gradTensors lists the gradient payloads (bytes) that become ready for
+	// Horovod when this backward task completes.
+	gradTensors []int64
+
+	// Per-run scheduling state.
+	remaining float64 // dedicated-seconds of work left
+	dedicated float64 // total dedicated-seconds (OpTime at full allocation)
+	demand    int     // thread demand (EffThreads)
+}
+
+// taskGraph is the schedulable form of one model iteration.
+type taskGraph struct {
+	tasks      []*task
+	gradCount  int   // total gradient tensors per iteration
+	gradBytes  int64 // total gradient payload per iteration
+	paramBytes int64
+}
+
+// modelCache avoids rebuilding identical graphs across sweep points.
+var modelCache sync.Map // key string -> *models.Model
+
+func cachedModel(name string, batch int) (*models.Model, error) {
+	key := name + "/" + itoa(batch)
+	if v, ok := modelCache.Load(key); ok {
+		return v.(*models.Model), nil
+	}
+	b, err := models.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	m := b(models.Config{Batch: batch})
+	modelCache.Store(key, m)
+	return m, nil
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// parallelWidth estimates the exploitable intra-op parallelism of an op:
+// MKL convolution kernels for NCHW parallelize primarily over the batch
+// dimension, so small batches cannot feed many threads — the mechanism
+// behind Figure 1's batch-size/thread-count interplay. Dense layers
+// parallelize over rows; element-wise and normalization ops split freely.
+func parallelWidth(kind string, batch int) int {
+	switch kind {
+	case "conv2d", "dense":
+		return batch
+	default:
+		return 1 << 20 // effectively unbounded
+	}
+}
+
+// fusedBytes scales an op's memory traffic by the framework's element-wise
+// fusion efficiency where fusion applies.
+func fusedBytes(kind string, bytes int64, fusionEff float64) int64 {
+	switch kind {
+	case "batchnorm", "relu", "add":
+		return int64(float64(bytes) * fusionEff)
+	default:
+		return bytes
+	}
+}
+
+// buildTasks lowers a model graph into forward and backward tasks with the
+// dependency structure the executor would honor: forward tasks follow data
+// edges; backward tasks follow them in reverse, rooted at the logits'
+// forward task. Variable gradients attach to the backward task of their
+// consuming op.
+func buildTasks(m *models.Model, batch int, fusionEff float64) *taskGraph {
+	g := m.G
+	n := len(g.Nodes)
+	// Task ids: forward task of node i = fwdID[i]; backward = bwdID[i].
+	fwdID := make([]int, n)
+	bwdID := make([]int, n)
+	for i := range fwdID {
+		fwdID[i] = -1
+		bwdID[i] = -1
+	}
+	tg := &taskGraph{}
+	add := func(kind string, shape perf.OpShape) *task {
+		t := &task{id: len(tg.tasks), kind: kind, shape: shape}
+		tg.tasks = append(tg.tasks, t)
+		return t
+	}
+
+	inShapes := func(node *graph.Node) [][]int {
+		in := make([][]int, len(node.Inputs))
+		for i, d := range node.Inputs {
+			in[i] = d.Shape()
+		}
+		return in
+	}
+	bytesOf := func(node *graph.Node) int64 {
+		var b int64
+		for _, d := range node.Inputs {
+			b += 4 * int64(numElems(d.Shape()))
+		}
+		b += 4 * int64(numElems(node.Shape()))
+		return b
+	}
+
+	// Forward tasks in topological (insertion) order.
+	for _, node := range g.Nodes {
+		if node.Kind != graph.KindOp {
+			continue
+		}
+		in := inShapes(node)
+		shape := perf.OpShape{
+			FLOPs:         node.Op.FwdFLOPs(in, node.Shape()),
+			Bytes:         fusedBytes(node.Op.Kind(), bytesOf(node), fusionEff),
+			ParallelWidth: parallelWidth(node.Op.Kind(), batch),
+		}
+		t := add("fwd:"+node.Op.Kind(), shape)
+		fwdID[node.ID] = t.id
+		for _, dep := range node.Inputs {
+			if dep.Kind == graph.KindOp {
+				parent := tg.tasks[fwdID[dep.ID]]
+				parent.consumers = append(parent.consumers, t.id)
+				t.initDeps++
+			}
+		}
+	}
+
+	// Backward tasks in reverse order: bwd(n) waits on bwd(c) for every op
+	// consumer c of n; the logits' backward waits on the logits' forward.
+	logits := m.Logits
+	// Collect op consumers per node.
+	consumersOf := make([][]*graph.Node, n)
+	for _, node := range g.Nodes {
+		if node.Kind != graph.KindOp {
+			continue
+		}
+		for _, dep := range node.Inputs {
+			consumersOf[dep.ID] = append(consumersOf[dep.ID], node)
+		}
+	}
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		node := g.Nodes[i]
+		if node.Kind != graph.KindOp {
+			continue
+		}
+		in := inShapes(node)
+		shape := perf.OpShape{
+			FLOPs:         node.Op.BwdFLOPs(in, node.Shape()),
+			Bytes:         fusedBytes(node.Op.Kind(), 2*bytesOf(node), fusionEff),
+			ParallelWidth: parallelWidth(node.Op.Kind(), batch),
+		}
+		t := add("bwd:"+node.Op.Kind(), shape)
+		bwdID[node.ID] = t.id
+		if node == logits {
+			parent := tg.tasks[fwdID[node.ID]]
+			parent.consumers = append(parent.consumers, t.id)
+			t.initDeps++
+		}
+		for _, c := range consumersOf[node.ID] {
+			if bwdID[c.ID] >= 0 {
+				parent := tg.tasks[bwdID[c.ID]]
+				parent.consumers = append(parent.consumers, t.id)
+				t.initDeps++
+			}
+		}
+		// Variable gradients produced by this op's backward.
+		for _, dep := range node.Inputs {
+			if dep.Kind == graph.KindVariable {
+				gb := 4 * int64(numElems(dep.Shape()))
+				t.gradTensors = append(t.gradTensors, gb)
+				tg.gradCount++
+				tg.gradBytes += gb
+			}
+		}
+	}
+	tg.paramBytes = m.GradBytes()
+	return tg
+}
+
+func numElems(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package trainsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one interval of the simulated iteration timeline: an op's
+// forward/backward execution on an inter-op lane, or a fused allreduce on
+// the communication lane.
+type TraceEvent struct {
+	Name  string  // op kind ("fwd:conv2d") or "allreduce"
+	Cat   string  // "compute" or "comm"
+	Start float64 // seconds from iteration start
+	Dur   float64 // seconds
+	Lane  int     // inter-op slot, or CommLane for communication
+}
+
+// CommLane is the trace lane used for communication events.
+const CommLane = 99
+
+// WriteChromeTrace renders events in the Chrome trace-event JSON format
+// (load via chrome://tracing or Perfetto). Timestamps are microseconds.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	type chromeEvent struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+	}
+	out := make([]chromeEvent, len(events))
+	for i, e := range events {
+		out[i] = chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ph: "X",
+			TS: e.Start * 1e6, Dur: e.Dur * 1e6,
+			PID: 0, TID: e.Lane,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// SimulateTrace runs one simulation with event collection and returns the
+// timeline of the (single) simulated iteration alongside the result.
+func SimulateTrace(cfg Config) (Result, []TraceEvent, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	cfg.Runs = 1
+	m, err := cachedModel(cfg.Model, cfg.BatchPerProc)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	fw := frameworkFor(cfg)
+	fusionEff := fw.ElemFusionEff
+	if cfg.Ablate.NoElemFusion {
+		fusionEff = 1
+	}
+	tg := buildTasks(m, cfg.BatchPerProc, fusionEff)
+	env := newEnv(cfg, fw)
+
+	tr := &tracer{}
+	r := simulateOnceTraced(cfg, fw, env, tg, tr)
+	r.ImagesPerSec = float64(r.GlobalBatch) / r.IterTimeSec
+	if len(tr.events) == 0 {
+		return r, nil, fmt.Errorf("trainsim: trace collected no events")
+	}
+	return r, tr.events, nil
+}
+
+// tracer accumulates events during a simulation run.
+type tracer struct {
+	events []TraceEvent
+	starts map[int]float64 // task id -> first activation time
+}
+
+func (t *tracer) start(id int, now float64) {
+	if t.starts == nil {
+		t.starts = make(map[int]float64)
+	}
+	if _, ok := t.starts[id]; !ok {
+		t.starts[id] = now
+	}
+}
+
+func (t *tracer) finish(task *task, lane int, now float64) {
+	start := t.starts[task.id]
+	t.events = append(t.events, TraceEvent{
+		Name: task.kind, Cat: "compute",
+		Start: start, Dur: now - start, Lane: lane,
+	})
+}
+
+func (t *tracer) comm(start, end float64, tensors int) {
+	t.events = append(t.events, TraceEvent{
+		Name: fmt.Sprintf("allreduce[%d tensors]", tensors), Cat: "comm",
+		Start: start, Dur: end - start, Lane: CommLane,
+	})
+}

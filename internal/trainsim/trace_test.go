@@ -1,0 +1,110 @@
+package trainsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dnnperf/internal/hw"
+)
+
+func TestSimulateTraceCollectsTimeline(t *testing.T) {
+	cfg := Config{Model: "resnet50", CPU: hw.Skylake3, Net: hw.OmniPath,
+		Nodes: 2, PPN: 4, BatchPerProc: 16}
+	r, events, err := SimulateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ImagesPerSec <= 0 {
+		t.Fatal("degenerate result")
+	}
+	var compute, comm int
+	var fwdSeen, bwdSeen bool
+	for _, e := range events {
+		if e.Dur < 0 || e.Start < 0 {
+			t.Fatalf("negative interval: %+v", e)
+		}
+		switch e.Cat {
+		case "compute":
+			compute++
+			if strings.HasPrefix(e.Name, "fwd:") {
+				fwdSeen = true
+			}
+			if strings.HasPrefix(e.Name, "bwd:") {
+				bwdSeen = true
+			}
+			if e.Lane == CommLane {
+				t.Fatal("compute event on comm lane")
+			}
+		case "comm":
+			comm++
+			if e.Lane != CommLane {
+				t.Fatalf("comm event on lane %d", e.Lane)
+			}
+		default:
+			t.Fatalf("unknown category %q", e.Cat)
+		}
+	}
+	// Every fwd+bwd task must appear, plus at least one allreduce.
+	m, _ := cachedModel("resnet50", 16)
+	if compute != 2*m.OpCount() {
+		t.Fatalf("compute events %d, want %d", compute, 2*m.OpCount())
+	}
+	if comm < 1 {
+		t.Fatal("no communication events")
+	}
+	if !fwdSeen || !bwdSeen {
+		t.Fatal("missing forward or backward events")
+	}
+	// All events end within the iteration.
+	for _, e := range events {
+		if e.Start+e.Dur > r.IterTimeSec+1e-9 {
+			t.Fatalf("event %q ends at %g, after iteration end %g", e.Name, e.Start+e.Dur, r.IterTimeSec)
+		}
+	}
+}
+
+func TestTraceNoCommForSingleProcess(t *testing.T) {
+	cfg := Config{Model: "tinycnn", CPU: hw.Skylake1, BatchPerProc: 8}
+	_, events, err := SimulateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Cat == "comm" {
+			t.Fatal("single process must have no comm events")
+		}
+	}
+}
+
+func TestWriteChromeTraceFormat(t *testing.T) {
+	events := []TraceEvent{
+		{Name: "fwd:conv2d", Cat: "compute", Start: 0.001, Dur: 0.002, Lane: 0},
+		{Name: "allreduce[3 tensors]", Cat: "comm", Start: 0.002, Dur: 0.001, Lane: CommLane},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("%d events", len(decoded))
+	}
+	first := decoded[0]
+	if first["ph"] != "X" || first["name"] != "fwd:conv2d" {
+		t.Fatalf("bad event: %v", first)
+	}
+	if ts := first["ts"].(float64); ts != 1000 { // 1 ms in µs
+		t.Fatalf("ts = %v", ts)
+	}
+}
+
+func TestSimulateTraceValidation(t *testing.T) {
+	if _, _, err := SimulateTrace(Config{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+}

@@ -1,0 +1,361 @@
+package trainsim
+
+import (
+	"testing"
+
+	"dnnperf/internal/hw"
+	"dnnperf/internal/perf"
+)
+
+func mustSim(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ImagesPerSec <= 0 || r.IterTimeSec <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Simulate(Config{}); err == nil {
+		t.Fatal("empty config must error")
+	}
+	if _, err := Simulate(Config{Model: "resnet50", CPU: hw.Skylake3, Framework: "caffe"}); err == nil {
+		t.Fatal("unknown framework must error")
+	}
+	if _, err := Simulate(Config{Model: "vgg", CPU: hw.Skylake3}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestDefaultsFollowPaperTuning(t *testing.T) {
+	cfg, err := Config{Model: "resnet50", CPU: hw.Skylake3, Nodes: 2, PPN: 4}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IntraThreads != 11 { // 48/4 - 1: a spare core for Horovod
+		t.Fatalf("IntraThreads = %d, want 11", cfg.IntraThreads)
+	}
+	if cfg.InterThreads != 2 { // hyper-threaded platform
+		t.Fatalf("InterThreads = %d, want 2", cfg.InterThreads)
+	}
+	if cfg.CycleTimeMS != 3.5 || cfg.FusionMB != 64 || cfg.Runs != 3 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+
+	// Single process keeps every core; non-HT platform gets inter-op 1.
+	sp, _ := Config{Model: "resnet50", CPU: hw.Skylake1}.withDefaults()
+	if sp.IntraThreads != 28 || sp.InterThreads != 1 {
+		t.Fatalf("SP defaults: intra=%d inter=%d", sp.IntraThreads, sp.InterThreads)
+	}
+
+	// PyTorch never gets inter-op parallelism.
+	pt, _ := Config{Model: "resnet50", Framework: "pytorch", CPU: hw.Skylake3, PPN: 48}.withDefaults()
+	if pt.InterThreads != 1 {
+		t.Fatalf("pytorch inter = %d", pt.InterThreads)
+	}
+}
+
+func TestThroughputScalesWithThreadsSP(t *testing.T) {
+	base := Config{Model: "resnet50", CPU: hw.Skylake1, BatchPerProc: 128}
+	var prev float64
+	for _, th := range []int{1, 4, 8, 14} {
+		cfg := base
+		cfg.IntraThreads = th
+		r := mustSim(t, cfg)
+		if r.ImagesPerSec <= prev {
+			t.Fatalf("throughput must rise to the socket boundary (t=%d: %g <= %g)",
+				th, r.ImagesPerSec, prev)
+		}
+		prev = r.ImagesPerSec
+	}
+}
+
+func TestHyperThreads96WorseThan48(t *testing.T) {
+	// Figure 4's headline: oversubscribing hyper-threads hurts.
+	c48 := mustSim(t, Config{Model: "resnet50", CPU: hw.Skylake3, BatchPerProc: 128, IntraThreads: 48, InterThreads: 1})
+	c96 := mustSim(t, Config{Model: "resnet50", CPU: hw.Skylake3, BatchPerProc: 128, IntraThreads: 96, InterThreads: 1})
+	if c96.ImagesPerSec >= c48.ImagesPerSec {
+		t.Fatalf("96 threads (%g) must be worse than 48 (%g)", c96.ImagesPerSec, c48.ImagesPerSec)
+	}
+}
+
+func TestBatchSizeHelpsManyThreadsNotFew(t *testing.T) {
+	// Figure 1(b): BS growth helps at 28 threads, barely at 8.
+	at := func(threads, bs int) float64 {
+		return mustSim(t, Config{Model: "resnet50", CPU: hw.Skylake1, BatchPerProc: bs, IntraThreads: threads}).ImagesPerSec
+	}
+	gain28 := at(28, 256) / at(28, 16)
+	gain8 := at(8, 256) / at(8, 16)
+	if gain28 < 1.25 {
+		t.Fatalf("28-thread BS gain %g too small", gain28)
+	}
+	if gain8 > 1.15 {
+		t.Fatalf("8-thread BS gain %g too large", gain8)
+	}
+	if gain28 <= gain8 {
+		t.Fatal("BS must matter more at high thread counts")
+	}
+}
+
+func TestMPBeatsSPOnSingleNode(t *testing.T) {
+	// Figure 6: the paper's headline MP-over-SP result. ResNet-152 up to
+	// 1.35x, Inception-v4 up to 1.47x.
+	for _, tc := range []struct {
+		model    string
+		min, max float64
+	}{
+		{"resnet152", 1.2, 1.6},
+		{"inception4", 1.3, 1.7},
+	} {
+		sp := mustSim(t, Config{Model: tc.model, CPU: hw.Skylake3, Net: hw.OmniPath, BatchPerProc: 128, IntraThreads: 48, InterThreads: 1})
+		mp := mustSim(t, Config{Model: tc.model, CPU: hw.Skylake3, Net: hw.OmniPath, PPN: 4, BatchPerProc: 32, IntraThreads: 11, InterThreads: 2})
+		ratio := mp.ImagesPerSec / sp.ImagesPerSec
+		if ratio < tc.min || ratio > tc.max {
+			t.Errorf("%s MP/SP = %.2f, want [%.2f, %.2f]", tc.model, ratio, tc.min, tc.max)
+		}
+	}
+}
+
+func TestMultiNodeScalingNearLinear(t *testing.T) {
+	// Figure 17: ResNet-152 reaches ~125x on 128 nodes.
+	base := mustSim(t, Config{Model: "resnet152", CPU: hw.Skylake3, Net: hw.OmniPath, PPN: 4, BatchPerProc: 32})
+	prev := base.ImagesPerSec
+	for _, n := range []int{2, 8, 32, 128} {
+		r := mustSim(t, Config{Model: "resnet152", CPU: hw.Skylake3, Net: hw.OmniPath, Nodes: n, PPN: 4, BatchPerProc: 32})
+		if r.ImagesPerSec <= prev {
+			t.Fatalf("throughput must grow with nodes (n=%d)", n)
+		}
+		prev = r.ImagesPerSec
+	}
+	speedup := prev / base.ImagesPerSec
+	if speedup < 110 || speedup > 128 {
+		t.Fatalf("128-node speedup = %.1f, want ~125", speedup)
+	}
+	// Absolute anchor: the paper reports ~5,001 img/s.
+	if prev < 4200 || prev > 5800 {
+		t.Fatalf("128-node ResNet-152 = %.0f img/s, want ~5000", prev)
+	}
+}
+
+func TestSingleNodeAnchors(t *testing.T) {
+	// Calibration anchors derived from the paper's reported ratios.
+	r152 := mustSim(t, Config{Model: "resnet152", CPU: hw.Skylake3, Net: hw.OmniPath, PPN: 4, BatchPerProc: 32})
+	if r152.ImagesPerSec < 33 || r152.ImagesPerSec > 46 {
+		t.Errorf("Skylake-3 ResNet-152 MP = %.1f img/s, want ~40", r152.ImagesPerSec)
+	}
+	pt := mustSim(t, Config{Model: "resnet50", Framework: "pytorch", CPU: hw.Skylake3, Net: hw.OmniPath, BatchPerProc: 16, IntraThreads: 48})
+	if pt.ImagesPerSec < 1.5 || pt.ImagesPerSec > 3.5 {
+		t.Errorf("PyTorch SP ResNet-50 = %.2f img/s, want ~2.1", pt.ImagesPerSec)
+	}
+}
+
+func TestPyTorchBestAtPPNEqualsCores(t *testing.T) {
+	// Key insight: PyTorch's best ppn equals the core count.
+	at := func(ppn int) float64 {
+		return mustSim(t, Config{Model: "resnet50", Framework: "pytorch", CPU: hw.Skylake3,
+			Net: hw.OmniPath, PPN: ppn, BatchPerProc: 16}).ImagesPerSec
+	}
+	p1, p4, p48 := at(1), at(4), at(48)
+	if !(p48 > p4 && p4 > p1) {
+		t.Fatalf("PyTorch must prefer high ppn: 1->%g 4->%g 48->%g", p1, p4, p48)
+	}
+}
+
+func TestEPYCBehaviors(t *testing.T) {
+	// Intel MKL path does not help AMD: Skylake-3 is ~4.5x faster raw.
+	sky := mustSim(t, Config{Model: "resnet152", CPU: hw.Skylake3, Net: hw.OmniPath, PPN: 4, BatchPerProc: 32})
+	amd := mustSim(t, Config{Model: "resnet152", CPU: hw.EPYC, PPN: 16, BatchPerProc: 32, IntraThreads: 5, InterThreads: 2})
+	ratio := sky.ImagesPerSec / amd.ImagesPerSec
+	if ratio < 3.5 || ratio > 5.5 {
+		t.Errorf("Skylake-3/EPYC = %.1f, want ~4.5", ratio)
+	}
+	// PyTorch beats TensorFlow on 8 EPYC nodes (paper: 1.2x).
+	tf8 := mustSim(t, Config{Model: "resnet152", CPU: hw.EPYC, Nodes: 8, PPN: 16, BatchPerProc: 32, IntraThreads: 5, InterThreads: 2})
+	pt8 := mustSim(t, Config{Model: "resnet152", Framework: "pytorch", CPU: hw.EPYC, Nodes: 8, PPN: 32, BatchPerProc: 32, IntraThreads: 2})
+	r := pt8.ImagesPerSec / tf8.ImagesPerSec
+	if r < 1.0 || r > 1.45 {
+		t.Errorf("EPYC 8-node PyTorch/TensorFlow = %.2f, want ~1.2", r)
+	}
+	// TensorFlow 8-node speedup ~7.8x.
+	tf1 := mustSim(t, Config{Model: "resnet152", CPU: hw.EPYC, PPN: 16, BatchPerProc: 32, IntraThreads: 5, InterThreads: 2})
+	sp := tf8.ImagesPerSec / tf1.ImagesPerSec
+	if sp < 7.2 || sp > 8.0 {
+		t.Errorf("EPYC 8-node speedup = %.2f, want ~7.8", sp)
+	}
+}
+
+func TestHorovodCounters(t *testing.T) {
+	r := mustSim(t, Config{Model: "resnet50", CPU: hw.Skylake3, Net: hw.OmniPath, Nodes: 4, PPN: 4, BatchPerProc: 32})
+	if r.FrameworkTensors < 100 {
+		t.Fatalf("ResNet-50 has ~160 gradient tensors, got %d", r.FrameworkTensors)
+	}
+	if r.EngineAllreduces < 1 || r.EngineAllreduces > r.FrameworkTensors {
+		t.Fatalf("fusion must give 1..%d engine allreduces, got %d", r.FrameworkTensors, r.EngineAllreduces)
+	}
+	if r.Cycles < r.EngineAllreduces {
+		t.Fatalf("cycles (%d) < engine allreduces (%d)", r.Cycles, r.EngineAllreduces)
+	}
+	// Single process: no communication at all.
+	sp := mustSim(t, Config{Model: "resnet50", CPU: hw.Skylake3, BatchPerProc: 32})
+	if sp.EngineAllreduces != 0 || sp.Cycles != 0 || sp.ExposedCommSec != 0 {
+		t.Fatalf("SP must have no engine activity: %+v", sp)
+	}
+}
+
+func TestCycleTimeReducesEngineOps(t *testing.T) {
+	// Figures 18/19: larger HOROVOD_CYCLE_TIME means fewer engine ops.
+	at := func(fwName string, ppn int, ct float64) Result {
+		return mustSim(t, Config{Model: "resnet50", Framework: fwName, CPU: hw.Skylake3,
+			Net: hw.OmniPath, Nodes: 4, PPN: ppn, BatchPerProc: 16, CycleTimeMS: ct})
+	}
+	tfShort := at("tensorflow", 4, 3.5)
+	tfLong := at("tensorflow", 4, 90)
+	if tfLong.EngineAllreduces+tfLong.Cycles >= tfShort.EngineAllreduces+tfShort.Cycles {
+		t.Fatal("longer cycle must reduce TF engine ops")
+	}
+	// TF throughput barely moves (paper: no significant improvement).
+	if d := tfLong.ImagesPerSec / tfShort.ImagesPerSec; d < 0.9 || d > 1.1 {
+		t.Fatalf("TF cycle-time sensitivity too strong: %g", d)
+	}
+	// PyTorch gains measurably from longer cycles (paper: up to 1.25x).
+	ptShort := at("pytorch", 48, 3.5)
+	ptLong := at("pytorch", 48, 100)
+	gain := ptLong.ImagesPerSec / ptShort.ImagesPerSec
+	if gain < 1.05 {
+		t.Fatalf("PyTorch cycle-time gain %g too small", gain)
+	}
+	if ptLong.Cycles >= ptShort.Cycles/5 {
+		t.Fatalf("PyTorch cycles must collapse: %d -> %d", ptShort.Cycles, ptLong.Cycles)
+	}
+}
+
+func TestFusionThresholdSplitsAllreduces(t *testing.T) {
+	big := mustSim(t, Config{Model: "resnet50", CPU: hw.Skylake3, Net: hw.OmniPath, Nodes: 2, PPN: 4, BatchPerProc: 32, FusionMB: 64})
+	tiny := mustSim(t, Config{Model: "resnet50", CPU: hw.Skylake3, Net: hw.OmniPath, Nodes: 2, PPN: 4, BatchPerProc: 32, FusionMB: 0.25})
+	if tiny.EngineAllreduces <= big.EngineAllreduces {
+		t.Fatalf("smaller fusion buffer must mean more allreduces: %d vs %d",
+			tiny.EngineAllreduces, big.EngineAllreduces)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Model: "resnet101", CPU: hw.Skylake2, Nodes: 4, PPN: 2, BatchPerProc: 64, Seed: 42}
+	a := mustSim(t, cfg)
+	b := mustSim(t, cfg)
+	if a.ImagesPerSec != b.ImagesPerSec {
+		t.Fatal("identical configs must produce identical results")
+	}
+	cfg.Seed = 43
+	c := mustSim(t, cfg)
+	if c.ImagesPerSec == a.ImagesPerSec {
+		t.Fatal("different seeds must jitter the result")
+	}
+	// But only slightly (±1.5% per run, averaged over 3).
+	if d := c.ImagesPerSec / a.ImagesPerSec; d < 0.95 || d > 1.05 {
+		t.Fatalf("jitter too strong: %g", d)
+	}
+}
+
+func TestGPUSimulateBasics(t *testing.T) {
+	if _, err := SimulateGPU(GPUConfig{}); err == nil {
+		t.Fatal("empty GPU config must error")
+	}
+	if _, err := SimulateGPU(GPUConfig{Model: "resnet50", GPU: hw.V100, Framework: "mxnet"}); err == nil {
+		t.Fatal("unknown framework must error")
+	}
+	v, err := SimulateGPU(GPUConfig{Model: "resnet50", GPU: hw.V100, BatchPerGPU: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := SimulateGPU(GPUConfig{Model: "resnet50", GPU: hw.K80, BatchPerGPU: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ImagesPerSec <= k.ImagesPerSec {
+		t.Fatal("V100 must beat K80")
+	}
+	// Paper's brackets: Skylake-3 beats K80 (2.35x on Inception-v4) but
+	// V100 beats Skylake-3 (3.32x on ResNet-101).
+	sky101 := mustSim(t, Config{Model: "resnet101", CPU: hw.Skylake3, Net: hw.OmniPath, PPN: 4, BatchPerProc: 32})
+	v101, _ := SimulateGPU(GPUConfig{Model: "resnet101", GPU: hw.V100, BatchPerGPU: 64})
+	if r := v101.ImagesPerSec / sky101.ImagesPerSec; r < 2.8 || r > 4.0 {
+		t.Errorf("V100/Skylake-3 ResNet-101 = %.2f, want ~3.3", r)
+	}
+	skyI4 := mustSim(t, Config{Model: "inception4", CPU: hw.Skylake3, Net: hw.OmniPath, PPN: 4, BatchPerProc: 32})
+	k80I4, _ := SimulateGPU(GPUConfig{Model: "inception4", GPU: hw.K80, BatchPerGPU: 32})
+	if r := skyI4.ImagesPerSec / k80I4.ImagesPerSec; r < 1.8 || r > 3.0 {
+		t.Errorf("Skylake-3/K80 Inception-v4 = %.2f, want ~2.35", r)
+	}
+}
+
+func TestGPUScalesAcrossDevices(t *testing.T) {
+	one, _ := SimulateGPU(GPUConfig{Model: "resnet152", GPU: hw.V100, GPUs: 1, BatchPerGPU: 32})
+	four, _ := SimulateGPU(GPUConfig{Model: "resnet152", GPU: hw.V100, GPUs: 4, BatchPerGPU: 32})
+	sp := four.ImagesPerSec / one.ImagesPerSec
+	if sp < 3 || sp > 4 {
+		t.Fatalf("4-GPU speedup = %.2f, want sub-linear in (3,4)", sp)
+	}
+}
+
+func TestTaskGraphStructure(t *testing.T) {
+	m, err := cachedModel("resnet50", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := buildTasks(m, 32, 1.0)
+	if len(tg.tasks) != 2*m.OpCount() {
+		t.Fatalf("tasks = %d, want %d (fwd+bwd per op)", len(tg.tasks), 2*m.OpCount())
+	}
+	if tg.gradCount < 100 {
+		t.Fatalf("gradCount = %d", tg.gradCount)
+	}
+	if tg.gradBytes != m.GradBytes() {
+		t.Fatalf("gradBytes %d != model %d", tg.gradBytes, m.GradBytes())
+	}
+	// Exactly one task (the input stem conv forward) has zero deps among
+	// forward tasks rooted at the placeholder... at minimum, the graph has
+	// at least one source and no task depends on itself.
+	sources := 0
+	for _, task := range tg.tasks {
+		if task.initDeps == 0 {
+			sources++
+		}
+		for _, c := range task.consumers {
+			if c == task.id {
+				t.Fatal("self-dependency")
+			}
+		}
+	}
+	if sources < 1 {
+		t.Fatal("no source tasks")
+	}
+}
+
+func TestFusedBytesOnlyTouchesElementwise(t *testing.T) {
+	if fusedBytes("conv2d", 1000, 0.3) != 1000 {
+		t.Fatal("conv traffic must not be scaled")
+	}
+	if fusedBytes("batchnorm", 1000, 0.3) != 300 {
+		t.Fatal("batchnorm traffic must scale")
+	}
+	if fusedBytes("relu", 1000, 0.5) != 500 || fusedBytes("add", 1000, 0.5) != 500 {
+		t.Fatal("relu/add traffic must scale")
+	}
+}
+
+func TestExecEnvironmentConsistency(t *testing.T) {
+	// Sanity: simulation time for bigger models is longer at equal config.
+	r50 := mustSim(t, Config{Model: "resnet50", CPU: hw.Skylake3, PPN: 4, BatchPerProc: 32})
+	r152 := mustSim(t, Config{Model: "resnet152", CPU: hw.Skylake3, PPN: 4, BatchPerProc: 32})
+	if r152.IterTimeSec <= r50.IterTimeSec {
+		t.Fatal("ResNet-152 iterations must take longer than ResNet-50")
+	}
+	if r152.ImagesPerSec >= r50.ImagesPerSec {
+		t.Fatal("ResNet-152 throughput must be below ResNet-50")
+	}
+	_ = perf.TensorFlowCPU // keep import for doc reference
+}
