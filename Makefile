@@ -1,0 +1,28 @@
+# Tier-1 verification and benchmark targets. `make ci` is what the CI
+# workflow runs: build, vet, unit tests, and the race suite over the
+# packages with concurrent hot paths (arena, executor, worker pool,
+# Horovod engine).
+
+GO ?= go
+RACE_PKGS = ./internal/tensor/... ./internal/graph/... ./internal/horovod/... ./internal/train/...
+
+.PHONY: build test vet race bench ci
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# bench writes BENCH_tensor.json (kernel + training-step benchmarks with
+# -benchmem). BENCHTIME=3s make bench for steadier numbers.
+bench:
+	scripts/bench.sh $(or $(BENCHTIME),1s)
+
+ci: build vet test race

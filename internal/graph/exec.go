@@ -20,16 +20,132 @@ type ExecState struct {
 	grads   []*tensor.Tensor
 	gradMu  []sync.Mutex
 	pending []int
+
+	// Arena recycling (set when the executor has UseArena enabled).
+	exec     *Executor
+	arena    *tensor.Arena
+	seedGrad *tensor.Tensor // caller-owned upstream gradient, never recycled
+
+	// seq marks single-inter-op execution: node dispatch is serialized, so
+	// per-node scratch (the gather buffer, the active set) can be reused
+	// instead of reallocated.
+	seq       bool
+	gatherBuf []*tensor.Tensor
+	active    []bool
+	markStack []*Node
+	retBuf    []*tensor.Tensor
+	skip      map[*tensor.Tensor]bool // Release scratch, cleared after use
 }
 
 func (st *ExecState) save(id int, v any) { st.saved[id] = v }
 func (st *ExecState) load(id int) any    { return st.saved[id] }
 
 // Value returns node n's output tensor from this execution.
+//
+// With arena recycling enabled, op values are reclaimed eagerly during
+// Backward (a node's output is dead once its own backward has run), so
+// values must be read between Forward and Backward.
 func (st *ExecState) Value(n *Node) *tensor.Tensor { return st.vals[n.ID] }
 
 // Grad returns the accumulated output gradient of node n (nil if none).
 func (st *ExecState) Grad(n *Node) *tensor.Tensor { return st.grads[n.ID] }
+
+// Release returns every remaining execution-owned tensor — op outputs,
+// accumulated gradients, batch-norm and LRN saved state — to the
+// executor's arena and hands the state struct itself back for reuse, making
+// subsequent steps allocation-free. It is a no-op without UseArena. The
+// state and any tensor it handed out must not be used afterwards; feeds,
+// variable values/gradients and the caller's upstream gradient are left
+// untouched.
+func (st *ExecState) Release() {
+	if st.arena == nil || st.exec == nil {
+		return
+	}
+	// Identity-style ops (dropout with rate 0) return their input tensor as
+	// their value, so the same tensor can sit in several val slots — and a
+	// feed or variable value must never reach the arena. Track what is
+	// caller-owned or already returned and release each buffer exactly once.
+	// The map is a reused ExecState field: clearing keeps its buckets, so
+	// steady-state Release calls do not allocate.
+	if st.skip == nil {
+		st.skip = make(map[*tensor.Tensor]bool)
+	}
+	skip := st.skip
+	for _, node := range st.exec.G.Nodes {
+		if node.Kind != KindOp {
+			if v := st.vals[node.ID]; v != nil {
+				skip[v] = true
+			}
+		}
+	}
+	for _, node := range st.exec.G.Nodes {
+		id := node.ID
+		if v := st.vals[id]; v != nil && node.Kind == KindOp && !skip[v] {
+			st.arena.Put(v)
+			skip[v] = true
+		}
+		st.vals[id] = nil
+		if g := st.grads[id]; g != nil && g != st.seedGrad {
+			st.arena.Put(g)
+		}
+		st.grads[id] = nil
+		switch s := st.saved[id].(type) {
+		case *tensor.Tensor:
+			st.arena.Put(s)
+		case *tensor.BatchNormState:
+			st.arena.PutBNState(s)
+		}
+		st.saved[id] = nil
+		st.pending[id] = 0
+	}
+	st.seedGrad = nil
+	clear(st.skip)
+	st.exec.reclaim(st)
+}
+
+// alloc returns a zeroed execution-owned tensor: arena-drawn under UseArena,
+// freshly allocated otherwise. Ops use it for outputs they build by hand.
+func (st *ExecState) alloc(shape ...int) *tensor.Tensor {
+	if st.arena != nil {
+		return st.arena.Get(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// outSlice returns an n-entry gradient slice for an Op.Backward result. The
+// sequential executor consumes each result inside finishNode before the next
+// backward runs, so one buffer per ExecState serves every op; parallel
+// execution gets a fresh slice (several backwards are in flight at once).
+func (st *ExecState) outSlice(n int) []*tensor.Tensor {
+	if st.seq {
+		if cap(st.retBuf) < n {
+			st.retBuf = make([]*tensor.Tensor, n)
+		}
+		return st.retBuf[:n]
+	}
+	return make([]*tensor.Tensor, n)
+}
+
+// out1, out2 and out3 wrap outSlice for the common gradient arities. Ops use
+// these instead of slice literals so steady-state backward passes stay
+// allocation-free.
+func (st *ExecState) out1(a *tensor.Tensor) []*tensor.Tensor {
+	s := st.outSlice(1)
+	s[0] = a
+	return s
+}
+
+func (st *ExecState) out2(a, b *tensor.Tensor) []*tensor.Tensor {
+	s := st.outSlice(2)
+	s[0], s[1] = a, b
+	return s
+}
+
+func (st *ExecState) out3(a, b, c *tensor.Tensor) []*tensor.Tensor {
+	s := st.outSlice(3)
+	s[0], s[1], s[2] = a, b, c
+	return s
+}
 
 // Executor runs a graph with TensorFlow-style threading: Intra is the
 // intra-op worker pool shared by all kernels, and InterOp is the number of
@@ -44,6 +160,63 @@ type Executor struct {
 	GradHook func(v *Node)
 	// Prof, if set, accumulates per-op-kind execution times.
 	Prof *Profile
+
+	// Arena recycling (UseArena): kernel outputs come from the arena, dead
+	// intermediates go back during Backward, and spent ExecStates are reused.
+	arena  *tensor.Arena
+	freeMu sync.Mutex
+	free   []*ExecState
+}
+
+// UseArena attaches a recycling arena to the executor. Kernels launched
+// through it then draw their outputs and scratch from the arena, Backward
+// returns each intermediate the moment its last consumer has run, and
+// ExecState.Release recycles whatever remains — so steady-state training
+// steps allocate (almost) nothing. Call it once, before the first Forward.
+func (e *Executor) UseArena(a *tensor.Arena) {
+	e.arena = a
+	e.Intra = e.Intra.WithArena(a)
+}
+
+// Arena returns the arena attached with UseArena, or nil.
+func (e *Executor) Arena() *tensor.Arena { return e.arena }
+
+// KernelPool returns the intra-op pool callers should use for kernels whose
+// results interact with this executor (e.g. the loss gradient fed to
+// Backward): it carries the executor's arena when UseArena is active.
+func (e *Executor) KernelPool() *tensor.Pool { return e.Intra }
+
+// newState returns a cleared ExecState, reusing one recycled by Release
+// when possible.
+func (e *Executor) newState() *ExecState {
+	if e.arena != nil {
+		e.freeMu.Lock()
+		if k := len(e.free); k > 0 {
+			st := e.free[k-1]
+			e.free = e.free[:k-1]
+			e.freeMu.Unlock()
+			return st
+		}
+		e.freeMu.Unlock()
+	}
+	n := len(e.G.Nodes)
+	return &ExecState{
+		Intra:   e.Intra,
+		vals:    make([]*tensor.Tensor, n),
+		saved:   make([]any, n),
+		grads:   make([]*tensor.Tensor, n),
+		gradMu:  make([]sync.Mutex, n),
+		pending: make([]int, n),
+		exec:    e,
+		arena:   e.arena,
+		seq:     e.InterOp == 1,
+	}
+}
+
+func (e *Executor) reclaim(st *ExecState) {
+	e.freeMu.Lock()
+	e.free = append(e.free, st)
+	e.freeMu.Unlock()
 }
 
 // runFwd executes one op node's forward, timing it when profiling.
@@ -72,15 +245,7 @@ func NewExecutor(g *Graph, intra *tensor.Pool, interOp int) *Executor {
 // Forward executes the graph given placeholder feeds and returns the
 // execution state for value inspection and the backward pass.
 func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) (*ExecState, error) {
-	n := len(e.G.Nodes)
-	st := &ExecState{
-		Intra:   e.Intra,
-		vals:    make([]*tensor.Tensor, n),
-		saved:   make([]any, n),
-		grads:   make([]*tensor.Tensor, n),
-		gradMu:  make([]sync.Mutex, n),
-		pending: make([]int, n),
-	}
+	st := e.newState()
 	for _, node := range e.G.Nodes {
 		switch node.Kind {
 		case KindInput:
@@ -111,9 +276,17 @@ func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) (*ExecState, error) {
 }
 
 func gatherVals(st *ExecState, node *Node) []*tensor.Tensor {
-	in := make([]*tensor.Tensor, len(node.Inputs))
-	for i, dep := range node.Inputs {
-		in[i] = st.vals[dep.ID]
+	var in []*tensor.Tensor
+	if st.seq {
+		// One node executes at a time and no op retains its input slice
+		// beyond the call, so a single buffer serves the whole pass.
+		in = st.gatherBuf[:0]
+	}
+	for _, dep := range node.Inputs {
+		in = append(in, st.vals[dep.ID])
+	}
+	if st.seq {
+		st.gatherBuf = in
 	}
 	return in
 }
@@ -188,19 +361,26 @@ func (e *Executor) Backward(st *ExecState, output *Node, dy *tensor.Tensor) erro
 	if !tensor.ShapeEq(dy.Shape(), output.shape) {
 		return fmt.Errorf("graph: upstream gradient shape %v, want %v", dy.Shape(), output.shape)
 	}
-	// Restrict to the ancestor set of output.
-	active := make([]bool, len(e.G.Nodes))
-	var mark func(n *Node)
-	mark = func(n *Node) {
+	// Restrict to the ancestor set of output. The active set and the DFS
+	// stack live on the state so repeated steps don't reallocate them.
+	if st.active == nil {
+		st.active = make([]bool, len(e.G.Nodes))
+	}
+	active := st.active
+	for i := range active {
+		active[i] = false
+	}
+	stack := append(st.markStack[:0], output)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if active[n.ID] {
-			return
+			continue
 		}
 		active[n.ID] = true
-		for _, in := range n.Inputs {
-			mark(in)
-		}
+		stack = append(stack, n.Inputs...)
 	}
-	mark(output)
+	st.markStack = stack
 
 	// pending[n] = number of active consumers that still owe a gradient
 	// contribution to n.
@@ -217,6 +397,7 @@ func (e *Executor) Backward(st *ExecState, output *Node, dy *tensor.Tensor) erro
 		}
 	}
 	st.grads[output.ID] = dy
+	st.seedGrad = dy // caller-owned: the arena must never reclaim it
 
 	if e.InterOp == 1 {
 		// Sequential: reverse topological order guarantees every node's
@@ -235,12 +416,23 @@ func (e *Executor) Backward(st *ExecState, output *Node, dy *tensor.Tensor) erro
 
 // finishNode consumes node's completed output gradient: ops propagate to
 // inputs, variables fold into Grad and fire the hook.
+//
+// Under UseArena it also performs last-use reclamation. By the time a node
+// is finished, every consumer of its output has already run its backward
+// (reverse-topological order sequentially; the pending counter in the
+// parallel scheduler), so the node's value, accumulated gradient and saved
+// state are dead and can be returned to the arena immediately — peak memory
+// tracks the live frontier of the backward sweep instead of the whole graph.
 func (e *Executor) finishNode(st *ExecState, node *Node) {
 	g := st.grads[node.ID]
 	switch node.Kind {
 	case KindVariable:
 		if g != nil {
 			tensor.AXPY(st.Intra, node.Grad, 1, g)
+			if st.arena != nil && g != st.seedGrad {
+				st.arena.Put(g)
+				st.grads[node.ID] = nil
+			}
 			if e.GradHook != nil {
 				e.GradHook(node)
 			}
@@ -263,12 +455,52 @@ func (e *Executor) finishNode(st *ExecState, node *Node) {
 			}
 			dep := node.Inputs[i]
 			st.gradMu[dep.ID].Lock()
-			if st.grads[dep.ID] == nil {
-				st.grads[dep.ID] = ig.Clone()
-			} else {
+			switch {
+			case st.grads[dep.ID] != nil:
 				tensor.AXPY(tensor.Serial, st.grads[dep.ID], 1, ig)
+				// A freshly produced contribution is dead once folded in;
+				// ig == g means the op passed its upstream gradient through
+				// (Add, BiasAdd, rate-0 Dropout), which is released when the
+				// producing node itself is finished.
+				if st.arena != nil && ig != g {
+					st.arena.Put(ig)
+				}
+			case st.arena != nil && ig != g:
+				st.grads[dep.ID] = ig // fresh tensor: adopt, no copy
+			case st.arena != nil:
+				c := st.arena.Get(ig.Shape()...) // pass-through dy: copy it
+				c.CopyFrom(ig)
+				st.grads[dep.ID] = c
+			default:
+				st.grads[dep.ID] = ig.Clone()
 			}
 			st.gradMu[dep.ID].Unlock()
+		}
+		if st.arena != nil {
+			if v := st.vals[node.ID]; v != nil {
+				aliased := false // identity ops return their input as value
+				for _, in := range node.Inputs {
+					if st.vals[in.ID] == v {
+						aliased = true
+						break
+					}
+				}
+				if !aliased {
+					st.arena.Put(v)
+				}
+				st.vals[node.ID] = nil
+			}
+			if g != st.seedGrad {
+				st.arena.Put(g)
+			}
+			st.grads[node.ID] = nil
+			switch s := st.saved[node.ID].(type) {
+			case *tensor.Tensor:
+				st.arena.Put(s)
+			case *tensor.BatchNormState:
+				st.arena.PutBNState(s)
+			}
+			st.saved[node.ID] = nil
 		}
 	}
 }

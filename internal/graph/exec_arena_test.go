@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"testing"
+
+	"dnnperf/internal/tensor"
+)
+
+// buildResidualCNN constructs a small residual block so the arena test
+// covers the aliasing-sensitive ops: conv, batchnorm, relu, add (whose
+// backward returns the upstream gradient for both inputs) and gap.
+func buildResidualCNN(rng *tensor.RNG) (*Graph, *Node, *Node) {
+	g := New()
+	x := g.Input("x", 2, 3, 8, 8)
+	spec := tensor.ConvSpec{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	k1 := g.Variable("k1", []int{4, 3, 3, 3}, ConstInit(rng.HeInit(3*3*3, 4, 3, 3, 3)))
+	c1 := g.Apply(&Conv2DOp{Spec: spec}, "conv1", x, k1)
+	gamma := g.Variable("gamma", []int{4}, OnesInit)
+	beta := g.Variable("beta", []int{4}, Zeros)
+	bn := g.Apply(&BatchNormOp{Eps: 1e-5}, "bn1", c1, gamma, beta)
+	r1 := g.Apply(ReLUOp{}, "relu1", bn)
+	k2 := g.Variable("k2", []int{4, 4, 3, 3}, ConstInit(rng.HeInit(4*3*3, 4, 4, 3, 3)))
+	c2 := g.Apply(&Conv2DOp{Spec: spec}, "conv2", r1, k2)
+	sum := g.Apply(AddOp{}, "add", c2, r1)
+	r2 := g.Apply(ReLUOp{}, "relu2", sum)
+	out := g.Apply(GlobalAvgPoolOp{}, "gap", r2)
+	return g, x, out
+}
+
+// TestArenaExecutorMatchesPlain runs the same graph with and without arena
+// recycling for several steps and demands bit-identical values and variable
+// gradients: recycled buffers must behave exactly like fresh allocations.
+func TestArenaExecutorMatchesPlain(t *testing.T) {
+	gPlain, xPlain, outPlain := buildResidualCNN(tensor.NewRNG(7))
+	gArena, xArena, outArena := buildResidualCNN(tensor.NewRNG(7))
+
+	exPlain := NewExecutor(gPlain, tensor.Serial, 1)
+	exArena := NewExecutor(gArena, tensor.Serial, 1)
+	exArena.UseArena(tensor.NewArena())
+
+	rng := tensor.NewRNG(11)
+	for step := 0; step < 3; step++ {
+		in := rng.Uniform(-1, 1, 2, 3, 8, 8)
+		dy := rng.Uniform(-1, 1, 2, 4)
+
+		gPlain.ZeroGrads()
+		stP, err := exPlain.Forward(map[*Node]*tensor.Tensor{xPlain: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		valP := stP.Value(outPlain).Clone()
+		if err := exPlain.Backward(stP, outPlain, dy); err != nil {
+			t.Fatal(err)
+		}
+
+		gArena.ZeroGrads()
+		stA, err := exArena.Forward(map[*Node]*tensor.Tensor{xArena: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		valA := stA.Value(outArena).Clone()
+		if err := exArena.Backward(stA, outArena, dy); err != nil {
+			t.Fatal(err)
+		}
+
+		if d := valP.MaxAbsDiff(valA); d != 0 {
+			t.Fatalf("step %d: forward values differ by %g", step, d)
+		}
+		vp, va := gPlain.Variables(), gArena.Variables()
+		for i := range vp {
+			if d := vp[i].Grad.MaxAbsDiff(va[i].Grad); d != 0 {
+				t.Fatalf("step %d: grad %s differs by %g", step, vp[i].Name, d)
+			}
+		}
+		stA.Release()
+	}
+
+	if st := exArena.Arena().Stats(); st.Hits == 0 {
+		t.Fatalf("arena never recycled a buffer across steps: %+v", st)
+	}
+}
+
+// TestArenaExecutorParallel runs the arena executor with inter-op width > 1
+// under the race detector and checks it still matches a serial plain run.
+func TestArenaExecutorParallel(t *testing.T) {
+	gPlain, xPlain, outPlain := buildResidualCNN(tensor.NewRNG(3))
+	gArena, xArena, outArena := buildResidualCNN(tensor.NewRNG(3))
+
+	exPlain := NewExecutor(gPlain, tensor.Serial, 1)
+	p := tensor.NewPool(2)
+	defer p.Close()
+	exArena := NewExecutor(gArena, p, 4)
+	exArena.UseArena(tensor.NewArena())
+
+	rng := tensor.NewRNG(5)
+	for step := 0; step < 2; step++ {
+		in := rng.Uniform(-1, 1, 2, 3, 8, 8)
+		dy := rng.Uniform(-1, 1, 2, 4)
+
+		gPlain.ZeroGrads()
+		stP, _ := exPlain.Forward(map[*Node]*tensor.Tensor{xPlain: in})
+		if err := exPlain.Backward(stP, outPlain, dy); err != nil {
+			t.Fatal(err)
+		}
+		gArena.ZeroGrads()
+		stA, err := exArena.Forward(map[*Node]*tensor.Tensor{xArena: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := exArena.Backward(stA, outArena, dy); err != nil {
+			t.Fatal(err)
+		}
+		vp, va := gPlain.Variables(), gArena.Variables()
+		for i := range vp {
+			if d := vp[i].Grad.MaxAbsDiff(va[i].Grad); d > 1e-5 {
+				t.Fatalf("step %d: grad %s differs by %g", step, vp[i].Name, d)
+			}
+		}
+		stA.Release()
+	}
+}
+
+// TestReleaseWithoutBackward: a forward-only state must recycle its op
+// values (inference steps should be allocation-free too).
+func TestReleaseWithoutBackward(t *testing.T) {
+	g, x, _ := buildResidualCNN(tensor.NewRNG(2))
+	ex := NewExecutor(g, tensor.Serial, 1)
+	ex.UseArena(tensor.NewArena())
+	rng := tensor.NewRNG(4)
+	for i := 0; i < 2; i++ {
+		st, err := ex.Forward(map[*Node]*tensor.Tensor{x: rng.Uniform(-1, 1, 2, 3, 8, 8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Release()
+	}
+	st := ex.Arena().Stats()
+	if st.Hits == 0 {
+		t.Fatalf("second forward should reuse released buffers: %+v", st)
+	}
+}

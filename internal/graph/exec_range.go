@@ -2,7 +2,6 @@ package graph
 
 import (
 	"fmt"
-	"sync"
 
 	"dnnperf/internal/tensor"
 )
@@ -24,15 +23,7 @@ func (e *Executor) ForwardRange(presets map[*Node]*tensor.Tensor, lo, hi int) (*
 	if lo < -1 || hi >= len(e.G.Nodes) || lo >= hi {
 		return nil, fmt.Errorf("graph: invalid range (%d, %d]", lo, hi)
 	}
-	n := len(e.G.Nodes)
-	st := &ExecState{
-		Intra:   e.Intra,
-		vals:    make([]*tensor.Tensor, n),
-		saved:   make([]any, n),
-		grads:   make([]*tensor.Tensor, n),
-		gradMu:  make([]sync.Mutex, n),
-		pending: make([]int, n),
-	}
+	st := e.newState()
 	for node, v := range presets {
 		if v == nil {
 			return nil, fmt.Errorf("graph: nil preset for %q", node.Name)
@@ -87,6 +78,7 @@ func (e *Executor) BackwardRange(st *ExecState, from *Node, dy *tensor.Tensor, l
 		st.grads[i] = nil
 	}
 	st.grads[from.ID] = dy
+	st.seedGrad = dy // caller-owned: the arena must never reclaim it
 	for id := from.ID; id > lo; id-- {
 		node := e.G.Nodes[id]
 		if node.Kind == KindInput {

@@ -59,7 +59,7 @@ func (o *Conv2DOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.
 // Backward implements Op.
 func (o *Conv2DOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
 	dx, dk := tensor.Conv2DBackward(st.Intra, in[0], in[1], dy, o.Spec)
-	return []*tensor.Tensor{dx, dk}
+	return st.out2(dx, dk)
 }
 
 // FwdFLOPs implements Op.
@@ -91,7 +91,7 @@ func (ReLUOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tenso
 
 // Backward implements Op.
 func (ReLUOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.ReLUGrad(st.Intra, in[0], dy)}
+	return st.out1(tensor.ReLUGrad(st.Intra, in[0], dy))
 }
 
 // FwdFLOPs implements Op.
@@ -122,8 +122,8 @@ func (AddOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor
 }
 
 // Backward implements Op.
-func (AddOp) Backward(_ *ExecState, _ *Node, _ []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{dy, dy}
+func (AddOp) Backward(st *ExecState, _ *Node, _ []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	return st.out2(dy, dy)
 }
 
 // FwdFLOPs implements Op.
@@ -165,7 +165,7 @@ func (o *BatchNormOp) Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tens
 func (o *BatchNormOp) Backward(st *ExecState, n *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
 	bnst := st.load(n.ID).(*tensor.BatchNormState)
 	dx, dgamma, dbeta := tensor.BatchNorm2DBackward(st.Intra, in[0], in[1], dy, bnst)
-	return []*tensor.Tensor{dx, dgamma, dbeta}
+	return st.out3(dx, dgamma, dbeta)
 }
 
 // FwdFLOPs implements Op: two statistics passes plus normalization.
@@ -202,7 +202,7 @@ func (o *MaxPoolOp) Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tensor
 // Backward implements Op.
 func (o *MaxPoolOp) Backward(st *ExecState, n *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
 	argmax := st.load(n.ID).([]int32)
-	return []*tensor.Tensor{tensor.MaxPool2DBackward(st.Intra, in[0].Shape(), dy, argmax, o.Spec)}
+	return st.out1(tensor.MaxPool2DBackward(st.Intra, in[0].Shape(), dy, argmax, o.Spec))
 }
 
 // FwdFLOPs implements Op.
@@ -236,7 +236,7 @@ func (o *AvgPoolOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor
 
 // Backward implements Op.
 func (o *AvgPoolOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.AvgPool2DBackward(st.Intra, in[0].Shape(), dy, o.Spec)}
+	return st.out1(tensor.AvgPool2DBackward(st.Intra, in[0].Shape(), dy, o.Spec))
 }
 
 // FwdFLOPs implements Op.
@@ -271,7 +271,7 @@ func (GlobalAvgPoolOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *ten
 
 // Backward implements Op.
 func (GlobalAvgPoolOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{tensor.GlobalAvgPoolBackward(st.Intra, in[0].Shape(), dy)}
+	return st.out1(tensor.GlobalAvgPoolBackward(st.Intra, in[0].Shape(), dy))
 }
 
 // FwdFLOPs implements Op.
@@ -361,7 +361,7 @@ func (DenseOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tens
 	dx := tensor.MatMulTB(st.Intra, dy, in[1]) // dy [N,out] @ Wᵀ
 	dw := tensor.MatMulTA(st.Intra, in[0], dy) // xᵀ @ dy
 	db := tensor.SumRows(st.Intra, dy)
-	return []*tensor.Tensor{dx, dw, db}
+	return st.out3(dx, dw, db)
 }
 
 // FwdFLOPs implements Op.
@@ -390,14 +390,18 @@ func (FlattenOp) InferShape(in [][]int) []int {
 }
 
 // Forward implements Op.
-func (FlattenOp) Forward(_ *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
+func (FlattenOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Tensor {
 	x := in[0]
-	return x.Clone().Reshape(x.Shape()[0], -1)
+	out := st.alloc(x.Shape()[0], x.Len()/x.Shape()[0])
+	copy(out.Data(), x.Data())
+	return out
 }
 
 // Backward implements Op.
-func (FlattenOp) Backward(_ *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{dy.Clone().Reshape(in[0].Shape()...)}
+func (FlattenOp) Backward(st *ExecState, _ *Node, in []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
+	dx := st.alloc(in[0].Shape()...)
+	copy(dx.Data(), dy.Data())
+	return st.out1(dx)
 }
 
 // FwdFLOPs implements Op.

@@ -32,7 +32,7 @@ func (BiasAddOp) Forward(st *ExecState, _ *Node, in []*tensor.Tensor) *tensor.Te
 
 // Backward implements Op.
 func (BiasAddOp) Backward(st *ExecState, _ *Node, _ []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
-	return []*tensor.Tensor{dy, tensor.BiasAddNCHWGrad(st.Intra, dy)}
+	return st.out2(dy, tensor.BiasAddNCHWGrad(st.Intra, dy))
 }
 
 // FwdFLOPs implements Op.
@@ -68,7 +68,7 @@ func (o *LRNOp) Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tensor.Ten
 // Backward implements Op.
 func (o *LRNOp) Backward(st *ExecState, n *Node, in []*tensor.Tensor, out, dy *tensor.Tensor) []*tensor.Tensor {
 	scale := st.load(n.ID).(*tensor.Tensor)
-	return []*tensor.Tensor{tensor.LRNBackward(st.Intra, in[0], out, scale, dy, o.Spec)}
+	return st.out1(tensor.LRNBackward(st.Intra, in[0], out, scale, dy, o.Spec))
 }
 
 // FwdFLOPs implements Op: a window pass plus the power per element.
@@ -115,10 +115,10 @@ func (o *DropoutOp) Forward(st *ExecState, n *Node, in []*tensor.Tensor) *tensor
 // Backward implements Op.
 func (o *DropoutOp) Backward(st *ExecState, n *Node, _ []*tensor.Tensor, _, dy *tensor.Tensor) []*tensor.Tensor {
 	if o.Rate == 0 {
-		return []*tensor.Tensor{dy}
+		return st.out1(dy)
 	}
 	mask := st.load(n.ID).(*tensor.Tensor)
-	return []*tensor.Tensor{tensor.Mul(st.Intra, dy, mask)}
+	return st.out1(tensor.Mul(st.Intra, dy, mask))
 }
 
 // FwdFLOPs implements Op.

@@ -113,6 +113,11 @@ type Engine struct {
 	cacheByName map[string]uint32
 	cacheByID   []cacheEntry
 
+	// fusedBuf is the tensor-fusion buffer, reused across batches. It is
+	// touched only by the loop goroutine (executeBatch), so it needs no lock;
+	// real Horovod likewise allocates the fusion buffer once up front.
+	fusedBuf []float32
+
 	loopDone chan struct{}
 	loopErr  error
 }
@@ -379,7 +384,10 @@ func (e *Engine) executeBatch(names []string) error {
 	}
 	e.mu.Unlock()
 
-	fused := make([]float32, total)
+	if cap(e.fusedBuf) < total {
+		e.fusedBuf = make([]float32, total)
+	}
+	fused := e.fusedBuf[:total]
 	off := 0
 	for _, p := range tensors {
 		copy(fused[off:], p.data)

@@ -1,0 +1,219 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Arena is a size-class free-list allocator for tensor payloads and kernel
+// scratch buffers. It is the memory substrate of the zero-allocation hot
+// path: a training step that runs against a warmed arena performs no heap
+// allocation for op outputs, gradients, im2col scratch or matmul pack
+// buffers — every buffer is recycled from a previous step.
+//
+// Free buffers are bucketed by capacity into power-of-two size classes
+// (minimum 64 floats). Get pops the smallest class that fits and returns
+// zeroed memory, exactly like make([]float32, n), so kernels that rely on
+// zero-initialized outputs (accumulating matmul, ReLU masks) work unchanged.
+// Put parks a buffer for reuse; it adopts tensors regardless of where they
+// were allocated, so arena-managed and make-allocated tensors mix freely.
+//
+// All methods are safe for concurrent use — pool workers Get and Put
+// scratch buffers concurrently during a single kernel launch.
+//
+// Ownership rules:
+//   - After Put, the tensor (and any Reshape views sharing its data) must
+//     not be used again. The memory will back an unrelated tensor.
+//   - Putting the same buffer twice panics (double free).
+type Arena struct {
+	mu      sync.Mutex
+	classes [arenaClasses][][]float32
+	free    map[*float32]struct{} // heads of buffers parked in free lists
+	hdrs    []*Tensor             // recycled Tensor headers (struct + shape slice)
+	bns     []*BatchNormState     // recycled batch-norm state headers
+	stats   ArenaStats
+}
+
+// ArenaStats reports cumulative allocator activity.
+type ArenaStats struct {
+	Gets   int64 // Get + GetScratch calls served
+	Puts   int64 // Put + PutScratch calls accepted
+	Hits   int64 // Gets satisfied from a free list (no heap allocation)
+	Parked int64 // bytes currently held in free lists
+}
+
+const (
+	// arenaMinBits: smallest pooled class is 2^6 = 64 floats (256 B);
+	// tinier buffers are cheaper to allocate than to track.
+	arenaMinBits = 6
+	// arenaClasses: classes 2^6 .. 2^29 floats (256 B .. 2 GiB).
+	arenaClasses = 24
+)
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[*float32]struct{})}
+}
+
+// classFor returns the smallest class whose buffers hold ≥ n floats,
+// or -1 if n is out of the pooled range.
+func classFor(n int) int {
+	if n <= 1<<arenaMinBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - arenaMinBits
+	if c >= arenaClasses {
+		return -1
+	}
+	return c
+}
+
+// floorClassFor returns the largest class whose buffers a capacity-c slice
+// can serve, or -1 if too small / too large to pool.
+func floorClassFor(c int) int {
+	if c < 1<<arenaMinBits {
+		return -1
+	}
+	f := bits.Len(uint(c)) - 1 - arenaMinBits
+	if f >= arenaClasses {
+		return -1
+	}
+	return f
+}
+
+// Get returns a zero-filled tensor with the given shape, reusing a parked
+// buffer when one is available. It is a drop-in replacement for New.
+// Tensor headers (the struct and its shape slice) are recycled along with
+// the payload, so a warmed arena serves Get without any heap allocation.
+func (a *Arena) Get(shape ...int) *Tensor {
+	n := checkShape(shape)
+	data := a.getSlice(n)
+	a.mu.Lock()
+	var t *Tensor
+	if k := len(a.hdrs); k > 0 {
+		t = a.hdrs[k-1]
+		a.hdrs[k-1] = nil
+		a.hdrs = a.hdrs[:k-1]
+	}
+	a.mu.Unlock()
+	if t == nil {
+		return &Tensor{shape: append([]int(nil), shape...), data: data}
+	}
+	t.shape = append(t.shape[:0], shape...)
+	t.data = data
+	return t
+}
+
+// GetScratch returns a zeroed []float32 of length n for kernel-private
+// scratch (im2col columns, matmul pack panels, partial accumulators).
+func (a *Arena) GetScratch(n int) []float32 {
+	return a.getSlice(n)
+}
+
+func (a *Arena) getSlice(n int) []float32 {
+	cls := classFor(n)
+	if n == 0 || cls < 0 {
+		return make([]float32, n)
+	}
+	a.mu.Lock()
+	a.stats.Gets++
+	stack := a.classes[cls]
+	if len(stack) == 0 {
+		a.mu.Unlock()
+		return make([]float32, n, 1<<(arenaMinBits+cls))
+	}
+	s := stack[len(stack)-1]
+	a.classes[cls] = stack[:len(stack)-1]
+	delete(a.free, &s[0])
+	a.stats.Hits++
+	a.stats.Parked -= int64(4 * cap(s))
+	a.mu.Unlock()
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Put parks t's buffer for reuse. t may have been allocated anywhere (Get,
+// New, FromSlice); buffers outside the pooled size range are dropped to the
+// garbage collector. Putting a buffer that is already parked panics.
+func (a *Arena) Put(t *Tensor) {
+	if t == nil {
+		return
+	}
+	if t.data == nil && t.shape != nil {
+		panic("tensor: Arena.Put of an already-recycled tensor — double free")
+	}
+	a.putSlice(t.data) // panics on double free before the header is parked
+	t.data = nil
+	a.mu.Lock()
+	a.hdrs = append(a.hdrs, t)
+	a.mu.Unlock()
+}
+
+// GetBNState returns an empty BatchNormState, recycling a header parked by
+// PutBNState when one is available. Callers fill in the tensor fields.
+func (a *Arena) GetBNState() *BatchNormState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if k := len(a.bns); k > 0 {
+		s := a.bns[k-1]
+		a.bns[k-1] = nil
+		a.bns = a.bns[:k-1]
+		return s
+	}
+	return &BatchNormState{}
+}
+
+// PutBNState releases the state's tensors back to the arena and parks the
+// header for reuse by GetBNState.
+func (a *Arena) PutBNState(s *BatchNormState) {
+	if s == nil {
+		return
+	}
+	a.Put(s.Mean)
+	a.Put(s.InvStd)
+	a.Put(s.XHat)
+	s.Mean, s.InvStd, s.XHat = nil, nil, nil
+	a.mu.Lock()
+	a.bns = append(a.bns, s)
+	a.mu.Unlock()
+}
+
+// PutScratch parks a scratch buffer obtained from GetScratch (or anywhere
+// else). Double puts panic.
+func (a *Arena) PutScratch(s []float32) {
+	a.putSlice(s)
+}
+
+func (a *Arena) putSlice(s []float32) {
+	c := cap(s)
+	cls := floorClassFor(c)
+	if cls < 0 {
+		return
+	}
+	s = s[:c]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.free[&s[0]]; dup {
+		panic(fmt.Sprintf("tensor: Arena.Put of buffer already in the free list (cap %d floats) — double free", c))
+	}
+	a.free[&s[0]] = struct{}{}
+	a.classes[cls] = append(a.classes[cls], s)
+	a.stats.Puts++
+	a.stats.Parked += int64(4 * c)
+}
+
+// Stats returns a snapshot of the allocator counters.
+func (a *Arena) Stats() ArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// kernelScratch serves pack panels and im2col buffers for kernels running on
+// pools without an attached arena, so even stand-alone MatMul/Conv2D calls
+// stop allocating scratch in steady state.
+var kernelScratch = NewArena()

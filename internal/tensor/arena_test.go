@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaGetReturnsZeroedMemory(t *testing.T) {
+	a := NewArena()
+	x := a.Get(4, 8)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i) + 1
+	}
+	a.Put(x)
+	y := a.Get(4, 8)
+	for i, v := range y.Data() {
+		if v != 0 {
+			t.Fatalf("recycled tensor not zeroed at %d: %g", i, v)
+		}
+	}
+}
+
+func TestArenaReusesBacking(t *testing.T) {
+	a := NewArena()
+	x := a.Get(32)
+	head := &x.Data()[0]
+	a.Put(x)
+	y := a.Get(32)
+	if &y.Data()[0] != head {
+		t.Fatal("same-size Get after Put must reuse the backing array")
+	}
+	st := a.Stats()
+	if st.Hits != 1 || st.Gets != 2 {
+		t.Fatalf("stats = %+v, want 1 hit out of 2 gets", st)
+	}
+}
+
+func TestArenaSizeClasses(t *testing.T) {
+	a := NewArena()
+	// 100 rounds up to the 128-float class: a 128-elem Get must hit.
+	x := a.Get(100)
+	a.Put(x)
+	y := a.Get(128)
+	if a.Stats().Hits != 1 {
+		t.Fatalf("128-elem Get should reuse the 100-elem buffer, stats %+v", a.Stats())
+	}
+	a.Put(y)
+	// 129 needs the next class: miss.
+	a.Get(129)
+	if st := a.Stats(); st.Hits != 1 {
+		t.Fatalf("129-elem Get must not fit a 128-cap buffer, stats %+v", st)
+	}
+}
+
+func TestArenaDoublePutPanics(t *testing.T) {
+	a := NewArena()
+	x := a.Get(16)
+	a.Put(x)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put must panic")
+		}
+	}()
+	a.Put(x)
+}
+
+func TestArenaScratchRoundtrip(t *testing.T) {
+	a := NewArena()
+	s := a.GetScratch(1000)
+	if len(s) != 1000 {
+		t.Fatalf("scratch len %d", len(s))
+	}
+	for i := range s {
+		s[i] = 1
+	}
+	a.PutScratch(s)
+	s2 := a.GetScratch(600) // same 1024-float class as 1000
+	if &s2[0] != &s[0] {
+		t.Fatal("same-class scratch request should reuse the parked buffer")
+	}
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("scratch not zeroed at %d", i)
+		}
+	}
+}
+
+// TestArenaConcurrent hammers Get/Put from many goroutines; run under
+// -race it proves the arena's locking.
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sizes := []int{17, 64, 257, 1 << 12}
+			for i := 0; i < 200; i++ {
+				n := sizes[(g+i)%len(sizes)]
+				x := a.Get(n)
+				x.Data()[0] = float32(g)
+				s := a.GetScratch(n / 2)
+				a.PutScratch(s)
+				a.Put(x)
+			}
+		}()
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Hits == 0 {
+		t.Fatal("concurrent workload should produce free-list hits")
+	}
+}
+
+func TestPoolWithArenaAllocates(t *testing.T) {
+	a := NewArena()
+	p := Serial.WithArena(a)
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := FromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	z := Add(p, x, y)
+	head := &z.Data()[0]
+	p.recycle(z)
+	z2 := Add(p, x, y)
+	if &z2.Data()[0] != head {
+		t.Fatal("kernel output should be recycled through the attached arena")
+	}
+	want := []float32{6, 8, 10, 12}
+	for i, v := range z2.Data() {
+		if v != want[i] {
+			t.Fatalf("recycled-output Add wrong at %d: %g", i, v)
+		}
+	}
+}

@@ -35,6 +35,24 @@ func BenchmarkMatMul256(b *testing.B) {
 	})
 }
 
+// BenchmarkMatMul512 exercises the packed/blocked path (k·n well above the
+// streaming crossover) — the acceptance benchmark for the cache-blocked
+// kernel. allocs/op stays at the output tensor only: pack panels come from
+// the scratch arena.
+func BenchmarkMatMul512(b *testing.B) {
+	rng := NewRNG(1)
+	x := rng.Uniform(-1, 1, 512, 512)
+	y := rng.Uniform(-1, 1, 512, 512)
+	benchPools(b, func(b *testing.B, p *Pool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMul(p, x, y)
+		}
+		flops := 2.0 * 512 * 512 * 512
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	})
+}
+
 func BenchmarkConv2D(b *testing.B) {
 	rng := NewRNG(2)
 	x := rng.Uniform(-1, 1, 4, 32, 28, 28)
@@ -57,6 +75,7 @@ func BenchmarkConv2DBackward(b *testing.B) {
 	spec := ConvSpec{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
 	dy := rng.Uniform(-1, 1, 4, 64, 14, 14)
 	benchPools(b, func(b *testing.B, p *Pool) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			Conv2DBackward(p, x, k, dy, spec)
 		}

@@ -37,31 +37,53 @@ func Conv2D(p *Pool, x, k *Tensor, spec ConvSpec) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Conv2D non-positive output %dx%d for input %dx%d", oh, ow, h, w))
 	}
-	out := New(n, f, oh, ow)
+	out := p.alloc(n, f, oh, ow)
 	colRows := c * spec.KH * spec.KW
 	colCols := oh * ow
 
 	if isPointwise(spec) {
 		// 1x1 stride-1 convolution is a plain matmul per image — no im2col
 		// buffer, the fast path MKL-DNN also takes for ResNet bottlenecks.
+		if p.size == 1 {
+			conv2dPointwiseImgs(out.data, k.data, x.data, 0, n, f, c, h*w)
+			return out
+		}
 		p.Run(n, 1, func(s, e int) {
-			for img := s; img < e; img++ {
-				matmulInto(Serial, out.data[img*f*oh*ow:(img+1)*f*oh*ow],
-					k.data, x.data[img*c*h*w:(img+1)*c*h*w], f, c, h*w, true)
-			}
+			conv2dPointwiseImgs(out.data, k.data, x.data, s, e, f, c, h*w)
 		})
 		return out
 	}
 
+	if p.size == 1 {
+		cols := p.scratch(colRows * colCols)
+		conv2dImgs(out.data, x.data, k.data, cols, 0, n, c, h, w, f, spec, oh, ow)
+		p.putScratch(cols)
+		return out
+	}
 	p.Run(n, 1, func(s, e int) {
-		cols := make([]float32, colRows*colCols)
-		for img := s; img < e; img++ {
-			im2col(x.data[img*c*h*w:(img+1)*c*h*w], cols, c, h, w, spec, oh, ow)
-			// out[img] = k_mat [f, colRows] @ cols [colRows, colCols]
-			matmulInto(Serial, out.data[img*f*oh*ow:(img+1)*f*oh*ow], k.data, cols, f, colRows, colCols, true)
-		}
+		// Per-chunk im2col scratch recycled through the arena: steady-state
+		// training steps allocate nothing here.
+		cols := p.scratch(colRows * colCols)
+		conv2dImgs(out.data, x.data, k.data, cols, s, e, c, h, w, f, spec, oh, ow)
+		p.putScratch(cols)
 	})
 	return out
+}
+
+func conv2dPointwiseImgs(od, kd, xd []float32, s, e, f, c, hw int) {
+	for img := s; img < e; img++ {
+		matmulInto(Serial, od[img*f*hw:(img+1)*f*hw], kd, xd[img*c*hw:(img+1)*c*hw], f, c, hw)
+	}
+}
+
+func conv2dImgs(od, xd, kd, cols []float32, s, e, c, h, w, f int, spec ConvSpec, oh, ow int) {
+	colRows := c * spec.KH * spec.KW
+	colCols := oh * ow
+	for img := s; img < e; img++ {
+		im2col(xd[img*c*h*w:(img+1)*c*h*w], cols, c, h, w, spec, oh, ow)
+		// out[img] = k_mat [f, colRows] @ cols [colRows, colCols]
+		matmulInto(Serial, od[img*f*oh*ow:(img+1)*f*oh*ow], kd, cols, f, colRows, colCols)
+	}
 }
 
 // isPointwise reports whether spec is a 1x1 stride-1 unpadded convolution.
@@ -80,71 +102,91 @@ func Conv2DBackward(p *Pool, x, k, dy *Tensor, spec ConvSpec) (dx, dk *Tensor) {
 	colRows := c * spec.KH * spec.KW
 	colCols := oh * ow
 
-	dx = New(n, c, h, w)
-	dk = New(k.shape...)
+	dx = p.alloc(n, c, h, w)
+	dk = p.alloc(k.shape...)
+	// Local copies keep the parallel closure from capturing the named
+	// results by reference (that would move dx and dk to the heap).
+	dxd, dkLen := dx.data, dk.Len()
 
-	// Per-worker kernel gradient accumulators are merged at the end to keep
-	// the batch loop embarrassingly parallel.
-	type partial struct{ dk []float32 }
-	parts := make([]partial, p.Size())
-	var mu sync.Mutex
-	var next int
-
-	p.Run(n, 1, func(s, e int) {
-		mu.Lock()
-		slot := next
-		next++
-		mu.Unlock()
-		if parts[slot].dk == nil {
-			parts[slot].dk = make([]float32, dk.Len())
-		}
-		cols := make([]float32, colRows*colCols)
-		dcols := make([]float32, colRows*colCols)
-		for img := s; img < e; img++ {
-			im2col(x.data[img*c*h*w:(img+1)*c*h*w], cols, c, h, w, spec, oh, ow)
-			dyImg := dy.data[img*f*oh*ow : (img+1)*f*oh*ow]
-			// dk += dy_mat [f, colCols] @ colsᵀ [colCols, colRows]
-			for i := 0; i < f; i++ {
-				drow := dyImg[i*colCols : (i+1)*colCols]
-				dkrow := parts[slot].dk[i*colRows : (i+1)*colRows]
-				for t := 0; t < colRows; t++ {
-					crow := cols[t*colCols : (t+1)*colCols]
-					var acc float32
-					for j := range drow {
-						acc += drow[j] * crow[j]
-					}
-					dkrow[t] += acc
-				}
-			}
-			// dcols = kᵀ [colRows, f] @ dy_mat [f, colCols]
-			for i := range dcols {
-				dcols[i] = 0
-			}
-			for t := 0; t < f; t++ {
-				krow := k.data[t*colRows : (t+1)*colRows]
-				drow := dyImg[t*colCols : (t+1)*colCols]
-				for r, kv := range krow {
-					if kv == 0 {
-						continue
-					}
-					dcrow := dcols[r*colCols : (r+1)*colCols]
-					for j, dv := range drow {
-						dcrow[j] += kv * dv
-					}
-				}
-			}
-			col2im(dcols, dx.data[img*c*h*w:(img+1)*c*h*w], c, h, w, spec, oh, ow)
-		}
-	})
-	for _, pt := range parts {
-		if pt.dk == nil {
-			continue
-		}
-		for i, v := range pt.dk {
-			dk.data[i] += v
-		}
+	if p.size == 1 {
+		cols := p.scratch(colRows * colCols)
+		dcols := p.scratch(colRows * colCols)
+		conv2dBwdImgs(dxd, dk.data, x.data, k.data, dy.data, cols, dcols,
+			0, n, c, h, w, f, spec, oh, ow)
+		p.putScratch(cols)
+		p.putScratch(dcols)
+		return dx, dk
 	}
+
+	// Per-chunk kernel-gradient accumulators (arena scratch, zeroed) are
+	// merged under a lock at chunk end, keeping the batch loop
+	// embarrassingly parallel. Chunk-local state is mandatory here: with
+	// over-decomposition Run invokes this closure more times than the pool
+	// has workers.
+	var mu sync.Mutex
+
+	dkd := dk.data
+	p.Run(n, 1, func(s, e int) {
+		dkPart := p.scratch(dkLen)
+		cols := p.scratch(colRows * colCols)
+		dcols := p.scratch(colRows * colCols)
+		conv2dBwdImgs(dxd, dkPart, x.data, k.data, dy.data, cols, dcols,
+			s, e, c, h, w, f, spec, oh, ow)
+		mu.Lock()
+		for i, v := range dkPart {
+			if v != 0 {
+				dkd[i] += v
+			}
+		}
+		mu.Unlock()
+		p.putScratch(dkPart)
+		p.putScratch(cols)
+		p.putScratch(dcols)
+	})
 	return dx, dk
+}
+
+// conv2dBwdImgs processes images [s, e): dx is written per image (disjoint
+// across chunks), while kernel gradients accumulate into dkDst — the real
+// dk for serial execution, a chunk-private partial otherwise.
+func conv2dBwdImgs(dxd, dkDst, xd, kd, dyd, cols, dcols []float32, s, e, c, h, w, f int, spec ConvSpec, oh, ow int) {
+	colRows := c * spec.KH * spec.KW
+	colCols := oh * ow
+	for img := s; img < e; img++ {
+		im2col(xd[img*c*h*w:(img+1)*c*h*w], cols, c, h, w, spec, oh, ow)
+		dyImg := dyd[img*f*oh*ow : (img+1)*f*oh*ow]
+		// dk += dy_mat [f, colCols] @ colsᵀ [colCols, colRows]
+		for i := 0; i < f; i++ {
+			drow := dyImg[i*colCols : (i+1)*colCols]
+			dkrow := dkDst[i*colRows : (i+1)*colRows]
+			for t := 0; t < colRows; t++ {
+				crow := cols[t*colCols : (t+1)*colCols]
+				var acc float32
+				for j := range drow {
+					acc += drow[j] * crow[j]
+				}
+				dkrow[t] += acc
+			}
+		}
+		// dcols = kᵀ [colRows, f] @ dy_mat [f, colCols]
+		for i := range dcols {
+			dcols[i] = 0
+		}
+		for t := 0; t < f; t++ {
+			krow := kd[t*colRows : (t+1)*colRows]
+			drow := dyImg[t*colCols : (t+1)*colCols]
+			for r, kv := range krow {
+				if kv == 0 {
+					continue
+				}
+				dcrow := dcols[r*colCols : (r+1)*colCols]
+				for j, dv := range drow {
+					dcrow[j] += kv * dv
+				}
+			}
+		}
+		col2im(dcols, dxd[img*c*h*w:(img+1)*c*h*w], c, h, w, spec, oh, ow)
+	}
 }
 
 // im2col expands one image [C,H,W] into cols [C*KH*KW, OH*OW].

@@ -13,7 +13,7 @@ func BiasAddNCHW(p *Pool, x, bias *Tensor) *Tensor {
 	if bias.Len() != c {
 		panic(fmt.Sprintf("tensor: BiasAddNCHW bias length %d != channels %d", bias.Len(), c))
 	}
-	out := New(x.shape...)
+	out := p.alloc(x.shape...)
 	hw := h * w
 	xd, bd, od := x.data, bias.data, out.data
 	p.Run(n*c, 2, func(s, e int) {
@@ -33,7 +33,7 @@ func BiasAddNCHW(p *Pool, x, bias *Tensor) *Tensor {
 // gradient (length C).
 func BiasAddNCHWGrad(p *Pool, dy *Tensor) *Tensor {
 	n, c, h, w := dy.shape[0], dy.shape[1], dy.shape[2], dy.shape[3]
-	out := New(c)
+	out := p.alloc(c)
 	hw := h * w
 	dyd, od := dy.data, out.data
 	p.Run(c, 1, func(s, e int) {
@@ -68,8 +68,8 @@ var DefaultLRN = LRNSpec{Size: 5, Alpha: 1e-4, Beta: 0.75, K: 2}
 // backward pass.
 func LRN(p *Pool, x *Tensor, spec LRNSpec) (out, scale *Tensor) {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	out = New(x.shape...)
-	scale = New(x.shape...)
+	out = p.alloc(x.shape...)
+	scale = p.alloc(x.shape...)
 	hw := h * w
 	half := spec.Size / 2
 	aOverN := spec.Alpha / float32(spec.Size)
@@ -105,7 +105,7 @@ func LRN(p *Pool, x *Tensor, spec LRNSpec) (out, scale *Tensor) {
 // LRNBackward computes dx for LRN given the forward inputs/outputs.
 func LRNBackward(p *Pool, x, y, scale, dy *Tensor, spec LRNSpec) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	dx := New(x.shape...)
+	dx := p.alloc(x.shape...)
 	hw := h * w
 	half := spec.Size / 2
 	aOverN := spec.Alpha / float32(spec.Size)

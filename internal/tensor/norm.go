@@ -20,110 +20,136 @@ func BatchNorm2D(p *Pool, x, gamma, beta *Tensor, eps float32) (*Tensor, *BatchN
 	if gamma.Len() != c || beta.Len() != c {
 		panic(fmt.Sprintf("tensor: BatchNorm2D gamma/beta length must be %d", c))
 	}
-	out := New(x.shape...)
-	st := &BatchNormState{Mean: New(c), InvStd: New(c), XHat: New(x.shape...)}
+	out := p.alloc(x.shape...)
+	st := p.bnState()
+	st.Mean, st.InvStd, st.XHat = p.alloc(c), p.alloc(c), p.alloc(x.shape...)
 	hw := h * w
-	cnt := float32(n * hw)
 	xd := x.data
+	if p.size == 1 {
+		batchNormFwdRange(out.data, xd, gamma.data, beta.data, st, 0, c, n, c, hw, eps)
+		return out, st
+	}
 	p.Run(c, 1, func(s, e int) {
-		for ch := s; ch < e; ch++ {
-			var sum float64
-			for img := 0; img < n; img++ {
-				base := (img*c + ch) * hw
-				for i := 0; i < hw; i++ {
-					sum += float64(xd[base+i])
-				}
-			}
-			mean := float32(sum / float64(cnt))
-			var vs float64
-			for img := 0; img < n; img++ {
-				base := (img*c + ch) * hw
-				for i := 0; i < hw; i++ {
-					d := xd[base+i] - mean
-					vs += float64(d) * float64(d)
-				}
-			}
-			invStd := float32(1 / math.Sqrt(vs/float64(cnt)+float64(eps)))
-			st.Mean.data[ch] = mean
-			st.InvStd.data[ch] = invStd
-			g, b := gamma.data[ch], beta.data[ch]
-			for img := 0; img < n; img++ {
-				base := (img*c + ch) * hw
-				for i := 0; i < hw; i++ {
-					xh := (xd[base+i] - mean) * invStd
-					st.XHat.data[base+i] = xh
-					out.data[base+i] = g*xh + b
-				}
-			}
-		}
+		batchNormFwdRange(out.data, xd, gamma.data, beta.data, st, s, e, n, c, hw, eps)
 	})
 	return out, st
+}
+
+func batchNormFwdRange(od, xd, gd, bd []float32, st *BatchNormState, s, e, n, c, hw int, eps float32) {
+	cnt := float32(n * hw)
+	for ch := s; ch < e; ch++ {
+		var sum float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				sum += float64(xd[base+i])
+			}
+		}
+		mean := float32(sum / float64(cnt))
+		var vs float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				d := xd[base+i] - mean
+				vs += float64(d) * float64(d)
+			}
+		}
+		invStd := float32(1 / math.Sqrt(vs/float64(cnt)+float64(eps)))
+		st.Mean.data[ch] = mean
+		st.InvStd.data[ch] = invStd
+		g, b := gd[ch], bd[ch]
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				xh := (xd[base+i] - mean) * invStd
+				st.XHat.data[base+i] = xh
+				od[base+i] = g*xh + b
+			}
+		}
+	}
 }
 
 // BatchNorm2DBackward computes gradients of BatchNorm2D.
 func BatchNorm2DBackward(p *Pool, x, gamma, dy *Tensor, st *BatchNormState) (dx, dgamma, dbeta *Tensor) {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	hw := h * w
-	cnt := float32(n * hw)
-	dx = New(x.shape...)
-	dgamma = New(c)
-	dbeta = New(c)
+	dx = p.alloc(x.shape...)
+	dgamma = p.alloc(c)
+	dbeta = p.alloc(c)
+	// Local slice copies keep the parallel closure from capturing the named
+	// results by reference, which would move all three to the heap.
+	dxd, dgd, dbd := dx.data, dgamma.data, dbeta.data
+	if p.size == 1 {
+		batchNormBwdRange(dxd, dgd, dbd, gamma.data, dy.data, st, 0, c, n, c, hw)
+		return dx, dgamma, dbeta
+	}
 	p.Run(c, 1, func(s, e int) {
-		for ch := s; ch < e; ch++ {
-			var sumDy, sumDyXhat float64
-			for img := 0; img < n; img++ {
-				base := (img*c + ch) * hw
-				for i := 0; i < hw; i++ {
-					g := float64(dy.data[base+i])
-					sumDy += g
-					sumDyXhat += g * float64(st.XHat.data[base+i])
-				}
-			}
-			dbeta.data[ch] = float32(sumDy)
-			dgamma.data[ch] = float32(sumDyXhat)
-			gInv := gamma.data[ch] * st.InvStd.data[ch]
-			mDy := float32(sumDy) / cnt
-			mDyXhat := float32(sumDyXhat) / cnt
-			for img := 0; img < n; img++ {
-				base := (img*c + ch) * hw
-				for i := 0; i < hw; i++ {
-					xh := st.XHat.data[base+i]
-					dx.data[base+i] = gInv * (dy.data[base+i] - mDy - xh*mDyXhat)
-				}
-			}
-		}
+		batchNormBwdRange(dxd, dgd, dbd, gamma.data, dy.data, st, s, e, n, c, hw)
 	})
 	return dx, dgamma, dbeta
+}
+
+func batchNormBwdRange(dxd, dgd, dbd, gd, dyd []float32, st *BatchNormState, s, e, n, c, hw int) {
+	cnt := float32(n * hw)
+	for ch := s; ch < e; ch++ {
+		var sumDy, sumDyXhat float64
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				g := float64(dyd[base+i])
+				sumDy += g
+				sumDyXhat += g * float64(st.XHat.data[base+i])
+			}
+		}
+		dbd[ch] = float32(sumDy)
+		dgd[ch] = float32(sumDyXhat)
+		gInv := gd[ch] * st.InvStd.data[ch]
+		mDy := float32(sumDy) / cnt
+		mDyXhat := float32(sumDyXhat) / cnt
+		for img := 0; img < n; img++ {
+			base := (img*c + ch) * hw
+			for i := 0; i < hw; i++ {
+				xh := st.XHat.data[base+i]
+				dxd[base+i] = gInv * (dyd[base+i] - mDy - xh*mDyXhat)
+			}
+		}
+	}
 }
 
 // Softmax computes row-wise softmax of x [m, n].
 func Softmax(p *Pool, x *Tensor) *Tensor {
 	m, n := x.shape[0], x.shape[1]
-	out := New(x.shape...)
+	out := p.alloc(x.shape...)
 	xd, od := x.data, out.data
-	p.Run(m, 8, func(s, e int) {
-		for i := s; i < e; i++ {
-			row := xd[i*n : (i+1)*n]
-			orow := od[i*n : (i+1)*n]
-			maxV := row[0]
-			for _, v := range row[1:] {
-				if v > maxV {
-					maxV = v
-				}
-			}
-			var sum float64
-			for j, v := range row {
-				ev := math.Exp(float64(v - maxV))
-				orow[j] = float32(ev)
-				sum += ev
-			}
-			inv := float32(1 / sum)
-			for j := range orow {
-				orow[j] *= inv
+	if p.size == 1 {
+		softmaxRange(od, xd, 0, m, n)
+		return out
+	}
+	p.Run(m, 8, func(s, e int) { softmaxRange(od, xd, s, e, n) })
+	return out
+}
+
+func softmaxRange(od, xd []float32, s, e, n int) {
+	for i := s; i < e; i++ {
+		row := xd[i*n : (i+1)*n]
+		orow := od[i*n : (i+1)*n]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
 			}
 		}
-	})
-	return out
+		var sum float64
+		for j, v := range row {
+			ev := math.Exp(float64(v - maxV))
+			orow[j] = float32(ev)
+			sum += ev
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
 }
 
 // CrossEntropyLoss computes the mean negative log-likelihood of the labels
@@ -135,7 +161,8 @@ func CrossEntropyLoss(p *Pool, logits *Tensor, labels []int) (loss float64, grad
 		panic(fmt.Sprintf("tensor: CrossEntropyLoss got %d labels for %d rows", len(labels), m))
 	}
 	sm := Softmax(p, logits)
-	grad = sm.Clone()
+	grad = p.alloc(logits.shape...)
+	copy(grad.data, sm.data)
 	var total float64
 	for i := 0; i < m; i++ {
 		lbl := labels[i]
@@ -149,6 +176,7 @@ func CrossEntropyLoss(p *Pool, logits *Tensor, labels []int) (loss float64, grad
 		total -= math.Log(pLbl)
 		grad.data[i*n+lbl] -= 1
 	}
+	p.recycle(sm)
 	inv := float32(1.0 / float64(m))
 	for i := range grad.data {
 		grad.data[i] *= inv

@@ -11,26 +11,37 @@ const elemGrain = 8192
 
 // Add returns t + u element-wise. Shapes must match.
 func Add(p *Pool, t, u *Tensor) *Tensor {
-	out := New(t.shape...)
+	out := p.alloc(t.shape...)
 	AddInto(p, out, t, u)
 	return out
 }
 
 // AddInto computes dst = t + u element-wise.
+//
+// Hot element-wise kernels take a closure-free serial path: a size-1 pool
+// calls the named range helper directly, so the steady-state training loop
+// does not allocate a closure per kernel launch (see the Performance notes
+// in EXPERIMENTS.md).
 func AddInto(p *Pool, dst, t, u *Tensor) {
 	binaryCheck(dst, t, u, "Add")
 	td, ud, dd := t.data, u.data, dst.data
-	p.Run(len(td), elemGrain, func(s, e int) {
-		for i := s; i < e; i++ {
-			dd[i] = td[i] + ud[i]
-		}
-	})
+	if p.size == 1 {
+		addRange(dd, td, ud, 0, len(td))
+		return
+	}
+	p.Run(len(td), elemGrain, func(s, e int) { addRange(dd, td, ud, s, e) })
+}
+
+func addRange(dd, td, ud []float32, s, e int) {
+	for i := s; i < e; i++ {
+		dd[i] = td[i] + ud[i]
+	}
 }
 
 // Sub returns t - u element-wise.
 func Sub(p *Pool, t, u *Tensor) *Tensor {
 	binaryCheck(t, t, u, "Sub")
-	out := New(t.shape...)
+	out := p.alloc(t.shape...)
 	td, ud, dd := t.data, u.data, out.data
 	p.Run(len(td), elemGrain, func(s, e int) {
 		for i := s; i < e; i++ {
@@ -43,7 +54,7 @@ func Sub(p *Pool, t, u *Tensor) *Tensor {
 // Mul returns the element-wise (Hadamard) product t * u.
 func Mul(p *Pool, t, u *Tensor) *Tensor {
 	binaryCheck(t, t, u, "Mul")
-	out := New(t.shape...)
+	out := p.alloc(t.shape...)
 	td, ud, dd := t.data, u.data, out.data
 	p.Run(len(td), elemGrain, func(s, e int) {
 		for i := s; i < e; i++ {
@@ -59,16 +70,22 @@ func AXPY(p *Pool, dst *Tensor, alpha float32, src *Tensor) {
 		panic("tensor: AXPY size mismatch")
 	}
 	dd, sd := dst.data, src.data
-	p.Run(len(dd), elemGrain, func(s, e int) {
-		for i := s; i < e; i++ {
-			dd[i] += alpha * sd[i]
-		}
-	})
+	if p.size == 1 {
+		axpyRange(dd, sd, alpha, 0, len(dd))
+		return
+	}
+	p.Run(len(dd), elemGrain, func(s, e int) { axpyRange(dd, sd, alpha, s, e) })
+}
+
+func axpyRange(dd, sd []float32, alpha float32, s, e int) {
+	for i := s; i < e; i++ {
+		dd[i] += alpha * sd[i]
+	}
 }
 
 // Scale returns alpha * t.
 func Scale(p *Pool, alpha float32, t *Tensor) *Tensor {
-	out := New(t.shape...)
+	out := p.alloc(t.shape...)
 	td, dd := t.data, out.data
 	p.Run(len(td), elemGrain, func(s, e int) {
 		for i := s; i < e; i++ {
@@ -80,31 +97,43 @@ func Scale(p *Pool, alpha float32, t *Tensor) *Tensor {
 
 // ReLU returns max(x, 0) element-wise.
 func ReLU(p *Pool, t *Tensor) *Tensor {
-	out := New(t.shape...)
+	out := p.alloc(t.shape...)
 	td, dd := t.data, out.data
-	p.Run(len(td), elemGrain, func(s, e int) {
-		for i := s; i < e; i++ {
-			if v := td[i]; v > 0 {
-				dd[i] = v
-			}
-		}
-	})
+	if p.size == 1 {
+		reluRange(dd, td, 0, len(td))
+		return out
+	}
+	p.Run(len(td), elemGrain, func(s, e int) { reluRange(dd, td, s, e) })
 	return out
+}
+
+func reluRange(dd, td []float32, s, e int) {
+	for i := s; i < e; i++ {
+		if v := td[i]; v > 0 {
+			dd[i] = v
+		}
+	}
 }
 
 // ReLUGrad returns dy masked by x > 0: the gradient of ReLU at x.
 func ReLUGrad(p *Pool, x, dy *Tensor) *Tensor {
 	binaryCheck(x, x, dy, "ReLUGrad")
-	out := New(x.shape...)
+	out := p.alloc(x.shape...)
 	xd, gd, dd := x.data, dy.data, out.data
-	p.Run(len(xd), elemGrain, func(s, e int) {
-		for i := s; i < e; i++ {
-			if xd[i] > 0 {
-				dd[i] = gd[i]
-			}
-		}
-	})
+	if p.size == 1 {
+		reluGradRange(dd, xd, gd, 0, len(xd))
+		return out
+	}
+	p.Run(len(xd), elemGrain, func(s, e int) { reluGradRange(dd, xd, gd, s, e) })
 	return out
+}
+
+func reluGradRange(dd, xd, gd []float32, s, e int) {
+	for i := s; i < e; i++ {
+		if xd[i] > 0 {
+			dd[i] = gd[i]
+		}
+	}
 }
 
 // Sum returns the sum of all elements.
@@ -187,7 +216,7 @@ func Concat(p *Pool, axis int, ts ...*Tensor) *Tensor {
 	}
 	outShape[axis] = total
 
-	out := New(outShape...)
+	out := p.alloc(outShape...)
 	// outer = product of dims before axis; inner = product after.
 	outer, inner := 1, 1
 	for d := 0; d < axis; d++ {
@@ -229,7 +258,7 @@ func SplitGrad(p *Pool, dy *Tensor, axis int, sizes []int) []*Tensor {
 	for i, sz := range sizes {
 		shape := append([]int(nil), dy.shape...)
 		shape[axis] = sz
-		g := New(shape...)
+		g := p.alloc(shape...)
 		rows := sz * inner
 		src, dst := dy.data, g.data
 		o0 := off

@@ -26,7 +26,7 @@ func MaxPool2D(p *Pool, x *Tensor, spec PoolSpec) (out *Tensor, argmax []int32) 
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: MaxPool2D non-positive output for input %dx%d", h, w))
 	}
-	out = New(n, c, oh, ow)
+	out = p.alloc(n, c, oh, ow)
 	argmax = make([]int32, out.Len())
 	planes := n * c
 	xd, od := x.data, out.data
@@ -66,7 +66,7 @@ func MaxPool2D(p *Pool, x *Tensor, spec PoolSpec) (out *Tensor, argmax []int32) 
 
 // MaxPool2DBackward scatters dy back to the argmax positions.
 func MaxPool2DBackward(p *Pool, xShape []int, dy *Tensor, argmax []int32, spec PoolSpec) *Tensor {
-	dx := New(xShape...)
+	dx := p.alloc(xShape...)
 	// Scatter is race-free across planes because each plane's argmax indices
 	// stay inside that plane.
 	n, c := xShape[0], xShape[1]
@@ -89,7 +89,7 @@ func MaxPool2DBackward(p *Pool, xShape []int, dy *Tensor, argmax []int32, spec P
 func AvgPool2D(p *Pool, x *Tensor, spec PoolSpec) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh, ow := spec.OutSize(h, w)
-	out := New(n, c, oh, ow)
+	out := p.alloc(n, c, oh, ow)
 	xd, od := x.data, out.data
 	p.Run(n*c, 1, func(s0, e0 int) {
 		for pl := s0; pl < e0; pl++ {
@@ -127,7 +127,7 @@ func AvgPool2D(p *Pool, x *Tensor, spec PoolSpec) *Tensor {
 func AvgPool2DBackward(p *Pool, xShape []int, dy *Tensor, spec PoolSpec) *Tensor {
 	n, c, h, w := xShape[0], xShape[1], xShape[2], xShape[3]
 	oh, ow := dy.shape[2], dy.shape[3]
-	dx := New(xShape...)
+	dx := p.alloc(xShape...)
 	dyd, dxd := dy.data, dx.data
 	p.Run(n*c, 1, func(s0, e0 int) {
 		for pl := s0; pl < e0; pl++ {
@@ -174,35 +174,47 @@ func AvgPool2DBackward(p *Pool, xShape []int, dy *Tensor, spec PoolSpec) *Tensor
 // GlobalAvgPool reduces x [N,C,H,W] to [N,C] by spatial averaging.
 func GlobalAvgPool(p *Pool, x *Tensor) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	out := New(n, c)
+	out := p.alloc(n, c)
 	hw := h * w
 	xd, od := x.data, out.data
-	p.Run(n*c, 4, func(s, e int) {
-		for pl := s; pl < e; pl++ {
-			var sum float32
-			for _, v := range xd[pl*hw : (pl+1)*hw] {
-				sum += v
-			}
-			od[pl] = sum / float32(hw)
-		}
-	})
+	if p.size == 1 {
+		globalAvgPoolRange(od, xd, 0, n*c, hw)
+		return out
+	}
+	p.Run(n*c, 4, func(s, e int) { globalAvgPoolRange(od, xd, s, e, hw) })
 	return out
+}
+
+func globalAvgPoolRange(od, xd []float32, s, e, hw int) {
+	for pl := s; pl < e; pl++ {
+		var sum float32
+		for _, v := range xd[pl*hw : (pl+1)*hw] {
+			sum += v
+		}
+		od[pl] = sum / float32(hw)
+	}
 }
 
 // GlobalAvgPoolBackward expands dy [N,C] back to [N,C,H,W].
 func GlobalAvgPoolBackward(p *Pool, xShape []int, dy *Tensor) *Tensor {
 	h, w := xShape[2], xShape[3]
 	hw := h * w
-	dx := New(xShape...)
+	dx := p.alloc(xShape...)
 	dyd, dxd := dy.data, dx.data
-	p.Run(dy.Len(), 16, func(s, e int) {
-		for pl := s; pl < e; pl++ {
-			g := dyd[pl] / float32(hw)
-			plane := dxd[pl*hw : (pl+1)*hw]
-			for i := range plane {
-				plane[i] = g
-			}
-		}
-	})
+	if p.size == 1 {
+		globalAvgPoolBwdRange(dxd, dyd, 0, dy.Len(), hw)
+		return dx
+	}
+	p.Run(dy.Len(), 16, func(s, e int) { globalAvgPoolBwdRange(dxd, dyd, s, e, hw) })
 	return dx
+}
+
+func globalAvgPoolBwdRange(dxd, dyd []float32, s, e, hw int) {
+	for pl := s; pl < e; pl++ {
+		g := dyd[pl] / float32(hw)
+		plane := dxd[pl*hw : (pl+1)*hw]
+		for i := range plane {
+			plane[i] = g
+		}
+	}
 }

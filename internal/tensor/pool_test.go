@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunOverDecomposition: with 4 workers and plenty of items, Run must
+// split the index space into more chunks than workers (the 4× factor) and
+// cover every index exactly once. The old implementation capped chunks at
+// the pool size, which this test rejects.
+func TestRunOverDecomposition(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 64
+	var visits [n]int32
+	var calls int32
+	p.Run(n, 1, func(s, e int) {
+		atomic.AddInt32(&calls, 1)
+		if e-s > (n+overDecompose*4-1)/(overDecompose*4) {
+			t.Errorf("chunk [%d,%d) larger than the over-decomposed step", s, e)
+		}
+		for i := s; i < e; i++ {
+			atomic.AddInt32(&visits[i], 1)
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	if c := atomic.LoadInt32(&calls); c != overDecompose*4 {
+		t.Fatalf("got %d chunks for n=%d grain=1 on a 4-wide pool, want %d",
+			c, n, overDecompose*4)
+	}
+}
+
+// TestRunUnevenCoverage: chunk arithmetic with a grain that does not divide
+// n must still cover [0, n) exactly once with no empty chunk.
+func TestRunUnevenCoverage(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1003
+	visits := make([]int32, n)
+	p.Run(n, 7, func(s, e int) {
+		if s >= e {
+			t.Error("empty chunk dispatched")
+		}
+		for i := s; i < e; i++ {
+			atomic.AddInt32(&visits[i], 1)
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+// TestRunDynamicLoadBalance proves chunks are claimed dynamically rather
+// than pre-assigned: item 0 blocks until item 1 has run. Under the old
+// static partition (n=8 over 4 workers → items 0 and 1 in the same range,
+// executed in order by one worker) this deadlocks; with an atomic chunk
+// counter another executor picks item 1 up and the kernel completes.
+func TestRunDynamicLoadBalance(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	item1 := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Run(8, 1, func(s, e int) {
+			for i := s; i < e; i++ {
+				switch i {
+				case 0:
+					<-item1
+				case 1:
+					close(item1)
+				}
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run stalled: a straggler chunk blocked the kernel (static partitioning)")
+	}
+}
+
+// TestRunNested: the caller always participates in execution, so a kernel
+// launched from inside another kernel's chunk cannot deadlock even when all
+// workers are busy.
+func TestRunNested(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total int64
+	p.Run(16, 1, func(s, e int) {
+		for i := s; i < e; i++ {
+			p.Run(8, 1, func(s2, e2 int) {
+				atomic.AddInt64(&total, int64(e2-s2))
+			})
+		}
+	})
+	if total != 16*8 {
+		t.Fatalf("nested Run covered %d items, want %d", total, 16*8)
+	}
+}

@@ -57,8 +57,11 @@ func Ones(shape ...int) *Tensor { return Full(1, shape...) }
 func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
+		// The message avoids formatting the shape slice itself: %v would
+		// leak the parameter and force callers' variadic shape arguments
+		// onto the heap, costing the hot path one allocation per alloc.
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape", d))
 		}
 		n *= d
 	}

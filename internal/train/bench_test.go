@@ -1,0 +1,63 @@
+package train
+
+import (
+	"testing"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/graph"
+	"dnnperf/internal/models"
+	"dnnperf/internal/tensor"
+)
+
+// resNetBlockModel builds one residual block — conv/bn/relu ×2 with a skip
+// connection — plus gap and a dense head: the unit of work the paper's
+// per-layer ResNet profiles are made of.
+func resNetBlockModel() *models.Model {
+	rng := tensor.NewRNG(42)
+	g := graph.New()
+	x := g.Input("x", 4, 8, 8, 8)
+	spec := tensor.ConvSpec{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	k1 := g.Variable("k1", []int{8, 8, 3, 3}, graph.ConstInit(rng.HeInit(8*3*3, 8, 8, 3, 3)))
+	c1 := g.Apply(&graph.Conv2DOp{Spec: spec}, "conv1", x, k1)
+	g1 := g.Variable("gamma1", []int{8}, graph.OnesInit)
+	b1 := g.Variable("beta1", []int{8}, graph.Zeros)
+	bn1 := g.Apply(&graph.BatchNormOp{Eps: 1e-5}, "bn1", c1, g1, b1)
+	r1 := g.Apply(graph.ReLUOp{}, "relu1", bn1)
+	k2 := g.Variable("k2", []int{8, 8, 3, 3}, graph.ConstInit(rng.HeInit(8*3*3, 8, 8, 3, 3)))
+	c2 := g.Apply(&graph.Conv2DOp{Spec: spec}, "conv2", r1, k2)
+	g2 := g.Variable("gamma2", []int{8}, graph.OnesInit)
+	b2 := g.Variable("beta2", []int{8}, graph.Zeros)
+	bn2 := g.Apply(&graph.BatchNormOp{Eps: 1e-5}, "bn2", c2, g2, b2)
+	sum := g.Apply(graph.AddOp{}, "add", bn2, x)
+	r2 := g.Apply(graph.ReLUOp{}, "relu2", sum)
+	gap := g.Apply(graph.GlobalAvgPoolOp{}, "gap", r2)
+	w := g.Variable("w", []int{8, 10}, graph.ConstInit(rng.HeInit(8, 8, 10)))
+	bias := g.Variable("b", []int{10}, graph.Zeros)
+	logits := g.Apply(graph.DenseOp{}, "fc", gap, w, bias)
+	return &models.Model{Name: "resnet-block", G: g, Input: x, Logits: logits}
+}
+
+// BenchmarkResNetBlockStep measures a full training step (forward, loss,
+// backward, SGD update) on one residual block. allocs/op is the headline:
+// with the arena recycling activations, gradients and scratch across steps,
+// the steady state allocates only per-step bookkeeping, not tensors.
+func BenchmarkResNetBlockStep(b *testing.B) {
+	tr, err := New(Config{Model: resNetBlockModel(), IntraThreads: 1, LR: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	rng := tensor.NewRNG(7)
+	batch := data.Batch{Images: rng.Uniform(-1, 1, 4, 8, 8, 8), Labels: []int{1, 3, 5, 7}}
+	if _, err := tr.Step(batch); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "img/s")
+}

@@ -46,6 +46,7 @@ type Trainer struct {
 	exec  *graph.Executor
 	intra *tensor.Pool
 	step  int
+	feeds map[*graph.Node]*tensor.Tensor // reused across steps
 }
 
 // New constructs a trainer. The caller keeps ownership of cfg.Engine.
@@ -67,7 +68,11 @@ func New(cfg Config) (*Trainer, error) {
 	}
 	intra := tensor.NewPool(cfg.IntraThreads)
 	ex := graph.NewExecutor(cfg.Model.G, intra, cfg.InterThreads)
-	return &Trainer{cfg: cfg, exec: ex, intra: intra}, nil
+	// Recycle activations, gradients and kernel scratch across steps:
+	// steady-state Step calls are then (nearly) allocation-free.
+	ex.UseArena(tensor.NewArena())
+	feeds := make(map[*graph.Node]*tensor.Tensor, 1)
+	return &Trainer{cfg: cfg, exec: ex, intra: intra, feeds: feeds}, nil
 }
 
 // Close releases the trainer's worker pool.
@@ -92,8 +97,9 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 		err error
 	}
 	var pending atomic.Int32
-	doneCh := make(chan doneMsg, len(m.G.Variables()))
+	var doneCh chan doneMsg
 	if t.cfg.Engine != nil {
+		doneCh = make(chan doneMsg, len(m.G.Variables()))
 		t.exec.GradHook = func(v *graph.Node) {
 			// Stable names across steps (as real frameworks use) let the
 			// engine's response cache announce by bitset after step one.
@@ -112,12 +118,15 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 	}
 
 	m.G.ZeroGrads()
-	st, err := t.exec.Forward(map[*graph.Node]*tensor.Tensor{m.Input: b.Images})
+	t.feeds[m.Input] = b.Images
+	st, err := t.exec.Forward(t.feeds)
 	if err != nil {
 		return StepStats{}, err
 	}
 	logits := st.Value(m.Logits)
-	loss, grad := tensor.CrossEntropyLoss(t.intra, logits, b.Labels)
+	// KernelPool carries the executor's arena, so the softmax intermediate
+	// and the loss gradient are recycled like every other step tensor.
+	loss, grad := tensor.CrossEntropyLoss(t.exec.KernelPool(), logits, b.Labels)
 	correct := 0
 	for i, lbl := range b.Labels {
 		if logits.ArgMaxRow(i) == lbl {
@@ -148,6 +157,11 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 	}
 
 	t.cfg.Optimizer.Step(t.intra, m.G)
+
+	// The loss gradient (the backward seed, caller-owned) and the remaining
+	// execution state go back to the arena for the next step.
+	t.exec.Arena().Put(grad)
+	st.Release()
 
 	n := len(b.Labels)
 	return StepStats{

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — run the tier-1 kernel and training-step benchmarks with
+# -benchmem and write the raw results as BENCH_tensor.json, so allocation
+# and throughput regressions are pinned by a checked-in artifact.
+#
+# Usage:  scripts/bench.sh [benchtime]          (default 1s)
+# Output: BENCH_tensor.json at the repo root — one JSON object per
+#         benchmark line: {name, ns_per_op, allocs_per_op, bytes_per_op,
+#         extra metrics such as GFLOP/s and img/s}.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1s}"
+OUT="BENCH_tensor.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== kernel benchmarks (internal/tensor) benchtime=$BENCHTIME"
+go test ./internal/tensor/ -run '^$' -bench 'MatMul|Conv2D|BatchNorm|ReLU|MaxPool|Softmax|PoolRun' \
+    -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+
+echo "== training-step benchmark (internal/train)"
+go test ./internal/train/ -run '^$' -bench 'ResNetBlockStep' \
+    -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+
+# Convert `go test -bench` lines into JSON. Fields appear as
+#   Name  N  value unit  value unit ...
+awk '
+/^Benchmark/ {
+    printf "%s{\"name\":\"%s\",\"iterations\":%s", sep, $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ",\"%s\":%s", unit, $i
+    }
+    printf "}"
+    sep = ",\n"
+}
+END { print "" }
+' "$RAW" | { echo "["; cat; echo "]"; } >"$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") entries)"
