@@ -4,12 +4,21 @@
 // data-parallel through the Horovod engine, and reports aggregate
 // throughput and the engine's profiling counters.
 //
+// Transport faults can be injected per rank to demonstrate the runtime's
+// failure behavior: seeded drop/delay/duplicate probabilities wrap each
+// worker's endpoint in an mpi.FaultTransport, and -die_rank/-die_step make
+// one rank abort its transport mid-run — surviving ranks resolve to typed
+// mpi.PeerError values within the Recv deadline instead of hanging.
+//
 // Usage:
 //
 //	mpirun -np 4 [-steps 10] [-batch_size 8] [-cycle_time_ms 3.5]
+//	       [-recv_timeout 30s] [-fault_seed 1] [-drop_prob 0] [-dup_prob 0]
+//	       [-delay_prob 0] [-delay 1ms] [-die_rank -1] [-die_step 2]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -31,12 +40,32 @@ func main() {
 		steps = flag.Int("steps", 8, "training steps")
 		batch = flag.Int("batch_size", 8, "per-rank batch size")
 		cycle = flag.Float64("cycle_time_ms", 3.5, "HOROVOD_CYCLE_TIME in ms")
+
+		recvTimeout = flag.Duration("recv_timeout", mpi.DefaultRecvTimeout, "per-Recv deadline; a dead peer yields a typed error after this long")
+		faultSeed   = flag.Int64("fault_seed", 1, "seed for the per-rank fault RNG (deterministic per seed+rank)")
+		dropProb    = flag.Float64("drop_prob", 0, "probability a sent frame is silently dropped")
+		dupProb     = flag.Float64("dup_prob", 0, "probability a sent frame is delivered twice")
+		delayProb   = flag.Float64("delay_prob", 0, "probability a sent frame is delayed by -delay")
+		delay       = flag.Duration("delay", time.Millisecond, "latency added to delayed frames")
+		dieRank     = flag.Int("die_rank", -1, "rank that aborts its transport mid-run (-1: none)")
+		dieStep     = flag.Int("die_step", 2, "training step after which -die_rank aborts")
 	)
 	flag.Parse()
 
 	if rankStr := os.Getenv("DNNPERF_RANK"); rankStr != "" {
-		if err := worker(rankStr, *steps, *batch, *cycle); err != nil {
-			fmt.Fprintf(os.Stderr, "mpirun worker %s: %v\n", rankStr, err)
+		cfg := workerConfig{
+			steps: *steps, batch: *batch, cycleMS: *cycle,
+			recvTimeout: *recvTimeout,
+			fault:       mpi.FaultConfig{Seed: *faultSeed, DropProb: *dropProb, DupProb: *dupProb, DelayProb: *delayProb, Delay: *delay},
+			dieRank:     *dieRank, dieStep: *dieStep,
+		}
+		if err := worker(rankStr, cfg); err != nil {
+			var pe *mpi.PeerError
+			if errors.As(err, &pe) {
+				fmt.Fprintf(os.Stderr, "mpirun worker %s: peer failure (rank %d, op %s): %v\n", rankStr, pe.Rank, pe.Op, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "mpirun worker %s: %v\n", rankStr, err)
+			}
 			os.Exit(1)
 		}
 		return
@@ -52,16 +81,19 @@ func launch(np int) error {
 	if np < 1 {
 		return fmt.Errorf("np must be >= 1")
 	}
-	// Reserve a loopback port for the rank-0 rendezvous.
+	// Reserve a loopback port for the rank-0 rendezvous. The listener is
+	// closed only after every worker has been handed the address; rank 0
+	// re-binds it almost immediately, and its rendezvous retry loop absorbs
+	// the remaining window (workers redial until RendezvousTimeout).
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	root := ln.Addr().String()
-	ln.Close()
 
 	self, err := os.Executable()
 	if err != nil {
+		ln.Close()
 		return err
 	}
 	procs := make([]*exec.Cmd, np)
@@ -75,10 +107,12 @@ func launch(np int) error {
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
+			ln.Close()
 			return fmt.Errorf("start rank %d: %w", r, err)
 		}
 		procs[r] = cmd
 	}
+	ln.Close()
 	var firstErr error
 	for r, cmd := range procs {
 		if err := cmd.Wait(); err != nil && firstErr == nil {
@@ -88,8 +122,17 @@ func launch(np int) error {
 	return firstErr
 }
 
+type workerConfig struct {
+	steps, batch int
+	cycleMS      float64
+	recvTimeout  time.Duration
+	fault        mpi.FaultConfig
+	dieRank      int
+	dieStep      int
+}
+
 // worker is one rank of the job.
-func worker(rankStr string, steps, batch int, cycleMS float64) error {
+func worker(rankStr string, cfg workerConfig) error {
 	rank, err := strconv.Atoi(rankStr)
 	if err != nil {
 		return err
@@ -100,30 +143,55 @@ func worker(rankStr string, steps, batch int, cycleMS float64) error {
 	}
 	root := os.Getenv("DNNPERF_ROOT")
 
-	comm, err := mpi.DialTCP(rank, size, root, "127.0.0.1:0")
+	raw, err := mpi.DialTCPOpts(rank, size, root, "127.0.0.1:0", mpi.TCPOptions{
+		RecvTimeout: cfg.recvTimeout,
+	})
 	if err != nil {
 		return err
 	}
+	ft := mpi.NewFaultTransport(raw.Endpoint(), cfg.fault)
+	comm := mpi.NewComm(ft)
 	defer comm.Close()
 
 	eng := horovod.NewEngine(comm, horovod.Config{
-		CycleTime: time.Duration(cycleMS * float64(time.Millisecond)),
+		CycleTime: time.Duration(cfg.cycleMS * float64(time.Millisecond)),
 		Average:   true,
 	})
 
-	m := models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: 7})
+	m := models.TinyCNN(models.Config{Batch: cfg.batch, ImageSize: 16, Classes: 4, Seed: 7})
 	tr, err := train.New(train.Config{Model: m, IntraThreads: 2, LR: 0.05, Engine: eng, Rank: rank})
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
 
-	gen, err := data.NewLearnable(batch, 3, 16, 4, data.Shard(42, rank))
+	gen, err := data.NewLearnable(cfg.batch, 3, 16, 4, data.Shard(42, rank))
 	if err != nil {
 		return err
 	}
-	stats, err := tr.Run(gen.Next, steps)
+
+	// Crash demo: the doomed rank runs a few steps, then tears its
+	// transport down abruptly (no goodbye frame), modeling a killed
+	// process. Survivors observe Recv deadline expiry as typed PeerErrors.
+	if cfg.dieRank == rank {
+		die := cfg.dieStep
+		if die < 1 {
+			die = 1
+		}
+		if die > cfg.steps {
+			die = cfg.steps
+		}
+		if _, err := tr.Run(gen.Next, die); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: aborting transport after step %d (crash demo)\n", rank, die)
+		comm.Abort()
+		return fmt.Errorf("rank %d aborted by -die_rank", rank)
+	}
+
+	stats, err := tr.Run(gen.Next, cfg.steps)
 	if err != nil {
+		eng.Shutdown()
 		return err
 	}
 	if err := eng.Shutdown(); err != nil {
@@ -132,11 +200,15 @@ func worker(rankStr string, steps, batch int, cycleMS float64) error {
 	if rank == 0 {
 		s := eng.Stats()
 		last := stats[len(stats)-1]
-		fmt.Printf("job: %d ranks x batch %d, %d steps over TCP (%s)\n", size, batch, steps, root)
+		fmt.Printf("job: %d ranks x batch %d, %d steps over TCP (%s)\n", size, cfg.batch, cfg.steps, root)
 		fmt.Printf("rank 0: final loss %.4f, per-rank %.1f img/s, aggregate ~%.1f img/s\n",
 			last.Loss, train.Throughput(stats), float64(size)*train.Throughput(stats))
 		fmt.Printf("horovod: %d framework tensors -> %d fused allreduces (%d cycles, %.1f KiB fused, max %d tensors/fusion)\n",
 			s.FrameworkRequests, s.EngineAllreduces, s.Cycles, float64(s.FusedBytes)/1024, s.MaxFusedTensors)
+		if fs := ft.Stats(); fs.Dropped+fs.Delayed+fs.Duplicated > 0 {
+			fmt.Printf("faults: %d sent, %d dropped, %d delayed, %d duplicated (seed %d)\n",
+				fs.Sent, fs.Dropped, fs.Delayed, fs.Duplicated, cfg.fault.Seed)
+		}
 	}
 	return nil
 }

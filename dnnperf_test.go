@@ -27,7 +27,7 @@ func TestFacadeGPU(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 26 {
+	if len(ids) != 27 {
 		t.Fatalf("%d experiments", len(ids))
 	}
 	if len(Experiments()) != len(ids) {

@@ -104,6 +104,7 @@ type Engine struct {
 	submitted []*pendingTensor          // ready, not yet negotiated
 	inFlight  map[string]*pendingTensor // negotiated name -> tensor
 	shutdown  bool
+	termErr   error // transport failure that killed the loop, latched
 	stats     Stats
 
 	// Response cache: stable tensor names get small ids after their first
@@ -144,6 +145,12 @@ func (e *Engine) AllreduceAsync(name string, data []float32, done func(error)) e
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.shutdown {
+		if e.termErr != nil {
+			// The background loop died on a transport failure: surface the
+			// typed cause (errors.As finds the mpi.PeerError) instead of
+			// queueing a tensor that could never be negotiated.
+			return fmt.Errorf("horovod: engine stopped: %w", e.termErr)
+		}
 		return fmt.Errorf("horovod: engine is shut down")
 	}
 	if _, dup := e.inFlight[name]; dup {
@@ -178,7 +185,8 @@ func (e *Engine) Stats() Stats {
 // Shutdown signals the engine to stop once all ranks have also called
 // Shutdown and all negotiated work is drained, then waits for the loop to
 // exit. Tensors still queued locally but never globally negotiated fail
-// with an error.
+// with an error. If the loop already died on a transport failure, Shutdown
+// returns that failure (errors.As recovers the mpi.PeerError).
 func (e *Engine) Shutdown() error {
 	e.mu.Lock()
 	e.shutdown = true
@@ -216,15 +224,35 @@ func (e *Engine) loop() {
 			}
 		}
 		if halt {
-			e.fail(errors.New("horovod: engine shut down before tensor was negotiated"))
+			e.drain(errors.New("horovod: engine shut down before tensor was negotiated"))
 			return
 		}
 	}
 }
 
-// fail completes all remaining tensors with err (nil loopErr if none were
-// pending and err is the clean-shutdown sentinel).
+// fail terminates the engine after a transport or negotiation failure:
+// every pending tensor completes with err (so blocked Allreduce callers
+// return it instead of stalling), future submissions are rejected with the
+// same cause, and Shutdown reports it.
 func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.shutdown = true
+	e.termErr = err
+	e.loopErr = err
+	for _, p := range e.inFlight {
+		p.done(err)
+	}
+	for _, p := range e.submitted {
+		p.done(err)
+	}
+	e.inFlight = map[string]*pendingTensor{}
+	e.submitted = nil
+}
+
+// drain is the clean-shutdown path: tensors submitted locally but never
+// globally negotiated complete with err (nil loopErr if none were pending).
+func (e *Engine) drain(err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	pend := 0

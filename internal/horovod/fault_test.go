@@ -1,0 +1,142 @@
+package horovod
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnperf/internal/mpi"
+)
+
+// TestEnginePropagatesPeerFailure pins the tentpole behavior at the engine
+// layer: a partitioned peer makes the background loop fail with a typed
+// transport error, which (a) completes every blocked Allreduce caller with
+// that error instead of stalling the negotiation cycle, and (b) rejects
+// later submissions immediately with the same cause.
+func TestEnginePropagatesPeerFailure(t *testing.T) {
+	const n = 2
+	w, err := mpi.NewWorldOpts(n, mpi.WorldOptions{RecvTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]*mpi.Comm, n)
+	faults := make([]*mpi.FaultTransport, n)
+	for r := 0; r < n; r++ {
+		faults[r] = mpi.NewFaultTransport(w.Comm(r).Endpoint(), mpi.FaultConfig{})
+		comms[r] = mpi.NewComm(faults[r])
+	}
+	faults[0].Partition(1) // negotiation broadcast 0->1 goes dark
+
+	errs := make([]error, n)
+	engines := make([]*Engine, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			engines[r] = NewEngine(comms[r], Config{CycleTime: 500 * time.Microsecond})
+			errs[r] = engines[r].Allreduce("g", []float32{1, 2})
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Allreduce callers stalled on a partitioned peer")
+	}
+
+	typed := 0
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: allreduce across a partition must fail", r)
+		}
+		if _, ok := mpi.AsPeerError(err); ok {
+			typed++
+		}
+	}
+	if typed == 0 {
+		t.Fatalf("no rank surfaced a typed PeerError: %v", errs)
+	}
+
+	// The engine is dead; a new submission must fail fast with the latched
+	// transport cause, not queue forever.
+	for r, e := range engines {
+		start := time.Now()
+		err := e.AllreduceAsync("late", []float32{1}, func(error) {})
+		if err == nil {
+			t.Fatalf("rank %d: submission after transport failure must be rejected", r)
+		}
+		if time.Since(start) > time.Second {
+			t.Fatalf("rank %d: post-failure submission blocked", r)
+		}
+		if serr := e.Shutdown(); serr == nil {
+			t.Fatalf("rank %d: Shutdown after transport failure must report it", r)
+		}
+	}
+}
+
+// TestEngineKilledRankOverTCP runs the full production path: three engines
+// over real sockets, one rank's transport killed abruptly. Survivors'
+// Allreduce calls resolve to typed errors within the transport deadline.
+func TestEngineKilledRankOverTCP(t *testing.T) {
+	comms, err := mpi.StartLocalTCPJobOpts(3, mpi.TCPOptions{
+		RecvTimeout:  400 * time.Millisecond,
+		DrainTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+
+	engines := make([]*Engine, 3)
+	for r := range engines {
+		engines[r] = NewEngine(comms[r], Config{CycleTime: time.Millisecond, Average: true})
+	}
+
+	// One clean step proves the job is healthy.
+	warm := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			warm[r] = engines[r].Allreduce("warm", []float32{1})
+		}(r)
+	}
+	wg.Wait()
+	if err := errors.Join(warm...); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	// Kill rank 2's transport; ranks 0 and 1 try another step.
+	comms[2].Abort()
+	res := make(chan error, 2)
+	for _, r := range []int{0, 1} {
+		go func(r int) {
+			res <- engines[r].Allreduce("step2", []float32{float32(r)})
+		}(r)
+	}
+	watchdog := time.After(10 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-res:
+			if err == nil {
+				t.Fatal("allreduce with a killed rank must fail")
+			}
+			if _, ok := mpi.AsPeerError(err); !ok {
+				t.Fatalf("want typed PeerError from survivor, got %v", err)
+			}
+		case <-watchdog:
+			t.Fatal("surviving engines hung after rank kill")
+		}
+	}
+	for _, r := range []int{0, 1} {
+		engines[r].Shutdown() // loop already dead; must not hang
+	}
+}

@@ -2,8 +2,24 @@ package mpi
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
+
+// joinSendErr attaches an already-completed concurrent send's failure to a
+// recv failure, so the typed *PeerError survives whichever side saw the
+// dead peer first. It never blocks: a still-running send is left to finish
+// against its own write deadline.
+func joinSendErr(recvErr error, sendErrCh <-chan error) error {
+	select {
+	case sendErr := <-sendErrCh:
+		if sendErr != nil {
+			return errors.Join(recvErr, sendErr)
+		}
+	default:
+	}
+	return recvErr
+}
 
 // ReduceOp combines two float32 values element-wise during reductions.
 type ReduceOp func(a, b float32) float32
@@ -39,7 +55,7 @@ func (c *Comm) Barrier() error {
 		errCh := make(chan error, 1)
 		go func() { errCh <- c.ep.Send(to, tag, nil) }()
 		if _, err := c.ep.Recv(from, tag); err != nil {
-			return fmt.Errorf("barrier round %d: %w", round, err)
+			return fmt.Errorf("barrier round %d: %w", round, joinSendErr(err, errCh))
 		}
 		if err := <-errCh; err != nil {
 			return fmt.Errorf("barrier round %d: %w", round, err)
@@ -139,7 +155,7 @@ func (c *Comm) AllreduceRing(buf []float32, op ReduceOp) error {
 		go func() { errCh <- c.ep.Send(right, tag, out) }()
 		in, err := c.RecvFloats(left, tag)
 		if err != nil {
-			return err
+			return joinSendErr(err, errCh)
 		}
 		if len(in) != rHi-rLo {
 			return fmt.Errorf("ring allreduce: got %d elems, want %d", len(in), rHi-rLo)
@@ -190,7 +206,7 @@ func (c *Comm) AllreduceRecursiveDoubling(buf []float32, op ReduceOp) error {
 		go func() { errCh <- c.ep.Send(peer, tag, out) }()
 		in, err := c.RecvFloats(peer, tag)
 		if err != nil {
-			return fmt.Errorf("recursive doubling round %d: %w", round, err)
+			return fmt.Errorf("recursive doubling round %d: %w", round, joinSendErr(err, errCh))
 		}
 		if len(in) != len(buf) {
 			return fmt.Errorf("recursive doubling: length mismatch %d vs %d", len(in), len(buf))

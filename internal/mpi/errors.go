@@ -1,0 +1,60 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op names the transport operation a PeerError was raised by.
+type Op string
+
+// Transport operations that can fail against a specific peer.
+const (
+	OpSend       Op = "send"
+	OpRecv       Op = "recv"
+	OpDial       Op = "dial"
+	OpAccept     Op = "accept"
+	OpRendezvous Op = "rendezvous"
+	OpClose      Op = "close"
+)
+
+// Sentinel causes for PeerError, matchable with errors.Is.
+var (
+	// ErrTimeout reports that a transport deadline expired before the peer
+	// responded — a dead or partitioned peer, not a protocol error.
+	ErrTimeout = errors.New("deadline exceeded")
+	// ErrPeerClosed reports that the peer tore its endpoint down gracefully
+	// (it sent the goodbye frame before disconnecting).
+	ErrPeerClosed = errors.New("peer closed the connection")
+	// ErrClosed reports that the local endpoint was closed or aborted.
+	ErrClosed = errors.New("endpoint closed")
+)
+
+// PeerError is the typed failure every blocking transport operation resolves
+// to when a peer is dead, slow, or unreachable: which rank, which operation,
+// and the underlying cause. Collectives wrap it with phase context, so use
+// errors.As to recover it at any layer (including above the Horovod engine).
+type PeerError struct {
+	Rank int   // the peer rank the operation was against
+	Op   Op    // the transport operation that failed
+	Err  error // underlying cause (ErrTimeout, ErrPeerClosed, a socket error, ...)
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("mpi: %s rank %d: %v", e.Op, e.Rank, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the failure was a deadline expiry rather than an
+// explicit disconnect or protocol error.
+func (e *PeerError) Timeout() bool { return errors.Is(e.Err, ErrTimeout) }
+
+// AsPeerError unwraps err down to the transport-level PeerError, if any.
+func AsPeerError(err error) (*PeerError, bool) {
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}

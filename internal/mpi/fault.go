@@ -1,0 +1,162 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultConfig configures deterministic fault injection on a FaultTransport.
+// Probabilities are per Send; the random stream is seeded from Seed and the
+// wrapped endpoint's rank, so a job-wide seed yields decorrelated but fully
+// reproducible per-rank fault sequences.
+type FaultConfig struct {
+	// Seed is the base seed for the per-rank random stream.
+	Seed int64
+	// DropProb is the probability a Send is silently discarded. The
+	// receiver never sees the frame, so its Recv deadline converts the
+	// drop into a typed ErrTimeout PeerError.
+	DropProb float64
+	// DelayProb is the probability a Send sleeps Delay before delivering,
+	// modeling a slow link or a straggling peer.
+	DelayProb float64
+	// Delay is the injected latency for delayed sends.
+	Delay time.Duration
+	// DupProb is the probability a Send is delivered twice. Duplicates are
+	// absorbed by the receiver's out-of-tag queue within one collective;
+	// across collectives that reuse tags they model real wire corruption.
+	DupProb float64
+}
+
+// FaultStats counts injected faults (cumulative).
+type FaultStats struct {
+	Sent       int64 // Sends that reached the inner transport at least once
+	Dropped    int64 // Sends discarded by DropProb
+	Delayed    int64 // Sends delayed by DelayProb
+	Duplicated int64 // Sends delivered twice by DupProb
+	Blocked    int64 // Sends discarded by an active partition
+}
+
+// FaultTransport wraps an Endpoint with seeded, per-rank fault injection:
+// probabilistic drop/delay/duplicate plus explicit rank-pair partitions. It
+// is how tests and the cmd/mpirun demo exercise the failure paths the
+// robustness layer exists for, without real network faults.
+type FaultTransport struct {
+	inner Endpoint
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	blocked map[int]bool
+	stats   FaultStats
+}
+
+// NewFaultTransport wraps inner with the given fault configuration.
+func NewFaultTransport(inner Endpoint, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{
+		inner:   inner,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed*1000003 + int64(inner.Rank()))),
+		blocked: make(map[int]bool),
+	}
+}
+
+// Partition severs this rank's link toward peer: every Send to peer is
+// silently discarded until Heal, so the peer observes the partition as a
+// Recv deadline expiry (a typed ErrTimeout PeerError), exactly like a
+// network partition. Call it on both sides' transports for a full cut.
+func (f *FaultTransport) Partition(peer int) {
+	f.mu.Lock()
+	f.blocked[peer] = true
+	f.mu.Unlock()
+}
+
+// Heal restores the link toward peer.
+func (f *FaultTransport) Heal(peer int) {
+	f.mu.Lock()
+	delete(f.blocked, peer)
+	f.mu.Unlock()
+}
+
+// Stats returns a snapshot of the fault counters.
+func (f *FaultTransport) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Rank returns the wrapped endpoint's rank.
+func (f *FaultTransport) Rank() int { return f.inner.Rank() }
+
+// Size returns the wrapped endpoint's job size.
+func (f *FaultTransport) Size() int { return f.inner.Size() }
+
+// Send delivers payload through the inner transport, subject to the
+// configured faults. Fault decisions are drawn under the lock so the
+// sequence is deterministic even with concurrent senders.
+func (f *FaultTransport) Send(to int, tag uint32, payload []byte) error {
+	f.mu.Lock()
+	if f.blocked[to] {
+		f.stats.Blocked++
+		f.mu.Unlock()
+		return nil
+	}
+	var drop, delay, dup bool
+	if f.cfg.DropProb > 0 {
+		drop = f.rng.Float64() < f.cfg.DropProb
+	}
+	if !drop && f.cfg.DelayProb > 0 && f.cfg.Delay > 0 {
+		delay = f.rng.Float64() < f.cfg.DelayProb
+	}
+	if !drop && f.cfg.DupProb > 0 {
+		dup = f.rng.Float64() < f.cfg.DupProb
+	}
+	switch {
+	case drop:
+		f.stats.Dropped++
+	default:
+		f.stats.Sent++
+		if delay {
+			f.stats.Delayed++
+		}
+		if dup {
+			f.stats.Duplicated++
+		}
+	}
+	f.mu.Unlock()
+
+	if drop {
+		return nil
+	}
+	if delay {
+		time.Sleep(f.cfg.Delay)
+	}
+	if err := f.inner.Send(to, tag, payload); err != nil {
+		return err
+	}
+	if dup {
+		if err := f.inner.Send(to, tag, payload); err != nil {
+			return fmt.Errorf("mpi: fault duplicate: %w", err)
+		}
+	}
+	return nil
+}
+
+// Recv passes through: faults are injected on the send side only.
+func (f *FaultTransport) Recv(from int, tag uint32) ([]byte, error) {
+	return f.inner.Recv(from, tag)
+}
+
+// Close closes the inner endpoint.
+func (f *FaultTransport) Close() error { return f.inner.Close() }
+
+// Abort forwards an abrupt teardown to the inner endpoint if it supports
+// one, else falls back to Close.
+func (f *FaultTransport) Abort() {
+	if a, ok := f.inner.(interface{ Abort() }); ok {
+		a.Abort()
+		return
+	}
+	f.inner.Close()
+}

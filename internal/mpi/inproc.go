@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // inprocMsg is one queued message.
@@ -12,22 +13,34 @@ type inprocMsg struct {
 	payload []byte
 }
 
+// WorldOptions configures the in-process transport.
+type WorldOptions struct {
+	// RecvTimeout bounds each Recv; an expiry yields a typed *PeerError
+	// with ErrTimeout, matching the TCP transport. Zero (the default)
+	// blocks forever, preserving the seed behavior.
+	RecvTimeout time.Duration
+}
+
 // World is an in-process MPI job: n ranks connected through buffered
 // channels. It models the paper's multi-process (MP) single-node
 // configuration without OS processes, which lets tests run hundreds of
 // "ranks" cheaply.
 type World struct {
 	n     int
+	opts  WorldOptions
 	boxes [][]chan inprocMsg // boxes[to][from]
 	once  []sync.Once
 }
 
-// NewWorld creates an n-rank in-process job.
-func NewWorld(n int) (*World, error) {
+// NewWorld creates an n-rank in-process job with default options.
+func NewWorld(n int) (*World, error) { return NewWorldOpts(n, WorldOptions{}) }
+
+// NewWorldOpts creates an n-rank in-process job with explicit options.
+func NewWorldOpts(n int, opts WorldOptions) (*World, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("mpi: world size %d < 1", n)
 	}
-	w := &World{n: n, boxes: make([][]chan inprocMsg, n), once: make([]sync.Once, n)}
+	w := &World{n: n, opts: opts, boxes: make([][]chan inprocMsg, n), once: make([]sync.Once, n)}
 	for to := 0; to < n; to++ {
 		w.boxes[to] = make([]chan inprocMsg, n)
 		for from := 0; from < n; from++ {
@@ -45,7 +58,7 @@ func (w *World) Comm(r int) *Comm {
 	if r < 0 || r >= w.n {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.n))
 	}
-	return NewComm(&inprocEndpoint{w: w, rank: r})
+	return NewComm(&inprocEndpoint{w: w, rank: r, pending: make(map[int][]inprocMsg)})
 }
 
 // Run spawns fn for every rank on its own goroutine and waits for all to
@@ -65,10 +78,11 @@ func (w *World) Run(fn func(c *Comm) error) error {
 }
 
 type inprocEndpoint struct {
-	w      *World
-	rank   int
-	closed bool
-	mu     sync.Mutex
+	w       *World
+	rank    int
+	closed  bool
+	mu      sync.Mutex
+	pending map[int][]inprocMsg // from -> out-of-tag frames awaiting a match
 }
 
 func (e *inprocEndpoint) Rank() int { return e.rank }
@@ -84,18 +98,46 @@ func (e *inprocEndpoint) Send(to int, tag uint32, payload []byte) error {
 	return nil
 }
 
+// Recv returns the next message from the peer carrying tag. Messages with
+// other tags are queued for their own Recv instead of being dropped; an
+// expired RecvTimeout yields a typed *PeerError, matching the TCP
+// transport's semantics.
 func (e *inprocEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 	if err := e.check(from); err != nil {
 		return nil, err
 	}
-	m, ok := <-e.w.boxes[e.rank][from]
-	if !ok {
-		return nil, fmt.Errorf("mpi: rank %d mailbox from %d closed", e.rank, from)
+	e.mu.Lock()
+	for i, m := range e.pending[from] {
+		if m.tag == tag {
+			q := e.pending[from]
+			e.pending[from] = append(q[:i:i], q[i+1:]...)
+			e.mu.Unlock()
+			return m.payload, nil
+		}
 	}
-	if m.tag != tag {
-		return nil, fmt.Errorf("mpi: rank %d expected tag %#x from %d, got %#x", e.rank, tag, from, m.tag)
+	e.mu.Unlock()
+	var timeout <-chan time.Time
+	if d := e.w.opts.RecvTimeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
 	}
-	return m.payload, nil
+	for {
+		select {
+		case m, ok := <-e.w.boxes[e.rank][from]:
+			if !ok {
+				return nil, fmt.Errorf("mpi: rank %d mailbox from %d closed", e.rank, from)
+			}
+			if m.tag == tag {
+				return m.payload, nil
+			}
+			e.mu.Lock()
+			e.pending[from] = append(e.pending[from], m)
+			e.mu.Unlock()
+		case <-timeout:
+			return nil, &PeerError{Rank: from, Op: OpRecv, Err: ErrTimeout}
+		}
+	}
 }
 
 func (e *inprocEndpoint) check(peer int) error {

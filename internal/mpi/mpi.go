@@ -46,8 +46,24 @@ func (c *Comm) Rank() int { return c.ep.Rank() }
 // Size returns the job size.
 func (c *Comm) Size() int { return c.ep.Size() }
 
-// Close closes the underlying endpoint.
+// Close closes the underlying endpoint. Transports with a graceful
+// teardown (TCP) send a goodbye frame and drain in-flight traffic first.
 func (c *Comm) Close() error { return c.ep.Close() }
+
+// Endpoint returns the underlying transport endpoint, e.g. to wrap it in a
+// FaultTransport.
+func (c *Comm) Endpoint() Endpoint { return c.ep }
+
+// Abort tears the transport down abruptly, skipping any goodbye handshake —
+// the MPI_Abort analogue, used to model a crashed rank in failure-path
+// tests and demos. Endpoints without a distinct abrupt path just Close.
+func (c *Comm) Abort() {
+	if a, ok := c.ep.(interface{ Abort() }); ok {
+		a.Abort()
+		return
+	}
+	c.ep.Close()
+}
 
 // Send delivers raw bytes to a peer.
 func (c *Comm) Send(to int, tag uint32, payload []byte) error { return c.ep.Send(to, tag, payload) }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestWorldSizeValidation(t *testing.T) {
@@ -37,14 +38,24 @@ func TestInprocSendRecv(t *testing.T) {
 }
 
 func TestInprocTagMismatch(t *testing.T) {
-	w, _ := NewWorld(2)
+	// A frame with the wrong tag must never be delivered to the waiting
+	// Recv: it is queued for its own tag and the Recv's deadline expires
+	// with a typed timeout.
+	w, _ := NewWorldOpts(2, WorldOptions{RecvTimeout: 50 * time.Millisecond})
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
 			return c.Send(1, 1, []byte{0})
 		}
 		_, err := c.Recv(0, 2)
-		if err == nil {
-			return fmt.Errorf("expected tag mismatch error")
+		pe, ok := AsPeerError(err)
+		if !ok || !pe.Timeout() || pe.Rank != 0 {
+			return fmt.Errorf("expected typed timeout waiting for missing tag, got %v", err)
+		}
+		// The mismatched frame was queued, not dropped: its own tag
+		// still receives it.
+		b, err := c.Recv(0, 1)
+		if err != nil || len(b) != 1 {
+			return fmt.Errorf("queued frame lost: %v %v", b, err)
 		}
 		return nil
 	})

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,30 +15,145 @@ import (
 // rank registers its own listener address, receives the full table, and the
 // job then builds a full mesh (rank i dials every j < i; j accepts and
 // learns i from a hello frame).
+//
+// Every blocking operation carries a deadline (see TCPOptions), so a dead
+// or partitioned peer resolves to a typed *PeerError instead of a hang, and
+// teardown is a goodbye handshake plus a bounded drain so Close during
+// in-flight traffic does not race the sockets out from under writers.
 
 const (
 	tcpHelloTag   = 0xfffffffe
-	tcpDialWindow = 10 * time.Second
+	tcpGoodbyeTag = 0xfffffffd
 )
+
+// Default deadlines for the TCP transport. Zero fields in TCPOptions take
+// these values; negative fields disable the deadline entirely.
+const (
+	// DefaultRendezvousTimeout bounds each bootstrap phase (rendezvous and
+	// mesh construction): a rank that never shows up yields a PeerError
+	// naming it instead of an eternal Accept.
+	DefaultRendezvousTimeout = 10 * time.Second
+	// DefaultRecvTimeout bounds each Recv once the mesh is up. It is far
+	// above any legitimate inter-step gap on a healthy job.
+	DefaultRecvTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds each frame write, so a peer that stopped
+	// reading cannot wedge senders behind full socket buffers.
+	DefaultWriteTimeout = 10 * time.Second
+	// DefaultDrainTimeout bounds how long Close waits for peer goodbyes
+	// before dropping the sockets.
+	DefaultDrainTimeout = 150 * time.Millisecond
+	// DefaultDialBackoff is the retry interval while a peer's listener is
+	// not up yet during bootstrap.
+	DefaultDialBackoff = 20 * time.Millisecond
+)
+
+// TCPOptions configures the transport's deadlines and bootstrap. The zero
+// value means defaults everywhere; negative durations disable that deadline.
+type TCPOptions struct {
+	// RendezvousTimeout bounds each bootstrap phase (rendezvous, mesh).
+	RendezvousTimeout time.Duration
+	// RecvTimeout bounds each post-bootstrap Recv.
+	RecvTimeout time.Duration
+	// WriteTimeout bounds each frame write.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Close's wait for peer goodbyes.
+	DrainTimeout time.Duration
+	// DialBackoff is the bootstrap dial retry interval.
+	DialBackoff time.Duration
+	// Listener, when set, is adopted as this rank's listener instead of
+	// binding bindAddr (rootAddr for rank 0). The endpoint takes ownership
+	// and closes it. StartLocalTCPJob uses this to hand rank 0 the live
+	// rendezvous listener, eliminating the close-then-rebind port race.
+	Listener net.Listener
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d == 0 {
+			*d = v
+		}
+	}
+	def(&o.RendezvousTimeout, DefaultRendezvousTimeout)
+	def(&o.RecvTimeout, DefaultRecvTimeout)
+	def(&o.WriteTimeout, DefaultWriteTimeout)
+	def(&o.DrainTimeout, DefaultDrainTimeout)
+	def(&o.DialBackoff, DefaultDialBackoff)
+	return o
+}
+
+// peerState is the per-peer failure latch plus the queue of frames that
+// arrived with a tag no Recv has asked for yet.
+type peerState struct {
+	mu      sync.Mutex
+	err     error       // first failure against this peer, latched forever
+	pending []inprocMsg // out-of-tag frames awaiting a matching Recv
+}
+
+// latch records the first failure; later failures are ignored so every
+// subsequent Send/Recv reports the original cause.
+func (ps *peerState) latch(err error) {
+	ps.mu.Lock()
+	if ps.err == nil {
+		ps.err = err
+	}
+	ps.mu.Unlock()
+}
+
+func (ps *peerState) latched() error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.err
+}
+
+// takePending removes and returns the first queued frame with tag, if any.
+func (ps *peerState) takePending(tag uint32) ([]byte, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for i, m := range ps.pending {
+		if m.tag == tag {
+			ps.pending = append(ps.pending[:i:i], ps.pending[i+1:]...)
+			return m.payload, true
+		}
+	}
+	return nil, false
+}
+
+func (ps *peerState) queue(m inprocMsg) {
+	ps.mu.Lock()
+	ps.pending = append(ps.pending, m)
+	ps.mu.Unlock()
+}
 
 type tcpEndpoint struct {
 	rank, size int
+	opts       TCPOptions
 	conns      []*tcpConn // indexed by peer rank; nil at self
 	boxes      []chan inprocMsg
-	errs       []chan error
+	peers      []*peerState
 	listener   net.Listener
+	readWG     sync.WaitGroup
+	closed     atomic.Bool
 	closeOnce  sync.Once
 	closeErr   error
 }
 
 type tcpConn struct {
-	c  net.Conn
-	mu sync.Mutex // serializes writes
+	c            net.Conn
+	mu           sync.Mutex // serializes writes
+	writeTimeout time.Duration
 }
 
 func (tc *tcpConn) writeFrame(tag uint32, payload []byte) error {
+	return tc.writeFrameDeadline(tag, payload, tc.writeTimeout)
+}
+
+func (tc *tcpConn) writeFrameDeadline(tag uint32, payload []byte, d time.Duration) error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	if d > 0 {
+		tc.c.SetWriteDeadline(time.Now().Add(d))
+		defer tc.c.SetWriteDeadline(time.Time{})
+	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], tag)
@@ -46,6 +162,14 @@ func (tc *tcpConn) writeFrame(tag uint32, payload []byte) error {
 	}
 	_, err := tc.c.Write(payload)
 	return err
+}
+
+// close drops the socket, taking the write lock first so an in-flight
+// writeFrame finishes its frame before the connection goes away.
+func (tc *tcpConn) close() {
+	tc.mu.Lock()
+	tc.c.Close()
+	tc.mu.Unlock()
 }
 
 // maxFrameBytes bounds a single TCP frame (1 GiB): larger lengths indicate
@@ -69,41 +193,56 @@ func readFrame(c net.Conn) (uint32, []byte, error) {
 	return tag, payload, nil
 }
 
-// DialTCP joins a size-rank TCP job as the given rank. rootAddr is the
-// rendezvous address rank 0 listens on; bindAddr is this rank's listen
-// address pattern (use "127.0.0.1:0" to pick a free port).
+// DialTCP joins a size-rank TCP job as the given rank with default options.
+// rootAddr is the rendezvous address rank 0 listens on; bindAddr is this
+// rank's listen address pattern (use "127.0.0.1:0" to pick a free port).
 func DialTCP(rank, size int, rootAddr, bindAddr string) (*Comm, error) {
+	return DialTCPOpts(rank, size, rootAddr, bindAddr, TCPOptions{})
+}
+
+// DialTCPOpts is DialTCP with explicit deadline and bootstrap options.
+func DialTCPOpts(rank, size int, rootAddr, bindAddr string, opts TCPOptions) (*Comm, error) {
 	if size < 1 || rank < 0 || rank >= size {
+		if opts.Listener != nil {
+			opts.Listener.Close()
+		}
 		return nil, fmt.Errorf("mpi: invalid rank %d of %d", rank, size)
 	}
+	opts = opts.withDefaults()
 	ep := &tcpEndpoint{
 		rank:  rank,
 		size:  size,
+		opts:  opts,
 		conns: make([]*tcpConn, size),
 		boxes: make([]chan inprocMsg, size),
-		errs:  make([]chan error, size),
+		peers: make([]*peerState, size),
 	}
 	for i := range ep.boxes {
 		ep.boxes[i] = make(chan inprocMsg, 1024)
-		ep.errs[i] = make(chan error, 1)
+		ep.peers[i] = &peerState{}
 	}
 	if size == 1 {
+		if opts.Listener != nil {
+			opts.Listener.Close()
+		}
 		return NewComm(ep), nil
 	}
 
-	var ln net.Listener
-	var err error
-	if rank == 0 {
-		ln, err = net.Listen("tcp", rootAddr)
-	} else {
-		ln, err = net.Listen("tcp", bindAddr)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("mpi: listen: %w", err)
+	ln := opts.Listener
+	if ln == nil {
+		var err error
+		addr := bindAddr
+		if rank == 0 {
+			addr = rootAddr
+		}
+		ln, err = listenRetry(addr, rank == 0, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: listen: %w", err)
+		}
 	}
 	ep.listener = ln
 
-	table, err := rendezvous(rank, size, rootAddr, ln)
+	table, err := rendezvous(rank, size, rootAddr, ln, opts)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -114,29 +253,80 @@ func DialTCP(rank, size int, rootAddr, bindAddr string) (*Comm, error) {
 	}
 	for peer, tc := range ep.conns {
 		if tc != nil {
+			ep.readWG.Add(1)
 			go ep.readLoop(peer, tc)
 		}
 	}
 	return NewComm(ep), nil
 }
 
+// listenRetry binds addr. For rank 0 (retry set) it retries a busy address
+// until RendezvousTimeout: a launcher that reserved the rendezvous port can
+// keep holding it until every worker is spawned, and rank 0 binds the
+// moment it is released instead of racing the close.
+func listenRetry(addr string, retry bool, opts TCPOptions) (net.Listener, error) {
+	var deadline time.Time
+	if retry && opts.RendezvousTimeout > 0 {
+		deadline = time.Now().Add(opts.RendezvousTimeout)
+	}
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil || !retry || (!deadline.IsZero() && time.Now().After(deadline)) {
+			return ln, err
+		}
+		time.Sleep(opts.DialBackoff)
+	}
+}
+
+// setListenerDeadline applies an accept deadline if the listener supports
+// one (net.TCPListener does).
+func setListenerDeadline(ln net.Listener, t time.Time) {
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(t)
+	}
+}
+
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
 // rendezvous exchanges listener addresses through rank 0 and returns the
-// full table.
-func rendezvous(rank, size int, rootAddr string, ln net.Listener) ([]string, error) {
+// full table. Every blocking step is bounded by opts.RendezvousTimeout.
+func rendezvous(rank, size int, rootAddr string, ln net.Listener, opts TCPOptions) ([]string, error) {
+	var deadline time.Time
+	if opts.RendezvousTimeout > 0 {
+		deadline = time.Now().Add(opts.RendezvousTimeout)
+	}
 	table := make([]string, size)
 	if rank == 0 {
 		table[0] = ln.Addr().String()
+		setListenerDeadline(ln, deadline)
+		defer setListenerDeadline(ln, time.Time{})
 		regs := make([]net.Conn, 0, size-1)
+		defer func() {
+			for _, c := range regs {
+				c.Close()
+			}
+		}()
 		for i := 1; i < size; i++ {
 			c, err := ln.Accept()
 			if err != nil {
+				if isTimeout(err) {
+					return nil, &PeerError{Rank: firstMissing(table), Op: OpRendezvous, Err: ErrTimeout}
+				}
 				return nil, fmt.Errorf("mpi: rendezvous accept: %w", err)
 			}
+			c.SetReadDeadline(deadline)
 			tag, payload, err := readFrame(c)
 			if err != nil || tag != tcpHelloTag || len(payload) < 4 {
 				c.Close()
+				if err != nil && isTimeout(err) {
+					return nil, &PeerError{Rank: firstMissing(table), Op: OpRendezvous, Err: ErrTimeout}
+				}
 				return nil, fmt.Errorf("mpi: bad registration (tag %#x): %v", tag, err)
 			}
+			c.SetReadDeadline(time.Time{})
 			r := int(binary.LittleEndian.Uint32(payload))
 			if r < 1 || r >= size || table[r] != "" {
 				c.Close()
@@ -147,11 +337,10 @@ func rendezvous(rank, size int, rootAddr string, ln net.Listener) ([]string, err
 		}
 		packed := packParts(stringsToBytes(table))
 		for _, c := range regs {
-			tc := &tcpConn{c: c}
+			tc := &tcpConn{c: c, writeTimeout: opts.WriteTimeout}
 			if err := tc.writeFrame(tcpHelloTag, packed); err != nil {
 				return nil, fmt.Errorf("mpi: rendezvous reply: %w", err)
 			}
-			c.Close()
 		}
 		return table, nil
 	}
@@ -159,27 +348,30 @@ func rendezvous(rank, size int, rootAddr string, ln net.Listener) ([]string, err
 	// Non-root: register with retries (root may not be up yet).
 	var conn net.Conn
 	var err error
-	deadline := time.Now().Add(tcpDialWindow)
 	for {
 		conn, err = net.Dial("tcp", rootAddr)
 		if err == nil {
 			break
 		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("mpi: rendezvous dial %s: %w", rootAddr, err)
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, &PeerError{Rank: 0, Op: OpRendezvous, Err: fmt.Errorf("%w dialing %s: %v", ErrTimeout, rootAddr, err)}
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(opts.DialBackoff)
 	}
 	defer conn.Close()
 	payload := make([]byte, 4+len(ln.Addr().String()))
 	binary.LittleEndian.PutUint32(payload, uint32(rank))
 	copy(payload[4:], ln.Addr().String())
-	tc := &tcpConn{c: conn}
+	tc := &tcpConn{c: conn, writeTimeout: opts.WriteTimeout}
 	if err := tc.writeFrame(tcpHelloTag, payload); err != nil {
 		return nil, fmt.Errorf("mpi: register: %w", err)
 	}
+	conn.SetReadDeadline(deadline)
 	tag, packed, err := readFrame(conn)
 	if err != nil || tag != tcpHelloTag {
+		if err != nil && isTimeout(err) {
+			return nil, &PeerError{Rank: 0, Op: OpRendezvous, Err: ErrTimeout}
+		}
 		return nil, fmt.Errorf("mpi: rendezvous table (tag %#x): %v", tag, err)
 	}
 	parts, err := unpackParts(packed)
@@ -192,6 +384,17 @@ func rendezvous(rank, size int, rootAddr string, ln net.Listener) ([]string, err
 	return table, nil
 }
 
+// firstMissing names the lowest rank that has not registered yet — the peer
+// a rendezvous timeout is attributable to.
+func firstMissing(table []string) int {
+	for r := 1; r < len(table); r++ {
+		if table[r] == "" {
+			return r
+		}
+	}
+	return 0
+}
+
 func stringsToBytes(ss []string) [][]byte {
 	out := make([][]byte, len(ss))
 	for i, s := range ss {
@@ -200,8 +403,13 @@ func stringsToBytes(ss []string) [][]byte {
 	return out
 }
 
-// mesh dials every lower rank and accepts every higher rank.
+// mesh dials every lower rank and accepts every higher rank, all bounded by
+// the rendezvous deadline.
 func (ep *tcpEndpoint) mesh(table []string) error {
+	var deadline time.Time
+	if ep.opts.RendezvousTimeout > 0 {
+		deadline = time.Now().Add(ep.opts.RendezvousTimeout)
+	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -212,21 +420,43 @@ func (ep *tcpEndpoint) mesh(table []string) error {
 		}
 		mu.Unlock()
 	}
+	missingAccept := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		for peer := ep.rank + 1; peer < ep.size; peer++ {
+			if ep.conns[peer] == nil {
+				return peer
+			}
+		}
+		return ep.rank + 1
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		setListenerDeadline(ep.listener, deadline)
+		defer setListenerDeadline(ep.listener, time.Time{})
 		for accepted := 0; accepted < ep.size-1-ep.rank; accepted++ {
 			c, err := ep.listener.Accept()
 			if err != nil {
-				record(fmt.Errorf("mpi: mesh accept: %w", err))
+				if isTimeout(err) {
+					record(&PeerError{Rank: missingAccept(), Op: OpAccept, Err: ErrTimeout})
+				} else {
+					record(fmt.Errorf("mpi: mesh accept: %w", err))
+				}
 				return
 			}
+			c.SetReadDeadline(deadline)
 			tag, payload, err := readFrame(c)
 			if err != nil || tag != tcpHelloTag || len(payload) != 4 {
 				c.Close()
-				record(fmt.Errorf("mpi: mesh hello: %v", err))
+				if err != nil && isTimeout(err) {
+					record(&PeerError{Rank: missingAccept(), Op: OpAccept, Err: ErrTimeout})
+				} else {
+					record(fmt.Errorf("mpi: mesh hello: %v", err))
+				}
 				return
 			}
+			c.SetReadDeadline(time.Time{})
 			peer := int(binary.LittleEndian.Uint32(payload))
 			if peer <= ep.rank || peer >= ep.size {
 				c.Close()
@@ -234,7 +464,13 @@ func (ep *tcpEndpoint) mesh(table []string) error {
 				return
 			}
 			mu.Lock()
-			ep.conns[peer] = &tcpConn{c: c}
+			if ep.conns[peer] != nil {
+				mu.Unlock()
+				c.Close()
+				record(fmt.Errorf("mpi: duplicate mesh hello from rank %d", peer))
+				return
+			}
+			ep.conns[peer] = &tcpConn{c: c, writeTimeout: ep.opts.WriteTimeout}
 			mu.Unlock()
 		}
 	}()
@@ -244,23 +480,22 @@ func (ep *tcpEndpoint) mesh(table []string) error {
 			defer wg.Done()
 			var c net.Conn
 			var err error
-			deadline := time.Now().Add(tcpDialWindow)
 			for {
 				c, err = net.Dial("tcp", table[peer])
 				if err == nil {
 					break
 				}
-				if time.Now().After(deadline) {
-					record(fmt.Errorf("mpi: mesh dial rank %d: %w", peer, err))
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					record(&PeerError{Rank: peer, Op: OpDial, Err: fmt.Errorf("%w: %v", ErrTimeout, err)})
 					return
 				}
-				time.Sleep(20 * time.Millisecond)
+				time.Sleep(ep.opts.DialBackoff)
 			}
-			tc := &tcpConn{c: c}
+			tc := &tcpConn{c: c, writeTimeout: ep.opts.WriteTimeout}
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(ep.rank))
 			if err := tc.writeFrame(tcpHelloTag, hello[:]); err != nil {
-				record(fmt.Errorf("mpi: mesh hello to %d: %w", peer, err))
+				record(&PeerError{Rank: peer, Op: OpDial, Err: err})
 				return
 			}
 			mu.Lock()
@@ -272,14 +507,24 @@ func (ep *tcpEndpoint) mesh(table []string) error {
 	return firstErr
 }
 
+// readLoop pumps frames from one peer into its mailbox. It exits — latching
+// the peer's failure and closing the box — on goodbye, disconnect, or any
+// read error; buffered frames already in the box stay receivable.
 func (ep *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
+	defer ep.readWG.Done()
 	for {
 		tag, payload, err := readFrame(tc.c)
 		if err != nil {
-			select {
-			case ep.errs[peer] <- err:
-			default:
+			cause := err
+			if ep.closed.Load() {
+				cause = ErrClosed
 			}
+			ep.peers[peer].latch(&PeerError{Rank: peer, Op: OpRecv, Err: cause})
+			close(ep.boxes[peer])
+			return
+		}
+		if tag == tcpGoodbyeTag {
+			ep.peers[peer].latch(&PeerError{Rank: peer, Op: OpRecv, Err: ErrPeerClosed})
 			close(ep.boxes[peer])
 			return
 		}
@@ -294,36 +539,104 @@ func (ep *tcpEndpoint) Send(to int, tag uint32, payload []byte) error {
 	if to < 0 || to >= ep.size || to == ep.rank {
 		return fmt.Errorf("mpi: invalid send target %d", to)
 	}
+	if err := ep.peers[to].latched(); err != nil {
+		return err
+	}
 	tc := ep.conns[to]
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection to rank %d", to)
 	}
-	return tc.writeFrame(tag, payload)
+	if err := tc.writeFrame(tag, payload); err != nil {
+		cause := err
+		if isTimeout(err) {
+			cause = fmt.Errorf("%w: %v", ErrTimeout, err)
+		} else if ep.closed.Load() {
+			cause = ErrClosed
+		}
+		ep.peers[to].latch(&PeerError{Rank: to, Op: OpSend, Err: cause})
+		return ep.peers[to].latched()
+	}
+	return nil
 }
 
+// Recv returns the next frame from the peer carrying tag. Frames with other
+// tags are queued for their own Recv instead of being dropped; a dead peer
+// or an expired deadline yields a typed *PeerError. Concurrent Recvs from
+// the same peer are not supported (protocols are sequential per peer pair).
 func (ep *tcpEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 	if from < 0 || from >= ep.size || from == ep.rank {
 		return nil, fmt.Errorf("mpi: invalid recv source %d", from)
 	}
-	m, ok := <-ep.boxes[from]
-	if !ok {
-		err := <-ep.errs[from]
-		return nil, fmt.Errorf("mpi: connection to rank %d: %w", from, err)
+	ps := ep.peers[from]
+	if payload, ok := ps.takePending(tag); ok {
+		return payload, nil
 	}
-	if m.tag != tag {
-		return nil, fmt.Errorf("mpi: expected tag %#x from %d, got %#x", tag, from, m.tag)
+	var timeout <-chan time.Time
+	if d := ep.opts.RecvTimeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
 	}
-	return m.payload, nil
+	for {
+		select {
+		case m, ok := <-ep.boxes[from]:
+			if !ok {
+				return nil, ps.latched()
+			}
+			if m.tag == tag {
+				return m.payload, nil
+			}
+			ps.queue(m)
+		case <-timeout:
+			return nil, &PeerError{Rank: from, Op: OpRecv, Err: ErrTimeout}
+		}
+	}
 }
 
-func (ep *tcpEndpoint) Close() error {
+// Close tears the endpoint down gracefully: a goodbye frame to every live
+// peer, a bounded drain waiting for their goodbyes so in-flight frames are
+// consumed, then the sockets close (each behind its write lock, so a
+// concurrent writeFrame finishes first).
+func (ep *tcpEndpoint) Close() error { return ep.shutdown(true) }
+
+// Abort tears the endpoint down abruptly — no goodbye, no drain — modeling
+// a crashed rank: peers observe a reset connection.
+func (ep *tcpEndpoint) Abort() { ep.shutdown(false) }
+
+func (ep *tcpEndpoint) shutdown(graceful bool) error {
 	ep.closeOnce.Do(func() {
+		ep.closed.Store(true)
+		if graceful {
+			// Goodbye is best-effort with a short deadline: a wedged peer
+			// must not stall teardown.
+			d := ep.opts.DrainTimeout
+			if d <= 0 {
+				d = DefaultDrainTimeout
+			}
+			for peer, tc := range ep.conns {
+				if tc != nil && ep.peers[peer].latched() == nil {
+					tc.writeFrameDeadline(tcpGoodbyeTag, nil, d)
+				}
+			}
+			if ep.opts.DrainTimeout > 0 {
+				done := make(chan struct{})
+				go func() {
+					ep.readWG.Wait()
+					close(done)
+				}()
+				select {
+				case <-done:
+				case <-time.After(ep.opts.DrainTimeout):
+				}
+			}
+		}
 		if ep.listener != nil {
 			ep.closeErr = ep.listener.Close()
 		}
-		for _, tc := range ep.conns {
+		for peer, tc := range ep.conns {
 			if tc != nil {
-				tc.c.Close()
+				ep.peers[peer].latch(&PeerError{Rank: peer, Op: OpClose, Err: ErrClosed})
+				tc.close()
 			}
 		}
 	})
@@ -334,12 +647,18 @@ func (ep *tcpEndpoint) Close() error {
 // this process (each rank on its own goroutine during setup) and returns the
 // communicators indexed by rank. Used by tests and the quickstart tooling.
 func StartLocalTCPJob(n int) ([]*Comm, error) {
+	return StartLocalTCPJobOpts(n, TCPOptions{})
+}
+
+// StartLocalTCPJobOpts is StartLocalTCPJob with explicit transport options.
+// Rank 0 adopts the rendezvous listener directly (never releasing the
+// port), so concurrent jobs cannot race each other onto the same address.
+func StartLocalTCPJobOpts(n int, opts TCPOptions) ([]*Comm, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	rootAddr := ln.Addr().String()
-	ln.Close() // free the port for rank 0 to claim
 
 	comms := make([]*Comm, n)
 	errs := make([]error, n)
@@ -348,7 +667,11 @@ func StartLocalTCPJob(n int) ([]*Comm, error) {
 	for r := 0; r < n; r++ {
 		go func(r int) {
 			defer wg.Done()
-			comms[r], errs[r] = DialTCP(r, n, rootAddr, "127.0.0.1:0")
+			o := opts
+			if r == 0 {
+				o.Listener = ln // rank 0 serves rendezvous on the live listener
+			}
+			comms[r], errs[r] = DialTCPOpts(r, n, rootAddr, "127.0.0.1:0", o)
 		}(r)
 	}
 	wg.Wait()

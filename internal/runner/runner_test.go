@@ -33,6 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "insights", "ablations", "modelzoo", "pipeline",
+		"faulttol",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -238,5 +239,25 @@ func TestCellLookup(t *testing.T) {
 	}
 	if _, ok := tbl.Cell("r", 5); ok {
 		t.Fatal("out-of-range column must not resolve")
+	}
+}
+
+func TestFaultTolShape(t *testing.T) {
+	tbl := run(t, "faulttol")
+	// Healthy scenarios complete every attempted allreduce.
+	for _, name := range []string{"clean", "delay 50% x1ms", "duplicate 100%"} {
+		attempted, _ := tbl.Cell(name, 0)
+		completed, ok := tbl.Cell(name, 1)
+		if !ok || completed != attempted {
+			t.Fatalf("%s: completed %g of %g", name, completed, attempted)
+		}
+	}
+	// The partition completes nothing and every rank resolves to a typed
+	// PeerError instead of hanging.
+	if completed, _ := tbl.Cell("partition 0->1", 1); completed != 0 {
+		t.Fatalf("partition completed %g allreduces", completed)
+	}
+	if typed, _ := tbl.Cell("partition 0->1", 2); typed != 4 {
+		t.Fatalf("partition produced %g typed errors, want 4", typed)
 	}
 }
