@@ -6,7 +6,10 @@
 GO ?= go
 RACE_PKGS = ./internal/tensor/... ./internal/graph/... ./internal/horovod/... ./internal/train/...
 
-.PHONY: build test vet race bench ci
+FUZZ_PKGS = ./internal/mpi/ ./internal/horovod/ ./internal/train/
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race bench fuzz ci
 
 build:
 	$(GO) build ./...
@@ -24,5 +27,15 @@ race:
 # -benchmem). BENCHTIME=3s make bench for steadier numbers.
 bench:
 	scripts/bench.sh $(or $(BENCHTIME),1s)
+
+# fuzz runs every Fuzz target for FUZZTIME each — the same smoke CI runs.
+# Wire parsers and the checkpoint loader must never panic on hostile bytes.
+fuzz:
+	@for pkg in $(FUZZ_PKGS); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "fuzz $$pkg $$target"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done
 
 ci: build vet test race

@@ -10,11 +10,24 @@
 // one rank abort its transport mid-run — surviving ranks resolve to typed
 // mpi.PeerError values within the Recv deadline instead of hanging.
 //
+// With -elastic the workers run under the train.Supervisor: the leader
+// checkpoints every -ckpt_every steps into -ckpt_dir, and when -die_rank
+// kills a rank the survivors agree on the shrunk world, roll back to the
+// last checkpoint, and finish the full step budget without it.
+//
+// Worker exit codes distinguish the outcomes:
+//
+//	0 — clean run (full world, no recoveries)
+//	1 — unrecoverable failure
+//	2 — this rank was killed by -die_rank (the injected death, expected)
+//	3 — run completed after recovering from rank failure
+//
 // Usage:
 //
 //	mpirun -np 4 [-steps 10] [-batch_size 8] [-cycle_time_ms 3.5]
 //	       [-recv_timeout 30s] [-fault_seed 1] [-drop_prob 0] [-dup_prob 0]
 //	       [-delay_prob 0] [-delay 1ms] [-die_rank -1] [-die_step 2]
+//	       [-elastic] [-ckpt_every 2] [-ckpt_dir DIR]
 package main
 
 import (
@@ -34,6 +47,14 @@ import (
 	"dnnperf/internal/train"
 )
 
+// Process exit codes (also read by the launcher to classify the job).
+const (
+	exitClean         = 0
+	exitFailure       = 1
+	exitInjectedDeath = 2
+	exitRecovered     = 3
+)
+
 func main() {
 	var (
 		np    = flag.Int("np", 2, "number of ranks (worker processes)")
@@ -49,6 +70,10 @@ func main() {
 		delay       = flag.Duration("delay", time.Millisecond, "latency added to delayed frames")
 		dieRank     = flag.Int("die_rank", -1, "rank that aborts its transport mid-run (-1: none)")
 		dieStep     = flag.Int("die_step", 2, "training step after which -die_rank aborts")
+
+		elastic   = flag.Bool("elastic", false, "supervise training: checkpoint periodically and survive rank failure by shrinking")
+		ckptEvery = flag.Int("ckpt_every", 2, "elastic checkpoint period in steps")
+		ckptDir   = flag.String("ckpt_dir", "", "elastic checkpoint directory (default: a temp dir the launcher creates)")
 	)
 	flag.Parse()
 
@@ -58,28 +83,31 @@ func main() {
 			recvTimeout: *recvTimeout,
 			fault:       mpi.FaultConfig{Seed: *faultSeed, DropProb: *dropProb, DupProb: *dupProb, DelayProb: *delayProb, Delay: *delay},
 			dieRank:     *dieRank, dieStep: *dieStep,
+			elastic: *elastic, ckptEvery: *ckptEvery,
+			ckptDir: firstNonEmpty(os.Getenv("DNNPERF_CKPT_DIR"), *ckptDir),
 		}
-		if err := worker(rankStr, cfg); err != nil {
-			var pe *mpi.PeerError
-			if errors.As(err, &pe) {
-				fmt.Fprintf(os.Stderr, "mpirun worker %s: peer failure (rank %d, op %s): %v\n", rankStr, pe.Rank, pe.Op, err)
-			} else {
-				fmt.Fprintf(os.Stderr, "mpirun worker %s: %v\n", rankStr, err)
-			}
-			os.Exit(1)
-		}
-		return
+		os.Exit(worker(rankStr, cfg))
 	}
-	if err := launch(*np); err != nil {
+	code, err := launch(*np, *elastic, *ckptDir)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpirun:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-// launch spawns np copies of this binary as ranked workers.
-func launch(np int) error {
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// launch spawns np copies of this binary as ranked workers and classifies
+// the job from their exit codes: any unrecoverable failure makes the job
+// fail; an injected death plus recovered survivors is a recovered job.
+func launch(np int, elastic bool, ckptDir string) (int, error) {
 	if np < 1 {
-		return fmt.Errorf("np must be >= 1")
+		return exitFailure, fmt.Errorf("np must be >= 1")
 	}
 	// Reserve a loopback port for the rank-0 rendezvous. The listener is
 	// closed only after every worker has been handed the address; rank 0
@@ -87,19 +115,30 @@ func launch(np int) error {
 	// the remaining window (workers redial until RendezvousTimeout).
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return err
+		return exitFailure, err
 	}
 	root := ln.Addr().String()
+
+	env := os.Environ()
+	if elastic && ckptDir == "" {
+		dir, err := os.MkdirTemp("", "dnnperf-ckpt-*")
+		if err != nil {
+			ln.Close()
+			return exitFailure, err
+		}
+		defer os.RemoveAll(dir)
+		env = append(env, "DNNPERF_CKPT_DIR="+dir)
+	}
 
 	self, err := os.Executable()
 	if err != nil {
 		ln.Close()
-		return err
+		return exitFailure, err
 	}
 	procs := make([]*exec.Cmd, np)
 	for r := 0; r < np; r++ {
 		cmd := exec.Command(self, os.Args[1:]...)
-		cmd.Env = append(os.Environ(),
+		cmd.Env = append(append([]string(nil), env...),
 			"DNNPERF_RANK="+strconv.Itoa(r),
 			"DNNPERF_SIZE="+strconv.Itoa(np),
 			"DNNPERF_ROOT="+root,
@@ -108,18 +147,41 @@ func launch(np int) error {
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			ln.Close()
-			return fmt.Errorf("start rank %d: %w", r, err)
+			return exitFailure, fmt.Errorf("start rank %d: %w", r, err)
 		}
 		procs[r] = cmd
 	}
 	ln.Close()
+
+	died, recovered, failed := 0, 0, 0
 	var firstErr error
 	for r, cmd := range procs {
-		if err := cmd.Wait(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("rank %d: %w", r, err)
+		err := cmd.Wait()
+		switch code := cmd.ProcessState.ExitCode(); code {
+		case exitClean:
+		case exitInjectedDeath:
+			died++
+		case exitRecovered:
+			recovered++
+		default:
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rank %d: %w", r, err)
+			}
 		}
 	}
-	return firstErr
+	switch {
+	case failed > 0:
+		return exitFailure, firstErr
+	case recovered > 0:
+		fmt.Printf("mpirun: job recovered: %d rank(s) died, %d survivor(s) completed\n", died, recovered)
+		return exitRecovered, nil
+	case died > 0:
+		// A rank died but nobody recovered (non-elastic crash demo).
+		return exitInjectedDeath, nil
+	default:
+		return exitClean, nil
+	}
 }
 
 type workerConfig struct {
@@ -129,17 +191,33 @@ type workerConfig struct {
 	fault        mpi.FaultConfig
 	dieRank      int
 	dieStep      int
+	elastic      bool
+	ckptEvery    int
+	ckptDir      string
 }
 
-// worker is one rank of the job.
-func worker(rankStr string, cfg workerConfig) error {
+// worker is one rank of the job; the return value is the process exit code.
+func worker(rankStr string, cfg workerConfig) int {
+	code, err := runWorker(rankStr, cfg)
+	if err != nil {
+		var pe *mpi.PeerError
+		if errors.As(err, &pe) {
+			fmt.Fprintf(os.Stderr, "mpirun worker %s: peer failure (rank %d, op %s): %v\n", rankStr, pe.Rank, pe.Op, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "mpirun worker %s: %v\n", rankStr, err)
+		}
+	}
+	return code
+}
+
+func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	rank, err := strconv.Atoi(rankStr)
 	if err != nil {
-		return err
+		return exitFailure, err
 	}
 	size, err := strconv.Atoi(os.Getenv("DNNPERF_SIZE"))
 	if err != nil {
-		return err
+		return exitFailure, err
 	}
 	root := os.Getenv("DNNPERF_ROOT")
 
@@ -147,11 +225,15 @@ func worker(rankStr string, cfg workerConfig) error {
 		RecvTimeout: cfg.recvTimeout,
 	})
 	if err != nil {
-		return err
+		return exitFailure, err
 	}
 	ft := mpi.NewFaultTransport(raw.Endpoint(), cfg.fault)
 	comm := mpi.NewComm(ft)
 	defer comm.Close()
+
+	if cfg.elastic {
+		return elasticWorker(comm, rank, size, cfg)
+	}
 
 	eng := horovod.NewEngine(comm, horovod.Config{
 		CycleTime: time.Duration(cfg.cycleMS * float64(time.Millisecond)),
@@ -161,41 +243,35 @@ func worker(rankStr string, cfg workerConfig) error {
 	m := models.TinyCNN(models.Config{Batch: cfg.batch, ImageSize: 16, Classes: 4, Seed: 7})
 	tr, err := train.New(train.Config{Model: m, IntraThreads: 2, LR: 0.05, Engine: eng, Rank: rank})
 	if err != nil {
-		return err
+		return exitFailure, err
 	}
 	defer tr.Close()
 
 	gen, err := data.NewLearnable(cfg.batch, 3, 16, 4, data.Shard(42, rank))
 	if err != nil {
-		return err
+		return exitFailure, err
 	}
 
 	// Crash demo: the doomed rank runs a few steps, then tears its
 	// transport down abruptly (no goodbye frame), modeling a killed
 	// process. Survivors observe Recv deadline expiry as typed PeerErrors.
 	if cfg.dieRank == rank {
-		die := cfg.dieStep
-		if die < 1 {
-			die = 1
-		}
-		if die > cfg.steps {
-			die = cfg.steps
-		}
+		die := clampDieStep(cfg.dieStep, cfg.steps)
 		if _, err := tr.Run(gen.Next, die); err != nil {
-			return err
+			return exitFailure, err
 		}
 		fmt.Fprintf(os.Stderr, "rank %d: aborting transport after step %d (crash demo)\n", rank, die)
 		comm.Abort()
-		return fmt.Errorf("rank %d aborted by -die_rank", rank)
+		return exitInjectedDeath, nil
 	}
 
 	stats, err := tr.Run(gen.Next, cfg.steps)
 	if err != nil {
 		eng.Shutdown()
-		return err
+		return exitFailure, err
 	}
 	if err := eng.Shutdown(); err != nil {
-		return err
+		return exitFailure, err
 	}
 	if rank == 0 {
 		s := eng.Stats()
@@ -210,5 +286,111 @@ func worker(rankStr string, cfg workerConfig) error {
 				fs.Sent, fs.Dropped, fs.Delayed, fs.Duplicated, cfg.fault.Seed)
 		}
 	}
-	return nil
+	return exitClean, nil
+}
+
+func clampDieStep(die, steps int) int {
+	if die < 1 {
+		die = 1
+	}
+	if die > steps {
+		die = steps
+	}
+	return die
+}
+
+// elasticFactories are the deterministic builders every elastic worker
+// shares: same-seed model, linearly scaled momentum schedule per world
+// size, and per-rank generators repositioned by burning batches.
+func elasticFactories(batch int) (func() *models.Model, func(int) train.Optimizer, func(rank, size int, startStep int64) (func() data.Batch, error)) {
+	newModel := func() *models.Model {
+		return models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: 7})
+	}
+	newOpt := func(worldSize int) train.Optimizer {
+		sched, err := train.LinearScaled(0.05, batch, worldSize*batch, 2, nil)
+		if err != nil {
+			sched = train.Constant{Rate: 0.05}
+		}
+		return &train.ScheduledOptimizer{Sched: sched, Inner: train.NewMomentum(0.05, 0.9)}
+	}
+	newGen := func(rank, size int, startStep int64) (func() data.Batch, error) {
+		gen, err := data.NewLearnable(batch, 3, 16, 4, data.Shard(42, rank))
+		if err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < startStep; i++ {
+			gen.Next()
+		}
+		return gen.Next, nil
+	}
+	return newModel, newOpt, newGen
+}
+
+// elasticWorker runs the supervised loop; the doomed rank (if this is it)
+// instead trains unsupervised until its death step and aborts.
+func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig) (int, error) {
+	newModel, newOpt, newGen := elasticFactories(cfg.batch)
+	engCfg := horovod.Config{
+		CycleTime: time.Duration(cfg.cycleMS * float64(time.Millisecond)),
+		Average:   true,
+	}
+
+	if cfg.dieRank == rank {
+		// Participate in the survivors' bootstrap restore broadcast, then
+		// train normally until the death step.
+		if _, err := comm.BcastBytes(nil, 0); err != nil {
+			return exitFailure, err
+		}
+		eng := horovod.NewEngine(comm, engCfg)
+		tr, err := train.New(train.Config{Model: newModel(), IntraThreads: 2, Optimizer: newOpt(size), Engine: eng, Rank: rank})
+		if err != nil {
+			return exitFailure, err
+		}
+		defer tr.Close()
+		gen, err := newGen(rank, size, 0)
+		if err != nil {
+			return exitFailure, err
+		}
+		die := clampDieStep(cfg.dieStep, cfg.steps)
+		if _, err := tr.Run(gen, die); err != nil {
+			return exitFailure, err
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: aborting transport after step %d (elastic crash demo)\n", rank, die)
+		comm.Abort()
+		return exitInjectedDeath, nil
+	}
+
+	res, err := train.Supervise(train.SupervisorConfig{
+		Comm:         comm,
+		Engine:       engCfg,
+		NewModel:     newModel,
+		NewOptimizer: newOpt,
+		NewGen:       newGen,
+		Steps:        cfg.steps,
+		IntraThreads: 2,
+		CkptDir:      cfg.ckptDir,
+		CkptEvery:    cfg.ckptEvery,
+	})
+	if err != nil {
+		return exitFailure, err
+	}
+
+	// The final leader reports for the job (after a shrink the survivor set
+	// is renumbered; its rank 0 may be any original rank).
+	if res.Rank == 0 {
+		fmt.Printf("elastic job: %d ranks x batch %d, %d steps over TCP, outcome %s\n",
+			size, cfg.batch, cfg.steps, res.Outcome)
+		for _, ev := range res.Recoveries {
+			fmt.Printf("recovery: world %d -> %d (lost ranks %v), rolled back to step %d, %.0f ms\n",
+				ev.OldSize, ev.NewSize, ev.FailedRanks, ev.ResumeStep,
+				float64(ev.Latency)/float64(time.Millisecond))
+		}
+		last := res.Steps[len(res.Steps)-1]
+		fmt.Printf("final: step %d, loss %.4f, per-rank %.1f img/s on %d survivor(s) (engine restarts: %d)\n",
+			res.FinalStep, last.Loss, train.Throughput(res.Steps), res.WorldSize, res.EngineStats.Restarts)
+	}
+	if res.Outcome == train.OutcomeRecovered {
+		return exitRecovered, nil
+	}
+	return exitClean, nil
 }

@@ -27,7 +27,7 @@ func TestFacadeGPU(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 27 {
+	if len(ids) != 28 {
 		t.Fatalf("%d experiments", len(ids))
 	}
 	if len(Experiments()) != len(ids) {

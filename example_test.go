@@ -51,5 +51,5 @@ func ExampleBestConfig() {
 func ExampleExperimentIDs() {
 	ids := dnnperf.ExperimentIDs()
 	fmt.Println(len(ids), "experiments, first:", ids[0], "last:", ids[len(ids)-1])
-	// Output: 27 experiments, first: table1 last: faulttol
+	// Output: 28 experiments, first: table1 last: elastic
 }

@@ -47,7 +47,8 @@ func decodeReadiness(b []byte) (down bool, bits []byte, names []string, sizes []
 	down = b[0] == 1
 	bl := binary.LittleEndian.Uint32(b[1:])
 	b = b[5:]
-	if uint32(len(b)) < bl+4 {
+	// 64-bit arithmetic: bl+4 must not wrap for adversarial lengths.
+	if uint64(len(b)) < uint64(bl)+4 {
 		return false, nil, nil, nil, fmt.Errorf("horovod: truncated bitset")
 	}
 	bits = b[:bl]

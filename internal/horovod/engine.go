@@ -82,6 +82,8 @@ type Stats struct {
 	CachedAnnouncements int64
 	// NamedAnnouncements counts tensors announced by full name (cache miss).
 	NamedAnnouncements int64
+	// Restarts counts elastic restarts onto a new communicator.
+	Restarts int64
 }
 
 type pendingTensor struct {
@@ -119,6 +121,11 @@ type Engine struct {
 	// real Horovod likewise allocates the fusion buffer once up front.
 	fusedBuf []float32
 
+	// wake kicks the loop out of its cycle sleep early (buffered, capacity
+	// 1): shutdown and quiesce requests should not wait out a long
+	// CycleTime before the loop notices them.
+	wake chan struct{}
+
 	loopDone chan struct{}
 	loopErr  error
 }
@@ -132,10 +139,22 @@ func NewEngine(comm *mpi.Comm, cfg Config) *Engine {
 		cfg:         cfg.withDefaults(),
 		inFlight:    make(map[string]*pendingTensor),
 		cacheByName: make(map[string]uint32),
+		wake:        make(chan struct{}, 1),
 		loopDone:    make(chan struct{}),
 	}
 	go e.loop()
 	return e
+}
+
+// requestStop flags the loop to stop and kicks it out of its cycle sleep.
+func (e *Engine) requestStop() {
+	e.mu.Lock()
+	e.shutdown = true
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
 }
 
 // AllreduceAsync submits a gradient tensor for reduction. done is invoked
@@ -188,9 +207,7 @@ func (e *Engine) Stats() Stats {
 // with an error. If the loop already died on a transport failure, Shutdown
 // returns that failure (errors.As recovers the mpi.PeerError).
 func (e *Engine) Shutdown() error {
-	e.mu.Lock()
-	e.shutdown = true
-	e.mu.Unlock()
+	e.requestStop()
 	<-e.loopDone
 	return e.loopErr
 }
@@ -199,8 +216,17 @@ func (e *Engine) Shutdown() error {
 // readiness with all ranks, execute the agreed fused allreduces.
 func (e *Engine) loop() {
 	defer close(e.loopDone)
+	timer := time.NewTimer(e.cfg.CycleTime)
+	defer timer.Stop()
 	for {
-		time.Sleep(e.cfg.CycleTime)
+		select {
+		case <-timer.C:
+		case <-e.wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		}
+		timer.Reset(e.cfg.CycleTime)
 
 		e.mu.Lock()
 		ready := e.submitted

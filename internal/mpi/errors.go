@@ -16,6 +16,7 @@ const (
 	OpAccept     Op = "accept"
 	OpRendezvous Op = "rendezvous"
 	OpClose      Op = "close"
+	OpShrink     Op = "shrink"
 )
 
 // Sentinel causes for PeerError, matchable with errors.Is.

@@ -115,4 +115,7 @@ const (
 	tagAllreduce = TagBase + 0x030000
 	tagAllgather = TagBase + 0x040000
 	tagGather    = TagBase + 0x050000
+	// tagShrink namespaces the survivor-agreement protocol: 16 tags per
+	// epoch (rounds + commit), up to 4096 epochs within the window.
+	tagShrink = TagBase + 0x060000
 )

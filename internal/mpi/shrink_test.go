@@ -1,0 +1,343 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shrinkAll runs Shrink concurrently on every rank in live, returning the
+// per-rank results indexed by original rank.
+func shrinkAll(t *testing.T, w *World, live []int, suspects map[int][]int, opts ShrinkOptions) (map[int]*Comm, map[int][]int, map[int]error) {
+	t.Helper()
+	comms := make(map[int]*Comm, len(live))
+	survs := make(map[int][]int, len(live))
+	errs := make(map[int]error, len(live))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, r := range live {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			nc, sv, err := w.Comm(r).Shrink(suspects[r], opts)
+			mu.Lock()
+			comms[r], survs[r], errs[r] = nc, sv, err
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return comms, survs, errs
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShrinkAgreesOnSurvivors kills one rank; the others agree on the
+// survivor set and the shrunk communicator runs collectives correctly.
+func TestShrinkAgreesOnSurvivors(t *testing.T) {
+	w, err := NewWorldOpts(4, WorldOptions{RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Comm(2).Close() // rank 2 dies
+
+	live := []int{0, 1, 3}
+	comms, survs, errs := shrinkAll(t, w, live, map[int][]int{0: {2}}, ShrinkOptions{Epoch: 0})
+	want := []int{0, 1, 3}
+	for _, r := range live {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: shrink: %v", r, errs[r])
+		}
+		if !equalInts(survs[r], want) {
+			t.Fatalf("rank %d: survivors = %v, want %v", r, survs[r], want)
+		}
+	}
+	// New ranks are contiguous positions in the survivor list.
+	for i, r := range live {
+		if got := comms[r].Rank(); got != i {
+			t.Fatalf("rank %d: new rank = %d, want %d", r, got, i)
+		}
+		if got := comms[r].Size(); got != len(live) {
+			t.Fatalf("rank %d: new size = %d, want %d", r, got, len(live))
+		}
+	}
+
+	// Collectives work on the shrunk communicator.
+	var wg sync.WaitGroup
+	res := make([][]float32, len(live))
+	for i, r := range live {
+		wg.Add(1)
+		go func(i, r int) {
+			defer wg.Done()
+			buf := []float32{float32(i + 1), 10 * float32(i+1)}
+			if err := comms[r].AllreduceRing(buf, OpSum); err != nil {
+				t.Errorf("rank %d: allreduce on shrunk comm: %v", r, err)
+				return
+			}
+			res[i] = buf
+		}(i, r)
+	}
+	wg.Wait()
+	for i := range live {
+		if res[i] == nil {
+			continue
+		}
+		if res[i][0] != 6 || res[i][1] != 60 {
+			t.Fatalf("survivor %d: allreduce = %v, want [6 60]", i, res[i])
+		}
+	}
+}
+
+// TestShrinkRetainsSuspectedSurvivor models the cascade-failure hazard: a
+// live rank is wrongly suspected (a collective broke between two survivors
+// because a third rank died). The protocol must keep the suspected rank.
+func TestShrinkRetainsSuspectedSurvivor(t *testing.T) {
+	w, err := NewWorldOpts(4, WorldOptions{RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.Comm(3).Close() // the real death
+
+	// Rank 1 wrongly suspects rank 0 (say, a bcast from 0 timed out because
+	// the tree routed through rank 3); rank 0 suspects the real culprit.
+	suspects := map[int][]int{0: {3}, 1: {0, 3}, 2: nil}
+	live := []int{0, 1, 2}
+	_, survs, errs := shrinkAll(t, w, live, suspects, ShrinkOptions{Epoch: 1})
+	want := []int{0, 1, 2}
+	for _, r := range live {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: shrink: %v", r, errs[r])
+		}
+		if !equalInts(survs[r], want) {
+			t.Fatalf("rank %d: survivors = %v, want %v (suspected-but-alive rank 0 must be retained)", r, survs[r], want)
+		}
+	}
+}
+
+// TestShrinkLatePeer verifies probe patience: one survivor enters the
+// protocol late (it was still waiting out a collective deadline) and must
+// not be declared dead by the prompt ranks.
+func TestShrinkLatePeer(t *testing.T) {
+	w, err := NewWorldOpts(3, WorldOptions{RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Comm(2).Close()
+
+	live := []int{0, 1}
+	comms := make(map[int]*Comm)
+	survs := make(map[int][]int)
+	errs := make(map[int]error)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, r := range live {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r == 1 {
+				// Late by one full Recv deadline: within ProbeAttempts=3.
+				time.Sleep(70 * time.Millisecond)
+			}
+			nc, sv, err := w.Comm(r).Shrink([]int{2}, ShrinkOptions{Epoch: 2})
+			mu.Lock()
+			comms[r], survs[r], errs[r] = nc, sv, err
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for _, r := range live {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: shrink with late peer: %v", r, errs[r])
+		}
+		if !equalInts(survs[r], []int{0, 1}) {
+			t.Fatalf("rank %d: survivors = %v, want [0 1]", r, survs[r])
+		}
+	}
+}
+
+// TestShrinkTwice shrinks, kills another rank, and shrinks the shrunk
+// communicator again — the nested sub-endpoint path recovery takes on a
+// second failure.
+func TestShrinkTwice(t *testing.T) {
+	w, err := NewWorldOpts(4, WorldOptions{RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Comm(1).Close()
+
+	live := []int{0, 2, 3}
+	comms, _, errs := shrinkAll(t, w, live, map[int][]int{0: {1}}, ShrinkOptions{Epoch: 0})
+	for _, r := range live {
+		if errs[r] != nil {
+			t.Fatalf("first shrink, rank %d: %v", r, errs[r])
+		}
+	}
+
+	// Original rank 3 (new rank 2) dies; shrink again on the shrunk comm.
+	w.Comm(3).Close()
+	live2 := []int{0, 2} // original ranks still alive
+	type out struct {
+		c    *Comm
+		sv   []int
+		err  error
+		orig int
+	}
+	outs := make([]out, 0, len(live2))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, r := range live2 {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			nc, sv, err := comms[r].Shrink([]int{2}, ShrinkOptions{Epoch: 1})
+			mu.Lock()
+			outs = append(outs, out{c: nc, sv: sv, err: err, orig: r})
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			t.Fatalf("second shrink, original rank %d: %v", o.orig, o.err)
+		}
+		if !equalInts(o.sv, []int{0, 1}) {
+			t.Fatalf("second shrink, original rank %d: survivors = %v, want [0 1]", o.orig, o.sv)
+		}
+		if o.c.Size() != 2 {
+			t.Fatalf("second shrink: size = %d, want 2", o.c.Size())
+		}
+	}
+
+	// The doubly-shrunk pair can still allreduce.
+	res := make(map[int][]float32)
+	for _, o := range outs {
+		wg.Add(1)
+		go func(o out) {
+			defer wg.Done()
+			buf := []float32{float32(o.c.Rank() + 1)}
+			if err := o.c.AllreduceRing(buf, OpSum); err != nil {
+				t.Errorf("allreduce after double shrink: %v", err)
+				return
+			}
+			mu.Lock()
+			res[o.orig] = buf
+			mu.Unlock()
+		}(o)
+	}
+	wg.Wait()
+	for r, v := range res {
+		if len(v) == 1 && v[0] != 3 {
+			t.Fatalf("original rank %d: allreduce = %v, want [3]", r, v)
+		}
+	}
+}
+
+// TestShrinkSingleRank degenerates to the identity.
+func TestShrinkSingleRank(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(0)
+	nc, sv, err := c.Shrink(nil, ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc != c {
+		t.Fatal("single-rank shrink should return the same communicator")
+	}
+	if !equalInts(sv, []int{0}) {
+		t.Fatalf("survivors = %v, want [0]", sv)
+	}
+}
+
+// TestShrinkEpochRange rejects out-of-range epochs.
+func TestShrinkEpochRange(t *testing.T) {
+	w, err := NewWorldOpts(2, WorldOptions{RecvTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Comm(0).Shrink(nil, ShrinkOptions{Epoch: maxShrinkEpoch}); err == nil {
+		t.Fatal("expected error for epoch out of range")
+	}
+	if _, _, err := w.Comm(0).Shrink(nil, ShrinkOptions{Epoch: -1}); err == nil {
+		t.Fatal("expected error for negative epoch")
+	}
+}
+
+// TestShrinkAllPeersDead leaves a single survivor, which gets a size-1
+// communicator and can "allreduce" alone.
+func TestShrinkAllPeersDead(t *testing.T) {
+	w, err := NewWorldOpts(3, WorldOptions{RecvTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Comm(1).Close()
+	w.Comm(2).Close()
+
+	nc, sv, err := w.Comm(0).Shrink([]int{1, 2}, ShrinkOptions{Epoch: 0})
+	if err != nil {
+		t.Fatalf("sole-survivor shrink: %v", err)
+	}
+	if !equalInts(sv, []int{0}) {
+		t.Fatalf("survivors = %v, want [0]", sv)
+	}
+	if nc.Size() != 1 || nc.Rank() != 0 {
+		t.Fatalf("new comm = rank %d size %d, want 0/1", nc.Rank(), nc.Size())
+	}
+	buf := []float32{42}
+	if err := nc.AllreduceRing(buf, OpSum); err != nil {
+		t.Fatalf("size-1 allreduce: %v", err)
+	}
+}
+
+// TestShrinkEvictsTooLateRank: a rank that outsleeps the survivors' probe
+// patience is agreed dead; when it finally enters the protocol it finds its
+// own bit set in the survivors' bitmaps and gets ErrEvicted — it must not
+// rejoin the job.
+func TestShrinkEvictsTooLateRank(t *testing.T) {
+	w, err := NewWorldOpts(3, WorldOptions{RecvTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	for _, r := range []int{0, 1, 2} {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r == 2 {
+				// Far beyond ProbeAttempts(3) x RecvTimeout: the prompt
+				// ranks will have agreed rank 2 is dead before it wakes.
+				time.Sleep(400 * time.Millisecond)
+			}
+			_, _, err := w.Comm(r).Shrink(nil, ShrinkOptions{Epoch: 3})
+			mu.Lock()
+			errs[r] = err
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+
+	for _, r := range []int{0, 1} {
+		if errs[r] != nil {
+			t.Fatalf("prompt rank %d: shrink: %v", r, errs[r])
+		}
+	}
+	if !errors.Is(errs[2], ErrEvicted) {
+		t.Fatalf("late rank error = %v, want ErrEvicted", errs[2])
+	}
+}

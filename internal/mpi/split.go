@@ -99,6 +99,16 @@ func (s *subEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 // Close is a no-op: the parent owns the transport.
 func (s *subEndpoint) Close() error { return nil }
 
+// Abort tears the parent transport down abruptly: aborting any derived
+// communicator aborts the job it belongs to, as MPI_Abort does.
+func (s *subEndpoint) Abort() {
+	if a, ok := s.parent.(interface{ Abort() }); ok {
+		a.Abort()
+		return
+	}
+	s.parent.Close()
+}
+
 // AllreduceHierarchical reduces buf across all ranks using the two-level
 // scheme MVAPICH2 applies on clusters: a shared-memory-style allreduce
 // within each group of groupSize consecutive ranks (a "node"), a ring

@@ -33,7 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"fig19", "insights", "ablations", "modelzoo", "pipeline",
-		"faulttol",
+		"faulttol", "elastic",
 	}
 	ids := IDs()
 	if len(ids) != len(want) {
@@ -259,5 +259,45 @@ func TestFaultTolShape(t *testing.T) {
 	}
 	if typed, _ := tbl.Cell("partition 0->1", 2); typed != 4 {
 		t.Fatalf("partition produced %g typed errors, want 4", typed)
+	}
+}
+
+func TestElasticShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic experiment trains real models")
+	}
+	tbl := run(t, "elastic")
+	// Every scenario — including both failure injections — reaches the full
+	// step count; that is the whole point of supervision.
+	for _, r := range tbl.Rows {
+		if final, _ := tbl.Cell(r.Name, 4); final != 10 {
+			t.Errorf("%s: final step %g, want 10", r.Name, final)
+		}
+		if tput, _ := tbl.Cell(r.Name, 5); tput <= 0 {
+			t.Errorf("%s: throughput %g, want > 0", r.Name, tput)
+		}
+	}
+	// The clean run keeps all four ranks and never recovers.
+	if n, _ := tbl.Cell("clean", 0); n != 4 {
+		t.Errorf("clean survivors = %g, want 4", n)
+	}
+	if n, _ := tbl.Cell("clean", 1); n != 0 {
+		t.Errorf("clean recoveries = %g, want 0", n)
+	}
+	// A worker death shrinks the world to 3 and rolls back to an even
+	// (checkpoint-aligned) step with measurable recovery latency.
+	if n, _ := tbl.Cell("worker dies @5", 0); n != 3 {
+		t.Errorf("worker-death survivors = %g, want 3", n)
+	}
+	if resume, _ := tbl.Cell("worker dies @5", 2); int(resume)%2 != 0 || resume >= 10 {
+		t.Errorf("worker-death resume step = %g, want even and < 10", resume)
+	}
+	if ms, _ := tbl.Cell("worker dies @5", 3); ms <= 0 {
+		t.Errorf("worker-death recovery latency = %gms, want > 0", ms)
+	}
+	// The leader is the only checkpoint writer and dies before any save
+	// survives it, so the survivors restart from step 0.
+	if resume, _ := tbl.Cell("leader dies @3", 2); resume != 0 {
+		t.Errorf("leader-death resume step = %g, want 0", resume)
 	}
 }

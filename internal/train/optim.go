@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dnnperf/internal/graph"
 	"dnnperf/internal/tensor"
@@ -14,6 +15,56 @@ type Optimizer interface {
 	Step(pool *tensor.Pool, g *graph.Graph)
 	// Name identifies the optimizer in logs.
 	Name() string
+}
+
+// StatefulOptimizer is implemented by optimizers that carry per-variable
+// state (velocity buffers) a checkpoint must capture for a bit-exact
+// resume.
+type StatefulOptimizer interface {
+	// ExportState returns the optimizer's per-variable buffers in a
+	// deterministic order. The tensors are the live buffers, not copies:
+	// serialize them before the next Step.
+	ExportState() []StateSlot
+	// ImportState replaces the optimizer's buffers from slots, resolving
+	// variables by name in g.
+	ImportState(g *graph.Graph, slots []StateSlot) error
+}
+
+// exportVelocity flattens a velocity map into named slots, sorted by
+// variable name so the on-disk order is deterministic.
+func exportVelocity(vel map[*graph.Node]*tensor.Tensor, slot string) []StateSlot {
+	out := make([]StateSlot, 0, len(vel))
+	for v, t := range vel {
+		out = append(out, StateSlot{Var: v.Name, Name: slot, Data: t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	return out
+}
+
+// importVelocity rebuilds a velocity map from checkpoint slots.
+func importVelocity(g *graph.Graph, vel map[*graph.Node]*tensor.Tensor, slot string, slots []StateSlot) error {
+	byName := make(map[string]*graph.Node)
+	for _, v := range g.Variables() {
+		byName[v.Name] = v
+	}
+	for _, s := range slots {
+		if s.Name != slot {
+			return fmt.Errorf("train: unexpected optimizer slot %q for %q (want %q)", s.Name, s.Var, slot)
+		}
+		v, ok := byName[s.Var]
+		if !ok {
+			return fmt.Errorf("train: optimizer slot for unknown variable %q", s.Var)
+		}
+		v.Materialize()
+		if !tensor.ShapeEq(v.Value.Shape(), s.Data.Shape()) {
+			return fmt.Errorf("train: slot %q/%q shape %v, variable is %v",
+				s.Var, s.Name, s.Data.Shape(), v.Value.Shape())
+		}
+		t := tensor.New(s.Data.Shape()...)
+		copy(t.Data(), s.Data.Data())
+		vel[v] = t
+	}
+	return nil
 }
 
 // SGD is plain stochastic gradient descent with optional L2 weight decay.
@@ -100,6 +151,17 @@ func (m *Momentum) Step(pool *tensor.Pool, g *graph.Graph) {
 	}
 }
 
+// ExportState implements StatefulOptimizer.
+func (m *Momentum) ExportState() []StateSlot { return exportVelocity(m.velocity, "velocity") }
+
+// ImportState implements StatefulOptimizer.
+func (m *Momentum) ImportState(g *graph.Graph, slots []StateSlot) error {
+	if m.velocity == nil {
+		m.velocity = make(map[*graph.Node]*tensor.Tensor)
+	}
+	return importVelocity(g, m.velocity, "velocity", slots)
+}
+
 // LARS is layer-wise adaptive rate scaling (You et al.), the technique
 // behind the large-batch training regimes the paper cites ([22], [25]) as
 // the accuracy-preserving route to the big global batches that multi-node
@@ -154,6 +216,17 @@ func (l *LARS) Step(pool *tensor.Pool, g *graph.Graph) {
 		})
 		tensor.AXPY(pool, v.Value, -1, vel)
 	}
+}
+
+// ExportState implements StatefulOptimizer.
+func (l *LARS) ExportState() []StateSlot { return exportVelocity(l.velocity, "velocity") }
+
+// ImportState implements StatefulOptimizer.
+func (l *LARS) ImportState(g *graph.Graph, slots []StateSlot) error {
+	if l.velocity == nil {
+		l.velocity = make(map[*graph.Node]*tensor.Tensor)
+	}
+	return importVelocity(g, l.velocity, "velocity", slots)
 }
 
 // NewOptimizer constructs an optimizer by name ("sgd", "momentum", "lars").

@@ -123,6 +123,34 @@ type ScheduledOptimizer struct {
 // Name implements Optimizer.
 func (s *ScheduledOptimizer) Name() string { return s.Inner.Name() + "+" + s.Sched.Name() }
 
+// Position returns the schedule step the next Step call will use, so a
+// checkpoint can capture the LR-schedule position.
+func (s *ScheduledOptimizer) Position() int64 { return int64(s.step) }
+
+// SetPosition moves the schedule to step (checkpoint restore).
+func (s *ScheduledOptimizer) SetPosition(step int64) { s.step = int(step) }
+
+// ExportState implements StatefulOptimizer by delegating to the inner
+// optimizer, if it is stateful.
+func (s *ScheduledOptimizer) ExportState() []StateSlot {
+	if so, ok := s.Inner.(StatefulOptimizer); ok {
+		return so.ExportState()
+	}
+	return nil
+}
+
+// ImportState implements StatefulOptimizer by delegating to the inner
+// optimizer, if it is stateful.
+func (s *ScheduledOptimizer) ImportState(g *graph.Graph, slots []StateSlot) error {
+	if so, ok := s.Inner.(StatefulOptimizer); ok {
+		return so.ImportState(g, slots)
+	}
+	if len(slots) > 0 {
+		return fmt.Errorf("train: %s cannot import %d optimizer slots", s.Name(), len(slots))
+	}
+	return nil
+}
+
 // Step implements Optimizer: set the inner optimizer's rate, then update.
 func (s *ScheduledOptimizer) Step(pool *tensor.Pool, g *graph.Graph) {
 	lr := s.Sched.LR(s.step)

@@ -1,0 +1,415 @@
+package train
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/horovod"
+	"dnnperf/internal/models"
+	"dnnperf/internal/mpi"
+)
+
+// Supervisor: elastic checkpoint-restart for data-parallel training. Each
+// rank wraps its training loop in Supervise, which periodically checkpoints
+// (leader only) and, when a step fails with a typed transport error —
+// a rank died — runs the recovery sequence on the survivors:
+//
+//  1. quiesce the Horovod engine (its loop has usually already latched the
+//     failure and exited),
+//  2. agree on the survivor set and build a shrunk communicator
+//     (mpi.Comm.Shrink, retried with backoff under a fresh epoch),
+//  3. restart the engine on the shrunk communicator,
+//  4. roll back: rebuild model and optimizer for the new world size, restore
+//     the latest valid checkpoint (the new leader reads and validates it,
+//     then broadcasts the bytes so every survivor restores identical state),
+//  5. re-shard the data pipeline and rescale the learning rate for the new
+//     size, and continue training to the target step.
+//
+// The dead rank's contribution is absorbed by re-sharding: the survivors'
+// generators are rebuilt for (new rank, new size) at the resume step, and
+// NewOptimizer(newSize) re-derives the LR schedule (linear scaling) for the
+// smaller global batch.
+
+// Outcome classifies how a supervised run ended.
+type Outcome int
+
+const (
+	// OutcomeClean: reached the target step with the full world.
+	OutcomeClean Outcome = iota
+	// OutcomeRecovered: reached the target step after one or more
+	// recoveries from rank failure.
+	OutcomeRecovered
+	// OutcomeFailed: the run could not complete.
+	OutcomeFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeRecovered:
+		return "recovered"
+	default:
+		return "failed"
+	}
+}
+
+// RecoveryEvent records one successful recovery.
+type RecoveryEvent struct {
+	// FailedRanks are the dead ranks, in the numbering of the communicator
+	// that failed (the pre-shrink world).
+	FailedRanks []int
+	OldSize     int
+	NewSize     int
+	// ResumeStep is the global step training rolled back to.
+	ResumeStep int64
+	// Latency is the wall time from failure detection to training resumed.
+	Latency time.Duration
+}
+
+// SupervisorConfig configures one rank's supervised run.
+type SupervisorConfig struct {
+	// Comm is the full job's communicator.
+	Comm *mpi.Comm
+	// Engine configures the Horovod engine (Average is usually true).
+	Engine horovod.Config
+	// NewModel builds the model deterministically: every call, on every
+	// rank, must produce identical initial weights.
+	NewModel func() *models.Model
+	// NewOptimizer builds the optimizer for a world of the given size, so a
+	// shrink can re-derive linearly scaled learning rates.
+	NewOptimizer func(worldSize int) Optimizer
+	// NewGen builds the data generator for (rank, size) positioned at
+	// startStep — the resume point after a rollback.
+	NewGen func(rank, size int, startStep int64) (func() data.Batch, error)
+	// Steps is the target number of global steps.
+	Steps int
+	// IntraThreads/InterThreads size the executor (0 = 1).
+	IntraThreads int
+	InterThreads int
+	// CkptDir enables checkpointing when non-empty: the leader writes
+	// ckpt-%08d.dnpf files there, and recovery (and bootstrap) restores
+	// from the newest valid one.
+	CkptDir string
+	// CkptEvery is the checkpoint period in steps (default 0 = never).
+	CkptEvery int
+	// MaxRecoveries bounds how many rank failures a run survives
+	// (0 = default 2, negative = unlimited).
+	MaxRecoveries int
+	// ShrinkRetries bounds survivor-agreement attempts per recovery
+	// (default 3).
+	ShrinkRetries int
+	// Backoff is the wait between shrink attempts, doubled each retry
+	// (default 50ms).
+	Backoff time.Duration
+}
+
+func (c SupervisorConfig) withDefaults() (SupervisorConfig, error) {
+	if c.Comm == nil {
+		return c, errors.New("train: supervisor needs a communicator")
+	}
+	if c.NewModel == nil || c.NewOptimizer == nil || c.NewGen == nil {
+		return c, errors.New("train: supervisor needs NewModel, NewOptimizer and NewGen")
+	}
+	if c.Steps < 1 {
+		return c, fmt.Errorf("train: supervisor steps %d < 1", c.Steps)
+	}
+	if c.MaxRecoveries == 0 {
+		c.MaxRecoveries = 2
+	}
+	if c.ShrinkRetries <= 0 {
+		c.ShrinkRetries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	return c, nil
+}
+
+// SupervisorResult is one rank's view of a supervised run.
+type SupervisorResult struct {
+	Outcome    Outcome
+	FinalStep  int64
+	WorldSize  int // world size at the end of the run
+	Rank       int // this rank's id at the end of the run
+	Steps      []StepStats
+	Recoveries []RecoveryEvent
+	// EngineStats are the cumulative Horovod counters, across restarts.
+	EngineStats horovod.Stats
+}
+
+// incarnation is the per-world-size training state: everything that must be
+// rebuilt when the communicator changes.
+type incarnation struct {
+	comm    *mpi.Comm
+	eng     *horovod.Engine
+	model   *models.Model
+	opt     Optimizer
+	trainer *Trainer
+	gen     func() data.Batch
+}
+
+func (in *incarnation) close() {
+	if in.trainer != nil {
+		in.trainer.Close()
+	}
+}
+
+// Supervise runs the elastic training loop on this rank. All ranks of the
+// job must call it; the returned result reflects this rank's final view.
+// The error is non-nil only for OutcomeFailed.
+func Supervise(cfg SupervisorConfig) (*SupervisorResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return &SupervisorResult{Outcome: OutcomeFailed}, err
+	}
+	res := &SupervisorResult{}
+	sup := &supervisor{cfg: cfg, res: res}
+	err = sup.run()
+	if sup.in != nil {
+		if sup.in.eng != nil {
+			res.EngineStats = sup.in.eng.Stats()
+		}
+		res.WorldSize = sup.in.comm.Size()
+		res.Rank = sup.in.comm.Rank()
+		sup.in.close()
+	}
+	res.FinalStep = sup.step
+	if err != nil {
+		res.Outcome = OutcomeFailed
+		return res, err
+	}
+	if len(res.Recoveries) > 0 {
+		res.Outcome = OutcomeRecovered
+	} else {
+		res.Outcome = OutcomeClean
+	}
+	return res, nil
+}
+
+type supervisor struct {
+	cfg   SupervisorConfig
+	res   *SupervisorResult
+	in    *incarnation
+	step  int64 // completed global steps
+	epoch int   // next shrink epoch
+}
+
+func (s *supervisor) run() error {
+	if err := s.bootstrap(); err != nil {
+		return err
+	}
+	recoveries := 0
+	for s.step < int64(s.cfg.Steps) {
+		st, err := s.in.trainer.Step(s.in.gen())
+		if err == nil {
+			s.step++
+			s.res.Steps = append(s.res.Steps, st)
+			if cerr := s.maybeCheckpoint(); cerr != nil {
+				return fmt.Errorf("train: checkpoint at step %d: %w", s.step, cerr)
+			}
+			continue
+		}
+		pe, ok := mpi.AsPeerError(err)
+		if !ok {
+			return err // a local failure, not a peer death: not survivable
+		}
+		if s.cfg.MaxRecoveries >= 0 && recoveries >= s.cfg.MaxRecoveries {
+			return fmt.Errorf("train: rank failure after %d recoveries (limit reached): %w",
+				recoveries, err)
+		}
+		if rerr := s.recover([]int{pe.Rank}); rerr != nil {
+			return fmt.Errorf("train: recovery from %v: %w", err, rerr)
+		}
+		recoveries++
+	}
+	return nil
+}
+
+// bootstrap builds the first incarnation on the full communicator and
+// restores the newest valid checkpoint if one exists (cold resume).
+func (s *supervisor) bootstrap() error {
+	in, err := s.build(s.cfg.Comm, func() *horovod.Engine {
+		return horovod.NewEngine(s.cfg.Comm, s.cfg.Engine)
+	})
+	if err != nil {
+		return err
+	}
+	s.in = in
+	return nil
+}
+
+// build constructs an incarnation on comm: model, optimizer sized for the
+// world, checkpoint restore, re-sharded generator, trainer. The engine is
+// created (via newEngine) only after the restore broadcast has completed:
+// a running engine issues its own collectives on comm, and the MPI usage
+// rule allows one collective at a time per communicator — starting it
+// earlier would interleave negotiation frames with the checkpoint blob.
+func (s *supervisor) build(comm *mpi.Comm, newEngine func() *horovod.Engine) (*incarnation, error) {
+	model := s.cfg.NewModel()
+	opt := s.cfg.NewOptimizer(comm.Size())
+	step, err := s.restore(comm, model, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.step = step
+	if int64(len(s.res.Steps)) > step {
+		// Roll the step log back with the training state.
+		s.res.Steps = s.res.Steps[:step]
+	}
+	gen, err := s.cfg.NewGen(comm.Rank(), comm.Size(), step)
+	if err != nil {
+		return nil, err
+	}
+	eng := newEngine()
+	tr, err := New(Config{
+		Model:        model,
+		IntraThreads: s.cfg.IntraThreads,
+		InterThreads: s.cfg.InterThreads,
+		Optimizer:    opt,
+		Engine:       eng,
+		Rank:         comm.Rank(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &incarnation{comm: comm, eng: eng, model: model, opt: opt, trainer: tr, gen: gen}, nil
+}
+
+// recover runs the shrink-and-resume sequence after a step failed with a
+// typed peer error naming a suspect.
+func (s *supervisor) recover(suspects []int) error {
+	t0 := time.Now()
+	old := s.in
+	oldSize := old.comm.Size()
+	// The engine's loop has latched the failure; make its exit deterministic
+	// before negotiating the new world.
+	old.eng.Quiesce()
+
+	var newComm *mpi.Comm
+	var survivors []int
+	var err error
+	backoff := s.cfg.Backoff
+	for attempt := 0; attempt < s.cfg.ShrinkRetries; attempt++ {
+		newComm, survivors, err = old.comm.Shrink(suspects, mpi.ShrinkOptions{Epoch: s.epoch})
+		s.epoch++
+		if err == nil {
+			break
+		}
+		if errors.Is(err, mpi.ErrEvicted) {
+			return err // the survivors voted this rank out; do not rejoin
+		}
+		// A rank died mid-protocol: carry the evidence into the next attempt.
+		if pe, ok := mpi.AsPeerError(err); ok {
+			suspects = append(suspects, pe.Rank)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	if err != nil {
+		return fmt.Errorf("survivor agreement failed after %d attempts: %w", s.cfg.ShrinkRetries, err)
+	}
+
+	old.close()
+	in, err := s.build(newComm, func() *horovod.Engine { return old.eng.Restart(newComm) })
+	if err != nil {
+		return err
+	}
+	s.in = in
+
+	failed := make([]int, 0, oldSize-len(survivors))
+	alive := make(map[int]bool, len(survivors))
+	for _, r := range survivors {
+		alive[r] = true
+	}
+	for r := 0; r < oldSize; r++ {
+		if !alive[r] {
+			failed = append(failed, r)
+		}
+	}
+	s.res.Recoveries = append(s.res.Recoveries, RecoveryEvent{
+		FailedRanks: failed,
+		OldSize:     oldSize,
+		NewSize:     newComm.Size(),
+		ResumeStep:  s.step,
+		Latency:     time.Since(t0),
+	})
+	return nil
+}
+
+// maybeCheckpoint writes a v2 checkpoint on the leader at the configured
+// period. Step s.step has just completed.
+func (s *supervisor) maybeCheckpoint() error {
+	if s.cfg.CkptDir == "" || s.cfg.CkptEvery <= 0 || s.in.comm.Rank() != 0 {
+		return nil
+	}
+	if s.step%int64(s.cfg.CkptEvery) != 0 {
+		return nil
+	}
+	path := filepath.Join(s.cfg.CkptDir, ckptFileName(s.step))
+	return SaveTrainingCheckpointFile(path, s.in.model, CaptureTrainState(s.in.opt, s.step))
+}
+
+func ckptFileName(step int64) string { return fmt.Sprintf("ckpt-%08d.dnpf", step) }
+
+// restore rolls model and opt to the newest valid checkpoint, coordinated
+// across comm: the leader reads candidate files newest-first, validates the
+// first loadable one against a scratch model, and broadcasts its bytes (an
+// empty broadcast means fresh start). Every rank then restores from the same
+// bytes, so the rolled-back state is identical everywhere — no rank ever
+// reads the directory mid-rename. Returns the restored global step.
+func (s *supervisor) restore(comm *mpi.Comm, model *models.Model, opt Optimizer) (int64, error) {
+	if s.cfg.CkptDir == "" {
+		return 0, nil
+	}
+	var blob []byte
+	if comm.Rank() == 0 {
+		blob = s.newestValidCheckpoint()
+	}
+	blob, err := comm.BcastBytes(blob, 0)
+	if err != nil {
+		return 0, fmt.Errorf("train: checkpoint broadcast: %w", err)
+	}
+	if len(blob) == 0 {
+		return 0, nil // no checkpoint: deterministic fresh start on all ranks
+	}
+	st, err := LoadTrainingCheckpoint(bytes.NewReader(blob), model)
+	if err != nil {
+		return 0, fmt.Errorf("train: checkpoint restore: %w", err)
+	}
+	if err := RestoreTrainState(model, opt, st); err != nil {
+		return 0, err
+	}
+	return st.Step, nil
+}
+
+// newestValidCheckpoint returns the bytes of the newest checkpoint in
+// CkptDir that fully validates against a scratch model, or nil if none do.
+// Older files are fallbacks: a torn or corrupt newest file (the leader died
+// mid-save before the atomic rename made it durable) must not stop recovery.
+func (s *supervisor) newestValidCheckpoint() []byte {
+	paths, err := filepath.Glob(filepath.Join(s.cfg.CkptDir, "ckpt-*.dnpf"))
+	if err != nil || len(paths) == 0 {
+		return nil
+	}
+	// %08d-padded step numbers sort lexicographically; newest first.
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		scratch := s.cfg.NewModel()
+		if _, err := LoadTrainingCheckpoint(bytes.NewReader(b), scratch); err != nil {
+			continue
+		}
+		return b
+	}
+	return nil
+}
