@@ -23,8 +23,9 @@ vet:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# bench writes BENCH_tensor.json (kernel + training-step benchmarks with
-# -benchmem). BENCHTIME=3s make bench for steadier numbers.
+# bench writes BENCH_tensor.json (kernel + training-step benchmarks) and
+# BENCH_comm.json (collective + engine benchmarks), both with -benchmem.
+# BENCHTIME=3s make bench for steadier numbers.
 bench:
 	scripts/bench.sh $(or $(BENCHTIME),1s)
 

@@ -41,6 +41,7 @@ func main() {
 		cycle    = flag.Float64("cycle", 0, "HOROVOD_CYCLE_TIME in ms (0 = 3.5)")
 		fusion   = flag.Float64("fusion", 0, "HOROVOD_FUSION_THRESHOLD in MiB (0 = 64)")
 		trace    = flag.String("trace", "", "with -sim: write the simulated iteration timeline as Chrome trace JSON to this file")
+		metrics  = flag.String("metrics", "", "write a telemetry metrics snapshot JSON to this file (with -exp/-all/-report/-sim)")
 		zoo      = flag.Bool("zoo", false, "list the model zoo with parameters and FLOPs")
 		dot      = flag.String("dot", "", "write the named model's graph in Graphviz DOT format (uses -model)")
 	)
@@ -54,6 +55,11 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	var reg *dnnperf.Metrics
+	if *metrics != "" {
+		reg = dnnperf.NewMetrics()
 	}
 
 	switch {
@@ -85,17 +91,17 @@ func main() {
 			fmt.Fprintf(w, "%-8s  %-12s  %s\n", e.ID, e.PaperRef, e.Title)
 		}
 	case *exp != "":
-		tbl, err := dnnperf.RunExperiment(*exp)
+		tbl, err := dnnperf.RunExperimentOn(reg, *exp)
 		if err != nil {
 			fatal(err)
 		}
 		tbl.Render(w)
 	case *all:
-		if err := dnnperf.RunAll(w); err != nil {
+		if err := dnnperf.RunAllOn(reg, w); err != nil {
 			fatal(err)
 		}
 	case *report:
-		if err := dnnperf.WriteReport(w); err != nil {
+		if err := dnnperf.WriteReportOn(reg, w); err != nil {
 			fatal(err)
 		}
 	case *sim:
@@ -113,6 +119,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		dnnperf.RecordSimMetrics(reg, r)
 		if perNode, fits, merr := dnnperf.CheckMemory(cfg); merr == nil && !fits {
 			fmt.Fprintf(w, "  WARNING: ~%.0f GB/node exceeds %s's %d GB — this configuration could not run\n",
 				float64(perNode)/(1<<30), cfg.CPU.Label, cfg.CPU.MemGB)
@@ -160,6 +167,21 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if reg != nil {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dnnperf.WriteMetrics(f, reg); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "metrics: %s\n", *metrics)
 	}
 }
 

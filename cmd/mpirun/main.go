@@ -44,6 +44,7 @@ import (
 	"dnnperf/internal/horovod"
 	"dnnperf/internal/models"
 	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
 	"dnnperf/internal/train"
 )
 
@@ -74,6 +75,10 @@ func main() {
 		elastic   = flag.Bool("elastic", false, "supervise training: checkpoint periodically and survive rank failure by shrinking")
 		ckptEvery = flag.Int("ckpt_every", 2, "elastic checkpoint period in steps")
 		ckptDir   = flag.String("ckpt_dir", "", "elastic checkpoint directory (default: a temp dir the launcher creates)")
+
+		metricsPath = flag.String("metrics", "", "write merged per-rank metrics JSON here (gathered to rank 0; elastic: the final leader's local metrics)")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline here (all ranks merged, pid = rank)")
+		algFlag     = flag.String("allreduce_alg", "auto", "allreduce algorithm: auto, ring or recursive_doubling (rd)")
 	)
 	flag.Parse()
 
@@ -85,6 +90,7 @@ func main() {
 			dieRank:     *dieRank, dieStep: *dieStep,
 			elastic: *elastic, ckptEvery: *ckptEvery,
 			ckptDir: firstNonEmpty(os.Getenv("DNNPERF_CKPT_DIR"), *ckptDir),
+			metrics: *metricsPath, trace: *tracePath, alg: *algFlag,
 		}
 		os.Exit(worker(rankStr, cfg))
 	}
@@ -194,6 +200,9 @@ type workerConfig struct {
 	elastic      bool
 	ckptEvery    int
 	ckptDir      string
+	metrics      string // merged metrics JSON output path ("" = off)
+	trace        string // Chrome trace output path ("" = off)
+	alg          string // allreduce algorithm flag value
 }
 
 // worker is one rank of the job; the return value is the process exit code.
@@ -221,27 +230,54 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	}
 	root := os.Getenv("DNNPERF_ROOT")
 
+	alg, err := mpi.ParseAllreduceAlg(cfg.alg)
+	if err != nil {
+		return exitFailure, err
+	}
+	// One registry and tracer span every layer of this rank: the transport
+	// (via Instrument), the communicator's algorithm counters, the Horovod
+	// engine, and the training loop.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if cfg.metrics != "" {
+		reg = telemetry.New()
+	}
+	if cfg.trace != "" {
+		tracer = telemetry.NewTracer()
+		tracer.SetPID(rank)
+	}
+
 	raw, err := mpi.DialTCPOpts(rank, size, root, "127.0.0.1:0", mpi.TCPOptions{
 		RecvTimeout: cfg.recvTimeout,
+		Telemetry:   reg,
 	})
 	if err != nil {
 		return exitFailure, err
 	}
 	ft := mpi.NewFaultTransport(raw.Endpoint(), cfg.fault)
-	comm := mpi.NewComm(ft)
+	comm := mpi.NewComm(mpi.Instrument(ft, reg))
 	defer comm.Close()
+	if err := comm.SetAllreduceAlg(alg); err != nil {
+		return exitFailure, err
+	}
+	if reg != nil {
+		comm.SetTelemetry(reg)
+	}
 
 	if cfg.elastic {
-		return elasticWorker(comm, rank, size, cfg)
+		return elasticWorker(comm, rank, size, cfg, reg, tracer)
 	}
 
 	eng := horovod.NewEngine(comm, horovod.Config{
 		CycleTime: time.Duration(cfg.cycleMS * float64(time.Millisecond)),
 		Average:   true,
+		Telemetry: reg,
+		Tracer:    tracer,
 	})
 
 	m := models.TinyCNN(models.Config{Batch: cfg.batch, ImageSize: 16, Classes: 4, Seed: 7})
-	tr, err := train.New(train.Config{Model: m, IntraThreads: 2, LR: 0.05, Engine: eng, Rank: rank})
+	tr, err := train.New(train.Config{Model: m, IntraThreads: 2, LR: 0.05, Engine: eng, Rank: rank,
+		Telemetry: reg, Tracer: tracer})
 	if err != nil {
 		return exitFailure, err
 	}
@@ -273,6 +309,12 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	if err := eng.Shutdown(); err != nil {
 		return exitFailure, err
 	}
+	// Gather every rank's metrics and trace to rank 0 before the
+	// communicator goes away. The engine is down, so the communicator is
+	// free for this one collective.
+	if err := exportTelemetry(comm, rank, reg, tracer, cfg); err != nil {
+		return exitFailure, err
+	}
 	if rank == 0 {
 		s := eng.Stats()
 		last := stats[len(stats)-1]
@@ -287,6 +329,97 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		}
 	}
 	return exitClean, nil
+}
+
+// exportTelemetry gathers every rank's metrics snapshot and trace events to
+// rank 0 (one AllgatherBytes of JSON bundles) and writes the merged metrics
+// document and a single multi-process Chrome trace (pid = rank). All ranks
+// must call it when metrics or tracing is enabled; non-root ranks only
+// contribute their bundle.
+func exportTelemetry(comm *mpi.Comm, rank int, reg *telemetry.Registry, tracer *telemetry.Tracer, cfg workerConfig) error {
+	if cfg.metrics == "" && cfg.trace == "" {
+		return nil
+	}
+	snap := reg.Snapshot()
+	snap.Rank = rank
+	blob, err := telemetry.Bundle{Snapshot: snap, Events: tracer.Events()}.Encode()
+	if err != nil {
+		return err
+	}
+	parts, err := comm.AllgatherBytes(blob)
+	if err != nil {
+		return fmt.Errorf("telemetry gather: %w", err)
+	}
+	if rank != 0 {
+		return nil
+	}
+	snaps := make([]telemetry.Snapshot, 0, len(parts))
+	var events []telemetry.TraceEvent
+	for r, part := range parts {
+		b, err := telemetry.DecodeBundle(part)
+		if err != nil {
+			return fmt.Errorf("telemetry bundle from rank %d: %w", r, err)
+		}
+		snaps = append(snaps, b.Snapshot)
+		if len(b.Events) > 0 {
+			events = append(events, telemetry.ProcessName(r, fmt.Sprintf("rank %d", r)))
+			events = append(events, b.Events...)
+		}
+	}
+	if cfg.metrics != "" {
+		if err := writeFileWith(cfg.metrics, func(w *os.File) error {
+			return telemetry.WriteMetrics(w, snaps)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: merged metrics for %d rank(s) -> %s\n", len(snaps), cfg.metrics)
+	}
+	if cfg.trace != "" {
+		if err := writeFileWith(cfg.trace, func(w *os.File) error {
+			return telemetry.WriteChromeTrace(w, events)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry: %d trace event(s) -> %s\n", len(events), cfg.trace)
+	}
+	return nil
+}
+
+// writeLocalTelemetry writes one rank's own metrics and trace without a
+// gather — the elastic path, where the original communicator may be stale
+// after a shrink, so only the final leader exports its local view.
+func writeLocalTelemetry(rank int, reg *telemetry.Registry, tracer *telemetry.Tracer, cfg workerConfig) error {
+	if cfg.metrics != "" {
+		snap := reg.Snapshot()
+		snap.Rank = rank
+		if err := writeFileWith(cfg.metrics, func(w *os.File) error {
+			return telemetry.WriteMetrics(w, []telemetry.Snapshot{snap})
+		}); err != nil {
+			return err
+		}
+	}
+	if cfg.trace != "" {
+		events := tracer.Events()
+		events = append([]telemetry.TraceEvent{telemetry.ProcessName(rank, fmt.Sprintf("rank %d", rank))}, events...)
+		if err := writeFileWith(cfg.trace, func(w *os.File) error {
+			return telemetry.WriteChromeTrace(w, events)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func clampDieStep(die, steps int) int {
@@ -327,8 +460,10 @@ func elasticFactories(batch int) (func() *models.Model, func(int) train.Optimize
 }
 
 // elasticWorker runs the supervised loop; the doomed rank (if this is it)
-// instead trains unsupervised until its death step and aborts.
-func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig) (int, error) {
+// instead trains unsupervised until its death step and aborts. Telemetry is
+// exported by the final leader only, from its local registry: after a
+// shrink the original communicator is stale, so no job-wide gather runs.
+func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *telemetry.Registry, tracer *telemetry.Tracer) (int, error) {
 	newModel, newOpt, newGen := elasticFactories(cfg.batch)
 	engCfg := horovod.Config{
 		CycleTime: time.Duration(cfg.cycleMS * float64(time.Millisecond)),
@@ -360,6 +495,8 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig) (int, error
 		return exitInjectedDeath, nil
 	}
 
+	engCfg.Telemetry = reg
+	engCfg.Tracer = tracer
 	res, err := train.Supervise(train.SupervisorConfig{
 		Comm:         comm,
 		Engine:       engCfg,
@@ -370,6 +507,8 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig) (int, error
 		IntraThreads: 2,
 		CkptDir:      cfg.ckptDir,
 		CkptEvery:    cfg.ckptEvery,
+		Telemetry:    reg,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		return exitFailure, err
@@ -388,6 +527,9 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig) (int, error
 		last := res.Steps[len(res.Steps)-1]
 		fmt.Printf("final: step %d, loss %.4f, per-rank %.1f img/s on %d survivor(s) (engine restarts: %d)\n",
 			res.FinalStep, last.Loss, train.Throughput(res.Steps), res.WorldSize, res.EngineStats.Restarts)
+		if err := writeLocalTelemetry(rank, reg, tracer, cfg); err != nil {
+			return exitFailure, err
+		}
 	}
 	if res.Outcome == train.OutcomeRecovered {
 		return exitRecovered, nil

@@ -42,8 +42,25 @@ import (
 	"dnnperf/internal/hw"
 	"dnnperf/internal/models"
 	"dnnperf/internal/runner"
+	"dnnperf/internal/telemetry"
 	"dnnperf/internal/trainsim"
 )
+
+// Metrics is the shared telemetry registry: the same Counter/Gauge/Histogram
+// substrate every layer (mpi, horovod, graph, train, trainsim, runner) emits
+// through. Pass one to the *On experiment runners or RecordSimMetrics, then
+// export it with WriteMetrics.
+type Metrics = telemetry.Registry
+
+// NewMetrics returns an empty telemetry registry.
+func NewMetrics() *Metrics { return telemetry.New() }
+
+// WriteMetrics writes the registry's state as the merged metrics JSON
+// document — the same schema mpirun writes for multi-rank jobs, with a
+// single snapshot under rank 0.
+func WriteMetrics(w io.Writer, m *Metrics) error {
+	return telemetry.WriteMetrics(w, []telemetry.Snapshot{m.Snapshot()})
+}
 
 // SimConfig configures one CPU training-throughput simulation point.
 type SimConfig = trainsim.Config
@@ -109,9 +126,13 @@ func SimulateTrace(cfg SimConfig) (SimResult, []TraceEvent, error) {
 	return trainsim.SimulateTrace(cfg)
 }
 
-// WriteChromeTrace renders a timeline in the Chrome trace-event format.
+// WriteChromeTrace renders a timeline in the Chrome trace-event format,
+// labeled as the simulated process (telemetry.SimPID) so it stays distinct
+// from real ranks when overlaid with an mpirun trace in one Perfetto view.
 func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
-	return trainsim.WriteChromeTrace(w, events)
+	te := trainsim.ToTelemetry(events, telemetry.SimPID)
+	te = append([]telemetry.TraceEvent{telemetry.ProcessName(telemetry.SimPID, "simulated")}, te...)
+	return telemetry.WriteChromeTrace(w, te)
 }
 
 // PipelineConfig configures a model-parallel (pipeline) simulation point.
@@ -147,6 +168,12 @@ func NodesFor(cfg SimConfig, targetIPS float64, maxNodes int) (int, error) {
 // RunExperiment regenerates one table or figure by ID (e.g. "fig6a").
 func RunExperiment(id string) (*ResultTable, error) { return core.RunExperiment(id) }
 
+// RunExperimentOn is RunExperiment with harness telemetry (runner.* wall
+// times) recorded into m; nil m leaves the run unobserved.
+func RunExperimentOn(m *Metrics, id string) (*ResultTable, error) {
+	return core.RunExperimentOn(m, id)
+}
+
 // ExperimentIDs lists every reproducible artifact in paper order.
 func ExperimentIDs() []string { return core.ExperimentIDs() }
 
@@ -156,8 +183,32 @@ func Experiments() []Experiment { return runner.All() }
 // RunAll regenerates the full suite, rendering every table to w.
 func RunAll(w io.Writer) error { return core.RunAll(w) }
 
+// RunAllOn is RunAll with per-experiment telemetry recorded into m.
+func RunAllOn(m *Metrics, w io.Writer) error { return core.RunAllOn(m, w) }
+
 // WriteReport regenerates the full suite as a markdown report.
 func WriteReport(w io.Writer) error { return core.WriteReport(w) }
+
+// WriteReportOn is WriteReport with per-experiment telemetry recorded into m.
+func WriteReportOn(m *Metrics, w io.Writer) error { return core.WriteReportOn(m, w) }
+
+// RecordSimMetrics exports one simulation result's headline numbers into m
+// on the shared metric names (sim.*), so simulated and measured runs can be
+// compared from the same metrics pipeline.
+func RecordSimMetrics(m *Metrics, r SimResult) {
+	if m == nil {
+		return
+	}
+	m.Counter("sim.runs").Inc()
+	m.Counter("sim.framework_tensors").Add(int64(r.FrameworkTensors))
+	m.Counter("sim.engine_allreduces").Add(int64(r.EngineAllreduces))
+	m.Counter("sim.cycles").Add(int64(r.Cycles))
+	m.Gauge("sim.images_per_sec").Set(r.ImagesPerSec)
+	m.Gauge("sim.global_batch").SetInt(int64(r.GlobalBatch))
+	m.Gauge("sim.iter_time_ms").Set(1e3 * r.IterTimeSec)
+	m.Gauge("sim.compute_ms").Set(1e3 * r.ComputeSec)
+	m.Gauge("sim.exposed_comm_ms").Set(1e3 * r.ExposedCommSec)
+}
 
 // BestConfig searches ppn/threads for the best configuration of a model on
 // a platform — the paper's tuning methodology, automated.

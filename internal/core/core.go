@@ -13,26 +13,36 @@ import (
 	"dnnperf/internal/hw"
 	"dnnperf/internal/models"
 	"dnnperf/internal/runner"
+	"dnnperf/internal/telemetry"
 	"dnnperf/internal/trainsim"
 )
 
 // RunExperiment executes one table/figure reproduction by ID ("fig6a",
 // "table1", ...) and returns its result table.
 func RunExperiment(id string) (*runner.Table, error) {
+	return RunExperimentOn(nil, id)
+}
+
+// RunExperimentOn is RunExperiment with harness telemetry recorded into reg
+// (runner.experiments, runner.experiment_ns{id=...}); nil reg is unobserved.
+func RunExperimentOn(reg *telemetry.Registry, id string) (*runner.Table, error) {
 	e, err := runner.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return runner.RunOn(e, reg)
 }
 
 // ExperimentIDs lists every reproducible artifact in paper order.
 func ExperimentIDs() []string { return runner.IDs() }
 
 // RunAll executes the full suite, rendering each table to w.
-func RunAll(w io.Writer) error {
+func RunAll(w io.Writer) error { return RunAllOn(nil, w) }
+
+// RunAllOn is RunAll with per-experiment telemetry recorded into reg.
+func RunAllOn(reg *telemetry.Registry, w io.Writer) error {
 	for _, e := range runner.All() {
-		t, err := e.Run()
+		t, err := runner.RunOn(e, reg)
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", e.ID, err)
 		}
@@ -44,7 +54,11 @@ func RunAll(w io.Writer) error {
 
 // WriteReport runs the full suite and renders a self-contained markdown
 // report (the machine-generated companion to EXPERIMENTS.md).
-func WriteReport(w io.Writer) error {
+func WriteReport(w io.Writer) error { return WriteReportOn(nil, w) }
+
+// WriteReportOn is WriteReport with per-experiment telemetry recorded into
+// reg.
+func WriteReportOn(reg *telemetry.Registry, w io.Writer) error {
 	fmt.Fprintln(w, "# dnnperf reproduction report")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Regenerated tables for every artifact of \"Performance Characterization")
@@ -52,7 +66,7 @@ func WriteReport(w io.Writer) error {
 	fmt.Fprintln(w, "(CLUSTER 2019), plus this reproduction's extension studies.")
 	fmt.Fprintln(w)
 	for _, e := range runner.All() {
-		t, err := e.Run()
+		t, err := runner.RunOn(e, reg)
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", e.ID, err)
 		}

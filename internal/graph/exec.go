@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"dnnperf/internal/telemetry"
 	"dnnperf/internal/tensor"
 )
 
@@ -160,6 +161,10 @@ type Executor struct {
 	GradHook func(v *Node)
 	// Prof, if set, accumulates per-op-kind execution times.
 	Prof *Profile
+	// Tracer, if set, records every op execution as a span (fwd:<kind> /
+	// bwd:<kind>) on the worker's lane, for Chrome-trace timelines. Nil
+	// costs nothing on the hot path.
+	Tracer *telemetry.Tracer
 
 	// Arena recycling (UseArena): kernel outputs come from the arena, dead
 	// intermediates go back during Backward, and spent ExecStates are reused.
@@ -219,14 +224,22 @@ func (e *Executor) reclaim(st *ExecState) {
 	e.freeMu.Unlock()
 }
 
-// runFwd executes one op node's forward, timing it when profiling.
-func (e *Executor) runFwd(st *ExecState, node *Node) *tensor.Tensor {
-	if e.Prof == nil {
+// runFwd executes one op node's forward on worker lane tid, timing it when
+// profiling or tracing.
+func (e *Executor) runFwd(st *ExecState, node *Node, tid int) *tensor.Tensor {
+	if e.Prof == nil && e.Tracer == nil {
 		return node.Op.Forward(st, node, gatherVals(st, node))
+	}
+	var sp telemetry.Span
+	if e.Tracer != nil {
+		sp = e.Tracer.Begin("fwd:"+node.Op.Kind(), "compute", tid)
 	}
 	t0 := time.Now()
 	out := node.Op.Forward(st, node, gatherVals(st, node))
-	e.Prof.add(node.Op.Kind(), true, time.Since(t0))
+	if e.Prof != nil {
+		e.Prof.add(node.Op.Kind(), true, time.Since(t0))
+	}
+	sp.End()
 	return out
 }
 
@@ -267,7 +280,7 @@ func (e *Executor) Forward(feeds map[*Node]*tensor.Tensor) (*ExecState, error) {
 			if node.Kind != KindOp {
 				continue
 			}
-			st.vals[node.ID] = e.runFwd(st, node)
+			st.vals[node.ID] = e.runFwd(st, node, 0)
 		}
 		return st, nil
 	}
@@ -323,10 +336,10 @@ func (e *Executor) forwardParallel(st *ExecState) {
 	var wg sync.WaitGroup
 	wg.Add(e.InterOp)
 	for w := 0; w < e.InterOp; w++ {
-		go func() {
+		go func(tid int) {
 			defer wg.Done()
 			for node := range ready {
-				st.vals[node.ID] = e.runFwd(st, node)
+				st.vals[node.ID] = e.runFwd(st, node, tid)
 				mu.Lock()
 				for _, c := range consumers[node.ID] {
 					counts[c.ID].remaining--
@@ -340,7 +353,7 @@ func (e *Executor) forwardParallel(st *ExecState) {
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	if total == 0 {
 		close(ready)
@@ -407,7 +420,7 @@ func (e *Executor) Backward(st *ExecState, output *Node, dy *tensor.Tensor) erro
 			if !active[node.ID] {
 				continue
 			}
-			e.finishNode(st, node)
+			e.finishNode(st, node, 0)
 		}
 		return nil
 	}
@@ -423,7 +436,7 @@ func (e *Executor) Backward(st *ExecState, output *Node, dy *tensor.Tensor) erro
 // parallel scheduler), so the node's value, accumulated gradient and saved
 // state are dead and can be returned to the arena immediately — peak memory
 // tracks the live frontier of the backward sweep instead of the whole graph.
-func (e *Executor) finishNode(st *ExecState, node *Node) {
+func (e *Executor) finishNode(st *ExecState, node *Node, tid int) {
 	g := st.grads[node.ID]
 	switch node.Kind {
 	case KindVariable:
@@ -441,6 +454,10 @@ func (e *Executor) finishNode(st *ExecState, node *Node) {
 		if g == nil {
 			return
 		}
+		var sp telemetry.Span
+		if e.Tracer != nil {
+			sp = e.Tracer.Begin("bwd:"+node.Op.Kind(), "compute", tid)
+		}
 		var t0 time.Time
 		if e.Prof != nil {
 			t0 = time.Now()
@@ -449,6 +466,7 @@ func (e *Executor) finishNode(st *ExecState, node *Node) {
 		if e.Prof != nil {
 			e.Prof.add(node.Op.Kind(), false, time.Since(t0))
 		}
+		sp.End()
 		for i, ig := range inGrads {
 			if ig == nil {
 				continue
@@ -528,10 +546,10 @@ func (e *Executor) backwardParallel(st *ExecState, active []bool, output *Node) 
 	var wg sync.WaitGroup
 	wg.Add(e.InterOp)
 	for w := 0; w < e.InterOp; w++ {
-		go func() {
+		go func(tid int) {
 			defer wg.Done()
 			for node := range ready {
-				e.finishNode(st, node)
+				e.finishNode(st, node, tid)
 				mu.Lock()
 				for _, in := range node.Inputs {
 					remaining[in.ID]--
@@ -545,7 +563,7 @@ func (e *Executor) backwardParallel(st *ExecState, active []bool, output *Node) 
 				}
 				mu.Unlock()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return nil

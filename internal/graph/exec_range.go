@@ -56,7 +56,7 @@ func (e *Executor) ForwardRange(presets map[*Node]*tensor.Tensor, lo, hi int) (*
 						node.Name, dep.Name)
 				}
 			}
-			st.vals[id] = e.runFwd(st, node)
+			st.vals[id] = e.runFwd(st, node, 0)
 		}
 	}
 	return st, nil
@@ -87,7 +87,7 @@ func (e *Executor) BackwardRange(st *ExecState, from *Node, dy *tensor.Tensor, l
 		if st.grads[id] == nil && node.Kind == KindOp {
 			continue
 		}
-		e.finishNode(st, node)
+		e.finishNode(st, node, 0)
 	}
 	out := make(map[*Node]*tensor.Tensor)
 	for id := 0; id <= lo; id++ {

@@ -6,37 +6,68 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dnnperf/internal/telemetry"
 )
 
 // Profile accumulates per-op-kind execution time across forward and
 // backward passes — the op-level breakdown performance studies use to
 // identify where CPU training time goes (convolutions vs normalization vs
 // data movement).
+//
+// The accumulators are telemetry counters (graph.op.fwd_ns{kind=K},
+// graph.op.bwd_ns{kind=K}, graph.op.calls{kind=K}): handles are registered
+// once per kind and then updated with lock-free atomic adds, so concurrent
+// inter-op workers profile without contending, and NewProfileOn exports the
+// same numbers through a shared metrics registry.
 type Profile struct {
+	reg *telemetry.Registry
+
 	mu    sync.Mutex
-	fwd   map[string]time.Duration
-	bwd   map[string]time.Duration
-	calls map[string]int64
+	kinds map[string]*kindHandles
 }
 
-// NewProfile returns an empty profile.
-func NewProfile() *Profile {
-	return &Profile{
-		fwd:   make(map[string]time.Duration),
-		bwd:   make(map[string]time.Duration),
-		calls: make(map[string]int64),
+type kindHandles struct {
+	fwd, bwd, calls *telemetry.Counter
+}
+
+// NewProfile returns an empty profile on private (unexported) accumulators.
+func NewProfile() *Profile { return NewProfileOn(nil) }
+
+// NewProfileOn returns a profile whose accumulators live in reg, so the
+// per-op breakdown ships with the job's metrics snapshot. A nil registry
+// keeps them private.
+func NewProfileOn(reg *telemetry.Registry) *Profile {
+	return &Profile{reg: reg, kinds: make(map[string]*kindHandles)}
+}
+
+// handles returns kind's counter triple, registering it on first use. A nil
+// registry hands out detached counters, which is why the triple must be
+// cached here: detached handles are not idempotent per name.
+func (p *Profile) handles(kind string) *kindHandles {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.kinds[kind]
+	if h == nil {
+		l := telemetry.L("kind", kind)
+		h = &kindHandles{
+			fwd:   p.reg.Counter("graph.op.fwd_ns", l),
+			bwd:   p.reg.Counter("graph.op.bwd_ns", l),
+			calls: p.reg.Counter("graph.op.calls", l),
+		}
+		p.kinds[kind] = h
 	}
+	return h
 }
 
 func (p *Profile) add(kind string, fwd bool, d time.Duration) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	h := p.handles(kind)
 	if fwd {
-		p.fwd[kind] += d
+		h.fwd.Add(int64(d))
 	} else {
-		p.bwd[kind] += d
+		h.bwd.Add(int64(d))
 	}
-	p.calls[kind]++
+	h.calls.Inc()
 }
 
 // Entry is one row of a profile report.
@@ -54,16 +85,14 @@ func (e Entry) Total() time.Duration { return e.Forward + e.Backward }
 func (p *Profile) Entries() []Entry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	kinds := map[string]bool{}
-	for k := range p.fwd {
-		kinds[k] = true
-	}
-	for k := range p.bwd {
-		kinds[k] = true
-	}
-	out := make([]Entry, 0, len(kinds))
-	for k := range kinds {
-		out = append(out, Entry{Kind: k, Forward: p.fwd[k], Backward: p.bwd[k], Calls: p.calls[k]})
+	out := make([]Entry, 0, len(p.kinds))
+	for k, h := range p.kinds {
+		out = append(out, Entry{
+			Kind:     k,
+			Forward:  time.Duration(h.fwd.Value()),
+			Backward: time.Duration(h.bwd.Value()),
+			Calls:    h.calls.Value(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Total() > out[j].Total() })
 	return out
@@ -78,13 +107,18 @@ func (p *Profile) TotalTime() time.Duration {
 	return t
 }
 
-// Reset clears all accumulated data.
+// Reset clears all accumulated data. Counters in a shared registry are
+// zeroed (not unregistered — Registry handles are permanent), and the kind
+// cache is dropped so Entries() reports only kinds seen since the reset.
 func (p *Profile) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.fwd = make(map[string]time.Duration)
-	p.bwd = make(map[string]time.Duration)
-	p.calls = make(map[string]int64)
+	for _, h := range p.kinds {
+		h.fwd.Store(0)
+		h.bwd.Store(0)
+		h.calls.Store(0)
+	}
+	p.kinds = make(map[string]*kindHandles)
 }
 
 // Render writes an aligned report to w.

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dnnperf/internal/telemetry"
+	"dnnperf/internal/tensor"
+)
+
+// TestProfileAndSpansConcurrentInterOp drives the parallel inter-op executor
+// with a registry-backed profile and a tracer attached at the same time.
+// Under -race this exercises the lock-free counter adds and the span buffer
+// from multiple workers; the assertions check that the exported counters are
+// the profile's own accumulators and that every profiled call emitted
+// exactly one span.
+func TestProfileAndSpansConcurrentInterOp(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	g, x, out := buildBranchy(rng, 2)
+	pool := tensor.NewPool(2)
+	defer pool.Close()
+	ex := NewExecutor(g, pool, 4) // 4 inter-op workers: branches run concurrently
+	reg := telemetry.New()
+	ex.Prof = NewProfileOn(reg)
+	tr := telemetry.NewTracer()
+	ex.Tracer = tr
+
+	const iters = 4
+	for i := 0; i < iters; i++ {
+		st, err := ex.Forward(map[*Node]*tensor.Tensor{x: rng.Uniform(-1, 1, 2, 2, 8, 8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ZeroGrads()
+		if err := ex.Backward(st, out, tensor.Ones(2, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The registry snapshot must carry the profile's numbers under the
+	// labeled graph.op.* names — same handles, same values.
+	snap := reg.Snapshot()
+	entries := ex.Prof.Entries()
+	if len(entries) == 0 {
+		t.Fatal("profile collected nothing")
+	}
+	var totalCalls int64
+	for _, e := range entries {
+		totalCalls += e.Calls
+		name := fmt.Sprintf("graph.op.calls{kind=%s}", e.Kind)
+		if got := snap.Counters[name]; got != e.Calls {
+			t.Fatalf("%s: snapshot %d, profile %d", name, got, e.Calls)
+		}
+		fwd := fmt.Sprintf("graph.op.fwd_ns{kind=%s}", e.Kind)
+		if got := snap.Counters[fwd]; got != int64(e.Forward) {
+			t.Fatalf("%s: snapshot %d, profile %d", fwd, got, int64(e.Forward))
+		}
+	}
+
+	// Every profiled call has exactly one span, named fwd:<kind>/bwd:<kind>.
+	perKind := map[string]int64{}
+	var spans int64
+	for _, ev := range tr.Events() {
+		if strings.HasPrefix(ev.Name, "fwd:") || strings.HasPrefix(ev.Name, "bwd:") {
+			spans++
+			perKind[strings.TrimPrefix(strings.TrimPrefix(ev.Name, "fwd:"), "bwd:")]++
+		}
+	}
+	if spans != totalCalls {
+		t.Fatalf("spans %d != profiled calls %d", spans, totalCalls)
+	}
+	for _, e := range entries {
+		if perKind[e.Kind] != e.Calls {
+			t.Fatalf("kind %s: %d spans, %d calls", e.Kind, perKind[e.Kind], e.Calls)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
 )
 
 // DefaultCycleTime matches Horovod's default HOROVOD_CYCLE_TIME of 3.5 ms,
@@ -47,6 +48,15 @@ type Config struct {
 	// leader ring + broadcast) with this many consecutive ranks per group —
 	// the MVAPICH2-on-a-cluster topology where a group is one node.
 	GroupSize int
+	// Telemetry, when set, backs the engine's profiling counters with this
+	// registry (horovod.* metrics). Stats() reads the same handles, so the
+	// exported values are identical to the snapshot by construction. Nil
+	// keeps the counters on detached handles — same behavior, not exported.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records each fused allreduce as a comm-lane span in
+	// the Chrome trace, and negotiation cycles that executed work as
+	// instants.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +96,39 @@ type Stats struct {
 	Restarts int64
 }
 
+// engineMetrics holds the engine's pre-registered telemetry handles. All
+// updates are single atomic ops on these handles and Stats() reads the same
+// handles back, so the exported horovod.* metrics and the Stats struct can
+// never disagree. A nil registry hands out detached handles (telemetry's
+// nil-Registry contract), so the engine is instrumented unconditionally.
+type engineMetrics struct {
+	frameworkRequests   *telemetry.Counter
+	engineAllreduces    *telemetry.Counter
+	cycles              *telemetry.Counter
+	fusedBytes          *telemetry.Counter
+	controlBytes        *telemetry.Counter
+	cachedAnnouncements *telemetry.Counter
+	namedAnnouncements  *telemetry.Counter
+	restarts            *telemetry.Counter
+	maxFusedTensors     *telemetry.Gauge
+	fusedTensors        *telemetry.Histogram // tensors per fused allreduce
+}
+
+func newEngineMetrics(reg *telemetry.Registry) *engineMetrics {
+	return &engineMetrics{
+		frameworkRequests:   reg.Counter("horovod.framework_requests"),
+		engineAllreduces:    reg.Counter("horovod.engine_allreduces"),
+		cycles:              reg.Counter("horovod.cycles"),
+		fusedBytes:          reg.Counter("horovod.fused_bytes"),
+		controlBytes:        reg.Counter("horovod.control_bytes"),
+		cachedAnnouncements: reg.Counter("horovod.cached_announcements"),
+		namedAnnouncements:  reg.Counter("horovod.named_announcements"),
+		restarts:            reg.Counter("horovod.restarts"),
+		maxFusedTensors:     reg.Gauge("horovod.max_fused_tensors"),
+		fusedTensors:        reg.Histogram("horovod.fused_tensors", telemetry.CountBuckets),
+	}
+}
+
 type pendingTensor struct {
 	name string
 	data []float32
@@ -99,15 +142,16 @@ type cacheEntry struct {
 
 // Engine is one rank's Horovod engine instance.
 type Engine struct {
-	comm *mpi.Comm
-	cfg  Config
+	comm   *mpi.Comm
+	cfg    Config
+	met    *engineMetrics
+	tracer *telemetry.Tracer
 
 	mu        sync.Mutex
 	submitted []*pendingTensor          // ready, not yet negotiated
 	inFlight  map[string]*pendingTensor // negotiated name -> tensor
 	shutdown  bool
 	termErr   error // transport failure that killed the loop, latched
-	stats     Stats
 
 	// Response cache: stable tensor names get small ids after their first
 	// negotiation, so later steps announce readiness with one bit per
@@ -137,6 +181,8 @@ func NewEngine(comm *mpi.Comm, cfg Config) *Engine {
 	e := &Engine{
 		comm:        comm,
 		cfg:         cfg.withDefaults(),
+		met:         newEngineMetrics(cfg.Telemetry),
+		tracer:      cfg.Tracer,
 		inFlight:    make(map[string]*pendingTensor),
 		cacheByName: make(map[string]uint32),
 		wake:        make(chan struct{}, 1),
@@ -181,7 +227,7 @@ func (e *Engine) AllreduceAsync(name string, data []float32, done func(error)) e
 		}
 	}
 	e.submitted = append(e.submitted, &pendingTensor{name: name, data: data, done: done})
-	e.stats.FrameworkRequests++
+	e.met.frameworkRequests.Inc()
 	return nil
 }
 
@@ -194,11 +240,21 @@ func (e *Engine) Allreduce(name string, data []float32) error {
 	return <-ch
 }
 
-// Stats returns a snapshot of the profiling counters.
+// Stats returns a snapshot of the profiling counters. The values are read
+// from the engine's telemetry handles — the same handles a Registry snapshot
+// exports — so the two views agree exactly.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		FrameworkRequests:   e.met.frameworkRequests.Value(),
+		EngineAllreduces:    e.met.engineAllreduces.Value(),
+		Cycles:              e.met.cycles.Value(),
+		FusedBytes:          e.met.fusedBytes.Value(),
+		MaxFusedTensors:     int(e.met.maxFusedTensors.Value()),
+		ControlBytes:        e.met.controlBytes.Value(),
+		CachedAnnouncements: e.met.cachedAnnouncements.Value(),
+		NamedAnnouncements:  e.met.namedAnnouncements.Value(),
+		Restarts:            e.met.restarts.Value(),
+	}
 }
 
 // Shutdown signals the engine to stop once all ranks have also called
@@ -235,7 +291,7 @@ func (e *Engine) loop() {
 			e.inFlight[p.name] = p
 		}
 		down := e.shutdown
-		e.stats.Cycles++
+		e.met.cycles.Inc()
 		e.mu.Unlock()
 
 		halt, batches, err := e.negotiate(ready, down)
@@ -315,19 +371,17 @@ func (e *Engine) negotiate(_ []*pendingTensor, down bool) (halt bool, batches []
 					n, len(p.data), e.cacheByID[id].size)
 			}
 			bits = setBit(bits, id)
-			e.stats.CachedAnnouncements++
+			e.met.cachedAnnouncements.Inc()
 		} else {
 			names = append(names, n)
 			sizes = append(sizes, len(p.data))
-			e.stats.NamedAnnouncements++
+			e.met.namedAnnouncements.Inc()
 		}
 	}
 	e.mu.Unlock()
 
 	msg := encodeReadiness(down, bits, names, sizes)
-	e.mu.Lock()
-	e.stats.ControlBytes += int64(len(msg))
-	e.mu.Unlock()
+	e.met.controlBytes.Add(int64(len(msg)))
 	parts, err := e.comm.AllgatherBytes(msg)
 	if err != nil {
 		return false, nil, err
@@ -447,12 +501,16 @@ func (e *Engine) executeBatch(names []string) error {
 		copy(fused[off:], p.data)
 		off += len(p.data)
 	}
+	sp := e.tracer.Begin("horovod.allreduce", "comm", telemetry.CommLane)
 	var err error
 	if e.cfg.GroupSize > 1 {
 		err = e.comm.AllreduceHierarchical(fused, e.cfg.GroupSize, mpi.OpSum)
+	} else if alg := e.comm.AllreduceAlgorithm(); alg != mpi.AlgAuto {
+		err = e.comm.AllreduceWith(alg, fused, mpi.OpSum)
 	} else {
 		err = e.comm.AllreduceRing(fused, mpi.OpSum)
 	}
+	sp.End()
 	if err == nil && e.cfg.Average {
 		inv := 1 / float32(e.comm.Size())
 		for i := range fused {
@@ -468,12 +526,9 @@ func (e *Engine) executeBatch(names []string) error {
 		p.done(err)
 	}
 
-	e.mu.Lock()
-	e.stats.EngineAllreduces++
-	e.stats.FusedBytes += int64(4 * total)
-	if len(tensors) > e.stats.MaxFusedTensors {
-		e.stats.MaxFusedTensors = len(tensors)
-	}
-	e.mu.Unlock()
+	e.met.engineAllreduces.Inc()
+	e.met.fusedBytes.Add(int64(4 * total))
+	e.met.maxFusedTensors.SetMax(float64(len(tensors)))
+	e.met.fusedTensors.Observe(int64(len(tensors)))
 	return err
 }

@@ -51,18 +51,20 @@ func (e *Engine) Restart(comm *mpi.Comm) *Engine {
 	}
 	e.inFlight = map[string]*pendingTensor{}
 	e.submitted = nil
-	stats := e.stats
 	buf := e.fusedBuf
 	e.fusedBuf = nil
 	e.mu.Unlock()
 
-	stats.Restarts++
+	// The new engine shares the old one's telemetry handles, so the
+	// profiling counters stay cumulative across restarts.
+	e.met.restarts.Inc()
 	ne := &Engine{
 		comm:        comm,
 		cfg:         e.cfg,
+		met:         e.met,
+		tracer:      e.tracer,
 		inFlight:    make(map[string]*pendingTensor),
 		cacheByName: make(map[string]uint32),
-		stats:       stats,
 		fusedBuf:    buf,
 		wake:        make(chan struct{}, 1),
 		loopDone:    make(chan struct{}),

@@ -1,0 +1,124 @@
+package horovod
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
+)
+
+// TestStatsSnapshotWhileLive polls Stats concurrently with framework
+// submissions while the background cycle loop is live. Under -race this
+// checks the atomic handle reads; the assertions check that every polled
+// snapshot is monotonic — counters never move backwards mid-run.
+func TestStatsSnapshotWhileLive(t *testing.T) {
+	const n = 2
+	runEngines(t, n, fastCfg(), func(r int, e *Engine) error {
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		var polled int
+		var bad error
+		go func() {
+			defer wg.Done()
+			var prev Stats
+			for {
+				s := e.Stats()
+				if s.FrameworkRequests < prev.FrameworkRequests ||
+					s.EngineAllreduces < prev.EngineAllreduces ||
+					s.Cycles < prev.Cycles ||
+					s.FusedBytes < prev.FusedBytes {
+					bad = fmt.Errorf("stats went backwards: %+v -> %+v", prev, s)
+					return
+				}
+				prev = s
+				polled++
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+		for step := 0; step < 20; step++ {
+			data := []float32{float32(r), float32(step)}
+			if err := e.Allreduce(fmt.Sprintf("g%d", step), data); err != nil {
+				close(done)
+				wg.Wait()
+				return err
+			}
+		}
+		close(done)
+		wg.Wait()
+		if bad != nil {
+			return bad
+		}
+		if polled == 0 {
+			return fmt.Errorf("poller never ran")
+		}
+		if s := e.Stats(); s.FrameworkRequests != 20 {
+			return fmt.Errorf("framework requests: %d", s.FrameworkRequests)
+		}
+		return nil
+	})
+}
+
+// TestStatsMatchTelemetry checks the fig18/19 acceptance criterion: with a
+// registry attached, the horovod.* counters exported through telemetry are
+// value-identical to the Stats struct — they are the same handles.
+func TestStatsMatchTelemetry(t *testing.T) {
+	const n = 2
+	w, err := mpi.NewWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]*telemetry.Registry, n)
+	stats := make([]Stats, n)
+	cfg := fastCfg()
+	err = w.Run(func(c *mpi.Comm) error {
+		reg := telemetry.New()
+		regs[c.Rank()] = reg
+		rc := cfg
+		rc.Telemetry = reg
+		e := NewEngine(c, rc)
+		for step := 0; step < 5; step++ {
+			data := make([]float32, 64)
+			if err := e.Allreduce(fmt.Sprintf("g%d", step), data); err != nil {
+				e.Shutdown()
+				return err
+			}
+		}
+		serr := e.Shutdown()
+		stats[c.Rank()] = e.Stats()
+		return serr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		snap := regs[r].Snapshot()
+		s := stats[r]
+		for name, want := range map[string]int64{
+			"horovod.framework_requests":   s.FrameworkRequests,
+			"horovod.engine_allreduces":    s.EngineAllreduces,
+			"horovod.cycles":               s.Cycles,
+			"horovod.fused_bytes":          s.FusedBytes,
+			"horovod.control_bytes":        s.ControlBytes,
+			"horovod.cached_announcements": s.CachedAnnouncements,
+			"horovod.named_announcements":  s.NamedAnnouncements,
+			"horovod.restarts":             s.Restarts,
+		} {
+			if got := snap.Counters[name]; got != want {
+				t.Fatalf("rank %d %s: telemetry %d, Stats %d", r, name, got, want)
+			}
+		}
+		if got := int(snap.Gauges["horovod.max_fused_tensors"]); got != s.MaxFusedTensors {
+			t.Fatalf("rank %d max_fused_tensors: telemetry %d, Stats %d", r, got, s.MaxFusedTensors)
+		}
+		if s.FrameworkRequests != 5 {
+			t.Fatalf("rank %d framework requests: %d", r, s.FrameworkRequests)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"fmt"
+
+	"dnnperf/internal/telemetry"
+)
+
+// AllreduceAlg selects the allreduce algorithm explicitly, replacing the
+// hardcoded power-of-two/small-payload heuristic with a first-class knob —
+// the MV2_ALLREDUCE-style tuning the reproduced paper's MVAPICH2 stack
+// exposes. Set a communicator-wide default with SetAllreduceAlg or force a
+// single call with AllreduceWith.
+type AllreduceAlg int
+
+const (
+	// AlgAuto picks recursive doubling for power-of-two jobs with small
+	// payloads and the bandwidth-optimal ring otherwise (MPI practice).
+	AlgAuto AllreduceAlg = iota
+	// AlgRing forces the ring allreduce (reduce-scatter + allgather).
+	AlgRing
+	// AlgRecursiveDoubling forces hypercube exchange; the job size must be
+	// a power of two.
+	AlgRecursiveDoubling
+)
+
+// smallAllreduceElems is AlgAuto's latency/bandwidth crossover: payloads at
+// or below this many float32 elements prefer recursive doubling.
+const smallAllreduceElems = 4096
+
+func (a AllreduceAlg) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgRing:
+		return "ring"
+	case AlgRecursiveDoubling:
+		return "recursive_doubling"
+	default:
+		return fmt.Sprintf("AllreduceAlg(%d)", int(a))
+	}
+}
+
+// ParseAllreduceAlg maps a flag value ("auto", "ring",
+// "recursive_doubling" or the short "rd") to its algorithm.
+func ParseAllreduceAlg(s string) (AllreduceAlg, error) {
+	switch s {
+	case "auto", "":
+		return AlgAuto, nil
+	case "ring":
+		return AlgRing, nil
+	case "recursive_doubling", "rd":
+		return AlgRecursiveDoubling, nil
+	default:
+		return AlgAuto, fmt.Errorf("mpi: unknown allreduce algorithm %q (want auto, ring or recursive_doubling)", s)
+	}
+}
+
+// SetAllreduceAlg sets the communicator-wide default algorithm used by
+// Allreduce. AlgRecursiveDoubling requires a power-of-two job size.
+func (c *Comm) SetAllreduceAlg(a AllreduceAlg) error {
+	switch a {
+	case AlgAuto, AlgRing:
+	case AlgRecursiveDoubling:
+		if !isPow2(c.Size()) {
+			return fmt.Errorf("mpi: recursive doubling requires power-of-two size, got %d", c.Size())
+		}
+	default:
+		return fmt.Errorf("mpi: unknown allreduce algorithm %d", int(a))
+	}
+	c.alg = a
+	return nil
+}
+
+// AllreduceAlgorithm returns the communicator-wide default algorithm.
+func (c *Comm) AllreduceAlgorithm() AllreduceAlg { return c.alg }
+
+// commTelemetry holds the communicator's pre-registered counters: one per
+// allreduce algorithm, so the chosen path shows up as a telemetry label
+// (mpi.allreduce{alg=ring} etc.).
+type commTelemetry struct {
+	ring, recursiveDoubling, hierarchical *telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry to the communicator: every
+// allreduce records the algorithm that executed it under the label
+// alg=<name>. Derived communicators (Split/Shrink) do not inherit the
+// registry — the sub-collectives a hierarchical allreduce issues internally
+// would otherwise double-count.
+func (c *Comm) SetTelemetry(reg *telemetry.Registry) {
+	c.tele = &commTelemetry{
+		ring:              reg.Counter("mpi.allreduce", telemetry.L("alg", "ring")),
+		recursiveDoubling: reg.Counter("mpi.allreduce", telemetry.L("alg", "recursive_doubling")),
+		hierarchical:      reg.Counter("mpi.allreduce", telemetry.L("alg", "hierarchical")),
+	}
+}
+
+func (c *Comm) countAllreduce(a AllreduceAlg) {
+	if c.tele == nil {
+		return
+	}
+	switch a {
+	case AlgRing:
+		c.tele.ring.Inc()
+	case AlgRecursiveDoubling:
+		c.tele.recursiveDoubling.Inc()
+	}
+}
+
+// AllreduceWith runs one allreduce under an explicit algorithm, regardless
+// of the communicator default.
+func (c *Comm) AllreduceWith(a AllreduceAlg, buf []float32, op ReduceOp) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	switch c.resolveAlg(a, len(buf)) {
+	case AlgRecursiveDoubling:
+		return c.AllreduceRecursiveDoubling(buf, op)
+	default:
+		return c.AllreduceRing(buf, op)
+	}
+}
+
+// resolveAlg turns AlgAuto into a concrete algorithm for a payload of n
+// float32 elements.
+func (c *Comm) resolveAlg(a AllreduceAlg, n int) AllreduceAlg {
+	if a != AlgAuto {
+		return a
+	}
+	if isPow2(c.Size()) && n <= smallAllreduceElems {
+		return AlgRecursiveDoubling
+	}
+	return AlgRing
+}

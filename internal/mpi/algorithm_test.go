@@ -1,0 +1,213 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"dnnperf/internal/telemetry"
+)
+
+func TestParseAllreduceAlg(t *testing.T) {
+	cases := []struct {
+		in   string
+		want AllreduceAlg
+		ok   bool
+	}{
+		{"", AlgAuto, true},
+		{"auto", AlgAuto, true},
+		{"ring", AlgRing, true},
+		{"recursive_doubling", AlgRecursiveDoubling, true},
+		{"rd", AlgRecursiveDoubling, true},
+		{"bogus", AlgAuto, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseAllreduceAlg(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseAllreduceAlg(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if AlgRecursiveDoubling.String() != "recursive_doubling" || AlgRing.String() != "ring" || AlgAuto.String() != "auto" {
+		t.Error("String() round-trip mismatch")
+	}
+}
+
+// runAllreduce executes one allreduce on every rank of a fresh size-n world,
+// each rank contributing its rank+1 in every element, and checks the sum.
+func runAllreduceCase(t *testing.T, n, elems int, setup func(c *Comm) error, call func(c *Comm, buf []float32) error) {
+	t.Helper()
+	w, err := NewWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float32(n*(n+1)) / 2
+	err = w.Run(func(c *Comm) error {
+		if setup != nil {
+			if err := setup(c); err != nil {
+				return err
+			}
+		}
+		buf := make([]float32, elems)
+		for i := range buf {
+			buf[i] = float32(c.Rank() + 1)
+		}
+		if err := call(c, buf); err != nil {
+			return err
+		}
+		for i, v := range buf {
+			if v != want {
+				return fmt.Errorf("rank %d elem %d: got %v want %v", c.Rank(), i, v, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllreduceAlgSelection forces each algorithm path through the
+// communicator-wide default and checks the chosen path is recorded under its
+// telemetry label.
+func TestAllreduceAlgSelection(t *testing.T) {
+	for _, tc := range []struct {
+		alg   AllreduceAlg
+		n     int
+		label string
+	}{
+		{AlgRing, 4, "ring"},
+		{AlgRecursiveDoubling, 4, "recursive_doubling"},
+		{AlgRing, 3, "ring"},
+	} {
+		t.Run(fmt.Sprintf("%s_n%d", tc.alg, tc.n), func(t *testing.T) {
+			regs := make([]*telemetry.Registry, tc.n)
+			runAllreduceCase(t, tc.n, 100,
+				func(c *Comm) error {
+					regs[c.Rank()] = telemetry.New()
+					c.SetTelemetry(regs[c.Rank()])
+					return c.SetAllreduceAlg(tc.alg)
+				},
+				func(c *Comm, buf []float32) error {
+					if got := c.AllreduceAlgorithm(); got != tc.alg {
+						return fmt.Errorf("AllreduceAlgorithm() = %v, want %v", got, tc.alg)
+					}
+					return c.Allreduce(buf, OpSum)
+				})
+			for r, reg := range regs {
+				snap := reg.Snapshot()
+				name := fmt.Sprintf("mpi.allreduce{alg=%s}", tc.label)
+				if snap.Counters[name] != 1 {
+					t.Errorf("rank %d: %s = %d, want 1 (counters: %v)", r, name, snap.Counters[name], snap.Counters)
+				}
+			}
+		})
+	}
+}
+
+// TestAllreduceWithPerCall forces an algorithm for a single call without
+// touching the communicator default.
+func TestAllreduceWithPerCall(t *testing.T) {
+	runAllreduceCase(t, 4, 10, nil, func(c *Comm, buf []float32) error {
+		if err := c.AllreduceWith(AlgRing, buf, OpSum); err != nil {
+			return err
+		}
+		if c.AllreduceAlgorithm() != AlgAuto {
+			return fmt.Errorf("per-call override mutated the default")
+		}
+		// Undo the first reduction so the harness's sum check holds.
+		for i := range buf {
+			buf[i] = float32(c.Rank() + 1)
+		}
+		return c.AllreduceWith(AlgRecursiveDoubling, buf, OpSum)
+	})
+}
+
+// TestAllreduceAutoResolution pins AlgAuto's crossover: recursive doubling
+// for power-of-two sizes with small payloads, ring otherwise.
+func TestAllreduceAutoResolution(t *testing.T) {
+	w, _ := NewWorld(4)
+	c := w.Comm(0)
+	if got := c.resolveAlg(AlgAuto, smallAllreduceElems); got != AlgRecursiveDoubling {
+		t.Errorf("pow2 small payload: got %v, want recursive doubling", got)
+	}
+	if got := c.resolveAlg(AlgAuto, smallAllreduceElems+1); got != AlgRing {
+		t.Errorf("pow2 large payload: got %v, want ring", got)
+	}
+	w3, _ := NewWorld(3)
+	if got := w3.Comm(0).resolveAlg(AlgAuto, 8); got != AlgRing {
+		t.Errorf("non-pow2: got %v, want ring", got)
+	}
+}
+
+func TestSetAllreduceAlgValidation(t *testing.T) {
+	w, _ := NewWorld(3)
+	c := w.Comm(0)
+	if err := c.SetAllreduceAlg(AlgRecursiveDoubling); err == nil {
+		t.Error("recursive doubling on a size-3 job must be rejected")
+	}
+	if err := c.SetAllreduceAlg(AllreduceAlg(42)); err == nil {
+		t.Error("unknown algorithm must be rejected")
+	}
+	if err := c.SetAllreduceAlg(AlgRing); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDerivedCommInheritsAlg checks Split sub-communicators keep the parent's
+// algorithm default but not its telemetry (hierarchical allreduce would
+// double-count its internal ring phases otherwise).
+func TestDerivedCommInheritsAlg(t *testing.T) {
+	w, _ := NewWorld(4)
+	reg := make([]*telemetry.Registry, 4)
+	err := w.Run(func(c *Comm) error {
+		reg[c.Rank()] = telemetry.New()
+		c.SetTelemetry(reg[c.Rank()])
+		if err := c.SetAllreduceAlg(AlgRing); err != nil {
+			return err
+		}
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.AllreduceAlgorithm() != AlgRing {
+			return fmt.Errorf("sub-communicator lost the algorithm default")
+		}
+		if sub.tele != nil {
+			return fmt.Errorf("sub-communicator must not inherit telemetry")
+		}
+		buf := []float32{float32(c.Rank())}
+		return sub.Allreduce(buf, OpSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range reg {
+		if got := reg[r].Snapshot().Counters["mpi.allreduce{alg=ring}"]; got != 0 {
+			t.Errorf("rank %d: sub-communicator allreduce leaked into parent telemetry (%d)", r, got)
+		}
+	}
+}
+
+// TestHierarchicalCounted checks the hierarchical path is recorded once per
+// call on the parent, with no double-count from its internal sub-phases.
+func TestHierarchicalCounted(t *testing.T) {
+	n := 4
+	regs := make([]*telemetry.Registry, n)
+	runAllreduceCase(t, n, 64,
+		func(c *Comm) error {
+			regs[c.Rank()] = telemetry.New()
+			c.SetTelemetry(regs[c.Rank()])
+			return nil
+		},
+		func(c *Comm, buf []float32) error {
+			return c.AllreduceHierarchical(buf, 2, OpSum)
+		})
+	for r, reg := range regs {
+		snap := reg.Snapshot()
+		if got := snap.Counters["mpi.allreduce{alg=hierarchical}"]; got != 1 {
+			t.Errorf("rank %d: hierarchical count = %d, want 1", r, got)
+		}
+		if got := snap.Counters["mpi.allreduce{alg=ring}"]; got != 0 {
+			t.Errorf("rank %d: internal ring phases double-counted (%d)", r, got)
+		}
+	}
+}

@@ -119,17 +119,13 @@ func (c *Comm) BcastBytes(payload []byte, root int) ([]byte, error) {
 }
 
 // Allreduce reduces buf element-wise across all ranks with op, leaving the
-// result in every rank's buf. Algorithm selection follows MPI practice:
+// result in every rank's buf, using the communicator's configured
+// algorithm (SetAllreduceAlg). The default, AlgAuto, follows MPI practice:
 // recursive doubling for power-of-two jobs and small payloads, ring
-// otherwise (bandwidth-optimal for large gradients).
+// otherwise (bandwidth-optimal for large gradients). Use AllreduceWith to
+// force an algorithm for a single call.
 func (c *Comm) Allreduce(buf []float32, op ReduceOp) error {
-	if c.Size() == 1 {
-		return nil
-	}
-	if isPow2(c.Size()) && len(buf) <= 4096 {
-		return c.AllreduceRecursiveDoubling(buf, op)
-	}
-	return c.AllreduceRing(buf, op)
+	return c.AllreduceWith(c.alg, buf, op)
 }
 
 // AllreduceRing is the bandwidth-optimal ring allreduce: a reduce-scatter
@@ -140,6 +136,7 @@ func (c *Comm) AllreduceRing(buf []float32, op ReduceOp) error {
 	if p == 1 {
 		return nil
 	}
+	c.countAllreduce(AlgRing)
 	right := (r + 1) % p
 	left := (r - 1 + p) % p
 	bounds := chunkBounds(len(buf), p)
@@ -197,6 +194,7 @@ func (c *Comm) AllreduceRecursiveDoubling(buf []float32, op ReduceOp) error {
 	if !isPow2(p) {
 		return fmt.Errorf("recursive doubling requires power-of-two size, got %d", p)
 	}
+	c.countAllreduce(AlgRecursiveDoubling)
 	for mask, round := 1, 0; mask < p; mask, round = mask<<1, round+1 {
 		peer := r ^ mask
 		tag := tagAllreduce + 0x8000 + uint32(round)

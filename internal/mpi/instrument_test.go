@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"dnnperf/internal/telemetry"
+)
+
+// TestInstrumentCountsTraffic wraps both ranks' endpoints and checks frames
+// and bytes are attributed to the right peer in both directions.
+func TestInstrumentCountsTraffic(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := [2]*telemetry.Registry{telemetry.New(), telemetry.New()}
+	comms := [2]*Comm{
+		NewComm(Instrument(w.Comm(0).Endpoint(), regs[0])),
+		NewComm(Instrument(w.Comm(1).Endpoint(), regs[1])),
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := comms[1].Recv(0, 7)
+		done <- err
+	}()
+	payload := make([]byte, 100)
+	if err := comms[0].Send(1, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	s0 := regs[0].Snapshot()
+	if s0.Counters["mpi.frames_sent{peer=1}"] != 1 || s0.Counters["mpi.bytes_sent{peer=1}"] != 100 {
+		t.Errorf("sender counters wrong: %v", s0.Counters)
+	}
+	s1 := regs[1].Snapshot()
+	if s1.Counters["mpi.frames_recv{peer=0}"] != 1 || s1.Counters["mpi.bytes_recv{peer=0}"] != 100 {
+		t.Errorf("receiver counters wrong: %v", s1.Counters)
+	}
+}
+
+// TestInstrumentCountsDeadlineHits checks a Recv timeout increments both the
+// error counter and the deadline-hit counter.
+func TestInstrumentCountsDeadlineHits(t *testing.T) {
+	w, err := NewWorldOpts(2, WorldOptions{RecvTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	c := NewComm(Instrument(w.Comm(0).Endpoint(), reg))
+	if _, err := c.Recv(1, 9); err == nil {
+		t.Fatal("expected timeout")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["mpi.recv_errors"] != 1 {
+		t.Errorf("recv_errors = %d, want 1", snap.Counters["mpi.recv_errors"])
+	}
+	if snap.Counters["mpi.deadline_hits"] != 1 {
+		t.Errorf("deadline_hits = %d, want 1", snap.Counters["mpi.deadline_hits"])
+	}
+}
+
+// TestInstrumentNilRegistry checks a nil registry is a true no-op wrapper.
+func TestInstrumentNilRegistry(t *testing.T) {
+	w, _ := NewWorld(2)
+	ep := w.Comm(0).Endpoint()
+	if got := Instrument(ep, nil); got != ep {
+		t.Error("nil registry must return the endpoint unchanged")
+	}
+}
+
+// TestInstrumentedCollectives runs a full collective through instrumented
+// endpoints on every rank and sanity-checks the totals are symmetric: all
+// bytes sent across the job equal all bytes received.
+func TestInstrumentedCollectives(t *testing.T) {
+	n := 4
+	w, err := NewWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]*telemetry.Registry, n)
+	comms := make([]*Comm, n)
+	for r := 0; r < n; r++ {
+		regs[r] = telemetry.New()
+		comms[r] = NewComm(Instrument(w.Comm(r).Endpoint(), regs[r]))
+	}
+	errCh := make(chan error, n)
+	for r := 0; r < n; r++ {
+		go func(c *Comm) {
+			buf := make([]float32, 64)
+			for i := range buf {
+				buf[i] = 1
+			}
+			errCh <- c.AllreduceRing(buf, OpSum)
+		}(comms[r])
+	}
+	for r := 0; r < n; r++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := make([]telemetry.Snapshot, n)
+	for r := 0; r < n; r++ {
+		snaps[r] = regs[r].Snapshot()
+		snaps[r].Rank = r
+	}
+	merged := telemetry.Merge(snaps)
+	var sent, recv int64
+	for name, v := range merged.Totals {
+		switch {
+		case len(name) > 14 && name[:14] == "mpi.bytes_sent":
+			sent += v
+		case len(name) > 14 && name[:14] == "mpi.bytes_recv":
+			recv += v
+		}
+	}
+	if sent == 0 || sent != recv {
+		t.Errorf("asymmetric traffic: sent %d recv %d", sent, recv)
+	}
+}

@@ -34,11 +34,17 @@ type Endpoint interface {
 
 // Comm wraps an Endpoint with collective operations.
 type Comm struct {
-	ep Endpoint
+	ep   Endpoint
+	alg  AllreduceAlg   // communicator-wide default (SetAllreduceAlg)
+	tele *commTelemetry // per-algorithm counters (SetTelemetry)
 }
 
 // NewComm wraps ep in a Comm.
 func NewComm(ep Endpoint) *Comm { return &Comm{ep: ep} }
+
+// derive wraps ep in a sub-communicator that inherits the parent's
+// algorithm selection (but not its telemetry — see SetTelemetry).
+func (c *Comm) derive(ep Endpoint) *Comm { return &Comm{ep: ep, alg: c.alg} }
 
 // Rank returns this process's rank.
 func (c *Comm) Rank() int { return c.ep.Rank() }

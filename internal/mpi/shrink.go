@@ -224,7 +224,7 @@ func (c *Comm) Shrink(suspects []int, opts ShrinkOptions) (*Comm, []int, error) 
 	if newRank < 0 {
 		return nil, nil, fmt.Errorf("mpi: shrink: rank %d %w", r, ErrEvicted)
 	}
-	return NewComm(&subEndpoint{
+	return c.derive(&subEndpoint{
 		parent:  c.ep,
 		members: survivors,
 		rank:    newRank,

@@ -54,7 +54,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	if newRank < 0 {
 		return nil, fmt.Errorf("mpi: split: rank %d missing from its own group", c.Rank())
 	}
-	return NewComm(&subEndpoint{
+	return c.derive(&subEndpoint{
 		parent:  c.ep,
 		members: members,
 		rank:    newRank,
@@ -125,6 +125,9 @@ func (c *Comm) AllreduceHierarchical(buf []float32, groupSize int, op ReduceOp) 
 	}
 	if groupSize >= p || groupSize == 1 {
 		return c.AllreduceRing(buf, op)
+	}
+	if c.tele != nil {
+		c.tele.hierarchical.Inc()
 	}
 	group := c.Rank() / groupSize
 	local, err := c.Split(group, c.Rank())

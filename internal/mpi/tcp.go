@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dnnperf/internal/telemetry"
 )
 
 // TCP wire format: every frame is [4B payloadLen][4B tag][payload].
@@ -65,6 +67,18 @@ type TCPOptions struct {
 	// and closes it. StartLocalTCPJob uses this to hand rank 0 the live
 	// rendezvous listener, eliminating the close-then-rebind port race.
 	Listener net.Listener
+	// Telemetry, when set, counts bootstrap retries under
+	// mpi.tcp.dial_retries — how often this rank found a peer's listener
+	// (or the rendezvous port) not up yet and backed off.
+	Telemetry *telemetry.Registry
+}
+
+// countDialRetry records one bootstrap backoff. Retry loops are cold (they
+// sleep DialBackoff between attempts), so the registry lookup is fine here.
+func (o TCPOptions) countDialRetry() {
+	if o.Telemetry != nil {
+		o.Telemetry.Counter("mpi.tcp.dial_retries").Inc()
+	}
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -274,6 +288,7 @@ func listenRetry(addr string, retry bool, opts TCPOptions) (net.Listener, error)
 		if err == nil || !retry || (!deadline.IsZero() && time.Now().After(deadline)) {
 			return ln, err
 		}
+		opts.countDialRetry()
 		time.Sleep(opts.DialBackoff)
 	}
 }
@@ -356,6 +371,7 @@ func rendezvous(rank, size int, rootAddr string, ln net.Listener, opts TCPOption
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil, &PeerError{Rank: 0, Op: OpRendezvous, Err: fmt.Errorf("%w dialing %s: %v", ErrTimeout, rootAddr, err)}
 		}
+		opts.countDialRetry()
 		time.Sleep(opts.DialBackoff)
 	}
 	defer conn.Close()
@@ -489,6 +505,7 @@ func (ep *tcpEndpoint) mesh(table []string) error {
 					record(&PeerError{Rank: peer, Op: OpDial, Err: fmt.Errorf("%w: %v", ErrTimeout, err)})
 					return
 				}
+				ep.opts.countDialRetry()
 				time.Sleep(ep.opts.DialBackoff)
 			}
 			tc := &tcpConn{c: c, writeTimeout: ep.opts.WriteTimeout}

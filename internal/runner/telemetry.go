@@ -1,0 +1,23 @@
+package runner
+
+import (
+	"time"
+
+	"dnnperf/internal/telemetry"
+)
+
+// RunOn executes an experiment with harness telemetry: runner.experiments
+// counts completed runs, runner.experiment_ns{id=...} accumulates per-artifact
+// wall time, and runner.experiment_errors{id=...} counts failures. A nil
+// registry times into detached counters (i.e. the run is unobserved).
+func RunOn(e Experiment, reg *telemetry.Registry) (*Table, error) {
+	start := time.Now()
+	t, err := e.Run()
+	if err != nil {
+		reg.Counter("runner.experiment_errors", telemetry.L("id", e.ID)).Inc()
+		return nil, err
+	}
+	reg.Counter("runner.experiments").Inc()
+	reg.Counter("runner.experiment_ns", telemetry.L("id", e.ID)).Add(int64(time.Since(start)))
+	return t, nil
+}

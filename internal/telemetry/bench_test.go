@@ -1,0 +1,32 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkCounterAdd pins the cost of the metrics hot path: one atomic
+// add, zero allocations.
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkHistogramObserve pins the histogram hot path: a short bounds
+// scan plus three atomic adds, zero allocations.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench.hist", DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkSpan measures span emission — the opt-in tracing path.
+func BenchmarkSpan(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("op", "compute", 0).End()
+	}
+}

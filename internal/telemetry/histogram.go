@@ -1,0 +1,80 @@
+package telemetry
+
+import "sync/atomic"
+
+// Histogram is a fixed-bucket histogram with atomic counts. Buckets are
+// defined by their inclusive upper bounds; an implicit +Inf bucket catches
+// everything above the last bound. Observe is a few atomic adds and a short
+// linear scan over a handful of bounds — no locks, no allocation.
+type Histogram struct {
+	name   string
+	bounds []int64        // inclusive upper bounds, ascending
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// DurationBuckets are nanosecond bounds suited to op and step timings:
+// 1µs..10s in decade steps with a 3x midpoint.
+var DurationBuckets = []int64{
+	1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
+}
+
+// SizeBuckets are byte-size bounds suited to payload and fusion sizes:
+// 256 B .. 256 MiB in powers of four.
+var SizeBuckets = []int64{
+	1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28,
+}
+
+// CountBuckets are small-integer bounds suited to "tensors per fusion".
+var CountBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+func newHistogram(name string, bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	return &Histogram{
+		name:   name,
+		bounds: bs,
+		counts: make([]atomic.Int64, len(bs)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the running sum of samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Name returns the canonical metric name (with labels).
+func (h *Histogram) Name() string { return h.name }
+
+// HistogramSnapshot is the exportable state of a Histogram.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1, last is +Inf
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

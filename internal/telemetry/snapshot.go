@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is the point-in-time state of a Registry, tagged with the rank
+// it was taken on. It is the unit of the end-of-job metrics gather: every
+// rank encodes its snapshot, rank 0 collects and writes the merged file.
+type Snapshot struct {
+	Rank       int                          `json:"rank"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Individual values are
+// read atomically; the snapshot as a whole is not a consistent cut across
+// metrics (no global lock is taken — the hot path must never contend).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	for _, c := range counters {
+		s.Counters[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		s.Gauges[g.name] = g.Value()
+	}
+	for _, h := range hists {
+		s.Histograms[h.name] = h.snapshot()
+	}
+	return s
+}
+
+// Encode serializes the snapshot for transport (the mpi gather to rank 0).
+func (s Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSnapshot parses an encoded snapshot.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// MergedMetrics is the merged per-rank metrics document written by rank 0:
+// every rank's snapshot plus job-wide counter totals (sums across ranks).
+type MergedMetrics struct {
+	Ranks  []Snapshot       `json:"ranks"`
+	Totals map[string]int64 `json:"totals"`
+}
+
+// Merge combines per-rank snapshots (sorted by rank) with summed counter
+// totals.
+func Merge(snaps []Snapshot) MergedMetrics {
+	sorted := append([]Snapshot(nil), snaps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
+	totals := map[string]int64{}
+	for _, s := range sorted {
+		for name, v := range s.Counters {
+			totals[name] += v
+		}
+	}
+	return MergedMetrics{Ranks: sorted, Totals: totals}
+}
+
+// WriteMetrics writes the merged per-rank metrics JSON document.
+func WriteMetrics(w io.Writer, snaps []Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Merge(snaps))
+}
+
+// Bundle pairs one rank's metrics snapshot with its trace events — the
+// blob each rank contributes to the end-of-job gather.
+type Bundle struct {
+	Snapshot Snapshot     `json:"snapshot"`
+	Events   []TraceEvent `json:"events,omitempty"`
+}
+
+// Encode serializes the bundle.
+func (b Bundle) Encode() ([]byte, error) { return json.Marshal(b) }
+
+// DecodeBundle parses an encoded bundle.
+func DecodeBundle(raw []byte) (Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return Bundle{}, fmt.Errorf("telemetry: decode bundle: %w", err)
+	}
+	return b, nil
+}

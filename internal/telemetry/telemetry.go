@@ -1,0 +1,192 @@
+// Package telemetry is the repository's single metrics and tracing
+// substrate: every layer — the mpi transports, the Horovod engine, the
+// graph executor, the training loop, and the trainsim simulator — emits its
+// counters and timeline events through the types here, so one per-rank,
+// cross-layer picture of a run can be exported from one pipeline.
+//
+// The reproduced paper is a measurement study; its headline artifacts are
+// profiling counters (the framework-requested vs engine-executed allreduce
+// series of Figures 18/19) and timelines. This package gives those numbers
+// one schema:
+//
+//   - A Registry of pre-registered Counter / Gauge / Histogram handles.
+//     The hot path is a single atomic operation per update — no map
+//     lookups, no locks, no allocations — consistent with the arena work
+//     that made training steps allocation-free.
+//   - A Tracer that records spans and instants and renders them as Chrome
+//     trace-event JSON (chrome://tracing, Perfetto). Real runs (pid =
+//     rank) and simulated runs (pid = SimPID) share the event schema, so
+//     measured and simulated timelines can be overlaid in one view.
+//   - Snapshots that serialize a registry for the end-of-job gather to
+//     rank 0, plus merge helpers for the combined per-rank metrics file.
+//
+// Handles are registered once (registration may allocate and take locks)
+// and updated forever after without either. A nil *Registry is usable:
+// it hands out detached handles that count normally but appear in no
+// snapshot, so instrumented code needs no nil guards on its hot path.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric (e.g. peer="3", alg="ring").
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricName renders name plus sorted labels as the canonical identity,
+// e.g. `mpi.bytes_sent{peer=3}`. Called at registration time only.
+func metricName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// usable; handles from Registry.Counter are shared per unique name+labels.
+type Counter struct {
+	v    atomic.Int64
+	name string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Store overwrites the count (used by Reset paths; not for hot-path use).
+func (c *Counter) Store(n int64) { c.v.Store(n) }
+
+// Name returns the canonical metric name (with labels).
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an atomically updated float64 instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+	name string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// "high-water mark" semantics counters like max fused tensors need.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the canonical metric name (with labels).
+func (g *Gauge) Name() string { return g.name }
+
+// Registry holds a process's metric handles. Handle acquisition (Counter,
+// Gauge, Histogram) is idempotent per name+labels and may allocate; updates
+// through the returned handles never do.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use. A nil registry returns a detached (unexported) counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	full := metricName(name, labels)
+	if r == nil {
+		return &Counter{name: full}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[full]
+	if c == nil {
+		c = &Counter{name: full}
+		r.counters[full] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use. A nil registry returns a detached gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	full := metricName(name, labels)
+	if r == nil {
+		return &Gauge{name: full}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[full]
+	if g == nil {
+		g = &Gauge{name: full}
+		r.gauges[full] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name+labels, creating it
+// with the given bucket upper bounds on first use (bounds are ignored when
+// the histogram already exists). A nil registry returns a detached
+// histogram.
+func (r *Registry) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
+	full := metricName(name, labels)
+	if r == nil {
+		return newHistogram(full, bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[full]
+	if h == nil {
+		h = newHistogram(full, bounds)
+		r.hists[full] = h
+	}
+	return h
+}

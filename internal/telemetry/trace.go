@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one event in the Chrome trace-event JSON schema (load via
+// chrome://tracing or Perfetto). Timestamps and durations are microseconds.
+// Every layer — real training runs and the trainsim simulator alike — emits
+// onto this one schema, so measured and simulated timelines overlay in a
+// single view: real ranks use pid = rank, simulated timelines use SimPID.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace lane (tid) conventions shared across layers, so compute and
+// communication land on comparable rows for every producer.
+const (
+	// CommLane is the tid used for communication events (fused allreduces),
+	// in both real engine traces and simulated timelines.
+	CommLane = 99
+	// SimPID is the pid simulated timelines are emitted under, keeping them
+	// distinct from real ranks (pid = rank) when traces are overlaid.
+	SimPID = 1000
+)
+
+// ProcessName builds the metadata event that names a pid in trace viewers.
+func ProcessName(pid int, name string) TraceEvent {
+	return TraceEvent{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": name}}
+}
+
+// WriteChromeTrace renders events as a Chrome trace-event JSON array.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	return json.NewEncoder(w).Encode(events)
+}
+
+// Tracer records spans and instants against a fixed epoch (its creation
+// time). Emission appends under a mutex — tracing is opt-in and orders of
+// magnitude off the per-op hot path; a nil *Tracer is a no-op on every
+// method so call sites need no guards.
+type Tracer struct {
+	mu     sync.Mutex
+	pid    int
+	epoch  time.Time
+	events []TraceEvent
+}
+
+// NewTracer returns a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// SetPID sets the pid stamped on every event (convention: the mpi rank).
+func (t *Tracer) SetPID(pid int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.pid = pid
+	for i := range t.events {
+		t.events[i].PID = pid
+	}
+	t.mu.Unlock()
+}
+
+// Span is an open interval started by Begin; End closes and records it.
+// The zero Span is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+}
+
+// Begin opens a span on lane tid. Returns a no-op span on a nil tracer.
+func (t *Tracer) Begin(name, cat string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: time.Now()}
+}
+
+// End closes the span and records it as a complete ("X") event.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Complete(s.name, s.cat, s.tid, s.start, time.Since(s.start))
+}
+
+// Complete records a complete ("X") event from an explicit start and
+// duration — for callers that already timed the interval themselves.
+func (t *Tracer) Complete(name, cat string, tid int, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS:  float64(start.Sub(t.epoch)) / float64(time.Microsecond),
+		Dur: float64(d) / float64(time.Microsecond),
+		PID: t.pid, TID: tid,
+	})
+	t.mu.Unlock()
+}
+
+// Instant records an instantaneous ("i") event, e.g. a recovery.
+func (t *Tracer) Instant(name, cat string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "i",
+		TS:   float64(time.Since(t.epoch)) / float64(time.Microsecond),
+		PID:  t.pid, TID: 0,
+		Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Emit appends a pre-built event (pid is overwritten with the tracer's).
+// Simulated timelines use it to land on the shared schema.
+func (t *Tracer) Emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	ev.PID = t.pid
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Enabled reports whether the tracer is live — for callers that want to
+// skip building span names when tracing is off.
+func (t *Tracer) Enabled() bool { return t != nil }

@@ -6,6 +6,7 @@ import (
 	"dnnperf/internal/data"
 	"dnnperf/internal/graph"
 	"dnnperf/internal/models"
+	"dnnperf/internal/telemetry"
 	"dnnperf/internal/tensor"
 )
 
@@ -40,9 +41,14 @@ func resNetBlockModel() *models.Model {
 // BenchmarkResNetBlockStep measures a full training step (forward, loss,
 // backward, SGD update) on one residual block. allocs/op is the headline:
 // with the arena recycling activations, gradients and scratch across steps,
-// the steady state allocates only per-step bookkeeping, not tensors.
+// the steady state allocates only per-step bookkeeping, not tensors. The
+// trainer runs with a live telemetry registry attached: metric handles are
+// pre-registered in New, so enabling metrics must not change allocs/op.
 func BenchmarkResNetBlockStep(b *testing.B) {
-	tr, err := New(Config{Model: resNetBlockModel(), IntraThreads: 1, LR: 0.01})
+	tr, err := New(Config{
+		Model: resNetBlockModel(), IntraThreads: 1, LR: 0.01,
+		Telemetry: telemetry.New(),
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

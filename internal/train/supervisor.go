@@ -13,6 +13,7 @@ import (
 	"dnnperf/internal/horovod"
 	"dnnperf/internal/models"
 	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
 )
 
 // Supervisor: elastic checkpoint-restart for data-parallel training. Each
@@ -108,6 +109,12 @@ type SupervisorConfig struct {
 	// Backoff is the wait between shrink attempts, doubled each retry
 	// (default 50ms).
 	Backoff time.Duration
+	// Telemetry, if set, is passed to the trainer and records supervisor
+	// events: train.recoveries, train.shrink_attempts, train.checkpoints.
+	Telemetry *telemetry.Registry
+	// Tracer, if set, is passed to the trainer; recoveries additionally
+	// land as instant events on the timeline.
+	Tracer *telemetry.Tracer
 }
 
 func (c SupervisorConfig) withDefaults() (SupervisorConfig, error) {
@@ -170,7 +177,13 @@ func Supervise(cfg SupervisorConfig) (*SupervisorResult, error) {
 		return &SupervisorResult{Outcome: OutcomeFailed}, err
 	}
 	res := &SupervisorResult{}
-	sup := &supervisor{cfg: cfg, res: res}
+	sup := &supervisor{
+		cfg:            cfg,
+		res:            res,
+		recoveries:     cfg.Telemetry.Counter("train.recoveries"),
+		shrinkAttempts: cfg.Telemetry.Counter("train.shrink_attempts"),
+		checkpoints:    cfg.Telemetry.Counter("train.checkpoints"),
+	}
 	err = sup.run()
 	if sup.in != nil {
 		if sup.in.eng != nil {
@@ -199,6 +212,10 @@ type supervisor struct {
 	in    *incarnation
 	step  int64 // completed global steps
 	epoch int   // next shrink epoch
+
+	recoveries     *telemetry.Counter
+	shrinkAttempts *telemetry.Counter
+	checkpoints    *telemetry.Counter
 }
 
 func (s *supervisor) run() error {
@@ -275,6 +292,8 @@ func (s *supervisor) build(comm *mpi.Comm, newEngine func() *horovod.Engine) (*i
 		Optimizer:    opt,
 		Engine:       eng,
 		Rank:         comm.Rank(),
+		Telemetry:    s.cfg.Telemetry,
+		Tracer:       s.cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -297,6 +316,7 @@ func (s *supervisor) recover(suspects []int) error {
 	var err error
 	backoff := s.cfg.Backoff
 	for attempt := 0; attempt < s.cfg.ShrinkRetries; attempt++ {
+		s.shrinkAttempts.Inc()
 		newComm, survivors, err = old.comm.Shrink(suspects, mpi.ShrinkOptions{Epoch: s.epoch})
 		s.epoch++
 		if err == nil {
@@ -340,6 +360,14 @@ func (s *supervisor) recover(suspects []int) error {
 		ResumeStep:  s.step,
 		Latency:     time.Since(t0),
 	})
+	s.recoveries.Inc()
+	s.cfg.Tracer.Instant("train.recovery", "elastic", map[string]any{
+		"failed_ranks": failed,
+		"old_size":     oldSize,
+		"new_size":     newComm.Size(),
+		"resume_step":  s.step,
+		"latency_us":   time.Since(t0).Microseconds(),
+	})
 	return nil
 }
 
@@ -353,7 +381,11 @@ func (s *supervisor) maybeCheckpoint() error {
 		return nil
 	}
 	path := filepath.Join(s.cfg.CkptDir, ckptFileName(s.step))
-	return SaveTrainingCheckpointFile(path, s.in.model, CaptureTrainState(s.in.opt, s.step))
+	if err := SaveTrainingCheckpointFile(path, s.in.model, CaptureTrainState(s.in.opt, s.step)); err != nil {
+		return err
+	}
+	s.checkpoints.Inc()
+	return nil
 }
 
 func ckptFileName(step int64) string { return fmt.Sprintf("ckpt-%08d.dnpf", step) }

@@ -13,6 +13,7 @@ import (
 	"dnnperf/internal/graph"
 	"dnnperf/internal/horovod"
 	"dnnperf/internal/models"
+	"dnnperf/internal/telemetry"
 	"dnnperf/internal/tensor"
 )
 
@@ -29,6 +30,32 @@ type Config struct {
 	// and averaged across ranks before the update.
 	Engine *horovod.Engine
 	Rank   int
+	// Telemetry, if set, exports step counters and gauges (train.steps,
+	// train.images, train.loss, train.accuracy, train.step_ns). Handles are
+	// pre-registered in New, so Step stays allocation-free.
+	Telemetry *telemetry.Registry
+	// Tracer, if set, records step/forward/backward/allreduce_wait/optimizer
+	// phases as spans, and hands per-op tracing to the executor.
+	Tracer *telemetry.Tracer
+}
+
+// trainMetrics are the trainer's pre-registered telemetry handles.
+type trainMetrics struct {
+	steps    *telemetry.Counter
+	images   *telemetry.Counter
+	loss     *telemetry.Gauge
+	accuracy *telemetry.Gauge
+	stepNS   *telemetry.Histogram
+}
+
+func newTrainMetrics(reg *telemetry.Registry) *trainMetrics {
+	return &trainMetrics{
+		steps:    reg.Counter("train.steps"),
+		images:   reg.Counter("train.images"),
+		loss:     reg.Gauge("train.loss"),
+		accuracy: reg.Gauge("train.accuracy"),
+		stepNS:   reg.Histogram("train.step_ns", telemetry.DurationBuckets),
+	}
 }
 
 // StepStats reports one training step.
@@ -42,11 +69,13 @@ type StepStats struct {
 
 // Trainer owns the executor and optimizer state for a model.
 type Trainer struct {
-	cfg   Config
-	exec  *graph.Executor
-	intra *tensor.Pool
-	step  int
-	feeds map[*graph.Node]*tensor.Tensor // reused across steps
+	cfg    Config
+	exec   *graph.Executor
+	intra  *tensor.Pool
+	met    *trainMetrics
+	tracer *telemetry.Tracer
+	step   int
+	feeds  map[*graph.Node]*tensor.Tensor // reused across steps
 }
 
 // New constructs a trainer. The caller keeps ownership of cfg.Engine.
@@ -68,11 +97,19 @@ func New(cfg Config) (*Trainer, error) {
 	}
 	intra := tensor.NewPool(cfg.IntraThreads)
 	ex := graph.NewExecutor(cfg.Model.G, intra, cfg.InterThreads)
+	ex.Tracer = cfg.Tracer
 	// Recycle activations, gradients and kernel scratch across steps:
 	// steady-state Step calls are then (nearly) allocation-free.
 	ex.UseArena(tensor.NewArena())
 	feeds := make(map[*graph.Node]*tensor.Tensor, 1)
-	return &Trainer{cfg: cfg, exec: ex, intra: intra, feeds: feeds}, nil
+	return &Trainer{
+		cfg:    cfg,
+		exec:   ex,
+		intra:  intra,
+		met:    newTrainMetrics(cfg.Telemetry),
+		tracer: cfg.Tracer,
+		feeds:  feeds,
+	}, nil
 }
 
 // Close releases the trainer's worker pool.
@@ -90,6 +127,7 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 	start := time.Now()
 	m := t.cfg.Model
 	t.step++
+	stepSpan := t.tracer.Begin("train.step", "train", 0)
 
 	// Gradient-readiness plumbing: hook fires per variable.
 	type doneMsg struct {
@@ -119,7 +157,9 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 
 	m.G.ZeroGrads()
 	t.feeds[m.Input] = b.Images
+	fwdSpan := t.tracer.Begin("train.forward", "train", 0)
 	st, err := t.exec.Forward(t.feeds)
+	fwdSpan.End()
 	if err != nil {
 		return StepStats{}, err
 	}
@@ -133,14 +173,17 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 			correct++
 		}
 	}
+	bwdSpan := t.tracer.Begin("train.backward", "train", 0)
 	if err := t.exec.Backward(st, m.Logits, grad); err != nil {
 		return StepStats{}, err
 	}
+	bwdSpan.End()
 
 	grads := len(m.G.Variables())
 	if t.cfg.Engine != nil {
 		// Backward has returned, so every hook has fired and the count is
 		// final; wait for all reductions to land.
+		waitSpan := t.tracer.Begin("train.allreduce_wait", "comm", 0)
 		n := int(pending.Load())
 		var firstErr error
 		for i := 0; i < n; i++ {
@@ -149,6 +192,7 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 				firstErr = msg.err
 			}
 		}
+		waitSpan.End()
 		t.exec.GradHook = nil
 		if firstErr != nil {
 			return StepStats{}, fmt.Errorf("train: allreduce: %w", firstErr)
@@ -156,19 +200,28 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 		grads = n
 	}
 
+	optSpan := t.tracer.Begin("train.optimizer", "train", 0)
 	t.cfg.Optimizer.Step(t.intra, m.G)
+	optSpan.End()
 
 	// The loss gradient (the backward seed, caller-owned) and the remaining
 	// execution state go back to the arena for the next step.
 	t.exec.Arena().Put(grad)
 	st.Release()
 
+	stepSpan.End()
 	n := len(b.Labels)
+	dur := time.Since(start)
+	t.met.steps.Inc()
+	t.met.images.Add(int64(n))
+	t.met.loss.Set(loss)
+	t.met.accuracy.Set(float64(correct) / float64(n))
+	t.met.stepNS.Observe(int64(dur))
 	return StepStats{
 		Loss:        loss,
 		Accuracy:    float64(correct) / float64(n),
 		Images:      n,
-		Duration:    time.Since(start),
+		Duration:    dur,
 		GradTensors: grads,
 	}, nil
 }

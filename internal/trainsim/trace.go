@@ -1,9 +1,10 @@
 package trainsim
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"dnnperf/internal/telemetry"
 )
 
 // TraceEvent is one interval of the simulated iteration timeline: an op's
@@ -17,31 +18,31 @@ type TraceEvent struct {
 	Lane  int     // inter-op slot, or CommLane for communication
 }
 
-// CommLane is the trace lane used for communication events.
-const CommLane = 99
+// CommLane is the trace lane used for communication events — the same lane
+// real engine traces use, so simulated and measured allreduces line up.
+const CommLane = telemetry.CommLane
 
-// WriteChromeTrace renders events in the Chrome trace-event JSON format
-// (load via chrome://tracing or Perfetto). Timestamps are microseconds.
-func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
-	type chromeEvent struct {
-		Name string  `json:"name"`
-		Cat  string  `json:"cat"`
-		Ph   string  `json:"ph"`
-		TS   float64 `json:"ts"`
-		Dur  float64 `json:"dur"`
-		PID  int     `json:"pid"`
-		TID  int     `json:"tid"`
-	}
-	out := make([]chromeEvent, len(events))
+// ToTelemetry converts simulated intervals onto the shared trace-event
+// schema, one output event per input, stamped with pid (use
+// telemetry.SimPID so simulated timelines stay distinct from real ranks
+// when traces are overlaid).
+func ToTelemetry(events []TraceEvent, pid int) []telemetry.TraceEvent {
+	out := make([]telemetry.TraceEvent, len(events))
 	for i, e := range events {
-		out[i] = chromeEvent{
+		out[i] = telemetry.TraceEvent{
 			Name: e.Name, Cat: e.Cat, Ph: "X",
 			TS: e.Start * 1e6, Dur: e.Dur * 1e6,
-			PID: 0, TID: e.Lane,
+			PID: pid, TID: e.Lane,
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return out
+}
+
+// WriteChromeTrace renders events in the Chrome trace-event JSON format
+// (load via chrome://tracing or Perfetto), under telemetry.SimPID.
+// Timestamps are microseconds.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return telemetry.WriteChromeTrace(w, ToTelemetry(events, telemetry.SimPID))
 }
 
 // SimulateTrace runs one simulation with event collection and returns the

@@ -1,17 +1,39 @@
 #!/usr/bin/env bash
-# bench.sh — run the tier-1 kernel and training-step benchmarks with
-# -benchmem and write the raw results as BENCH_tensor.json, so allocation
-# and throughput regressions are pinned by a checked-in artifact.
+# bench.sh — run the tier-1 benchmarks with -benchmem and write the raw
+# results as JSON artifacts, so allocation and throughput regressions are
+# pinned by checked-in numbers:
+#   BENCH_tensor.json — kernel and training-step benchmarks
+#   BENCH_comm.json   — mpi collective and Horovod engine benchmarks
 #
 # Usage:  scripts/bench.sh [benchtime]          (default 1s)
-# Output: BENCH_tensor.json at the repo root — one JSON object per
-#         benchmark line: {name, ns_per_op, allocs_per_op, bytes_per_op,
-#         extra metrics such as GFLOP/s and img/s}.
+# Output: one JSON object per benchmark line: {name, ns_per_op,
+#         allocs_per_op, bytes_per_op, extra metrics such as GFLOP/s and
+#         img/s}.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1s}"
-OUT="BENCH_tensor.json"
+
+# to_json RAW OUT — convert `go test -bench` lines into a JSON array.
+# Fields appear as:  Name  N  value unit  value unit ...
+to_json() {
+    awk '
+    /^Benchmark/ {
+        printf "%s{\"name\":\"%s\",\"iterations\":%s", sep, $1, $2
+        for (i = 3; i + 1 <= NF; i += 2) {
+            unit = $(i + 1)
+            gsub(/\//, "_per_", unit)
+            gsub(/[^A-Za-z0-9_]/, "_", unit)
+            printf ",\"%s\":%s", unit, $i
+        }
+        printf "}"
+        sep = ",\n"
+    }
+    END { print "" }
+    ' "$1" | { echo "["; cat; echo "]"; } >"$2"
+    echo "wrote $2 ($(grep -c '"name"' "$2") entries)"
+}
+
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -23,21 +45,15 @@ echo "== training-step benchmark (internal/train)"
 go test ./internal/train/ -run '^$' -bench 'ResNetBlockStep' \
     -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
 
-# Convert `go test -bench` lines into JSON. Fields appear as
-#   Name  N  value unit  value unit ...
-awk '
-/^Benchmark/ {
-    printf "%s{\"name\":\"%s\",\"iterations\":%s", sep, $1, $2
-    for (i = 3; i + 1 <= NF; i += 2) {
-        unit = $(i + 1)
-        gsub(/\//, "_per_", unit)
-        gsub(/[^A-Za-z0-9_]/, "_", unit)
-        printf ",\"%s\":%s", unit, $i
-    }
-    printf "}"
-    sep = ",\n"
-}
-END { print "" }
-' "$RAW" | { echo "["; cat; echo "]"; } >"$OUT"
+to_json "$RAW" BENCH_tensor.json
 
-echo "wrote $OUT ($(grep -c '"name"' "$OUT") entries)"
+: >"$RAW"
+echo "== collective benchmarks (internal/mpi)"
+go test ./internal/mpi/ -run '^$' -bench 'RingAllreduce|RecursiveDoublingAllreduce|Bcast|Barrier|SendRecvLatency' \
+    -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+
+echo "== engine benchmark (internal/horovod)"
+go test ./internal/horovod/ -run '^$' -bench 'EngineStep' \
+    -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+
+to_json "$RAW" BENCH_comm.json
