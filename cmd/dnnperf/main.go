@@ -28,22 +28,25 @@ func main() {
 		report = flag.Bool("report", false, "run the full suite and emit a markdown report")
 		out    = flag.String("o", "", "write output to this file instead of stdout")
 
-		sim      = flag.Bool("sim", false, "run one ad-hoc simulation point")
-		tune     = flag.Bool("tune", false, "search the best configuration for a platform")
-		model    = flag.String("model", "resnet50", "model name (resnet50/101/152, inception3/4)")
-		fw       = flag.String("framework", "tensorflow", "framework profile: tensorflow or pytorch")
-		platform = flag.String("platform", "Skylake-3", "platform label from Table I")
-		nodes    = flag.Int("nodes", 1, "number of nodes")
-		ppn      = flag.Int("ppn", 1, "processes per node")
-		bs       = flag.Int("bs", 32, "batch size per process")
-		intra    = flag.Int("intra", 0, "intra-op threads per rank (0 = tuned default)")
-		inter    = flag.Int("inter", 0, "inter-op pool width (0 = tuned default)")
-		cycle    = flag.Float64("cycle", 0, "HOROVOD_CYCLE_TIME in ms (0 = 3.5)")
-		fusion   = flag.Float64("fusion", 0, "HOROVOD_FUSION_THRESHOLD in MiB (0 = 64)")
-		trace    = flag.String("trace", "", "with -sim: write the simulated iteration timeline as Chrome trace JSON to this file")
-		metrics  = flag.String("metrics", "", "write a telemetry metrics snapshot JSON to this file (with -exp/-all/-report/-sim)")
-		zoo      = flag.Bool("zoo", false, "list the model zoo with parameters and FLOPs")
-		dot      = flag.String("dot", "", "write the named model's graph in Graphviz DOT format (uses -model)")
+		sim         = flag.Bool("sim", false, "run one ad-hoc simulation point")
+		tune        = flag.Bool("tune", false, "search the best configuration for a platform")
+		model       = flag.String("model", "resnet50", "model name (resnet50/101/152, inception3/4)")
+		fw          = flag.String("framework", "tensorflow", "framework profile: tensorflow or pytorch")
+		platform    = flag.String("platform", "Skylake-3", "platform label from Table I")
+		nodes       = flag.Int("nodes", 1, "number of nodes")
+		ppn         = flag.Int("ppn", 1, "processes per node")
+		bs          = flag.Int("bs", 32, "batch size per process")
+		intra       = flag.Int("intra", 0, "intra-op threads per rank (0 = tuned default)")
+		inter       = flag.Int("inter", 0, "inter-op pool width (0 = tuned default)")
+		cycle       = flag.Float64("cycle", 0, "HOROVOD_CYCLE_TIME in ms (0 = 3.5)")
+		fusion      = flag.Float64("fusion", 0, "HOROVOD_FUSION_THRESHOLD in MiB (0 = 64)")
+		trace       = flag.String("trace", "", "with -sim: write the simulated iteration timeline as Chrome trace JSON to this file")
+		straggler   = flag.Int("straggler", -1, "with -sim: inject a slow rank with this id and run the straggler detector (-1 = off)")
+		stragFactor = flag.Float64("straggler_factor", 2.0, "with -straggler: step-latency multiplier for the slow rank")
+		stragSteps  = flag.Int("straggler_steps", 20, "with -straggler: how many steps to synthesize")
+		metrics     = flag.String("metrics", "", "write a telemetry metrics snapshot JSON to this file (with -exp/-all/-report/-sim)")
+		zoo         = flag.Bool("zoo", false, "list the model zoo with parameters and FLOPs")
+		dot         = flag.String("dot", "", "write the named model's graph in Graphviz DOT format (uses -model)")
 	)
 	flag.Parse()
 
@@ -150,6 +153,26 @@ func main() {
 			1e3*r.IterTimeSec, 1e3*r.ComputeSec, 1e3*r.ExposedCommSec)
 		fmt.Fprintf(w, "  horovod/iteration: %d tensors -> %d fused allreduces over %d cycles\n",
 			r.FrameworkTensors, r.EngineAllreduces, r.Cycles)
+		if *straggler >= 0 {
+			sr, err := dnnperf.SimulateStraggler(dnnperf.StragglerConfig{
+				Sim:        cfg,
+				Steps:      *stragSteps,
+				SlowRank:   *straggler,
+				SlowFactor: *stragFactor,
+				Telemetry:  reg,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "  straggler:         injected rank %d at %.1fx over %d ranks x %d steps\n",
+				*straggler, *stragFactor, sr.Ranks, sr.Steps)
+			if sr.FlaggedAtStep > 0 {
+				fmt.Fprintf(w, "  detector:          flagged rank(s) %v at step %d (max skew %.2fx)\n",
+					sr.Stragglers, sr.FlaggedAtStep, sr.MaxSkew)
+			} else {
+				fmt.Fprintf(w, "  detector:          no straggler flagged (max skew %.2fx)\n", sr.MaxSkew)
+			}
+		}
 	case *tune:
 		p, err := dnnperf.PlatformFor(*platform)
 		if err != nil {

@@ -45,6 +45,8 @@ import (
 	"dnnperf/internal/models"
 	"dnnperf/internal/mpi"
 	"dnnperf/internal/telemetry"
+	"dnnperf/internal/telemetry/detect"
+	"dnnperf/internal/telemetry/serve"
 	"dnnperf/internal/train"
 )
 
@@ -79,6 +81,11 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write merged per-rank metrics JSON here (gathered to rank 0; elastic: the final leader's local metrics)")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline here (all ranks merged, pid = rank)")
 		algFlag     = flag.String("allreduce_alg", "auto", "allreduce algorithm: auto, ring or recursive_doubling (rd)")
+
+		listen       = flag.String("listen", "", "rank 0 serves live telemetry over HTTP on this address: /metrics (Prometheus), /metrics.json, /trace, /healthz")
+		publishEvery = flag.Duration("publish_every", telemetry.DefaultPublishInterval, "per-rank live telemetry push period (with -listen)")
+		timeline     = flag.Bool("timeline", false, "emit the Horovod timeline (per-tensor lifecycle lanes) into the Chrome trace; implies tracing even without -trace")
+		serveLinger  = flag.Duration("serve_linger", 0, "keep rank 0's live endpoint up this long after its run finishes (with -listen)")
 	)
 	flag.Parse()
 
@@ -91,6 +98,8 @@ func main() {
 			elastic: *elastic, ckptEvery: *ckptEvery,
 			ckptDir: firstNonEmpty(os.Getenv("DNNPERF_CKPT_DIR"), *ckptDir),
 			metrics: *metricsPath, trace: *tracePath, alg: *algFlag,
+			listen: *listen, publishEvery: *publishEvery,
+			timeline: *timeline, linger: *serveLinger,
 		}
 		os.Exit(worker(rankStr, cfg))
 	}
@@ -203,6 +212,11 @@ type workerConfig struct {
 	metrics      string // merged metrics JSON output path ("" = off)
 	trace        string // Chrome trace output path ("" = off)
 	alg          string // allreduce algorithm flag value
+
+	listen       string        // rank-0 live HTTP address ("" = off)
+	publishEvery time.Duration // live push period
+	timeline     bool          // Horovod per-tensor timeline lanes
+	linger       time.Duration // keep the live endpoint up after the run
 }
 
 // worker is one rank of the job; the return value is the process exit code.
@@ -239,10 +253,10 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	// engine, and the training loop.
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
-	if cfg.metrics != "" {
+	if cfg.metrics != "" || cfg.listen != "" {
 		reg = telemetry.New()
 	}
-	if cfg.trace != "" {
+	if cfg.trace != "" || cfg.timeline {
 		tracer = telemetry.NewTracer()
 		tracer.SetPID(rank)
 	}
@@ -264,8 +278,18 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		comm.SetTelemetry(reg)
 	}
 
+	// The live observability plane: every rank pushes periodic telemetry
+	// bundles toward original rank 0, which serves them over HTTP. Publishing
+	// rides the parent communicator, so it survives elastic shrinks (the
+	// shrunk communicator reuses the parent transport and rank numbering).
+	live, err := startLive(comm, rank, cfg, reg, tracer)
+	if err != nil {
+		return exitFailure, err
+	}
+	defer live.shutdown()
+
 	if cfg.elastic {
-		return elasticWorker(comm, rank, size, cfg, reg, tracer)
+		return elasticWorker(comm, rank, size, cfg, reg, tracer, live)
 	}
 
 	eng := horovod.NewEngine(comm, horovod.Config{
@@ -273,6 +297,7 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		Average:   true,
 		Telemetry: reg,
 		Tracer:    tracer,
+		Timeline:  cfg.timeline,
 	})
 
 	m := models.TinyCNN(models.Config{Batch: cfg.batch, ImageSize: 16, Classes: 4, Seed: 7})
@@ -291,12 +316,19 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	// Crash demo: the doomed rank runs a few steps, then tears its
 	// transport down abruptly (no goodbye frame), modeling a killed
 	// process. Survivors observe Recv deadline expiry as typed PeerErrors.
+	live.health.Set(telemetry.HealthOK, "world", size)
+
 	if cfg.dieRank == rank {
 		die := clampDieStep(cfg.dieStep, cfg.steps)
 		if _, err := tr.Run(gen.Next, die); err != nil {
+			live.health.Set(telemetry.HealthFailed, "error", err.Error())
+			writeTruncatedTelemetry(rank, reg, tracer, cfg)
 			return exitFailure, err
 		}
 		fmt.Fprintf(os.Stderr, "rank %d: aborting transport after step %d (crash demo)\n", rank, die)
+		// The injected death is still an abnormal exit for the telemetry
+		// files: leave an honestly-marked partial export, not nothing.
+		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		comm.Abort()
 		return exitInjectedDeath, nil
 	}
@@ -304,15 +336,21 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	stats, err := tr.Run(gen.Next, cfg.steps)
 	if err != nil {
 		eng.Shutdown()
+		live.health.Set(telemetry.HealthFailed, "error", err.Error())
+		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		return exitFailure, err
 	}
 	if err := eng.Shutdown(); err != nil {
+		live.health.Set(telemetry.HealthFailed, "error", err.Error())
+		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		return exitFailure, err
 	}
+	live.health.Set(telemetry.HealthDone, "steps", cfg.steps)
 	// Gather every rank's metrics and trace to rank 0 before the
 	// communicator goes away. The engine is down, so the communicator is
 	// free for this one collective.
 	if err := exportTelemetry(comm, rank, reg, tracer, cfg); err != nil {
+		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		return exitFailure, err
 	}
 	if rank == 0 {
@@ -410,6 +448,98 @@ func writeLocalTelemetry(rank int, reg *telemetry.Registry, tracer *telemetry.Tr
 	return nil
 }
 
+// writeTruncatedTelemetry is the abnormal-exit export: rank 0 writes its
+// local partial metrics and trace with an explicit "truncated": true marker,
+// so an aborted or failed run leaves inspectable, honestly-labeled output
+// instead of no files at all. Best-effort — the process is already on an
+// error path.
+func writeTruncatedTelemetry(rank int, reg *telemetry.Registry, tracer *telemetry.Tracer, cfg workerConfig) {
+	if rank != 0 {
+		return // only rank 0 owns the output paths
+	}
+	if cfg.metrics != "" && reg != nil {
+		snap := reg.Snapshot()
+		snap.Rank = rank
+		writeFileWith(cfg.metrics, func(w *os.File) error {
+			return telemetry.WriteMetricsTruncated(w, []telemetry.Snapshot{snap})
+		})
+		fmt.Printf("telemetry: truncated metrics (abnormal exit) -> %s\n", cfg.metrics)
+	}
+	if cfg.trace != "" && tracer != nil {
+		events := append([]telemetry.TraceEvent{telemetry.ProcessName(rank, fmt.Sprintf("rank %d", rank))},
+			tracer.Events()...)
+		writeFileWith(cfg.trace, func(w *os.File) error {
+			return telemetry.WriteChromeTraceTruncated(w, events)
+		})
+		fmt.Printf("telemetry: truncated trace (abnormal exit) -> %s\n", cfg.trace)
+	}
+}
+
+// liveState holds one rank's half of the live observability plane: its
+// publisher, and on the host rank the HTTP server, health and detector.
+// The zero value (live plane off) is safe everywhere: health setters and
+// publisher stops are nil-receiver no-ops.
+type liveState struct {
+	pub    *telemetry.Publisher
+	srv    *serve.Server
+	health *telemetry.Health
+	linger time.Duration
+}
+
+// startLive wires the live plane when -listen is set: rank 0 binds the HTTP
+// endpoint and subscribes to telemetry pushes on the transport; every rank
+// starts a Publisher whose sink is a lossy point-to-point Send toward
+// original rank 0 (rank 0 short-circuits into its own store).
+func startLive(comm *mpi.Comm, rank int, cfg workerConfig, reg *telemetry.Registry, tracer *telemetry.Tracer) (*liveState, error) {
+	if cfg.listen == "" {
+		return &liveState{}, nil
+	}
+	l := &liveState{health: telemetry.NewHealth(), linger: cfg.linger}
+	var sink func([]byte) error
+	if rank == 0 {
+		det := detect.New(detect.Config{}, reg, tracer)
+		l.srv = serve.New(serve.NewStore(0), l.health, det)
+		addr, err := l.srv.Start(cfg.listen)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := comm.Subscribe(mpi.TagTelemetry, 4*comm.Size())
+		if err != nil {
+			l.srv.Close()
+			return nil, err
+		}
+		l.srv.Collect(ch)
+		fmt.Printf("live: rank 0 serving /metrics /metrics.json /trace /healthz on http://%s\n", addr)
+		store := l.srv.Store()
+		sink = func(b []byte) error {
+			bun, err := telemetry.DecodeBundle(b)
+			if err != nil {
+				return err
+			}
+			store.Update(bun)
+			return nil
+		}
+	} else {
+		sink = func(b []byte) error { return comm.Send(0, mpi.TagTelemetry, b) }
+	}
+	l.pub = telemetry.NewPublisher(reg, tracer, sink, telemetry.PublisherOptions{
+		Interval: cfg.publishEvery, Rank: rank,
+	})
+	return l, nil
+}
+
+// shutdown flushes the final publish, optionally lingers so late scrapes can
+// observe the terminal /healthz state, then stops the server.
+func (l *liveState) shutdown() {
+	l.pub.Stop()
+	if l.srv != nil {
+		if l.linger > 0 {
+			time.Sleep(l.linger)
+		}
+		l.srv.Close()
+	}
+}
+
 func writeFileWith(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -463,7 +593,7 @@ func elasticFactories(batch int) (func() *models.Model, func(int) train.Optimize
 // instead trains unsupervised until its death step and aborts. Telemetry is
 // exported by the final leader only, from its local registry: after a
 // shrink the original communicator is stale, so no job-wide gather runs.
-func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *telemetry.Registry, tracer *telemetry.Tracer) (int, error) {
+func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *telemetry.Registry, tracer *telemetry.Tracer, live *liveState) (int, error) {
 	newModel, newOpt, newGen := elasticFactories(cfg.batch)
 	engCfg := horovod.Config{
 		CycleTime: time.Duration(cfg.cycleMS * float64(time.Millisecond)),
@@ -488,15 +618,20 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *teleme
 		}
 		die := clampDieStep(cfg.dieStep, cfg.steps)
 		if _, err := tr.Run(gen, die); err != nil {
+			writeTruncatedTelemetry(rank, reg, tracer, cfg)
 			return exitFailure, err
 		}
 		fmt.Fprintf(os.Stderr, "rank %d: aborting transport after step %d (elastic crash demo)\n", rank, die)
+		// Partial export before the abort; a surviving leader overwrites it
+		// with the complete document when the job finishes.
+		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		comm.Abort()
 		return exitInjectedDeath, nil
 	}
 
 	engCfg.Telemetry = reg
 	engCfg.Tracer = tracer
+	engCfg.Timeline = cfg.timeline
 	res, err := train.Supervise(train.SupervisorConfig{
 		Comm:         comm,
 		Engine:       engCfg,
@@ -509,10 +644,15 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *teleme
 		CkptEvery:    cfg.ckptEvery,
 		Telemetry:    reg,
 		Tracer:       tracer,
+		Health:       live.health,
 	})
 	if err != nil {
+		live.health.Set(telemetry.HealthFailed, "error", err.Error())
+		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		return exitFailure, err
 	}
+	live.health.Set(telemetry.HealthDone,
+		"outcome", res.Outcome.String(), "final_step", res.FinalStep, "world", res.WorldSize)
 
 	// The final leader reports for the job (after a shrink the survivor set
 	// is renumbered; its rank 0 may be any original rank).

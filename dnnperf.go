@@ -135,6 +135,20 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return telemetry.WriteChromeTrace(w, te)
 }
 
+// StragglerConfig configures a straggler-injection run: synthesize the
+// per-rank step-latency stream of a simulated job with one rank slowed,
+// and confirm the online straggler detector flags it.
+type StragglerConfig = trainsim.StragglerConfig
+
+// StragglerResult reports what the detector saw during an injection run.
+type StragglerResult = trainsim.StragglerResult
+
+// SimulateStraggler runs a straggler-injection experiment against the live
+// detector (internal/telemetry/detect) and reports the detection latency.
+func SimulateStraggler(cfg StragglerConfig) (StragglerResult, error) {
+	return trainsim.SimulateStraggler(cfg)
+}
+
 // PipelineConfig configures a model-parallel (pipeline) simulation point.
 type PipelineConfig = trainsim.PipelineConfig
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
 )
 
 // BenchmarkEngineStep measures one full data-parallel gradient exchange:
@@ -67,5 +68,82 @@ func BenchmarkEngineStep(b *testing.B) {
 				b.ReportMetric(float64(s.EngineAllreduces)/float64(b.N), "fusedAR/step")
 			})
 		}
+	}
+}
+
+// BenchmarkEngineStepPublish measures the live-observability tax on the
+// gradient-exchange hot path: the same fused exchange with per-rank
+// Publishers off versus ticking at the default interval. The publisher
+// snapshots and pushes on its own goroutine, so pub=on should cost noise,
+// not a per-step slowdown.
+func BenchmarkEngineStepPublish(b *testing.B) {
+	const ranks, tensors = 2, 64
+	for _, pub := range []bool{false, true} {
+		mode := "off"
+		if pub {
+			mode = "on"
+		}
+		b.Run("pub="+mode, func(b *testing.B) {
+			w, err := mpi.NewWorld(ranks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engines := make([]*Engine, ranks)
+			pubs := make([]*telemetry.Publisher, 0, ranks)
+			for r := 0; r < ranks; r++ {
+				reg := telemetry.New()
+				engines[r] = NewEngine(w.Comm(r), Config{
+					CycleTime: 100 * time.Microsecond,
+					Average:   true,
+					Telemetry: reg,
+				})
+				if pub {
+					p := telemetry.NewPublisher(reg, nil, func([]byte) error { return nil },
+						telemetry.PublisherOptions{Rank: r})
+					pubs = append(pubs, p)
+				}
+			}
+			data := make([][][]float32, ranks)
+			for r := range data {
+				data[r] = make([][]float32, tensors)
+				for t := range data[r] {
+					data[r][t] = make([]float32, 1024)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				wg.Add(ranks)
+				for r := 0; r < ranks; r++ {
+					go func(r, step int) {
+						defer wg.Done()
+						var inner sync.WaitGroup
+						inner.Add(tensors)
+						for t := 0; t < tensors; t++ {
+							name := fmt.Sprintf("s%d/t%d", step, t)
+							if err := engines[r].AllreduceAsync(name, data[r][t], func(error) { inner.Done() }); err != nil {
+								b.Error(err)
+								inner.Done()
+							}
+						}
+						inner.Wait()
+					}(r, i)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			var down sync.WaitGroup
+			down.Add(len(engines))
+			for _, e := range engines {
+				go func(e *Engine) {
+					defer down.Done()
+					e.Shutdown()
+				}(e)
+			}
+			down.Wait()
+			for _, p := range pubs {
+				p.Stop()
+			}
+		})
 	}
 }

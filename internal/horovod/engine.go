@@ -57,6 +57,12 @@ type Config struct {
 	// the Chrome trace, and negotiation cycles that executed work as
 	// instants.
 	Tracer *telemetry.Tracer
+	// Timeline, when set (and Tracer is non-nil), additionally emits the
+	// Horovod timeline: per-tensor lifecycle spans (SUBMITTED ->
+	// NEGOTIATING -> QUEUED -> FUSED -> ALLREDUCE -> DONE) on one lane per
+	// tensor, plus a cycle-boundary instant per engine wake-up — the
+	// HOROVOD_TIMELINE view of fusion and negotiation behavior.
+	Timeline bool
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +152,7 @@ type Engine struct {
 	cfg    Config
 	met    *engineMetrics
 	tracer *telemetry.Tracer
+	tl     *timeline // Horovod timeline (nil unless Config.Timeline)
 
 	mu        sync.Mutex
 	submitted []*pendingTensor          // ready, not yet negotiated
@@ -188,6 +195,9 @@ func NewEngine(comm *mpi.Comm, cfg Config) *Engine {
 		wake:        make(chan struct{}, 1),
 		loopDone:    make(chan struct{}),
 	}
+	if cfg.Timeline {
+		e.tl = newTimeline(cfg.Tracer)
+	}
 	go e.loop()
 	return e
 }
@@ -228,6 +238,7 @@ func (e *Engine) AllreduceAsync(name string, data []float32, done func(error)) e
 	}
 	e.submitted = append(e.submitted, &pendingTensor{name: name, data: data, done: done})
 	e.met.frameworkRequests.Inc()
+	e.tl.transition(name, phaseSubmitted)
 	return nil
 }
 
@@ -292,12 +303,20 @@ func (e *Engine) loop() {
 		}
 		down := e.shutdown
 		e.met.cycles.Inc()
+		cyc := e.met.cycles.Value()
 		e.mu.Unlock()
 
+		for _, p := range ready {
+			e.tl.transition(p.name, phaseNegotiating)
+		}
 		halt, batches, err := e.negotiate(ready, down)
 		if err != nil {
 			e.fail(fmt.Errorf("horovod: negotiation: %w", err))
 			return
+		}
+		e.tl.cycle(int(cyc), len(ready), len(batches))
+		for _, batch := range batches {
+			e.tl.transitionAll(batch, phaseQueued)
 		}
 		for _, batch := range batches {
 			if err := e.executeBatch(batch); err != nil {
@@ -324,9 +343,11 @@ func (e *Engine) fail(err error) {
 	e.loopErr = err
 	for _, p := range e.inFlight {
 		p.done(err)
+		e.tl.abort(p.name)
 	}
 	for _, p := range e.submitted {
 		p.done(err)
+		e.tl.abort(p.name)
 	}
 	e.inFlight = map[string]*pendingTensor{}
 	e.submitted = nil
@@ -340,10 +361,12 @@ func (e *Engine) drain(err error) {
 	pend := 0
 	for _, p := range e.inFlight {
 		p.done(err)
+		e.tl.abort(p.name)
 		pend++
 	}
 	for _, p := range e.submitted {
 		p.done(err)
+		e.tl.abort(p.name)
 		pend++
 	}
 	e.inFlight = map[string]*pendingTensor{}
@@ -495,12 +518,14 @@ func (e *Engine) executeBatch(names []string) error {
 	if cap(e.fusedBuf) < total {
 		e.fusedBuf = make([]float32, total)
 	}
+	e.tl.transitionAll(names, phaseFused)
 	fused := e.fusedBuf[:total]
 	off := 0
 	for _, p := range tensors {
 		copy(fused[off:], p.data)
 		off += len(p.data)
 	}
+	e.tl.transitionAll(names, phaseAllreduce)
 	sp := e.tracer.Begin("horovod.allreduce", "comm", telemetry.CommLane)
 	var err error
 	if e.cfg.GroupSize > 1 {
@@ -524,6 +549,14 @@ func (e *Engine) executeBatch(names []string) error {
 		}
 		off += len(p.data)
 		p.done(err)
+		if err == nil {
+			e.tl.done(p.name, map[string]any{
+				"bytes": 4 * len(p.data),
+				"fused": len(tensors),
+			})
+		} else {
+			e.tl.abort(p.name)
+		}
 	}
 
 	e.met.engineAllreduces.Inc()

@@ -45,9 +45,11 @@ func (e *Engine) Restart(comm *mpi.Comm) *Engine {
 	e.mu.Lock()
 	for _, p := range e.inFlight {
 		p.done(ErrRestarted)
+		e.tl.abort(p.name)
 	}
 	for _, p := range e.submitted {
 		p.done(ErrRestarted)
+		e.tl.abort(p.name)
 	}
 	e.inFlight = map[string]*pendingTensor{}
 	e.submitted = nil
@@ -63,6 +65,7 @@ func (e *Engine) Restart(comm *mpi.Comm) *Engine {
 		cfg:         e.cfg,
 		met:         e.met,
 		tracer:      e.tracer,
+		tl:          e.tl, // timeline lanes persist across restarts
 		inFlight:    make(map[string]*pendingTensor),
 		cacheByName: make(map[string]uint32),
 		fusedBuf:    buf,

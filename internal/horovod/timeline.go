@@ -1,0 +1,149 @@
+package horovod
+
+import (
+	"sync"
+	"time"
+
+	"dnnperf/internal/telemetry"
+)
+
+// The Horovod timeline: per-tensor lifecycle spans on one trace lane per
+// tensor, mirroring what real Horovod's HOROVOD_TIMELINE file shows in
+// chrome://tracing / Perfetto. Each tensor walks
+//
+//	SUBMITTED -> NEGOTIATING -> QUEUED -> FUSED -> ALLREDUCE -> DONE
+//
+// where SUBMITTED is the wait from framework submission to the cycle that
+// picks the tensor up, NEGOTIATING is the readiness allgather until every
+// rank has announced it, QUEUED is the wait for its fusion batch to
+// execute, FUSED is the copy into the fusion buffer, ALLREDUCE is the
+// collective itself, and DONE is an instant stamped when results are
+// scattered back. Negotiation stalls (a tensor some rank has not produced
+// yet) are directly visible as long NEGOTIATING spans; fusion behavior as
+// multiple lanes sharing one ALLREDUCE interval.
+const (
+	phaseSubmitted   = "SUBMITTED"
+	phaseNegotiating = "NEGOTIATING"
+	phaseQueued      = "QUEUED"
+	phaseFused       = "FUSED"
+	phaseAllreduce   = "ALLREDUCE"
+)
+
+// timelineLaneBase is the first tid used for per-tensor lanes, above the
+// shared comm lane so tensor rows sort below the fused-allreduce row.
+const timelineLaneBase = 100
+
+// timeline tracks each in-flight tensor's current phase and emits a span
+// per phase transition. All methods are nil-receiver no-ops so the engine
+// stays unconditional; a non-nil timeline always has a live tracer.
+type timeline struct {
+	tracer *telemetry.Tracer
+
+	mu    sync.Mutex
+	lanes map[string]*laneState
+	next  int
+}
+
+type laneState struct {
+	tid   int
+	phase string // open phase ("" = none)
+	start time.Time
+}
+
+func newTimeline(tracer *telemetry.Tracer) *timeline {
+	if tracer == nil {
+		return nil
+	}
+	return &timeline{tracer: tracer, lanes: make(map[string]*laneState)}
+}
+
+// laneFor returns the tensor's lane, assigning and naming a new one on
+// first sight. Caller holds tl.mu.
+func (tl *timeline) laneFor(name string) *laneState {
+	ls := tl.lanes[name]
+	if ls == nil {
+		ls = &laneState{tid: timelineLaneBase + tl.next}
+		tl.next++
+		tl.lanes[name] = ls
+		tl.tracer.Emit(telemetry.ThreadName(ls.tid, "tensor "+name))
+	}
+	return ls
+}
+
+// closeOpen emits the lane's open phase as a complete span. Caller holds
+// tl.mu.
+func (tl *timeline) closeOpen(ls *laneState) {
+	if ls.phase == "" {
+		return
+	}
+	tl.tracer.Complete(ls.phase, "horovod", ls.tid, ls.start, time.Since(ls.start))
+	ls.phase = ""
+}
+
+// transition closes the tensor's open phase span and opens phase.
+func (tl *timeline) transition(name, phase string) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	ls := tl.laneFor(name)
+	tl.closeOpen(ls)
+	ls.phase = phase
+	ls.start = time.Now()
+	tl.mu.Unlock()
+}
+
+// transitionAll moves every named tensor to phase.
+func (tl *timeline) transitionAll(names []string, phase string) {
+	if tl == nil {
+		return
+	}
+	for _, n := range names {
+		tl.transition(n, phase)
+	}
+}
+
+// done closes the tensor's open phase and stamps the DONE instant on its
+// lane.
+func (tl *timeline) done(name string, args map[string]any) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	ls := tl.laneFor(name)
+	tl.closeOpen(ls)
+	tid := ls.tid
+	tl.mu.Unlock()
+	tl.tracer.InstantOn("DONE", "horovod", tid, args)
+}
+
+// abort closes the tensor's open phase and stamps an ABORTED instant —
+// the tensor's reduction never ran (engine failure, shutdown or restart).
+func (tl *timeline) abort(name string) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	ls := tl.lanes[name]
+	if ls == nil {
+		tl.mu.Unlock()
+		return
+	}
+	tl.closeOpen(ls)
+	tid := ls.tid
+	tl.mu.Unlock()
+	tl.tracer.InstantOn("ABORTED", "horovod", tid, nil)
+}
+
+// cycle stamps the cycle-boundary instant on the comm lane: one per engine
+// wake-up, with what the negotiation saw and decided.
+func (tl *timeline) cycle(n, ready, batches int) {
+	if tl == nil {
+		return
+	}
+	tl.tracer.InstantOn("horovod.cycle", "horovod", telemetry.CommLane, map[string]any{
+		"cycle":   n,
+		"ready":   ready,
+		"batches": batches,
+	})
+}

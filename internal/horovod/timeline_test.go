@@ -1,0 +1,234 @@
+package horovod
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
+)
+
+// timelineLanes indexes a tracer's events by tensor lane: the thread_name
+// metadata maps "tensor X" -> tid, then spans and instants group per lane.
+type timelineLanes struct {
+	tidFor   map[string]int
+	spans    map[int][]telemetry.TraceEvent // Ph "X" per lane, in emit order
+	instants map[int][]telemetry.TraceEvent // Ph "i" per lane
+}
+
+func indexTimeline(events []telemetry.TraceEvent) timelineLanes {
+	tl := timelineLanes{
+		tidFor:   map[string]int{},
+		spans:    map[int][]telemetry.TraceEvent{},
+		instants: map[int][]telemetry.TraceEvent{},
+	}
+	for _, ev := range events {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				if name, ok := ev.Args["name"].(string); ok {
+					tl.tidFor[name] = ev.TID
+				}
+			}
+		case "X":
+			tl.spans[ev.TID] = append(tl.spans[ev.TID], ev)
+		case "i":
+			tl.instants[ev.TID] = append(tl.instants[ev.TID], ev)
+		}
+	}
+	return tl
+}
+
+// TestTimelinePerTensorLanes: with Timeline enabled, every tensor gets its
+// own named lane whose spans walk the Horovod lifecycle in order and end in
+// a DONE instant; fusion shows up as the DONE args' fused count.
+func TestTimelinePerTensorLanes(t *testing.T) {
+	const n = 2
+	const tensors = 8
+	w, err := mpi.NewWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracers := make([]*telemetry.Tracer, n)
+	err = w.Run(func(c *mpi.Comm) error {
+		tracer := telemetry.NewTracer()
+		tracers[c.Rank()] = tracer
+		e := NewEngine(c, Config{
+			CycleTime: 5 * time.Millisecond, // long cycle: everything fuses
+			Tracer:    tracer,
+			Timeline:  true,
+		})
+		var wg sync.WaitGroup
+		errs := make([]error, tensors)
+		for i := 0; i < tensors; i++ {
+			i := i
+			wg.Add(1)
+			name := fmt.Sprintf("grad/%d", i)
+			if err := e.AllreduceAsync(name, []float32{float32(i)}, func(err error) {
+				errs[i] = err
+				wg.Done()
+			}); err != nil {
+				return err
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return e.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tl := indexTimeline(tracers[0].Events())
+
+	// One named lane per tensor, all above the comm lane.
+	for i := 0; i < tensors; i++ {
+		lane := fmt.Sprintf("tensor grad/%d", i)
+		tid, ok := tl.tidFor[lane]
+		if !ok {
+			t.Fatalf("no thread_name metadata for %q (lanes: %v)", lane, tl.tidFor)
+		}
+		if tid < timelineLaneBase {
+			t.Errorf("%q lane tid %d below lane base %d", lane, tid, timelineLaneBase)
+		}
+
+		// Spans walk the lifecycle in order (QUEUED may be skipped when the
+		// batch executes immediately, but order must hold).
+		order := map[string]int{
+			phaseSubmitted: 0, phaseNegotiating: 1, phaseQueued: 2,
+			phaseFused: 3, phaseAllreduce: 4,
+		}
+		prev := -1
+		seen := map[string]bool{}
+		for _, sp := range tl.spans[tid] {
+			rank, ok := order[sp.Name]
+			if !ok {
+				t.Errorf("lane %q has unknown phase span %q", lane, sp.Name)
+				continue
+			}
+			if rank < prev {
+				t.Errorf("lane %q phase %q out of order (spans: %v)", lane, sp.Name, phaseNames(tl.spans[tid]))
+			}
+			prev = rank
+			seen[sp.Name] = true
+		}
+		for _, must := range []string{phaseSubmitted, phaseNegotiating, phaseFused, phaseAllreduce} {
+			if !seen[must] {
+				t.Errorf("lane %q missing %s span (spans: %v)", lane, must, phaseNames(tl.spans[tid]))
+			}
+		}
+
+		// Exactly one DONE instant closing the lane, reporting its fusion
+		// batch size.
+		var done []telemetry.TraceEvent
+		for _, in := range tl.instants[tid] {
+			if in.Name == "DONE" {
+				done = append(done, in)
+			}
+		}
+		if len(done) != 1 {
+			t.Fatalf("lane %q has %d DONE instants, want 1", lane, len(done))
+		}
+		if fused, ok := done[0].Args["fused"].(int); !ok || fused < 2 {
+			t.Errorf("lane %q DONE fused = %v, want >= 2 (fusion batch)", lane, done[0].Args["fused"])
+		}
+	}
+
+	// Cycle-boundary instants land on the comm lane; the fusing cycle
+	// reports one batch covering all ready tensors.
+	var sawFusingCycle bool
+	for _, in := range tl.instants[telemetry.CommLane] {
+		if in.Name != "horovod.cycle" {
+			continue
+		}
+		ready, _ := in.Args["ready"].(int)
+		batches, _ := in.Args["batches"].(int)
+		if ready >= 2 && batches >= 1 && batches < ready {
+			sawFusingCycle = true
+		}
+	}
+	if !sawFusingCycle {
+		t.Error("no horovod.cycle instant shows a fused batch (batches < ready)")
+	}
+}
+
+func phaseNames(spans []telemetry.TraceEvent) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestTimelineAbortOnFailure: tensors pending when the engine dies on a
+// transport failure get an ABORTED instant instead of silently vanishing
+// from the timeline.
+func TestTimelineAbortOnFailure(t *testing.T) {
+	const n = 2
+	w, err := mpi.NewWorldOpts(n, mpi.WorldOptions{RecvTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]*mpi.Comm, n)
+	faults := make([]*mpi.FaultTransport, n)
+	for r := 0; r < n; r++ {
+		faults[r] = mpi.NewFaultTransport(w.Comm(r).Endpoint(), mpi.FaultConfig{})
+		comms[r] = mpi.NewComm(faults[r])
+	}
+	faults[0].Partition(1) // negotiation 0->1 goes dark
+
+	tracer := telemetry.NewTracer()
+	e := NewEngine(comms[0], Config{
+		CycleTime: 500 * time.Microsecond,
+		Tracer:    tracer,
+		Timeline:  true,
+	})
+	if err := e.Allreduce("stuck", []float32{1}); err == nil {
+		t.Fatal("allreduce across a partition must fail")
+	}
+	e.Shutdown()
+
+	var aborted bool
+	for _, ev := range tracer.Events() {
+		if ev.Name == "ABORTED" && ev.Ph == "i" {
+			aborted = true
+		}
+	}
+	if !aborted {
+		t.Error("no ABORTED instant for the pending tensor")
+	}
+}
+
+// TestTimelineOffByDefault: without Config.Timeline the tracer carries only
+// the comm-lane spans — no per-tensor lanes sneak in.
+func TestTimelineOffByDefault(t *testing.T) {
+	const n = 2
+	w, err := mpi.NewWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracers := make([]*telemetry.Tracer, n)
+	err = w.Run(func(c *mpi.Comm) error {
+		tracer := telemetry.NewTracer()
+		tracers[c.Rank()] = tracer
+		e := NewEngine(c, Config{CycleTime: 200 * time.Microsecond, Tracer: tracer})
+		if err := e.Allreduce("g", []float32{1}); err != nil {
+			return err
+		}
+		return e.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tracers[0].Events() {
+		if ev.TID >= timelineLaneBase {
+			t.Errorf("timeline event %q on lane %d with Timeline off", ev.Name, ev.TID)
+		}
+	}
+}

@@ -151,6 +151,11 @@ func (f *FaultTransport) Recv(from int, tag uint32) ([]byte, error) {
 // Close closes the inner endpoint.
 func (f *FaultTransport) Close() error { return f.inner.Close() }
 
+// Unwrap exposes the wrapped endpoint so optional capabilities (tag
+// subscriptions) resolve through the fault-injection layer. Injected faults
+// apply on the send side, so subscribed traffic still sees them.
+func (f *FaultTransport) Unwrap() Endpoint { return f.inner }
+
 // Abort forwards an abrupt teardown to the inner endpoint if it supports
 // one, else falls back to Close.
 func (f *FaultTransport) Abort() {

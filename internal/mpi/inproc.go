@@ -30,6 +30,51 @@ type World struct {
 	opts  WorldOptions
 	boxes [][]chan inprocMsg // boxes[to][from]
 	once  []sync.Once
+
+	subMu sync.RWMutex
+	subs  []map[uint32]chan Tagged // per destination rank: tag -> channel
+}
+
+// subscribe registers a tag side channel for rank (inprocEndpoint.Subscribe).
+// Senders route matching messages into it instead of the rank's mailbox.
+func (w *World) subscribe(rank int, tag uint32, buf int) (<-chan Tagged, error) {
+	if buf < 1 {
+		buf = 64
+	}
+	w.subMu.Lock()
+	defer w.subMu.Unlock()
+	if w.subs == nil {
+		w.subs = make([]map[uint32]chan Tagged, w.n)
+	}
+	if w.subs[rank] == nil {
+		w.subs[rank] = make(map[uint32]chan Tagged)
+	}
+	if _, dup := w.subs[rank][tag]; dup {
+		return nil, fmt.Errorf("mpi: rank %d tag %#x already subscribed", rank, tag)
+	}
+	ch := make(chan Tagged, buf)
+	w.subs[rank][tag] = ch
+	return ch, nil
+}
+
+// subDeliver routes a message to rank `to`'s subscription for tag, if one
+// exists. Non-blocking: a full subscriber drops, matching the lossy
+// side-channel contract of the TCP transport.
+func (w *World) subDeliver(to, from int, tag uint32, payload []byte) bool {
+	w.subMu.RLock()
+	var ch chan Tagged
+	if w.subs != nil && w.subs[to] != nil {
+		ch = w.subs[to][tag]
+	}
+	w.subMu.RUnlock()
+	if ch == nil {
+		return false
+	}
+	select {
+	case ch <- Tagged{From: from, Payload: payload}:
+	default:
+	}
+	return true
 }
 
 // NewWorld creates an n-rank in-process job with default options.
@@ -94,8 +139,17 @@ func (e *inprocEndpoint) Send(to int, tag uint32, payload []byte) error {
 	}
 	// Copy so senders may reuse their buffer immediately (MPI semantics).
 	cp := append([]byte(nil), payload...)
+	if e.w.subDeliver(to, e.rank, tag, cp) {
+		return nil
+	}
 	e.w.boxes[to][e.rank] <- inprocMsg{tag: tag, payload: cp}
 	return nil
+}
+
+// Subscribe registers a tag side channel for this rank in the world, so
+// senders deliver matching messages out of band (see Comm.Subscribe).
+func (e *inprocEndpoint) Subscribe(tag uint32, buf int) (<-chan Tagged, error) {
+	return e.w.subscribe(e.rank, tag, buf)
 }
 
 // Recv returns the next message from the peer carrying tag. Messages with

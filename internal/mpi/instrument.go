@@ -93,6 +93,12 @@ func (ie *instrumentedEndpoint) countDeadline(err error) {
 	}
 }
 
+// Unwrap exposes the wrapped endpoint so optional capabilities (tag
+// subscriptions) resolve through the instrumentation layer. Subscribed
+// frames bypass the Recv counters: they are delivered by the transport's
+// read loop, not through this wrapper.
+func (ie *instrumentedEndpoint) Unwrap() Endpoint { return ie.Endpoint }
+
 // Abort forwards to the wrapped endpoint's abrupt-teardown path, keeping
 // MPI_Abort semantics through the instrumentation layer.
 func (ie *instrumentedEndpoint) Abort() {

@@ -110,9 +110,59 @@ func bytesToFloats(b []byte) ([]float32, error) {
 	return out, nil
 }
 
+// Tagged is one out-of-band message delivered through a tag subscription
+// (Comm.Subscribe): the sender's rank in the subscribing communicator's
+// numbering plus the raw payload.
+type Tagged struct {
+	From    int
+	Payload []byte
+}
+
+// subscriber is the optional endpoint capability behind Comm.Subscribe.
+type subscriber interface {
+	Subscribe(tag uint32, buf int) (<-chan Tagged, error)
+}
+
+// unwrapper lets endpoint decorators (fault injection, instrumentation)
+// expose the transport they wrap, so optional capabilities like Subscribe
+// can be found through the decoration chain.
+type unwrapper interface {
+	Unwrap() Endpoint
+}
+
+// Subscribe diverts every future incoming frame carrying tag into the
+// returned channel instead of the Recv path, so a side channel (telemetry
+// pushes) can share the transport with collectives without violating the
+// sequential-Recv-per-peer rule. The channel is buffered with buf slots;
+// frames arriving while it is full are dropped — subscriptions are for
+// lossy, latest-wins traffic, never for protocol frames. The channel is
+// never closed; stop reading when the job is done. Only one subscription
+// per tag is allowed, and the tag must be below TagBase. Transports without
+// subscription support return an error.
+func (c *Comm) Subscribe(tag uint32, buf int) (<-chan Tagged, error) {
+	if tag >= TagBase {
+		return nil, fmt.Errorf("mpi: subscribe tag %#x is in the collective tag space", tag)
+	}
+	for ep := c.ep; ep != nil; {
+		if s, ok := ep.(subscriber); ok {
+			return s.Subscribe(tag, buf)
+		}
+		u, ok := ep.(unwrapper)
+		if !ok {
+			break
+		}
+		ep = u.Unwrap()
+	}
+	return nil, fmt.Errorf("mpi: transport %T does not support subscriptions", c.ep)
+}
+
 // Tag spaces for the built-in protocols. User messages should use tags
 // below TagBase.
 const (
+	// TagTelemetry is the conventional side-channel tag for live telemetry
+	// pushes (telemetry.Publisher -> the rank-0 metrics server).
+	TagTelemetry uint32 = 0x0054454c // "TEL"
+
 	// TagBase is the first tag reserved for collective protocols.
 	TagBase uint32 = 1 << 24
 

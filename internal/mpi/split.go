@@ -99,6 +99,11 @@ func (s *subEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 // Close is a no-op: the parent owns the transport.
 func (s *subEndpoint) Close() error { return nil }
 
+// Unwrap exposes the parent transport. A subscription made through a
+// sub-communicator is transport-level: tags are not namespaced and the
+// From field carries parent-transport numbering.
+func (s *subEndpoint) Unwrap() Endpoint { return s.parent }
+
 // Abort tears the parent transport down abruptly: aborting any derived
 // communicator aborts the job it belongs to, as MPI_Abort does.
 func (s *subEndpoint) Abort() {

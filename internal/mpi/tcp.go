@@ -149,6 +149,45 @@ type tcpEndpoint struct {
 	closed     atomic.Bool
 	closeOnce  sync.Once
 	closeErr   error
+
+	subMu sync.RWMutex
+	subs  map[uint32]chan Tagged // tag -> subscription channel (Subscribe)
+}
+
+// Subscribe registers a side channel for tag: readLoop routes matching
+// frames into the returned buffered channel, dropping when it is full.
+func (ep *tcpEndpoint) Subscribe(tag uint32, buf int) (<-chan Tagged, error) {
+	if buf < 1 {
+		buf = 64
+	}
+	ep.subMu.Lock()
+	defer ep.subMu.Unlock()
+	if ep.subs == nil {
+		ep.subs = make(map[uint32]chan Tagged)
+	}
+	if _, dup := ep.subs[tag]; dup {
+		return nil, fmt.Errorf("mpi: tag %#x already subscribed", tag)
+	}
+	ch := make(chan Tagged, buf)
+	ep.subs[tag] = ch
+	return ch, nil
+}
+
+// subDeliver routes a frame to its tag subscription, if one exists.
+// Delivery is non-blocking: a full (or abandoned) subscriber loses frames
+// rather than stalling the read loop that feeds the collectives.
+func (ep *tcpEndpoint) subDeliver(from int, tag uint32, payload []byte) bool {
+	ep.subMu.RLock()
+	ch := ep.subs[tag]
+	ep.subMu.RUnlock()
+	if ch == nil {
+		return false
+	}
+	select {
+	case ch <- Tagged{From: from, Payload: payload}:
+	default: // subscriber is behind; drop (lossy by design)
+	}
+	return true
 }
 
 type tcpConn struct {
@@ -544,6 +583,9 @@ func (ep *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
 			ep.peers[peer].latch(&PeerError{Rank: peer, Op: OpRecv, Err: ErrPeerClosed})
 			close(ep.boxes[peer])
 			return
+		}
+		if ep.subDeliver(peer, tag, payload) {
+			continue
 		}
 		ep.boxes[peer] <- inprocMsg{tag: tag, payload: payload}
 	}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Health states, in rough lifecycle order. The supervisor and the worker
+// main own the transitions; the /healthz endpoint renders them.
+const (
+	HealthStarting   = "starting"   // transport/bootstrap still in progress
+	HealthOK         = "ok"         // training normally
+	HealthRecovering = "recovering" // rank failure detected, shrink in progress
+	HealthDegraded   = "degraded"   // training on a shrunk world
+	HealthDone       = "done"       // run finished cleanly
+	HealthFailed     = "failed"     // unrecoverable failure
+)
+
+// Health is the mutable liveness/elastic state one process exposes through
+// the /healthz endpoint: a state string plus free-form detail, updated by
+// the supervisor as the run moves through bootstrap, failures, recoveries
+// and completion. All methods are safe for concurrent use and a nil *Health
+// is a no-op on writes, so producers need no guards.
+type Health struct {
+	mu     sync.Mutex
+	state  string
+	since  time.Time
+	detail map[string]any
+}
+
+// NewHealth returns a Health in the starting state.
+func NewHealth() *Health {
+	return &Health{state: HealthStarting, since: time.Now()}
+}
+
+// Set transitions to state, replacing the detail map with the given
+// key/value pairs (odd trailing keys are dropped).
+func (h *Health) Set(state string, kv ...any) {
+	if h == nil {
+		return
+	}
+	var detail map[string]any
+	if len(kv) >= 2 {
+		detail = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			k, ok := kv[i].(string)
+			if !ok {
+				continue
+			}
+			detail[k] = kv[i+1]
+		}
+	}
+	h.mu.Lock()
+	h.state = state
+	h.since = time.Now()
+	h.detail = detail
+	h.mu.Unlock()
+}
+
+// Get returns the current state, when it was entered, and a copy of the
+// detail map. A nil *Health reports starting.
+func (h *Health) Get() (state string, since time.Time, detail map[string]any) {
+	if h == nil {
+		return HealthStarting, time.Time{}, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cp := make(map[string]any, len(h.detail))
+	for k, v := range h.detail {
+		cp[k] = v
+	}
+	return h.state, h.since, cp
+}
+
+// Healthy reports whether the state should answer HTTP 200: a job that is
+// training (full or shrunk world) or finished cleanly is healthy; one that
+// is bootstrapping, mid-recovery, or failed is not.
+func (h *Health) Healthy() bool {
+	state, _, _ := h.Get()
+	switch state {
+	case HealthOK, HealthDegraded, HealthDone:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import "testing"
+
+func TestHealthLifecycle(t *testing.T) {
+	h := NewHealth()
+	if state, _, _ := h.Get(); state != HealthStarting {
+		t.Fatalf("initial state %q, want starting", state)
+	}
+	if h.Healthy() {
+		t.Error("starting must not be healthy")
+	}
+	h.Set(HealthOK, "world", 4)
+	state, since, detail := h.Get()
+	if state != HealthOK || since.IsZero() {
+		t.Fatalf("after Set: state %q since %v", state, since)
+	}
+	if detail["world"] != 4 {
+		t.Errorf("detail = %v, want world:4", detail)
+	}
+	if !h.Healthy() {
+		t.Error("ok must be healthy")
+	}
+	h.Set(HealthRecovering, "suspects", []int{2})
+	if h.Healthy() {
+		t.Error("recovering must not be healthy")
+	}
+	h.Set(HealthDegraded)
+	if !h.Healthy() {
+		t.Error("degraded (still training) must be healthy")
+	}
+	if _, _, detail := h.Get(); len(detail) != 0 {
+		t.Errorf("detail not replaced: %v", detail)
+	}
+	h.Set(HealthDone)
+	if !h.Healthy() {
+		t.Error("done must be healthy")
+	}
+	h.Set(HealthFailed, "error", "boom")
+	if h.Healthy() {
+		t.Error("failed must not be healthy")
+	}
+}
+
+func TestHealthNilReceiver(t *testing.T) {
+	var h *Health
+	h.Set(HealthOK) // no panic
+	state, _, _ := h.Get()
+	if state != HealthStarting {
+		t.Errorf("nil Health state %q, want starting", state)
+	}
+	if h.Healthy() {
+		t.Error("nil Health must not be healthy")
+	}
+}
+
+func TestHealthOddKVDropped(t *testing.T) {
+	h := NewHealth()
+	h.Set(HealthOK, "a", 1, "dangling")
+	_, _, detail := h.Get()
+	if detail["a"] != 1 || len(detail) != 1 {
+		t.Errorf("detail = %v, want only a:1", detail)
+	}
+}

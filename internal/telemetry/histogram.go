@@ -52,6 +52,14 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of samples observed.
 func (h *Histogram) Count() int64 { return h.n.Load() }
 
+// Quantile estimates the p-quantile (p in [0,1]) from the bucket counts by
+// linear interpolation inside the bucket holding the target sample. The
+// +Inf bucket has no upper bound, so quantiles landing there report the
+// last finite bound (a lower bound on the true value). Returns 0 with no
+// samples. This is the bucketed estimate the straggler detector consumes;
+// exact values require exact samples, which the hot path never stores.
+func (h *Histogram) Quantile(p float64) float64 { return h.snapshot().Quantile(p) }
+
 // Sum returns the running sum of samples.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
@@ -64,6 +72,48 @@ type HistogramSnapshot struct {
 	Counts []int64 `json:"counts"` // len(Bounds)+1, last is +Inf
 	Sum    int64   `json:"sum"`
 	Count  int64   `json:"count"`
+}
+
+// Quantile estimates the p-quantile from the snapshot's bucket counts; see
+// Histogram.Quantile for the interpolation contract.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// The target is the k-th sample (1-based) in cumulative bucket order.
+	k := p * float64(s.Count)
+	if k < 1 {
+		k = 1
+	}
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < k {
+			continue
+		}
+		// Bucket i spans (lo, hi]: interpolate the target's position in it.
+		var lo float64
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		hi := float64(s.Bounds[i])
+		return lo + (hi-lo)*((k-prev)/float64(c))
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {

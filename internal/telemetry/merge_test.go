@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestMergeDuplicateNamesDifferentLabelSets: the same base metric with
+// different label sets must stay distinct series in the totals — canonical
+// names embed the labels, so peer=1 and peer=2 never sum into each other.
+func TestMergeDuplicateNamesDifferentLabelSets(t *testing.T) {
+	a := Snapshot{Rank: 0, Counters: map[string]int64{
+		"mpi.bytes_sent{peer=1}": 100,
+		"mpi.bytes_sent{peer=2}": 10,
+	}}
+	b := Snapshot{Rank: 1, Counters: map[string]int64{
+		"mpi.bytes_sent{peer=1}": 1,
+	}}
+	m := Merge([]Snapshot{a, b})
+	if got := m.Totals["mpi.bytes_sent{peer=1}"]; got != 101 {
+		t.Errorf("peer=1 total = %d, want 101", got)
+	}
+	if got := m.Totals["mpi.bytes_sent{peer=2}"]; got != 10 {
+		t.Errorf("peer=2 total = %d, want 10", got)
+	}
+	if len(m.Totals) != 2 {
+		t.Errorf("totals has %d series, want 2: %v", len(m.Totals), m.Totals)
+	}
+}
+
+// TestMergeEmptySnapshot: a rank that registered nothing contributes an
+// empty snapshot; the merge must keep it (its rank is visible) without
+// touching the totals.
+func TestMergeEmptySnapshot(t *testing.T) {
+	full := Snapshot{Rank: 0, Counters: map[string]int64{"x": 5}}
+	empty := Snapshot{Rank: 1}
+	m := Merge([]Snapshot{full, empty})
+	if len(m.Ranks) != 2 {
+		t.Fatalf("merged %d ranks, want 2", len(m.Ranks))
+	}
+	if m.Ranks[1].Rank != 1 {
+		t.Errorf("empty snapshot lost: ranks %v", m.Ranks)
+	}
+	if m.Totals["x"] != 5 {
+		t.Errorf("totals polluted by empty snapshot: %v", m.Totals)
+	}
+}
+
+// TestMergeDuplicateRankIDsStayDistinct: after an elastic shrink, survivor
+// rank ids are renumbered; if snapshots tagged with renumbered ids meet
+// originals in one merge, they alias numerically. The merge must keep both
+// entries (stable sort, input order) instead of collapsing them — the
+// duplicate is a visible diagnosis, not silent data loss.
+func TestMergeDuplicateRankIDsStayDistinct(t *testing.T) {
+	first := Snapshot{Rank: 0, Counters: map[string]int64{"steps": 4}}
+	other := Snapshot{Rank: 1, Counters: map[string]int64{"steps": 4}}
+	renumbered := Snapshot{Rank: 0, Counters: map[string]int64{"steps": 9}}
+	m := Merge([]Snapshot{first, other, renumbered})
+	if len(m.Ranks) != 3 {
+		t.Fatalf("merged %d ranks, want 3 (duplicate id dropped?)", len(m.Ranks))
+	}
+	// Stable sort: both rank-0 snapshots first, in input order, then rank 1.
+	if m.Ranks[0].Counters["steps"] != 4 || m.Ranks[1].Counters["steps"] != 9 {
+		t.Errorf("duplicate rank 0 entries reordered: %+v", m.Ranks[:2])
+	}
+	if m.Ranks[2].Rank != 1 {
+		t.Errorf("rank 1 not last: %+v", m.Ranks)
+	}
+	if m.Totals["steps"] != 17 {
+		t.Errorf("totals = %d, want 17 (all three snapshots counted)", m.Totals["steps"])
+	}
+}
+
+// TestWriteMetricsTruncatedMarker: the truncated writer sets the explicit
+// marker; the normal writer omits it entirely.
+func TestWriteMetricsTruncatedMarker(t *testing.T) {
+	snap := Snapshot{Rank: 0, Counters: map[string]int64{"x": 1}}
+
+	var normal bytes.Buffer
+	if err := WriteMetrics(&normal, []Snapshot{snap}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(normal.String(), "truncated") {
+		t.Errorf("normal export mentions truncated:\n%s", normal.String())
+	}
+
+	var trunc bytes.Buffer
+	if err := WriteMetricsTruncated(&trunc, []Snapshot{snap}); err != nil {
+		t.Fatal(err)
+	}
+	var doc MergedMetrics
+	if err := json.Unmarshal(trunc.Bytes(), &doc); err != nil {
+		t.Fatalf("truncated doc does not parse: %v", err)
+	}
+	if !doc.Truncated {
+		t.Error("truncated doc missing truncated: true")
+	}
+	if len(doc.Ranks) != 1 || doc.Ranks[0].Counters["x"] != 1 {
+		t.Errorf("truncated doc lost data: %+v", doc)
+	}
+}
+
+// TestWriteChromeTraceTruncatedForm: the truncated trace uses the object
+// container ({"traceEvents": ..., "truncated": true}) that trace viewers
+// accept alongside the plain array form.
+func TestWriteChromeTraceTruncatedForm(t *testing.T) {
+	ev := []TraceEvent{{Name: "x", Ph: "X", PID: 1, TID: 2}}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceTruncated(&buf, ev); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		Truncated   bool         `json:"truncated"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("truncated trace does not parse: %v", err)
+	}
+	if !doc.Truncated || len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Name != "x" {
+		t.Errorf("truncated trace wrong: %+v", doc)
+	}
+	// Nil events still produce an openable document.
+	buf.Reset()
+	if err := WriteChromeTraceTruncated(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Errorf("nil events: %s", buf.String())
+	}
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Publisher periodically pushes this rank's live telemetry — a metrics
+// Snapshot plus the trace events recorded since the previous push — to a
+// sink, typically an mpi Send toward the rank hosting the metrics server.
+// It is the feed that turns the end-of-job flight recorder into a live
+// control room: bounded staleness (one Interval), zero coupling to the
+// training hot path (its own goroutine, atomic reads only), and lossy by
+// design (a failed or dropped push is counted and skipped, never retried,
+// so a wedged server cannot back-pressure training).
+//
+// The sink can be swapped mid-run (SetSink) but the publisher also survives
+// elastic shrink/restart without intervention when it publishes over the
+// parent communicator: sub-communicators derived by Shrink reuse the parent
+// transport, so the original rank numbering and routes stay valid for every
+// survivor.
+type Publisher struct {
+	reg    *Registry
+	tracer *Tracer
+
+	mu     sync.Mutex
+	sink   func([]byte) error
+	rank   int
+	cursor int // tracer read position (EventsSince)
+
+	publishes *Counter
+	errors    *Counter
+
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// PublisherOptions configures a Publisher.
+type PublisherOptions struct {
+	// Interval is the push period (default 250ms) — the staleness bound of
+	// the live view.
+	Interval time.Duration
+	// Rank stamps the published snapshots.
+	Rank int
+}
+
+// DefaultPublishInterval is the default push period.
+const DefaultPublishInterval = 250 * time.Millisecond
+
+// NewPublisher starts the publish goroutine. reg may not be nil (there
+// would be nothing to publish); tracer may be nil (pushes then carry no
+// events). sink receives each encoded Bundle; it must be safe to call from
+// the publisher goroutine.
+func NewPublisher(reg *Registry, tracer *Tracer, sink func([]byte) error, opts PublisherOptions) *Publisher {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultPublishInterval
+	}
+	p := &Publisher{
+		reg:       reg,
+		tracer:    tracer,
+		sink:      sink,
+		rank:      opts.Rank,
+		publishes: reg.Counter("telemetry.publishes"),
+		errors:    reg.Counter("telemetry.publish_errors"),
+		interval:  opts.Interval,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go p.loop()
+	return p
+}
+
+// SetSink atomically replaces the sink and the published rank id. A nil
+// sink pauses publishing (pushes are skipped, not errors) — used when the
+// server's host rank died and there is nowhere left to push.
+func (p *Publisher) SetSink(rank int, sink func([]byte) error) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.rank = rank
+	p.sink = sink
+	p.mu.Unlock()
+}
+
+// Publish pushes one bundle now: the full current snapshot plus the trace
+// events recorded since the last push. Errors are counted and returned but
+// the publisher keeps running.
+func (p *Publisher) Publish() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	sink := p.sink
+	rank := p.rank
+	var events []TraceEvent
+	events, p.cursor = p.tracer.EventsSince(p.cursor)
+	p.mu.Unlock()
+	if sink == nil {
+		return nil
+	}
+	snap := p.reg.Snapshot()
+	snap.Rank = rank
+	blob, err := Bundle{Snapshot: snap, Events: events}.Encode()
+	if err != nil {
+		p.errors.Inc()
+		return err
+	}
+	if err := sink(blob); err != nil {
+		p.errors.Inc()
+		return err
+	}
+	p.publishes.Inc()
+	return nil
+}
+
+// Stop pushes one final bundle (so the server's last view includes the
+// run's end state) and terminates the goroutine. Safe to call more than
+// once; a nil publisher is a no-op.
+func (p *Publisher) Stop() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		close(p.stop)
+		<-p.done
+		p.Publish()
+	})
+}
+
+func (p *Publisher) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.Publish()
+		case <-p.stop:
+			return
+		}
+	}
+}

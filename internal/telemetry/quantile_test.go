@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantilePinned pins the bucketed quantile estimate on a known
+// uniform distribution: 1..40 over bounds {10,20,30,40} puts exactly ten
+// samples in each bucket, so the interpolation has closed-form answers.
+func TestHistogramQuantilePinned(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("q.test", []int64{10, 20, 30, 40})
+	for v := int64(1); v <= 40; v++ {
+		h.Observe(v)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},       // k clamps to the first sample
+		{0.25, 10},   // exactly the first bucket's upper bound
+		{0.5, 20},    // q50: second bucket fully consumed
+		{0.75, 30},   // third bucket boundary
+		{0.99, 39.6}, // k=39.6 interpolated inside (30,40]
+		{1, 40},      // last sample
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantileSkewed pins q50/q99 on a skewed distribution: 99
+// fast samples in the first bucket, one slow outlier in the third.
+func TestHistogramQuantileSkewed(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("q.skew", []int64{100, 1000, 10000})
+	for i := 0; i < 99; i++ {
+		h.Observe(50)
+	}
+	h.Observe(5000)
+	// q50: k=50 inside bucket 0 (99 samples spanning (0,100]).
+	if got, want := h.Quantile(0.5), 100.0*50/99; math.Abs(got-want) > 1e-9 {
+		t.Errorf("q50 = %g, want %g", got, want)
+	}
+	// q99: k=99 is still the 99th sample — the last fast one.
+	if got, want := h.Quantile(0.99), 100.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("q99 = %g, want %g", got, want)
+	}
+	// q100 lands on the outlier's bucket, interpolated over one sample.
+	if got, want := h.Quantile(1), 10000.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("q100 = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramQuantileOverflow: samples beyond the last bound land in the
+// +Inf bucket, whose quantiles clamp to the last finite bound (an honest
+// lower bound rather than an invented value).
+func TestHistogramQuantileOverflow(t *testing.T) {
+	reg := New()
+	h := reg.Histogram("q.inf", []int64{10})
+	for i := 0; i < 5; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("overflow q50 = %g, want clamp to 10", got)
+	}
+}
+
+// TestHistogramQuantileEdgeCases: no samples and no bounds must both return
+// 0, never panic.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	reg := New()
+	empty := reg.Histogram("q.empty", []int64{10, 20})
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram q50 = %g, want 0", got)
+	}
+	unbounded := reg.Histogram("q.nobounds", nil)
+	unbounded.Observe(7)
+	if got := unbounded.Quantile(0.5); got != 0 {
+		t.Errorf("boundless histogram q50 = %g, want 0", got)
+	}
+	// Out-of-range p clamps instead of panicking.
+	h := reg.Histogram("q.clamp", []int64{10})
+	h.Observe(5)
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("p<0 clamp: %g vs %g", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("p>1 clamp: %g vs %g", got, h.Quantile(1))
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dnnperf/internal/telemetry"
+)
+
+// Prometheus text exposition rendering for the registry's canonical metric
+// names. A canonical name like `mpi.bytes_sent{peer=3}` becomes the series
+// `mpi_bytes_sent{peer="3",rank="2"}`: dots sanitize to underscores, the
+// embedded labels are quoted, and the reporting rank is added as a label so
+// one scrape distinguishes every rank of the job.
+
+// splitMetric parses a canonical registry name into base name and labels.
+func splitMetric(full string) (base string, labels []telemetry.Label) {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return full, nil
+	}
+	base = full[:i]
+	body := strings.TrimSuffix(full[i+1:], "}")
+	for _, kv := range strings.Split(body, ",") {
+		if eq := strings.IndexByte(kv, '='); eq >= 0 {
+			labels = append(labels, telemetry.L(kv[:eq], kv[eq+1:]))
+		}
+	}
+	return base, labels
+}
+
+// promName sanitizes a base metric name for the exposition format.
+func promName(base string) string {
+	var b strings.Builder
+	for i, r := range base {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set (already including rank) as {k="v",...}.
+func promLabels(labels []telemetry.Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", promName(l.Key), l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// series is one exposition line before rendering.
+type series struct {
+	labels string
+	value  string
+}
+
+// group is every series of one base name plus its TYPE.
+type group struct {
+	name   string
+	typ    string
+	series []series
+}
+
+// WriteExposition renders the per-rank snapshots in the Prometheus text
+// exposition format (version 0.0.4): one `# TYPE` comment per metric, then
+// its series across ranks, deterministically ordered.
+func WriteExposition(w io.Writer, snaps []telemetry.Snapshot) error {
+	groups := map[string]*group{}
+	add := func(base, typ, labels, value string) {
+		g := groups[base]
+		if g == nil {
+			g = &group{name: base, typ: typ}
+			groups[base] = g
+		}
+		g.series = append(g.series, series{labels: labels, value: value})
+	}
+	rankLabel := func(snap telemetry.Snapshot, labels []telemetry.Label) []telemetry.Label {
+		out := append([]telemetry.Label(nil), labels...)
+		return append(out, telemetry.L("rank", fmt.Sprintf("%d", snap.Rank)))
+	}
+
+	for _, snap := range snaps {
+		for full, v := range snap.Counters {
+			base, labels := splitMetric(full)
+			add(promName(base), "counter", promLabels(rankLabel(snap, labels)), fmt.Sprintf("%d", v))
+		}
+		for full, v := range snap.Gauges {
+			base, labels := splitMetric(full)
+			add(promName(base), "gauge", promLabels(rankLabel(snap, labels)), formatFloat(v))
+		}
+		for full, h := range snap.Histograms {
+			base, labels := splitMetric(full)
+			name := promName(base)
+			ls := rankLabel(snap, labels)
+			var cum int64
+			for i, c := range h.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.Bounds) {
+					le = fmt.Sprintf("%d", h.Bounds[i])
+				}
+				bl := append(append([]telemetry.Label(nil), ls...), telemetry.L("le", le))
+				add(name+"_bucket", "histogram-bucket", promLabels(bl), fmt.Sprintf("%d", cum))
+			}
+			add(name+"_sum", "histogram-sum", promLabels(ls), fmt.Sprintf("%d", h.Sum))
+			add(name+"_count", "histogram-count", promLabels(ls), fmt.Sprintf("%d", h.Count))
+		}
+	}
+
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := groups[n]
+		// Histogram components carry no TYPE of their own; the base metric's
+		// histogram TYPE line covers the _bucket/_sum/_count family.
+		switch g.typ {
+		case "histogram-bucket":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", strings.TrimSuffix(n, "_bucket")); err != nil {
+				return err
+			}
+		case "histogram-sum", "histogram-count":
+			// covered by the _bucket TYPE line
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, g.typ); err != nil {
+				return err
+			}
+		}
+		sort.Slice(g.series, func(i, j int) bool { return g.series[i].labels < g.series[j].labels })
+		for _, s := range g.series {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", n, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

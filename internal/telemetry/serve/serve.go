@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
+	"dnnperf/internal/telemetry/detect"
+)
+
+// Server is the rank-0 live metrics endpoint. Routes:
+//
+//	/metrics      Prometheus text exposition of every rank's freshest snapshot
+//	/metrics.json the live merged document (same schema as -metrics files)
+//	/trace        Chrome trace-event JSON snapshot of the buffered spans
+//	/healthz      supervisor/elastic state (200 healthy, 503 otherwise)
+type Server struct {
+	store    *Store
+	health   *telemetry.Health
+	detector *detect.Detector
+
+	mu   sync.Mutex
+	ln   net.Listener
+	srv  *http.Server
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a server over store. health may be nil (reports starting /
+// 503); detector may be nil (no straggler section in /healthz).
+func New(store *Store, health *telemetry.Health, detector *detect.Detector) *Server {
+	if store == nil {
+		store = NewStore(0)
+	}
+	if detector != nil {
+		store.SetDetector(detector)
+	}
+	return &Server{store: store, health: health, detector: detector, stop: make(chan struct{})}
+}
+
+// Store returns the server's bundle store (the local publisher sink feeds
+// it directly on the host rank).
+func (s *Server) Store() *Store { return s.store }
+
+// Handler returns the route mux, for tests and embedding.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Start binds addr (e.g. ":9090" or "127.0.0.1:0") and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		srv.Serve(ln) // returns ErrServerClosed on Close
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Collect drains bundles pushed over an mpi tag subscription into the
+// store until Close. Call once with the channel from Comm.Subscribe.
+func (s *Server) Collect(ch <-chan mpi.Tagged) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case m := <-ch:
+				b, err := telemetry.DecodeBundle(m.Payload)
+				if err != nil {
+					continue // lossy channel: a torn frame is dropped, not fatal
+				}
+				s.store.Update(b)
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the collector and the HTTP server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	srv := s.srv
+	s.mu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snaps := s.store.Snapshots()
+	WriteExposition(w, snaps)
+	// Scrape-side staleness: how old each rank's freshest push is — the
+	// bounded-staleness contract made visible.
+	fmt.Fprintf(w, "# TYPE telemetry_rank_age_seconds gauge\n")
+	ages := s.store.Ages()
+	for _, snap := range snaps {
+		fmt.Fprintf(w, "telemetry_rank_age_seconds{rank=%q} %.3f\n",
+			fmt.Sprintf("%d", snap.Rank), ages[snap.Rank].Seconds())
+	}
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(telemetry.Merge(s.store.Snapshots()))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	telemetry.WriteChromeTrace(w, s.store.Events())
+}
+
+// healthzBody is the /healthz response document.
+type healthzBody struct {
+	Status     string         `json:"status"`
+	Healthy    bool           `json:"healthy"`
+	SinceMS    int64          `json:"since_ms"`
+	Ranks      int            `json:"ranks"`
+	Stragglers []int          `json:"stragglers,omitempty"`
+	Detail     map[string]any `json:"detail,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	state, since, detail := s.health.Get()
+	healthy := s.health.Healthy()
+	body := healthzBody{
+		Status:  state,
+		Healthy: healthy,
+		Ranks:   len(s.store.Snapshots()),
+		Detail:  detail,
+	}
+	if !since.IsZero() {
+		body.SinceMS = time.Since(since).Milliseconds()
+	}
+	if s.detector != nil {
+		body.Stragglers = s.detector.Stragglers()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(body)
+}

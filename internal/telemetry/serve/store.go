@@ -1,0 +1,129 @@
+// Package serve is the live observability plane's rank-0 side: an
+// in-memory store of the freshest per-rank telemetry bundle, an HTTP
+// server exposing it (/metrics in Prometheus text exposition format,
+// /metrics.json as the merged document, /trace as a Chrome trace snapshot,
+// /healthz reflecting supervisor state), and a collector goroutine that
+// drains the mpi tag subscription the per-rank Publishers push into.
+//
+// The paper's diagnostic counters (framework-requested vs engine-executed
+// allreduces, per-peer transport traffic) thus become scrapable while the
+// job runs, instead of a file opened after it exits.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dnnperf/internal/telemetry"
+	"dnnperf/internal/telemetry/detect"
+)
+
+// DefaultMaxEventsPerRank bounds each rank's buffered trace events; the
+// oldest are dropped first, so /trace is a sliding window, not a full
+// flight recording.
+const DefaultMaxEventsPerRank = 8192
+
+// Store holds the freshest telemetry per rank. It is fed by Update (the
+// collector and the server host's local publisher sink) and read by the
+// HTTP handlers; all methods are safe for concurrent use.
+type Store struct {
+	maxEvents int
+	detector  *detect.Detector
+
+	mu    sync.Mutex
+	ranks map[int]*rankEntry
+}
+
+type rankEntry struct {
+	snap   telemetry.Snapshot
+	events []telemetry.TraceEvent
+	seen   time.Time
+}
+
+// NewStore builds a store keeping at most maxEventsPerRank trace events per
+// rank (<= 0 selects DefaultMaxEventsPerRank).
+func NewStore(maxEventsPerRank int) *Store {
+	if maxEventsPerRank <= 0 {
+		maxEventsPerRank = DefaultMaxEventsPerRank
+	}
+	return &Store{maxEvents: maxEventsPerRank, ranks: make(map[int]*rankEntry)}
+}
+
+// SetDetector attaches a straggler detector: every snapshot that passes
+// through Update is also fed to it.
+func (s *Store) SetDetector(d *detect.Detector) {
+	s.mu.Lock()
+	s.detector = d
+	s.mu.Unlock()
+}
+
+// Update replaces the rank's snapshot with the bundle's and appends its
+// trace-event delta (trimming to the per-rank cap).
+func (s *Store) Update(b telemetry.Bundle) {
+	s.mu.Lock()
+	e := s.ranks[b.Snapshot.Rank]
+	if e == nil {
+		e = &rankEntry{}
+		s.ranks[b.Snapshot.Rank] = e
+	}
+	e.snap = b.Snapshot
+	e.seen = time.Now()
+	e.events = append(e.events, b.Events...)
+	if over := len(e.events) - s.maxEvents; over > 0 {
+		e.events = append(e.events[:0:0], e.events[over:]...)
+	}
+	det := s.detector
+	s.mu.Unlock()
+	if det != nil {
+		det.ObserveSnapshot(b.Snapshot)
+	}
+}
+
+// Snapshots returns the freshest snapshot of every reporting rank, sorted
+// by rank.
+func (s *Store) Snapshots() []telemetry.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]telemetry.Snapshot, 0, len(s.ranks))
+	for _, e := range s.ranks {
+		out = append(out, e.snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// Ages returns each reporting rank's staleness (time since its last push).
+func (s *Store) Ages() map[int]time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]time.Duration, len(s.ranks))
+	now := time.Now()
+	for r, e := range s.ranks {
+		out[r] = now.Sub(e.seen)
+	}
+	return out
+}
+
+// Events returns every buffered trace event across ranks, preceded by the
+// process_name metadata events viewers use to label the per-rank lanes.
+func (s *Store) Events() []telemetry.TraceEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ranks := make([]int, 0, len(s.ranks))
+	for r := range s.ranks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	var out []telemetry.TraceEvent
+	for _, r := range ranks {
+		e := s.ranks[r]
+		if len(e.events) == 0 {
+			continue
+		}
+		out = append(out, telemetry.ProcessName(r, fmt.Sprintf("rank %d", r)))
+		out = append(out, e.events...)
+	}
+	return out
+}

@@ -69,16 +69,22 @@ func DecodeSnapshot(b []byte) (Snapshot, error) {
 
 // MergedMetrics is the merged per-rank metrics document written by rank 0:
 // every rank's snapshot plus job-wide counter totals (sums across ranks).
+// Truncated marks a partial document written on an error path — the job
+// died before the full gather, so ranks may be missing and counters stale.
 type MergedMetrics struct {
-	Ranks  []Snapshot       `json:"ranks"`
-	Totals map[string]int64 `json:"totals"`
+	Ranks     []Snapshot       `json:"ranks"`
+	Totals    map[string]int64 `json:"totals"`
+	Truncated bool             `json:"truncated,omitempty"`
 }
 
 // Merge combines per-rank snapshots (sorted by rank) with summed counter
-// totals.
+// totals. The sort is stable, so duplicate rank ids — which can only come
+// from a numbering bug upstream, e.g. post-shrink snapshots tagged with
+// renumbered ranks aliasing original ones — stay distinct and visible in
+// input order instead of silently collapsing.
 func Merge(snaps []Snapshot) MergedMetrics {
 	sorted := append([]Snapshot(nil), snaps...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
 	totals := map[string]int64{}
 	for _, s := range sorted {
 		for name, v := range s.Counters {
@@ -90,9 +96,21 @@ func Merge(snaps []Snapshot) MergedMetrics {
 
 // WriteMetrics writes the merged per-rank metrics JSON document.
 func WriteMetrics(w io.Writer, snaps []Snapshot) error {
+	return writeMetrics(w, snaps, false)
+}
+
+// WriteMetricsTruncated writes the merged document with the explicit
+// "truncated": true marker — the partial export an error path produces.
+func WriteMetricsTruncated(w io.Writer, snaps []Snapshot) error {
+	return writeMetrics(w, snaps, true)
+}
+
+func writeMetrics(w io.Writer, snaps []Snapshot, truncated bool) error {
+	m := Merge(snaps)
+	m.Truncated = truncated
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Merge(snaps))
+	return enc.Encode(m)
 }
 
 // Bundle pairs one rank's metrics snapshot with its trace events — the

@@ -47,6 +47,21 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return json.NewEncoder(w).Encode(events)
 }
 
+// WriteChromeTraceTruncated renders events in the Chrome trace object form
+// ({"traceEvents": [...]}) with an explicit "truncated": true marker — the
+// partial-output format the exporters use on error paths, so an aborted run
+// leaves an openable, honestly-labeled timeline instead of nothing.
+// Trace viewers accept both the array and the object container.
+func WriteChromeTraceTruncated(w io.Writer, events []TraceEvent) error {
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	return json.NewEncoder(w).Encode(struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		Truncated   bool         `json:"truncated"`
+	}{events, true})
+}
+
 // Tracer records spans and instants against a fixed epoch (its creation
 // time). Emission appends under a mutex — tracing is opt-in and orders of
 // magnitude off the per-op hot path; a nil *Tracer is a no-op on every
@@ -118,17 +133,29 @@ func (t *Tracer) Complete(name, cat string, tid int, start time.Time, d time.Dur
 
 // Instant records an instantaneous ("i") event, e.g. a recovery.
 func (t *Tracer) Instant(name, cat string, args map[string]any) {
+	t.InstantOn(name, cat, 0, args)
+}
+
+// InstantOn records an instantaneous ("i") event on a specific lane —
+// e.g. a tensor-lifecycle DONE marker on that tensor's timeline lane.
+func (t *Tracer) InstantOn(name, cat string, tid int, args map[string]any) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.events = append(t.events, TraceEvent{
 		Name: name, Cat: cat, Ph: "i",
-		TS:   float64(time.Since(t.epoch)) / float64(time.Microsecond),
-		PID:  t.pid, TID: 0,
+		TS:  float64(time.Since(t.epoch)) / float64(time.Microsecond),
+		PID: t.pid, TID: tid,
 		Args: args,
 	})
 	t.mu.Unlock()
+}
+
+// ThreadName builds the metadata event that names a lane (tid) in trace
+// viewers — e.g. one lane per tensor in the Horovod timeline.
+func ThreadName(tid int, name string) TraceEvent {
+	return TraceEvent{Name: "thread_name", Ph: "M", TID: tid, Args: map[string]any{"name": name}}
 }
 
 // Emit appends a pre-built event (pid is overwritten with the tracer's).
@@ -151,6 +178,24 @@ func (t *Tracer) Events() []TraceEvent {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]TraceEvent(nil), t.events...)
+}
+
+// EventsSince returns a copy of the events recorded at index cursor and
+// later, plus the new cursor — the incremental read the live Publisher
+// uses so each push carries only the delta since the previous one.
+func (t *Tracer) EventsSince(cursor int) ([]TraceEvent, int) {
+	if t == nil {
+		return nil, cursor
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(t.events) {
+		return nil, len(t.events)
+	}
+	return append([]TraceEvent(nil), t.events[cursor:]...), len(t.events)
 }
 
 // Enabled reports whether the tracer is live — for callers that want to

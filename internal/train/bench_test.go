@@ -2,6 +2,7 @@ package train
 
 import (
 	"testing"
+	"time"
 
 	"dnnperf/internal/data"
 	"dnnperf/internal/graph"
@@ -66,4 +67,47 @@ func BenchmarkResNetBlockStep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(4*b.N)/b.Elapsed().Seconds(), "img/s")
+}
+
+// TestResNetBlockStepAllocsWithPublisher pins the zero-allocation contract
+// under live observability: a training step with a telemetry registry AND a
+// Publisher attached still allocates only the per-step stats slot. The
+// publisher snapshots on its own goroutine, so its presence must not add a
+// single allocation to the hot path.
+func TestResNetBlockStepAllocsWithPublisher(t *testing.T) {
+	reg := telemetry.New()
+	tr, err := New(Config{
+		Model: resNetBlockModel(), IntraThreads: 1, LR: 0.01,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	pub := telemetry.NewPublisher(reg, nil, func([]byte) error { return nil },
+		telemetry.PublisherOptions{Interval: time.Hour})
+	defer pub.Stop()
+
+	rng := tensor.NewRNG(7)
+	batch := data.Batch{Images: rng.Uniform(-1, 1, 4, 8, 8, 8), Labels: []int{1, 3, 5, 7}}
+	// Warm the arena and ride out the per-step stats slice's capacity
+	// doubling, so the measurement sees only the steady state.
+	for i := 0; i < 40; i++ {
+		if _, err := tr.Step(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A completed publish must not perturb the step path's steady state
+	// either.
+	if err := pub.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := tr.Step(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("step allocates %.1f objects/op with publisher attached, want <= 1", allocs)
+	}
 }

@@ -115,6 +115,12 @@ type SupervisorConfig struct {
 	// Tracer, if set, is passed to the trainer; recoveries additionally
 	// land as instant events on the timeline.
 	Tracer *telemetry.Tracer
+	// Health, if set, mirrors the run's elastic state for the live /healthz
+	// endpoint: ok after bootstrap, recovering while a shrink is in
+	// progress, degraded (healthy, but smaller world) after a successful
+	// recovery. The terminal done/failed transition is the caller's — it
+	// knows whether other work follows the supervised run.
+	Health *telemetry.Health
 }
 
 func (c SupervisorConfig) withDefaults() (SupervisorConfig, error) {
@@ -222,6 +228,7 @@ func (s *supervisor) run() error {
 	if err := s.bootstrap(); err != nil {
 		return err
 	}
+	s.cfg.Health.Set(telemetry.HealthOK, "world", s.in.comm.Size())
 	recoveries := 0
 	for s.step < int64(s.cfg.Steps) {
 		st, err := s.in.trainer.Step(s.in.gen())
@@ -307,6 +314,7 @@ func (s *supervisor) recover(suspects []int) error {
 	t0 := time.Now()
 	old := s.in
 	oldSize := old.comm.Size()
+	s.cfg.Health.Set(telemetry.HealthRecovering, "suspects", suspects, "old_size", oldSize)
 	// The engine's loop has latched the failure; make its exit deterministic
 	// before negotiating the new world.
 	old.eng.Quiesce()
@@ -361,6 +369,8 @@ func (s *supervisor) recover(suspects []int) error {
 		Latency:     time.Since(t0),
 	})
 	s.recoveries.Inc()
+	s.cfg.Health.Set(telemetry.HealthDegraded,
+		"failed_ranks", failed, "new_size", newComm.Size(), "recoveries", len(s.res.Recoveries))
 	s.cfg.Tracer.Instant("train.recovery", "elastic", map[string]any{
 		"failed_ranks": failed,
 		"old_size":     oldSize,

@@ -2,8 +2,9 @@
 # bench.sh — run the tier-1 benchmarks with -benchmem and write the raw
 # results as JSON artifacts, so allocation and throughput regressions are
 # pinned by checked-in numbers:
-#   BENCH_tensor.json — kernel and training-step benchmarks
-#   BENCH_comm.json   — mpi collective and Horovod engine benchmarks
+#   BENCH_tensor.json    — kernel and training-step benchmarks
+#   BENCH_comm.json      — mpi collective and Horovod engine benchmarks
+#   BENCH_telemetry.json — engine step with the live publisher on vs off
 #
 # Usage:  scripts/bench.sh [benchtime]          (default 1s)
 # Output: one JSON object per benchmark line: {name, ns_per_op,
@@ -53,7 +54,14 @@ go test ./internal/mpi/ -run '^$' -bench 'RingAllreduce|RecursiveDoublingAllredu
     -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
 
 echo "== engine benchmark (internal/horovod)"
-go test ./internal/horovod/ -run '^$' -bench 'EngineStep' \
+go test ./internal/horovod/ -run '^$' -bench 'EngineStep$' \
     -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
 
 to_json "$RAW" BENCH_comm.json
+
+: >"$RAW"
+echo "== live-observability benchmark (internal/horovod, publisher on vs off)"
+go test ./internal/horovod/ -run '^$' -bench 'EngineStepPublish' \
+    -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+
+to_json "$RAW" BENCH_telemetry.json
