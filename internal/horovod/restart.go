@@ -72,6 +72,9 @@ func (e *Engine) Restart(comm *mpi.Comm) *Engine {
 		wake:        make(chan struct{}, 1),
 		loopDone:    make(chan struct{}),
 	}
+	if ne.cfg.SegmentBytes > 0 {
+		comm.SetSegmentBytes(ne.cfg.SegmentBytes)
+	}
 	go ne.loop()
 	return ne
 }

@@ -9,33 +9,48 @@ import (
 // Collective micro-benchmarks over the in-process transport: the algorithm
 // costs underneath the Horovod engine.
 
-func benchAllreduce(b *testing.B, ranks, elems int, algo string) {
+// benchAllreduce measures the steady-state collective: communicators are
+// created once and every rank runs b.N back-to-back allreduces on a
+// persistent goroutine (tag reuse across iterations is safe — transports
+// are FIFO per peer pair), so allocs/op is the collective's own footprint
+// summed over all ranks, not the harness's.
+func benchAllreduce(b *testing.B, ranks, elems, segBytes int, algo string) {
 	w, err := NewWorld(ranks)
 	if err != nil {
 		b.Fatal(err)
 	}
+	comms := make([]*Comm, ranks)
 	bufs := make([][]float32, ranks)
-	for r := range bufs {
+	for r := range comms {
+		comms[r] = w.Comm(r)
+		if segBytes > 0 {
+			comms[r].SetSegmentBytes(segBytes)
+		}
 		bufs[r] = make([]float32, elems)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	// One warm-up op primes the frame pools and per-comm ring state.
+	runAll := func(n int) {
 		var wg sync.WaitGroup
 		wg.Add(ranks)
 		for r := 0; r < ranks; r++ {
 			go func(r int) {
 				defer wg.Done()
-				c := w.Comm(r)
-				switch algo {
-				case "ring":
-					_ = c.AllreduceRing(bufs[r], OpSum)
-				case "rd":
-					_ = c.AllreduceRecursiveDoubling(bufs[r], OpSum)
+				c := comms[r]
+				for i := 0; i < n; i++ {
+					switch algo {
+					case "ring":
+						_ = c.AllreduceRing(bufs[r], OpSum)
+					case "rd":
+						_ = c.AllreduceRecursiveDoubling(bufs[r], OpSum)
+					}
 				}
 			}(r)
 		}
 		wg.Wait()
 	}
+	runAll(1)
+	b.ResetTimer()
+	runAll(b.N)
 	bytes := float64(4*elems) * float64(b.N)
 	b.ReportMetric(bytes/b.Elapsed().Seconds()/1e6, "MB/s/rank")
 }
@@ -44,16 +59,27 @@ func BenchmarkRingAllreduce(b *testing.B) {
 	for _, ranks := range []int{2, 4, 8} {
 		for _, elems := range []int{1024, 262144} {
 			b.Run(fmt.Sprintf("ranks=%d/elems=%d", ranks, elems), func(b *testing.B) {
-				benchAllreduce(b, ranks, elems, "ring")
+				benchAllreduce(b, ranks, elems, 0, "ring")
 			})
 		}
+	}
+}
+
+// BenchmarkRingAllreduceSegment sweeps the pipelining segment size at the
+// largest rank/payload point, recording the per-frame-overhead vs. overlap
+// trade-off.
+func BenchmarkRingAllreduceSegment(b *testing.B) {
+	for _, segKB := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("ranks=8/elems=262144/seg=%dKB", segKB), func(b *testing.B) {
+			benchAllreduce(b, 8, 262144, segKB<<10, "ring")
+		})
 	}
 }
 
 func BenchmarkRecursiveDoublingAllreduce(b *testing.B) {
 	for _, elems := range []int{1024, 262144} {
 		b.Run(fmt.Sprintf("ranks=4/elems=%d", elems), func(b *testing.B) {
-			benchAllreduce(b, 4, elems, "rd")
+			benchAllreduce(b, 4, elems, 0, "rd")
 		})
 	}
 }

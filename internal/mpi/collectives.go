@@ -128,62 +128,190 @@ func (c *Comm) Allreduce(buf []float32, op ReduceOp) error {
 	return c.AllreduceWith(c.alg, buf, op)
 }
 
+// DefaultSegmentBytes is the default pipelining segment for the ring
+// allreduce: large enough to amortize per-frame overhead, small enough
+// that a segment's reduce overlaps the next segment's transfer — the
+// chunked large-message design of CUDA-Aware MPI collectives.
+const DefaultSegmentBytes = 64 << 10
+
+// segReq describes one pipelined segment send: floats [lo,hi) of the
+// caller's buffer, serialized and shipped by the ring sender goroutine.
+// lo < 0 is the end-of-operation sentinel.
+type segReq struct {
+	lo, hi int
+	tag    uint32
+}
+
+// ringState is the per-communicator pipelined-ring scratch: the segment
+// queue feeding the sender goroutine and its completion channel, allocated
+// once and reused by every ring allreduce on this comm. Collectives are
+// caller-serialized per communicator (MPI semantics), so no lock is needed.
+type ringState struct {
+	q    chan segReq
+	done chan error
+}
+
+// ringQueueDepth bounds how far the sender pipeline can run ahead of the
+// reducer; enqueues beyond it block, which is exactly the send-side flow
+// control a pipelined ring wants.
+const ringQueueDepth = 32
+
+func (c *Comm) ring() *ringState {
+	if c.rs == nil {
+		c.rs = &ringState{q: make(chan segReq, ringQueueDepth), done: make(chan error, 1)}
+	}
+	return c.rs
+}
+
+// ringSender drains the segment queue: serialize each segment from buf
+// into a pooled frame and hand it to the transport with ownership
+// transfer. After the first failure remaining segments are discarded (the
+// error is latched and reported through done), so a dead peer drains the
+// queue fast instead of wedging the reducer.
+func (c *Comm) ringSender(st *ringState, buf []float32, to int) {
+	var err error
+	for {
+		req := <-st.q
+		if req.lo < 0 {
+			st.done <- err
+			return
+		}
+		if err != nil {
+			continue
+		}
+		frame := c.pool.Get(4 * (req.hi - req.lo))
+		encodeFloats(frame, buf[req.lo:req.hi])
+		if e := c.sendPooled(to, req.tag, frame); e != nil {
+			err = e
+		}
+	}
+}
+
 // AllreduceRing is the bandwidth-optimal ring allreduce: a reduce-scatter
 // phase followed by an allgather phase, each of p-1 steps moving 1/p of the
 // buffer. Total bytes on the wire per rank: 2(p-1)/p * len(buf)*4.
+//
+// The schedule is chunked and pipelined: each step's chunk is split into
+// segments of SegmentBytes, sends run on a dedicated goroutine fed by the
+// reducer, and every received segment is reduced in place into the
+// caller's buffer straight from the pooled wire frame — segment k's reduce
+// overlaps segment k+1's receive and segment k-1's send, with no
+// per-segment allocation and no gather/copy-out pass.
 func (c *Comm) AllreduceRing(buf []float32, op ReduceOp) error {
 	p, r := c.Size(), c.Rank()
-	if p == 1 {
+	if p == 1 || len(buf) == 0 {
 		return nil
 	}
 	c.countAllreduce(AlgRing)
 	right := (r + 1) % p
 	left := (r - 1 + p) % p
-	bounds := chunkBounds(len(buf), p)
-	step := func(round int, sendChunk, recvChunk int, reduce bool) error {
-		tag := tagAllreduce + uint32(round)
-		sLo, sHi := bounds[sendChunk], bounds[sendChunk+1]
-		rLo, rHi := bounds[recvChunk], bounds[recvChunk+1]
-		// Serialize before spawning the send; the received chunk is written
-		// into a different region of buf, but snapshotting keeps the send
-		// independent of any later mutation.
-		out := floatsToBytes(buf[sLo:sHi])
-		errCh := make(chan error, 1)
-		go func() { errCh <- c.ep.Send(right, tag, out) }()
-		in, err := c.RecvFloats(left, tag)
-		if err != nil {
-			return joinSendErr(err, errCh)
+	segElems := c.segmentBytes() / 4
+	if segElems < 1 {
+		segElems = 1
+	}
+	bounds := c.ringBounds(len(buf), p)
+	st := c.ring()
+	go c.ringSender(st, buf, right)
+
+	// enqueue splits [lo,hi) into pipeline segments for the sender. Both
+	// sides derive identical bounds, so empty chunks are skipped
+	// symmetrically.
+	enqueue := func(lo, hi int, tag uint32) {
+		for s := lo; s < hi; s += segElems {
+			e := s + segElems
+			if e > hi {
+				e = hi
+			}
+			st.q <- segReq{lo: s, hi: e, tag: tag}
 		}
-		if len(in) != rHi-rLo {
-			return fmt.Errorf("ring allreduce: got %d elems, want %d", len(in), rHi-rLo)
+	}
+	// finish tears the pipeline down: sentinel in, sender error out.
+	finish := func() error {
+		st.q <- segReq{lo: -1}
+		return <-st.done
+	}
+	// recvSeg receives one segment [lo,hi) and folds it into buf — reducing
+	// during reduce-scatter, overwriting during allgather — then returns
+	// the frame to the pool.
+	recvSeg := func(lo, hi int, tag uint32, reduce bool) error {
+		raw, err := c.ep.Recv(left, tag)
+		if err != nil {
+			return err
+		}
+		if len(raw) != 4*(hi-lo) {
+			return fmt.Errorf("got %d bytes, want %d", len(raw), 4*(hi-lo))
 		}
 		if reduce {
-			dst := buf[rLo:rHi]
-			for i := range dst {
-				dst[i] = op(dst[i], in[i])
-			}
+			reduceFloatsFromBytes(buf[lo:hi], raw, op)
 		} else {
-			copy(buf[rLo:rHi], in)
+			decodeFloats(buf[lo:hi], raw)
 		}
-		return <-errCh
+		c.pool.Put(raw)
+		return nil
 	}
-	// Reduce-scatter.
+	// step receives chunk's segments for round `round`; each segment that
+	// completes is immediately forwarded to the next round (nextTag), which
+	// is what overlaps this step's reduce with the next step's send — the
+	// chunk a rank reduces in step s is exactly the chunk it sends in s+1.
+	step := func(chunk int, round int, reduce bool, forward bool) error {
+		tag := tagAllreduce + uint32(round)
+		lo, hi := bounds[chunk], bounds[chunk+1]
+		for s := lo; s < hi; s += segElems {
+			e := s + segElems
+			if e > hi {
+				e = hi
+			}
+			if err := recvSeg(s, e, tag, reduce); err != nil {
+				return fmt.Errorf("ring allreduce round %d: %w", round, err)
+			}
+			if forward {
+				st.q <- segReq{lo: s, hi: e, tag: tagAllreduce + uint32(round+1)}
+			}
+		}
+		return nil
+	}
+
+	// fail joins a reducer-side error with whatever the sender saw while
+	// tearing the pipeline down, so the typed *PeerError survives
+	// whichever side hit the dead peer first.
+	fail := func(err error) error {
+		if serr := finish(); serr != nil {
+			err = errors.Join(err, serr)
+		}
+		return err
+	}
+
+	// Reduce-scatter: prime the pipeline with this rank's own chunk, then
+	// each received-and-reduced segment feeds the next step's send.
+	enqueue(bounds[r], bounds[r+1], tagAllreduce)
 	for s := 0; s < p-1; s++ {
-		sendChunk := (r - s + p) % p
 		recvChunk := (r - s - 1 + p) % p
-		if err := step(s, sendChunk, recvChunk, true); err != nil {
-			return fmt.Errorf("ring allreduce reduce-scatter step %d: %w", s, err)
+		// Forward every round, including the handoff from the last
+		// reduce-scatter round into the first allgather round: the chunk
+		// completed at s == p-2 is the fully reduced one this rank owns.
+		if err := step(recvChunk, s, true, true); err != nil {
+			return fail(err)
 		}
 	}
-	// Allgather.
+	// Allgather: received segments are final values; forward all but the
+	// last round's.
 	for s := 0; s < p-1; s++ {
-		sendChunk := (r + 1 - s + p) % p
 		recvChunk := (r - s + p) % p
-		if err := step(p-1+s, sendChunk, recvChunk, false); err != nil {
-			return fmt.Errorf("ring allreduce allgather step %d: %w", s, err)
+		if err := step(recvChunk, p-1+s, false, s < p-2); err != nil {
+			return fail(err)
 		}
 	}
-	return nil
+	return finish()
+}
+
+// ringBounds returns chunkBounds(n, p), cached on the communicator so
+// steady-state allreduces of a stable gradient size do not reallocate it.
+func (c *Comm) ringBounds(n, p int) []int {
+	if len(c.boundsCache) == p+1 && c.boundsCache[p] == n {
+		return c.boundsCache
+	}
+	c.boundsCache = chunkBounds(n, p)
+	return c.boundsCache
 }
 
 // AllreduceRecursiveDoubling exchanges full buffers along hypercube
@@ -195,23 +323,24 @@ func (c *Comm) AllreduceRecursiveDoubling(buf []float32, op ReduceOp) error {
 		return fmt.Errorf("recursive doubling requires power-of-two size, got %d", p)
 	}
 	c.countAllreduce(AlgRecursiveDoubling)
+	errCh := make(chan error, 1)
 	for mask, round := 1, 0; mask < p; mask, round = mask<<1, round+1 {
 		peer := r ^ mask
 		tag := tagAllreduce + 0x8000 + uint32(round)
-		// Serialize before spawning the send: the reduce below mutates buf.
-		out := floatsToBytes(buf)
-		errCh := make(chan error, 1)
-		go func() { errCh <- c.ep.Send(peer, tag, out) }()
-		in, err := c.RecvFloats(peer, tag)
+		// Serialize into a pooled frame before spawning the send (the
+		// reduce below mutates buf); the transport releases the frame.
+		out := c.pool.Get(4 * len(buf))
+		encodeFloats(out, buf)
+		go func() { errCh <- c.sendPooled(peer, tag, out) }()
+		in, err := c.ep.Recv(peer, tag)
 		if err != nil {
 			return fmt.Errorf("recursive doubling round %d: %w", round, joinSendErr(err, errCh))
 		}
-		if len(in) != len(buf) {
-			return fmt.Errorf("recursive doubling: length mismatch %d vs %d", len(in), len(buf))
+		if len(in) != 4*len(buf) {
+			return fmt.Errorf("recursive doubling: length mismatch %d vs %d bytes", len(in), 4*len(buf))
 		}
-		for i := range buf {
-			buf[i] = op(buf[i], in[i])
-		}
+		reduceFloatsFromBytes(buf, in, op)
+		c.pool.Put(in)
 		if err := <-errCh; err != nil {
 			return err
 		}

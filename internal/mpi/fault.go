@@ -92,17 +92,17 @@ func (f *FaultTransport) Rank() int { return f.inner.Rank() }
 // Size returns the wrapped endpoint's job size.
 func (f *FaultTransport) Size() int { return f.inner.Size() }
 
-// Send delivers payload through the inner transport, subject to the
-// configured faults. Fault decisions are drawn under the lock so the
-// sequence is deterministic even with concurrent senders.
-func (f *FaultTransport) Send(to int, tag uint32, payload []byte) error {
+// decide draws one Send's fault outcome under the lock so the sequence is
+// deterministic even with concurrent senders. discard covers both an active
+// partition and a probabilistic drop.
+func (f *FaultTransport) decide(to int) (discard, delay, dup bool) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.blocked[to] {
 		f.stats.Blocked++
-		f.mu.Unlock()
-		return nil
+		return true, false, false
 	}
-	var drop, delay, dup bool
+	var drop bool
 	if f.cfg.DropProb > 0 {
 		drop = f.rng.Float64() < f.cfg.DropProb
 	}
@@ -124,9 +124,14 @@ func (f *FaultTransport) Send(to int, tag uint32, payload []byte) error {
 			f.stats.Duplicated++
 		}
 	}
-	f.mu.Unlock()
+	return drop, delay, dup
+}
 
-	if drop {
+// Send delivers payload through the inner transport, subject to the
+// configured faults.
+func (f *FaultTransport) Send(to int, tag uint32, payload []byte) error {
+	discard, delay, dup := f.decide(to)
+	if discard {
 		return nil
 	}
 	if delay {
@@ -141,6 +146,33 @@ func (f *FaultTransport) Send(to int, tag uint32, payload []byte) error {
 		}
 	}
 	return nil
+}
+
+// SendOwned forwards the zero-copy send capability with the same fault
+// model. A discarded frame is released back to the pool (the ownership
+// contract: the frame is always consumed). A duplicated send delivers the
+// original via the copying path first, then ships the owned frame as the
+// duplicate.
+func (f *FaultTransport) SendOwned(to int, tag uint32, frame []byte) error {
+	discard, delay, dup := f.decide(to)
+	if discard {
+		sharedFramePool.Put(frame)
+		return nil
+	}
+	if delay {
+		time.Sleep(f.cfg.Delay)
+	}
+	if dup {
+		if err := f.inner.Send(to, tag, frame); err != nil {
+			sharedFramePool.Put(frame)
+			return err
+		}
+		if err := sendOwnedVia(f.inner, &sharedFramePool, to, tag, frame); err != nil {
+			return fmt.Errorf("mpi: fault duplicate: %w", err)
+		}
+		return nil
+	}
+	return sendOwnedVia(f.inner, &sharedFramePool, to, tag, frame)
 }
 
 // Recv passes through: faults are injected on the send side only.

@@ -146,6 +146,25 @@ func (e *inprocEndpoint) Send(to int, tag uint32, payload []byte) error {
 	return nil
 }
 
+// SendOwned delivers a pooled frame with ownership transfer: the frame goes
+// into the mailbox without the defensive copy Send makes, and the receiver
+// (or the pool, on a failed delivery) takes it from there. In-process this
+// makes a collective segment zero-copy from serialization to reduce.
+func (e *inprocEndpoint) SendOwned(to int, tag uint32, frame []byte) error {
+	if err := e.check(to); err != nil {
+		sharedFramePool.Put(frame)
+		return err
+	}
+	if e.w.subDeliver(to, e.rank, tag, frame) {
+		// Subscribers own delivered payloads indefinitely (and a full
+		// subscriber drops); either way the frame leaves the pool's
+		// accounting — sync.Pool makes that a GC matter, not a leak.
+		return nil
+	}
+	e.w.boxes[to][e.rank] <- inprocMsg{tag: tag, payload: frame}
+	return nil
+}
+
 // Subscribe registers a tag side channel for this rank in the world, so
 // senders deliver matching messages out of band (see Comm.Subscribe).
 func (e *inprocEndpoint) Subscribe(tag uint32, buf int) (<-chan Tagged, error) {

@@ -73,6 +73,24 @@ func (ie *instrumentedEndpoint) Send(to int, tag uint32, payload []byte) error {
 	return nil
 }
 
+// SendOwned forwards the zero-copy send capability, counting the frame
+// before ownership transfers (the frame may be back in a pool — or on
+// another rank — by the time the inner call returns).
+func (ie *instrumentedEndpoint) SendOwned(to int, tag uint32, frame []byte) error {
+	n := int64(len(frame))
+	err := sendOwnedVia(ie.Endpoint, &sharedFramePool, to, tag, frame)
+	if err != nil {
+		ie.sendErrors.Inc()
+		ie.countDeadline(err)
+		return err
+	}
+	if to >= 0 && to < len(ie.framesSent) {
+		ie.framesSent[to].Inc()
+		ie.bytesSent[to].Add(n)
+	}
+	return nil
+}
+
 func (ie *instrumentedEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 	b, err := ie.Endpoint.Recv(from, tag)
 	if err != nil {

@@ -37,14 +37,62 @@ type Comm struct {
 	ep   Endpoint
 	alg  AllreduceAlg   // communicator-wide default (SetAllreduceAlg)
 	tele *commTelemetry // per-algorithm counters (SetTelemetry)
+
+	pool     *FramePool // frame-buffer allocator (SetFramePool)
+	segBytes int        // ring pipelining segment (SetSegmentBytes)
+
+	// Pipelined-ring scratch, lazily built and reused across calls.
+	// Collectives on one communicator are caller-serialized (MPI
+	// semantics), so these need no lock.
+	rs          *ringState
+	boundsCache []int
 }
 
 // NewComm wraps ep in a Comm.
-func NewComm(ep Endpoint) *Comm { return &Comm{ep: ep} }
+func NewComm(ep Endpoint) *Comm { return &Comm{ep: ep, pool: &sharedFramePool} }
 
 // derive wraps ep in a sub-communicator that inherits the parent's
-// algorithm selection (but not its telemetry — see SetTelemetry).
-func (c *Comm) derive(ep Endpoint) *Comm { return &Comm{ep: ep, alg: c.alg} }
+// algorithm selection, frame pool and segment size (but not its telemetry —
+// see SetTelemetry).
+func (c *Comm) derive(ep Endpoint) *Comm {
+	return &Comm{ep: ep, alg: c.alg, pool: c.pool, segBytes: c.segBytes}
+}
+
+// SetFramePool gives the communicator a private frame-buffer pool instead
+// of the process-wide shared one. Frames migrate freely between pools (see
+// FramePool), so this is an isolation/accounting knob, not a correctness
+// one.
+func (c *Comm) SetFramePool(p *FramePool) {
+	if p != nil {
+		c.pool = p
+	}
+}
+
+// FramePool returns the communicator's frame-buffer pool.
+func (c *Comm) FramePool() *FramePool { return c.pool }
+
+// SetSegmentBytes sets the pipelining segment size for the chunked ring
+// allreduce. Values below 256 are clamped; 0 restores DefaultSegmentBytes.
+func (c *Comm) SetSegmentBytes(n int) {
+	switch {
+	case n <= 0:
+		c.segBytes = 0
+	case n < 256:
+		c.segBytes = 256
+	default:
+		c.segBytes = n
+	}
+}
+
+// SegmentBytes returns the effective ring pipelining segment size.
+func (c *Comm) SegmentBytes() int { return c.segmentBytes() }
+
+func (c *Comm) segmentBytes() int {
+	if c.segBytes > 0 {
+		return c.segBytes
+	}
+	return DefaultSegmentBytes
+}
 
 // Rank returns this process's rank.
 func (c *Comm) Rank() int { return c.ep.Rank() }

@@ -239,8 +239,13 @@ func readFrame(c net.Conn) (uint32, []byte, error) {
 	if n > maxFrameBytes {
 		return 0, nil, fmt.Errorf("mpi: frame length %d exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	// Pooled so steady-state collective traffic recycles frames: receivers
+	// that finish with a frame (the collectives) return it; receivers that
+	// retain one (bootstrap tables, subscribers) just keep it and the pool
+	// never sees it again — both are safe, see FramePool.
+	payload := sharedFramePool.Get(int(n))
 	if _, err := io.ReadFull(c, payload); err != nil {
+		sharedFramePool.Put(payload)
 		return 0, nil, err
 	}
 	return tag, payload, nil
@@ -616,6 +621,16 @@ func (ep *tcpEndpoint) Send(to int, tag uint32, payload []byte) error {
 		return ep.peers[to].latched()
 	}
 	return nil
+}
+
+// SendOwned delivers a pooled frame with ownership transfer: once the bytes
+// are written to the socket (or the write fails) the frame goes back to the
+// pool. On TCP the kernel copies at write(2) anyway, so "zero-copy" here
+// means zero extra user-space allocation and copy per frame.
+func (ep *tcpEndpoint) SendOwned(to int, tag uint32, frame []byte) error {
+	err := ep.Send(to, tag, frame)
+	sharedFramePool.Put(frame)
+	return err
 }
 
 // Recv returns the next frame from the peer carrying tag. Frames with other

@@ -38,13 +38,21 @@ func newHistogram(name string, bounds []int64) *Histogram {
 	}
 }
 
-// Observe records one sample.
+// Observe records one sample. The bucket is found by branch-light binary
+// search — log2(len(bounds)) probes instead of the old linear scan, which
+// walked every bound for samples landing in the upper buckets (where step
+// and op durations usually live).
 func (h *Histogram) Observe(v int64) {
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v > h.bounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	h.counts[i].Add(1)
+	h.counts[lo].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
 }
@@ -117,14 +125,23 @@ func (s HistogramSnapshot) Quantile(p float64) float64 {
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Bounds: append([]int64(nil), h.bounds...),
-		Counts: make([]int64, len(h.counts)),
-		Sum:    h.sum.Load(),
-		Count:  h.n.Load(),
+	var s HistogramSnapshot
+	h.snapshotInto(&s)
+	return s
+}
+
+// snapshotInto fills s, reusing its Bounds and Counts slices when they have
+// the capacity (the Publisher's steady state).
+func (h *Histogram) snapshotInto(s *HistogramSnapshot) {
+	s.Bounds = append(s.Bounds[:0], h.bounds...)
+	if cap(s.Counts) < len(h.counts) {
+		s.Counts = make([]int64, len(h.counts))
+	} else {
+		s.Counts = s.Counts[:len(h.counts)]
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
-	return s
+	s.Sum = h.sum.Load()
+	s.Count = h.n.Load()
 }

@@ -1,7 +1,10 @@
 package telemetry
 
 import (
+	"bytes"
+	"encoding/json"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -9,10 +12,19 @@ import (
 // Snapshot plus the trace events recorded since the previous push — to a
 // sink, typically an mpi Send toward the rank hosting the metrics server.
 // It is the feed that turns the end-of-job flight recorder into a live
-// control room: bounded staleness (one Interval), zero coupling to the
-// training hot path (its own goroutine, atomic reads only), and lossy by
-// design (a failed or dropped push is counted and skipped, never retried,
-// so a wedged server cannot back-pressure training).
+// control room: bounded staleness (one Interval), near-zero coupling to the
+// training hot path, and lossy by design (a failed or dropped push is
+// counted and skipped, never retried, so a wedged server cannot
+// back-pressure training).
+//
+// The steady-state push allocates almost nothing: the snapshot is taken
+// into reusable maps (Registry.SnapshotInto), the event delta into a
+// reusable slice (Tracer.AppendEventsSince), and the bundle is encoded into
+// one of two preallocated buffers that cycle between the encode side and a
+// dedicated push goroutine. When the push goroutine is still busy with the
+// previous bundle (a slow or wedged sink), the periodic path drops the push
+// and counts it under telemetry.dropped_pushes instead of blocking or
+// piling up garbage.
 //
 // The sink can be swapped mid-run (SetSink) but the publisher also survives
 // elastic shrink/restart without intervention when it publishes over the
@@ -26,15 +38,31 @@ type Publisher struct {
 	mu     sync.Mutex
 	sink   func([]byte) error
 	rank   int
-	cursor int // tracer read position (EventsSince)
+	cursor int          // tracer read position (AppendEventsSince)
+	snap   Snapshot     // reusable snapshot scratch
+	events []TraceEvent // reusable event-delta scratch
+
+	free chan *bytes.Buffer // encode buffers not in flight (cap 2)
+	pend chan pushReq       // encoded bundles awaiting the push goroutine
 
 	publishes *Counter
 	errors    *Counter
+	dropped   *Counter
 
 	interval time.Duration
 	stop     chan struct{}
 	done     chan struct{}
+	pushStop chan struct{}
+	pushDone chan struct{}
+	stopped  atomic.Bool
 	once     sync.Once
+}
+
+// pushReq is one encoded bundle handed to the push goroutine. errCh is set
+// by the synchronous Publish path, which waits for the sink's verdict.
+type pushReq struct {
+	buf   *bytes.Buffer
+	errCh chan error
 }
 
 // PublisherOptions configures a Publisher.
@@ -49,10 +77,10 @@ type PublisherOptions struct {
 // DefaultPublishInterval is the default push period.
 const DefaultPublishInterval = 250 * time.Millisecond
 
-// NewPublisher starts the publish goroutine. reg may not be nil (there
-// would be nothing to publish); tracer may be nil (pushes then carry no
-// events). sink receives each encoded Bundle; it must be safe to call from
-// the publisher goroutine.
+// NewPublisher starts the publish and push goroutines. reg may not be nil
+// (there would be nothing to publish); tracer may be nil (pushes then carry
+// no events). sink receives each encoded Bundle; it is only ever called
+// from the push goroutine, one bundle at a time.
 func NewPublisher(reg *Registry, tracer *Tracer, sink func([]byte) error, opts PublisherOptions) *Publisher {
 	if opts.Interval <= 0 {
 		opts.Interval = DefaultPublishInterval
@@ -62,13 +90,21 @@ func NewPublisher(reg *Registry, tracer *Tracer, sink func([]byte) error, opts P
 		tracer:    tracer,
 		sink:      sink,
 		rank:      opts.Rank,
+		free:      make(chan *bytes.Buffer, 2),
+		pend:      make(chan pushReq, 1),
 		publishes: reg.Counter("telemetry.publishes"),
 		errors:    reg.Counter("telemetry.publish_errors"),
+		dropped:   reg.Counter("telemetry.dropped_pushes"),
 		interval:  opts.Interval,
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+		pushStop:  make(chan struct{}),
+		pushDone:  make(chan struct{}),
 	}
+	p.free <- &bytes.Buffer{}
+	p.free <- &bytes.Buffer{}
 	go p.loop()
+	go p.pushLoop()
 	return p
 }
 
@@ -85,40 +121,78 @@ func (p *Publisher) SetSink(rank int, sink func([]byte) error) {
 	p.mu.Unlock()
 }
 
-// Publish pushes one bundle now: the full current snapshot plus the trace
-// events recorded since the last push. Errors are counted and returned but
-// the publisher keeps running.
+// encode snapshots the registry and the trace delta into the reusable
+// scratch and serializes the bundle into buf. The cursor advances even if a
+// later stage fails or drops — the publisher is lossy, never repeating.
+func (p *Publisher) encode(buf *bytes.Buffer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events, p.cursor = p.tracer.AppendEventsSince(p.events[:0], p.cursor)
+	p.reg.SnapshotInto(&p.snap)
+	p.snap.Rank = p.rank
+	buf.Reset()
+	return json.NewEncoder(buf).Encode(Bundle{Snapshot: p.snap, Events: p.events})
+}
+
+// Publish pushes one bundle now and waits for the sink's verdict: the full
+// current snapshot plus the trace events recorded since the last push.
+// Errors are counted and returned but the publisher keeps running. Must not
+// be called after Stop.
 func (p *Publisher) Publish() error {
-	if p == nil {
+	if p == nil || p.stopped.Load() {
 		return nil
 	}
 	p.mu.Lock()
 	sink := p.sink
-	rank := p.rank
-	var events []TraceEvent
-	events, p.cursor = p.tracer.EventsSince(p.cursor)
 	p.mu.Unlock()
 	if sink == nil {
 		return nil
 	}
-	snap := p.reg.Snapshot()
-	snap.Rank = rank
-	blob, err := Bundle{Snapshot: snap, Events: events}.Encode()
-	if err != nil {
+	buf := <-p.free
+	if err := p.encode(buf); err != nil {
+		p.free <- buf
 		p.errors.Inc()
 		return err
 	}
-	if err := sink(blob); err != nil {
-		p.errors.Inc()
-		return err
+	errCh := make(chan error, 1)
+	p.pend <- pushReq{buf: buf, errCh: errCh}
+	return <-errCh
+}
+
+// publishAsync is the periodic-loop path: like Publish, but it never waits.
+// A busy push goroutine (no free buffer, or a bundle already queued) means
+// the push is dropped and counted, so a slow sink costs the training run
+// nothing but staleness.
+func (p *Publisher) publishAsync() {
+	p.mu.Lock()
+	sink := p.sink
+	p.mu.Unlock()
+	if sink == nil {
+		return
 	}
-	p.publishes.Inc()
-	return nil
+	var buf *bytes.Buffer
+	select {
+	case buf = <-p.free:
+	default:
+		p.dropped.Inc()
+		return
+	}
+	if err := p.encode(buf); err != nil {
+		p.free <- buf
+		p.errors.Inc()
+		return
+	}
+	select {
+	case p.pend <- pushReq{buf: buf}:
+	default:
+		p.free <- buf
+		p.dropped.Inc()
+	}
 }
 
 // Stop pushes one final bundle (so the server's last view includes the
-// run's end state) and terminates the goroutine. Safe to call more than
-// once; a nil publisher is a no-op.
+// run's end state), flushes the push goroutine, and terminates. Safe to
+// call more than once; a nil publisher is a no-op.
 func (p *Publisher) Stop() {
 	if p == nil {
 		return
@@ -127,6 +201,9 @@ func (p *Publisher) Stop() {
 		close(p.stop)
 		<-p.done
 		p.Publish()
+		p.stopped.Store(true)
+		close(p.pushStop)
+		<-p.pushDone
 	})
 }
 
@@ -137,9 +214,49 @@ func (p *Publisher) loop() {
 	for {
 		select {
 		case <-t.C:
-			p.Publish()
+			p.publishAsync()
 		case <-p.stop:
 			return
 		}
+	}
+}
+
+// pushLoop owns the sink: it delivers queued bundles one at a time and
+// returns their buffers to the free list. On shutdown it drains whatever is
+// queued (the final Stop flush) before exiting.
+func (p *Publisher) pushLoop() {
+	defer close(p.pushDone)
+	for {
+		select {
+		case req := <-p.pend:
+			p.deliver(req)
+		case <-p.pushStop:
+			for {
+				select {
+				case req := <-p.pend:
+					p.deliver(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *Publisher) deliver(req pushReq) {
+	p.mu.Lock()
+	sink := p.sink
+	p.mu.Unlock()
+	var err error
+	if sink != nil {
+		if err = sink(req.buf.Bytes()); err != nil {
+			p.errors.Inc()
+		} else {
+			p.publishes.Inc()
+		}
+	}
+	p.free <- req.buf
+	if req.errCh != nil {
+		req.errCh <- err
 	}
 }

@@ -19,40 +19,47 @@ type Snapshot struct {
 
 // Snapshot captures the registry's current state. Individual values are
 // read atomically; the snapshot as a whole is not a consistent cut across
-// metrics (no global lock is taken — the hot path must never contend).
+// metrics. The update hot path (handle Inc/Add/Observe) never touches the
+// registry lock, so snapshotting cannot contend with it.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]float64{},
-		Histograms: map[string]HistogramSnapshot{},
+	var s Snapshot
+	r.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto fills s with the registry's current state, reusing s's maps
+// and per-histogram slices — the steady-state path of the live Publisher,
+// which would otherwise rebuild every map at each push period. Registries
+// are append-only, so overwriting entries in place is exact; s's Rank is
+// left untouched.
+func (r *Registry) SnapshotInto(s *Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
 	}
 	if r == nil {
-		return s
+		return
 	}
+	// Held while reading: registration (the only other lock holder) is
+	// cold-path by contract, and the reads themselves are atomic loads.
 	r.mu.Lock()
-	counters := make([]*Counter, 0, len(r.counters))
-	for _, c := range r.counters {
-		counters = append(counters, c)
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
 	}
-	gauges := make([]*Gauge, 0, len(r.gauges))
-	for _, g := range r.gauges {
-		gauges = append(gauges, g)
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
 	}
-	hists := make([]*Histogram, 0, len(r.hists))
-	for _, h := range r.hists {
-		hists = append(hists, h)
+	for name, h := range r.hists {
+		hs := s.Histograms[name]
+		h.snapshotInto(&hs)
+		s.Histograms[name] = hs
 	}
 	r.mu.Unlock()
-	for _, c := range counters {
-		s.Counters[c.name] = c.Value()
-	}
-	for _, g := range gauges {
-		s.Gauges[g.name] = g.Value()
-	}
-	for _, h := range hists {
-		s.Histograms[h.name] = h.snapshot()
-	}
-	return s
 }
 
 // Encode serializes the snapshot for transport (the mpi gather to rank 0).

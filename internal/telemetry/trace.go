@@ -198,6 +198,24 @@ func (t *Tracer) EventsSince(cursor int) ([]TraceEvent, int) {
 	return append([]TraceEvent(nil), t.events[cursor:]...), len(t.events)
 }
 
+// AppendEventsSince appends the events recorded at index cursor and later
+// to dst and returns it plus the new cursor — EventsSince without the fresh
+// slice per call, so the Publisher's periodic delta reads reuse one buffer.
+func (t *Tracer) AppendEventsSince(dst []TraceEvent, cursor int) ([]TraceEvent, int) {
+	if t == nil {
+		return dst, cursor
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor >= len(t.events) {
+		return dst, len(t.events)
+	}
+	return append(dst, t.events[cursor:]...), len(t.events)
+}
+
 // Enabled reports whether the tracer is live — for callers that want to
 // skip building span names when tracing is off.
 func (t *Tracer) Enabled() bool { return t != nil }

@@ -48,6 +48,15 @@ func Conv2D(p *Pool, x, k *Tensor, spec ConvSpec) *Tensor {
 			conv2dPointwiseImgs(out.data, k.data, x.data, 0, n, f, c, h*w)
 			return out
 		}
+		if n < p.size {
+			// Too few images to feed the pool batch-wise; parallelize each
+			// image's matmul over its output rows instead.
+			for img := 0; img < n; img++ {
+				matmulInto(p, out.data[img*f*h*w:(img+1)*f*h*w], k.data,
+					x.data[img*c*h*w:(img+1)*c*h*w], f, c, h*w)
+			}
+			return out
+		}
 		p.Run(n, 1, func(s, e int) {
 			conv2dPointwiseImgs(out.data, k.data, x.data, s, e, f, c, h*w)
 		})
@@ -60,6 +69,18 @@ func Conv2D(p *Pool, x, k *Tensor, spec ConvSpec) *Tensor {
 		p.putScratch(cols)
 		return out
 	}
+	if n < p.size {
+		// Batch parallelism runs out below the pool width (the paper's
+		// small-batch inference/latency points). Go band-parallel inside
+		// each image: split the output-pixel axis, build a band-local im2col
+		// slab, multiply into a band-local output block, and scatter its
+		// rows into place. Bands are independent, so the pool stays full.
+		for img := 0; img < n; img++ {
+			conv2dBands(p, out.data[img*f*colCols:(img+1)*f*colCols],
+				x.data[img*c*h*w:(img+1)*c*h*w], k.data, c, h, w, f, spec, oh, ow)
+		}
+		return out
+	}
 	p.Run(n, 1, func(s, e int) {
 		// Per-chunk im2col scratch recycled through the arena: steady-state
 		// training steps allocate nothing here.
@@ -68,6 +89,32 @@ func Conv2D(p *Pool, x, k *Tensor, spec ConvSpec) *Tensor {
 		p.putScratch(cols)
 	})
 	return out
+}
+
+// convBandGrain is the minimum output pixels per parallel band of the
+// within-image Conv2D path: enough columns that the band's matmul amortizes
+// its im2col gather and the row scatter.
+const convBandGrain = 128
+
+// conv2dBands computes one image's convolution with the output-pixel axis
+// split across the pool: each band gathers only its own im2col columns and
+// multiplies them into a compact [f, bandLen] block, which is then scattered
+// row-wise into the strided output.
+func conv2dBands(p *Pool, od, img, kd []float32, c, h, w, f int, spec ConvSpec, oh, ow int) {
+	colRows := c * spec.KH * spec.KW
+	colCols := oh * ow
+	p.Run(colCols, convBandGrain, func(cs, ce int) {
+		bandLen := ce - cs
+		cols := p.scratch(colRows * bandLen)
+		obuf := p.scratch(f * bandLen)
+		im2colBand(img, cols, c, h, w, spec, oh, ow, cs, ce)
+		matmulInto(Serial, obuf, kd, cols, f, colRows, bandLen)
+		for i := 0; i < f; i++ {
+			copy(od[i*colCols+cs:i*colCols+ce], obuf[i*bandLen:(i+1)*bandLen])
+		}
+		p.putScratch(obuf)
+		p.putScratch(cols)
+	})
 }
 
 func conv2dPointwiseImgs(od, kd, xd []float32, s, e, f, c, hw int) {
@@ -217,6 +264,36 @@ func im2col(img, cols []float32, c, h, w int, spec ConvSpec, oh, ow int) {
 							dst[i] = img[rowOff+ix]
 						}
 						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// im2colBand expands output pixels [cs, ce) of one image into cols
+// [C*KH*KW, ce-cs] — the band-local slice of the full im2col matrix, laid
+// out compactly so the band matmul runs on contiguous rows.
+func im2colBand(img, cols []float32, c, h, w int, spec ConvSpec, oh, ow, cs, ce int) {
+	bandLen := ce - cs
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for kh := 0; kh < spec.KH; kh++ {
+			for kw := 0; kw < spec.KW; kw++ {
+				dst := cols[row*bandLen : (row+1)*bandLen]
+				oy, ox := cs/ow, cs%ow
+				for i := 0; i < bandLen; i++ {
+					iy := oy*spec.StrideH + kh - spec.PadH
+					ix := ox*spec.StrideW + kw - spec.PadW
+					if iy < 0 || iy >= h || ix < 0 || ix >= w {
+						dst[i] = 0
+					} else {
+						dst[i] = img[chOff+iy*w+ix]
+					}
+					if ox++; ox == ow {
+						ox, oy = 0, oy+1
 					}
 				}
 				row++

@@ -394,3 +394,52 @@ func TestIsPointwise(t *testing.T) {
 		}
 	}
 }
+
+// TestConv2DSmallBatchMatchesSerial pins the within-image parallel paths
+// taken when the batch is narrower than the pool (n < p.size): the band-
+// parallel im2col path for general kernels and the row-parallel matmul path
+// for pointwise kernels. Inputs are integer-valued so the parallel result
+// must match the serial one bit-for-bit — both accumulate bands/tiles in the
+// same ascending order, and any band-boundary slip would show up exactly.
+func TestConv2DSmallBatchMatchesSerial(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	fillInt := func(tn *Tensor, seed int) {
+		d := tn.Data()
+		for i := range d {
+			d[i] = float32((i*7+seed)%9 - 4)
+		}
+	}
+	cases := []struct {
+		name          string
+		n, c, h, w, f int
+		spec          ConvSpec
+	}{
+		// 30x30 output = 900 pixels: multiple convBandGrain bands per image.
+		{"general-3x3", 2, 3, 30, 30, 8, ConvSpec{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}},
+		// Strided + asymmetric padding exercises im2colBand's edge handling.
+		{"general-5x3-stride2", 1, 2, 29, 31, 4, ConvSpec{KH: 5, KW: 3, StrideH: 2, StrideW: 2, PadH: 2, PadW: 0}},
+		// Output smaller than one band: degenerate single-band case.
+		{"general-tiny", 1, 2, 6, 6, 3, ConvSpec{KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}},
+		// Pointwise small-batch: per-image row-parallel matmul path.
+		{"pointwise", 2, 6, 17, 13, 10, ConvSpec{KH: 1, KW: 1, StrideH: 1, StrideW: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.n >= p.size {
+				t.Fatalf("case does not hit the small-batch path: n=%d size=%d", tc.n, p.size)
+			}
+			x := New(tc.n, tc.c, tc.h, tc.w)
+			k := New(tc.f, tc.c, tc.spec.KH, tc.spec.KW)
+			fillInt(x, 1)
+			fillInt(k, 3)
+			got := Conv2D(p, x, k, tc.spec)
+			want := Conv2D(Serial, x, k, tc.spec)
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("elem %d: parallel %v serial %v", i, v, want.Data()[i])
+				}
+			}
+		})
+	}
+}

@@ -21,6 +21,14 @@ const (
 	// mmSmallKN: below this B footprint (floats) the streaming kernel is
 	// used — packing overhead outweighs the locality win.
 	mmSmallKN = 64 * 1024
+	// mmRowGrain is the minimum output rows per parallel chunk of the
+	// blocked kernel. Each chunk repacks every B panel (~k·n copies) no
+	// matter how few rows it covers, so the grain must be tile-proportional,
+	// not a fixed handful of rows: at 32 rows the repack is under ~2% of the
+	// chunk's 2·rows·k·n FLOPs, where the old grain of 4 rows let
+	// over-decomposition drive repack overhead past 10% — the other
+	// thread-scaling wall.
+	mmRowGrain = 32
 )
 
 // MatMul returns a @ b for a [m, k] and b [k, n], computed with a packed,
@@ -126,7 +134,7 @@ func matmulInto(p *Pool, out, a, b []float32, m, k, n int) {
 		p.putScratch(pack)
 		return
 	}
-	p.Run(m, 4, func(s, e int) {
+	p.Run(m, mmRowGrain, func(s, e int) {
 		pack := p.scratch(mmKC * mmNC)
 		matmulBlocked(out, a, b, s, e, k, n, pack)
 		p.putScratch(pack)

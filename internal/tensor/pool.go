@@ -30,13 +30,23 @@ type Pool struct {
 // job is one published kernel launch: executors race on the atomic chunk
 // counter until the index space is exhausted. The job is never recycled —
 // a worker that dequeues it after completion simply finds no chunks left.
+//
+// The claim counter and the completion WaitGroup are each padded onto their
+// own cache line: every chunk claim hammers next and every chunk completion
+// hammers wg's counter, and with both on the line that also holds the
+// read-only launch fields (fn/n/step/chunks, reloaded by every executor per
+// chunk) the line ping-pongs between cores — classic false sharing, one of
+// the thread-scaling walls this kernel pool hit.
 type job struct {
 	fn     func(start, end int)
 	n      int
 	step   int
 	chunks int32
-	next   atomic.Int32
-	wg     sync.WaitGroup
+
+	_    [64]byte // isolate the claim counter
+	next atomic.Int32
+	_    [60]byte // isolate the completion counter
+	wg   sync.WaitGroup
 }
 
 // run claims chunks until none remain. It is executed concurrently by the

@@ -2,8 +2,11 @@
 # bench.sh — run the tier-1 benchmarks with -benchmem and write the raw
 # results as JSON artifacts, so allocation and throughput regressions are
 # pinned by checked-in numbers:
-#   BENCH_tensor.json    — kernel and training-step benchmarks
-#   BENCH_comm.json      — mpi collective and Horovod engine benchmarks
+#   BENCH_tensor.json    — kernel and training-step benchmarks, each kernel
+#                          swept over a fixed 1/2/4/8 thread ladder
+#   BENCH_comm.json      — mpi collective and Horovod engine benchmarks:
+#                          ring allreduce over a 2/4/8 rank sweep and a
+#                          16/64/256 KiB pipelining-segment sweep
 #   BENCH_telemetry.json — engine step with the live publisher on vs off
 #
 # Usage:  scripts/bench.sh [benchtime]          (default 1s)

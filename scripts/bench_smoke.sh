@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — allocation-regression gate for the zero-copy collective
+# path. Runs the 8-rank/256Ki-element ring allreduce benchmark a handful of
+# iterations and fails if allocs/op rises above a small fixed budget.
+#
+# allocs/op is the one benchmark number that is deterministic on any shared
+# CI runner (wall-clock and MB/s are not), which is why the gate pins it and
+# nothing else. The pipelined ring currently costs 8 allocs/op at 8 ranks —
+# one goroutine spawn per rank per op from the harness — against 729 for the
+# pre-pooling implementation, so a budget of 16 catches any reintroduced
+# per-segment or per-round allocation while tolerating harness noise.
+#
+# Usage: scripts/bench_smoke.sh [max_allocs_per_op]   (default 16)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MAX_ALLOCS="${1:-16}"
+BENCH='^BenchmarkRingAllreduce$/ranks=8/elems=262144'
+
+OUT="$(go test ./internal/mpi/ -run '^$' -bench "$BENCH" -benchmem -benchtime 10x)"
+echo "$OUT"
+
+LINE="$(echo "$OUT" | grep '^BenchmarkRingAllreduce' | head -1)"
+if [ -z "$LINE" ]; then
+    echo "bench_smoke: benchmark $BENCH produced no result line" >&2
+    exit 1
+fi
+
+ALLOCS="$(echo "$LINE" | awk '{for (i=1; i<NF; i++) if ($(i+1) == "allocs/op") print $i}')"
+if [ -z "$ALLOCS" ]; then
+    echo "bench_smoke: no allocs/op field in: $LINE" >&2
+    exit 1
+fi
+
+if [ "$ALLOCS" -gt "$MAX_ALLOCS" ]; then
+    echo "bench_smoke: FAIL — ring allreduce at 8 ranks costs $ALLOCS allocs/op (budget $MAX_ALLOCS)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK — ring allreduce at 8 ranks costs $ALLOCS allocs/op (budget $MAX_ALLOCS)"
