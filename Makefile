@@ -9,7 +9,7 @@ RACE_PKGS = ./internal/tensor/... ./internal/graph/... ./internal/horovod/... ./
 FUZZ_PKGS = ./internal/mpi/ ./internal/horovod/ ./internal/train/
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench fuzz ci
+.PHONY: build test vet race bench fuzz scenarios ci
 
 build:
 	$(GO) build ./...
@@ -38,5 +38,12 @@ fuzz:
 			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
 		done; \
 	done
+
+# scenarios runs the shipped chaos-scenario library end to end: elastic
+# kill/partition recovery, straggler detection, seeded fault soaks. Every
+# scenario is deterministic from its seed; a FAIL here is replayable with
+# `go run ./cmd/dnnperf scenario run scenarios/<name>.yaml`.
+scenarios: build
+	$(GO) run ./cmd/dnnperf scenario run -q scenarios/*.yaml
 
 ci: build vet test race

@@ -10,6 +10,7 @@
 //	dnnperf -all [-o experiments.txt]
 //	dnnperf -sim -model resnet152 -platform Skylake-3 -nodes 128 -ppn 4 -bs 32
 //	dnnperf -tune -model resnet50 -framework pytorch -platform Skylake-3
+//	dnnperf scenario run scenarios/crash_recover.yaml
 package main
 
 import (
@@ -21,6 +22,11 @@ import (
 )
 
 func main() {
+	// The scenario subcommand has its own argument grammar; dispatch it
+	// before the flag package sees anything.
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		os.Exit(scenarioMain(os.Args[2:]))
+	}
 	var (
 		list   = flag.Bool("list", false, "list all reproducible experiments")
 		exp    = flag.String("exp", "", "run one experiment by ID (e.g. fig6a)")

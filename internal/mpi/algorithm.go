@@ -84,9 +84,16 @@ type commTelemetry struct {
 
 // SetTelemetry attaches a metrics registry to the communicator: every
 // allreduce records the algorithm that executed it under the label
-// alg=<name>. Derived communicators (Split/Shrink) do not inherit the
-// registry — the sub-collectives a hierarchical allreduce issues internally
-// would otherwise double-count.
+// alg=<name>.
+//
+// Inheritance is deliberately asymmetric. Derived communicators
+// (Split/Shrink) DO inherit the comm-level allreduce algorithm and segment
+// size — a shrunk communicator must keep behaving like the job it replaces,
+// and a Split sub-communicator is tuned with its parent (see Comm.derive) —
+// but they do NOT inherit this registry: the sub-collectives a hierarchical
+// allreduce issues internally would otherwise double-count, so call
+// SetTelemetry again on a derived communicator if its collectives should be
+// counted in their own right.
 func (c *Comm) SetTelemetry(reg *telemetry.Registry) {
 	c.tele = &commTelemetry{
 		ring:              reg.Counter("mpi.allreduce", telemetry.L("alg", "ring")),

@@ -1,0 +1,174 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSplitDerivedCommInheritsTuning pins the documented derive behavior:
+// a Split sub-communicator preserves the parent's comm-level allreduce
+// algorithm and ring segment size, but not its telemetry registry.
+func TestSplitDerivedCommInheritsTuning(t *testing.T) {
+	const ranks = 4
+	w, err := NewWorld(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	subs := make([]*Comm, ranks)
+	err = w.Run(func(c *Comm) error {
+		if err := c.SetAllreduceAlg(AlgRing); err != nil {
+			return err
+		}
+		c.SetSegmentBytes(4096)
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		subs[c.Rank()] = sub
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, sub := range subs {
+		if sub == nil {
+			t.Fatalf("rank %d: no sub-communicator", r)
+		}
+		if got := sub.AllreduceAlgorithm(); got != AlgRing {
+			t.Errorf("rank %d: derived alg %v, want %v", r, got, AlgRing)
+		}
+		if got := sub.SegmentBytes(); got != 4096 {
+			t.Errorf("rank %d: derived segment %d, want 4096", r, got)
+		}
+		if sub.tele != nil {
+			t.Errorf("rank %d: derived comm inherited telemetry", r)
+		}
+	}
+}
+
+// TestShrinkDerivedCommInheritsTuning pins the same contract through the
+// survivor-agreement path: the shrunk communicator keeps the dead job's
+// algorithm and segment tuning.
+func TestShrinkDerivedCommInheritsTuning(t *testing.T) {
+	const ranks = 3
+	w, err := NewWorldOpts(ranks, WorldOptions{RecvTimeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	shrunk := make([]*Comm, ranks)
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := w.Comm(r)
+			if errs[r] = c.SetAllreduceAlg(AlgRing); errs[r] != nil {
+				return
+			}
+			c.SetSegmentBytes(8192)
+			if r == 2 {
+				c.Close() // the casualty: survivors agree on {0, 1}
+				return
+			}
+			sub, _, err := c.Shrink([]int{2}, ShrinkOptions{Epoch: 1})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			mu.Lock()
+			shrunk[r] = sub
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 2; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		sub := shrunk[r]
+		if sub == nil {
+			t.Fatalf("rank %d: no shrunk communicator", r)
+		}
+		if got := sub.AllreduceAlgorithm(); got != AlgRing {
+			t.Errorf("rank %d: shrunk alg %v, want %v", r, got, AlgRing)
+		}
+		if got := sub.SegmentBytes(); got != 8192 {
+			t.Errorf("rank %d: shrunk segment %d, want 8192", r, got)
+		}
+	}
+}
+
+// TestShrinkDemotesRecursiveDoublingOnNonPow2 pins the derive exception: a
+// recursive-doubling parent shrinking to a non-power-of-two survivor set
+// falls back to AlgAuto instead of inheriting an algorithm every Allreduce
+// would reject.
+func TestShrinkDemotesRecursiveDoublingOnNonPow2(t *testing.T) {
+	const ranks = 4
+	w, err := NewWorldOpts(ranks, WorldOptions{RecvTimeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	shrunk := make([]*Comm, ranks)
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := w.Comm(r)
+			if errs[r] = c.SetAllreduceAlg(AlgRecursiveDoubling); errs[r] != nil {
+				return
+			}
+			if r == 3 {
+				c.Close()
+				return
+			}
+			sub, _, err := c.Shrink([]int{3}, ShrinkOptions{Epoch: 1})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			mu.Lock()
+			shrunk[r] = sub
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 3; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if got := shrunk[r].AllreduceAlgorithm(); got != AlgAuto {
+			t.Errorf("rank %d: 3-rank shrunk comm alg %v, want AlgAuto", r, got)
+		}
+	}
+	// One collective on the shrunk world proves the demoted algorithm runs.
+	var cwg sync.WaitGroup
+	sums := make([][]float32, 3)
+	cerrs := make([]error, 3)
+	for r := 0; r < 3; r++ {
+		cwg.Add(1)
+		go func(r int) {
+			defer cwg.Done()
+			buf := []float32{float32(shrunk[r].Rank() + 1)}
+			cerrs[r] = shrunk[r].Allreduce(buf, OpSum)
+			sums[r] = buf
+		}(r)
+	}
+	cwg.Wait()
+	for r := 0; r < 3; r++ {
+		if cerrs[r] != nil {
+			t.Fatalf("rank %d: allreduce on shrunk comm: %v", r, cerrs[r])
+		}
+		if sums[r][0] != 6 {
+			t.Errorf("rank %d: allreduce sum %v, want 6", r, sums[r][0])
+		}
+	}
+}

@@ -79,6 +79,49 @@ func (f *FaultTransport) Heal(peer int) {
 	f.mu.Unlock()
 }
 
+// PartitionAll severs this rank's link toward every peer, isolating it
+// from the job — the send half of a full network partition. Pair it with
+// Partition(rank) on every peer's transport for a symmetric cut.
+func (f *FaultTransport) PartitionAll() {
+	f.mu.Lock()
+	for peer := 0; peer < f.inner.Size(); peer++ {
+		if peer != f.inner.Rank() {
+			f.blocked[peer] = true
+		}
+	}
+	f.mu.Unlock()
+}
+
+// HealAll restores every severed link.
+func (f *FaultTransport) HealAll() {
+	f.mu.Lock()
+	f.blocked = make(map[int]bool)
+	f.mu.Unlock()
+}
+
+// SetConfig swaps the fault-rate template mid-run — the scheduled
+// escalation a chaos timeline wants (e.g. start clean, then raise DropProb
+// at t=2s). The per-rank random stream is preserved across the swap, so a
+// run that applies the same template changes at the same positions in each
+// rank's send sequence replays identically. If cfg.Seed differs from the
+// current seed the stream is re-derived from the new seed instead, which
+// re-anchors determinism to the swap point itself.
+func (f *FaultTransport) SetConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	if cfg.Seed != f.cfg.Seed {
+		f.rng = rand.New(rand.NewSource(cfg.Seed*1000003 + int64(f.inner.Rank())))
+	}
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// Config returns the active fault-rate template.
+func (f *FaultTransport) Config() FaultConfig {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg
+}
+
 // Stats returns a snapshot of the fault counters.
 func (f *FaultTransport) Stats() FaultStats {
 	f.mu.Lock()

@@ -52,10 +52,20 @@ type Comm struct {
 func NewComm(ep Endpoint) *Comm { return &Comm{ep: ep, pool: &sharedFramePool} }
 
 // derive wraps ep in a sub-communicator that inherits the parent's
-// algorithm selection, frame pool and segment size (but not its telemetry —
-// see SetTelemetry).
+// algorithm selection, frame pool and segment size — pinned behavior: a
+// communicator derived by Split or Shrink must reproduce the parent's
+// tuning, so AllreduceAlgorithm() and SegmentBytes() are preserved (a
+// regression test asserts this). The one exception is a forced
+// recursive-doubling parent deriving a non-power-of-two child (e.g. a
+// 4-rank job shrinking to 3 survivors): the inherited algorithm would make
+// every Allreduce fail, so it demotes to AlgAuto. Telemetry is
+// deliberately not inherited; see SetTelemetry.
 func (c *Comm) derive(ep Endpoint) *Comm {
-	return &Comm{ep: ep, alg: c.alg, pool: c.pool, segBytes: c.segBytes}
+	alg := c.alg
+	if alg == AlgRecursiveDoubling && !isPow2(ep.Size()) {
+		alg = AlgAuto
+	}
+	return &Comm{ep: ep, alg: alg, pool: c.pool, segBytes: c.segBytes}
 }
 
 // SetFramePool gives the communicator a private frame-buffer pool instead

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"dnnperf/internal/train"
+)
+
+// evalAssert checks one postcondition against the run's outcome. Every
+// check degrades to a failing result with a diagnostic detail rather than
+// an error: a scenario whose assertions cannot even be evaluated has
+// failed, not crashed.
+func evalAssert(a Assert, oc *outcome) AssertResult {
+	res := AssertResult{Check: a.Check}
+	switch a.Check {
+	case "recovered_within":
+		res.Pass, res.Detail = assertRecoveredWithin(a.Within.D(), oc)
+	case "outcome":
+		res.Pass, res.Detail = assertOutcome(a.Equals, oc)
+	case "final_step":
+		want := int64(a.Value)
+		if want <= 0 {
+			want = int64(oc.spec.Job.Steps)
+		}
+		res.Pass, res.Detail = assertFinalStep(want, oc)
+	case "checkpoint_valid":
+		res.Pass, res.Detail = assertCheckpointValid(oc)
+	case "throughput_floor":
+		res.Pass = oc.throughput >= a.Value
+		res.Detail = fmt.Sprintf("%.2f img/s (floor %.2f)", oc.throughput, a.Value)
+	case "straggler_flagged":
+		res.Pass, res.Detail = assertStragglerFlagged(a.Rank, oc)
+	case "typed_errors":
+		res.Pass = oc.typedErrors >= int64(a.Value)
+		res.Detail = fmt.Sprintf("%d typed peer errors (want >= %d)", oc.typedErrors, int64(a.Value))
+	case "min_dropped":
+		var dropped int64
+		for _, st := range oc.stats {
+			dropped += st.Dropped
+		}
+		res.Pass = dropped >= int64(a.Value)
+		res.Detail = fmt.Sprintf("%d sends dropped (want >= %d)", dropped, int64(a.Value))
+	case "metric_min", "metric_max":
+		res.Pass, res.Detail = assertMetric(a, oc)
+	default:
+		res.Detail = fmt.Sprintf("unknown check %q", a.Check)
+	}
+	return res
+}
+
+// assertRecoveredWithin holds when every surviving supervised rank
+// recovered at least once and each recovery's wall latency stayed under
+// the bound.
+func assertRecoveredWithin(within time.Duration, oc *outcome) (bool, string) {
+	if len(oc.supervised) == 0 {
+		return false, "no surviving supervised ranks"
+	}
+	worst := time.Duration(0)
+	for r, res := range oc.supervised {
+		if len(res.Recoveries) == 0 {
+			return false, fmt.Sprintf("rank %d never recovered", r)
+		}
+		for _, rec := range res.Recoveries {
+			if rec.Latency > worst {
+				worst = rec.Latency
+			}
+		}
+	}
+	if worst > within {
+		return false, fmt.Sprintf("slowest recovery %v exceeds %v", worst.Round(time.Millisecond), within)
+	}
+	return true, fmt.Sprintf("slowest recovery %v (bound %v)", worst.Round(time.Millisecond), within)
+}
+
+func assertOutcome(want string, oc *outcome) (bool, string) {
+	if len(oc.supervised) == 0 {
+		return false, "no surviving supervised ranks"
+	}
+	for r, err := range oc.errs {
+		if err != nil {
+			return false, fmt.Sprintf("rank %d failed: %v", r, err)
+		}
+	}
+	for r, res := range oc.supervised {
+		if res.Outcome.String() != want {
+			return false, fmt.Sprintf("rank %d outcome %s, want %s", r, res.Outcome, want)
+		}
+	}
+	return true, fmt.Sprintf("all %d surviving ranks %s", len(oc.supervised), want)
+}
+
+func assertFinalStep(want int64, oc *outcome) (bool, string) {
+	if len(oc.supervised) == 0 {
+		return false, "no surviving supervised ranks"
+	}
+	for r, res := range oc.supervised {
+		if res.FinalStep != want {
+			return false, fmt.Sprintf("rank %d reached step %d, want %d", r, res.FinalStep, want)
+		}
+	}
+	return true, fmt.Sprintf("all surviving ranks reached step %d", want)
+}
+
+// assertCheckpointValid loads the newest checkpoint through the scenario's
+// own model factory — the same validation the supervisor's recovery path
+// performs.
+func assertCheckpointValid(oc *outcome) (bool, string) {
+	if oc.ckptDir == "" {
+		return false, "scenario has no checkpoint directory (set ckpt_every)"
+	}
+	paths, err := filepath.Glob(filepath.Join(oc.ckptDir, "ckpt-*.dnpf"))
+	if err != nil || len(paths) == 0 {
+		return false, "no checkpoint files written"
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	st, err := train.LoadTrainingCheckpointFile(paths[0], oc.newModel())
+	if err != nil {
+		return false, fmt.Sprintf("%s: %v", filepath.Base(paths[0]), err)
+	}
+	return true, fmt.Sprintf("%s valid at step %d (%d files)", filepath.Base(paths[0]), st.Step, len(paths))
+}
+
+func assertStragglerFlagged(rank int, oc *outcome) (bool, string) {
+	for _, f := range oc.flagged {
+		if f == rank {
+			return true, fmt.Sprintf("rank %d flagged (all flagged: %v)", rank, oc.flagged)
+		}
+	}
+	return false, fmt.Sprintf("rank %d not flagged (flagged: %v)", rank, oc.flagged)
+}
+
+func assertMetric(a Assert, oc *outcome) (bool, string) {
+	if oc.merged == nil {
+		return false, "run produced no merged metrics"
+	}
+	v, ok := oc.merged.Totals[a.Metric]
+	if !ok {
+		return false, fmt.Sprintf("metric %q not in merged totals", a.Metric)
+	}
+	if a.Check == "metric_min" {
+		return float64(v) >= a.Value, fmt.Sprintf("%s=%d (want >= %g)", a.Metric, v, a.Value)
+	}
+	return float64(v) <= a.Value, fmt.Sprintf("%s=%d (want <= %g)", a.Metric, v, a.Value)
+}

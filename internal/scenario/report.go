@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"dnnperf/internal/telemetry"
+)
+
+// Report is the machine-readable outcome of one scenario run.
+//
+// The EventLog is the replay contract: it contains only logical facts —
+// declared trigger points, step numbers, rank outcomes, seeded fault
+// counters — never wall-clock readings, so two runs of the same scenario
+// with the same seed produce byte-identical logs. Wall-clock data
+// (elapsed time, recovery latencies) lives in the other fields, where
+// variance is expected.
+type Report struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	Kind        string `json:"kind"`
+	// Pass is the conjunction of every assertion.
+	Pass    bool           `json:"pass"`
+	Asserts []AssertResult `json:"asserts"`
+	// EventLog is the deterministic, replayable record of the run.
+	EventLog []string `json:"event_log"`
+	// ElapsedMS is the wall time of the run (not part of the event log).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// RecoveryLatenciesMS are the per-recovery wall latencies observed by
+	// the lowest surviving rank (empty when nothing failed).
+	RecoveryLatenciesMS []int64 `json:"recovery_latencies_ms,omitempty"`
+	// ThroughputImgS is the measured (train) or simulated (trainsim)
+	// images/second, 0 for collectives jobs.
+	ThroughputImgS float64 `json:"throughput_img_s,omitempty"`
+	// Metrics is the merged end-of-run telemetry snapshot across ranks.
+	Metrics *telemetry.MergedMetrics `json:"metrics,omitempty"`
+	// ReportPath/CkptDir point at on-disk artifacts when an output
+	// directory was configured.
+	ReportPath string `json:"report_path,omitempty"`
+	CkptDir    string `json:"ckpt_dir,omitempty"`
+}
+
+// AssertResult is one assertion's verdict.
+type AssertResult struct {
+	Check  string `json:"check"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventLogBytes renders the event log as one newline-terminated blob —
+// the unit the determinism guarantee (and its regression test) compares.
+func (r *Report) EventLogBytes() []byte {
+	if len(r.EventLog) == 0 {
+		return nil
+	}
+	return []byte(strings.Join(r.EventLog, "\n") + "\n")
+}
+
+// WriteJSON writes the indented report document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,767 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnnperf/internal/data"
+	"dnnperf/internal/horovod"
+	"dnnperf/internal/hw"
+	"dnnperf/internal/models"
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
+	"dnnperf/internal/telemetry/detect"
+	"dnnperf/internal/train"
+	"dnnperf/internal/trainsim"
+)
+
+// Options configures one scenario run.
+type Options struct {
+	// OutDir, when non-empty, receives on-disk artifacts: the report
+	// document and the elastic job's checkpoints. Empty keeps checkpoints
+	// in a temp dir that is removed after the run.
+	OutDir string
+	// Log receives human progress lines; nil discards them.
+	Log io.Writer
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// outcome carries everything the run observed to the assertion evaluator
+// and the report builder.
+type outcome struct {
+	spec    *Spec
+	elapsed time.Duration
+
+	// train jobs
+	supervised map[int]*train.SupervisorResult // surviving supervised ranks
+	errs       map[int]error                   // per-rank terminal errors
+	casualties map[int]string                  // rank -> "killed" | "isolated"
+	recoveries []train.RecoveryEvent           // lowest surviving rank's view
+	throughput float64
+	flagged    []int // detector's straggler list
+
+	// collectives jobs
+	typedErrors int64
+	stats       map[int]mpi.FaultStats
+	roundsOK    int
+
+	// trainsim jobs
+	sim      *trainsim.Result
+	straggle *trainsim.StragglerResult
+
+	merged   *telemetry.MergedMetrics
+	ckptDir  string
+	newModel func() *models.Model
+
+	eventLog []string
+}
+
+func (oc *outcome) log(format string, args ...any) {
+	oc.eventLog = append(oc.eventLog, fmt.Sprintf(format, args...))
+}
+
+// Run executes a validated scenario and returns its report. An error
+// means the run could not be staged (bad spec, transport bootstrap
+// failure); a staged run that violates its assertions returns a report
+// with Pass=false and a nil error.
+func Run(spec *Spec, opts Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	opts.logf("scenario %s: seed=%d kind=%s transport=%s ranks=%d",
+		spec.Name, spec.Seed, spec.Job.Kind, spec.Fleet.Transport, spec.Fleet.Ranks)
+
+	var oc *outcome
+	var err error
+	switch spec.Job.Kind {
+	case "train":
+		oc, err = runTrain(spec, opts)
+	case "collectives":
+		oc, err = runCollectives(spec, opts)
+	default:
+		oc, err = runTrainsim(spec, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	oc.elapsed = time.Since(start)
+
+	rep := &Report{
+		Scenario:       spec.Name,
+		Description:    spec.Description,
+		Seed:           spec.Seed,
+		Kind:           spec.Job.Kind,
+		Pass:           true,
+		EventLog:       oc.eventLog,
+		ElapsedMS:      oc.elapsed.Milliseconds(),
+		ThroughputImgS: oc.throughput,
+		Metrics:        oc.merged,
+	}
+	for _, ev := range oc.recoveries {
+		rep.RecoveryLatenciesMS = append(rep.RecoveryLatenciesMS, ev.Latency.Milliseconds())
+	}
+	for _, a := range spec.Asserts {
+		res := evalAssert(a, oc)
+		rep.Asserts = append(rep.Asserts, res)
+		rep.Pass = rep.Pass && res.Pass
+		opts.logf("  assert %-18s %s  %s", a.Check, passWord(res.Pass), res.Detail)
+	}
+	if opts.OutDir != "" {
+		rep.CkptDir = oc.ckptDir
+		path := filepath.Join(opts.OutDir, "report-"+spec.Name+".json")
+		if f, ferr := os.Create(path); ferr == nil {
+			rep.ReportPath = path
+			werr := rep.WriteJSON(f)
+			if cerr := f.Close(); werr == nil && cerr == nil {
+				opts.logf("  report: %s", path)
+			}
+		}
+	} else if oc.ckptDir != "" {
+		os.RemoveAll(oc.ckptDir)
+		rep.CkptDir = ""
+	}
+	opts.logf("scenario %s: %s (%d ms)", spec.Name, passWord(rep.Pass), rep.ElapsedMS)
+	return rep, nil
+}
+
+func passWord(ok bool) string {
+	if ok {
+		return "pass"
+	}
+	return "FAIL"
+}
+
+// faultConfig renders a template into the mpi layer's config, anchored to
+// the scenario seed so every random stream replays.
+func faultConfig(seed int64, f *Faults) mpi.FaultConfig {
+	if f == nil {
+		return mpi.FaultConfig{Seed: seed}
+	}
+	return mpi.FaultConfig{
+		Seed:      seed,
+		DropProb:  f.DropProb,
+		DelayProb: f.DelayProb,
+		Delay:     f.Delay.D(),
+		DupProb:   f.DupProb,
+	}
+}
+
+// buildFleet stages the live transports: the raw job, one FaultTransport
+// per rank, and tuned communicators over them.
+func buildFleet(spec *Spec) (fts []*mpi.FaultTransport, comms []*mpi.Comm, err error) {
+	n := spec.Fleet.Ranks
+	base := faultConfig(spec.Seed, spec.Faults)
+	raw := make([]*mpi.Comm, n)
+	switch spec.Fleet.Transport {
+	case "inproc":
+		w, werr := mpi.NewWorldOpts(n, mpi.WorldOptions{RecvTimeout: spec.Fleet.RecvTimeout.D()})
+		if werr != nil {
+			return nil, nil, werr
+		}
+		for r := 0; r < n; r++ {
+			raw[r] = w.Comm(r)
+		}
+	case "tcp":
+		tcp, terr := mpi.StartLocalTCPJobOpts(n, mpi.TCPOptions{
+			RecvTimeout:  spec.Fleet.RecvTimeout.D(),
+			DrainTimeout: 200 * time.Millisecond,
+		})
+		if terr != nil {
+			return nil, nil, terr
+		}
+		raw = tcp
+	default:
+		return nil, nil, fmt.Errorf("scenario: transport %q has no live fleet", spec.Fleet.Transport)
+	}
+	fts = make([]*mpi.FaultTransport, n)
+	comms = make([]*mpi.Comm, n)
+	for r := 0; r < n; r++ {
+		fts[r] = mpi.NewFaultTransport(raw[r].Endpoint(), base)
+		comms[r] = mpi.NewComm(fts[r])
+		if spec.Job.AllreduceAlg != "" {
+			alg, aerr := mpi.ParseAllreduceAlg(spec.Job.AllreduceAlg)
+			if aerr != nil {
+				return nil, nil, aerr
+			}
+			if aerr := comms[r].SetAllreduceAlg(alg); aerr != nil {
+				return nil, nil, aerr
+			}
+		}
+		if spec.Job.SegmentBytes > 0 {
+			comms[r].SetSegmentBytes(spec.Job.SegmentBytes)
+		}
+	}
+	return fts, comms, nil
+}
+
+// trainControl is the shared state of a train-kind run: the fault
+// transports the timeline manipulates, per-(event,rank) fire-once guards,
+// and the straggler detector every rank feeds.
+type trainControl struct {
+	spec  *Spec
+	fts   []*mpi.FaultTransport
+	det   *detect.Detector
+	once  []map[int]*sync.Once // once[eventIdx][rank]
+	fired []atomic.Bool        // event ever fired on any rank
+}
+
+func newTrainControl(spec *Spec, fts []*mpi.FaultTransport, det *detect.Detector) *trainControl {
+	ctl := &trainControl{
+		spec:  spec,
+		fts:   fts,
+		det:   det,
+		once:  make([]map[int]*sync.Once, len(spec.Timeline)),
+		fired: make([]atomic.Bool, len(spec.Timeline)),
+	}
+	for i := range ctl.once {
+		ctl.once[i] = make(map[int]*sync.Once, len(fts))
+		for r := range fts {
+			ctl.once[i][r] = &sync.Once{}
+		}
+	}
+	return ctl
+}
+
+// applyEvent applies one timeline event on rank r's transport. Partitions
+// are symmetric: the target blocks all its sends, peers block sends
+// toward it, so both directions of the cut are real.
+func (ctl *trainControl) applyEvent(i, r int, ev *Event) {
+	ctl.once[i][r].Do(func() {
+		switch ev.Action {
+		case "partition":
+			if r == ev.Rank {
+				ctl.fts[r].PartitionAll()
+			} else {
+				ctl.fts[r].Partition(ev.Rank)
+			}
+		case "heal":
+			if r == ev.Rank {
+				ctl.fts[r].HealAll()
+			} else {
+				ctl.fts[r].Heal(ev.Rank)
+			}
+		case "set_faults":
+			ctl.fts[r].SetConfig(faultConfig(ctl.spec.Seed, ev.Faults))
+		}
+		ctl.fired[i].Store(true)
+	})
+}
+
+// applyWallEvent fires a wall-clock event across the whole fleet at once.
+func (ctl *trainControl) applyWallEvent(i int, ev *Event) {
+	for r := range ctl.fts {
+		ctl.applyEvent(i, r, ev)
+	}
+}
+
+// hook is rank r's OnStep observer: it fires step-scheduled events,
+// injects the straggle slowdown, and feeds the detector the rank's
+// per-step compute signal. Duration-CommWait is the honest per-rank
+// latency: in lock-step data parallelism the wall step time equalizes
+// across ranks (peers absorb a straggler's delay as allreduce wait), so
+// only the compute component plus any injected stall distinguishes a
+// slow rank.
+func (ctl *trainControl) hook(r int) func(int64, train.StepStats) {
+	return func(step int64, st train.StepStats) {
+		var extra time.Duration
+		for i := range ctl.spec.Timeline {
+			ev := &ctl.spec.Timeline[i]
+			if ev.Action == "kill_rank" || ev.AtStep <= 0 {
+				continue
+			}
+			if ev.Action == "straggle" {
+				if ev.Rank == r && step >= ev.AtStep {
+					ctl.fired[i].Store(true)
+					d := time.Duration(float64(st.Duration-st.CommWait) * (ev.Factor - 1))
+					if d > 0 {
+						time.Sleep(d)
+						extra += d
+					}
+				}
+				continue
+			}
+			if step == ev.AtStep {
+				ctl.applyEvent(i, r, ev)
+			}
+		}
+		compute := st.Duration - st.CommWait
+		if compute < 0 {
+			compute = 0
+		}
+		ctl.det.ObserveStep(r, compute+extra)
+	}
+}
+
+// trainFactories builds the deterministic model/optimizer/generator
+// factories every rank of a train job shares. The model seed is fixed
+// (identical initial weights are a correctness requirement); the data
+// shards derive from the scenario seed.
+func trainFactories(spec *Spec) (func() *models.Model, func(int) train.Optimizer, func(rank, size int, startStep int64) (func() data.Batch, error)) {
+	batch, seed := spec.Job.Batch, spec.Seed
+	newModel := func() *models.Model {
+		return models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: 7})
+	}
+	newOpt := func(int) train.Optimizer { return train.NewMomentum(0.05, 0.9) }
+	newGen := func(rank, size int, startStep int64) (func() data.Batch, error) {
+		gen, err := data.NewLearnable(batch, 3, 16, 4, data.Shard(seed, rank))
+		if err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < startStep; i++ {
+			gen.Next()
+		}
+		return gen.Next, nil
+	}
+	return newModel, newOpt, newGen
+}
+
+func runTrain(spec *Spec, opts Options) (*outcome, error) {
+	n := spec.Fleet.Ranks
+	fts, comms, err := buildFleet(spec)
+	if err != nil {
+		return nil, err
+	}
+	regs := make([]*telemetry.Registry, n)
+	for r := 0; r < n; r++ {
+		regs[r] = telemetry.New()
+	}
+	det := detect.New(detect.Config{}, regs[0], nil)
+	ctl := newTrainControl(spec, fts, det)
+	newModel, newOpt, newGen := trainFactories(spec)
+
+	ckptDir := ""
+	if spec.Job.CkptEvery > 0 {
+		base := opts.OutDir
+		if base == "" {
+			tmp, terr := os.MkdirTemp("", "scenario-"+spec.Name+"-")
+			if terr != nil {
+				return nil, terr
+			}
+			base = tmp
+		}
+		ckptDir = filepath.Join(base, "ckpt-"+spec.Name)
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	// kill_rank targets run doomed (train, then abort); everyone else runs
+	// the supervised elastic loop.
+	kills := map[int]int64{}
+	for _, ev := range spec.Timeline {
+		if ev.Action == "kill_rank" {
+			kills[ev.Rank] = ev.AtStep
+		}
+	}
+	partTargets := map[int]bool{}
+	for _, ev := range spec.Timeline {
+		if ev.Action == "partition" {
+			partTargets[ev.Rank] = true
+		}
+	}
+
+	// Wall-clock events fire fleet-wide from timers.
+	var timers []*time.Timer
+	for i := range spec.Timeline {
+		ev := &spec.Timeline[i]
+		if ev.At > 0 && ev.AtStep <= 0 && ev.Action != "kill_rank" && ev.Action != "straggle" {
+			i, ev := i, ev
+			timers = append(timers, time.AfterFunc(ev.At.D(), func() { ctl.applyWallEvent(i, ev) }))
+		}
+	}
+	defer func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}()
+
+	results := make([]*train.SupervisorResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if killStep, doomed := kills[r]; doomed {
+				errs[r] = runDoomedRank(spec, ctl, comms[r], regs[r], r, killStep, ckptDir != "", newModel, newOpt, newGen)
+				return
+			}
+			results[r], errs[r] = train.Supervise(train.SupervisorConfig{
+				Comm:         comms[r],
+				Engine:       horovod.Config{CycleTime: spec.Job.CycleTime.D(), Average: true},
+				NewModel:     newModel,
+				NewOptimizer: newOpt,
+				NewGen:       newGen,
+				Steps:        spec.Job.Steps,
+				CkptDir:      ckptDir,
+				CkptEvery:    spec.Job.CkptEvery,
+				Telemetry:    regs[r],
+				OnStep:       ctl.hook(r),
+			})
+		}(r)
+	}
+	wg.Wait()
+
+	oc := &outcome{
+		spec:       spec,
+		supervised: map[int]*train.SupervisorResult{},
+		errs:       map[int]error{},
+		casualties: map[int]string{},
+		ckptDir:    ckptDir,
+		newModel:   newModel,
+	}
+	for r := 0; r < n; r++ {
+		if _, doomed := kills[r]; doomed {
+			oc.casualties[r] = "killed"
+			continue
+		}
+		if errs[r] != nil && partTargets[r] {
+			// A partitioned rank that could not rejoin is an expected
+			// casualty, not a scenario failure.
+			oc.casualties[r] = "isolated"
+			continue
+		}
+		oc.errs[r] = errs[r]
+		if errs[r] == nil && results[r] != nil {
+			oc.supervised[r] = results[r]
+		}
+		if errs[r] != nil {
+			opts.logf("  rank %d: %v", r, errs[r])
+		}
+	}
+	survivors := make([]int, 0, n)
+	for r := 0; r < n; r++ {
+		if _, ok := oc.supervised[r]; ok {
+			survivors = append(survivors, r)
+		}
+	}
+	if len(survivors) > 0 {
+		low := oc.supervised[survivors[0]]
+		oc.recoveries = low.Recoveries
+		oc.throughput = train.Throughput(low.Steps)
+	}
+	oc.flagged = det.Stragglers()
+	snaps := make([]telemetry.Snapshot, 0, n)
+	for r := 0; r < n; r++ {
+		s := regs[r].Snapshot()
+		s.Rank = r
+		snaps = append(snaps, s)
+	}
+	m := telemetry.Merge(snaps)
+	oc.merged = &m
+
+	buildTrainEventLog(oc, ctl, survivors)
+	return oc, nil
+}
+
+// runDoomedRank trains unsupervised to its death step, then aborts its
+// transport without a goodbye — the crash the survivors must absorb. It
+// still runs the event hook so partitions and straggles scheduled before
+// its death apply.
+func runDoomedRank(spec *Spec, ctl *trainControl, comm *mpi.Comm, reg *telemetry.Registry,
+	rank int, killStep int64, ckpt bool,
+	newModel func() *models.Model, newOpt func(int) train.Optimizer,
+	newGen func(int, int, int64) (func() data.Batch, error)) error {
+	if ckpt {
+		// Join the supervised ranks' bootstrap restore broadcast (fresh
+		// start: the blob is empty).
+		if _, err := comm.BcastBytes(nil, 0); err != nil {
+			return err
+		}
+	}
+	eng := horovod.NewEngine(comm, horovod.Config{CycleTime: spec.Job.CycleTime.D(), Average: true})
+	tr, err := train.New(train.Config{
+		Model:     newModel(),
+		Optimizer: newOpt(comm.Size()),
+		Engine:    eng,
+		Rank:      rank,
+		Telemetry: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	gen, err := newGen(rank, comm.Size(), 0)
+	if err != nil {
+		return err
+	}
+	hook := ctl.hook(rank)
+	for s := int64(1); s <= killStep; s++ {
+		st, serr := tr.Step(gen())
+		if serr != nil {
+			return serr
+		}
+		hook(s, st)
+	}
+	comm.Abort()
+	return nil
+}
+
+// buildTrainEventLog assembles the deterministic replay record: declared
+// trigger points, the recovery trajectory, per-rank outcomes. No
+// wall-clock values — those live in the report.
+func buildTrainEventLog(oc *outcome, ctl *trainControl, survivors []int) {
+	spec := oc.spec
+	oc.log("scenario %s seed=%d", spec.Name, spec.Seed)
+	oc.log("fleet ranks=%d transport=%s", spec.Fleet.Ranks, spec.Fleet.Transport)
+	oc.log("job kind=train steps=%d batch=%d elastic=%t ckpt_every=%d",
+		spec.Job.Steps, spec.Job.Batch, spec.Job.Elastic, spec.Job.CkptEvery)
+	for i := range spec.Timeline {
+		ev := &spec.Timeline[i]
+		if ev.Action == "kill_rank" {
+			oc.log("event at_step=%d kill_rank rank=%d", ev.AtStep, ev.Rank)
+			continue
+		}
+		if !ctl.fired[i].Load() {
+			continue
+		}
+		switch ev.Action {
+		case "straggle":
+			oc.log("event at_step=%d straggle rank=%d factor=%g", ev.AtStep, ev.Rank, ev.Factor)
+		case "set_faults":
+			oc.log("event %s set_faults drop=%g delay_prob=%g dup=%g",
+				trigger(ev), ev.Faults.DropProb, ev.Faults.DelayProb, ev.Faults.DupProb)
+		default:
+			oc.log("event %s %s rank=%d", trigger(ev), ev.Action, ev.Rank)
+		}
+	}
+	for _, rec := range oc.recoveries {
+		oc.log("recovery old_size=%d new_size=%d failed=%v resume_step=%d",
+			rec.OldSize, rec.NewSize, rec.FailedRanks, rec.ResumeStep)
+	}
+	for r := 0; r < spec.Fleet.Ranks; r++ {
+		if word, ok := oc.casualties[r]; ok {
+			oc.log("rank %d outcome=%s", r, word)
+			continue
+		}
+		if res, ok := oc.supervised[r]; ok {
+			oc.log("rank %d outcome=%s final_step=%d", r, res.Outcome, res.FinalStep)
+			continue
+		}
+		oc.log("rank %d outcome=failed", r)
+	}
+	if hasAction(spec, "straggle") {
+		fl := append([]int(nil), oc.flagged...)
+		sort.Ints(fl)
+		oc.log("detect flagged=%v", fl)
+	}
+	_ = survivors
+}
+
+// trigger renders an event's declared firing point.
+func trigger(ev *Event) string {
+	if ev.AtStep > 0 {
+		return fmt.Sprintf("at_step=%d", ev.AtStep)
+	}
+	return fmt.Sprintf("at=%s", ev.At)
+}
+
+func hasAction(spec *Spec, action string) bool {
+	for _, ev := range spec.Timeline {
+		if ev.Action == action {
+			return true
+		}
+	}
+	return false
+}
+
+func runCollectives(spec *Spec, opts Options) (*outcome, error) {
+	n := spec.Fleet.Ranks
+	fts, comms, err := buildFleet(spec)
+	if err != nil {
+		return nil, err
+	}
+	regs := make([]*telemetry.Registry, n)
+	for r := 0; r < n; r++ {
+		regs[r] = telemetry.New()
+		comms[r].SetTelemetry(regs[r])
+	}
+	oc := &outcome{spec: spec, stats: map[int]mpi.FaultStats{}}
+	oc.log("scenario %s seed=%d", spec.Name, spec.Seed)
+	oc.log("fleet ranks=%d transport=%s", n, spec.Fleet.Transport)
+	oc.log("job kind=collectives rounds=%d vec_elems=%d alg=%s",
+		spec.Job.Rounds, spec.Job.VecElems, orAuto(spec.Job.AllreduceAlg))
+
+	want := float32(n * (n - 1) / 2)
+	for round := int64(1); round <= int64(spec.Job.Rounds); round++ {
+		// The control loop is single-threaded, so round-scheduled events
+		// apply to every transport before the round's first send —
+		// identical positions in each rank's send sequence on every run.
+		for i := range spec.Timeline {
+			ev := &spec.Timeline[i]
+			if ev.AtStep != round {
+				continue
+			}
+			for r := 0; r < n; r++ {
+				applyCollectiveEvent(spec, fts, i, r, ev)
+			}
+			switch ev.Action {
+			case "set_faults":
+				oc.log("event at_round=%d set_faults drop=%g delay_prob=%g dup=%g",
+					round, ev.Faults.DropProb, ev.Faults.DelayProb, ev.Faults.DupProb)
+			default:
+				oc.log("event at_round=%d %s rank=%d", round, ev.Action, ev.Rank)
+			}
+		}
+		errsR := make([]error, n)
+		bufs := make([][]float32, n)
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				buf := make([]float32, spec.Job.VecElems)
+				for i := range buf {
+					buf[i] = float32(r)
+				}
+				bufs[r] = buf
+				errsR[r] = comms[r].Allreduce(buf, mpi.OpSum)
+			}(r)
+		}
+		wg.Wait()
+		typed, failed, wrong := 0, 0, 0
+		for r := 0; r < n; r++ {
+			if errsR[r] != nil {
+				failed++
+				if _, ok := mpi.AsPeerError(errsR[r]); ok {
+					typed++
+				}
+			} else if bufs[r][0] != want {
+				wrong++
+			}
+		}
+		oc.typedErrors += int64(typed)
+		if failed == 0 && wrong == 0 {
+			oc.roundsOK++
+			oc.log("round %d ok", round)
+			continue
+		}
+		// A failed collective poisons the tag space (stray frames); stop
+		// the soak here, deterministically.
+		oc.log("round %d failed errors=%d typed=%d wrong_sums=%d", round, failed, typed, wrong)
+		break
+	}
+	// Every Allreduce has returned and the ring sender drains before
+	// returning, so the counters are final — and, because each rank's
+	// fault stream is seeded and drawn in send order, identical on every
+	// same-seed run.
+	for r := 0; r < n; r++ {
+		st := fts[r].Stats()
+		oc.stats[r] = st
+		oc.log("rank %d faults sent=%d dropped=%d delayed=%d duplicated=%d blocked=%d",
+			r, st.Sent, st.Dropped, st.Delayed, st.Duplicated, st.Blocked)
+	}
+	snaps := make([]telemetry.Snapshot, 0, n)
+	for r := 0; r < n; r++ {
+		s := regs[r].Snapshot()
+		s.Rank = r
+		snaps = append(snaps, s)
+	}
+	m := telemetry.Merge(snaps)
+	oc.merged = &m
+	for r := 0; r < n; r++ {
+		comms[r].Close()
+	}
+	return oc, nil
+}
+
+// applyCollectiveEvent is the collectives-kind event application: no
+// fire-once bookkeeping needed, the control loop already fires each event
+// exactly once.
+func applyCollectiveEvent(spec *Spec, fts []*mpi.FaultTransport, _ int, r int, ev *Event) {
+	switch ev.Action {
+	case "partition":
+		if r == ev.Rank {
+			fts[r].PartitionAll()
+		} else {
+			fts[r].Partition(ev.Rank)
+		}
+	case "heal":
+		if r == ev.Rank {
+			fts[r].HealAll()
+		} else {
+			fts[r].Heal(ev.Rank)
+		}
+	case "set_faults":
+		fts[r].SetConfig(faultConfig(spec.Seed, ev.Faults))
+	}
+}
+
+func orAuto(s string) string {
+	if s == "" {
+		return "auto"
+	}
+	return s
+}
+
+func runTrainsim(spec *Spec, opts Options) (*outcome, error) {
+	cpu, err := hw.ByLabel(spec.Job.CPU)
+	if err != nil {
+		return nil, err
+	}
+	cfg := trainsim.Config{
+		Model:        spec.Job.Model,
+		Framework:    spec.Job.Framework,
+		CPU:          cpu,
+		Nodes:        spec.Fleet.Nodes,
+		PPN:          spec.Fleet.PPN,
+		BatchPerProc: spec.Job.BatchPerProc,
+		Seed:         spec.Seed,
+	}
+	base, err := trainsim.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	oc := &outcome{spec: spec, sim: &base, throughput: base.ImagesPerSec}
+	oc.log("scenario %s seed=%d", spec.Name, spec.Seed)
+	oc.log("fleet ranks=%d transport=trainsim nodes=%d ppn=%d",
+		spec.Fleet.Ranks, spec.Fleet.Nodes, spec.Fleet.PPN)
+	oc.log("job kind=trainsim model=%s framework=%s cpu=%s batch=%d",
+		spec.Job.Model, spec.Job.Framework, spec.Job.CPU, spec.Job.BatchPerProc)
+	// The simulator is pure math on the seed, so its floats replay
+	// bit-for-bit and may appear in the deterministic log.
+	oc.log("sim images_per_sec=%.2f iter_ms=%.3f global_batch=%d",
+		base.ImagesPerSec, base.IterTimeSec*1e3, base.GlobalBatch)
+
+	for i := range spec.Timeline {
+		ev := &spec.Timeline[i]
+		if ev.Action != "straggle" {
+			continue
+		}
+		reg := telemetry.New()
+		sres, serr := trainsim.SimulateStraggler(trainsim.StragglerConfig{
+			Sim:        cfg,
+			Steps:      spec.Job.Steps,
+			SlowRank:   ev.Rank,
+			SlowFactor: ev.Factor,
+			Telemetry:  reg,
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		oc.straggle = &sres
+		oc.flagged = sres.Stragglers
+		s := reg.Snapshot()
+		m := telemetry.Merge([]telemetry.Snapshot{s})
+		oc.merged = &m
+		oc.log("event at_step=%d straggle rank=%d factor=%g", ev.AtStep, ev.Rank, ev.Factor)
+		fl := append([]int(nil), sres.Stragglers...)
+		sort.Ints(fl)
+		oc.log("detect flagged=%v flagged_at_step=%d max_skew=%.3f",
+			fl, sres.FlaggedAtStep, sres.MaxSkew)
+		break // one straggler injection per scenario
+	}
+	return oc, nil
+}

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// killRankYAML is the acceptance scenario for deterministic replay: an
+// elastic 3-rank in-process job loses rank 2 after step 3, and the
+// survivors must shrink, roll back and finish the budget.
+const killRankYAML = `
+name: kill_replay
+seed: 4242
+fleet:
+  ranks: 3
+  transport: inproc
+  recv_timeout: 500ms
+job:
+  kind: train
+  steps: 6
+  batch: 4
+  elastic: true
+  ckpt_every: 2
+timeline:
+  - at_step: 3
+    action: kill_rank
+    rank: 2
+asserts:
+  - check: recovered_within
+    within: 30s
+  - check: outcome
+    equals: recovered
+  - check: final_step
+`
+
+func runOnce(t *testing.T, src string) *Report {
+	t.Helper()
+	spec, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestKillRankReplayDeterministic runs the same kill-rank scenario twice
+// with the same seed and demands byte-identical event logs and a passing
+// recovered_within on both runs — the replay contract that makes a chaos
+// failure reproducible instead of anecdotal.
+func TestKillRankReplayDeterministic(t *testing.T) {
+	rep1 := runOnce(t, killRankYAML)
+	rep2 := runOnce(t, killRankYAML)
+	for i, rep := range []*Report{rep1, rep2} {
+		if !rep.Pass {
+			t.Errorf("run %d failed: %+v", i+1, rep.Asserts)
+		}
+		for _, a := range rep.Asserts {
+			if a.Check == "recovered_within" && !a.Pass {
+				t.Errorf("run %d: recovered_within failed: %s", i+1, a.Detail)
+			}
+		}
+	}
+	if !bytes.Equal(rep1.EventLogBytes(), rep2.EventLogBytes()) {
+		t.Errorf("event logs differ across same-seed runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			rep1.EventLogBytes(), rep2.EventLogBytes())
+	}
+	if len(rep1.EventLog) == 0 {
+		t.Error("event log is empty")
+	}
+}
+
+// faultSoakYAML drives seeded fault injection hard enough that every
+// counter class moves, so log equality below is a real test of the
+// per-rank fault streams, not of zeros.
+const faultSoakYAML = `
+name: fault_replay
+seed: 31337
+fleet:
+  ranks: 4
+  transport: inproc
+  recv_timeout: 250ms
+job:
+  kind: collectives
+  allreduce_alg: ring
+  vec_elems: 1024
+  rounds: 8
+faults:
+  delay_prob: 0.2
+  delay: 1ms
+timeline:
+  - at_step: 4
+    action: set_faults
+    faults:
+      drop_prob: 0.2
+      delay_prob: 0.1
+      delay: 1ms
+`
+
+// TestCollectivesReplayDeterministic is the satellite regression: two
+// same-seed runs must produce identical event sequences and identical
+// per-rank FaultStats (the "rank N faults ..." log lines).
+func TestCollectivesReplayDeterministic(t *testing.T) {
+	rep1 := runOnce(t, faultSoakYAML)
+	rep2 := runOnce(t, faultSoakYAML)
+	if !bytes.Equal(rep1.EventLogBytes(), rep2.EventLogBytes()) {
+		t.Errorf("event logs differ across same-seed runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			rep1.EventLogBytes(), rep2.EventLogBytes())
+	}
+	stats1 := faultLines(rep1)
+	stats2 := faultLines(rep2)
+	if len(stats1) != 4 {
+		t.Fatalf("want 4 per-rank fault-stat lines, got %d:\n%s", len(stats1), rep1.EventLogBytes())
+	}
+	for i := range stats1 {
+		if stats1[i] != stats2[i] {
+			t.Errorf("FaultStats differ for rank %d:\n  run 1: %s\n  run 2: %s", i, stats1[i], stats2[i])
+		}
+	}
+	// The soak is only meaningful if the injected faults actually fired.
+	var moved bool
+	for _, line := range stats1 {
+		if !strings.Contains(line, "dropped=0") || !strings.Contains(line, "delayed=0") {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Errorf("no fault counters moved; soak too weak:\n%s", strings.Join(stats1, "\n"))
+	}
+}
+
+func faultLines(rep *Report) []string {
+	var out []string
+	for _, line := range rep.EventLog {
+		if strings.Contains(line, " faults sent=") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestTrainsimDeterministic covers the simulator path: pure math on the
+// seed, so even the float throughput figures must replay exactly.
+func TestTrainsimDeterministic(t *testing.T) {
+	const src = `
+name: sim_replay
+seed: 9
+fleet:
+  transport: trainsim
+  nodes: 4
+  ppn: 2
+job:
+  kind: trainsim
+  steps: 12
+timeline:
+  - action: straggle
+    rank: 3
+    at_step: 1
+    factor: 2.5
+asserts:
+  - check: straggler_flagged
+    rank: 3
+`
+	rep1 := runOnce(t, src)
+	rep2 := runOnce(t, src)
+	if !rep1.Pass || !rep2.Pass {
+		t.Fatalf("trainsim runs failed: %+v / %+v", rep1.Asserts, rep2.Asserts)
+	}
+	if !bytes.Equal(rep1.EventLogBytes(), rep2.EventLogBytes()) {
+		t.Errorf("event logs differ:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			rep1.EventLogBytes(), rep2.EventLogBytes())
+	}
+	if rep1.ThroughputImgS != rep2.ThroughputImgS {
+		t.Errorf("simulated throughput differs: %v vs %v", rep1.ThroughputImgS, rep2.ThroughputImgS)
+	}
+}
+
+// TestLibraryScenariosValid parses and validates every shipped scenario so
+// a schema change that orphans the library fails here, not in CI's smoke
+// job.
+func TestLibraryScenariosValid(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("scenario library too small: %d files", len(paths))
+	}
+	for _, path := range paths {
+		if _, err := Load(path); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}

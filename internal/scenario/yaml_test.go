@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleYAML = `
+# A representative scenario exercising the whole subset.
+name: sample
+description: "quoted: string"
+seed: 42
+fleet:
+  ranks: 3
+  transport: tcp
+  recv_timeout: 750ms
+job:
+  kind: train
+  steps: 8
+  elastic: true
+timeline:
+  - at_step: 3
+    action: kill_rank
+    rank: 2
+  - at: 2s              # wall-clock trigger
+    action: set_faults
+    faults:
+      drop_prob: 0.25
+      delay: 1ms
+asserts:
+  - check: recovered_within
+    within: 30s
+  - check: outcome
+    equals: recovered
+`
+
+func TestParseYAMLScenario(t *testing.T) {
+	spec, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "sample" || spec.Seed != 42 {
+		t.Fatalf("header mismatch: %+v", spec)
+	}
+	if spec.Description != "quoted: string" {
+		t.Fatalf("quoted scalar: %q", spec.Description)
+	}
+	if spec.Fleet.Ranks != 3 || spec.Fleet.Transport != "tcp" {
+		t.Fatalf("fleet mismatch: %+v", spec.Fleet)
+	}
+	if spec.Fleet.RecvTimeout.D() != 750*time.Millisecond {
+		t.Fatalf("recv_timeout %v", spec.Fleet.RecvTimeout)
+	}
+	if len(spec.Timeline) != 2 {
+		t.Fatalf("timeline %v", spec.Timeline)
+	}
+	kill := spec.Timeline[0]
+	if kill.Action != "kill_rank" || kill.Rank != 2 || kill.AtStep != 3 {
+		t.Fatalf("kill event %+v", kill)
+	}
+	sf := spec.Timeline[1]
+	if sf.Action != "set_faults" || sf.At.D() != 2*time.Second {
+		t.Fatalf("set_faults event %+v", sf)
+	}
+	if sf.Faults == nil || sf.Faults.DropProb != 0.25 || sf.Faults.Delay.D() != time.Millisecond {
+		t.Fatalf("faults template %+v", sf.Faults)
+	}
+	if len(spec.Asserts) != 2 || spec.Asserts[0].Within.D() != 30*time.Second {
+		t.Fatalf("asserts %+v", spec.Asserts)
+	}
+	// Defaults applied by validation.
+	if spec.Job.Batch != 4 || spec.Job.CkptEvery != 2 {
+		t.Fatalf("defaults not applied: %+v", spec.Job)
+	}
+}
+
+func TestParseJSONScenario(t *testing.T) {
+	src := `{"name": "j", "seed": 1, "fleet": {"ranks": 2},
+	         "job": {"kind": "collectives"},
+	         "asserts": [{"check": "typed_errors", "value": 1}]}`
+	spec, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "j" || spec.Job.Kind != "collectives" {
+		t.Fatalf("%+v", spec)
+	}
+	if spec.Job.Rounds != 5 || spec.Job.VecElems != 2048 {
+		t.Fatalf("collectives defaults: %+v", spec.Job)
+	}
+}
+
+func TestParseRejectsUnknownKeys(t *testing.T) {
+	_, err := Parse([]byte("name: x\nseed: 1\nflete:\n  ranks: 2\n"))
+	if err == nil || !strings.Contains(err.Error(), "flete") {
+		t.Fatalf("typo not rejected: %v", err)
+	}
+}
+
+func TestParseRejectsBadStructure(t *testing.T) {
+	cases := map[string]string{
+		"tabs":          "name: x\n\tseed: 1\n",
+		"duplicate key": "name: x\nname: y\n",
+		"orphan indent": "name: x\n    seed: 1\n",
+		"non-entry":     "name: x\njust some text\n",
+	}
+	for what, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"missing name":      "seed: 1\n",
+		"unknown transport": "name: x\nfleet:\n  transport: carrier-pigeon\n",
+		"unknown action":    "name: x\ntimeline:\n  - action: explode\n    at_step: 1\n",
+		"wall-clock kill":   "name: x\ntimeline:\n  - action: kill_rank\n    at: 2s\n    rank: 1\n",
+		"kill after budget": "name: x\njob:\n  steps: 4\ntimeline:\n  - action: kill_rank\n    at_step: 9\n    rank: 1\n",
+		"rank out of range": "name: x\nfleet:\n  ranks: 2\ntimeline:\n  - action: partition\n    at_step: 1\n    rank: 5\n",
+		"unknown check":     "name: x\nasserts:\n  - check: vibes\n",
+		"bad outcome":       "name: x\nasserts:\n  - check: outcome\n    equals: sideways\n",
+		"faultless set":     "name: x\ntimeline:\n  - action: set_faults\n    at_step: 1\n",
+	}
+	for what, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	spec, err := Parse([]byte("name: d\nfleet:\n  recv_timeout: 2\njob:\n  cycle_time: 1ms\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Fleet.RecvTimeout.D() != 2*time.Second {
+		t.Fatalf("numeric seconds: %v", spec.Fleet.RecvTimeout)
+	}
+	if spec.Job.CycleTime.D() != time.Millisecond {
+		t.Fatalf("duration string: %v", spec.Job.CycleTime)
+	}
+}

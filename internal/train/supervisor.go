@@ -121,6 +121,15 @@ type SupervisorConfig struct {
 	// recovery. The terminal done/failed transition is the caller's — it
 	// knows whether other work follows the supervised run.
 	Health *telemetry.Health
+	// OnStep, if set, is called on this rank after every successful step
+	// with the completed global step number and its statistics. It is the
+	// supervised-run hook an external driver (the scenario runner) uses to
+	// observe progress, fire step-scheduled events, and inject per-rank
+	// slowdowns. Called synchronously on the training goroutine: a sleeping
+	// hook slows this rank's next step, exactly like a straggling process.
+	// After a rollback the step counter rewinds, so the hook may see the
+	// same step number again — fire-once triggers belong to the caller.
+	OnStep func(step int64, st StepStats)
 }
 
 func (c SupervisorConfig) withDefaults() (SupervisorConfig, error) {
@@ -237,6 +246,9 @@ func (s *supervisor) run() error {
 			s.res.Steps = append(s.res.Steps, st)
 			if cerr := s.maybeCheckpoint(); cerr != nil {
 				return fmt.Errorf("train: checkpoint at step %d: %w", s.step, cerr)
+			}
+			if s.cfg.OnStep != nil {
+				s.cfg.OnStep(s.step, st)
 			}
 			continue
 		}

@@ -65,6 +65,13 @@ type StepStats struct {
 	Images      int
 	Duration    time.Duration
 	GradTensors int
+	// CommWait is the time this step spent blocked on gradient allreduces
+	// after backward finished — the real-path analogue of the simulator's
+	// "exposed communication". In lock-step data parallelism the wall
+	// Duration equalizes across ranks (everyone waits for the slowest), so
+	// Duration-CommWait is the per-rank compute signal straggler detection
+	// needs.
+	CommWait time.Duration
 }
 
 // Trainer owns the executor and optimizer state for a model.
@@ -180,10 +187,12 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 	bwdSpan.End()
 
 	grads := len(m.G.Variables())
+	var commWait time.Duration
 	if t.cfg.Engine != nil {
 		// Backward has returned, so every hook has fired and the count is
 		// final; wait for all reductions to land.
 		waitSpan := t.tracer.Begin("train.allreduce_wait", "comm", 0)
+		waitStart := time.Now()
 		n := int(pending.Load())
 		var firstErr error
 		for i := 0; i < n; i++ {
@@ -192,6 +201,7 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 				firstErr = msg.err
 			}
 		}
+		commWait = time.Since(waitStart)
 		waitSpan.End()
 		t.exec.GradHook = nil
 		if firstErr != nil {
@@ -223,6 +233,7 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 		Images:      n,
 		Duration:    dur,
 		GradTensors: grads,
+		CommWait:    commWait,
 	}, nil
 }
 
