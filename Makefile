@@ -9,7 +9,7 @@ RACE_PKGS = ./internal/tensor/... ./internal/graph/... ./internal/horovod/... ./
 FUZZ_PKGS = ./internal/mpi/ ./internal/horovod/ ./internal/train/
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench fuzz scenarios ci
+.PHONY: build test vet race bench fuzz scenarios regrow-demo ci
 
 build:
 	$(GO) build ./...
@@ -45,5 +45,16 @@ fuzz:
 # `go run ./cmd/dnnperf scenario run scenarios/<name>.yaml`.
 scenarios: build
 	$(GO) run ./cmd/dnnperf scenario run -q scenarios/*.yaml
+
+# regrow-demo runs the whole elastic lifecycle across real OS processes:
+# a 4-rank TCP job loses rank 2 after step 3, the surviving majority
+# shrinks and keeps training, the launcher relaunches the dead rank, and
+# the leader readmits it at a step boundary — the job ends back at 4
+# ranks with bit-identical weights (exit code 3 = recovered). Built to a
+# real binary first: `go run` collapses the worker exit codes to 1.
+regrow-demo: build
+	$(GO) build -o bin/mpirun ./cmd/mpirun
+	bin/mpirun -np 4 -steps 10 -recv_timeout 2s \
+		-elastic -die_rank 2 -die_step 3 -regrow; test $$? -eq 3
 
 ci: build vet test race

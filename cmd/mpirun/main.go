@@ -15,6 +15,12 @@
 // kills a rank the survivors agree on the shrunk world, roll back to the
 // last checkpoint, and finish the full step budget without it.
 //
+// With -regrow (requires -elastic) the launcher relaunches the killed
+// rank's process once it exits: the fresh process rejoins through rank 0's
+// retained listener, the leader admits it at a step boundary, and the
+// world grows back to full size — survivors linger up to -regrow_wait
+// after their last step so a slow joiner still lands.
+//
 // Worker exit codes distinguish the outcomes:
 //
 //	0 — clean run (full world, no recoveries)
@@ -28,6 +34,7 @@
 //	       [-recv_timeout 30s] [-fault_seed 1] [-drop_prob 0] [-dup_prob 0]
 //	       [-delay_prob 0] [-delay 1ms] [-die_rank -1] [-die_step 2]
 //	       [-elastic] [-ckpt_every 2] [-ckpt_dir DIR]
+//	       [-regrow] [-regrow_wait 30s]
 package main
 
 import (
@@ -74,9 +81,11 @@ func main() {
 		dieRank     = flag.Int("die_rank", -1, "rank that aborts its transport mid-run (-1: none)")
 		dieStep     = flag.Int("die_step", 2, "training step after which -die_rank aborts")
 
-		elastic   = flag.Bool("elastic", false, "supervise training: checkpoint periodically and survive rank failure by shrinking")
-		ckptEvery = flag.Int("ckpt_every", 2, "elastic checkpoint period in steps")
-		ckptDir   = flag.String("ckpt_dir", "", "elastic checkpoint directory (default: a temp dir the launcher creates)")
+		elastic    = flag.Bool("elastic", false, "supervise training: checkpoint periodically and survive rank failure by shrinking")
+		ckptEvery  = flag.Int("ckpt_every", 2, "elastic checkpoint period in steps")
+		ckptDir    = flag.String("ckpt_dir", "", "elastic checkpoint directory (default: a temp dir the launcher creates)")
+		regrow     = flag.Bool("regrow", false, "relaunch the -die_rank process after it dies so it rejoins and the world grows back (requires -elastic)")
+		regrowWait = flag.Duration("regrow_wait", 30*time.Second, "how long survivors linger for a joiner after their last step, and how long a joiner keeps asking (with -regrow)")
 
 		metricsPath = flag.String("metrics", "", "write merged per-rank metrics JSON here (gathered to rank 0; elastic: the final leader's local metrics)")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline here (all ranks merged, pid = rank)")
@@ -97,13 +106,19 @@ func main() {
 			dieRank:     *dieRank, dieStep: *dieStep,
 			elastic: *elastic, ckptEvery: *ckptEvery,
 			ckptDir: firstNonEmpty(os.Getenv("DNNPERF_CKPT_DIR"), *ckptDir),
+			regrow:  *regrow, regrowWait: *regrowWait,
+			joiner:  os.Getenv("DNNPERF_JOINER") == "1",
 			metrics: *metricsPath, trace: *tracePath, alg: *algFlag,
 			listen: *listen, publishEvery: *publishEvery,
 			timeline: *timeline, linger: *serveLinger,
 		}
 		os.Exit(worker(rankStr, cfg))
 	}
-	code, err := launch(*np, *elastic, *ckptDir)
+	if *regrow && !*elastic {
+		fmt.Fprintln(os.Stderr, "mpirun: -regrow requires -elastic")
+		os.Exit(exitFailure)
+	}
+	code, err := launch(*np, *elastic, *ckptDir, *regrow, *dieRank)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpirun:", err)
 	}
@@ -120,7 +135,9 @@ func firstNonEmpty(a, b string) string {
 // launch spawns np copies of this binary as ranked workers and classifies
 // the job from their exit codes: any unrecoverable failure makes the job
 // fail; an injected death plus recovered survivors is a recovered job.
-func launch(np int, elastic bool, ckptDir string) (int, error) {
+// With regrow, the injected death additionally triggers a relaunch of the
+// dead rank's process as a joiner, whose exit joins the classification.
+func launch(np int, elastic bool, ckptDir string, regrow bool, dieRank int) (int, error) {
 	if np < 1 {
 		return exitFailure, fmt.Errorf("np must be >= 1")
 	}
@@ -150,38 +167,77 @@ func launch(np int, elastic bool, ckptDir string) (int, error) {
 		ln.Close()
 		return exitFailure, err
 	}
-	procs := make([]*exec.Cmd, np)
-	for r := 0; r < np; r++ {
+	spawn := func(r int, joiner bool) (*exec.Cmd, error) {
 		cmd := exec.Command(self, os.Args[1:]...)
 		cmd.Env = append(append([]string(nil), env...),
 			"DNNPERF_RANK="+strconv.Itoa(r),
 			"DNNPERF_SIZE="+strconv.Itoa(np),
 			"DNNPERF_ROOT="+root,
 		)
+		if joiner {
+			cmd.Env = append(cmd.Env, "DNNPERF_JOINER=1")
+		}
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
-			ln.Close()
-			return exitFailure, fmt.Errorf("start rank %d: %w", r, err)
+			return nil, fmt.Errorf("start rank %d: %w", r, err)
 		}
-		procs[r] = cmd
+		return cmd, nil
+	}
+	type procExit struct {
+		rank, code int
+		err        error
+	}
+	exits := make(chan procExit, np+1)
+	reap := func(r int, cmd *exec.Cmd) {
+		go func() {
+			err := cmd.Wait()
+			exits <- procExit{r, cmd.ProcessState.ExitCode(), err}
+		}()
+	}
+	for r := 0; r < np; r++ {
+		cmd, err := spawn(r, false)
+		if err != nil {
+			ln.Close()
+			return exitFailure, err
+		}
+		reap(r, cmd)
 	}
 	ln.Close()
 
+	// Workers exit in failure order, not rank order, so reap them as they
+	// land: the injected death arrives while the survivors are still
+	// training, which is exactly when the joiner relaunch must happen.
 	died, recovered, failed := 0, 0, 0
+	relaunched := false
 	var firstErr error
-	for r, cmd := range procs {
-		err := cmd.Wait()
-		switch code := cmd.ProcessState.ExitCode(); code {
+	for expected := np; expected > 0; expected-- {
+		pe := <-exits
+		switch pe.code {
 		case exitClean:
 		case exitInjectedDeath:
 			died++
+			// The leader (rank 0) must survive for regrow to be possible.
+			if regrow && elastic && !relaunched && pe.rank == dieRank && pe.rank >= 1 {
+				cmd, err := spawn(pe.rank, true)
+				if err != nil {
+					failed++
+					if firstErr == nil {
+						firstErr = err
+					}
+					break
+				}
+				relaunched = true
+				fmt.Fprintf(os.Stderr, "mpirun: relaunching rank %d as a joiner\n", pe.rank)
+				reap(pe.rank, cmd)
+				expected++
+			}
 		case exitRecovered:
 			recovered++
 		default:
 			failed++
 			if firstErr == nil {
-				firstErr = fmt.Errorf("rank %d: %w", r, err)
+				firstErr = fmt.Errorf("rank %d: %w", pe.rank, pe.err)
 			}
 		}
 	}
@@ -189,7 +245,7 @@ func launch(np int, elastic bool, ckptDir string) (int, error) {
 	case failed > 0:
 		return exitFailure, firstErr
 	case recovered > 0:
-		fmt.Printf("mpirun: job recovered: %d rank(s) died, %d survivor(s) completed\n", died, recovered)
+		fmt.Printf("mpirun: job recovered: %d rank(s) died, %d member(s) completed\n", died, recovered)
 		return exitRecovered, nil
 	case died > 0:
 		// A rank died but nobody recovered (non-elastic crash demo).
@@ -209,9 +265,12 @@ type workerConfig struct {
 	elastic      bool
 	ckptEvery    int
 	ckptDir      string
-	metrics      string // merged metrics JSON output path ("" = off)
-	trace        string // Chrome trace output path ("" = off)
-	alg          string // allreduce algorithm flag value
+	regrow       bool          // survivors linger for a joiner after the last step
+	regrowWait   time.Duration // linger/admission budget for regrow
+	joiner       bool          // this process is a relaunched rank rejoining the job
+	metrics      string        // merged metrics JSON output path ("" = off)
+	trace        string        // Chrome trace output path ("" = off)
+	alg          string        // allreduce algorithm flag value
 
 	listen       string        // rank-0 live HTTP address ("" = off)
 	publishEvery time.Duration // live push period
@@ -261,10 +320,22 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		tracer.SetPID(rank)
 	}
 
-	raw, err := mpi.DialTCPOpts(rank, size, root, "127.0.0.1:0", mpi.TCPOptions{
-		RecvTimeout: cfg.recvTimeout,
-		Telemetry:   reg,
-	})
+	var raw *mpi.Comm
+	if cfg.joiner {
+		// A relaunched rank has no seat in the rendezvous; it binds a fresh
+		// listener and establishes the leader link through rank 0's retained
+		// one (rank 0 adopted the rendezvous address as its own), then runs
+		// the admission loop inside the supervisor.
+		raw, err = mpi.RejoinTCP(rank, size, root, "127.0.0.1:0", mpi.TCPOptions{
+			RecvTimeout: cfg.recvTimeout,
+			Telemetry:   reg,
+		})
+	} else {
+		raw, err = mpi.DialTCPOpts(rank, size, root, "127.0.0.1:0", mpi.TCPOptions{
+			RecvTimeout: cfg.recvTimeout,
+			Telemetry:   reg,
+		})
+	}
 	if err != nil {
 		return exitFailure, err
 	}
@@ -600,9 +671,10 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *teleme
 		Average:   true,
 	}
 
-	if cfg.dieRank == rank {
+	if cfg.dieRank == rank && !cfg.joiner {
 		// Participate in the survivors' bootstrap restore broadcast, then
-		// train normally until the death step.
+		// train normally until the death step. (A relaunched joiner carries
+		// the same flags, so the death must not re-fire on it.)
 		if _, err := comm.BcastBytes(nil, 0); err != nil {
 			return exitFailure, err
 		}
@@ -632,7 +704,7 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *teleme
 	engCfg.Telemetry = reg
 	engCfg.Tracer = tracer
 	engCfg.Timeline = cfg.timeline
-	res, err := train.Supervise(train.SupervisorConfig{
+	scfg := train.SupervisorConfig{
 		Comm:         comm,
 		Engine:       engCfg,
 		NewModel:     newModel,
@@ -645,7 +717,13 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *teleme
 		Telemetry:    reg,
 		Tracer:       tracer,
 		Health:       live.health,
-	})
+	}
+	if cfg.regrow {
+		scfg.Joiner = cfg.joiner
+		scfg.RejoinTimeout = cfg.regrowWait
+		scfg.RegrowWait = cfg.regrowWait
+	}
+	res, err := train.Supervise(scfg)
 	if err != nil {
 		live.health.Set(telemetry.HealthFailed, "error", err.Error())
 		writeTruncatedTelemetry(rank, reg, tracer, cfg)
@@ -663,6 +741,11 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *teleme
 			fmt.Printf("recovery: world %d -> %d (lost ranks %v), rolled back to step %d, %.0f ms\n",
 				ev.OldSize, ev.NewSize, ev.FailedRanks, ev.ResumeStep,
 				float64(ev.Latency)/float64(time.Millisecond))
+		}
+		for _, rg := range res.Regrows {
+			fmt.Printf("regrow: world %d -> %d (readmitted ranks %v), resumed at step %d, %.0f ms\n",
+				rg.OldSize, rg.NewSize, rg.Joined, rg.ResumeStep,
+				float64(rg.Latency)/float64(time.Millisecond))
 		}
 		last := res.Steps[len(res.Steps)-1]
 		fmt.Printf("final: step %d, loss %.4f, per-rank %.1f img/s on %d survivor(s) (engine restarts: %d)\n",

@@ -7,22 +7,45 @@ import (
 
 // Readiness message wire format:
 //
-//	[1B shutdown][4B bitsetBytes][bitset][4B count]([4B size][4B nameLen][name])*
+//	[1B flags][4B growEpoch][8B growStep]?[4B bitsetBytes][bitset][4B count]([4B size][4B nameLen][name])*
 //
-// The bitset announces tensors whose names have entered the response cache
-// (bit i = cached tensor id i is ready); full name/size records follow for
-// tensors not yet cached. After the first training step every gradient is
-// announced by a single bit, collapsing the control-plane payload.
-func encodeReadiness(down bool, bits []byte, names []string, sizes []int) []byte {
-	size := 9 + len(bits)
+// flags bit 0 announces shutdown; bit 1 announces a grow directive, in which
+// case the epoch/step fields follow the flags byte (otherwise they are
+// absent — legacy encodings where the first byte was just 0/1 decode
+// identically). The bitset announces tensors whose names have entered the
+// response cache (bit i = cached tensor id i is ready); full name/size
+// records follow for tensors not yet cached. After the first training step
+// every gradient is announced by a single bit, collapsing the control-plane
+// payload.
+//
+// The grow directive is how the leader synchronizes an elastic regrow
+// without a second control channel: it is piggybacked on the negotiation
+// every rank already performs each cycle, so all ranks observe the same
+// (epoch, step) boundary and quiesce at exactly that step.
+const (
+	readinessDown    = 1 << 0
+	readinessHasGrow = 1 << 1
+)
+
+func encodeReadiness(down bool, growEpoch int32, growStep int64, bits []byte, names []string, sizes []int) []byte {
+	size := 21 + len(bits)
 	for _, n := range names {
 		size += 8 + len(n)
 	}
 	out := make([]byte, 0, size)
+	var flags byte
 	if down {
-		out = append(out, 1)
-	} else {
-		out = append(out, 0)
+		flags |= readinessDown
+	}
+	if growEpoch >= 0 {
+		flags |= readinessHasGrow
+	}
+	out = append(out, flags)
+	if growEpoch >= 0 {
+		var b12 [12]byte
+		binary.LittleEndian.PutUint32(b12[0:], uint32(growEpoch))
+		binary.LittleEndian.PutUint64(b12[4:], uint64(growStep))
+		out = append(out, b12[:]...)
 	}
 	var b4 [4]byte
 	binary.LittleEndian.PutUint32(b4[:], uint32(len(bits)))
@@ -40,16 +63,36 @@ func encodeReadiness(down bool, bits []byte, names []string, sizes []int) []byte
 	return out
 }
 
-func decodeReadiness(b []byte) (down bool, bits []byte, names []string, sizes []int, err error) {
-	if len(b) < 9 {
-		return false, nil, nil, nil, fmt.Errorf("horovod: truncated readiness message")
+func decodeReadiness(b []byte) (down bool, growEpoch int32, growStep int64, bits []byte, names []string, sizes []int, err error) {
+	fail := func(f string, args ...any) (bool, int32, int64, []byte, []string, []int, error) {
+		return false, -1, 0, nil, nil, nil, fmt.Errorf(f, args...)
 	}
-	down = b[0] == 1
-	bl := binary.LittleEndian.Uint32(b[1:])
-	b = b[5:]
+	if len(b) < 9 {
+		return fail("horovod: truncated readiness message")
+	}
+	flags := b[0]
+	if flags&^byte(readinessDown|readinessHasGrow) != 0 {
+		return fail("horovod: unknown readiness flags %#x", flags)
+	}
+	down = flags&readinessDown != 0
+	growEpoch = -1
+	b = b[1:]
+	if flags&readinessHasGrow != 0 {
+		if len(b) < 20 {
+			return fail("horovod: truncated grow directive")
+		}
+		growEpoch = int32(binary.LittleEndian.Uint32(b[0:]))
+		growStep = int64(binary.LittleEndian.Uint64(b[4:]))
+		if growEpoch < 0 {
+			return fail("horovod: negative grow epoch %d", growEpoch)
+		}
+		b = b[12:]
+	}
+	bl := binary.LittleEndian.Uint32(b)
+	b = b[4:]
 	// 64-bit arithmetic: bl+4 must not wrap for adversarial lengths.
 	if uint64(len(b)) < uint64(bl)+4 {
-		return false, nil, nil, nil, fmt.Errorf("horovod: truncated bitset")
+		return fail("horovod: truncated bitset")
 	}
 	bits = b[:bl]
 	b = b[bl:]
@@ -57,25 +100,25 @@ func decodeReadiness(b []byte) (down bool, bits []byte, names []string, sizes []
 	b = b[4:]
 	// Each record needs at least its 8-byte header.
 	if uint64(count)*8 > uint64(len(b)) {
-		return false, nil, nil, nil, fmt.Errorf("horovod: record count %d impossible for %d bytes", count, len(b))
+		return fail("horovod: record count %d impossible for %d bytes", count, len(b))
 	}
 	names = make([]string, 0, count)
 	sizes = make([]int, 0, count)
 	for i := uint32(0); i < count; i++ {
 		if len(b) < 8 {
-			return false, nil, nil, nil, fmt.Errorf("horovod: truncated tensor header %d", i)
+			return fail("horovod: truncated tensor header %d", i)
 		}
 		sz := binary.LittleEndian.Uint32(b)
 		nl := binary.LittleEndian.Uint32(b[4:])
 		b = b[8:]
 		if uint32(len(b)) < nl {
-			return false, nil, nil, nil, fmt.Errorf("horovod: truncated tensor name %d", i)
+			return fail("horovod: truncated tensor name %d", i)
 		}
 		names = append(names, string(b[:nl]))
 		sizes = append(sizes, int(sz))
 		b = b[nl:]
 	}
-	return down, bits, names, sizes, nil
+	return down, growEpoch, growStep, bits, names, sizes, nil
 }
 
 // setBit grows the bitset as needed and sets bit id.

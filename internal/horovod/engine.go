@@ -166,6 +166,16 @@ type Engine struct {
 	shutdown  bool
 	termErr   error // transport failure that killed the loop, latched
 
+	// Elastic grow directive, piggybacked on the readiness negotiation.
+	// announceGrow* is what THIS rank attaches to its announcements (the
+	// leader sets it via AnnounceGrow); gotGrow* is the highest-epoch
+	// directive observed from ANY rank's announcement, read back through
+	// GrowDirective. Epoch -1 means none.
+	announceGrowEpoch int32
+	announceGrowStep  int64
+	gotGrowEpoch      int32
+	gotGrowStep       int64
+
 	// Response cache: stable tensor names get small ids after their first
 	// negotiation, so later steps announce readiness with one bit per
 	// tensor. Ids are assigned deterministically (sorted executable names),
@@ -200,6 +210,9 @@ func NewEngine(comm *mpi.Comm, cfg Config) *Engine {
 		cacheByName: make(map[string]uint32),
 		wake:        make(chan struct{}, 1),
 		loopDone:    make(chan struct{}),
+
+		announceGrowEpoch: -1,
+		gotGrowEpoch:      -1,
 	}
 	if cfg.Timeline {
 		e.tl = newTimeline(cfg.Tracer)
@@ -249,6 +262,35 @@ func (e *Engine) AllreduceAsync(name string, data []float32, done func(error)) e
 	e.met.frameworkRequests.Inc()
 	e.tl.transition(name, phaseSubmitted)
 	return nil
+}
+
+// AnnounceGrow attaches an elastic-grow directive (membership epoch, step
+// boundary) to this rank's future readiness announcements. The supervising
+// leader calls it after completing step growStep-1 and before submitting
+// step growStep's tensors, so no rank can complete growStep without first
+// decoding an announcement carrying the directive — every rank therefore
+// quiesces at exactly the same step. The directive stays attached until the
+// engine is quiesced for the regrow.
+func (e *Engine) AnnounceGrow(epoch int, step int64) {
+	e.mu.Lock()
+	e.announceGrowEpoch = int32(epoch)
+	e.announceGrowStep = step
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// GrowDirective returns the highest-epoch grow directive observed in any
+// rank's readiness announcement, or ok=false if none has been seen.
+func (e *Engine) GrowDirective() (epoch int, step int64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gotGrowEpoch < 0 {
+		return 0, 0, false
+	}
+	return int(e.gotGrowEpoch), e.gotGrowStep, true
 }
 
 // Allreduce is the blocking convenience wrapper around AllreduceAsync.
@@ -410,9 +452,11 @@ func (e *Engine) negotiate(_ []*pendingTensor, down bool) (halt bool, batches []
 			e.met.namedAnnouncements.Inc()
 		}
 	}
+	growEpoch := e.announceGrowEpoch
+	growStep := e.announceGrowStep
 	e.mu.Unlock()
 
-	msg := encodeReadiness(down, bits, names, sizes)
+	msg := encodeReadiness(down, growEpoch, growStep, bits, names, sizes)
 	e.met.controlBytes.Add(int64(len(msg)))
 	parts, err := e.comm.AllgatherBytes(msg)
 	if err != nil {
@@ -439,11 +483,18 @@ func (e *Engine) negotiate(_ []*pendingTensor, down bool) (halt bool, batches []
 		return nil
 	}
 	for _, part := range parts {
-		d, bs, ns, szs, derr := decodeReadiness(part)
+		d, ge, gs, bs, ns, szs, derr := decodeReadiness(part)
 		if derr != nil {
 			return false, nil, derr
 		}
 		allDown = allDown && d
+		if ge >= 0 {
+			e.mu.Lock()
+			if ge > e.gotGrowEpoch {
+				e.gotGrowEpoch, e.gotGrowStep = ge, gs
+			}
+			e.mu.Unlock()
+		}
 		var bitErr error
 		forEachBit(bs, func(id uint32) {
 			if bitErr != nil {

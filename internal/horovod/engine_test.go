@@ -258,8 +258,17 @@ func TestReadinessCodecRoundTrip(t *testing.T) {
 		}
 		var bits []byte
 		bits = setBit(bits, uint32(uint64(seed)%64))
-		d2, b2, n2, s2, err := decodeReadiness(encodeReadiness(down, bits, names, sizes))
-		if err != nil || d2 != down || len(n2) != n {
+		growEpoch := int32(-1)
+		growStep := int64(0)
+		if seed%2 == 0 {
+			growEpoch = int32(uint64(seed) % 4096)
+			growStep = int64(uint64(seed) % 1000)
+		}
+		d2, ge2, gs2, b2, n2, s2, err := decodeReadiness(encodeReadiness(down, growEpoch, growStep, bits, names, sizes))
+		if err != nil || d2 != down || ge2 != growEpoch || len(n2) != n {
+			return false
+		}
+		if growEpoch >= 0 && gs2 != growStep {
 			return false
 		}
 		hit := false
@@ -284,12 +293,47 @@ func TestReadinessCodecRoundTrip(t *testing.T) {
 }
 
 func TestReadinessCodecTruncation(t *testing.T) {
-	msg := encodeReadiness(false, []byte{0xff}, []string{"abc"}, []int{10})
+	msg := encodeReadiness(false, -1, 0, []byte{0xff}, []string{"abc"}, []int{10})
 	for cut := 0; cut < len(msg); cut++ {
-		if _, _, _, _, err := decodeReadiness(msg[:cut]); err == nil && cut < len(msg) {
+		if _, _, _, _, _, _, err := decodeReadiness(msg[:cut]); err == nil && cut < len(msg) {
 			t.Fatalf("truncation at %d not detected", cut)
 		}
 	}
+	// Truncating inside the grow-directive fields must also be detected.
+	msg = encodeReadiness(true, 5, 42, []byte{0x01}, nil, nil)
+	for cut := 0; cut < len(msg); cut++ {
+		if _, _, _, _, _, _, err := decodeReadiness(msg[:cut]); err == nil && cut < len(msg) {
+			t.Fatalf("grow truncation at %d not detected", cut)
+		}
+	}
+}
+
+// TestGrowDirectivePropagates: a directive announced by one rank reaches
+// every rank through the shared negotiation within a few idle cycles — the
+// in-band control path the elastic regrow relies on.
+func TestGrowDirectivePropagates(t *testing.T) {
+	const n = 3
+	runEngines(t, n, fastCfg(), func(r int, e *Engine) error {
+		if _, _, ok := e.GrowDirective(); ok {
+			return fmt.Errorf("rank %d: directive before any announcement", r)
+		}
+		if r == 0 {
+			e.AnnounceGrow(4, 9)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if epoch, step, ok := e.GrowDirective(); ok {
+				if epoch != 4 || step != 9 {
+					return fmt.Errorf("rank %d: directive = (%d,%d), want (4,9)", r, epoch, step)
+				}
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("rank %d: grow directive never arrived", r)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
 }
 
 func TestBitsetHelpers(t *testing.T) {

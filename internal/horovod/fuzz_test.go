@@ -8,28 +8,33 @@ import (
 // FuzzDecodeReadiness hardens the wire decoder: arbitrary bytes must never
 // panic, and valid encodings must round-trip.
 func FuzzDecodeReadiness(f *testing.F) {
-	f.Add(encodeReadiness(false, nil, nil, nil))
-	f.Add(encodeReadiness(true, []byte{0xff, 0x01}, []string{"conv1/w"}, []int{2048}))
-	f.Add(encodeReadiness(false, []byte{0}, []string{"a", "bb", "ccc"}, []int{1, 2, 3}))
+	f.Add(encodeReadiness(false, -1, 0, nil, nil, nil))
+	f.Add(encodeReadiness(true, -1, 0, []byte{0xff, 0x01}, []string{"conv1/w"}, []int{2048}))
+	f.Add(encodeReadiness(false, -1, 0, []byte{0}, []string{"a", "bb", "ccc"}, []int{1, 2, 3}))
+	f.Add(encodeReadiness(false, 3, 17, []byte{0x10}, []string{"fc/w"}, []int{64}))
+	f.Add(encodeReadiness(true, 0, 0, nil, nil, nil))
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		down, bits, names, sizes, err := decodeReadiness(data)
+		down, ge, gs, bits, names, sizes, err := decodeReadiness(data)
 		if err != nil {
 			return
 		}
 		if len(names) != len(sizes) {
 			t.Fatalf("names/sizes mismatch: %d vs %d", len(names), len(sizes))
 		}
+		if ge < 0 && gs != 0 {
+			t.Fatalf("no-directive decode carried step %d", gs)
+		}
 		// Valid decodes must re-encode to a decodable message with the same
 		// content (canonical round trip; the original bytes may have had a
 		// longer-than-needed bitset).
-		re := encodeReadiness(down, bits, names, sizes)
-		d2, b2, n2, s2, err := decodeReadiness(re)
+		re := encodeReadiness(down, ge, gs, bits, names, sizes)
+		d2, ge2, gs2, b2, n2, s2, err := decodeReadiness(re)
 		if err != nil {
 			t.Fatalf("re-encode failed to decode: %v", err)
 		}
-		if d2 != down || !bytes.Equal(b2, bits) || len(n2) != len(names) {
+		if d2 != down || ge2 != ge || gs2 != gs || !bytes.Equal(b2, bits) || len(n2) != len(names) {
 			t.Fatal("round trip mismatch")
 		}
 		for i := range names {

@@ -71,6 +71,11 @@ func (e *Engine) Restart(comm *mpi.Comm) *Engine {
 		fusedBuf:    buf,
 		wake:        make(chan struct{}, 1),
 		loopDone:    make(chan struct{}),
+
+		// Grow directives do not carry across restarts: the restart IS the
+		// membership change the directive was announcing.
+		announceGrowEpoch: -1,
+		gotGrowEpoch:      -1,
 	}
 	if ne.cfg.SegmentBytes > 0 {
 		comm.SetSegmentBytes(ne.cfg.SegmentBytes)

@@ -17,6 +17,8 @@ const (
 	OpRendezvous Op = "rendezvous"
 	OpClose      Op = "close"
 	OpShrink     Op = "shrink"
+	OpGrow       Op = "grow"
+	OpJoin       Op = "join"
 )
 
 // Sentinel causes for PeerError, matchable with errors.Is.
@@ -29,6 +31,19 @@ var (
 	ErrPeerClosed = errors.New("peer closed the connection")
 	// ErrClosed reports that the local endpoint was closed or aborted.
 	ErrClosed = errors.New("endpoint closed")
+	// ErrNoQuorum reports that the surviving partition holds no strict
+	// majority of the previous epoch's ranks and therefore must not form a
+	// new world. Park and wait for heal/rejoin instead of training solo.
+	ErrNoQuorum = errors.New("surviving partition lacks quorum")
+	// ErrEpochExhausted reports that the shrink/grow epoch space is used up;
+	// no further membership changes are possible on this communicator.
+	ErrEpochExhausted = errors.New("membership epoch space exhausted")
+	// ErrStaleEpoch reports that a joiner presented an epoch older than the
+	// leader's current one; refresh the epoch from the rejection and retry.
+	ErrStaleEpoch = errors.New("stale membership epoch")
+	// ErrRejected reports that the leader refused this joiner permanently
+	// (e.g. its original rank is still considered live). Do not retry.
+	ErrRejected = errors.New("join rejected by leader")
 )
 
 // PeerError is the typed failure every blocking transport operation resolves

@@ -1,0 +1,465 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// growAll runs Grow concurrently on every member comm (leader first in the
+// map passes the joiner set) and returns per-original-rank results.
+func growAll(t *testing.T, comms map[int]*Comm, leader int, joiners []JoinRequest, opts GrowOptions) (map[int]*Comm, map[int]error) {
+	t.Helper()
+	out := make(map[int]*Comm, len(comms))
+	errs := make(map[int]error, len(comms))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r, c := range comms {
+		wg.Add(1)
+		go func(r int, c *Comm) {
+			defer wg.Done()
+			var js []JoinRequest
+			if r == leader {
+				js = joiners
+			}
+			nc, _, err := c.Grow(js, opts)
+			mu.Lock()
+			out[r], errs[r] = nc, err
+			mu.Unlock()
+		}(r, c)
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// drainUntil polls the join listener until at least one valid request shows
+// up (or the deadline passes).
+func drainUntil(t *testing.T, jl *JoinListener, epoch int, live []int, d time.Duration) []JoinRequest {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		if reqs := jl.Drain(epoch, live); len(reqs) > 0 {
+			return reqs
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no join request arrived")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGrowRejoinInproc walks the full elastic lifecycle on the in-process
+// transport: 3 ranks, rank 2 dies, the majority shrinks to 2, rank 2
+// "restarts" (World.Rejoin) and is readmitted, and the regrown 3-rank world
+// runs a correct allreduce.
+func TestGrowRejoinInproc(t *testing.T) {
+	w, err := NewWorldOpts(3, WorldOptions{RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := map[int]*Comm{0: w.Comm(0), 1: w.Comm(1)}
+
+	jl, err := ListenJoins(origin[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shrunk, _, errs := func() (map[int]*Comm, map[int][]int, map[int]error) {
+		comms := make(map[int]*Comm)
+		survs := make(map[int][]int)
+		es := make(map[int]error)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for r, c := range origin {
+			wg.Add(1)
+			go func(r int, c *Comm) {
+				defer wg.Done()
+				nc, sv, err := c.Shrink([]int{2}, ShrinkOptions{Epoch: 0})
+				mu.Lock()
+				comms[r], survs[r], es[r] = nc, sv, err
+				mu.Unlock()
+			}(r, c)
+		}
+		wg.Wait()
+		return comms, survs, es
+	}()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: shrink: %v", r, err)
+		}
+	}
+
+	// The restarted rank runs the admission loop concurrently with the
+	// members' Grow.
+	type joined struct {
+		c       *Comm
+		members []int
+		epoch   int
+		err     error
+	}
+	joinCh := make(chan joined, 1)
+	go func() {
+		c2 := w.Rejoin(2)
+		nc, members, epoch, err := Rejoin(c2, RejoinOptions{Epoch: -1, Seed: 7, Timeout: 5 * time.Second})
+		joinCh <- joined{c: nc, members: members, epoch: epoch, err: err}
+	}()
+
+	reqs := drainUntil(t, jl, 1, shrunk[0].RootMembers(), 2*time.Second)
+	if len(reqs) != 1 || reqs[0].Root != 2 {
+		t.Fatalf("join requests = %+v, want one from root 2", reqs)
+	}
+	grown, gerrs := growAll(t, shrunk, 0, reqs, GrowOptions{Epoch: 1})
+	for r, err := range gerrs {
+		if err != nil {
+			t.Fatalf("rank %d: grow: %v", r, err)
+		}
+	}
+	j := <-joinCh
+	if j.err != nil {
+		t.Fatalf("rejoin: %v", j.err)
+	}
+	if j.epoch != 1 {
+		t.Fatalf("rejoin epoch = %d, want 1", j.epoch)
+	}
+	if !equalInts(j.members, []int{0, 1, 2}) {
+		t.Fatalf("rejoin members = %v, want [0 1 2]", j.members)
+	}
+
+	all := map[int]*Comm{0: grown[0], 1: grown[1], 2: j.c}
+	for r, c := range all {
+		if c.Size() != 3 || c.Rank() != r {
+			t.Fatalf("root %d: grown comm rank/size = %d/%d, want %d/3", r, c.Rank(), c.Size(), r)
+		}
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	res := make(map[int][]float32)
+	for r, c := range all {
+		wg.Add(1)
+		go func(r int, c *Comm) {
+			defer wg.Done()
+			buf := []float32{float32(c.Rank() + 1)}
+			if err := c.AllreduceRing(buf, OpSum); err != nil {
+				t.Errorf("root %d: allreduce on grown comm: %v", r, err)
+				return
+			}
+			mu.Lock()
+			res[r] = buf
+			mu.Unlock()
+		}(r, c)
+	}
+	wg.Wait()
+	for r, v := range res {
+		if len(v) == 1 && v[0] != 6 {
+			t.Fatalf("root %d: allreduce = %v, want [6]", r, v)
+		}
+	}
+}
+
+// TestShrinkGrowShrink exercises back-to-back membership epochs: a 4-rank
+// world shrinks (epoch 0), regrows (epoch 1), then shrinks again (epoch 2).
+// Each transition must renumber contiguously in root-rank order, and the
+// final communicator's collectives must be correct — proving the grown comm
+// is derived flat over the root transport rather than stacking translation
+// layers.
+func TestShrinkGrowShrink(t *testing.T) {
+	w, err := NewWorldOpts(4, WorldOptions{RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := map[int]*Comm{0: w.Comm(0), 1: w.Comm(1), 2: w.Comm(2)}
+	jl, err := ListenJoins(origin[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 0: rank 3 is gone.
+	shrunk := make(map[int]*Comm)
+	{
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for r, c := range origin {
+			wg.Add(1)
+			go func(r int, c *Comm) {
+				defer wg.Done()
+				nc, _, err := c.Shrink([]int{3}, ShrinkOptions{Epoch: 0})
+				if err != nil {
+					t.Errorf("rank %d: shrink: %v", r, err)
+					return
+				}
+				mu.Lock()
+				shrunk[r] = nc
+				mu.Unlock()
+			}(r, c)
+		}
+		wg.Wait()
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Epoch 1: rank 3 rejoins.
+	type joined struct {
+		c   *Comm
+		err error
+	}
+	joinCh := make(chan joined, 1)
+	go func() {
+		nc, _, _, err := Rejoin(w.Rejoin(3), RejoinOptions{Epoch: -1, Seed: 3, Timeout: 5 * time.Second})
+		joinCh <- joined{c: nc, err: err}
+	}()
+	reqs := drainUntil(t, jl, 1, shrunk[0].RootMembers(), 2*time.Second)
+	grown, gerrs := growAll(t, shrunk, 0, reqs, GrowOptions{Epoch: 1})
+	for r, err := range gerrs {
+		if err != nil {
+			t.Fatalf("rank %d: grow: %v", r, err)
+		}
+	}
+	j := <-joinCh
+	if j.err != nil {
+		t.Fatalf("rejoin: %v", j.err)
+	}
+	if !equalInts(grown[0].RootMembers(), []int{0, 1, 2, 3}) {
+		t.Fatalf("grown members = %v, want [0 1 2 3]", grown[0].RootMembers())
+	}
+
+	// Epoch 2: now rank 1 dies; the grown comm shrinks. Survivor set in the
+	// grown numbering is [0, 2, 3] (same as root numbering here).
+	final := make(map[int]*Comm)
+	{
+		all := map[int]*Comm{0: grown[0], 2: grown[2], 3: j.c}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for r, c := range all {
+			wg.Add(1)
+			go func(r int, c *Comm) {
+				defer wg.Done()
+				nc, sv, err := c.Shrink([]int{1}, ShrinkOptions{Epoch: 2})
+				if err != nil {
+					t.Errorf("root %d: second shrink: %v", r, err)
+					return
+				}
+				if !equalInts(sv, []int{0, 2, 3}) {
+					t.Errorf("root %d: survivors = %v, want [0 2 3]", r, sv)
+					return
+				}
+				mu.Lock()
+				final[r] = nc
+				mu.Unlock()
+			}(r, c)
+		}
+		wg.Wait()
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if !equalInts(final[0].RootMembers(), []int{0, 2, 3}) {
+		t.Fatalf("final members = %v, want [0 2 3]", final[0].RootMembers())
+	}
+	var wg sync.WaitGroup
+	for r, c := range final {
+		wg.Add(1)
+		go func(r int, c *Comm) {
+			defer wg.Done()
+			buf := []float32{1}
+			if err := c.AllreduceRing(buf, OpSum); err != nil {
+				t.Errorf("root %d: allreduce after shrink-grow-shrink: %v", r, err)
+				return
+			}
+			if buf[0] != 3 {
+				t.Errorf("root %d: allreduce = %v, want [3]", r, buf)
+			}
+		}(r, c)
+	}
+	wg.Wait()
+}
+
+// TestJoinStaleEpochReply: a join request carrying an old epoch gets an
+// immediate typed stale rejection naming the leader's current epoch, which
+// decodes to ErrStaleEpoch semantics on the joiner (status joinStale).
+func TestJoinStaleEpochReply(t *testing.T) {
+	w, err := NewWorldOpts(2, WorldOptions{RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader, joiner := w.Comm(0), w.Comm(1)
+	jl, err := ListenJoins(leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replies, err := joiner.Subscribe(TagJoinReply, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.Send(0, TagJoin, encodeJoinRequest(JoinRequest{Root: 1, Epoch: 2, Addr: ""})); err != nil {
+		t.Fatal(err)
+	}
+	// The leader is at epoch 5; rank 1 is not a live member.
+	deadline := time.Now().Add(time.Second)
+	for len(jl.Drain(5, []int{0})) == 0 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case m := <-replies:
+		status, epoch, _, _, _, err := decodeJoinReply(m.Payload)
+		if err != nil {
+			t.Fatalf("decode stale reply: %v", err)
+		}
+		if status != joinStale || epoch != 5 {
+			t.Fatalf("reply = status %d epoch %d, want stale(%d)/5", status, epoch, joinStale)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no stale rejection arrived")
+	}
+}
+
+// TestRejoinRejected: a join request from a rank the leader still considers
+// a live member is permanently refused; Rejoin surfaces ErrRejected instead
+// of retrying forever.
+func TestRejoinRejected(t *testing.T) {
+	w, err := NewWorldOpts(2, WorldOptions{RecvTimeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader, joiner := w.Comm(0), w.Comm(1)
+	jl, err := ListenJoins(leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := Rejoin(joiner, RejoinOptions{Epoch: -1, Seed: 1, Timeout: 5 * time.Second})
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		jl.Drain(0, []int{0, 1}) // rank 1 is still live: permanent rejection
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrRejected) {
+				t.Fatalf("rejoin error = %v, want ErrRejected", err)
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rejoin did not observe the rejection")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGrowRejoinTCP is the transport-level regrow path over real sockets: a
+// 3-rank loopback job loses rank 2 abruptly, the survivors shrink, a fresh
+// process-like endpoint rejoins through the retained listeners, and the
+// regrown world allreduces correctly.
+func TestGrowRejoinTCP(t *testing.T) {
+	comms, err := StartLocalTCPJobOpts(3, TCPOptions{
+		RecvTimeout: 500 * time.Millisecond, DrainTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	for _, c := range comms[:2] {
+		if !EnableRejoin(c) {
+			t.Fatal("EnableRejoin returned false for TCP endpoint")
+		}
+	}
+	jl, err := ListenJoins(comms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootAddr := comms[0].PeerAddrs()[0]
+	if rootAddr == "" {
+		t.Fatal("no retained root address")
+	}
+
+	comms[2].Abort() // rank 2 crashes
+
+	shrunk := make(map[int]*Comm)
+	{
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				nc, _, err := comms[r].Shrink([]int{2}, ShrinkOptions{Epoch: 0})
+				if err != nil {
+					t.Errorf("rank %d: shrink: %v", r, err)
+					return
+				}
+				mu.Lock()
+				shrunk[r] = nc
+				mu.Unlock()
+			}(r)
+		}
+		wg.Wait()
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	type joined struct {
+		c   *Comm
+		err error
+	}
+	joinCh := make(chan joined, 1)
+	go func() {
+		jc, err := RejoinTCP(2, 3, rootAddr, "127.0.0.1:0", TCPOptions{RecvTimeout: 500 * time.Millisecond})
+		if err != nil {
+			joinCh <- joined{err: err}
+			return
+		}
+		nc, _, _, err := Rejoin(jc, RejoinOptions{
+			Epoch: -1, Seed: 11, Timeout: 10 * time.Second, Addr: jc.PeerAddrs()[2],
+		})
+		joinCh <- joined{c: nc, err: err}
+	}()
+
+	reqs := drainUntil(t, jl, 1, shrunk[0].RootMembers(), 5*time.Second)
+	if len(reqs) != 1 || reqs[0].Root != 2 || reqs[0].Addr == "" {
+		t.Fatalf("join requests = %+v, want one from root 2 with an address", reqs)
+	}
+	grown, gerrs := growAll(t, shrunk, 0, reqs, GrowOptions{Epoch: 1})
+	for r, err := range gerrs {
+		if err != nil {
+			t.Fatalf("rank %d: grow: %v", r, err)
+		}
+	}
+	j := <-joinCh
+	if j.err != nil {
+		t.Fatalf("rejoin: %v", j.err)
+	}
+	defer j.c.Close()
+
+	all := map[int]*Comm{0: grown[0], 1: grown[1], 2: j.c}
+	var wg sync.WaitGroup
+	for r, c := range all {
+		wg.Add(1)
+		go func(r int, c *Comm) {
+			defer wg.Done()
+			buf := []float32{float32(c.Rank() + 1)}
+			if err := c.AllreduceRing(buf, OpSum); err != nil {
+				t.Errorf("root %d: allreduce on regrown TCP comm: %v", r, err)
+				return
+			}
+			if buf[0] != 6 {
+				t.Errorf("root %d: allreduce = %v, want [6]", r, buf)
+			}
+		}(r, c)
+	}
+	wg.Wait()
+}

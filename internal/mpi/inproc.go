@@ -106,6 +106,35 @@ func (w *World) Comm(r int) *Comm {
 	return NewComm(&inprocEndpoint{w: w, rank: r, pending: make(map[int][]inprocMsg)})
 }
 
+// Rejoin returns a fresh communicator for a rank whose previous endpoint
+// was closed or abandoned (the in-process analogue of a process restart):
+// its inbound mailboxes are drained of stale frames and its tag
+// subscriptions cleared, so the new incarnation starts clean and can
+// re-subscribe. Only call after the rank's previous incarnation has stopped
+// — live peers' mailboxes to other ranks are untouched.
+func (w *World) Rejoin(r int) *Comm {
+	if r < 0 || r >= w.n {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.n))
+	}
+	for from := 0; from < w.n; from++ {
+		for {
+			select {
+			case <-w.boxes[r][from]:
+			default:
+			}
+			if len(w.boxes[r][from]) == 0 {
+				break
+			}
+		}
+	}
+	w.subMu.Lock()
+	if w.subs != nil {
+		w.subs[r] = nil
+	}
+	w.subMu.Unlock()
+	return w.Comm(r)
+}
+
 // Run spawns fn for every rank on its own goroutine and waits for all to
 // return, collecting the first non-nil error.
 func (w *World) Run(fn func(c *Comm) error) error {

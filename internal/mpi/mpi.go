@@ -221,6 +221,15 @@ const (
 	// pushes (telemetry.Publisher -> the rank-0 metrics server).
 	TagTelemetry uint32 = 0x0054454c // "TEL"
 
+	// TagJoin is the side-channel tag a healed or restarted process sends
+	// join requests on (mpi.Rejoin -> the leader's JoinListener). Like all
+	// sub-TagBase tags it is lossy by design: joiners retry with backoff.
+	TagJoin uint32 = 0x004a4f49 // "JOI"
+
+	// TagJoinReply is the side-channel tag the leader answers join requests
+	// on (admit, stale-epoch refresh, or permanent rejection).
+	TagJoinReply uint32 = 0x004a5250 // "JRP"
+
 	// TagBase is the first tag reserved for collective protocols.
 	TagBase uint32 = 1 << 24
 
@@ -232,4 +241,7 @@ const (
 	// tagShrink namespaces the survivor-agreement protocol: 16 tags per
 	// epoch (rounds + commit), up to 4096 epochs within the window.
 	tagShrink = TagBase + 0x060000
+	// tagGrow namespaces the two-phase admit protocol (propose, ack): 16
+	// tags per epoch, sharing the shrink epoch space.
+	tagGrow = TagBase + 0x070000
 )

@@ -46,6 +46,12 @@ type ShrinkOptions struct {
 	// covering a live survivor that is still waiting out its own
 	// collective's deadline before joining the protocol).
 	ProbeAttempts int
+	// AllowMinority disables the quorum rule: the surviving partition may
+	// form a new world even without a strict majority of the previous
+	// epoch's ranks. Only safe when an out-of-band guarantee rules out a
+	// concurrent majority (tests, single-host demos); production callers
+	// should park on ErrNoQuorum instead.
+	AllowMinority bool
 }
 
 const maxShrinkEpoch = 1 << 12
@@ -77,7 +83,8 @@ var ErrEvicted = errors.New("evicted by survivor agreement")
 func (c *Comm) Shrink(suspects []int, opts ShrinkOptions) (*Comm, []int, error) {
 	opts = opts.withDefaults()
 	if opts.Epoch < 0 || opts.Epoch >= maxShrinkEpoch {
-		return nil, nil, fmt.Errorf("mpi: shrink epoch %d out of range [0,%d)", opts.Epoch, maxShrinkEpoch)
+		return nil, nil, fmt.Errorf("mpi: shrink epoch %d out of range [0,%d): %w",
+			opts.Epoch, maxShrinkEpoch, ErrEpochExhausted)
 	}
 	p, r := c.Size(), c.Rank()
 	if p == 1 {
@@ -95,10 +102,16 @@ func (c *Comm) Shrink(suspects []int, opts ShrinkOptions) (*Comm, []int, error) 
 	// probe receives peer's message for a round, retrying timeouts: a live
 	// peer may enter the protocol late (it was still waiting out a
 	// collective deadline when this rank started). Non-timeout peer errors
-	// (latched disconnects) are immediate evidence.
+	// (latched disconnects) are immediate evidence. Patience escalates with
+	// the round: a rank that spent a full probe budget on a silent-but-
+	// connected peer in round k is up to that budget behind its faster
+	// peers, so later rounds (and above all the commit round) must wait at
+	// least one budget longer than the previous round — otherwise the fast
+	// side commits while the slow side is still exchanging, and the two
+	// halves diverge on the survivor set.
 	probe := func(peer, round int) ([]byte, error) {
 		var lastErr error
-		for a := 0; a < opts.ProbeAttempts; a++ {
+		for a := 0; a < opts.ProbeAttempts*(round+1); a++ {
 			b, err := c.Recv(peer, tag(round))
 			if err == nil {
 				return b, nil
@@ -223,6 +236,14 @@ func (c *Comm) Shrink(suspects []int, opts ShrinkOptions) (*Comm, []int, error) 
 	}
 	if newRank < 0 {
 		return nil, nil, fmt.Errorf("mpi: shrink: rank %d %w", r, ErrEvicted)
+	}
+	// Quorum rule: a partition may only form a new world with a strict
+	// majority of the previous epoch's ranks. Equality is NOT enough — two
+	// halves of an even split must both park, or both would train. The
+	// check runs after full agreement so every member of a minority
+	// partition parks on the same evidence.
+	if !opts.AllowMinority && 2*len(survivors) <= p {
+		return nil, nil, fmt.Errorf("mpi: shrink: %d of %d ranks: %w", len(survivors), p, ErrNoQuorum)
 	}
 	return c.derive(&subEndpoint{
 		parent:  c.ep,

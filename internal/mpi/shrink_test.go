@@ -262,22 +262,61 @@ func TestShrinkSingleRank(t *testing.T) {
 	}
 }
 
-// TestShrinkEpochRange rejects out-of-range epochs.
+// TestShrinkEpochRange rejects out-of-range epochs with the typed
+// exhaustion error — epoch overflow must never degrade into silent
+// tag-space collision with an earlier epoch's frames.
 func TestShrinkEpochRange(t *testing.T) {
 	w, err := NewWorldOpts(2, WorldOptions{RecvTimeout: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := w.Comm(0).Shrink(nil, ShrinkOptions{Epoch: maxShrinkEpoch}); err == nil {
-		t.Fatal("expected error for epoch out of range")
+	if _, _, err := w.Comm(0).Shrink(nil, ShrinkOptions{Epoch: maxShrinkEpoch}); !errors.Is(err, ErrEpochExhausted) {
+		t.Fatalf("epoch %d error = %v, want ErrEpochExhausted", maxShrinkEpoch, err)
 	}
-	if _, _, err := w.Comm(0).Shrink(nil, ShrinkOptions{Epoch: -1}); err == nil {
-		t.Fatal("expected error for negative epoch")
+	if _, _, err := w.Comm(0).Shrink(nil, ShrinkOptions{Epoch: -1}); !errors.Is(err, ErrEpochExhausted) {
+		t.Fatalf("negative epoch error = %v, want ErrEpochExhausted", err)
+	}
+	if _, _, err := w.Comm(0).Grow(nil, GrowOptions{Epoch: maxShrinkEpoch}); !errors.Is(err, ErrEpochExhausted) {
+		t.Fatalf("grow epoch %d error = %v, want ErrEpochExhausted", maxShrinkEpoch, err)
+	}
+}
+
+// TestShrinkMinorityPark: a partition holding half or less of the previous
+// epoch's ranks must not form a new world — it gets the typed ErrNoQuorum
+// and parks. This is the split-brain elimination rule: with a 4-rank world
+// partitioned 2|2, both halves would otherwise train independently.
+func TestShrinkMinorityPark(t *testing.T) {
+	w, err := NewWorldOpts(3, WorldOptions{RecvTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Comm(1).Close()
+	w.Comm(2).Close()
+
+	// 1 of 3 is a minority: park.
+	if _, _, err := w.Comm(0).Shrink([]int{1, 2}, ShrinkOptions{Epoch: 0}); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("minority shrink error = %v, want ErrNoQuorum", err)
+	}
+
+	// Exactly half is still not quorum (strict majority required).
+	w2, err := NewWorldOpts(4, WorldOptions{RecvTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Comm(2).Close()
+	w2.Comm(3).Close()
+	live := []int{0, 1}
+	_, _, errs := shrinkAll(t, w2, live, map[int][]int{0: {2, 3}, 1: {2, 3}}, ShrinkOptions{Epoch: 0})
+	for _, r := range live {
+		if !errors.Is(errs[r], ErrNoQuorum) {
+			t.Fatalf("rank %d: even-split shrink error = %v, want ErrNoQuorum", r, errs[r])
+		}
 	}
 }
 
 // TestShrinkAllPeersDead leaves a single survivor, which gets a size-1
-// communicator and can "allreduce" alone.
+// communicator and can "allreduce" alone. A sole survivor is a minority of
+// 3, so this only works with the quorum rule explicitly waived.
 func TestShrinkAllPeersDead(t *testing.T) {
 	w, err := NewWorldOpts(3, WorldOptions{RecvTimeout: 50 * time.Millisecond})
 	if err != nil {
@@ -286,7 +325,7 @@ func TestShrinkAllPeersDead(t *testing.T) {
 	w.Comm(1).Close()
 	w.Comm(2).Close()
 
-	nc, sv, err := w.Comm(0).Shrink([]int{1, 2}, ShrinkOptions{Epoch: 0})
+	nc, sv, err := w.Comm(0).Shrink([]int{1, 2}, ShrinkOptions{Epoch: 0, AllowMinority: true})
 	if err != nil {
 		t.Fatalf("sole-survivor shrink: %v", err)
 	}

@@ -26,6 +26,10 @@ import (
 const (
 	tcpHelloTag   = 0xfffffffe
 	tcpGoodbyeTag = 0xfffffffd
+	// tcpRejoinTag frames the regrow handshake: a healed/restarted process
+	// dials a member's retained listener and sends [4B rank][listen addr];
+	// the member replaces the dead peer slot and acks with an empty frame.
+	tcpRejoinTag = 0xfffffffc
 )
 
 // Default deadlines for the TCP transport. Zero fields in TCPOptions take
@@ -141,17 +145,40 @@ func (ps *peerState) queue(m inprocMsg) {
 type tcpEndpoint struct {
 	rank, size int
 	opts       TCPOptions
-	conns      []*tcpConn // indexed by peer rank; nil at self
-	boxes      []chan inprocMsg
-	peers      []*peerState
 	listener   net.Listener
 	readWG     sync.WaitGroup
 	closed     atomic.Bool
 	closeOnce  sync.Once
 	closeErr   error
+	rejoinOnce sync.Once
+
+	// stateMu guards per-peer slot replacement: a readmitted peer gets a
+	// fresh conn, mailbox and failure latch (the old box is closed and its
+	// latch poisoned forever). Readers snapshot the slot under RLock; the
+	// hot path cost is an uncontended RLock per Send/Recv.
+	stateMu sync.RWMutex
+	conns   []*tcpConn // indexed by peer rank; nil at self
+	boxes   []chan inprocMsg
+	peers   []*peerState
+	addrs   []string // rendezvous table, kept current through readmits
 
 	subMu sync.RWMutex
 	subs  map[uint32]chan Tagged // tag -> subscription channel (Subscribe)
+}
+
+// slot snapshots a peer's current connection state under the read lock.
+func (ep *tcpEndpoint) slot(peer int) (*tcpConn, chan inprocMsg, *peerState) {
+	ep.stateMu.RLock()
+	defer ep.stateMu.RUnlock()
+	return ep.conns[peer], ep.boxes[peer], ep.peers[peer]
+}
+
+// peerLive reports whether the peer's slot holds a connection with no
+// latched failure.
+func (ep *tcpEndpoint) peerLive(peer int) bool {
+	ep.stateMu.RLock()
+	defer ep.stateMu.RUnlock()
+	return ep.conns[peer] != nil && ep.peers[peer].latched() == nil
 }
 
 // Subscribe registers a side channel for tag: readLoop routes matching
@@ -305,6 +332,7 @@ func DialTCPOpts(rank, size int, rootAddr, bindAddr string, opts TCPOptions) (*C
 		ln.Close()
 		return nil, err
 	}
+	ep.addrs = append([]string(nil), table...)
 	if err := ep.mesh(table); err != nil {
 		ln.Close()
 		return nil, err
@@ -312,7 +340,7 @@ func DialTCPOpts(rank, size int, rootAddr, bindAddr string, opts TCPOptions) (*C
 	for peer, tc := range ep.conns {
 		if tc != nil {
 			ep.readWG.Add(1)
-			go ep.readLoop(peer, tc)
+			go ep.readLoop(peer, tc, ep.peers[peer], ep.boxes[peer])
 		}
 	}
 	return NewComm(ep), nil
@@ -570,8 +598,11 @@ func (ep *tcpEndpoint) mesh(table []string) error {
 
 // readLoop pumps frames from one peer into its mailbox. It exits — latching
 // the peer's failure and closing the box — on goodbye, disconnect, or any
-// read error; buffered frames already in the box stay receivable.
-func (ep *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
+// read error; buffered frames already in the box stay receivable. The loop
+// is pinned to its own connection generation's box and latch (passed in, not
+// looked up), so a loop left over from a readmitted peer's previous
+// connection can never poison the fresh slot.
+func (ep *tcpEndpoint) readLoop(peer int, tc *tcpConn, ps *peerState, box chan inprocMsg) {
 	defer ep.readWG.Done()
 	for {
 		tag, payload, err := readFrame(tc.c)
@@ -580,19 +611,19 @@ func (ep *tcpEndpoint) readLoop(peer int, tc *tcpConn) {
 			if ep.closed.Load() {
 				cause = ErrClosed
 			}
-			ep.peers[peer].latch(&PeerError{Rank: peer, Op: OpRecv, Err: cause})
-			close(ep.boxes[peer])
+			ps.latch(&PeerError{Rank: peer, Op: OpRecv, Err: cause})
+			close(box)
 			return
 		}
 		if tag == tcpGoodbyeTag {
-			ep.peers[peer].latch(&PeerError{Rank: peer, Op: OpRecv, Err: ErrPeerClosed})
-			close(ep.boxes[peer])
+			ps.latch(&PeerError{Rank: peer, Op: OpRecv, Err: ErrPeerClosed})
+			close(box)
 			return
 		}
 		if ep.subDeliver(peer, tag, payload) {
 			continue
 		}
-		ep.boxes[peer] <- inprocMsg{tag: tag, payload: payload}
+		box <- inprocMsg{tag: tag, payload: payload}
 	}
 }
 
@@ -603,10 +634,10 @@ func (ep *tcpEndpoint) Send(to int, tag uint32, payload []byte) error {
 	if to < 0 || to >= ep.size || to == ep.rank {
 		return fmt.Errorf("mpi: invalid send target %d", to)
 	}
-	if err := ep.peers[to].latched(); err != nil {
+	tc, _, ps := ep.slot(to)
+	if err := ps.latched(); err != nil {
 		return err
 	}
-	tc := ep.conns[to]
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection to rank %d", to)
 	}
@@ -617,8 +648,8 @@ func (ep *tcpEndpoint) Send(to int, tag uint32, payload []byte) error {
 		} else if ep.closed.Load() {
 			cause = ErrClosed
 		}
-		ep.peers[to].latch(&PeerError{Rank: to, Op: OpSend, Err: cause})
-		return ep.peers[to].latched()
+		ps.latch(&PeerError{Rank: to, Op: OpSend, Err: cause})
+		return ps.latched()
 	}
 	return nil
 }
@@ -641,7 +672,7 @@ func (ep *tcpEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 	if from < 0 || from >= ep.size || from == ep.rank {
 		return nil, fmt.Errorf("mpi: invalid recv source %d", from)
 	}
-	ps := ep.peers[from]
+	_, box, ps := ep.slot(from)
 	if payload, ok := ps.takePending(tag); ok {
 		return payload, nil
 	}
@@ -653,7 +684,7 @@ func (ep *tcpEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 	}
 	for {
 		select {
-		case m, ok := <-ep.boxes[from]:
+		case m, ok := <-box:
 			if !ok {
 				return nil, ps.latched()
 			}
@@ -680,6 +711,13 @@ func (ep *tcpEndpoint) Abort() { ep.shutdown(false) }
 func (ep *tcpEndpoint) shutdown(graceful bool) error {
 	ep.closeOnce.Do(func() {
 		ep.closed.Store(true)
+		// Fence: an installPeer holding stateMu finishes (its readWG.Add
+		// lands before the drain below); any later install sees closed and
+		// refuses. Then snapshot the slots for teardown.
+		ep.stateMu.Lock()
+		conns := append([]*tcpConn(nil), ep.conns...)
+		peers := append([]*peerState(nil), ep.peers...)
+		ep.stateMu.Unlock()
 		if graceful {
 			// Goodbye is best-effort with a short deadline: a wedged peer
 			// must not stall teardown.
@@ -687,8 +725,8 @@ func (ep *tcpEndpoint) shutdown(graceful bool) error {
 			if d <= 0 {
 				d = DefaultDrainTimeout
 			}
-			for peer, tc := range ep.conns {
-				if tc != nil && ep.peers[peer].latched() == nil {
+			for peer, tc := range conns {
+				if tc != nil && peers[peer].latched() == nil {
 					tc.writeFrameDeadline(tcpGoodbyeTag, nil, d)
 				}
 			}
@@ -707,14 +745,243 @@ func (ep *tcpEndpoint) shutdown(graceful bool) error {
 		if ep.listener != nil {
 			ep.closeErr = ep.listener.Close()
 		}
-		for peer, tc := range ep.conns {
+		for peer, tc := range conns {
 			if tc != nil {
-				ep.peers[peer].latch(&PeerError{Rank: peer, Op: OpClose, Err: ErrClosed})
+				peers[peer].latch(&PeerError{Rank: peer, Op: OpClose, Err: ErrClosed})
 				tc.close()
 			}
 		}
 	})
 	return ep.closeErr
+}
+
+// EnableRejoin arms the regrow acceptor: a goroutine on the retained
+// listener (idle after mesh bootstrap) that readmits crashed or partitioned
+// peers' fresh connections. Idempotent; the goroutine exits when the
+// endpoint shuts down.
+func (ep *tcpEndpoint) EnableRejoin() {
+	if ep.listener == nil {
+		return
+	}
+	ep.rejoinOnce.Do(func() { go ep.acceptRejoins() })
+}
+
+func (ep *tcpEndpoint) acceptRejoins() {
+	for {
+		c, err := ep.listener.Accept()
+		if err != nil {
+			if ep.closed.Load() {
+				return
+			}
+			if isTimeout(err) {
+				continue
+			}
+			return
+		}
+		go ep.handleRejoin(c)
+	}
+}
+
+// handleRejoin validates one inbound rejoin handshake and installs the peer.
+// A hello naming a still-live peer is refused by dropping the connection —
+// the dialer's ack read fails and it retries (the usual case: this member
+// has not yet latched the old connection's death).
+func (ep *tcpEndpoint) handleRejoin(c net.Conn) {
+	if d := ep.opts.RendezvousTimeout; d > 0 {
+		c.SetReadDeadline(time.Now().Add(d))
+	}
+	tag, payload, err := readFrame(c)
+	if err != nil || tag != tcpRejoinTag || len(payload) < 4 {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	peer := int(binary.LittleEndian.Uint32(payload))
+	addr := string(payload[4:])
+	if peer < 0 || peer >= ep.size || peer == ep.rank {
+		c.Close()
+		return
+	}
+	tc := &tcpConn{c: c, writeTimeout: ep.opts.WriteTimeout}
+	if !ep.installPeer(peer, addr, tc) {
+		c.Close()
+		return
+	}
+	tc.writeFrame(tcpRejoinTag, nil) // ack: the slot is live
+}
+
+// installPeer replaces a dead (or never-connected) peer slot with a fresh
+// connection, mailbox and failure latch, and starts its read loop. Refuses
+// when the peer is still live or the endpoint is closed.
+func (ep *tcpEndpoint) installPeer(peer int, addr string, tc *tcpConn) bool {
+	ep.stateMu.Lock()
+	defer ep.stateMu.Unlock()
+	if ep.closed.Load() {
+		return false
+	}
+	if ep.conns[peer] != nil && ep.peers[peer].latched() == nil {
+		return false
+	}
+	ep.conns[peer] = tc
+	ep.boxes[peer] = make(chan inprocMsg, 1024)
+	ep.peers[peer] = &peerState{}
+	if addr != "" && ep.addrs != nil {
+		ep.addrs[peer] = addr
+	}
+	ep.readWG.Add(1)
+	go ep.readLoop(peer, tc, ep.peers[peer], ep.boxes[peer])
+	return true
+}
+
+// ownAddr is this endpoint's listen address, carried in rejoin hellos so
+// the remote side's address table stays current.
+func (ep *tcpEndpoint) ownAddr() string {
+	if ep.listener == nil {
+		return ""
+	}
+	return ep.listener.Addr().String()
+}
+
+// RedialPeer establishes a fresh connection to peer's listener (the regrow
+// dialer side), retrying until timeout: the remote may not have armed its
+// acceptor yet, or may not have latched the old connection's death. A
+// currently-live peer is a no-op success. Empty addr falls back to the
+// retained address table.
+func (ep *tcpEndpoint) RedialPeer(peer int, addr string, timeout time.Duration) error {
+	if peer < 0 || peer >= ep.size || peer == ep.rank {
+		return fmt.Errorf("mpi: invalid redial target %d", peer)
+	}
+	if addr == "" {
+		ep.stateMu.RLock()
+		if ep.addrs != nil {
+			addr = ep.addrs[peer]
+		}
+		ep.stateMu.RUnlock()
+	}
+	if addr == "" {
+		return fmt.Errorf("mpi: no known address for rank %d", peer)
+	}
+	deadline := time.Now().Add(timeout)
+	hello := make([]byte, 4+len(ep.ownAddr()))
+	binary.LittleEndian.PutUint32(hello, uint32(ep.rank))
+	copy(hello[4:], ep.ownAddr())
+	var lastErr error
+	for {
+		if ep.peerLive(peer) {
+			return nil
+		}
+		if err := ep.redialOnce(peer, addr, hello, deadline); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			return &PeerError{Rank: peer, Op: OpDial, Err: fmt.Errorf("%w: %v", ErrTimeout, lastErr)}
+		}
+		ep.opts.countDialRetry()
+		time.Sleep(ep.opts.DialBackoff)
+	}
+}
+
+func (ep *tcpEndpoint) redialOnce(peer int, addr string, hello []byte, deadline time.Time) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	tc := &tcpConn{c: c, writeTimeout: ep.opts.WriteTimeout}
+	if err := tc.writeFrame(tcpRejoinTag, hello); err != nil {
+		c.Close()
+		return err
+	}
+	c.SetReadDeadline(deadline)
+	tag, _, err := readFrame(c)
+	if err != nil || tag != tcpRejoinTag {
+		c.Close()
+		if err == nil {
+			err = fmt.Errorf("unexpected ack tag %#x", tag)
+		}
+		return err
+	}
+	c.SetReadDeadline(time.Time{})
+	if !ep.installPeer(peer, "", tc) {
+		c.Close()
+		return fmt.Errorf("rank %d already connected", peer)
+	}
+	return nil
+}
+
+// ReadmitWait blocks until peer's slot is live again — its rejoin dial
+// arrived and was installed — or timeout expires.
+func (ep *tcpEndpoint) ReadmitWait(peer int, timeout time.Duration) error {
+	if peer < 0 || peer >= ep.size || peer == ep.rank {
+		return fmt.Errorf("mpi: invalid readmit peer %d", peer)
+	}
+	deadline := time.Now().Add(timeout)
+	for !ep.peerLive(peer) {
+		if time.Now().After(deadline) {
+			return &PeerError{Rank: peer, Op: OpAccept, Err: ErrTimeout}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// PeerAddrs returns a copy of the retained address table.
+func (ep *tcpEndpoint) PeerAddrs() []string {
+	ep.stateMu.RLock()
+	defer ep.stateMu.RUnlock()
+	return append([]string(nil), ep.addrs...)
+}
+
+// SetPeerAddr updates one entry of the address table (e.g. a restarted
+// joiner's fresh listener, learned from its join request).
+func (ep *tcpEndpoint) SetPeerAddr(rank int, addr string) {
+	ep.stateMu.Lock()
+	defer ep.stateMu.Unlock()
+	if ep.addrs == nil {
+		ep.addrs = make([]string, ep.size)
+	}
+	if rank >= 0 && rank < len(ep.addrs) && addr != "" {
+		ep.addrs[rank] = addr
+	}
+}
+
+// RejoinTCP builds a fresh root-level endpoint for a restarted process that
+// wants its old rank back: it binds its own listener, arms the rejoin
+// acceptor (co-joiners with a higher rank dial in), and establishes the
+// leader link so mpi.Rejoin can run the admission loop. rank must be
+// non-zero — the leader (rank 0) must survive for regrow to be possible.
+func RejoinTCP(rank, size int, rootAddr, bindAddr string, opts TCPOptions) (*Comm, error) {
+	if size < 2 || rank < 1 || rank >= size {
+		return nil, fmt.Errorf("mpi: invalid rejoin rank %d of %d", rank, size)
+	}
+	opts = opts.withDefaults()
+	ep := &tcpEndpoint{
+		rank:  rank,
+		size:  size,
+		opts:  opts,
+		conns: make([]*tcpConn, size),
+		boxes: make([]chan inprocMsg, size),
+		peers: make([]*peerState, size),
+		addrs: make([]string, size),
+	}
+	for i := range ep.boxes {
+		ep.boxes[i] = make(chan inprocMsg, 1024)
+		ep.peers[i] = &peerState{}
+	}
+	ln, err := net.Listen("tcp", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rejoin listen: %w", err)
+	}
+	ep.listener = ln
+	ep.addrs[0] = rootAddr
+	ep.addrs[rank] = ln.Addr().String()
+	ep.EnableRejoin()
+	if err := ep.RedialPeer(0, rootAddr, opts.RendezvousTimeout); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return NewComm(ep), nil
 }
 
 // StartLocalTCPJob bootstraps an n-rank TCP job entirely over loopback in

@@ -45,22 +45,30 @@ func evalAssert(a Assert, oc *outcome) AssertResult {
 		res.Detail = fmt.Sprintf("%d sends dropped (want >= %d)", dropped, int64(a.Value))
 	case "metric_min", "metric_max":
 		res.Pass, res.Detail = assertMetric(a, oc)
+	case "world_size_final":
+		res.Pass, res.Detail = assertWorldSizeFinal(int(a.Value), oc)
+	case "regrown_within":
+		res.Pass, res.Detail = assertRegrownWithin(a.Within.D(), oc)
+	case "no_split_brain":
+		res.Pass, res.Detail = assertNoSplitBrain(oc)
 	default:
 		res.Detail = fmt.Sprintf("unknown check %q", a.Check)
 	}
 	return res
 }
 
-// assertRecoveredWithin holds when every surviving supervised rank
-// recovered at least once and each recovery's wall latency stayed under
-// the bound.
+// assertRecoveredWithin holds when every surviving supervised rank took
+// part in at least one membership change — a shrink recovery or a regrow
+// admission (a parked minority rank and a restarted joiner never shrink;
+// their recovery IS the readmission) — and each change's wall latency
+// stayed under the bound.
 func assertRecoveredWithin(within time.Duration, oc *outcome) (bool, string) {
 	if len(oc.supervised) == 0 {
 		return false, "no surviving supervised ranks"
 	}
 	worst := time.Duration(0)
 	for r, res := range oc.supervised {
-		if len(res.Recoveries) == 0 {
+		if len(res.Recoveries)+len(res.Regrows) == 0 {
 			return false, fmt.Sprintf("rank %d never recovered", r)
 		}
 		for _, rec := range res.Recoveries {
@@ -68,11 +76,92 @@ func assertRecoveredWithin(within time.Duration, oc *outcome) (bool, string) {
 				worst = rec.Latency
 			}
 		}
+		for _, rg := range res.Regrows {
+			if rg.Latency > worst {
+				worst = rg.Latency
+			}
+		}
 	}
 	if worst > within {
 		return false, fmt.Sprintf("slowest recovery %v exceeds %v", worst.Round(time.Millisecond), within)
 	}
 	return true, fmt.Sprintf("slowest recovery %v (bound %v)", worst.Round(time.Millisecond), within)
+}
+
+// assertWorldSizeFinal holds when every surviving supervised rank ended in
+// a world of the wanted size (0 = the fleet's declared rank count): the
+// regrow brought everyone back, and nobody is stranded in a stale world.
+func assertWorldSizeFinal(want int, oc *outcome) (bool, string) {
+	if want <= 0 {
+		want = oc.spec.Fleet.Ranks
+	}
+	if len(oc.supervised) == 0 {
+		return false, "no surviving supervised ranks"
+	}
+	for r, res := range oc.supervised {
+		if res.WorldSize != want {
+			return false, fmt.Sprintf("rank %d ended in world of %d, want %d", r, res.WorldSize, want)
+		}
+	}
+	return true, fmt.Sprintf("all %d surviving ranks ended in world of %d", len(oc.supervised), want)
+}
+
+// assertRegrownWithin holds when every surviving supervised rank saw at
+// least one successful regrow and the slowest admission stayed under the
+// bound.
+func assertRegrownWithin(within time.Duration, oc *outcome) (bool, string) {
+	if len(oc.supervised) == 0 {
+		return false, "no surviving supervised ranks"
+	}
+	worst := time.Duration(0)
+	for r, res := range oc.supervised {
+		if len(res.Regrows) == 0 {
+			return false, fmt.Sprintf("rank %d never regrew", r)
+		}
+		for _, rg := range res.Regrows {
+			if rg.Latency > worst {
+				worst = rg.Latency
+			}
+		}
+	}
+	if worst > within {
+		return false, fmt.Sprintf("slowest regrow %v exceeds %v", worst.Round(time.Millisecond), within)
+	}
+	return true, fmt.Sprintf("slowest regrow %v (bound %v)", worst.Round(time.Millisecond), within)
+}
+
+// assertNoSplitBrain is the quorum rule's observable postcondition: every
+// surviving rank must agree on the final world size AND report the same
+// nonzero weights fingerprint — bit-identical model and optimizer state —
+// and a rank that parked must have produced no shrink recovery of its own
+// (the minority never formed a rival world). Divergent CRCs or a parked
+// rank with recoveries are exactly what two concurrently-training
+// partitions would leave behind.
+func assertNoSplitBrain(oc *outcome) (bool, string) {
+	if len(oc.supervised) == 0 {
+		return false, "no surviving supervised ranks"
+	}
+	var crc uint32
+	size := -1
+	for r, res := range oc.supervised {
+		if res.Parked && len(res.Recoveries) > 0 {
+			return false, fmt.Sprintf("parked rank %d performed %d shrink recoveries", r, len(res.Recoveries))
+		}
+		if res.WeightsCRC == 0 {
+			return false, fmt.Sprintf("rank %d has no weights fingerprint", r)
+		}
+		if crc == 0 {
+			crc, size = res.WeightsCRC, res.WorldSize
+			continue
+		}
+		if res.WeightsCRC != crc {
+			return false, fmt.Sprintf("rank %d weights crc %08x disagrees with %08x", r, res.WeightsCRC, crc)
+		}
+		if res.WorldSize != size {
+			return false, fmt.Sprintf("rank %d world size %d disagrees with %d", r, res.WorldSize, size)
+		}
+	}
+	return true, fmt.Sprintf("%d ranks agree: world=%d weights_crc=%08x", len(oc.supervised), size, crc)
 }
 
 func assertOutcome(want string, oc *outcome) (bool, string) {

@@ -51,6 +51,8 @@ type outcome struct {
 	throughput float64
 	flagged    []int // detector's straggler list
 
+	regrows []train.RegrowEvent // lowest surviving rank's view
+
 	// collectives jobs
 	typedErrors int64
 	stats       map[int]mpi.FaultStats
@@ -159,51 +161,77 @@ func faultConfig(seed int64, f *Faults) mpi.FaultConfig {
 }
 
 // buildFleet stages the live transports: the raw job, one FaultTransport
-// per rank, and tuned communicators over them.
-func buildFleet(spec *Spec) (fts []*mpi.FaultTransport, comms []*mpi.Comm, err error) {
+// per rank, and tuned communicators over them. The returned rejoin factory
+// relaunches a dead rank as a fresh endpoint (a restart_rank event's
+// joiner): a drained in-process mailbox set, or a new socket endpoint that
+// finds the job through rank 0's retained rendezvous listener.
+func buildFleet(spec *Spec) (fts []*mpi.FaultTransport, comms []*mpi.Comm, rejoin func(rank int) (*mpi.Comm, error), err error) {
 	n := spec.Fleet.Ranks
 	base := faultConfig(spec.Seed, spec.Faults)
 	raw := make([]*mpi.Comm, n)
+	tune := func(c *mpi.Comm) error {
+		if spec.Job.AllreduceAlg != "" {
+			alg, aerr := mpi.ParseAllreduceAlg(spec.Job.AllreduceAlg)
+			if aerr != nil {
+				return aerr
+			}
+			if aerr := c.SetAllreduceAlg(alg); aerr != nil {
+				return aerr
+			}
+		}
+		if spec.Job.SegmentBytes > 0 {
+			c.SetSegmentBytes(spec.Job.SegmentBytes)
+		}
+		return nil
+	}
+	wrap := func(c *mpi.Comm) (*mpi.Comm, error) {
+		cc := mpi.NewComm(mpi.NewFaultTransport(c.Endpoint(), base))
+		if err := tune(cc); err != nil {
+			return nil, err
+		}
+		return cc, nil
+	}
 	switch spec.Fleet.Transport {
 	case "inproc":
 		w, werr := mpi.NewWorldOpts(n, mpi.WorldOptions{RecvTimeout: spec.Fleet.RecvTimeout.D()})
 		if werr != nil {
-			return nil, nil, werr
+			return nil, nil, nil, werr
 		}
 		for r := 0; r < n; r++ {
 			raw[r] = w.Comm(r)
 		}
+		rejoin = func(rank int) (*mpi.Comm, error) { return wrap(w.Rejoin(rank)) }
 	case "tcp":
-		tcp, terr := mpi.StartLocalTCPJobOpts(n, mpi.TCPOptions{
+		topts := mpi.TCPOptions{
 			RecvTimeout:  spec.Fleet.RecvTimeout.D(),
 			DrainTimeout: 200 * time.Millisecond,
-		})
+		}
+		tcp, terr := mpi.StartLocalTCPJobOpts(n, topts)
 		if terr != nil {
-			return nil, nil, terr
+			return nil, nil, nil, terr
 		}
 		raw = tcp
+		rootAddr := raw[0].PeerAddrs()[0]
+		rejoin = func(rank int) (*mpi.Comm, error) {
+			jc, jerr := mpi.RejoinTCP(rank, n, rootAddr, "127.0.0.1:0", topts)
+			if jerr != nil {
+				return nil, jerr
+			}
+			return wrap(jc)
+		}
 	default:
-		return nil, nil, fmt.Errorf("scenario: transport %q has no live fleet", spec.Fleet.Transport)
+		return nil, nil, nil, fmt.Errorf("scenario: transport %q has no live fleet", spec.Fleet.Transport)
 	}
 	fts = make([]*mpi.FaultTransport, n)
 	comms = make([]*mpi.Comm, n)
 	for r := 0; r < n; r++ {
 		fts[r] = mpi.NewFaultTransport(raw[r].Endpoint(), base)
 		comms[r] = mpi.NewComm(fts[r])
-		if spec.Job.AllreduceAlg != "" {
-			alg, aerr := mpi.ParseAllreduceAlg(spec.Job.AllreduceAlg)
-			if aerr != nil {
-				return nil, nil, aerr
-			}
-			if aerr := comms[r].SetAllreduceAlg(alg); aerr != nil {
-				return nil, nil, aerr
-			}
-		}
-		if spec.Job.SegmentBytes > 0 {
-			comms[r].SetSegmentBytes(spec.Job.SegmentBytes)
+		if err := tune(comms[r]); err != nil {
+			return nil, nil, nil, err
 		}
 	}
-	return fts, comms, nil
+	return fts, comms, rejoin, nil
 }
 
 // trainControl is the shared state of a train-kind run: the fault
@@ -215,6 +243,10 @@ type trainControl struct {
 	det   *detect.Detector
 	once  []map[int]*sync.Once // once[eventIdx][rank]
 	fired []atomic.Bool        // event ever fired on any rank
+	// restart relaunches a killed rank as a joiner; set by runTrain before
+	// the fleet starts. Fired at most once per restart_rank event, from the
+	// first surviving rank whose step reaches the trigger.
+	restart func(rank int)
 }
 
 func newTrainControl(spec *Spec, fts []*mpi.FaultTransport, det *detect.Detector) *trainControl {
@@ -251,6 +283,12 @@ func (ctl *trainControl) applyEvent(i, r int, ev *Event) {
 				ctl.fts[r].HealAll()
 			} else {
 				ctl.fts[r].Heal(ev.Rank)
+				// The cut was symmetric, so the heal must be too — and the
+				// target cannot restore its own side: a rank that lost
+				// quorum parks, its step hook stops firing, and it would
+				// stay self-isolated forever waiting for a heal only it
+				// could apply.
+				ctl.fts[ev.Rank].Heal(r)
 			}
 		case "set_faults":
 			ctl.fts[r].SetConfig(faultConfig(ctl.spec.Seed, ev.Faults))
@@ -279,6 +317,18 @@ func (ctl *trainControl) hook(r int) func(int64, train.StepStats) {
 		for i := range ctl.spec.Timeline {
 			ev := &ctl.spec.Timeline[i]
 			if ev.Action == "kill_rank" || ev.AtStep <= 0 {
+				continue
+			}
+			if ev.Action == "restart_rank" || ev.Action == "rejoin" {
+				// >= not ==: after a recovery rollback the survivors replay
+				// steps, and the trigger step may land mid-replay on a rank
+				// that already passed it before the failure. The CAS keeps
+				// the relaunch single-shot; the dead rank itself obviously
+				// cannot fire its own restart.
+				if r != ev.Rank && step >= ev.AtStep &&
+					ctl.fired[i].CompareAndSwap(false, true) && ctl.restart != nil {
+					ctl.restart(ev.Rank)
+				}
 				continue
 			}
 			if ev.Action == "straggle" {
@@ -329,7 +379,7 @@ func trainFactories(spec *Spec) (func() *models.Model, func(int) train.Optimizer
 
 func runTrain(spec *Spec, opts Options) (*outcome, error) {
 	n := spec.Fleet.Ranks
-	fts, comms, err := buildFleet(spec)
+	fts, comms, rejoinFn, err := buildFleet(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -371,6 +421,50 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 			partTargets[ev.Rank] = true
 		}
 	}
+	restarts := map[int]bool{}
+	for _, ev := range spec.Timeline {
+		if ev.Action == "restart_rank" || ev.Action == "rejoin" {
+			restarts[ev.Rank] = true
+		}
+	}
+	regrowWait := spec.Job.RegrowWait.D()
+
+	// restart_rank relaunches a killed rank as a joiner once a survivor's
+	// step hook trips the trigger. The joiner rendezvouses through the
+	// rejoin factory, runs the admission loop, and — if readmitted — trains
+	// to the end like everyone else.
+	joinResults := make([]*train.SupervisorResult, n)
+	joinErrs := make([]error, n)
+	var joinWG sync.WaitGroup
+	restartOnce := make([]sync.Once, n)
+	ctl.restart = func(rank int) {
+		restartOnce[rank].Do(func() {
+			joinWG.Add(1)
+			go func() {
+				defer joinWG.Done()
+				jc, jerr := rejoinFn(rank)
+				if jerr != nil {
+					joinErrs[rank] = fmt.Errorf("scenario: restart rank %d: %w", rank, jerr)
+					return
+				}
+				joinResults[rank], joinErrs[rank] = train.Supervise(train.SupervisorConfig{
+					Comm:          jc,
+					Engine:        horovod.Config{CycleTime: spec.Job.CycleTime.D(), Average: true},
+					NewModel:      newModel,
+					NewOptimizer:  newOpt,
+					NewGen:        newGen,
+					Steps:         spec.Job.Steps,
+					CkptDir:       ckptDir,
+					CkptEvery:     spec.Job.CkptEvery,
+					Telemetry:     regs[rank],
+					OnStep:        ctl.hook(rank),
+					Joiner:        true,
+					RejoinTimeout: regrowWait,
+					RegrowWait:    regrowWait,
+				})
+			}()
+		})
+	}
 
 	// Wall-clock events fire fleet-wide from timers.
 	var timers []*time.Timer
@@ -399,20 +493,23 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 				return
 			}
 			results[r], errs[r] = train.Supervise(train.SupervisorConfig{
-				Comm:         comms[r],
-				Engine:       horovod.Config{CycleTime: spec.Job.CycleTime.D(), Average: true},
-				NewModel:     newModel,
-				NewOptimizer: newOpt,
-				NewGen:       newGen,
-				Steps:        spec.Job.Steps,
-				CkptDir:      ckptDir,
-				CkptEvery:    spec.Job.CkptEvery,
-				Telemetry:    regs[r],
-				OnStep:       ctl.hook(r),
+				Comm:          comms[r],
+				Engine:        horovod.Config{CycleTime: spec.Job.CycleTime.D(), Average: true},
+				NewModel:      newModel,
+				NewOptimizer:  newOpt,
+				NewGen:        newGen,
+				Steps:         spec.Job.Steps,
+				CkptDir:       ckptDir,
+				CkptEvery:     spec.Job.CkptEvery,
+				Telemetry:     regs[r],
+				OnStep:        ctl.hook(r),
+				RejoinTimeout: regrowWait,
+				RegrowWait:    regrowWait,
 			})
 		}(r)
 	}
 	wg.Wait()
+	joinWG.Wait()
 
 	oc := &outcome{
 		spec:       spec,
@@ -424,6 +521,15 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 	}
 	for r := 0; r < n; r++ {
 		if _, doomed := kills[r]; doomed {
+			if joinResults[r] != nil && joinErrs[r] == nil {
+				// The restarted incarnation was readmitted; it speaks for
+				// the rank from here on.
+				oc.supervised[r] = joinResults[r]
+				continue
+			}
+			if restarts[r] && joinErrs[r] != nil {
+				opts.logf("  rank %d: restart: %v", r, joinErrs[r])
+			}
 			oc.casualties[r] = "killed"
 			continue
 		}
@@ -450,6 +556,7 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 	if len(survivors) > 0 {
 		low := oc.supervised[survivors[0]]
 		oc.recoveries = low.Recoveries
+		oc.regrows = low.Regrows
 		oc.throughput = train.Throughput(low.Steps)
 	}
 	oc.flagged = det.Stragglers()
@@ -541,12 +648,23 @@ func buildTrainEventLog(oc *outcome, ctl *trainControl, survivors []int) {
 		oc.log("recovery old_size=%d new_size=%d failed=%v resume_step=%d",
 			rec.OldSize, rec.NewSize, rec.FailedRanks, rec.ResumeStep)
 	}
+	// Regrow admission is wall-clock-racy relative to the step counter (a
+	// join request lands between two boundaries), so only the timing-free
+	// facts — sizes and members — may appear in the replay record.
+	for _, rg := range oc.regrows {
+		oc.log("regrow old_size=%d new_size=%d joined=%v", rg.OldSize, rg.NewSize, rg.Joined)
+	}
 	for r := 0; r < spec.Fleet.Ranks; r++ {
 		if word, ok := oc.casualties[r]; ok {
 			oc.log("rank %d outcome=%s", r, word)
 			continue
 		}
 		if res, ok := oc.supervised[r]; ok {
+			if res.Parked {
+				oc.log("rank %d outcome=%s final_step=%d parked_step=%d",
+					r, res.Outcome, res.FinalStep, res.ParkedStep)
+				continue
+			}
 			oc.log("rank %d outcome=%s final_step=%d", r, res.Outcome, res.FinalStep)
 			continue
 		}
@@ -579,7 +697,7 @@ func hasAction(spec *Spec, action string) bool {
 
 func runCollectives(spec *Spec, opts Options) (*outcome, error) {
 	n := spec.Fleet.Ranks
-	fts, comms, err := buildFleet(spec)
+	fts, comms, _, err := buildFleet(spec)
 	if err != nil {
 		return nil, err
 	}

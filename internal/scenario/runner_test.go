@@ -74,6 +74,71 @@ func TestKillRankReplayDeterministic(t *testing.T) {
 	}
 }
 
+// regrowYAML exercises the whole elastic lifecycle in-process: rank 2 is
+// killed after step 3, the majority shrinks and keeps training, and once
+// a survivor reaches step 5 the dead rank is relaunched as a joiner and
+// readmitted, growing the world back to 3.
+const regrowYAML = `
+name: regrow_replay
+seed: 777
+fleet:
+  ranks: 3
+  transport: inproc
+  recv_timeout: 250ms
+job:
+  kind: train
+  steps: 8
+  batch: 4
+  elastic: true
+  ckpt_every: 2
+timeline:
+  - at_step: 3
+    action: kill_rank
+    rank: 2
+  - at_step: 5
+    action: restart_rank
+    rank: 2
+asserts:
+  - check: recovered_within
+    within: 60s
+  - check: regrown_within
+    within: 60s
+  - check: world_size_final
+  - check: no_split_brain
+  - check: outcome
+    equals: recovered
+  - check: final_step
+`
+
+// TestRegrowReplayDeterministic runs the restart-and-regrow scenario twice
+// with the same seed: both runs must pass every assertion (including the
+// split-brain postcondition) and leave byte-identical event logs — regrow
+// admission is wall-clock-racy internally, so the log may carry only its
+// timing-free facts, and this test is what holds that line.
+func TestRegrowReplayDeterministic(t *testing.T) {
+	rep1 := runOnce(t, regrowYAML)
+	rep2 := runOnce(t, regrowYAML)
+	for i, rep := range []*Report{rep1, rep2} {
+		if !rep.Pass {
+			t.Errorf("run %d failed: %+v", i+1, rep.Asserts)
+		}
+	}
+	if !bytes.Equal(rep1.EventLogBytes(), rep2.EventLogBytes()) {
+		t.Errorf("event logs differ across same-seed runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			rep1.EventLogBytes(), rep2.EventLogBytes())
+	}
+	log := string(rep1.EventLogBytes())
+	for _, want := range []string{
+		"event at_step=5 restart_rank rank=2",
+		"regrow old_size=2 new_size=3 joined=[2]",
+		"rank 2 outcome=recovered",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("event log missing %q:\n%s", want, log)
+		}
+	}
+}
+
 // faultSoakYAML drives seeded fault injection hard enough that every
 // counter class moves, so log equality below is a real test of the
 // per-rank fault streams, not of zeros.

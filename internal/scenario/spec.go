@@ -111,6 +111,12 @@ type Job struct {
 	AllreduceAlg string `json:"allreduce_alg,omitempty"`
 	// SegmentBytes sets the ring pipelining segment size (0 = default).
 	SegmentBytes int `json:"segment_bytes,omitempty"`
+	// RegrowWait keeps finished ranks lingering while the world is smaller
+	// than it started, so a late rejoiner (a healed partition, a
+	// restart_rank event) is still admitted. Defaults to 30s when the
+	// timeline carries a restart_rank/rejoin event or a heal of an elastic
+	// job, 0 otherwise.
+	RegrowWait Duration `json:"regrow_wait,omitempty"`
 
 	// Collectives jobs: vector length in float32 elements (default 2048)
 	// and number of allreduce rounds (default 5).
@@ -138,15 +144,19 @@ type Faults struct {
 //
 // Actions:
 //
-//	kill_rank  — rank trains normally, then aborts its transport after
-//	             completing step at_step (requires at_step).
-//	partition  — full network cut around rank at step at_step (or wall
-//	             time at): the target blocks all its sends, every peer
-//	             blocks sends toward it.
-//	heal       — undo a partition around rank.
-//	straggle   — from step at_step on, slow rank's compute by factor
-//	             (sleeps (factor-1)x the step's measured compute time).
-//	set_faults — swap every rank's fault-rate template for faults.
+//	kill_rank    — rank trains normally, then aborts its transport after
+//	               completing step at_step (requires at_step).
+//	restart_rank — relaunch a previously killed rank as a joiner once a
+//	               surviving rank completes step at_step: the fresh
+//	               process runs the rejoin admission loop and the world
+//	               grows back. "rejoin" is an accepted synonym.
+//	partition    — full network cut around rank at step at_step (or wall
+//	               time at): the target blocks all its sends, every peer
+//	               blocks sends toward it.
+//	heal         — undo a partition around rank.
+//	straggle     — from step at_step on, slow rank's compute by factor
+//	               (sleeps (factor-1)x the step's measured compute time).
+//	set_faults   — swap every rank's fault-rate template for faults.
 type Event struct {
 	// At triggers on wall-clock time from run start (partition, heal,
 	// set_faults only — wall-clock kills would not replay).
@@ -183,6 +193,15 @@ type Event struct {
 //	min_dropped        — fault injection dropped >= value sends in total.
 //	metric_min         — merged telemetry counter `metric` total >= value.
 //	metric_max         — merged telemetry counter `metric` total <= value.
+//	world_size_final   — every surviving supervised rank ended on a world
+//	                     of `value` ranks (0 = the fleet's full size): the
+//	                     regrow brought everyone back.
+//	regrown_within     — every surviving supervised rank took part in a
+//	                     regrow, each within `within` wall time.
+//	no_split_brain     — every surviving supervised rank reports the same
+//	                     nonzero weights fingerprint and world size, and
+//	                     any parked (minority) rank produced zero
+//	                     optimizer updates while parked.
 type Assert struct {
 	Check  string   `json:"check"`
 	Within Duration `json:"within,omitempty"`
@@ -195,7 +214,8 @@ type Assert struct {
 // Actions and checks the validator accepts.
 var (
 	validActions = map[string]bool{
-		"kill_rank": true, "partition": true, "heal": true,
+		"kill_rank": true, "restart_rank": true, "rejoin": true,
+		"partition": true, "heal": true,
 		"straggle": true, "set_faults": true,
 	}
 	validChecks = map[string]bool{
@@ -203,6 +223,8 @@ var (
 		"checkpoint_valid": true, "throughput_floor": true,
 		"straggler_flagged": true, "typed_errors": true,
 		"min_dropped": true, "metric_min": true, "metric_max": true,
+		"world_size_final": true, "regrown_within": true,
+		"no_split_brain": true,
 	}
 )
 
@@ -276,6 +298,17 @@ func (s *Spec) withDefaults() {
 			ev.Factor = 2.0
 		}
 	}
+	// A timeline that regrows the world needs the survivors to stick around
+	// for the admission even when it lands after their final step.
+	if s.Job.RegrowWait == 0 {
+		for _, ev := range s.Timeline {
+			if ev.Action == "restart_rank" || ev.Action == "rejoin" ||
+				(ev.Action == "heal" && s.Job.Elastic) {
+				s.Job.RegrowWait = Duration(30 * time.Second)
+				break
+			}
+		}
+	}
 }
 
 // Validate applies defaults and rejects specs the runner cannot execute.
@@ -316,6 +349,22 @@ func (s *Spec) Validate() error {
 			if ev.AtStep >= int64(s.Job.Steps) {
 				return fmt.Errorf("scenario %s: timeline[%d]: kill_rank at_step %d must precede the %d-step budget", s.Name, i, ev.AtStep, s.Job.Steps)
 			}
+		case "restart_rank", "rejoin":
+			if s.Job.Kind != "train" {
+				return fmt.Errorf("scenario %s: timeline[%d]: %s applies to train jobs", s.Name, i, ev.Action)
+			}
+			if ev.AtStep < 1 {
+				return fmt.Errorf("scenario %s: timeline[%d]: %s needs at_step >= 1 (fired from a survivor's step hook)", s.Name, i, ev.Action)
+			}
+			killed := false
+			for _, k := range s.Timeline {
+				if k.Action == "kill_rank" && k.Rank == ev.Rank && k.AtStep < ev.AtStep {
+					killed = true
+				}
+			}
+			if !killed {
+				return fmt.Errorf("scenario %s: timeline[%d]: %s rank %d needs an earlier kill_rank for the same rank", s.Name, i, ev.Action, ev.Rank)
+			}
 		case "partition", "heal":
 			if ev.AtStep < 1 && ev.At <= 0 {
 				return fmt.Errorf("scenario %s: timeline[%d]: %s needs at_step or at", s.Name, i, ev.Action)
@@ -344,9 +393,9 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: asserts[%d]: unknown check %q", s.Name, i, a.Check)
 		}
 		switch a.Check {
-		case "recovered_within":
+		case "recovered_within", "regrown_within":
 			if a.Within <= 0 {
-				return fmt.Errorf("scenario %s: asserts[%d]: recovered_within needs within > 0", s.Name, i)
+				return fmt.Errorf("scenario %s: asserts[%d]: %s needs within > 0", s.Name, i, a.Check)
 			}
 		case "outcome":
 			if a.Equals != "clean" && a.Equals != "recovered" {

@@ -12,6 +12,8 @@ const (
 	HealthOK         = "ok"         // training normally
 	HealthRecovering = "recovering" // rank failure detected, shrink in progress
 	HealthDegraded   = "degraded"   // training on a shrunk world
+	HealthParked     = "parked"     // minority partition: no quorum, awaiting heal/rejoin
+	HealthRegrowing  = "regrowing"  // readmitting joiners, world growing back
 	HealthDone       = "done"       // run finished cleanly
 	HealthFailed     = "failed"     // unrecoverable failure
 )
@@ -26,6 +28,7 @@ type Health struct {
 	state  string
 	since  time.Time
 	detail map[string]any
+	worlds []int // world-size history (deduplicated consecutive entries)
 }
 
 // NewHealth returns a Health in the starting state.
@@ -72,9 +75,34 @@ func (h *Health) Get() (state string, since time.Time, detail map[string]any) {
 	return h.state, h.since, cp
 }
 
+// RecordWorld appends a world size to the elastic history, skipping
+// consecutive duplicates — e.g. a 4-rank job that shrank and regrew reads
+// [4 3 4]. A nil *Health is a no-op.
+func (h *Health) RecordWorld(size int) {
+	if h == nil || size <= 0 {
+		return
+	}
+	h.mu.Lock()
+	if n := len(h.worlds); n == 0 || h.worlds[n-1] != size {
+		h.worlds = append(h.worlds, size)
+	}
+	h.mu.Unlock()
+}
+
+// WorldHistory returns a copy of the recorded world-size history.
+func (h *Health) WorldHistory() []int {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int(nil), h.worlds...)
+}
+
 // Healthy reports whether the state should answer HTTP 200: a job that is
 // training (full or shrunk world) or finished cleanly is healthy; one that
-// is bootstrapping, mid-recovery, or failed is not.
+// is bootstrapping, mid-recovery, parked without quorum, regrowing, or
+// failed is not.
 func (h *Health) Healthy() bool {
 	state, _, _ := h.Get()
 	switch state {

@@ -149,16 +149,20 @@ type healthzBody struct {
 	Ranks      int            `json:"ranks"`
 	Stragglers []int          `json:"stragglers,omitempty"`
 	Detail     map[string]any `json:"detail,omitempty"`
+	// WorldHistory is the elastic world-size trajectory (deduplicated):
+	// [4 3 4] reads "started at 4, shrank to 3, regrew to 4".
+	WorldHistory []int `json:"world_history,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	state, since, detail := s.health.Get()
 	healthy := s.health.Healthy()
 	body := healthzBody{
-		Status:  state,
-		Healthy: healthy,
-		Ranks:   len(s.store.Snapshots()),
-		Detail:  detail,
+		Status:       state,
+		Healthy:      healthy,
+		Ranks:        len(s.store.Snapshots()),
+		Detail:       detail,
+		WorldHistory: s.health.WorldHistory(),
 	}
 	if !since.IsZero() {
 		body.SinceMS = time.Since(since).Milliseconds()

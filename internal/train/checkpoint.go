@@ -2,6 +2,7 @@ package train
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"syscall"
 
 	"dnnperf/internal/graph"
@@ -436,6 +438,50 @@ func LoadTrainingCheckpointFile(path string, m *models.Model) (*TrainState, erro
 	}
 	defer f.Close()
 	return LoadTrainingCheckpoint(bufio.NewReader(f), m)
+}
+
+// GCCheckpoints removes old checkpoint files from dir, keeping the `keep`
+// newest VALID ones (validated against a scratch model from newModel, like
+// restore does). Only files strictly older than the keep-th newest valid
+// checkpoint are deleted, so the newest valid file always survives, and
+// corrupt-but-newer files stay in place as evidence without counting toward
+// the quota — the corruption-fallback path keeps working. If fewer than
+// `keep` valid checkpoints exist, nothing is deleted. Returns the removed
+// paths.
+func GCCheckpoints(dir string, keep int, newModel func() *models.Model) ([]string, error) {
+	if keep < 1 || newModel == nil {
+		return nil, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "ckpt-*.dnpf"))
+	if err != nil || len(paths) <= keep {
+		return nil, err
+	}
+	// %08d-padded step numbers sort lexicographically; newest first.
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	valid, cut := 0, -1
+	for i, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		if _, err := LoadTrainingCheckpoint(bytes.NewReader(b), newModel()); err != nil {
+			continue
+		}
+		if valid++; valid == keep {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return nil, nil
+	}
+	var removed []string
+	for _, p := range paths[cut+1:] {
+		if err := os.Remove(p); err == nil {
+			removed = append(removed, p)
+		}
+	}
+	return removed, nil
 }
 
 // saveFileAtomic writes through a temp file and renames into place. The

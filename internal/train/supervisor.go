@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,6 +37,18 @@ import (
 // generators are rebuilt for (new rank, new size) at the resume step, and
 // NewOptimizer(newSize) re-derives the LR schedule (linear scaling) for the
 // smaller global batch.
+//
+// Elasticity also runs the other way. A shrink only proceeds when the
+// survivors hold a strict majority of the previous world (mpi.ErrNoQuorum
+// otherwise): the minority side parks — it produces no optimizer updates,
+// which is what eliminates split-brain — and loops in mpi.Rejoin until the
+// majority readmits it. Healed or restarted processes (SupervisorConfig.
+// Joiner) take the same admission path. The leader drains join requests
+// between steps, announces a grow boundary through the Horovod engine's
+// readiness negotiation so every member quiesces at the same step, snapshots
+// the live training state, grows the communicator (mpi.Comm.Grow), and the
+// whole world — members and joiners alike — resumes bit-exactly from the
+// broadcast snapshot with shards re-scaled back up.
 
 // Outcome classifies how a supervised run ended.
 type Outcome int
@@ -74,6 +87,20 @@ type RecoveryEvent struct {
 	Latency time.Duration
 }
 
+// RegrowEvent records one successful regrow — the world growing back after
+// a heal or restart — as seen by this rank (member or joiner side).
+type RegrowEvent struct {
+	OldSize int
+	NewSize int
+	// Joined are the readmitted ranks, in root (original job) numbering.
+	Joined []int
+	// ResumeStep is the global step the regrown world resumed from.
+	ResumeStep int64
+	// Latency is the wall time from the grow boundary (or, for a joiner,
+	// the start of its admission loop) to training resumed.
+	Latency time.Duration
+}
+
 // SupervisorConfig configures one rank's supervised run.
 type SupervisorConfig struct {
 	// Comm is the full job's communicator.
@@ -100,6 +127,27 @@ type SupervisorConfig struct {
 	CkptDir string
 	// CkptEvery is the checkpoint period in steps (default 0 = never).
 	CkptEvery int
+	// KeepCkpts bounds how many valid checkpoints the leader retains in
+	// CkptDir: after each save, files older than the KeepCkpts newest valid
+	// ones are garbage-collected (0 = default 3, negative = keep all).
+	KeepCkpts int
+	// Joiner marks this rank as a healed or restarted process rejoining a
+	// running job: bootstrap skips the normal cold start and instead runs
+	// the mpi.Rejoin admission loop against the leader, then resumes from
+	// the state broadcast by the regrown world.
+	Joiner bool
+	// RejoinTimeout bounds the admission loop of a parked or restarted rank
+	// (0 = the mpi package's default, 30s).
+	RejoinTimeout time.Duration
+	// RegrowWait keeps the job lingering after the final step while the
+	// world is smaller than it started: the leader keeps admitting joiners
+	// for this long, so a late rejoiner still lands (0 = don't linger).
+	RegrowWait time.Duration
+	// AllowMinority opts out of the quorum rule: a shrink that would leave
+	// this side with half or fewer of the previous world's ranks proceeds
+	// instead of parking. Meant for single-sided tests and tools; a real
+	// job that sets it can split-brain.
+	AllowMinority bool
 	// MaxRecoveries bounds how many rank failures a run survives
 	// (0 = default 2, negative = unlimited).
 	MaxRecoveries int
@@ -151,6 +199,9 @@ func (c SupervisorConfig) withDefaults() (SupervisorConfig, error) {
 	if c.Backoff <= 0 {
 		c.Backoff = 50 * time.Millisecond
 	}
+	if c.KeepCkpts == 0 {
+		c.KeepCkpts = 3
+	}
 	return c, nil
 }
 
@@ -162,6 +213,19 @@ type SupervisorResult struct {
 	Rank       int // this rank's id at the end of the run
 	Steps      []StepStats
 	Recoveries []RecoveryEvent
+	// Regrows records each successful world regrowth this rank took part
+	// in, on either side of the admission.
+	Regrows []RegrowEvent
+	// Parked reports that this rank lost quorum and idled — producing no
+	// optimizer updates — until readmitted (or the run failed).
+	Parked bool
+	// ParkedStep is the global step the rank parked at.
+	ParkedStep int64
+	// WeightsCRC fingerprints the final serialized model and training
+	// state. Data-parallel replicas are bit-identical, so every rank that
+	// finished the same run must report the same value — disagreement is
+	// split-brain evidence. Zero when the run failed.
+	WeightsCRC uint32
 	// EngineStats are the cumulative Horovod counters, across restarts.
 	EngineStats horovod.Stats
 }
@@ -196,11 +260,15 @@ func Supervise(cfg SupervisorConfig) (*SupervisorResult, error) {
 		cfg:            cfg,
 		res:            res,
 		recoveries:     cfg.Telemetry.Counter("train.recoveries"),
+		regrows:        cfg.Telemetry.Counter("train.regrows"),
 		shrinkAttempts: cfg.Telemetry.Counter("train.shrink_attempts"),
 		checkpoints:    cfg.Telemetry.Counter("train.checkpoints"),
 	}
 	err = sup.run()
 	if sup.in != nil {
+		if err == nil {
+			res.WeightsCRC = weightsCRC(sup.in.model, sup.in.opt, sup.step)
+		}
 		if sup.in.eng != nil {
 			res.EngineStats = sup.in.eng.Stats()
 		}
@@ -213,7 +281,7 @@ func Supervise(cfg SupervisorConfig) (*SupervisorResult, error) {
 		res.Outcome = OutcomeFailed
 		return res, err
 	}
-	if len(res.Recoveries) > 0 {
+	if len(res.Recoveries) > 0 || len(res.Regrows) > 0 {
 		res.Outcome = OutcomeRecovered
 	} else {
 		res.Outcome = OutcomeClean
@@ -221,14 +289,40 @@ func Supervise(cfg SupervisorConfig) (*SupervisorResult, error) {
 	return res, nil
 }
 
+// weightsCRC fingerprints the model plus its training state by serializing
+// them through the checkpoint writer and checksumming the bytes.
+func weightsCRC(m *models.Model, opt Optimizer, step int64) uint32 {
+	var buf bytes.Buffer
+	if err := SaveTrainingCheckpoint(&buf, m, CaptureTrainState(opt, step)); err != nil {
+		return 0
+	}
+	return crc32.ChecksumIEEE(buf.Bytes())
+}
+
 type supervisor struct {
-	cfg   SupervisorConfig
-	res   *SupervisorResult
-	in    *incarnation
-	step  int64 // completed global steps
-	epoch int   // next shrink epoch
+	cfg      SupervisorConfig
+	res      *SupervisorResult
+	in       *incarnation
+	step     int64 // completed global steps
+	epoch    int   // next shrink/grow epoch
+	origSize int   // the job's full world size
+
+	// Leader-only regrow state: the join listener, the joiners pending for
+	// the next grow boundary, and whether that boundary has been announced
+	// (announce once per batch — moving an announced boundary could split
+	// the ranks over which step to quiesce at).
+	jl        *mpi.JoinListener
+	pending   []mpi.JoinRequest
+	announced bool
+
+	// Regrow restore plumbing: when set, restore() feeds the leader's live
+	// state snapshot through the broadcast instead of reading CkptDir, so a
+	// regrown world resumes bit-exactly with no rollback and no disk.
+	regrowRestore bool
+	regrowBlob    []byte
 
 	recoveries     *telemetry.Counter
+	regrows        *telemetry.Counter
 	shrinkAttempts *telemetry.Counter
 	checkpoints    *telemetry.Counter
 }
@@ -238,8 +332,19 @@ func (s *supervisor) run() error {
 		return err
 	}
 	s.cfg.Health.Set(telemetry.HealthOK, "world", s.in.comm.Size())
+	s.cfg.Health.RecordWorld(s.in.comm.Size())
 	recoveries := 0
 	for s.step < int64(s.cfg.Steps) {
+		// A grow directive quiesces every member at the same step boundary:
+		// the announcement rode the readiness negotiation, so no rank can
+		// have completed the boundary step without having decoded it.
+		if ge, gs, ok := s.in.eng.GrowDirective(); ok && s.step >= gs {
+			if err := s.regrow(ge); err != nil {
+				return fmt.Errorf("train: regrow at step %d: %w", s.step, err)
+			}
+			continue
+		}
+		s.admitJoiners(s.step + 1)
 		st, err := s.in.trainer.Step(s.in.gen())
 		if err == nil {
 			s.step++
@@ -265,12 +370,27 @@ func (s *supervisor) run() error {
 		}
 		recoveries++
 	}
-	return nil
+	return s.linger()
 }
 
-// bootstrap builds the first incarnation on the full communicator and
-// restores the newest valid checkpoint if one exists (cold resume).
+// bootstrap builds the first incarnation. Members start on the full
+// communicator, restore the newest valid checkpoint if one exists (cold
+// resume), and arm the regrow machinery: every rank enables the transport's
+// rejoin acceptor, and the leader starts collecting join requests. A
+// configured Joiner instead goes straight to the admission loop.
 func (s *supervisor) bootstrap() error {
+	s.origSize = s.cfg.Comm.Size()
+	if s.cfg.Joiner {
+		return s.bootstrapJoiner()
+	}
+	mpi.EnableRejoin(s.cfg.Comm)
+	if s.cfg.Comm.Rank() == 0 {
+		jl, err := mpi.ListenJoins(s.cfg.Comm)
+		if err != nil {
+			return fmt.Errorf("train: join listener: %w", err)
+		}
+		s.jl = jl
+	}
 	in, err := s.build(s.cfg.Comm, func() *horovod.Engine {
 		return horovod.NewEngine(s.cfg.Comm, s.cfg.Engine)
 	})
@@ -278,6 +398,111 @@ func (s *supervisor) bootstrap() error {
 		return err
 	}
 	s.in = in
+	return nil
+}
+
+// bootstrapJoiner is the restarted process's path back into a running job:
+// run the admission loop against the leader, then build on the grown
+// communicator, restoring from the broadcast live state.
+func (s *supervisor) bootstrapJoiner() error {
+	t0 := time.Now()
+	myRoot := s.cfg.Comm.Rank()
+	s.cfg.Health.Set(telemetry.HealthRegrowing, "joiner", true, "root_rank", myRoot)
+	mpi.EnableRejoin(s.cfg.Comm)
+	newComm, members, epoch, err := s.rejoin(-1)
+	if err != nil {
+		return fmt.Errorf("train: joiner admission: %w", err)
+	}
+	s.epoch = epoch + 1
+	s.regrowRestore = true
+	in, err := s.build(newComm, func() *horovod.Engine {
+		return horovod.NewEngine(newComm, s.cfg.Engine)
+	})
+	s.regrowRestore, s.regrowBlob = false, nil
+	if err != nil {
+		return err
+	}
+	s.in = in
+	s.res.Regrows = append(s.res.Regrows, RegrowEvent{
+		OldSize:    len(members) - 1,
+		NewSize:    len(members),
+		Joined:     []int{myRoot},
+		ResumeStep: s.step,
+		Latency:    time.Since(t0),
+	})
+	s.regrows.Inc()
+	return nil
+}
+
+// rejoin runs mpi.Rejoin on the job's root communicator, deriving the listen
+// address (TCP transports) and the jitter seed from this rank's root rank.
+func (s *supervisor) rejoin(epoch int) (*mpi.Comm, []int, int, error) {
+	myRoot := s.cfg.Comm.Rank()
+	var addr string
+	if addrs := s.cfg.Comm.PeerAddrs(); myRoot < len(addrs) {
+		addr = addrs[myRoot]
+	}
+	return mpi.Rejoin(s.cfg.Comm, mpi.RejoinOptions{
+		Epoch:   epoch,
+		Addr:    addr,
+		Timeout: s.cfg.RejoinTimeout,
+		Seed:    int64(myRoot) + 1,
+		// Both callers — a restarted Joiner and a parked minority — know
+		// their previous incarnation is gone, so a leader rejection only
+		// means its failure detection has not caught up yet.
+		RetryRejected: true,
+	})
+}
+
+// admitJoiners is the leader's between-steps membership duty: drain newly
+// arrived join requests into the pending batch and, once a batch exists,
+// announce boundary as the step every member will quiesce and grow at.
+func (s *supervisor) admitJoiners(boundary int64) {
+	if s.jl == nil || s.in.comm.Rank() != 0 {
+		return
+	}
+	if js := s.jl.Drain(s.epoch, s.in.comm.RootMembers()); len(js) > 0 {
+		have := make(map[int]bool, len(s.pending))
+		for _, j := range s.pending {
+			have[j.Root] = true
+		}
+		for _, j := range js {
+			if !have[j.Root] {
+				s.pending = append(s.pending, j)
+			}
+		}
+	}
+	if len(s.pending) > 0 && !s.announced {
+		s.in.eng.AnnounceGrow(s.epoch, boundary)
+		s.announced = true
+	}
+}
+
+// linger handles regrowth pending at or after the final step: first a
+// directive whose boundary landed exactly on the last step, then — when
+// RegrowWait is set and the world is still short — a window in which the
+// leader keeps admitting joiners while the idle engines' negotiations carry
+// the boundary announcements.
+func (s *supervisor) linger() error {
+	if ge, _, ok := s.in.eng.GrowDirective(); ok {
+		if err := s.regrow(ge); err != nil {
+			return fmt.Errorf("train: regrow after final step: %w", err)
+		}
+	}
+	if s.cfg.RegrowWait <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(s.cfg.RegrowWait)
+	for s.in.comm.Size() < s.origSize && time.Now().Before(deadline) {
+		s.admitJoiners(s.step) // boundary already passed: grow immediately
+		if ge, gs, ok := s.in.eng.GrowDirective(); ok && s.step >= gs {
+			if err := s.regrow(ge); err != nil {
+				return fmt.Errorf("train: regrow while lingering: %w", err)
+			}
+			continue
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	return nil
 }
 
@@ -335,15 +560,31 @@ func (s *supervisor) recover(suspects []int) error {
 	var survivors []int
 	var err error
 	backoff := s.cfg.Backoff
+	noQuorum := 0
 	for attempt := 0; attempt < s.cfg.ShrinkRetries; attempt++ {
 		s.shrinkAttempts.Inc()
-		newComm, survivors, err = old.comm.Shrink(suspects, mpi.ShrinkOptions{Epoch: s.epoch})
+		newComm, survivors, err = old.comm.Shrink(suspects,
+			mpi.ShrinkOptions{Epoch: s.epoch, AllowMinority: s.cfg.AllowMinority})
 		s.epoch++
 		if err == nil {
 			break
 		}
 		if errors.Is(err, mpi.ErrEvicted) {
 			return err // the survivors voted this rank out; do not rejoin
+		}
+		if errors.Is(err, mpi.ErrNoQuorum) {
+			// This side counted half or fewer of the world alive. Training
+			// on would be split-brain — but a single verdict can also be a
+			// transient false minority (survivors still waiting out their
+			// collectives' deadlines look dead). Park only once the verdict
+			// repeats or the retry budget is gone; a real partition returns
+			// the same count every time.
+			if noQuorum++; noQuorum >= 2 || attempt == s.cfg.ShrinkRetries-1 {
+				return s.park(old)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			continue
 		}
 		// A rank died mid-protocol: carry the evidence into the next attempt.
 		if pe, ok := mpi.AsPeerError(err); ok {
@@ -356,6 +597,9 @@ func (s *supervisor) recover(suspects []int) error {
 		return fmt.Errorf("survivor agreement failed after %d attempts: %w", s.cfg.ShrinkRetries, err)
 	}
 
+	// Any grow boundary announced on the old engines died with them; the
+	// leader re-announces its pending batch at the post-shrink epoch.
+	s.announced = false
 	old.close()
 	in, err := s.build(newComm, func() *horovod.Engine { return old.eng.Restart(newComm) })
 	if err != nil {
@@ -383,12 +627,139 @@ func (s *supervisor) recover(suspects []int) error {
 	s.recoveries.Inc()
 	s.cfg.Health.Set(telemetry.HealthDegraded,
 		"failed_ranks", failed, "new_size", newComm.Size(), "recoveries", len(s.res.Recoveries))
+	s.cfg.Health.RecordWorld(newComm.Size())
 	s.cfg.Tracer.Instant("train.recovery", "elastic", map[string]any{
 		"failed_ranks": failed,
 		"old_size":     oldSize,
 		"new_size":     newComm.Size(),
 		"resume_step":  s.step,
 		"latency_us":   time.Since(t0).Microseconds(),
+	})
+	return nil
+}
+
+// park is the minority side of a quorum split. The rank must not train — a
+// minority producing optimizer updates IS split-brain — so it idles in the
+// admission loop until the majority readmits it (or RejoinTimeout expires
+// and the run fails). On readmission it rebuilds from the broadcast state
+// like any joiner; its recovery log stays empty and its regrow log records
+// the round trip.
+func (s *supervisor) park(old *incarnation) error {
+	t0 := time.Now()
+	myRoot := s.cfg.Comm.Rank()
+	s.res.Parked = true
+	s.res.ParkedStep = s.step
+	s.cfg.Health.Set(telemetry.HealthParked, "step", s.step, "root_rank", myRoot)
+	old.close()
+	// The wildcard epoch: the majority's epoch advanced an unknown number of
+	// shrinks ago, and the leader's stale rejection would teach it to us
+	// anyway.
+	newComm, members, epoch, err := s.rejoin(-1)
+	if err != nil {
+		return fmt.Errorf("train: parked rank not readmitted: %w", err)
+	}
+	s.cfg.Health.Set(telemetry.HealthRegrowing, "epoch", epoch)
+	s.epoch = epoch + 1
+	s.regrowRestore = true
+	in, berr := s.build(newComm, func() *horovod.Engine { return old.eng.Restart(newComm) })
+	s.regrowRestore, s.regrowBlob = false, nil
+	if berr != nil {
+		return berr
+	}
+	s.in = in
+	s.res.Regrows = append(s.res.Regrows, RegrowEvent{
+		OldSize:    len(members) - 1,
+		NewSize:    len(members),
+		Joined:     []int{myRoot},
+		ResumeStep: s.step,
+		Latency:    time.Since(t0),
+	})
+	s.regrows.Inc()
+	s.cfg.Health.Set(telemetry.HealthOK, "world", newComm.Size(), "rejoined", true)
+	s.cfg.Health.RecordWorld(newComm.Size())
+	s.cfg.Tracer.Instant("train.rejoin", "elastic", map[string]any{
+		"root_rank":   myRoot,
+		"new_size":    newComm.Size(),
+		"resume_step": s.step,
+		"latency_us":  time.Since(t0).Microseconds(),
+	})
+	return nil
+}
+
+// regrow executes one grow boundary: quiesce the engine, snapshot the live
+// training state (leader), admit the pending joiners into a grown
+// communicator, and rebuild everything on it — every rank, joiners
+// included, resumes bit-exactly from the snapshot broadcast. A failed admit
+// is not fatal: the current world is still valid, so the members rebuild on
+// it and keep training shrunk while the joiners back off and retry.
+func (s *supervisor) regrow(epoch int) error {
+	t0 := time.Now()
+	old := s.in
+	oldSize := old.comm.Size()
+	oldRoots := old.comm.RootMembers()
+	s.cfg.Health.Set(telemetry.HealthRegrowing, "old_size", oldSize, "epoch", epoch)
+	old.eng.Quiesce()
+
+	s.regrowRestore = true
+	if old.comm.Rank() == 0 {
+		var buf bytes.Buffer
+		if err := SaveTrainingCheckpoint(&buf, old.model, CaptureTrainState(old.opt, s.step)); err != nil {
+			s.regrowRestore = false
+			return fmt.Errorf("train: regrow snapshot: %w", err)
+		}
+		s.regrowBlob = buf.Bytes()
+	}
+
+	newComm, members, err := old.comm.Grow(s.pending, mpi.GrowOptions{Epoch: epoch})
+	s.epoch = epoch + 1
+	s.pending, s.announced = nil, false
+	if err != nil {
+		old.close()
+		in, berr := s.build(old.comm, func() *horovod.Engine { return old.eng.Restart(old.comm) })
+		s.regrowRestore, s.regrowBlob = false, nil
+		if berr != nil {
+			return fmt.Errorf("grow failed (%v) and rebuild failed: %w", err, berr)
+		}
+		s.in = in
+		s.cfg.Health.Set(telemetry.HealthDegraded, "grow_error", err.Error())
+		return nil
+	}
+
+	old.close()
+	in, err := s.build(newComm, func() *horovod.Engine { return old.eng.Restart(newComm) })
+	s.regrowRestore, s.regrowBlob = false, nil
+	if err != nil {
+		return err
+	}
+	s.in = in
+
+	wasMember := make(map[int]bool, len(oldRoots))
+	for _, r := range oldRoots {
+		wasMember[r] = true
+	}
+	joined := make([]int, 0, len(members)-len(oldRoots))
+	for _, r := range members {
+		if !wasMember[r] {
+			joined = append(joined, r)
+		}
+	}
+	s.res.Regrows = append(s.res.Regrows, RegrowEvent{
+		OldSize:    oldSize,
+		NewSize:    newComm.Size(),
+		Joined:     joined,
+		ResumeStep: s.step,
+		Latency:    time.Since(t0),
+	})
+	s.regrows.Inc()
+	s.cfg.Health.Set(telemetry.HealthOK,
+		"world", newComm.Size(), "joined", joined, "regrows", len(s.res.Regrows))
+	s.cfg.Health.RecordWorld(newComm.Size())
+	s.cfg.Tracer.Instant("train.regrow", "elastic", map[string]any{
+		"joined":      joined,
+		"old_size":    oldSize,
+		"new_size":    newComm.Size(),
+		"resume_step": s.step,
+		"latency_us":  time.Since(t0).Microseconds(),
 	})
 	return nil
 }
@@ -407,6 +778,11 @@ func (s *supervisor) maybeCheckpoint() error {
 		return err
 	}
 	s.checkpoints.Inc()
+	if s.cfg.KeepCkpts > 0 {
+		// Best effort: a GC hiccup must not fail training — the next save
+		// retries it.
+		GCCheckpoints(s.cfg.CkptDir, s.cfg.KeepCkpts, s.cfg.NewModel)
+	}
 	return nil
 }
 
@@ -417,14 +793,21 @@ func ckptFileName(step int64) string { return fmt.Sprintf("ckpt-%08d.dnpf", step
 // first loadable one against a scratch model, and broadcasts its bytes (an
 // empty broadcast means fresh start). Every rank then restores from the same
 // bytes, so the rolled-back state is identical everywhere — no rank ever
-// reads the directory mid-rename. Returns the restored global step.
+// reads the directory mid-rename. During a regrow the leader broadcasts its
+// live-state snapshot instead, so the grown world (joiners included) resumes
+// from the exact pre-grow state with no rollback and no checkpoint files.
+// Returns the restored global step.
 func (s *supervisor) restore(comm *mpi.Comm, model *models.Model, opt Optimizer) (int64, error) {
-	if s.cfg.CkptDir == "" {
+	if !s.regrowRestore && s.cfg.CkptDir == "" {
 		return 0, nil
 	}
 	var blob []byte
 	if comm.Rank() == 0 {
-		blob = s.newestValidCheckpoint()
+		if s.regrowRestore {
+			blob = s.regrowBlob
+		} else {
+			blob = s.newestValidCheckpoint()
+		}
 	}
 	blob, err := comm.BcastBytes(blob, 0)
 	if err != nil {
