@@ -9,7 +9,7 @@ RACE_PKGS = ./internal/tensor/... ./internal/graph/... ./internal/horovod/... ./
 FUZZ_PKGS = ./internal/mpi/ ./internal/horovod/ ./internal/train/
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench fuzz scenarios regrow-demo ci
+.PHONY: build test vet race bench fuzz scenarios regrow-demo dnnsched-smoke ci
 
 build:
 	$(GO) build ./...
@@ -56,5 +56,20 @@ regrow-demo: build
 	$(GO) build -o bin/mpirun ./cmd/mpirun
 	bin/mpirun -np 4 -steps 10 -recv_timeout 2s \
 		-elastic -die_rank 2 -die_step 3 -regrow; test $$? -eq 3
+
+# dnnsched-smoke drives the multi-tenant control plane end to end: a
+# 200-job / 3-tenant synthetic stream gang-scheduled on the discrete-event
+# clock — run twice, and the two JSON reports must be byte-identical (the
+# replay contract; the binary itself fails on gang deadlocks, failed jobs,
+# or a non-monotone utilization curve) — then the real 2-job in-process
+# preemption round trip under the race detector: a low-priority elastic
+# job is halted cooperatively, checkpoints, parks, regrows after the
+# high-priority job finishes, and ends bit-identical to an undisturbed run.
+dnnsched-smoke: build
+	$(GO) build -o bin/dnnsched ./cmd/dnnsched
+	bin/dnnsched -synth 200 -tenants 3 -seed 7 -report dnnsched-report.json
+	bin/dnnsched -synth 200 -tenants 3 -seed 7 -q -report dnnsched-report-replay.json
+	cmp dnnsched-report.json dnnsched-report-replay.json
+	$(GO) test -race -run TestRealPreemptionRoundTrip -count=1 ./internal/job/
 
 ci: build vet test race

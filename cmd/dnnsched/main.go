@@ -1,0 +1,174 @@
+// Command dnnsched is the multi-tenant cluster control plane: it takes a
+// workload (explicit job specs, a synthetic stream, or both), gang-schedules
+// it over a simulated node/slot catalog, and reports per-tenant queueing,
+// JCT, preemption, and utilization — the scheduling half of the paper's
+// multi-job contention study.
+//
+// Two modes share one scheduler:
+//
+//	dnnsched -synth 1000 -tenants 3 -seed 7              # discrete-event sim
+//	dnnsched -workload jobs.yaml -mode real -backend tcp # real gangs
+//
+// Discrete-event mode schedules thousands of simulated jobs in milliseconds
+// and replays byte-identically for a seed; real mode launches small inproc
+// or loopback-TCP gangs and preempts them with the cooperative elastic halt
+// (checkpoint, park, regrow). The job specs are the same schema `mpirun
+// -job` runs standalone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnnperf/internal/job"
+	"dnnperf/internal/telemetry"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "workload YAML/JSON file (job.Workload schema)")
+		synth     = flag.Int("synth", 0, "synthesize this many jobs from the seed (alternative or addition to -workload)")
+		tenants   = flag.Int("tenants", 3, "tenant count for the synthetic stream")
+		seed      = flag.Int64("seed", 1, "workload seed: same seed, same simulated schedule, byte-for-byte")
+		mode      = flag.String("mode", "sim", "sim (discrete-event) or real (launch actual gangs)")
+		backend   = flag.String("backend", "inproc", "real-mode backend: inproc or tcp")
+		nodes     = flag.Int("nodes", 4, "cluster nodes")
+		slots     = flag.Int("slots", 8, "schedulable slots per node")
+		platform  = flag.String("platform", "Skylake-1", "hw catalog label for the simulated nodes")
+		noPreempt = flag.Bool("no_preempt", false, "disable priority preemption")
+		report    = flag.String("report", "", "write the JSON report here ('-' for stdout)")
+		events    = flag.Bool("events", false, "print the scheduler event log")
+		quiet     = flag.Bool("q", false, "suppress the human summary")
+	)
+	flag.Parse()
+	if err := run(*workload, *synth, *tenants, *seed, *mode, *backend,
+		*nodes, *slots, *platform, *noPreempt, *report, *events, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "dnnsched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, synth, tenants int, seed int64, mode, backend string,
+	nodes, slots int, platform string, noPreempt bool, report string, events, quiet bool) error {
+	var w *job.Workload
+	if workload != "" {
+		loaded, err := job.LoadWorkload(workload)
+		if err != nil {
+			return err
+		}
+		w = loaded
+		flag.Visit(func(f *flag.Flag) { // explicit flags override the file
+			switch f.Name {
+			case "seed":
+				w.Seed = seed
+			case "nodes":
+				w.Cluster.Nodes = nodes
+			case "slots":
+				w.Cluster.SlotsPerNode = slots
+			case "platform":
+				w.Cluster.Platform = platform
+			case "no_preempt":
+				w.NoPreempt = noPreempt
+			}
+		})
+		if synth > 0 {
+			w.Synth = &job.SynthSpec{Jobs: synth, Tenants: tenants}
+		}
+	} else {
+		if synth <= 0 {
+			return fmt.Errorf("need -workload or -synth N")
+		}
+		w = &job.Workload{
+			Name:      "synth",
+			Seed:      seed,
+			NoPreempt: noPreempt,
+			Cluster:   job.ClusterSpec{Platform: platform, Nodes: nodes, SlotsPerNode: slots},
+			Synth:     &job.SynthSpec{Jobs: synth, Tenants: tenants},
+		}
+	}
+
+	reg := telemetry.New()
+	var rep *job.SchedReport
+	var err error
+	switch mode {
+	case "sim":
+		rep, err = job.RunSim(w, job.NewSimBackend(), reg)
+	case "real":
+		var be job.Backend
+		switch backend {
+		case "inproc":
+			be = job.InprocBackend{}
+		case "tcp":
+			be = job.TCPBackend{}
+		default:
+			return fmt.Errorf("unknown backend %q (want inproc or tcp)", backend)
+		}
+		rep, err = job.RunReal(w, be, reg)
+	default:
+		return fmt.Errorf("unknown mode %q (want sim or real)", mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	if !quiet {
+		printSummary(rep)
+	}
+	if events {
+		for _, line := range rep.EventLog {
+			fmt.Println(line)
+		}
+	}
+	if report != "" {
+		blob, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if report == "-" {
+			_, err = os.Stdout.Write(blob)
+		} else {
+			err = os.WriteFile(report, blob, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if rep.Deadlocks > 0 {
+		return fmt.Errorf("%d gang deadlocks", rep.Deadlocks)
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d jobs failed", rep.Failed)
+	}
+	// Busy slot-time is an integral: it can only grow. A non-monotone curve
+	// means the accounting double-released slots — fail loudly so CI's smoke
+	// run catches it.
+	for i := 1; i < len(rep.UtilizationCurve); i++ {
+		prev, cur := rep.UtilizationCurve[i-1], rep.UtilizationCurve[i]
+		if cur.AtNS < prev.AtNS || cur.UsedSlotNS < prev.UsedSlotNS {
+			return fmt.Errorf("utilization curve not monotone at point %d (t=%d used=%d after t=%d used=%d)",
+				i, cur.AtNS, cur.UsedSlotNS, prev.AtNS, prev.UsedSlotNS)
+		}
+	}
+	return nil
+}
+
+func printSummary(r *job.SchedReport) {
+	fmt.Printf("workload %s  mode=%s seed=%d  cluster %dx%d slots\n",
+		r.Workload, r.Mode, r.Seed, r.Nodes, r.SlotsPerNode)
+	fmt.Printf("jobs %d: done=%d evicted=%d failed=%d  preemptions=%d deadlocks=%d\n",
+		r.Jobs, r.Done, r.Evicted, r.Failed, r.Preemptions, r.Deadlocks)
+	fmt.Printf("makespan %v  utilization %.1f%%\n",
+		time.Duration(r.MakespanNS).Round(time.Millisecond), 100*r.Utilization)
+	for _, t := range r.Tenants {
+		fmt.Printf("  tenant %-10s jobs=%-4d done=%-4d preempt=%-3d wait(mean/max) %v/%v  jct(mean/max) %v/%v  slot_s %.1f\n",
+			t.Tenant, t.Jobs, t.Done, t.Preemptions,
+			time.Duration(t.WaitMeanNS).Round(time.Millisecond),
+			time.Duration(t.WaitMaxNS).Round(time.Millisecond),
+			time.Duration(t.JCTMeanNS).Round(time.Millisecond),
+			time.Duration(t.JCTMaxNS).Round(time.Millisecond),
+			float64(t.SlotNS)/float64(time.Second))
+	}
+}

@@ -4,6 +4,13 @@
 // data-parallel through the Horovod engine, and reports aggregate
 // throughput and the engine's profiling counters.
 //
+// The job itself — gang shape, step budget, elastic/checkpoint settings,
+// fault injection, the crash demo — is an internal/job Spec: pass one with
+// -job spec.yaml and it is the exact schema cmd/dnnsched schedules, so a job
+// debugged standalone under mpirun submits to the control plane unchanged.
+// The individual flags below (-steps, -elastic, -die_rank, -drop_prob, ...)
+// remain as deprecated aliases; explicitly set flags override the spec file.
+//
 // Transport faults can be injected per rank to demonstrate the runtime's
 // failure behavior: seeded drop/delay/duplicate probabilities wrap each
 // worker's endpoint in an mpi.FaultTransport, and -die_rank/-die_step make
@@ -30,6 +37,7 @@
 //
 // Usage:
 //
+//	mpirun -job spec.yaml
 //	mpirun -np 4 [-steps 10] [-batch_size 8] [-cycle_time_ms 3.5]
 //	       [-recv_timeout 30s] [-fault_seed 1] [-drop_prob 0] [-dup_prob 0]
 //	       [-delay_prob 0] [-delay 1ms] [-die_rank -1] [-die_step 2]
@@ -47,9 +55,8 @@ import (
 	"strconv"
 	"time"
 
-	"dnnperf/internal/data"
 	"dnnperf/internal/horovod"
-	"dnnperf/internal/models"
+	"dnnperf/internal/job"
 	"dnnperf/internal/mpi"
 	"dnnperf/internal/telemetry"
 	"dnnperf/internal/telemetry/detect"
@@ -67,10 +74,11 @@ const (
 
 func main() {
 	var (
-		np    = flag.Int("np", 2, "number of ranks (worker processes)")
-		steps = flag.Int("steps", 8, "training steps")
-		batch = flag.Int("batch_size", 8, "per-rank batch size")
-		cycle = flag.Float64("cycle_time_ms", 3.5, "HOROVOD_CYCLE_TIME in ms")
+		jobFile = flag.String("job", "", "job spec YAML/JSON (internal/job schema, same as dnnsched workload entries); explicit flags below override its fields")
+		np      = flag.Int("np", 2, "number of ranks (worker processes); with -job, defaults to the spec's gang size")
+		steps   = flag.Int("steps", 8, "training steps")
+		batch   = flag.Int("batch_size", 8, "per-rank batch size")
+		cycle   = flag.Float64("cycle_time_ms", 3.5, "HOROVOD_CYCLE_TIME in ms")
 
 		recvTimeout = flag.Duration("recv_timeout", mpi.DefaultRecvTimeout, "per-Recv deadline; a dead peer yields a typed error after this long")
 		faultSeed   = flag.Int64("fault_seed", 1, "seed for the per-rank fault RNG (deterministic per seed+rank)")
@@ -98,48 +106,145 @@ func main() {
 	)
 	flag.Parse()
 
+	// One spec rules launcher and workers alike: both run this same code on
+	// the same argv, so the file + explicit-flag overlay resolves identically
+	// in every process.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	legacy := *jobFile == ""
+	use := func(name string) bool { return legacy || set[name] }
+
+	spec := &job.Spec{}
+	if !legacy {
+		loaded, err := job.LoadSpec(*jobFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpirun:", err)
+			os.Exit(exitFailure)
+		}
+		spec = loaded
+	}
+	if use("np") {
+		spec.Nodes, spec.PPN = 1, *np
+	}
+	if use("steps") {
+		spec.Steps = *steps
+	}
+	if use("batch_size") {
+		spec.Batch = *batch
+	}
+	if use("cycle_time_ms") {
+		spec.CycleTime = job.Duration(*cycle * float64(time.Millisecond))
+	}
+	if use("recv_timeout") {
+		spec.RecvTimeout = job.Duration(*recvTimeout)
+	}
+	if use("allreduce_alg") {
+		spec.AllreduceAlg = *algFlag
+	}
+	if use("elastic") {
+		spec.Elastic = *elastic
+	}
+	if use("ckpt_every") && (set["ckpt_every"] || *elastic) {
+		spec.CkptEvery = *ckptEvery
+	}
+	if use("ckpt_dir") {
+		spec.CkptDir = *ckptDir
+	}
+	if use("regrow") {
+		spec.Regrow = *regrow
+	}
+	if use("regrow_wait") {
+		spec.RegrowWait = job.Duration(*regrowWait)
+	}
+	if use("die_rank") && *dieRank >= 0 {
+		r := *dieRank
+		spec.DieRank = &r
+		spec.DieStep = int64(*dieStep)
+	}
+	if legacy || set["drop_prob"] || set["dup_prob"] || set["delay_prob"] || set["delay"] {
+		if spec.Faults == nil {
+			spec.Faults = &job.Faults{}
+		}
+		if use("drop_prob") {
+			spec.Faults.DropProb = *dropProb
+		}
+		if use("dup_prob") {
+			spec.Faults.DupProb = *dupProb
+		}
+		if use("delay_prob") {
+			spec.Faults.DelayProb = *delayProb
+		}
+		if use("delay") {
+			spec.Faults.Delay = job.Duration(*delay)
+		}
+	}
+	if spec.IntraThreads == 0 {
+		spec.IntraThreads = 2
+	}
+	if legacy {
+		// The legacy flags expressed the unsupervised path as plain constant
+		// LR and the elastic path as the linear-scaling schedule; keep that
+		// mapping when no spec file says otherwise.
+		if spec.Elastic {
+			spec.LRPolicy = "scaled"
+		}
+	}
+	spec.WithDefaults()
+	if spec.DieRank != nil {
+		// The old flags clamped rather than rejected an out-of-range death
+		// step; preserve that before the spec's stricter validation.
+		spec.DieStep = int64(clampDieStep(int(spec.DieStep), spec.Steps-1))
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mpirun:", err)
+		os.Exit(exitFailure)
+	}
+
+	// Fault streams keep their own seed flag (historically independent of
+	// the data-sharding seed).
+	fault := spec.FaultConfig()
+	if legacy || set["fault_seed"] {
+		fault.Seed = *faultSeed
+	}
+
 	if rankStr := os.Getenv("DNNPERF_RANK"); rankStr != "" {
+		if dir := os.Getenv("DNNPERF_CKPT_DIR"); dir != "" && spec.CkptDir == "" {
+			spec.CkptDir = dir
+		}
 		cfg := workerConfig{
-			steps: *steps, batch: *batch, cycleMS: *cycle,
-			recvTimeout: *recvTimeout,
-			fault:       mpi.FaultConfig{Seed: *faultSeed, DropProb: *dropProb, DupProb: *dupProb, DelayProb: *delayProb, Delay: *delay},
-			dieRank:     *dieRank, dieStep: *dieStep,
-			elastic: *elastic, ckptEvery: *ckptEvery,
-			ckptDir: firstNonEmpty(os.Getenv("DNNPERF_CKPT_DIR"), *ckptDir),
-			regrow:  *regrow, regrowWait: *regrowWait,
+			spec:    spec,
+			fault:   fault,
 			joiner:  os.Getenv("DNNPERF_JOINER") == "1",
-			metrics: *metricsPath, trace: *tracePath, alg: *algFlag,
+			metrics: *metricsPath, trace: *tracePath,
 			listen: *listen, publishEvery: *publishEvery,
 			timeline: *timeline, linger: *serveLinger,
 		}
 		os.Exit(worker(rankStr, cfg))
 	}
-	if *regrow && !*elastic {
+	if spec.Regrow && !spec.Elastic {
 		fmt.Fprintln(os.Stderr, "mpirun: -regrow requires -elastic")
 		os.Exit(exitFailure)
 	}
-	code, err := launch(*np, *elastic, *ckptDir, *regrow, *dieRank)
+	code, err := launch(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mpirun:", err)
 	}
 	os.Exit(code)
 }
 
-func firstNonEmpty(a, b string) string {
-	if a != "" {
-		return a
-	}
-	return b
-}
-
-// launch spawns np copies of this binary as ranked workers and classifies
-// the job from their exit codes: any unrecoverable failure makes the job
-// fail; an injected death plus recovered survivors is a recovered job.
-// With regrow, the injected death additionally triggers a relaunch of the
-// dead rank's process as a joiner, whose exit joins the classification.
-func launch(np int, elastic bool, ckptDir string, regrow bool, dieRank int) (int, error) {
+// launch spawns the gang as ranked worker processes and classifies the job
+// from their exit codes: any unrecoverable failure makes the job fail; an
+// injected death plus recovered survivors is a recovered job. With regrow,
+// the injected death additionally triggers a relaunch of the dead rank's
+// process as a joiner, whose exit joins the classification.
+func launch(spec *job.Spec) (int, error) {
+	np := spec.Ranks()
 	if np < 1 {
 		return exitFailure, fmt.Errorf("np must be >= 1")
+	}
+	dieRank := -1
+	if spec.DieRank != nil {
+		dieRank = *spec.DieRank
 	}
 	// Reserve a loopback port for the rank-0 rendezvous. The listener is
 	// closed only after every worker has been handed the address; rank 0
@@ -152,7 +257,7 @@ func launch(np int, elastic bool, ckptDir string, regrow bool, dieRank int) (int
 	root := ln.Addr().String()
 
 	env := os.Environ()
-	if elastic && ckptDir == "" {
+	if spec.Elastic && spec.CkptDir == "" {
 		dir, err := os.MkdirTemp("", "dnnperf-ckpt-*")
 		if err != nil {
 			ln.Close()
@@ -218,7 +323,7 @@ func launch(np int, elastic bool, ckptDir string, regrow bool, dieRank int) (int
 		case exitInjectedDeath:
 			died++
 			// The leader (rank 0) must survive for regrow to be possible.
-			if regrow && elastic && !relaunched && pe.rank == dieRank && pe.rank >= 1 {
+			if spec.Regrow && spec.Elastic && !relaunched && pe.rank == dieRank && pe.rank >= 1 {
 				cmd, err := spawn(pe.rank, true)
 				if err != nil {
 					failed++
@@ -255,22 +360,14 @@ func launch(np int, elastic bool, ckptDir string, regrow bool, dieRank int) (int
 	}
 }
 
+// workerConfig is one worker process's resolved configuration: the job spec
+// plus the launcher-side observability wiring the spec schema doesn't own.
 type workerConfig struct {
-	steps, batch int
-	cycleMS      float64
-	recvTimeout  time.Duration
-	fault        mpi.FaultConfig
-	dieRank      int
-	dieStep      int
-	elastic      bool
-	ckptEvery    int
-	ckptDir      string
-	regrow       bool          // survivors linger for a joiner after the last step
-	regrowWait   time.Duration // linger/admission budget for regrow
-	joiner       bool          // this process is a relaunched rank rejoining the job
-	metrics      string        // merged metrics JSON output path ("" = off)
-	trace        string        // Chrome trace output path ("" = off)
-	alg          string        // allreduce algorithm flag value
+	spec    *job.Spec
+	fault   mpi.FaultConfig
+	joiner  bool   // this process is a relaunched rank rejoining the job
+	metrics string // merged metrics JSON output path ("" = off)
+	trace   string // Chrome trace output path ("" = off)
 
 	listen       string        // rank-0 live HTTP address ("" = off)
 	publishEvery time.Duration // live push period
@@ -302,11 +399,8 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		return exitFailure, err
 	}
 	root := os.Getenv("DNNPERF_ROOT")
+	spec := cfg.spec
 
-	alg, err := mpi.ParseAllreduceAlg(cfg.alg)
-	if err != nil {
-		return exitFailure, err
-	}
 	// One registry and tracer span every layer of this rank: the transport
 	// (via Instrument), the communicator's algorithm counters, the Horovod
 	// engine, and the training loop.
@@ -327,12 +421,12 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		// one (rank 0 adopted the rendezvous address as its own), then runs
 		// the admission loop inside the supervisor.
 		raw, err = mpi.RejoinTCP(rank, size, root, "127.0.0.1:0", mpi.TCPOptions{
-			RecvTimeout: cfg.recvTimeout,
+			RecvTimeout: spec.RecvTimeout.D(),
 			Telemetry:   reg,
 		})
 	} else {
 		raw, err = mpi.DialTCPOpts(rank, size, root, "127.0.0.1:0", mpi.TCPOptions{
-			RecvTimeout: cfg.recvTimeout,
+			RecvTimeout: spec.RecvTimeout.D(),
 			Telemetry:   reg,
 		})
 	}
@@ -342,7 +436,7 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	ft := mpi.NewFaultTransport(raw.Endpoint(), cfg.fault)
 	comm := mpi.NewComm(mpi.Instrument(ft, reg))
 	defer comm.Close()
-	if err := comm.SetAllreduceAlg(alg); err != nil {
+	if err := spec.TuneComm(comm); err != nil {
 		return exitFailure, err
 	}
 	if reg != nil {
@@ -359,27 +453,26 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	}
 	defer live.shutdown()
 
-	if cfg.elastic {
+	if spec.Elastic {
 		return elasticWorker(comm, rank, size, cfg, reg, tracer, live)
 	}
 
-	eng := horovod.NewEngine(comm, horovod.Config{
-		CycleTime: time.Duration(cfg.cycleMS * float64(time.Millisecond)),
-		Average:   true,
-		Telemetry: reg,
-		Tracer:    tracer,
-		Timeline:  cfg.timeline,
-	})
+	engCfg := spec.EngineConfig()
+	engCfg.Telemetry = reg
+	engCfg.Tracer = tracer
+	engCfg.Timeline = cfg.timeline
+	eng := horovod.NewEngine(comm, engCfg)
 
-	m := models.TinyCNN(models.Config{Batch: cfg.batch, ImageSize: 16, Classes: 4, Seed: 7})
-	tr, err := train.New(train.Config{Model: m, IntraThreads: 2, LR: 0.05, Engine: eng, Rank: rank,
+	newModel, newOpt, newGen := spec.Factories()
+	tr, err := train.New(train.Config{Model: newModel(), IntraThreads: spec.IntraThreads,
+		Optimizer: newOpt(size), Engine: eng, Rank: rank,
 		Telemetry: reg, Tracer: tracer})
 	if err != nil {
 		return exitFailure, err
 	}
 	defer tr.Close()
 
-	gen, err := data.NewLearnable(cfg.batch, 3, 16, 4, data.Shard(42, rank))
+	gen, err := newGen(rank, size, 0)
 	if err != nil {
 		return exitFailure, err
 	}
@@ -389,9 +482,9 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	// process. Survivors observe Recv deadline expiry as typed PeerErrors.
 	live.health.Set(telemetry.HealthOK, "world", size)
 
-	if cfg.dieRank == rank {
-		die := clampDieStep(cfg.dieStep, cfg.steps)
-		if _, err := tr.Run(gen.Next, die); err != nil {
+	if spec.DieRank != nil && *spec.DieRank == rank {
+		die := clampDieStep(int(spec.DieStep), spec.Steps)
+		if _, err := tr.Run(gen, die); err != nil {
 			live.health.Set(telemetry.HealthFailed, "error", err.Error())
 			writeTruncatedTelemetry(rank, reg, tracer, cfg)
 			return exitFailure, err
@@ -404,7 +497,7 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		return exitInjectedDeath, nil
 	}
 
-	stats, err := tr.Run(gen.Next, cfg.steps)
+	stats, err := tr.Run(gen, spec.Steps)
 	if err != nil {
 		eng.Shutdown()
 		live.health.Set(telemetry.HealthFailed, "error", err.Error())
@@ -416,7 +509,7 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		return exitFailure, err
 	}
-	live.health.Set(telemetry.HealthDone, "steps", cfg.steps)
+	live.health.Set(telemetry.HealthDone, "steps", spec.Steps)
 	// Gather every rank's metrics and trace to rank 0 before the
 	// communicator goes away. The engine is down, so the communicator is
 	// free for this one collective.
@@ -427,7 +520,7 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 	if rank == 0 {
 		s := eng.Stats()
 		last := stats[len(stats)-1]
-		fmt.Printf("job: %d ranks x batch %d, %d steps over TCP (%s)\n", size, cfg.batch, cfg.steps, root)
+		fmt.Printf("job: %d ranks x batch %d, %d steps over TCP (%s)\n", size, spec.Batch, spec.Steps, root)
 		fmt.Printf("rank 0: final loss %.4f, per-rank %.1f img/s, aggregate ~%.1f img/s\n",
 			last.Loss, train.Throughput(stats), float64(size)*train.Throughput(stats))
 		fmt.Printf("horovod: %d framework tensors -> %d fused allreduces (%d cycles, %.1f KiB fused, max %d tensors/fusion)\n",
@@ -633,95 +726,44 @@ func clampDieStep(die, steps int) int {
 	return die
 }
 
-// elasticFactories are the deterministic builders every elastic worker
-// shares: same-seed model, linearly scaled momentum schedule per world
-// size, and per-rank generators repositioned by burning batches.
-func elasticFactories(batch int) (func() *models.Model, func(int) train.Optimizer, func(rank, size int, startStep int64) (func() data.Batch, error)) {
-	newModel := func() *models.Model {
-		return models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: 7})
-	}
-	newOpt := func(worldSize int) train.Optimizer {
-		sched, err := train.LinearScaled(0.05, batch, worldSize*batch, 2, nil)
-		if err != nil {
-			sched = train.Constant{Rate: 0.05}
-		}
-		return &train.ScheduledOptimizer{Sched: sched, Inner: train.NewMomentum(0.05, 0.9)}
-	}
-	newGen := func(rank, size int, startStep int64) (func() data.Batch, error) {
-		gen, err := data.NewLearnable(batch, 3, 16, 4, data.Shard(42, rank))
-		if err != nil {
-			return nil, err
-		}
-		for i := int64(0); i < startStep; i++ {
-			gen.Next()
-		}
-		return gen.Next, nil
-	}
-	return newModel, newOpt, newGen
-}
-
 // elasticWorker runs the supervised loop; the doomed rank (if this is it)
-// instead trains unsupervised until its death step and aborts. Telemetry is
-// exported by the final leader only, from its local registry: after a
-// shrink the original communicator is stale, so no job-wide gather runs.
+// instead trains unsupervised until its death step and aborts. The
+// model/optimizer/generator factories and checkpoint settings all come from
+// the job spec, so this path is the same code dnnsched's backends run.
+// Telemetry is exported by the final leader only, from its local registry:
+// after a shrink the original communicator is stale, so no job-wide gather
+// runs.
 func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *telemetry.Registry, tracer *telemetry.Tracer, live *liveState) (int, error) {
-	newModel, newOpt, newGen := elasticFactories(cfg.batch)
-	engCfg := horovod.Config{
-		CycleTime: time.Duration(cfg.cycleMS * float64(time.Millisecond)),
-		Average:   true,
-	}
-
-	if cfg.dieRank == rank && !cfg.joiner {
-		// Participate in the survivors' bootstrap restore broadcast, then
-		// train normally until the death step. (A relaunched joiner carries
-		// the same flags, so the death must not re-fire on it.)
-		if _, err := comm.BcastBytes(nil, 0); err != nil {
-			return exitFailure, err
-		}
-		eng := horovod.NewEngine(comm, engCfg)
-		tr, err := train.New(train.Config{Model: newModel(), IntraThreads: 2, Optimizer: newOpt(size), Engine: eng, Rank: rank})
+	spec := cfg.spec
+	if spec.DieRank != nil && *spec.DieRank == rank && !cfg.joiner {
+		// The doomed rank: RunVictim joins the survivors' bootstrap restore
+		// broadcast, trains to the death step, and aborts the transport. (A
+		// relaunched joiner carries the same flags, so the death must not
+		// re-fire on it.)
+		die := int64(clampDieStep(int(spec.DieStep), spec.Steps))
+		err := spec.RunVictim(comm, die, nil)
+		// Partial export either way; a surviving leader overwrites it with
+		// the complete document when the job finishes.
+		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		if err != nil {
-			return exitFailure, err
-		}
-		defer tr.Close()
-		gen, err := newGen(rank, size, 0)
-		if err != nil {
-			return exitFailure, err
-		}
-		die := clampDieStep(cfg.dieStep, cfg.steps)
-		if _, err := tr.Run(gen, die); err != nil {
-			writeTruncatedTelemetry(rank, reg, tracer, cfg)
 			return exitFailure, err
 		}
 		fmt.Fprintf(os.Stderr, "rank %d: aborting transport after step %d (elastic crash demo)\n", rank, die)
-		// Partial export before the abort; a surviving leader overwrites it
-		// with the complete document when the job finishes.
-		writeTruncatedTelemetry(rank, reg, tracer, cfg)
-		comm.Abort()
 		return exitInjectedDeath, nil
 	}
 
-	engCfg.Telemetry = reg
-	engCfg.Tracer = tracer
-	engCfg.Timeline = cfg.timeline
-	scfg := train.SupervisorConfig{
-		Comm:         comm,
-		Engine:       engCfg,
-		NewModel:     newModel,
-		NewOptimizer: newOpt,
-		NewGen:       newGen,
-		Steps:        cfg.steps,
-		IntraThreads: 2,
-		CkptDir:      cfg.ckptDir,
-		CkptEvery:    cfg.ckptEvery,
-		Telemetry:    reg,
-		Tracer:       tracer,
-		Health:       live.health,
-	}
-	if cfg.regrow {
+	scfg := spec.SupervisorConfig(comm)
+	scfg.Engine.Telemetry = reg
+	scfg.Engine.Tracer = tracer
+	scfg.Engine.Timeline = cfg.timeline
+	scfg.Telemetry = reg
+	scfg.Tracer = tracer
+	scfg.Health = live.health
+	if spec.Regrow {
 		scfg.Joiner = cfg.joiner
-		scfg.RejoinTimeout = cfg.regrowWait
-		scfg.RegrowWait = cfg.regrowWait
+		scfg.RejoinTimeout = spec.RegrowWait.D()
+	} else {
+		scfg.RegrowWait = 0
 	}
 	res, err := train.Supervise(scfg)
 	if err != nil {
@@ -736,7 +778,7 @@ func elasticWorker(comm *mpi.Comm, rank, size int, cfg workerConfig, reg *teleme
 	// is renumbered; its rank 0 may be any original rank).
 	if res.Rank == 0 {
 		fmt.Printf("elastic job: %d ranks x batch %d, %d steps over TCP, outcome %s\n",
-			size, cfg.batch, cfg.steps, res.Outcome)
+			size, spec.Batch, spec.Steps, res.Outcome)
 		for _, ev := range res.Recoveries {
 			fmt.Printf("recovery: world %d -> %d (lost ranks %v), rolled back to step %d, %.0f ms\n",
 				ev.OldSize, ev.NewSize, ev.FailedRanks, ev.ResumeStep,

@@ -1,0 +1,214 @@
+package job
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
+	"dnnperf/internal/train"
+	"dnnperf/internal/trainsim"
+)
+
+// Result is a backend's report for one job segment (submission → clean end,
+// failure, or preemption halt).
+type Result struct {
+	// Outcome is "clean", "recovered", "preempted", "failed" or "simulated".
+	Outcome string `json:"outcome"`
+	// FinalStep is the global step the job durably reached.
+	FinalStep int64 `json:"final_step"`
+	// WorldSize is the gang size at the end of the segment.
+	WorldSize int `json:"world_size"`
+	// WeightsCRC fingerprints the final model+optimizer state; every
+	// surviving rank of a run must agree (real backends only).
+	WeightsCRC uint32 `json:"weights_crc,omitempty"`
+	// ImagesPerSec is per-rank measured (real) or aggregate simulated (sim)
+	// throughput.
+	ImagesPerSec float64 `json:"images_per_sec,omitempty"`
+	Recoveries   int     `json:"recoveries,omitempty"`
+	Regrows      int     `json:"regrows,omitempty"`
+	// Preempted marks a cooperative halt: the job checkpointed and can
+	// resume from FinalStep.
+	Preempted bool `json:"preempted,omitempty"`
+	// PerRank holds each original rank's supervised result (nil for ranks
+	// that died or were simulated).
+	PerRank []*train.SupervisorResult `json:"-"`
+	// Sim is the simulator's report (sim backend only).
+	Sim *trainsim.Result `json:"sim,omitempty"`
+}
+
+// RunContext carries one launch through a backend: the spec, the resume
+// flag, optional observers, and the preemption channel — the scheduler
+// calls Preempt and the backend's ranks halt cooperatively at a uniform
+// step boundary.
+type RunContext struct {
+	Spec Spec
+	// Resume restores from the newest checkpoint in Spec.CkptDir (a
+	// previously preempted segment's state).
+	Resume bool
+	// OnStep, if set, observes every rank's completed steps.
+	OnStep func(rank int, step int64, st train.StepStats)
+
+	haltAt  atomic.Int64
+	maxStep atomic.Int64
+}
+
+// Preempt asks the running job to halt cooperatively: the boundary is set
+// three steps past the highest completed step observed so far, which —
+// because synchronous data parallelism bounds the cross-rank spread to one
+// step — every rank reaches and none has passed, so the gang halts
+// uniformly, checkpoints, and ends with Outcome "preempted". Idempotent:
+// only the first call arms the boundary.
+func (rc *RunContext) Preempt() {
+	rc.haltAt.CompareAndSwap(0, rc.maxStep.Load()+3)
+}
+
+// recordStep feeds the preemption boundary tracker.
+func (rc *RunContext) recordStep(step int64) {
+	for {
+		cur := rc.maxStep.Load()
+		if step <= cur || rc.maxStep.CompareAndSwap(cur, step) {
+			return
+		}
+	}
+}
+
+// Backend launches one admitted gang and blocks until the segment ends.
+type Backend interface {
+	// Name identifies the backend in logs and reports.
+	Name() string
+	// Run executes the job until completion, failure, or a Preempt halt.
+	Run(rc *RunContext) (*Result, error)
+}
+
+// runLive is the fleet runner both real backends share: one goroutine per
+// rank over the provided communicators, the doomed-rank path for DieRank
+// specs, supervised elastic training everywhere else, and the preemption
+// boundary wired through HaltAt.
+func runLive(rc *RunContext, comms []*mpi.Comm) (*Result, error) {
+	spec := &rc.Spec
+	n := len(comms)
+	var victim = -1
+	if spec.DieRank != nil {
+		victim = *spec.DieRank
+	}
+	results := make([]*train.SupervisorResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			hook := func(step int64, st train.StepStats) {
+				rc.recordStep(step)
+				if rc.OnStep != nil {
+					rc.OnStep(r, step, st)
+				}
+			}
+			if r == victim {
+				errs[r] = spec.RunVictim(comms[r], spec.DieStep, hook)
+				return
+			}
+			scfg := spec.SupervisorConfig(comms[r])
+			scfg.Telemetry = telemetry.New()
+			scfg.OnStep = hook
+			scfg.HaltAt = rc.haltAt.Load
+			results[r], errs[r] = train.Supervise(scfg)
+		}(r)
+	}
+	wg.Wait()
+
+	res := &Result{PerRank: results}
+	survivors := make([]int, 0, n)
+	for r := 0; r < n; r++ {
+		if r == victim {
+			continue
+		}
+		if errs[r] != nil {
+			return res, fmt.Errorf("job %s: rank %d: %w", spec.Name, r, errs[r])
+		}
+		survivors = append(survivors, r)
+	}
+	sort.Ints(survivors)
+	if len(survivors) == 0 {
+		return res, fmt.Errorf("job %s: no surviving ranks", spec.Name)
+	}
+	low := results[survivors[0]]
+	res.Outcome = low.Outcome.String()
+	res.FinalStep = low.FinalStep
+	res.WorldSize = low.WorldSize
+	res.WeightsCRC = low.WeightsCRC
+	res.Recoveries = len(low.Recoveries)
+	res.Regrows = len(low.Regrows)
+	res.Preempted = low.Outcome == train.OutcomePreempted
+	res.ImagesPerSec = train.Throughput(low.Steps)
+	return res, nil
+}
+
+// InprocBackend runs the gang as goroutines over an in-process mpi world —
+// the fastest real (non-simulated) backend, used for tests and small
+// dnnsched jobs.
+type InprocBackend struct{}
+
+func (InprocBackend) Name() string { return "inproc" }
+
+func (InprocBackend) Run(rc *RunContext) (*Result, error) {
+	spec := &rc.Spec
+	rt := spec.RecvTimeout.D()
+	if rt <= 0 {
+		rt = 500 * time.Millisecond
+	}
+	w, err := mpi.NewWorldOpts(spec.Ranks(), mpi.WorldOptions{RecvTimeout: rt})
+	if err != nil {
+		return nil, err
+	}
+	comms, err := wrapFleet(spec, func(r int) *mpi.Comm { return w.Comm(r) })
+	if err != nil {
+		return nil, err
+	}
+	return runLive(rc, comms)
+}
+
+// TCPBackend runs the gang over real loopback sockets — the same transport
+// the mpirun worker processes use, in one process.
+type TCPBackend struct{}
+
+func (TCPBackend) Name() string { return "tcp" }
+
+func (TCPBackend) Run(rc *RunContext) (*Result, error) {
+	spec := &rc.Spec
+	rt := spec.RecvTimeout.D()
+	if rt <= 0 {
+		rt = time.Second
+	}
+	raw, err := mpi.StartLocalTCPJobOpts(spec.Ranks(), mpi.TCPOptions{
+		RecvTimeout:  rt,
+		DrainTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	comms, err := wrapFleet(spec, func(r int) *mpi.Comm { return raw[r] })
+	if err != nil {
+		return nil, err
+	}
+	return runLive(rc, comms)
+}
+
+// wrapFleet wraps each rank's raw communicator in the spec's fault
+// transport and applies collective tuning.
+func wrapFleet(spec *Spec, rawComm func(r int) *mpi.Comm) ([]*mpi.Comm, error) {
+	n := spec.Ranks()
+	base := spec.FaultConfig()
+	comms := make([]*mpi.Comm, n)
+	for r := 0; r < n; r++ {
+		comms[r] = mpi.NewComm(mpi.NewFaultTransport(rawComm(r).Endpoint(), base))
+		if err := spec.TuneComm(comms[r]); err != nil {
+			return nil, err
+		}
+	}
+	return comms, nil
+}

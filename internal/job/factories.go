@@ -1,0 +1,147 @@
+package job
+
+import (
+	"dnnperf/internal/data"
+	"dnnperf/internal/horovod"
+	"dnnperf/internal/models"
+	"dnnperf/internal/mpi"
+	"dnnperf/internal/train"
+)
+
+// Factories builds the deterministic model/optimizer/generator builders
+// every rank of a real job shares — the single definition the mpirun
+// workers, the experiment runner, and the scenario harness all delegate to.
+// The model seed is fixed (identical initial weights are a correctness
+// requirement); data shards derive from the spec seed; the optimizer follows
+// LRPolicy: constant momentum, or the linear-scaling warmup schedule sized
+// to the current world's global batch so an elastic shrink re-derives the
+// rate.
+func (s *Spec) Factories() (newModel func() *models.Model, newOpt func(int) train.Optimizer, newGen func(rank, size int, startStep int64) (func() data.Batch, error)) {
+	batch, seed, policy := s.Batch, s.Seed, s.LRPolicy
+	newModel = func() *models.Model {
+		return models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: 7})
+	}
+	newOpt = func(worldSize int) train.Optimizer {
+		if policy == "scaled" {
+			sched, err := train.LinearScaled(0.05, batch, worldSize*batch, 2, nil)
+			if err != nil {
+				sched = train.Constant{Rate: 0.05}
+			}
+			return &train.ScheduledOptimizer{Sched: sched, Inner: train.NewMomentum(0.05, 0.9)}
+		}
+		return train.NewMomentum(0.05, 0.9)
+	}
+	newGen = func(rank, size int, startStep int64) (func() data.Batch, error) {
+		gen, err := data.NewLearnable(batch, 3, 16, 4, data.Shard(seed, rank))
+		if err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < startStep; i++ {
+			gen.Next()
+		}
+		return gen.Next, nil
+	}
+	return newModel, newOpt, newGen
+}
+
+// EngineConfig renders the spec's Horovod engine settings.
+func (s *Spec) EngineConfig() horovod.Config {
+	return horovod.Config{CycleTime: s.CycleTime.D(), Average: true}
+}
+
+// SupervisorConfig renders the spec into one rank's supervised-run config
+// bound to comm. Callers layer on their own observability (Telemetry,
+// Tracer, Health, OnStep, HaltAt) and the Joiner/RejoinTimeout admission
+// knobs — everything the spec schema owns is filled here.
+func (s *Spec) SupervisorConfig(comm *mpi.Comm) train.SupervisorConfig {
+	newModel, newOpt, newGen := s.Factories()
+	return train.SupervisorConfig{
+		Comm:          comm,
+		Engine:        s.EngineConfig(),
+		NewModel:      newModel,
+		NewOptimizer:  newOpt,
+		NewGen:        newGen,
+		Steps:         s.Steps,
+		IntraThreads:  s.IntraThreads,
+		InterThreads:  s.InterThreads,
+		CkptDir:       s.CkptDir,
+		CkptEvery:     s.CkptEvery,
+		MaxRecoveries: s.MaxRecoveries,
+		RegrowWait:    s.RegrowWait.D(),
+	}
+}
+
+// TuneComm applies the spec's collective tuning (allreduce algorithm,
+// ring segment size) to a communicator.
+func (s *Spec) TuneComm(c *mpi.Comm) error {
+	if s.AllreduceAlg != "" && s.AllreduceAlg != "auto" {
+		alg, err := mpi.ParseAllreduceAlg(s.AllreduceAlg)
+		if err != nil {
+			return err
+		}
+		if err := c.SetAllreduceAlg(alg); err != nil {
+			return err
+		}
+	}
+	if s.SegmentBytes > 0 {
+		c.SetSegmentBytes(s.SegmentBytes)
+	}
+	return nil
+}
+
+// FaultConfig renders the spec's fault template for one transport, anchored
+// to the spec seed so every random stream replays.
+func (s *Spec) FaultConfig() mpi.FaultConfig {
+	if s.Faults == nil {
+		return mpi.FaultConfig{Seed: s.Seed}
+	}
+	return mpi.FaultConfig{
+		Seed:      s.Seed,
+		DropProb:  s.Faults.DropProb,
+		DelayProb: s.Faults.DelayProb,
+		Delay:     s.Faults.Delay.D(),
+		DupProb:   s.Faults.DupProb,
+	}
+}
+
+// RunVictim is the doomed-rank path every crash demo shares: join the
+// supervised ranks' bootstrap restore broadcast (which runs exactly when a
+// checkpoint directory is configured), train unsupervised to killStep firing
+// the observer hook, then abort the transport without a goodbye — the crash
+// the survivors must absorb.
+func (s *Spec) RunVictim(comm *mpi.Comm, killStep int64, onStep func(step int64, st train.StepStats)) error {
+	if s.CkptDir != "" {
+		if _, err := comm.BcastBytes(nil, 0); err != nil {
+			return err
+		}
+	}
+	newModel, newOpt, newGen := s.Factories()
+	eng := horovod.NewEngine(comm, s.EngineConfig())
+	tr, err := train.New(train.Config{
+		Model:        newModel(),
+		IntraThreads: s.IntraThreads,
+		InterThreads: s.InterThreads,
+		Optimizer:    newOpt(comm.Size()),
+		Engine:       eng,
+		Rank:         comm.Rank(),
+	})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	gen, err := newGen(comm.Rank(), comm.Size(), 0)
+	if err != nil {
+		return err
+	}
+	for step := int64(1); step <= killStep; step++ {
+		st, serr := tr.Step(gen())
+		if serr != nil {
+			return serr
+		}
+		if onStep != nil {
+			onStep(step, st)
+		}
+	}
+	comm.Abort()
+	return nil
+}

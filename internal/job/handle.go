@@ -1,0 +1,132 @@
+package job
+
+import (
+	"fmt"
+	"sync"
+)
+
+// State is a Handle's position in the job lifecycle.
+type State int
+
+const (
+	// Pending: submitted, waiting in the queue (also a preempted job
+	// waiting to be re-placed).
+	Pending State = iota
+	// Admitted: the gang's slots are allocated; the backend is launching.
+	Admitted
+	// Running: the gang is training (or simulated as training).
+	Running
+	// Preempting: a higher-priority job asked for the slots; the gang is
+	// halting at the next safe step boundary and checkpointing.
+	Preempting
+	// Regrowing: a previously preempted job got slots again and is
+	// restoring from its checkpoint back to the full gang.
+	Regrowing
+	// Done: completed its step budget.
+	Done
+	// Failed: ended with an error.
+	Failed
+	// Evicted: removed without running to completion (infeasible for the
+	// cluster, or withdrawn).
+	Evicted
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Admitted:
+		return "admitted"
+	case Running:
+		return "running"
+	case Preempting:
+		return "preempting"
+	case Regrowing:
+		return "regrowing"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Evicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// transitions is the lifecycle graph: Pending → Admitted/Regrowing →
+// Running → {Preempting, Done, Failed}; Preempting drains back to Pending
+// (parked, requeued) and terminal states absorb.
+var transitions = map[State][]State{
+	Pending:    {Admitted, Regrowing, Evicted},
+	Admitted:   {Running, Failed, Evicted},
+	Regrowing:  {Running, Failed, Evicted},
+	Running:    {Preempting, Done, Failed},
+	Preempting: {Pending, Done, Failed, Evicted},
+}
+
+// Handle is the scheduler's view of one submitted job: the spec, the
+// validated state machine, and the accounting the per-tenant report is
+// built from. Times are int64 nanoseconds on the driver's clock — virtual
+// in discrete-event mode, wall offsets in real mode — so the simulated
+// report stays byte-identical across runs.
+type Handle struct {
+	ID   int
+	Spec Spec
+
+	mu    sync.Mutex
+	state State
+
+	// SubmitNS/StartNS/EndNS: submission, first placement, terminal
+	// transition. StartNS is -1 until first placed.
+	SubmitNS, StartNS, EndNS int64
+	// Preemptions counts how many times this job was preempted.
+	Preemptions int
+	// DoneSteps is the global step the job has durably reached (checkpoint
+	// state after a preemption; the full budget when Done).
+	DoneSteps int64
+	// Result is the backend's report for the final segment (real mode).
+	Result *Result
+	// Err is the terminal error for Failed, or the eviction reason.
+	Err error
+
+	// Scheduler-owned bookkeeping (guarded by the scheduler's lock):
+	// allocated node ids, per-segment start time and iteration period
+	// (discrete-event mode), and the event generation used to drop stale
+	// completion events after a preemption.
+	nodes    []int
+	segStart int64
+	slotNS   int64
+	iterNS   int64
+	gen      int
+	rc       *RunContext
+}
+
+// State returns the current lifecycle state.
+func (h *Handle) State() State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// To performs a validated lifecycle transition.
+func (h *Handle) To(next State) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ok := range transitions[h.state] {
+		if next == ok {
+			h.state = next
+			return nil
+		}
+	}
+	return fmt.Errorf("job %s (%d): illegal transition %s -> %s", h.Spec.Name, h.ID, h.state, next)
+}
+
+// Terminal reports whether the job has reached Done, Failed or Evicted.
+func (h *Handle) Terminal() bool {
+	switch h.State() {
+	case Done, Failed, Evicted:
+		return true
+	}
+	return false
+}

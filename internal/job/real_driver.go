@@ -1,0 +1,134 @@
+package job
+
+import (
+	"os"
+	"sort"
+	"time"
+
+	"dnnperf/internal/telemetry"
+)
+
+// RunReal drives the workload through the scheduler against a real backend:
+// the identical policy core as RunSim, but placements launch actual gangs
+// (inproc goroutine worlds or loopback TCP), preemptions deliver a real
+// cooperative halt via RunContext.Preempt, and parked jobs resume from the
+// checkpoint their halt wrote. Timestamps are wall-clock offsets from the
+// run's start, so reports are comparable to simulated ones field-for-field
+// (though not byte-stable across machines).
+func RunReal(w *Workload, be Backend, reg *telemetry.Registry) (*SchedReport, error) {
+	rep, _, err := RunRealHandles(w, be, reg)
+	return rep, err
+}
+
+// RunRealHandles is RunReal exposing the terminal handles (each carries its
+// backend Result, including per-rank supervisor results) alongside the
+// report.
+func RunRealHandles(w *Workload, be Backend, reg *telemetry.Registry) (*SchedReport, []*Handle, error) {
+	if err := w.Validate(); err != nil {
+		return nil, nil, err
+	}
+	jobs := append([]Spec(nil), w.Jobs...)
+	if w.Synth != nil {
+		jobs = append(jobs, synthJobs(w)...)
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].SubmitAt < jobs[j].SubmitAt })
+
+	sched := newScheduler(w, reg)
+	t0 := time.Now()
+	now := func() int64 { return time.Since(t0).Nanoseconds() }
+
+	type doneMsg struct {
+		h   *Handle
+		res *Result
+		err error
+	}
+	doneCh := make(chan doneMsg)
+	running := 0
+	var tempDirs []string
+	defer func() {
+		for _, d := range tempDirs {
+			os.RemoveAll(d)
+		}
+	}()
+
+	launch := func(p Placement, ts int64) {
+		h := p.H
+		// A preemptible job needs somewhere durable to checkpoint; assign a
+		// scratch directory once, on first placement, and keep it for every
+		// later segment so resume finds the halt's checkpoint.
+		if h.Spec.Elastic && h.Spec.CkptDir == "" {
+			if dir, err := os.MkdirTemp("", "dnnsched-ckpt-"); err == nil {
+				h.Spec.CkptDir = dir
+				tempDirs = append(tempDirs, dir)
+			}
+		}
+		if err := h.To(Running); err != nil {
+			sched.fail(h, ts, err)
+			return
+		}
+		rc := &RunContext{Spec: h.Spec, Resume: p.Resume}
+		h.rc = rc
+		running++
+		go func() {
+			res, err := be.Run(rc)
+			doneCh <- doneMsg{h: h, res: res, err: err}
+		}()
+	}
+
+	next := 0
+	for {
+		ts := now()
+		sched.accrue(ts)
+		for next < len(jobs) && int64(jobs[next].SubmitAt) <= ts {
+			sched.submit(jobs[next], ts)
+			next++
+		}
+		placements, preempts := sched.schedule(ts)
+		for _, p := range placements {
+			launch(p, ts)
+		}
+		for _, v := range preempts {
+			if v.rc != nil {
+				v.rc.Preempt()
+			}
+		}
+		if running == 0 && next >= len(jobs) {
+			if len(sched.queue) > 0 {
+				// Backstop only: all-or-nothing allocation means an empty
+				// cluster always fits a feasible gang, so a live system
+				// cannot reach this.
+				sched.deadlocks++
+				sched.evictQueued(now(), "gang deadlock: no runnable placement")
+				continue
+			}
+			break
+		}
+		var timer <-chan time.Time
+		if next < len(jobs) {
+			d := time.Duration(int64(jobs[next].SubmitAt) - now())
+			if d < 0 {
+				d = 0
+			}
+			timer = time.After(d)
+		}
+		select {
+		case m := <-doneCh:
+			running--
+			ts := now()
+			sched.accrue(ts)
+			m.h.Result = m.res
+			switch {
+			case m.err != nil:
+				sched.fail(m.h, ts, m.err)
+			case m.res.Preempted:
+				sched.parked(m.h, ts, m.res.FinalStep)
+			default:
+				sched.complete(m.h, ts)
+			}
+		case <-timer:
+		}
+	}
+	end := now()
+	sched.accrue(end)
+	return sched.buildReport(be.Name(), end), sched.all, nil
+}

@@ -1,0 +1,174 @@
+package job
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// UtilPoint is one sample of the cluster's cumulative busy slot-time.
+type UtilPoint struct {
+	AtNS       int64 `json:"at_ns"`
+	UsedSlotNS int64 `json:"used_slot_ns"`
+}
+
+// TenantReport aggregates one tenant's share of the run: counts, queueing
+// delay, job completion time, and the slot-time the tenant consumed.
+type TenantReport struct {
+	Tenant      string `json:"tenant"`
+	Jobs        int    `json:"jobs"`
+	Done        int    `json:"done"`
+	Evicted     int    `json:"evicted,omitempty"`
+	Failed      int    `json:"failed,omitempty"`
+	Preemptions int    `json:"preemptions,omitempty"`
+	// WaitMeanNS/WaitMaxNS: queueing delay from submission to first placement.
+	WaitMeanNS int64 `json:"wait_mean_ns"`
+	WaitMaxNS  int64 `json:"wait_max_ns"`
+	// JCTMeanNS/JCTMaxNS: job completion time (submission to Done).
+	JCTMeanNS      int64 `json:"jct_mean_ns"`
+	JCTMaxNS       int64 `json:"jct_max_ns"`
+	DeadlineMisses int   `json:"deadline_misses,omitempty"`
+	// SlotNS is the slot-time (ranks x occupancy) the tenant consumed.
+	SlotNS int64 `json:"slot_ns"`
+}
+
+// JobSummary is one job's line in the report.
+type JobSummary struct {
+	ID          int    `json:"id"`
+	Name        string `json:"name"`
+	Tenant      string `json:"tenant"`
+	Priority    int    `json:"priority,omitempty"`
+	State       string `json:"state"`
+	Gang        string `json:"gang"`
+	Preemptions int    `json:"preemptions,omitempty"`
+	SubmitNS    int64  `json:"submit_ns"`
+	StartNS     int64  `json:"start_ns"`
+	EndNS       int64  `json:"end_ns"`
+	DoneSteps   int64  `json:"done_steps"`
+	// Outcome/WeightsCRC come from the backend's final segment (real mode).
+	Outcome    string `json:"outcome,omitempty"`
+	WeightsCRC uint32 `json:"weights_crc,omitempty"`
+}
+
+// SchedReport is the control plane's end-of-run summary. Every field is
+// derived from driver-clock nanoseconds and deterministic counters, so a
+// simulated run's report marshals byte-identically for a given seed.
+type SchedReport struct {
+	Workload     string `json:"workload"`
+	Mode         string `json:"mode"` // "sim" or the real backend name
+	Seed         int64  `json:"seed"`
+	Nodes        int    `json:"nodes"`
+	SlotsPerNode int    `json:"slots_per_node"`
+	Jobs         int    `json:"jobs"`
+	Done         int    `json:"done"`
+	Evicted      int    `json:"evicted"`
+	Failed       int    `json:"failed"`
+	Preemptions  int    `json:"preemptions"`
+	// Deadlocks counts gang-scheduling stalls the driver had to break by
+	// evicting the queue; zero is the invariant.
+	Deadlocks  int   `json:"deadlocks"`
+	MakespanNS int64 `json:"makespan_ns"`
+	// SlotNS is total capacity (nodes x slots x makespan); UsedSlotNS the
+	// busy fraction of it; Utilization their ratio.
+	SlotNS           int64          `json:"slot_ns"`
+	UsedSlotNS       int64          `json:"used_slot_ns"`
+	Utilization      float64        `json:"utilization"`
+	UtilizationCurve []UtilPoint    `json:"utilization_curve,omitempty"`
+	Tenants          []TenantReport `json:"tenants"`
+	PerJob           []JobSummary   `json:"per_job,omitempty"`
+	EventLog         []string       `json:"event_log,omitempty"`
+}
+
+// buildReport assembles the per-tenant and cluster-wide summary after the
+// driver has drained every handle. makespan is the driver's final clock.
+func (s *Scheduler) buildReport(mode string, makespan int64) *SchedReport {
+	rep := &SchedReport{
+		Workload:         s.w.Name,
+		Mode:             mode,
+		Seed:             s.w.Seed,
+		Nodes:            s.w.Cluster.Nodes,
+		SlotsPerNode:     s.w.Cluster.SlotsPerNode,
+		Jobs:             len(s.all),
+		Preemptions:      s.preemptions,
+		Deadlocks:        s.deadlocks,
+		MakespanNS:       makespan,
+		SlotNS:           int64(s.w.Cluster.Slots()) * makespan,
+		UsedSlotNS:       s.usedSlotNS,
+		UtilizationCurve: s.curve,
+		EventLog:         s.events,
+	}
+	if rep.SlotNS > 0 {
+		rep.Utilization = float64(rep.UsedSlotNS) / float64(rep.SlotNS)
+	}
+	byTenant := map[string]*TenantReport{}
+	waits := map[string][]int64{}
+	jcts := map[string][]int64{}
+	for _, h := range s.all {
+		t := byTenant[h.Spec.Tenant]
+		if t == nil {
+			t = &TenantReport{Tenant: h.Spec.Tenant}
+			byTenant[h.Spec.Tenant] = t
+		}
+		t.Jobs++
+		t.Preemptions += h.Preemptions
+		t.SlotNS += h.slotNS
+		switch h.State() {
+		case Done:
+			rep.Done++
+			t.Done++
+			wait := h.StartNS - h.SubmitNS
+			jct := h.EndNS - h.SubmitNS
+			waits[h.Spec.Tenant] = append(waits[h.Spec.Tenant], wait)
+			jcts[h.Spec.Tenant] = append(jcts[h.Spec.Tenant], jct)
+			if d := h.Spec.Deadline.D(); d > 0 && jct > int64(d) {
+				t.DeadlineMisses++
+			}
+		case Evicted:
+			rep.Evicted++
+			t.Evicted++
+		case Failed:
+			rep.Failed++
+			t.Failed++
+		}
+		js := JobSummary{
+			ID: h.ID, Name: h.Spec.Name, Tenant: h.Spec.Tenant,
+			Priority: h.Spec.Priority, State: h.State().String(),
+			Gang:        fmt.Sprintf("%dx%d", h.Spec.Nodes, h.Spec.PPN),
+			Preemptions: h.Preemptions,
+			SubmitNS:    h.SubmitNS, StartNS: h.StartNS, EndNS: h.EndNS,
+			DoneSteps: h.DoneSteps,
+		}
+		if h.Result != nil {
+			js.Outcome = h.Result.Outcome
+			js.WeightsCRC = h.Result.WeightsCRC
+		}
+		rep.PerJob = append(rep.PerJob, js)
+	}
+	for name, t := range byTenant {
+		t.WaitMeanNS, t.WaitMaxNS = meanMax(waits[name])
+		t.JCTMeanNS, t.JCTMaxNS = meanMax(jcts[name])
+		rep.Tenants = append(rep.Tenants, *t)
+	}
+	sort.Slice(rep.Tenants, func(i, j int) bool { return rep.Tenants[i].Tenant < rep.Tenants[j].Tenant })
+	return rep
+}
+
+func meanMax(vs []int64) (mean, max int64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	var sum int64
+	for _, v := range vs {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	return sum / int64(len(vs)), max
+}
+
+// JSON renders the report with a stable field order and indentation —
+// the artifact CI archives and the determinism tests compare bytewise.
+func (r *SchedReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,309 @@
+package job
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dnnperf/internal/telemetry"
+)
+
+// Scheduler is the gang-scheduling policy core shared by both drivers: the
+// discrete-event simulator (RunSim) and the real-backend loop (RunReal)
+// feed it the same submit/place/preempt/park/complete calls, so a policy
+// exercised against a thousand simulated jobs is byte-for-byte the policy
+// that runs real gangs.
+//
+// Placement is all-or-nothing per gang: a job needs PPN free slots on each
+// of Nodes distinct nodes and takes them atomically or not at all — no
+// partial allocations, hence no allocation deadlock. Admission is
+// priority-ordered with backfill (a blocked large gang does not idle slots
+// a smaller job can use). When preemption is on, a queued job may evict
+// lower-priority running elastic gangs: victims halt cooperatively at a
+// step boundary, checkpoint, release their slots, and requeue to resume —
+// shrink now, regrow later, on the PR-3/PR-8 elastic machinery.
+//
+// All timestamps are int64 nanoseconds on the driver's clock: virtual in
+// discrete-event mode (reports replay byte-identically), wall offsets in
+// real mode. The scheduler itself never reads a clock.
+type Scheduler struct {
+	w     *Workload
+	free  []int // free slots per node
+	queue []*Handle
+	run   []*Handle // handles currently holding slots
+	all   []*Handle
+
+	preemptions int
+	deadlocks   int
+
+	lastNS     int64
+	usedSlotNS int64
+	curve      []UtilPoint
+	events     []string
+
+	queueDepth *telemetry.Gauge
+	preemptCtr *telemetry.Counter
+	reg        *telemetry.Registry
+}
+
+// Placement is one scheduling decision for the driver to act on.
+type Placement struct {
+	H *Handle
+	// Resume restores the job from its checkpoint (a preempted segment).
+	Resume bool
+}
+
+// newScheduler builds the policy core for a validated workload. reg may be
+// nil (no telemetry plane).
+func newScheduler(w *Workload, reg *telemetry.Registry) *Scheduler {
+	s := &Scheduler{
+		w:    w,
+		free: make([]int, w.Cluster.Nodes),
+		reg:  reg,
+	}
+	for i := range s.free {
+		s.free[i] = w.Cluster.SlotsPerNode
+	}
+	if reg != nil {
+		s.queueDepth = reg.Gauge("sched.queue_depth")
+		s.preemptCtr = reg.Counter("sched.preemptions")
+	}
+	return s
+}
+
+func (s *Scheduler) logf(now int64, format string, args ...any) {
+	s.events = append(s.events,
+		fmt.Sprintf("t=%s ", time.Duration(now))+fmt.Sprintf(format, args...))
+}
+
+// accrue integrates busy slot-time up to now and extends the (monotone)
+// utilization curve.
+func (s *Scheduler) accrue(now int64) {
+	busy := 0
+	for _, h := range s.run {
+		busy += h.Spec.Ranks()
+	}
+	if now > s.lastNS {
+		s.usedSlotNS += int64(busy) * (now - s.lastNS)
+		s.lastNS = now
+	}
+	if n := len(s.curve); n == 0 || s.curve[n-1].AtNS != s.lastNS {
+		s.curve = append(s.curve, UtilPoint{AtNS: s.lastNS, UsedSlotNS: s.usedSlotNS})
+	} else {
+		s.curve[n-1].UsedSlotNS = s.usedSlotNS
+	}
+}
+
+func (s *Scheduler) setQueueDepth() {
+	if s.queueDepth != nil {
+		s.queueDepth.SetInt(int64(len(s.queue)))
+	}
+}
+
+// submit admits a spec into the queue (or evicts it immediately when no
+// empty cluster could ever hold the gang).
+func (s *Scheduler) submit(spec Spec, now int64) *Handle {
+	h := &Handle{ID: len(s.all), Spec: spec, SubmitNS: now, StartNS: -1, EndNS: -1}
+	s.all = append(s.all, h)
+	if spec.Nodes > s.w.Cluster.Nodes || spec.PPN > s.w.Cluster.SlotsPerNode {
+		h.Err = fmt.Errorf("gang %dx%d exceeds cluster %dx%d",
+			spec.Nodes, spec.PPN, s.w.Cluster.Nodes, s.w.Cluster.SlotsPerNode)
+		h.To(Evicted)
+		h.EndNS = now
+		s.logf(now, "evict job=%d name=%s tenant=%s reason=infeasible gang=%dx%d",
+			h.ID, spec.Name, spec.Tenant, spec.Nodes, spec.PPN)
+		return h
+	}
+	s.queue = append(s.queue, h)
+	s.setQueueDepth()
+	s.logf(now, "submit job=%d name=%s tenant=%s pri=%d gang=%dx%d steps=%d",
+		h.ID, spec.Name, spec.Tenant, spec.Priority, spec.Nodes, spec.PPN, spec.Steps)
+	return h
+}
+
+// fitOn finds a first-fit node set for h against the given free vector
+// (ascending node ids — deterministic), or nil.
+func fitOn(free []int, h *Handle) []int {
+	nodes := make([]int, 0, h.Spec.Nodes)
+	for i, f := range free {
+		if f >= h.Spec.PPN {
+			nodes = append(nodes, i)
+			if len(nodes) == h.Spec.Nodes {
+				return nodes
+			}
+		}
+	}
+	return nil
+}
+
+// schedule runs one admission pass: place every queued job that fits
+// (priority order with backfill), and — when nothing more fits and
+// preemption is allowed — pick the cheapest lower-priority victim set for
+// the highest-priority blocked job. Victims transition to Preempting here;
+// the driver delivers the actual halt and reports back via parked().
+// At most one preemption round is in flight at a time, so slots are never
+// promised twice.
+func (s *Scheduler) schedule(now int64) (placements []Placement, preempts []*Handle) {
+	sort.SliceStable(s.queue, func(i, j int) bool {
+		if s.queue[i].Spec.Priority != s.queue[j].Spec.Priority {
+			return s.queue[i].Spec.Priority > s.queue[j].Spec.Priority
+		}
+		return s.queue[i].ID < s.queue[j].ID
+	})
+	preempting := false
+	for _, h := range s.run {
+		if h.State() == Preempting {
+			preempting = true
+		}
+	}
+	remaining := s.queue[:0]
+	blocked := []*Handle(nil)
+	for _, h := range s.queue {
+		nodes := fitOn(s.free, h)
+		if nodes == nil {
+			blocked = append(blocked, h)
+			remaining = append(remaining, h)
+			continue
+		}
+		resume := h.DoneSteps > 0
+		next := Admitted
+		if resume {
+			next = Regrowing
+		}
+		if err := h.To(next); err != nil {
+			h.Err = err
+			h.To(Evicted)
+			h.EndNS = now
+			continue
+		}
+		for _, i := range nodes {
+			s.free[i] -= h.Spec.PPN
+		}
+		h.nodes = nodes
+		h.segStart = now
+		if h.StartNS < 0 {
+			h.StartNS = now
+		}
+		s.run = append(s.run, h)
+		placements = append(placements, Placement{H: h, Resume: resume})
+		s.logf(now, "place job=%d name=%s tenant=%s nodes=%v resume=%t done_steps=%d",
+			h.ID, h.Spec.Name, h.Spec.Tenant, nodes, resume, h.DoneSteps)
+	}
+	s.queue = remaining
+	s.setQueueDepth()
+
+	if len(blocked) > 0 && !s.w.NoPreempt && !preempting {
+		// Preempt for the highest-priority blocked job only.
+		h := blocked[0]
+		if victims := s.chooseVictims(h); len(victims) > 0 {
+			for _, v := range victims {
+				if err := v.To(Preempting); err != nil {
+					continue
+				}
+				v.Preemptions++
+				s.preemptions++
+				if s.preemptCtr != nil {
+					s.preemptCtr.Inc()
+				}
+				preempts = append(preempts, v)
+				s.logf(now, "preempt job=%d name=%s tenant=%s for=%d victim_pri=%d pri=%d",
+					v.ID, v.Spec.Name, v.Spec.Tenant, h.ID, v.Spec.Priority, h.Spec.Priority)
+			}
+		}
+	}
+	return placements, preempts
+}
+
+// chooseVictims picks the lowest-priority running elastic gangs whose slots
+// would let h fit, cheapest (lowest priority, youngest) first. Only
+// checkpointable (elastic) jobs are preemptible, and only strictly
+// lower-priority ones. Returns nil when no victim set suffices.
+func (s *Scheduler) chooseVictims(h *Handle) []*Handle {
+	var cands []*Handle
+	for _, v := range s.run {
+		if v.State() == Running && v.Spec.Elastic && v.Spec.Priority < h.Spec.Priority {
+			cands = append(cands, v)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Spec.Priority != cands[j].Spec.Priority {
+			return cands[i].Spec.Priority < cands[j].Spec.Priority
+		}
+		return cands[i].ID > cands[j].ID
+	})
+	free := append([]int(nil), s.free...)
+	var chosen []*Handle
+	for _, v := range cands {
+		for _, i := range v.nodes {
+			free[i] += v.Spec.PPN
+		}
+		chosen = append(chosen, v)
+		if fitOn(free, h) != nil {
+			return chosen
+		}
+	}
+	return nil
+}
+
+// release frees h's slots and drops it from the running set.
+func (s *Scheduler) release(h *Handle, now int64) {
+	for _, i := range h.nodes {
+		s.free[i] += h.Spec.PPN
+	}
+	h.slotNS += int64(h.Spec.Ranks()) * (now - h.segStart)
+	h.nodes = nil
+	for i, v := range s.run {
+		if v == h {
+			s.run = append(s.run[:i], s.run[i+1:]...)
+			break
+		}
+	}
+}
+
+// complete marks h done and accounts its JCT.
+func (s *Scheduler) complete(h *Handle, now int64) {
+	s.release(h, now)
+	h.To(Done)
+	h.EndNS = now
+	h.DoneSteps = int64(h.Spec.Steps)
+	jct := now - h.SubmitNS
+	if s.reg != nil {
+		s.reg.Counter("sched.jct_ns", telemetry.L("tenant", h.Spec.Tenant)).Add(jct)
+	}
+	s.logf(now, "done job=%d name=%s tenant=%s jct=%s preemptions=%d",
+		h.ID, h.Spec.Name, h.Spec.Tenant, time.Duration(jct), h.Preemptions)
+}
+
+// fail marks h failed.
+func (s *Scheduler) fail(h *Handle, now int64, err error) {
+	s.release(h, now)
+	h.Err = err
+	h.To(Failed)
+	h.EndNS = now
+	s.logf(now, "fail job=%d name=%s tenant=%s err=%v", h.ID, h.Spec.Name, h.Spec.Tenant, err)
+}
+
+// parked requeues a preempted job that has halted and checkpointed at
+// doneSteps; its next placement resumes from there.
+func (s *Scheduler) parked(h *Handle, now int64, doneSteps int64) {
+	s.release(h, now)
+	h.To(Pending)
+	if doneSteps > h.DoneSteps {
+		h.DoneSteps = doneSteps
+	}
+	s.queue = append(s.queue, h)
+	s.setQueueDepth()
+	s.logf(now, "park job=%d name=%s tenant=%s done_steps=%d", h.ID, h.Spec.Name, h.Spec.Tenant, h.DoneSteps)
+}
+
+// evictQueued drains the queue as Evicted (gang deadlock backstop).
+func (s *Scheduler) evictQueued(now int64, reason string) {
+	for _, h := range s.queue {
+		h.Err = fmt.Errorf("%s", reason)
+		h.To(Evicted)
+		h.EndNS = now
+		s.logf(now, "evict job=%d name=%s tenant=%s reason=%s", h.ID, h.Spec.Name, h.Spec.Tenant, reason)
+	}
+	s.queue = nil
+	s.setQueueDepth()
+}

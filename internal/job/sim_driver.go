@@ -1,0 +1,147 @@
+package job
+
+import (
+	"container/heap"
+	"time"
+
+	"dnnperf/internal/telemetry"
+)
+
+// Estimator predicts a job's per-iteration wall time for the discrete-event
+// driver. SimBackend implements it with the trainsim analytical model.
+type Estimator interface {
+	IterTime(spec *Spec) (time.Duration, error)
+}
+
+const (
+	evSubmit = iota
+	evDone
+	evParked
+)
+
+// event is one discrete-event heap entry; ties on the virtual timestamp
+// break by insertion sequence so replay order is total.
+type event struct {
+	at        int64
+	seq       int
+	kind      int
+	spec      *Spec   // evSubmit
+	h         *Handle // evDone, evParked
+	gen       int     // evDone: placement generation this completion belongs to
+	doneSteps int64   // evParked: checkpointed step at the halt boundary
+}
+
+type eventHeap []*event
+
+func (eh eventHeap) Len() int { return len(eh) }
+func (eh eventHeap) Less(i, j int) bool {
+	if eh[i].at != eh[j].at {
+		return eh[i].at < eh[j].at
+	}
+	return eh[i].seq < eh[j].seq
+}
+func (eh eventHeap) Swap(i, j int) { eh[i], eh[j] = eh[j], eh[i] }
+func (eh *eventHeap) Push(x any)   { *eh = append(*eh, x.(*event)) }
+func (eh *eventHeap) Pop() any {
+	old := *eh
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*eh = old[:n-1]
+	return e
+}
+
+// RunSim drives the workload through the scheduler on a virtual clock: jobs
+// never execute, their durations come from the estimator, and every decision
+// — placement order, victim choice, halt boundaries, completion times — is a
+// pure function of the workload and its seed. The same seed therefore
+// replays a byte-identical report, and a thousand-job stream schedules in
+// milliseconds through exactly the policy code real jobs use.
+//
+// Preemption is modeled faithfully to the real halt protocol: the victim's
+// completed steps advance to the cooperative boundary (observed progress
+// plus the three-step margin), it keeps its slots for PreemptLatency (the
+// checkpoint+drain cost), then parks and requeues. A boundary at or past the
+// step budget means the preemption raced with completion — the job simply
+// finishes, as it would for real.
+func RunSim(w *Workload, est Estimator, reg *telemetry.Registry) (*SchedReport, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := append([]Spec(nil), w.Jobs...)
+	if w.Synth != nil {
+		jobs = append(jobs, synthJobs(w)...)
+	}
+	sched := newScheduler(w, reg)
+	eh := &eventHeap{}
+	seq := 0
+	push := func(e *event) {
+		e.seq = seq
+		seq++
+		heap.Push(eh, e)
+	}
+	for i := range jobs {
+		push(&event{at: int64(jobs[i].SubmitAt), kind: evSubmit, spec: &jobs[i]})
+	}
+	lat := int64(w.PreemptLatency)
+	var now int64
+	for eh.Len() > 0 {
+		e := heap.Pop(eh).(*event)
+		if e.at > now {
+			now = e.at
+		}
+		sched.accrue(now)
+		switch e.kind {
+		case evSubmit:
+			sched.submit(*e.spec, now)
+		case evDone:
+			h := e.h
+			if e.gen != h.gen {
+				continue // cancelled by a preemption of that placement
+			}
+			sched.complete(h, now)
+		case evParked:
+			sched.parked(e.h, now, e.doneSteps)
+		}
+		placements, preempts := sched.schedule(now)
+		for _, p := range placements {
+			h := p.H
+			iter, err := est.IterTime(&h.Spec)
+			if err != nil {
+				sched.fail(h, now, err)
+				continue
+			}
+			if err := h.To(Running); err != nil {
+				sched.fail(h, now, err)
+				continue
+			}
+			h.iterNS = int64(iter)
+			if h.iterNS < 1 {
+				h.iterNS = 1
+			}
+			h.gen++
+			remaining := int64(h.Spec.Steps) - h.DoneSteps
+			if remaining < 1 {
+				remaining = 1
+			}
+			push(&event{at: now + remaining*h.iterNS, kind: evDone, h: h, gen: h.gen})
+		}
+		for _, v := range preempts {
+			done := v.DoneSteps + (now-v.segStart)/v.iterNS + 3
+			if done >= int64(v.Spec.Steps) {
+				// The halt boundary lands past the budget: the preemption
+				// raced with completion, so the pending done event stands
+				// (Preempting → Done is a legal drain).
+				continue
+			}
+			v.gen++ // cancel the placement's pending completion
+			push(&event{at: now + lat, kind: evParked, h: v, doneSteps: done})
+		}
+	}
+	if len(sched.queue) > 0 {
+		sched.deadlocks++
+		sched.evictQueued(now, "gang deadlock: event queue drained with jobs waiting")
+		sched.accrue(now)
+	}
+	return sched.buildReport("sim", now), nil
+}

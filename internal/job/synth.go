@@ -1,0 +1,50 @@
+package job
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// synthModels is the pool the synthetic stream draws from — the paper's
+// CNN suite minus inception4 (whose simulated iteration dominates runtime
+// without adding scheduling signal).
+var synthModels = []string{"resnet50", "inception3", "alexnet", "vgg16"}
+
+// synthJobs expands a SynthSpec into a deterministic job stream: shapes,
+// priorities, and submission times drawn from the workload seed, tenants
+// assigned round-robin-free from the same stream. The majority of jobs are
+// elastic (preemptible); a sprinkling are rigid so victim selection has to
+// route around them. All jobs share the sim seed so the trainsim cache
+// collapses the stream to its unique configuration points.
+func synthJobs(w *Workload) []Spec {
+	sy := w.Synth
+	rng := rand.New(rand.NewSource(w.Seed))
+	maxNodes := w.Cluster.Nodes
+	maxPPN := w.Cluster.SlotsPerNode
+	jobs := make([]Spec, 0, sy.Jobs)
+	var at int64
+	for i := 0; i < sy.Jobs; i++ {
+		at += rng.Int63n(int64(400_000_000)) // mean ~200ms inter-arrival
+		nodes := 1 + rng.Intn(maxNodes)
+		ppn := 1 << rng.Intn(3) // 1, 2, or 4
+		if ppn > maxPPN {
+			ppn = maxPPN
+		}
+		s := Spec{
+			Name:     fmt.Sprintf("synth-%d", i),
+			Tenant:   fmt.Sprintf("t%d", rng.Intn(sy.Tenants)),
+			Priority: rng.Intn(3),
+			Nodes:    nodes,
+			PPN:      ppn,
+			Model:    synthModels[rng.Intn(len(synthModels))],
+			Platform: w.Cluster.Platform,
+			Batch:    4 << rng.Intn(3), // 4, 8, or 16
+			Steps:    5 + rng.Intn(60),
+			Elastic:  rng.Intn(4) != 0, // 3/4 preemptible
+			SubmitAt: Duration(at),
+		}
+		s.WithDefaults()
+		jobs = append(jobs, s)
+	}
+	return jobs
+}

@@ -6,9 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"dnnperf/internal/data"
-	"dnnperf/internal/horovod"
-	"dnnperf/internal/models"
+	"dnnperf/internal/job"
 	"dnnperf/internal/mpi"
 	"dnnperf/internal/train"
 )
@@ -33,26 +31,8 @@ func init() {
 func runElastic() (*Table, error) {
 	const (
 		ranks       = 4
-		steps       = 10
-		batch       = 4
-		ckptEvery   = 2
 		recvTimeout = 250 * time.Millisecond
 	)
-
-	newModel := func() *models.Model {
-		return models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: 7})
-	}
-	newOpt := func(worldSize int) train.Optimizer { return train.NewMomentum(0.05, 0.9) }
-	newGen := func(rank, size int, startStep int64) (func() data.Batch, error) {
-		gen, err := data.NewLearnable(batch, 3, 16, 4, data.Shard(42, rank))
-		if err != nil {
-			return nil, err
-		}
-		for i := int64(0); i < startStep; i++ {
-			gen.Next()
-		}
-		return gen.Next, nil
-	}
 
 	type scenario struct {
 		name    string
@@ -83,6 +63,15 @@ func runElastic() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One job.Spec rules every rank of the scenario — the same schema
+		// mpirun and dnnsched run.
+		spec := &job.Spec{
+			Name: "elastic-" + sc.name, PPN: ranks,
+			Steps: 10, Elastic: true, CkptDir: dir, CkptEvery: 2,
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
 
 		var wg sync.WaitGroup
 		results := make([]*train.SupervisorResult, ranks)
@@ -93,19 +82,10 @@ func runElastic() (*Table, error) {
 				defer wg.Done()
 				comm := w.Comm(r)
 				if r == sc.dieRank {
-					errs[r] = runElasticVictim(comm, r, ranks, sc.dieStep, batch, newModel, newOpt, newGen)
+					errs[r] = spec.RunVictim(comm, int64(sc.dieStep), nil)
 					return
 				}
-				results[r], errs[r] = train.Supervise(train.SupervisorConfig{
-					Comm:         comm,
-					Engine:       horovod.Config{CycleTime: 300 * time.Microsecond, Average: true},
-					NewModel:     newModel,
-					NewOptimizer: newOpt,
-					NewGen:       newGen,
-					Steps:        steps,
-					CkptDir:      dir,
-					CkptEvery:    ckptEvery,
-				})
+				results[r], errs[r] = train.Supervise(spec.SupervisorConfig(comm))
 			}(r)
 		}
 		wg.Wait()
@@ -146,30 +126,4 @@ func runElastic() (*Table, error) {
 		"losing the leader before its first save forces a restart from step %.0f — the worst case the "+
 		"checkpoint period bounds", workerMS, leaderResume)
 	return t, nil
-}
-
-// runElasticVictim trains unsupervised until dieStep, then aborts its
-// transport — the injected failure the survivors recover from.
-func runElasticVictim(comm *mpi.Comm, rank, size, dieStep, batch int,
-	newModel func() *models.Model, newOpt func(int) train.Optimizer,
-	newGen func(int, int, int64) (func() data.Batch, error)) error {
-	// Join the survivors' bootstrap restore broadcast.
-	if _, err := comm.BcastBytes(nil, 0); err != nil {
-		return err
-	}
-	eng := horovod.NewEngine(comm, horovod.Config{CycleTime: 300 * time.Microsecond, Average: true})
-	tr, err := train.New(train.Config{Model: newModel(), Optimizer: newOpt(size), Engine: eng, Rank: rank})
-	if err != nil {
-		return err
-	}
-	defer tr.Close()
-	gen, err := newGen(rank, size, 0)
-	if err != nil {
-		return err
-	}
-	if _, err := tr.Run(gen, dieStep); err != nil {
-		return err
-	}
-	comm.Abort()
-	return nil
 }

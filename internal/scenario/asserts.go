@@ -51,6 +51,22 @@ func evalAssert(a Assert, oc *outcome) AssertResult {
 		res.Pass, res.Detail = assertRegrownWithin(a.Within.D(), oc)
 	case "no_split_brain":
 		res.Pass, res.Detail = assertNoSplitBrain(oc)
+	case "sched_complete":
+		res.Pass, res.Detail = assertSchedComplete(oc)
+	case "utilization_min":
+		if oc.sched == nil {
+			res.Detail = "run produced no sched report"
+			break
+		}
+		res.Pass = oc.sched.Utilization >= a.Value
+		res.Detail = fmt.Sprintf("utilization %.4f (floor %.4f)", oc.sched.Utilization, a.Value)
+	case "preemptions_min":
+		if oc.sched == nil {
+			res.Detail = "run produced no sched report"
+			break
+		}
+		res.Pass = oc.sched.Preemptions >= int(a.Value)
+		res.Detail = fmt.Sprintf("%d preemptions (want >= %d)", oc.sched.Preemptions, int(a.Value))
 	default:
 		res.Detail = fmt.Sprintf("unknown check %q", a.Check)
 	}
@@ -162,6 +178,28 @@ func assertNoSplitBrain(oc *outcome) (bool, string) {
 		}
 	}
 	return true, fmt.Sprintf("%d ranks agree: world=%d weights_crc=%08x", len(oc.supervised), size, crc)
+}
+
+// assertSchedComplete is the control plane's liveness postcondition: the
+// scheduler drained the entire stream — every job reached Done or Evicted,
+// nothing Failed, and no gang deadlock had to be broken by force.
+func assertSchedComplete(oc *outcome) (bool, string) {
+	rep := oc.sched
+	if rep == nil {
+		return false, "run produced no sched report"
+	}
+	if rep.Done+rep.Evicted+rep.Failed != rep.Jobs {
+		return false, fmt.Sprintf("%d of %d jobs unaccounted for",
+			rep.Jobs-rep.Done-rep.Evicted-rep.Failed, rep.Jobs)
+	}
+	if rep.Failed > 0 {
+		return false, fmt.Sprintf("%d jobs failed", rep.Failed)
+	}
+	if rep.Deadlocks > 0 {
+		return false, fmt.Sprintf("%d gang deadlocks broken by eviction", rep.Deadlocks)
+	}
+	return true, fmt.Sprintf("%d jobs drained (%d done, %d evicted), no deadlocks",
+		rep.Jobs, rep.Done, rep.Evicted)
 }
 
 func assertOutcome(want string, oc *outcome) (bool, string) {

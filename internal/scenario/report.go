@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"dnnperf/internal/job"
 	"dnnperf/internal/telemetry"
 )
 
@@ -36,6 +37,10 @@ type Report struct {
 	ThroughputImgS float64 `json:"throughput_img_s,omitempty"`
 	// Metrics is the merged end-of-run telemetry snapshot across ranks.
 	Metrics *telemetry.MergedMetrics `json:"metrics,omitempty"`
+	// Sched is the control plane's full report for sched-kind scenarios:
+	// per-tenant queueing/JCT aggregates, the utilization curve, per-job
+	// outcomes.
+	Sched *job.SchedReport `json:"sched,omitempty"`
 	// ReportPath/CkptDir point at on-disk artifacts when an output
 	// directory was configured.
 	ReportPath string `json:"report_path,omitempty"`

@@ -10,9 +10,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dnnperf/internal/data"
-	"dnnperf/internal/horovod"
 	"dnnperf/internal/hw"
+	"dnnperf/internal/job"
 	"dnnperf/internal/models"
 	"dnnperf/internal/mpi"
 	"dnnperf/internal/telemetry"
@@ -62,6 +61,9 @@ type outcome struct {
 	sim      *trainsim.Result
 	straggle *trainsim.StragglerResult
 
+	// sched jobs
+	sched *job.SchedReport
+
 	merged   *telemetry.MergedMetrics
 	ckptDir  string
 	newModel func() *models.Model
@@ -92,6 +94,8 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 		oc, err = runTrain(spec, opts)
 	case "collectives":
 		oc, err = runCollectives(spec, opts)
+	case "sched":
+		oc, err = runSched(spec, opts)
 	default:
 		oc, err = runTrainsim(spec, opts)
 	}
@@ -110,6 +114,7 @@ func Run(spec *Spec, opts Options) (*Report, error) {
 		ElapsedMS:      oc.elapsed.Milliseconds(),
 		ThroughputImgS: oc.throughput,
 		Metrics:        oc.merged,
+		Sched:          oc.sched,
 	}
 	for _, ev := range oc.recoveries {
 		rep.RecoveryLatenciesMS = append(rep.RecoveryLatenciesMS, ev.Latency.Milliseconds())
@@ -354,27 +359,33 @@ func (ctl *trainControl) hook(r int) func(int64, train.StepStats) {
 	}
 }
 
-// trainFactories builds the deterministic model/optimizer/generator
-// factories every rank of a train job shares. The model seed is fixed
-// (identical initial weights are a correctness requirement); the data
-// shards derive from the scenario seed.
-func trainFactories(spec *Spec) (func() *models.Model, func(int) train.Optimizer, func(rank, size int, startStep int64) (func() data.Batch, error)) {
-	batch, seed := spec.Job.Batch, spec.Seed
-	newModel := func() *models.Model {
-		return models.TinyCNN(models.Config{Batch: batch, ImageSize: 16, Classes: 4, Seed: 7})
+// jobSpec renders the scenario's train job into the shared job.Spec schema
+// — the single definition mpirun, dnnsched and the experiment runner
+// execute — so every factory, engine and supervisor knob comes from one
+// place. ckptDir is the resolved on-disk checkpoint directory ("" = none).
+func jobSpec(spec *Spec, ckptDir string) (*job.Spec, error) {
+	js := &job.Spec{
+		Name:         spec.Name,
+		PPN:          spec.Fleet.Ranks,
+		Steps:        spec.Job.Steps,
+		Batch:        spec.Job.Batch,
+		CycleTime:    spec.Job.CycleTime,
+		Seed:         spec.Seed,
+		Elastic:      spec.Job.Elastic,
+		CkptDir:      ckptDir,
+		CkptEvery:    spec.Job.CkptEvery,
+		RegrowWait:   spec.Job.RegrowWait,
+		RecvTimeout:  spec.Fleet.RecvTimeout,
+		AllreduceAlg: spec.Job.AllreduceAlg,
+		SegmentBytes: spec.Job.SegmentBytes,
 	}
-	newOpt := func(int) train.Optimizer { return train.NewMomentum(0.05, 0.9) }
-	newGen := func(rank, size int, startStep int64) (func() data.Batch, error) {
-		gen, err := data.NewLearnable(batch, 3, 16, 4, data.Shard(seed, rank))
-		if err != nil {
-			return nil, err
-		}
-		for i := int64(0); i < startStep; i++ {
-			gen.Next()
-		}
-		return gen.Next, nil
+	// Scenario training predates LR scheduling: keep the constant-rate
+	// optimizer so event logs replay across the refactor.
+	js.LRPolicy = "constant"
+	if err := js.Validate(); err != nil {
+		return nil, err
 	}
-	return newModel, newOpt, newGen
+	return js, nil
 }
 
 func runTrain(spec *Spec, opts Options) (*outcome, error) {
@@ -389,7 +400,6 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 	}
 	det := detect.New(detect.Config{}, regs[0], nil)
 	ctl := newTrainControl(spec, fts, det)
-	newModel, newOpt, newGen := trainFactories(spec)
 
 	ckptDir := ""
 	if spec.Job.CkptEvery > 0 {
@@ -406,6 +416,12 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 			return nil, err
 		}
 	}
+
+	js, err := jobSpec(spec, ckptDir)
+	if err != nil {
+		return nil, err
+	}
+	newModel, _, _ := js.Factories()
 
 	// kill_rank targets run doomed (train, then abort); everyone else runs
 	// the supervised elastic loop.
@@ -447,21 +463,12 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 					joinErrs[rank] = fmt.Errorf("scenario: restart rank %d: %w", rank, jerr)
 					return
 				}
-				joinResults[rank], joinErrs[rank] = train.Supervise(train.SupervisorConfig{
-					Comm:          jc,
-					Engine:        horovod.Config{CycleTime: spec.Job.CycleTime.D(), Average: true},
-					NewModel:      newModel,
-					NewOptimizer:  newOpt,
-					NewGen:        newGen,
-					Steps:         spec.Job.Steps,
-					CkptDir:       ckptDir,
-					CkptEvery:     spec.Job.CkptEvery,
-					Telemetry:     regs[rank],
-					OnStep:        ctl.hook(rank),
-					Joiner:        true,
-					RejoinTimeout: regrowWait,
-					RegrowWait:    regrowWait,
-				})
+				scfg := js.SupervisorConfig(jc)
+				scfg.Telemetry = regs[rank]
+				scfg.OnStep = ctl.hook(rank)
+				scfg.Joiner = true
+				scfg.RejoinTimeout = regrowWait
+				joinResults[rank], joinErrs[rank] = train.Supervise(scfg)
 			}()
 		})
 	}
@@ -489,23 +496,14 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 		go func(r int) {
 			defer wg.Done()
 			if killStep, doomed := kills[r]; doomed {
-				errs[r] = runDoomedRank(spec, ctl, comms[r], regs[r], r, killStep, ckptDir != "", newModel, newOpt, newGen)
+				errs[r] = js.RunVictim(comms[r], killStep, ctl.hook(r))
 				return
 			}
-			results[r], errs[r] = train.Supervise(train.SupervisorConfig{
-				Comm:          comms[r],
-				Engine:        horovod.Config{CycleTime: spec.Job.CycleTime.D(), Average: true},
-				NewModel:      newModel,
-				NewOptimizer:  newOpt,
-				NewGen:        newGen,
-				Steps:         spec.Job.Steps,
-				CkptDir:       ckptDir,
-				CkptEvery:     spec.Job.CkptEvery,
-				Telemetry:     regs[r],
-				OnStep:        ctl.hook(r),
-				RejoinTimeout: regrowWait,
-				RegrowWait:    regrowWait,
-			})
+			scfg := js.SupervisorConfig(comms[r])
+			scfg.Telemetry = regs[r]
+			scfg.OnStep = ctl.hook(r)
+			scfg.RejoinTimeout = regrowWait
+			results[r], errs[r] = train.Supervise(scfg)
 		}(r)
 	}
 	wg.Wait()
@@ -573,49 +571,6 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 	return oc, nil
 }
 
-// runDoomedRank trains unsupervised to its death step, then aborts its
-// transport without a goodbye — the crash the survivors must absorb. It
-// still runs the event hook so partitions and straggles scheduled before
-// its death apply.
-func runDoomedRank(spec *Spec, ctl *trainControl, comm *mpi.Comm, reg *telemetry.Registry,
-	rank int, killStep int64, ckpt bool,
-	newModel func() *models.Model, newOpt func(int) train.Optimizer,
-	newGen func(int, int, int64) (func() data.Batch, error)) error {
-	if ckpt {
-		// Join the supervised ranks' bootstrap restore broadcast (fresh
-		// start: the blob is empty).
-		if _, err := comm.BcastBytes(nil, 0); err != nil {
-			return err
-		}
-	}
-	eng := horovod.NewEngine(comm, horovod.Config{CycleTime: spec.Job.CycleTime.D(), Average: true})
-	tr, err := train.New(train.Config{
-		Model:     newModel(),
-		Optimizer: newOpt(comm.Size()),
-		Engine:    eng,
-		Rank:      rank,
-		Telemetry: reg,
-	})
-	if err != nil {
-		return err
-	}
-	defer tr.Close()
-	gen, err := newGen(rank, comm.Size(), 0)
-	if err != nil {
-		return err
-	}
-	hook := ctl.hook(rank)
-	for s := int64(1); s <= killStep; s++ {
-		st, serr := tr.Step(gen())
-		if serr != nil {
-			return serr
-		}
-		hook(s, st)
-	}
-	comm.Abort()
-	return nil
-}
-
 // buildTrainEventLog assembles the deterministic replay record: declared
 // trigger points, the recovery trajectory, per-rank outcomes. No
 // wall-clock values — those live in the report.
@@ -644,15 +599,37 @@ func buildTrainEventLog(oc *outcome, ctl *trainControl, survivors []int) {
 			oc.log("event %s %s rank=%d", trigger(ev), ev.Action, ev.Rank)
 		}
 	}
-	for _, rec := range oc.recoveries {
-		oc.log("recovery old_size=%d new_size=%d failed=%v resume_step=%d",
-			rec.OldSize, rec.NewSize, rec.FailedRanks, rec.ResumeStep)
+	// Concurrent failures batch differently run to run — two ranks killed at
+	// the same step may be absorbed in one recovery round or two, depending
+	// on detection timing — so per-round lines would not replay. The
+	// aggregate is timing-free and total: the sorted union of failed ranks,
+	// the world trajectory endpoints, and the earliest rollback step. The
+	// same argument covers regrow admissions.
+	if len(oc.recoveries) > 0 {
+		failed := map[int]bool{}
+		resume := oc.recoveries[0].ResumeStep
+		for _, rec := range oc.recoveries {
+			for _, r := range rec.FailedRanks {
+				failed[r] = true
+			}
+			if rec.ResumeStep < resume {
+				resume = rec.ResumeStep
+			}
+		}
+		oc.log("recovery failed=%v world=%d->%d resume_step=%d",
+			sortedRanks(failed), oc.recoveries[0].OldSize,
+			oc.recoveries[len(oc.recoveries)-1].NewSize, resume)
 	}
-	// Regrow admission is wall-clock-racy relative to the step counter (a
-	// join request lands between two boundaries), so only the timing-free
-	// facts — sizes and members — may appear in the replay record.
-	for _, rg := range oc.regrows {
-		oc.log("regrow old_size=%d new_size=%d joined=%v", rg.OldSize, rg.NewSize, rg.Joined)
+	if len(oc.regrows) > 0 {
+		joined := map[int]bool{}
+		for _, rg := range oc.regrows {
+			for _, r := range rg.Joined {
+				joined[r] = true
+			}
+		}
+		oc.log("regrow joined=%v world=%d->%d",
+			sortedRanks(joined), oc.regrows[0].OldSize,
+			oc.regrows[len(oc.regrows)-1].NewSize)
 	}
 	for r := 0; r < spec.Fleet.Ranks; r++ {
 		if word, ok := oc.casualties[r]; ok {
@@ -676,6 +653,16 @@ func buildTrainEventLog(oc *outcome, ctl *trainControl, survivors []int) {
 		oc.log("detect flagged=%v", fl)
 	}
 	_ = survivors
+}
+
+// sortedRanks renders a rank set as a sorted slice for stable logging.
+func sortedRanks(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // trigger renders an event's declared firing point.
@@ -829,6 +816,28 @@ func runTrainsim(spec *Spec, opts Options) (*outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The base point runs through the simulated job backend — the same
+	// estimator dnnsched schedules against — so a scenario's simulated
+	// throughput and a sched run's completion times come from one model.
+	js := &job.Spec{
+		Name:      spec.Name,
+		Model:     spec.Job.Model,
+		Framework: spec.Job.Framework,
+		Platform:  spec.Job.CPU,
+		Nodes:     spec.Fleet.Nodes,
+		PPN:       spec.Fleet.PPN,
+		Batch:     spec.Job.BatchPerProc,
+		Steps:     spec.Job.Steps,
+		Seed:      spec.Seed,
+	}
+	if err := js.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := job.NewSimBackend().Run(&job.RunContext{Spec: *js})
+	if err != nil {
+		return nil, err
+	}
+	base := *res.Sim
 	cfg := trainsim.Config{
 		Model:        spec.Job.Model,
 		Framework:    spec.Job.Framework,
@@ -837,10 +846,6 @@ func runTrainsim(spec *Spec, opts Options) (*outcome, error) {
 		PPN:          spec.Fleet.PPN,
 		BatchPerProc: spec.Job.BatchPerProc,
 		Seed:         spec.Seed,
-	}
-	base, err := trainsim.Simulate(cfg)
-	if err != nil {
-		return nil, err
 	}
 	oc := &outcome{spec: spec, sim: &base, throughput: base.ImagesPerSec}
 	oc.log("scenario %s seed=%d", spec.Name, spec.Seed)
@@ -881,5 +886,50 @@ func runTrainsim(spec *Spec, opts Options) (*outcome, error) {
 			fl, sres.FlaggedAtStep, sres.MaxSkew)
 		break // one straggler injection per scenario
 	}
+	return oc, nil
+}
+
+// runSched pushes a seeded synthetic multi-tenant workload through the
+// dnnsched gang scheduler on the discrete-event clock. The run is a pure
+// function of the scenario seed — job arrivals, shapes, priorities, and
+// every placement/preemption decision — so the scheduler's own event log
+// (virtual timestamps included) goes into the replay record verbatim.
+func runSched(spec *Spec, opts Options) (*outcome, error) {
+	sc := spec.Sched
+	w := &job.Workload{
+		Name: spec.Name,
+		Seed: spec.Seed,
+		Cluster: job.ClusterSpec{
+			Platform:     sc.Platform,
+			Nodes:        sc.Nodes,
+			SlotsPerNode: sc.SlotsPerNode,
+		},
+		NoPreempt: sc.NoPreempt,
+		Synth:     &job.SynthSpec{Jobs: sc.Jobs, Tenants: sc.Tenants},
+	}
+	reg := telemetry.New()
+	rep, err := job.RunSim(w, job.NewSimBackend(), reg)
+	if err != nil {
+		return nil, err
+	}
+	oc := &outcome{spec: spec, sched: rep}
+	oc.log("scenario %s seed=%d", spec.Name, spec.Seed)
+	oc.log("cluster platform=%s nodes=%d slots_per_node=%d",
+		sc.Platform, sc.Nodes, sc.SlotsPerNode)
+	oc.log("job kind=sched jobs=%d tenants=%d no_preempt=%t",
+		sc.Jobs, sc.Tenants, sc.NoPreempt)
+	oc.eventLog = append(oc.eventLog, rep.EventLog...)
+	oc.log("sched done=%d evicted=%d failed=%d preemptions=%d deadlocks=%d utilization=%.4f",
+		rep.Done, rep.Evicted, rep.Failed, rep.Preemptions, rep.Deadlocks, rep.Utilization)
+	for _, t := range rep.Tenants {
+		oc.log("tenant %s jobs=%d done=%d evicted=%d preemptions=%d wait_mean=%s jct_mean=%s",
+			t.Tenant, t.Jobs, t.Done, t.Evicted, t.Preemptions,
+			time.Duration(t.WaitMeanNS), time.Duration(t.JCTMeanNS))
+	}
+	opts.logf("  sched: %d jobs, %d done, %d preemptions, utilization %.1f%%",
+		rep.Jobs, rep.Done, rep.Preemptions, rep.Utilization*100)
+	s := reg.Snapshot()
+	m := telemetry.Merge([]telemetry.Snapshot{s})
+	oc.merged = &m
 	return oc, nil
 }

@@ -130,12 +130,149 @@ func TestRegrowReplayDeterministic(t *testing.T) {
 	log := string(rep1.EventLogBytes())
 	for _, want := range []string{
 		"event at_step=5 restart_rank rank=2",
-		"regrow old_size=2 new_size=3 joined=[2]",
+		"regrow joined=[2] world=2->3",
 		"rank 2 outcome=recovered",
 	} {
 		if !strings.Contains(log, want) {
 			t.Errorf("event log missing %q:\n%s", want, log)
 		}
+	}
+}
+
+// stormYAML is the multi-event storm: a 5-rank in-process job loses TWO
+// ranks after the same step — the surviving 3-of-5 majority must absorb
+// both deaths (in one recovery round or two, depending on detection
+// timing) — and both casualties are later relaunched and readmitted,
+// growing the world back to 5.
+const stormYAML = `
+name: storm_replay
+seed: 1313
+fleet:
+  ranks: 5
+  transport: inproc
+  recv_timeout: 500ms
+job:
+  kind: train
+  steps: 10
+  batch: 4
+  elastic: true
+  ckpt_every: 2
+timeline:
+  - at_step: 3
+    action: kill_rank
+    rank: 3
+  - at_step: 3
+    action: kill_rank
+    rank: 4
+  - at_step: 6
+    action: restart_rank
+    rank: 3
+  - at_step: 6
+    action: restart_rank
+    rank: 4
+asserts:
+  - check: recovered_within
+    within: 60s
+  - check: world_size_final
+  - check: no_split_brain
+  - check: outcome
+    equals: recovered
+  - check: final_step
+`
+
+// TestStormReplayDeterministic holds the aggregation contract for storms:
+// concurrent failures may batch into a different number of recovery rounds
+// on each run, so the event log records the aggregate trajectory — sorted
+// union of failed ranks, world endpoints, earliest rollback — and THAT
+// must be byte-identical across same-seed runs.
+func TestStormReplayDeterministic(t *testing.T) {
+	rep1 := runOnce(t, stormYAML)
+	rep2 := runOnce(t, stormYAML)
+	for i, rep := range []*Report{rep1, rep2} {
+		if !rep.Pass {
+			t.Errorf("run %d failed: %+v", i+1, rep.Asserts)
+		}
+	}
+	if !bytes.Equal(rep1.EventLogBytes(), rep2.EventLogBytes()) {
+		t.Errorf("event logs differ across same-seed runs:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			rep1.EventLogBytes(), rep2.EventLogBytes())
+	}
+	log := string(rep1.EventLogBytes())
+	for _, want := range []string{
+		"recovery failed=[3 4] world=5->3",
+		"regrow joined=[3 4] world=3->5",
+		"rank 3 outcome=recovered",
+		"rank 4 outcome=recovered",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("event log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+// TestDuplicateKillRejected pins the storm DSL's validation rule: a second
+// kill_rank for the same rank is a spec bug (one process cannot die twice),
+// not a silently-last-wins override.
+func TestDuplicateKillRejected(t *testing.T) {
+	const dup = `
+name: dup_kill
+seed: 1
+fleet:
+  ranks: 3
+job:
+  kind: train
+  steps: 8
+  elastic: true
+timeline:
+  - at_step: 2
+    action: kill_rank
+    rank: 2
+  - at_step: 4
+    action: kill_rank
+    rank: 2
+`
+	if _, err := Parse([]byte(dup)); err == nil || !strings.Contains(err.Error(), "duplicate kill_rank") {
+		t.Fatalf("want duplicate kill_rank error, got %v", err)
+	}
+}
+
+// schedYAML drives a 120-job, 3-tenant synthetic stream through the
+// dnnsched gang scheduler on the discrete-event clock.
+const schedYAML = `
+name: sched_replay
+seed: 2024
+job:
+  kind: sched
+sched:
+  nodes: 4
+  slots_per_node: 8
+  jobs: 120
+  tenants: 3
+asserts:
+  - check: sched_complete
+  - check: utilization_min
+    value: 0.3
+  - check: preemptions_min
+    value: 1
+`
+
+// TestSchedReplayDeterministic runs the scheduler scenario twice: both
+// runs must pass (stream drained, no deadlocks, utilization floor met,
+// preemption actually exercised) with byte-identical event logs — the
+// scheduler's virtual-clock decisions are part of the replay contract.
+func TestSchedReplayDeterministic(t *testing.T) {
+	rep1 := runOnce(t, schedYAML)
+	rep2 := runOnce(t, schedYAML)
+	for i, rep := range []*Report{rep1, rep2} {
+		if !rep.Pass {
+			t.Errorf("run %d failed: %+v", i+1, rep.Asserts)
+		}
+		if rep.Sched == nil || rep.Sched.Jobs != 120 {
+			t.Fatalf("run %d: missing or short sched report: %+v", i+1, rep.Sched)
+		}
+	}
+	if !bytes.Equal(rep1.EventLogBytes(), rep2.EventLogBytes()) {
+		t.Error("sched event logs differ across same-seed runs")
 	}
 }
 

@@ -10,46 +10,17 @@
 package scenario
 
 import (
-	"encoding/json"
 	"fmt"
 	"time"
+
+	"dnnperf/internal/yamlite"
 )
 
-// Duration is a time.Duration that unmarshals from either a Go duration
-// string ("250ms", "2s") or a bare JSON number of seconds, so scenario
-// files can write `at: 2s` and `recv_timeout: 0.5` interchangeably.
-type Duration time.Duration
-
-// D returns the wrapped time.Duration.
-func (d Duration) D() time.Duration { return time.Duration(d) }
-
-func (d Duration) String() string { return time.Duration(d).String() }
-
-// MarshalJSON renders the duration as its Go string form.
-func (d Duration) MarshalJSON() ([]byte, error) {
-	return json.Marshal(time.Duration(d).String())
-}
-
-// UnmarshalJSON accepts "250ms"-style strings or numbers of seconds.
-func (d *Duration) UnmarshalJSON(b []byte) error {
-	var v any
-	if err := json.Unmarshal(b, &v); err != nil {
-		return err
-	}
-	switch x := v.(type) {
-	case float64:
-		*d = Duration(time.Duration(x * float64(time.Second)))
-	case string:
-		td, err := time.ParseDuration(x)
-		if err != nil {
-			return fmt.Errorf("scenario: bad duration %q: %w", x, err)
-		}
-		*d = Duration(td)
-	default:
-		return fmt.Errorf("scenario: duration must be a string or number, got %T", v)
-	}
-	return nil
-}
+// Duration aliases the shared yamlite.Duration: a time.Duration that
+// unmarshals from either a Go duration string ("250ms", "2s") or a bare
+// JSON number of seconds, so scenario files can write `at: 2s` and
+// `recv_timeout: 0.5` interchangeably.
+type Duration = yamlite.Duration
 
 // Spec is one scenario file: what to run, what to break, what must hold.
 type Spec struct {
@@ -59,15 +30,37 @@ type Spec struct {
 	// Seed drives every random stream in the run (fault injection, data
 	// sharding, simulator jitter). Two runs with the same seed replay the
 	// same event sequence.
-	Seed     int64    `json:"seed"`
-	Fleet    Fleet    `json:"fleet"`
-	Job      Job      `json:"job"`
+	Seed  int64 `json:"seed"`
+	Fleet Fleet `json:"fleet"`
+	Job   Job   `json:"job"`
+	// Sched configures a "sched" job: the simulated cluster and synthetic
+	// multi-tenant workload the dnnsched control plane schedules.
+	Sched *Sched `json:"sched,omitempty"`
 	// Faults is the initial fault-rate template applied to every rank's
 	// transport; nil starts clean. A set_faults timeline event swaps it
 	// mid-run.
 	Faults   *Faults  `json:"faults,omitempty"`
 	Timeline []Event  `json:"timeline,omitempty"`
 	Asserts  []Assert `json:"asserts,omitempty"`
+}
+
+// Sched declares a cluster-scheduling scenario: a synthetic job stream
+// pushed through the dnnsched gang scheduler on the discrete-event clock.
+// Everything is derived from the scenario seed, so the scheduler's event
+// log and per-tenant report replay byte-identically.
+type Sched struct {
+	// Platform names the hw catalog entry backing the simulated nodes
+	// (default Skylake-1).
+	Platform string `json:"platform,omitempty"`
+	// Nodes/SlotsPerNode shape the cluster (defaults 4 nodes x 8 slots).
+	Nodes        int `json:"nodes,omitempty"`
+	SlotsPerNode int `json:"slots_per_node,omitempty"`
+	// Jobs is the synthetic stream length (default 200); Tenants the number
+	// of tenants it is spread across (default 3).
+	Jobs    int `json:"jobs,omitempty"`
+	Tenants int `json:"tenants,omitempty"`
+	// NoPreempt disables priority preemption, for A/B runs.
+	NoPreempt bool `json:"no_preempt,omitempty"`
 }
 
 // Fleet declares the ranks and the transport they run on.
@@ -89,7 +82,8 @@ type Fleet struct {
 type Job struct {
 	// Kind is "train" (default: real supervised SGD through the Horovod
 	// engine), "collectives" (a direct allreduce soak on the raw comm
-	// layer) or "trainsim" (the analytical simulator).
+	// layer), "trainsim" (the analytical simulator) or "sched" (a synthetic
+	// multi-tenant workload through the dnnsched gang scheduler).
 	Kind string `json:"kind,omitempty"`
 	// Steps is the global step budget (train), synthesized steps
 	// (trainsim straggler runs) — default 8.
@@ -202,6 +196,11 @@ type Event struct {
 //	                     nonzero weights fingerprint and world size, and
 //	                     any parked (minority) rank produced zero
 //	                     optimizer updates while parked.
+//	sched_complete     — the scheduler drained the whole stream: every job
+//	                     ended Done or Evicted, none Failed, and no gang
+//	                     deadlock had to be broken.
+//	utilization_min    — cluster slot utilization >= value (0..1).
+//	preemptions_min    — the scheduler performed >= value preemptions.
 type Assert struct {
 	Check  string   `json:"check"`
 	Within Duration `json:"within,omitempty"`
@@ -225,6 +224,8 @@ var (
 		"min_dropped": true, "metric_min": true, "metric_max": true,
 		"world_size_final": true, "regrown_within": true,
 		"no_split_brain": true,
+		"sched_complete": true, "utilization_min": true,
+		"preemptions_min": true,
 	}
 )
 
@@ -285,8 +286,28 @@ func (s *Spec) withDefaults() {
 			s.Job.BatchPerProc = 32
 		}
 		s.Job.Steps = max(s.Job.Steps, 2)
-	} else if s.Fleet.Ranks <= 0 {
+	} else if s.Job.Kind != "sched" && s.Fleet.Ranks <= 0 {
 		s.Fleet.Ranks = 2
+	}
+	if s.Job.Kind == "sched" {
+		if s.Sched == nil {
+			s.Sched = &Sched{}
+		}
+		if s.Sched.Platform == "" {
+			s.Sched.Platform = "Skylake-1"
+		}
+		if s.Sched.Nodes <= 0 {
+			s.Sched.Nodes = 4
+		}
+		if s.Sched.SlotsPerNode <= 0 {
+			s.Sched.SlotsPerNode = 8
+		}
+		if s.Sched.Jobs <= 0 {
+			s.Sched.Jobs = 200
+		}
+		if s.Sched.Tenants <= 0 {
+			s.Sched.Tenants = 3
+		}
 	}
 	// Straggle events default to firing from step 1.
 	for i := range s.Timeline {
@@ -334,8 +355,24 @@ func (s *Spec) Validate() error {
 		if s.Fleet.Transport != "trainsim" {
 			return fmt.Errorf("scenario %s: trainsim jobs run on the trainsim transport", s.Name)
 		}
+	case "sched":
+		if len(s.Timeline) > 0 {
+			return fmt.Errorf("scenario %s: sched jobs take their whole event stream from the seed and support no timeline", s.Name)
+		}
 	default:
-		return fmt.Errorf("scenario %s: unknown job kind %q (want train, collectives or trainsim)", s.Name, s.Job.Kind)
+		return fmt.Errorf("scenario %s: unknown job kind %q (want train, collectives, trainsim or sched)", s.Name, s.Job.Kind)
+	}
+	// A second kill_rank for the same rank would silently shadow the first
+	// (one process cannot crash twice); a storm kills distinct ranks.
+	killed := map[int]bool{}
+	for i, ev := range s.Timeline {
+		if ev.Action != "kill_rank" {
+			continue
+		}
+		if killed[ev.Rank] {
+			return fmt.Errorf("scenario %s: timeline[%d]: duplicate kill_rank for rank %d", s.Name, i, ev.Rank)
+		}
+		killed[ev.Rank] = true
 	}
 	for i, ev := range s.Timeline {
 		if !validActions[ev.Action] {
@@ -408,6 +445,13 @@ func (s *Spec) Validate() error {
 		case "straggler_flagged":
 			if a.Rank < 0 || a.Rank >= s.Fleet.Ranks {
 				return fmt.Errorf("scenario %s: asserts[%d]: rank %d out of range [0,%d)", s.Name, i, a.Rank, s.Fleet.Ranks)
+			}
+		case "sched_complete", "utilization_min", "preemptions_min":
+			if s.Job.Kind != "sched" {
+				return fmt.Errorf("scenario %s: asserts[%d]: %s applies to sched jobs", s.Name, i, a.Check)
+			}
+			if a.Check == "utilization_min" && (a.Value <= 0 || a.Value > 1) {
+				return fmt.Errorf("scenario %s: asserts[%d]: utilization_min value must be in (0,1], got %g", s.Name, i, a.Value)
 			}
 		}
 	}

@@ -61,6 +61,9 @@ const (
 	OutcomeRecovered
 	// OutcomeFailed: the run could not complete.
 	OutcomeFailed
+	// OutcomePreempted: the run halted cooperatively at a HaltAt boundary
+	// (checkpointing first), so a later run can resume it bit-exactly.
+	OutcomePreempted
 )
 
 func (o Outcome) String() string {
@@ -69,6 +72,8 @@ func (o Outcome) String() string {
 		return "clean"
 	case OutcomeRecovered:
 		return "recovered"
+	case OutcomePreempted:
+		return "preempted"
 	default:
 		return "failed"
 	}
@@ -178,6 +183,18 @@ type SupervisorConfig struct {
 	// After a rollback the step counter rewinds, so the hook may see the
 	// same step number again — fire-once triggers belong to the caller.
 	OnStep func(step int64, st StepStats)
+	// HaltAt, if set, is polled before every step: a positive return B asks
+	// this rank to stop cooperatively once its completed-step counter
+	// reaches B, checkpoint (leader, when CkptDir is set) and end the run
+	// with OutcomePreempted. Every rank must read the same boundary, and
+	// the caller must pick B strictly above the highest completed step at
+	// publish time (lockstep bounds the spread to one step, so
+	// maxObserved+3 is always safe); all ranks then halt at exactly B with
+	// no collective outstanding, which is what makes preemption look like
+	// a clean end instead of a rank failure. This is the scheduler's
+	// preempt-as-shrink entry point: halt + checkpoint now, regrow later
+	// by re-running with the same CkptDir.
+	HaltAt func() int64
 }
 
 func (c SupervisorConfig) withDefaults() (SupervisorConfig, error) {
@@ -265,6 +282,10 @@ func Supervise(cfg SupervisorConfig) (*SupervisorResult, error) {
 		checkpoints:    cfg.Telemetry.Counter("train.checkpoints"),
 	}
 	err = sup.run()
+	preempted := errors.Is(err, errPreempted)
+	if preempted {
+		err = nil
+	}
 	if sup.in != nil {
 		if err == nil {
 			res.WeightsCRC = weightsCRC(sup.in.model, sup.in.opt, sup.step)
@@ -281,9 +302,12 @@ func Supervise(cfg SupervisorConfig) (*SupervisorResult, error) {
 		res.Outcome = OutcomeFailed
 		return res, err
 	}
-	if len(res.Recoveries) > 0 || len(res.Regrows) > 0 {
+	switch {
+	case preempted:
+		res.Outcome = OutcomePreempted
+	case len(res.Recoveries) > 0 || len(res.Regrows) > 0:
 		res.Outcome = OutcomeRecovered
-	} else {
+	default:
 		res.Outcome = OutcomeClean
 	}
 	return res, nil
@@ -335,6 +359,11 @@ func (s *supervisor) run() error {
 	s.cfg.Health.RecordWorld(s.in.comm.Size())
 	recoveries := 0
 	for s.step < int64(s.cfg.Steps) {
+		if f := s.cfg.HaltAt; f != nil {
+			if b := f(); b > 0 && s.step >= b {
+				return s.halt()
+			}
+		}
 		// A grow directive quiesces every member at the same step boundary:
 		// the announcement rode the readiness negotiation, so no rank can
 		// have completed the boundary step without having decoded it.
@@ -787,6 +816,27 @@ func (s *supervisor) maybeCheckpoint() error {
 }
 
 func ckptFileName(step int64) string { return fmt.Sprintf("ckpt-%08d.dnpf", step) }
+
+// errPreempted is the cooperative-halt sentinel run() returns when a HaltAt
+// boundary is reached; Supervise maps it to OutcomePreempted with a nil error.
+var errPreempted = errors.New("train: preempted")
+
+// halt ends the run at a preemption boundary: the leader force-writes a
+// checkpoint at the current step (ignoring the CkptEvery cadence — this is
+// the state the resumed job restores), then every rank returns the
+// preemption sentinel. All ranks reach the same boundary before any engine
+// tears down, so no peer observes the halt as a failure.
+func (s *supervisor) halt() error {
+	if s.cfg.CkptDir != "" && s.in.comm.Rank() == 0 {
+		path := filepath.Join(s.cfg.CkptDir, ckptFileName(s.step))
+		if err := SaveTrainingCheckpointFile(path, s.in.model, CaptureTrainState(s.in.opt, s.step)); err != nil {
+			return fmt.Errorf("train: preemption checkpoint at step %d: %w", s.step, err)
+		}
+		s.checkpoints.Inc()
+	}
+	s.cfg.Health.Set(telemetry.HealthParked, "preempted_step", s.step)
+	return errPreempted
+}
 
 // restore rolls model and opt to the newest valid checkpoint, coordinated
 // across comm: the leader reads candidate files newest-first, validates the

@@ -1,0 +1,290 @@
+// Package yamlite is the zero-dependency YAML-subset parser shared by every
+// spec schema in the tree (scenario files, job specs, scheduler workloads).
+// Files are YAML for human eyes and JSON for machines: the parser handles the
+// block-structured subset the DSLs need (nested maps, sequences of maps,
+// scalars with type inference, # comments) and converts it through
+// encoding/json into caller structs, so one schema serves both syntaxes. The
+// subset is strict — two-space indentation, "- " sequence items, no flow
+// syntax, no anchors — and Unmarshal rejects unknown keys, which catches
+// schema typos at parse time instead of as silently-ignored settings.
+package yamlite
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Unmarshal decodes src — YAML (default) or JSON (first non-blank byte is
+// '{') — into v via an encoding/json round trip, rejecting unknown fields.
+func Unmarshal(src []byte, v any) error {
+	trimmed := bytes.TrimLeft(src, " \t\r\n")
+	var raw any
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		if err := json.Unmarshal(src, &raw); err != nil {
+			return fmt.Errorf("yamlite: bad JSON: %w", err)
+		}
+	} else {
+		var err error
+		raw, err = Parse(src)
+		if err != nil {
+			return err
+		}
+	}
+	buf, err := json.Marshal(raw)
+	if err != nil {
+		return fmt.Errorf("yamlite: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("yamlite: %w", err)
+	}
+	return nil
+}
+
+// Duration is a time.Duration that unmarshals from either a Go duration
+// string ("250ms", "2s") or a bare JSON number of seconds, so spec files can
+// write `at: 2s` and `recv_timeout: 0.5` interchangeably.
+type Duration time.Duration
+
+// D returns the wrapped time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as its Go string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms"-style strings or numbers of seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case float64:
+		*d = Duration(time.Duration(x * float64(time.Second)))
+	case string:
+		td, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("yamlite: bad duration %q: %w", x, err)
+		}
+		*d = Duration(td)
+	default:
+		return fmt.Errorf("yamlite: duration must be a string or number, got %T", v)
+	}
+	return nil
+}
+
+// yline is one significant source line: indentation plus content.
+type yline struct {
+	indent int
+	text   string
+	num    int
+}
+
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+// Parse decodes the YAML subset into the generic any/map[string]any/[]any
+// shape encoding/json produces.
+func Parse(src []byte) (any, error) {
+	var lines []yline
+	for i, raw := range strings.Split(string(src), "\n") {
+		text := strings.TrimRight(stripComment(raw), " \t\r")
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		body := strings.TrimLeft(text, " ")
+		if strings.HasPrefix(body, "\t") || strings.Contains(text[:len(text)-len(body)], "\t") {
+			return nil, fmt.Errorf("yamlite: line %d: tabs are not allowed in indentation", i+1)
+		}
+		lines = append(lines, yline{indent: len(text) - len(body), text: body, num: i + 1})
+	}
+	p := &yparser{lines: lines}
+	v, err := p.block(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("yamlite: line %d: unexpected indentation", p.lines[p.pos].num)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing # comment. A # starts a comment at line
+// start or after whitespace, and never inside single or double quotes.
+func stripComment(line string) string {
+	inS, inD := false, false
+	for i, r := range line {
+		switch r {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t') {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// block parses the map or sequence starting at the current line, which
+// must be indented at least minIndent; a shallower line ends the block.
+func (p *yparser) block(minIndent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, nil
+	}
+	ln := p.lines[p.pos]
+	if ln.indent < minIndent {
+		return nil, nil
+	}
+	if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+		return p.sequence(ln.indent)
+	}
+	return p.mapping(ln.indent)
+}
+
+func (p *yparser) sequence(indent int) (any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("yamlite: line %d: unexpected indentation", ln.num)
+		}
+		if ln.text != "-" && !strings.HasPrefix(ln.text, "- ") {
+			break
+		}
+		rest := strings.TrimLeft(strings.TrimPrefix(ln.text, "-"), " ")
+		switch {
+		case rest == "":
+			p.pos++
+			v, err := p.block(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case isMapEntry(rest):
+			// "- key: value": the item is a map whose keys align two
+			// columns past the dash.
+			p.lines[p.pos] = yline{indent: indent + 2, text: rest, num: ln.num}
+			v, err := p.mapping(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			p.pos++
+			out = append(out, scalarValue(rest))
+		}
+	}
+	return out, nil
+}
+
+func (p *yparser) mapping(indent int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("yamlite: line %d: unexpected indentation", ln.num)
+		}
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			break // a sibling sequence ends the map (caller's problem)
+		}
+		key, rest, ok := splitEntry(ln.text)
+		if !ok {
+			return nil, fmt.Errorf("yamlite: line %d: expected 'key: value', got %q", ln.num, ln.text)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("yamlite: line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			out[key] = scalarValue(rest)
+			continue
+		}
+		v, err := p.block(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+// isMapEntry reports whether text begins a `key: value` or `key:` entry.
+func isMapEntry(text string) bool {
+	_, _, ok := splitEntry(text)
+	return ok
+}
+
+// splitEntry splits "key: value" (or "key:") around the first colon. Keys
+// are bare identifiers: letters, digits, '_', '-', '.'.
+func splitEntry(text string) (key, rest string, ok bool) {
+	i := strings.IndexByte(text, ':')
+	if i <= 0 {
+		return "", "", false
+	}
+	if i+1 < len(text) && text[i+1] != ' ' {
+		return "", "", false // "127.0.0.1:80" is a scalar, not an entry
+	}
+	key = text[:i]
+	for _, r := range key {
+		if !(r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", "", false
+		}
+	}
+	return key, strings.TrimSpace(text[i+1:]), true
+}
+
+// scalarValue infers the type of a scalar: quoted string, null, bool,
+// integer, float, else plain string.
+func scalarValue(s string) any {
+	if len(s) >= 2 {
+		if s[0] == '"' && s[len(s)-1] == '"' {
+			if u, err := strconv.Unquote(s); err == nil {
+				return u
+			}
+			return s[1 : len(s)-1]
+		}
+		if s[0] == '\'' && s[len(s)-1] == '\'' {
+			return strings.ReplaceAll(s[1:len(s)-1], "''", "'")
+		}
+	}
+	switch s {
+	case "null", "~":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseShapes(t *testing.T) {
+	src := `
+# comment
+name: x
+nested:
+  a: 1
+  b: "quoted: string"
+seq:
+  - k: 1.5
+    flag: true
+  - k: 2
+items:
+  - one
+  - "127.0.0.1:80"
+`
+	v, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("top level %T", v)
+	}
+	if m["name"] != "x" {
+		t.Fatalf("name %v", m["name"])
+	}
+	nested := m["nested"].(map[string]any)
+	if nested["a"] != int64(1) || nested["b"] != "quoted: string" {
+		t.Fatalf("nested %v", nested)
+	}
+	seq := m["seq"].([]any)
+	if len(seq) != 2 || seq[0].(map[string]any)["k"] != 1.5 || seq[0].(map[string]any)["flag"] != true {
+		t.Fatalf("seq %v", seq)
+	}
+	items := m["items"].([]any)
+	if len(items) != 2 || items[1] != "127.0.0.1:80" {
+		t.Fatalf("items %v", items)
+	}
+}
+
+func TestParseRejectsBadStructure(t *testing.T) {
+	cases := map[string]string{
+		"tabs":          "name: x\n\tseed: 1\n",
+		"duplicate key": "name: x\nname: y\n",
+		"orphan indent": "name: x\n    seed: 1\n",
+		"non-entry":     "name: x\njust some text\n",
+	}
+	for what, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s accepted", what)
+		}
+	}
+}
+
+func TestUnmarshalStrict(t *testing.T) {
+	type doc struct {
+		Name string   `json:"name"`
+		Wait Duration `json:"wait,omitempty"`
+	}
+	var d doc
+	if err := Unmarshal([]byte("name: ok\nwait: 250ms\n"), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "ok" || d.Wait.D() != 250*time.Millisecond {
+		t.Fatalf("%+v", d)
+	}
+	// JSON front door, numeric-seconds duration.
+	var j doc
+	if err := Unmarshal([]byte(`{"name": "j", "wait": 2}`), &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Wait.D() != 2*time.Second {
+		t.Fatalf("numeric seconds: %v", j.Wait)
+	}
+	// Unknown keys are schema typos, not settings.
+	err := Unmarshal([]byte("nmae: typo\n"), &d)
+	if err == nil || !strings.Contains(err.Error(), "nmae") {
+		t.Fatalf("typo not rejected: %v", err)
+	}
+}
