@@ -9,7 +9,7 @@ RACE_PKGS = ./internal/tensor/... ./internal/graph/... ./internal/horovod/... ./
 FUZZ_PKGS = ./internal/mpi/ ./internal/horovod/ ./internal/train/
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race bench fuzz scenarios regrow-demo dnnsched-smoke ci
+.PHONY: build test vet race bench fuzz scenarios regrow-demo dnnsched-smoke analyze-smoke ci
 
 build:
 	$(GO) build ./...
@@ -71,5 +71,28 @@ dnnsched-smoke: build
 	bin/dnnsched -synth 200 -tenants 3 -seed 7 -q -report dnnsched-report-replay.json
 	cmp dnnsched-report.json dnnsched-report-replay.json
 	$(GO) test -race -run TestRealPreemptionRoundTrip -count=1 ./internal/job/
+
+# analyze-smoke drives the post-mortem attribution pipeline end to end on
+# real runs: a clean 4-rank TCP job and an elastic crash-recovery job (rank
+# 2 dies after step 3, survivors shrink and finish; exit 3 = recovered)
+# both write merged traces, `dnnperf analyze` attributes each, and the gate
+# demands the decomposition account for >= 95% of aggregate wall time.
+# Artifacts (traces, metrics, reports, flight-recorder dumps) land in
+# analyze-out/.
+analyze-smoke: build
+	$(GO) build -o bin/mpirun ./cmd/mpirun
+	$(GO) build -o bin/dnnperf ./cmd/dnnperf
+	mkdir -p analyze-out
+	bin/mpirun -np 4 -steps 6 -batch_size 4 \
+		-trace analyze-out/trace.json -metrics analyze-out/metrics.json
+	bin/dnnperf analyze -trace analyze-out/trace.json \
+		-metrics analyze-out/metrics.json -json analyze-out/report.json
+	bin/mpirun -np 4 -steps 8 -recv_timeout 2s -elastic -die_rank 2 -die_step 3 \
+		-trace analyze-out/chaos-trace.json -metrics analyze-out/chaos-metrics.json; \
+		test $$? -eq 3
+	bin/dnnperf analyze -trace analyze-out/chaos-trace.json \
+		-metrics analyze-out/chaos-metrics.json -json analyze-out/chaos-report.json
+	scripts/check_analyze.sh analyze-out/report.json 950
+	scripts/check_analyze.sh analyze-out/chaos-report.json 950
 
 ci: build vet test race

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnnperf/internal/analyze"
+)
+
+// The analyze subcommand runs critical-path attribution over a finished run
+// (merged trace + metrics files from mpirun's -trace/-metrics flags) or a
+// live rank-0 telemetry endpoint:
+//
+//	dnnperf analyze -trace trace.json [-metrics metrics.json] [-json out.json]
+//	dnnperf analyze -live http://host:port [-json out.json]
+func analyzeMain(args []string) int {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "merged Chrome trace JSON from a run")
+	metricsPath := fs.String("metrics", "", "merged metrics JSON from the same run (optional)")
+	live := fs.String("live", "", "base URL of a live rank-0 telemetry server (fetches /trace and /metrics.json)")
+	jsonOut := fs.String("json", "", "write the machine-readable report JSON to this file ('-' = stdout)")
+	steps := fs.Int("steps", 64, "cap the per-step section of the report")
+	perRank := fs.Bool("per_rank_steps", false, "include per-rank rows inside every step report")
+	quiet := fs.Bool("q", false, "suppress the human-readable report")
+	fs.Parse(args)
+
+	if (*tracePath == "") == (*live == "") {
+		fmt.Fprintln(os.Stderr, "usage: dnnperf analyze {-trace file [-metrics file] | -live url} [-json out]")
+		return 2
+	}
+
+	var in *analyze.Input
+	var err error
+	if *live != "" {
+		in, err = analyze.FetchLive(*live, 10*time.Second)
+	} else {
+		in, err = analyze.LoadFiles(*tracePath, *metricsPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnnperf analyze:", err)
+		return 1
+	}
+	analyze.SortEvents(in.Events)
+	rep := in.Analyze(analyze.Options{MaxSteps: *steps, PerRankSteps: *perRank})
+
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dnnperf analyze:", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "dnnperf analyze:", err)
+			return 1
+		}
+	}
+	if !*quiet {
+		if err := rep.WriteHuman(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dnnperf analyze:", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -11,6 +11,7 @@
 //	dnnperf -sim -model resnet152 -platform Skylake-3 -nodes 128 -ppn 4 -bs 32
 //	dnnperf -tune -model resnet50 -framework pytorch -platform Skylake-3
 //	dnnperf scenario run scenarios/crash_recover.yaml
+//	dnnperf analyze -trace trace.json -metrics metrics.json
 package main
 
 import (
@@ -22,10 +23,13 @@ import (
 )
 
 func main() {
-	// The scenario subcommand has its own argument grammar; dispatch it
-	// before the flag package sees anything.
+	// The scenario and analyze subcommands have their own argument grammars;
+	// dispatch them before the flag package sees anything.
 	if len(os.Args) > 1 && os.Args[1] == "scenario" {
 		os.Exit(scenarioMain(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		os.Exit(analyzeMain(os.Args[2:]))
 	}
 	var (
 		list   = flag.Bool("list", false, "list all reproducible experiments")

@@ -52,7 +52,10 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
+	"path/filepath"
 	"strconv"
+	"syscall"
 	"time"
 
 	"dnnperf/internal/horovod"
@@ -99,7 +102,11 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline here (all ranks merged, pid = rank)")
 		algFlag     = flag.String("allreduce_alg", "auto", "allreduce algorithm: auto, ring or recursive_doubling (rd)")
 
-		listen       = flag.String("listen", "", "rank 0 serves live telemetry over HTTP on this address: /metrics (Prometheus), /metrics.json, /trace, /healthz")
+		profileMode = flag.String("profile", "", "capture a per-rank Go profile (cpu or heap); gathered to rank 0 under -profile_dir")
+		profileDir  = flag.String("profile_dir", "profiles", "directory for -profile output files")
+		flightDir   = flag.String("flight_dir", "", "directory for flight-recorder dumps on abnormal exit (default: alongside -trace or -metrics)")
+
+		listen       = flag.String("listen", "", "rank 0 serves live telemetry over HTTP on this address: /metrics (Prometheus), /metrics.json, /trace, /healthz, /debug/flightrecorder, /debug/pprof/")
 		publishEvery = flag.Duration("publish_every", telemetry.DefaultPublishInterval, "per-rank live telemetry push period (with -listen)")
 		timeline     = flag.Bool("timeline", false, "emit the Horovod timeline (per-tensor lifecycle lanes) into the Chrome trace; implies tracing even without -trace")
 		serveLinger  = flag.Duration("serve_linger", 0, "keep rank 0's live endpoint up this long after its run finishes (with -listen)")
@@ -211,6 +218,10 @@ func main() {
 		if dir := os.Getenv("DNNPERF_CKPT_DIR"); dir != "" && spec.CkptDir == "" {
 			spec.CkptDir = dir
 		}
+		if *profileMode != "" && *profileMode != "cpu" && *profileMode != "heap" {
+			fmt.Fprintf(os.Stderr, "mpirun: -profile must be cpu or heap, got %q\n", *profileMode)
+			os.Exit(exitFailure)
+		}
 		cfg := workerConfig{
 			spec:    spec,
 			fault:   fault,
@@ -218,6 +229,8 @@ func main() {
 			metrics: *metricsPath, trace: *tracePath,
 			listen: *listen, publishEvery: *publishEvery,
 			timeline: *timeline, linger: *serveLinger,
+			profile: *profileMode, profileDir: *profileDir,
+			flightDir: *flightDir,
 		}
 		os.Exit(worker(rankStr, cfg))
 	}
@@ -373,6 +386,10 @@ type workerConfig struct {
 	publishEvery time.Duration // live push period
 	timeline     bool          // Horovod per-tensor timeline lanes
 	linger       time.Duration // keep the live endpoint up after the run
+
+	profile    string // per-rank Go profile mode: "cpu", "heap" or ""
+	profileDir string // where gathered profiles land
+	flightDir  string // flight-recorder dump directory ("" = derive)
 }
 
 // worker is one rank of the job; the return value is the process exit code.
@@ -403,16 +420,45 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 
 	// One registry and tracer span every layer of this rank: the transport
 	// (via Instrument), the communicator's algorithm counters, the Horovod
-	// engine, and the training loop.
+	// engine, and the training loop. The tracer is always on: with -trace or
+	// -timeline it keeps the full timeline; otherwise it runs in ring-only
+	// mode, feeding nothing but the flight recorder — a bounded in-memory
+	// ring of the last spans, flushed to disk if this rank dies.
 	var reg *telemetry.Registry
-	var tracer *telemetry.Tracer
 	if cfg.metrics != "" || cfg.listen != "" {
 		reg = telemetry.New()
 	}
-	if cfg.trace != "" || cfg.timeline {
-		tracer = telemetry.NewTracer()
-		tracer.SetPID(rank)
+	tracer := telemetry.NewTracer()
+	tracer.SetPID(rank)
+	fr := telemetry.NewFlightRecorder(0)
+	tracer.SetFlightRecorder(fr, cfg.trace == "" && !cfg.timeline)
+
+	// Abnormal-exit flight-recorder flushes: a panic or a termination signal
+	// leaves the last spans on disk before the process goes away.
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight(rank, tracer, cfg, "panic")
+			panic(r)
+		}
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		dumpFlight(rank, tracer, cfg, s.String())
+		os.Exit(exitFailure)
+	}()
+	defer signal.Stop(sigc)
+
+	var prof *profiler
+	if cfg.profile != "" {
+		prof, err = startProfiler(cfg.profile)
+		if err != nil {
+			return exitFailure, err
+		}
 	}
+	// Fallback persistence for every path that skips the clean gather.
+	defer prof.finishLocal(cfg.profileDir, rank)
 
 	var raw *mpi.Comm
 	if cfg.joiner {
@@ -510,9 +556,14 @@ func runWorker(rankStr string, cfg workerConfig) (int, error) {
 		return exitFailure, err
 	}
 	live.health.Set(telemetry.HealthDone, "steps", spec.Steps)
-	// Gather every rank's metrics and trace to rank 0 before the
-	// communicator goes away. The engine is down, so the communicator is
-	// free for this one collective.
+	// The engine is down, so the communicator is free for the closing
+	// collectives: gather profiles, then every rank's metrics and trace, to
+	// rank 0 before the communicator goes away.
+	if prof != nil {
+		if err := prof.gather(comm, rank, cfg.profileDir); err != nil {
+			fmt.Fprintf(os.Stderr, "rank %d: profile gather: %v\n", rank, err)
+		}
+	}
 	if err := exportTelemetry(comm, rank, reg, tracer, cfg); err != nil {
 		writeTruncatedTelemetry(rank, reg, tracer, cfg)
 		return exitFailure, err
@@ -618,6 +669,10 @@ func writeLocalTelemetry(rank int, reg *telemetry.Registry, tracer *telemetry.Tr
 // instead of no files at all. Best-effort — the process is already on an
 // error path.
 func writeTruncatedTelemetry(rank int, reg *telemetry.Registry, tracer *telemetry.Tracer, cfg workerConfig) {
+	// Every dying rank flushes its flight recorder — not just rank 0, which
+	// alone owns the merged output paths below — so the post-mortem for the
+	// rank that actually failed is never the one that gets lost.
+	dumpFlight(rank, tracer, cfg, "abnormal-exit")
 	if rank != 0 {
 		return // only rank 0 owns the output paths
 	}
@@ -636,6 +691,35 @@ func writeTruncatedTelemetry(rank int, reg *telemetry.Registry, tracer *telemetr
 			return telemetry.WriteChromeTraceTruncated(w, events)
 		})
 		fmt.Printf("telemetry: truncated trace (abnormal exit) -> %s\n", cfg.trace)
+	}
+}
+
+// dumpFlight flushes this rank's flight-recorder ring to a JSON dump file so
+// an abnormal exit leaves the final spans inspectable. The dump lands in
+// -flight_dir when set, else alongside the -trace or -metrics output; with
+// neither configured there is nowhere sensible to write, so it is skipped.
+// Best-effort: the process is already dying.
+func dumpFlight(rank int, tracer *telemetry.Tracer, cfg workerConfig, reason string) {
+	fr := tracer.FlightRecorder()
+	if fr == nil || fr.Len() == 0 {
+		return
+	}
+	dir := cfg.flightDir
+	if dir == "" {
+		switch {
+		case cfg.trace != "":
+			dir = filepath.Dir(cfg.trace)
+		case cfg.metrics != "":
+			dir = filepath.Dir(cfg.metrics)
+		default:
+			return
+		}
+	}
+	os.MkdirAll(dir, 0o755)
+	path := filepath.Join(dir, fmt.Sprintf("flight-rank%d.json", rank))
+	if err := fr.DumpToFile(path, rank, reason); err == nil {
+		fmt.Fprintf(os.Stderr, "flight recorder: rank %d dumped %d event(s) -> %s (%s)\n",
+			rank, fr.Len(), path, reason)
 	}
 }
 
@@ -663,6 +747,7 @@ func startLive(comm *mpi.Comm, rank int, cfg workerConfig, reg *telemetry.Regist
 	if rank == 0 {
 		det := detect.New(detect.Config{}, reg, tracer)
 		l.srv = serve.New(serve.NewStore(0), l.health, det)
+		l.srv.SetFlightRecorder(tracer.FlightRecorder(), 0)
 		addr, err := l.srv.Start(cfg.listen)
 		if err != nil {
 			return nil, err

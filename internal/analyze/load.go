@@ -1,0 +1,171 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dnnperf/internal/telemetry"
+)
+
+// MetricsSummary lifts a small deterministic slice of the merged metrics
+// document into the report: the headline counters a reader wants next to the
+// time decomposition.
+type MetricsSummary struct {
+	Ranks     int   `json:"ranks"`
+	Steps     int64 `json:"steps"`
+	Images    int64 `json:"images"`
+	BytesSent int64 `json:"mpi_bytes_sent"`
+	Frames    int64 `json:"mpi_frames_sent"`
+	Truncated bool  `json:"truncated,omitempty"`
+}
+
+// ParseTrace decodes a merged Chrome trace: either a plain JSON array of
+// events, or the truncated-export envelope {"traceEvents": [...],
+// "truncated": true}. It reports whether the trace was truncated.
+func ParseTrace(r io.Reader) ([]telemetry.TraceEvent, bool, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, false, err
+	}
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if strings.HasPrefix(trimmed, "{") {
+		var env struct {
+			TraceEvents []telemetry.TraceEvent `json:"traceEvents"`
+			Truncated   bool                   `json:"truncated"`
+		}
+		if err := json.Unmarshal(data, &env); err != nil {
+			return nil, false, fmt.Errorf("analyze: decode trace envelope: %w", err)
+		}
+		return env.TraceEvents, env.Truncated, nil
+	}
+	var events []telemetry.TraceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, false, fmt.Errorf("analyze: decode trace array: %w", err)
+	}
+	return events, false, nil
+}
+
+// ParseMetrics decodes a merged metrics document and summarizes it.
+func ParseMetrics(r io.Reader) (*MetricsSummary, error) {
+	var merged telemetry.MergedMetrics
+	if err := json.NewDecoder(r).Decode(&merged); err != nil {
+		return nil, fmt.Errorf("analyze: decode metrics: %w", err)
+	}
+	return SummarizeMetrics(&merged), nil
+}
+
+// SummarizeMetrics folds a merged metrics document into the report summary.
+func SummarizeMetrics(m *telemetry.MergedMetrics) *MetricsSummary {
+	s := &MetricsSummary{Ranks: len(m.Ranks), Truncated: m.Truncated}
+	for _, snap := range m.Ranks {
+		s.Steps += snap.Counters["train.steps"]
+		s.Images += snap.Counters["train.images"]
+		s.BytesSent += snap.Counters["mpi.bytes_sent"]
+		s.Frames += snap.Counters["mpi.frames_sent"]
+	}
+	return s
+}
+
+// Input is a resolved analysis input: the trace events plus the optional
+// metrics summary and truncation flag.
+type Input struct {
+	Events    []telemetry.TraceEvent
+	Metrics   *MetricsSummary
+	Truncated bool
+}
+
+// Analyze runs the attribution over a resolved input.
+func (in *Input) Analyze(opts Options) *Report {
+	rep := Trace(in.Events, opts)
+	rep.Metrics = in.Metrics
+	if in.Truncated {
+		rep.Truncated = true
+	}
+	return rep
+}
+
+// LoadFiles reads a trace file and an optional metrics file ("" to skip).
+func LoadFiles(tracePath, metricsPath string) (*Input, error) {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, truncated, err := ParseTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", tracePath, err)
+	}
+	in := &Input{Events: events, Truncated: truncated}
+	if metricsPath != "" {
+		mf, err := os.Open(metricsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer mf.Close()
+		in.Metrics, err = ParseMetrics(mf)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", metricsPath, err)
+		}
+		if in.Metrics.Truncated {
+			in.Truncated = true
+		}
+	}
+	return in, nil
+}
+
+// FetchLive pulls /trace and /metrics.json from a running rank-0 telemetry
+// server (the address the -listen flag printed, e.g. "http://host:port").
+func FetchLive(baseURL string, timeout time.Duration) (*Input, error) {
+	base := strings.TrimRight(baseURL, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: timeout}
+	get := func(path string) ([]byte, error) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("analyze: GET %s%s: %s", base, path, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	traceBody, err := get("/trace")
+	if err != nil {
+		return nil, err
+	}
+	events, truncated, err := ParseTrace(strings.NewReader(string(traceBody)))
+	if err != nil {
+		return nil, err
+	}
+	in := &Input{Events: events, Truncated: truncated}
+	metricsBody, err := get("/metrics.json")
+	if err == nil {
+		if ms, merr := ParseMetrics(strings.NewReader(string(metricsBody))); merr == nil {
+			in.Metrics = ms
+		}
+	}
+	return in, nil
+}
+
+// Flows from a merged trace can arrive interleaved across ranks; sorting by
+// timestamp before analysis keeps ordinal step alignment stable regardless
+// of merge order.
+func SortEvents(events []telemetry.TraceEvent) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].PID != events[j].PID {
+			return events[i].PID < events[j].PID
+		}
+		return events[i].TS < events[j].TS
+	})
+}

@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits the report as deterministic, indented JSON: every field is
+// a struct member (no maps), every slice is sorted, and all quantities are
+// integers — the same input always yields byte-identical output.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}
+
+// fmtUS renders integer microseconds as a human duration.
+func fmtUS(us int64) string {
+	switch {
+	case us >= 10_000_000:
+		return fmt.Sprintf("%.1fs", float64(us)/1e6)
+	case us >= 10_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}
+
+func pct(permille int64) string {
+	return fmt.Sprintf("%d.%d%%", permille/10, permille%10)
+}
+
+// WriteHuman emits the readable report.
+func (r *Report) WriteHuman(w io.Writer) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	p("dnnperf analyze — critical-path attribution (%s)\n", r.Schema)
+	if r.Truncated {
+		p("NOTE: input trace/metrics were truncated (rank died mid-run); totals are partial.\n")
+	}
+	p("\nranks: %d  accounted wall: %s  coverage: %s\n",
+		len(r.Ranks), fmtUS(r.WallUS), pct(r.CoverageMn))
+	p("scaling efficiency vs 1-rank ideal: %s   exposed comm fraction: %s\n",
+		pct(r.EffMn), pct(r.CommFracMn))
+	p("bottleneck: rank %d (%s), compute share %s of mean\n",
+		r.Bottleneck.Rank, r.Bottleneck.Resource, pct(r.Bottleneck.SharePermille))
+
+	t := r.Totals
+	p("\ntime decomposition (all ranks):\n")
+	rows := []struct {
+		name string
+		us   int64
+	}{
+		{"compute (fwd+bwd+opt)", t.ComputeUS},
+		{"comm transfer", t.CommTransferUS},
+		{"straggler wait", t.StragglerWaitUS},
+		{"checkpoint", t.CheckpointUS},
+		{"recovery/elastic", t.RecoveryUS},
+		{"other", t.OtherUS},
+	}
+	for _, row := range rows {
+		p("  %-24s %12s  %s\n", row.name, fmtUS(row.us), pct(permille(row.us, max64(r.WallUS, 1))))
+	}
+
+	p("\nper-rank totals:\n")
+	p("  %4s %6s %12s %12s %12s\n", "rank", "steps", "wall", "compute", "wait")
+	for _, rt := range r.PerRank {
+		p("  %4d %6d %12s %12s %12s\n", rt.Rank, rt.Steps, fmtUS(rt.WallUS), fmtUS(rt.ComputeUS), fmtUS(rt.WaitUS))
+	}
+
+	if len(r.Steps) > 0 {
+		p("\nper-step critical path (first %d steps):\n", len(r.Steps))
+		p("  %4s %5s %12s %12s %12s %12s %10s\n",
+			"step", "crit", "wall", "compute", "transfer", "straggler", "other")
+		for _, s := range r.Steps {
+			p("  %4d %5d %12s %12s %12s %12s %10s\n",
+				s.Index, s.CritRank, fmtUS(s.WallUS), fmtUS(s.Decomp.ComputeUS),
+				fmtUS(s.Decomp.CommTransferUS), fmtUS(s.Decomp.StragglerWaitUS), fmtUS(s.Decomp.OtherUS))
+		}
+	}
+
+	if len(r.Elastic) > 0 {
+		p("\nelastic/lifecycle events:\n")
+		for _, e := range r.Elastic {
+			p("  %-18s rank %d  at %s  dur %s", e.Name, e.Rank, fmtUS(e.TSUS), fmtUS(e.DurUS))
+			if e.Detail != "" {
+				p("  (%s)", e.Detail)
+			}
+			p("\n")
+		}
+	}
+
+	p("\ncausal flows: %d starts, %d finishes, %d matched arrows\n",
+		r.Flows.Starts, r.Flows.Finishes, r.Flows.Matched)
+
+	if m := r.Metrics; m != nil {
+		p("metrics: %d ranks, %d steps, %d images, %d MPI frames, %d bytes sent\n",
+			m.Ranks, m.Steps, m.Images, m.Frames, m.BytesSent)
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

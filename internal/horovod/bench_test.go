@@ -147,3 +147,76 @@ func BenchmarkEngineStepPublish(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEngineStepTraced measures the causal-tracing tax on the
+// gradient-exchange hot path: the same fused exchange with tracing off
+// versus a ring-only tracer feeding a flight recorder — the always-on
+// post-mortem configuration every mpirun worker now runs with. The tracer
+// appends fixed-size records into a preallocated ring and the flow path
+// stamps one 20-byte context per peer per collective, so trace=on must
+// cost low single-digit percent (scripts/bench_smoke.sh pins the bound).
+func BenchmarkEngineStepTraced(b *testing.B) {
+	const ranks, tensors = 2, 64
+	for _, traced := range []bool{false, true} {
+		mode := "off"
+		if traced {
+			mode = "on"
+		}
+		b.Run("trace="+mode, func(b *testing.B) {
+			w, err := mpi.NewWorld(ranks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engines := make([]*Engine, ranks)
+			for r := 0; r < ranks; r++ {
+				cfg := Config{CycleTime: 100 * time.Microsecond, Average: true}
+				if traced {
+					tr := telemetry.NewTracer()
+					tr.SetPID(r)
+					tr.SetFlightRecorder(telemetry.NewFlightRecorder(0), true)
+					cfg.Tracer = tr
+				}
+				engines[r] = NewEngine(w.Comm(r), cfg)
+			}
+			data := make([][][]float32, ranks)
+			for r := range data {
+				data[r] = make([][]float32, tensors)
+				for t := range data[r] {
+					data[r][t] = make([]float32, 1024)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				wg.Add(ranks)
+				for r := 0; r < ranks; r++ {
+					go func(r, step int) {
+						defer wg.Done()
+						engines[r].SetStep(int64(step + 1))
+						var inner sync.WaitGroup
+						inner.Add(tensors)
+						for t := 0; t < tensors; t++ {
+							name := fmt.Sprintf("s%d/t%d", step, t)
+							if err := engines[r].AllreduceAsync(name, data[r][t], func(error) { inner.Done() }); err != nil {
+								b.Error(err)
+								inner.Done()
+							}
+						}
+						inner.Wait()
+					}(r, i)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			var down sync.WaitGroup
+			down.Add(len(engines))
+			for _, e := range engines {
+				go func(e *Engine) {
+					defer down.Done()
+					e.Shutdown()
+				}(e)
+			}
+			down.Wait()
+		})
+	}
+}

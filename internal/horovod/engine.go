@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnnperf/internal/mpi"
@@ -188,6 +189,11 @@ type Engine struct {
 	// real Horovod likewise allocates the fusion buffer once up front.
 	fusedBuf []float32
 
+	// step is the training step the next collectives belong to, stamped
+	// into causal trace contexts (SetStep; atomic because the trainer sets
+	// it from its own goroutine while the loop reads it).
+	step atomic.Int64
+
 	// wake kicks the loop out of its cycle sleep early (buffered, capacity
 	// 1): shutdown and quiesce requests should not wait out a long
 	// CycleTime before the loop notices them.
@@ -220,9 +226,17 @@ func NewEngine(comm *mpi.Comm, cfg Config) *Engine {
 	if e.cfg.SegmentBytes > 0 {
 		comm.SetSegmentBytes(e.cfg.SegmentBytes)
 	}
+	// Arm cross-rank causal tracing whenever a tracer is present: collective
+	// frames carry a TraceCtx and the merged trace gains send->recv flow
+	// arrows. Restart re-arms the replacement communicator the same way.
+	comm.SetFlowTracer(cfg.Tracer)
 	go e.loop()
 	return e
 }
+
+// SetStep records the training step the next submitted collectives belong
+// to; it annotates causal trace contexts. Safe from any goroutine.
+func (e *Engine) SetStep(step int64) { e.step.Store(step) }
 
 // requestStop flags the loop to stop and kicks it out of its cycle sleep.
 func (e *Engine) requestStop() {
@@ -458,7 +472,9 @@ func (e *Engine) negotiate(_ []*pendingTensor, down bool) (halt bool, batches []
 
 	msg := encodeReadiness(down, growEpoch, growStep, bits, names, sizes)
 	e.met.controlBytes.Add(int64(len(msg)))
+	e.comm.BeginFlow(e.step.Load())
 	parts, err := e.comm.AllgatherBytes(msg)
+	e.comm.EndFlow()
 	if err != nil {
 		return false, nil, err
 	}
@@ -587,6 +603,7 @@ func (e *Engine) executeBatch(names []string) error {
 	}
 	e.tl.transitionAll(names, phaseAllreduce)
 	sp := e.tracer.Begin("horovod.allreduce", "comm", telemetry.CommLane)
+	e.comm.BeginFlow(e.step.Load())
 	var err error
 	if e.cfg.GroupSize > 1 {
 		err = e.comm.AllreduceHierarchical(fused, e.cfg.GroupSize, mpi.OpSum)
@@ -595,6 +612,7 @@ func (e *Engine) executeBatch(names []string) error {
 	} else {
 		err = e.comm.AllreduceRing(fused, mpi.OpSum)
 	}
+	e.comm.EndFlow()
 	sp.End()
 	if err == nil && e.cfg.Average {
 		inv := 1 / float32(e.comm.Size())

@@ -80,6 +80,8 @@ func (e *Engine) Restart(comm *mpi.Comm) *Engine {
 	if ne.cfg.SegmentBytes > 0 {
 		comm.SetSegmentBytes(ne.cfg.SegmentBytes)
 	}
+	ne.step.Store(e.step.Load())
+	comm.SetFlowTracer(ne.tracer)
 	go ne.loop()
 	return ne
 }

@@ -33,6 +33,12 @@ type Result struct {
 	// Preempted marks a cooperative halt: the job checkpointed and can
 	// resume from FinalStep.
 	Preempted bool `json:"preempted,omitempty"`
+	// Bottleneck attributes the job's limiting resource ("compute" or
+	// "network"); CommFrac is the exposed-communication fraction of step
+	// time behind that call. Real backends measure it from per-step
+	// allreduce wait; the sim backend from the simulator's exposed comm.
+	Bottleneck string  `json:"bottleneck,omitempty"`
+	CommFrac   float64 `json:"comm_frac,omitempty"`
 	// PerRank holds each original rank's supervised result (nil for ranks
 	// that died or were simulated).
 	PerRank []*train.SupervisorResult `json:"-"`
@@ -145,7 +151,27 @@ func runLive(rc *RunContext, comms []*mpi.Comm) (*Result, error) {
 	res.Regrows = len(low.Regrows)
 	res.Preempted = low.Outcome == train.OutcomePreempted
 	res.ImagesPerSec = train.Throughput(low.Steps)
+	res.Bottleneck, res.CommFrac = attributeBottleneck(low.Steps)
 	return res, nil
+}
+
+// attributeBottleneck classifies a segment from its measured steps: the
+// fraction of step wall time spent blocked on gradient allreduces decides
+// whether the job was network- or compute-bound.
+func attributeBottleneck(steps []train.StepStats) (string, float64) {
+	var wall, wait time.Duration
+	for _, st := range steps {
+		wall += st.Duration
+		wait += st.CommWait
+	}
+	if wall <= 0 {
+		return "", 0
+	}
+	frac := float64(wait) / float64(wall)
+	if frac >= 0.5 {
+		return "network", frac
+	}
+	return "compute", frac
 }
 
 // InprocBackend runs the gang as goroutines over an in-process mpi world —

@@ -5,6 +5,7 @@ import (
 	"dnnperf/internal/horovod"
 	"dnnperf/internal/models"
 	"dnnperf/internal/mpi"
+	"dnnperf/internal/telemetry"
 	"dnnperf/internal/train"
 )
 
@@ -110,13 +111,22 @@ func (s *Spec) FaultConfig() mpi.FaultConfig {
 // the observer hook, then abort the transport without a goodbye — the crash
 // the survivors must absorb.
 func (s *Spec) RunVictim(comm *mpi.Comm, killStep int64, onStep func(step int64, st train.StepStats)) error {
+	return s.RunVictimTraced(comm, killStep, nil, onStep)
+}
+
+// RunVictimTraced is RunVictim with a tracer spanning the doomed rank's
+// engine and training loop — typically a ring-only tracer feeding a flight
+// recorder, so the crash leaves its final spans behind for a post-mortem.
+func (s *Spec) RunVictimTraced(comm *mpi.Comm, killStep int64, tracer *telemetry.Tracer, onStep func(step int64, st train.StepStats)) error {
 	if s.CkptDir != "" {
 		if _, err := comm.BcastBytes(nil, 0); err != nil {
 			return err
 		}
 	}
 	newModel, newOpt, newGen := s.Factories()
-	eng := horovod.NewEngine(comm, s.EngineConfig())
+	engCfg := s.EngineConfig()
+	engCfg.Tracer = tracer
+	eng := horovod.NewEngine(comm, engCfg)
 	tr, err := train.New(train.Config{
 		Model:        newModel(),
 		IntraThreads: s.IntraThreads,
@@ -124,6 +134,7 @@ func (s *Spec) RunVictim(comm *mpi.Comm, killStep int64, onStep func(step int64,
 		Optimizer:    newOpt(comm.Size()),
 		Engine:       eng,
 		Rank:         comm.Rank(),
+		Tracer:       tracer,
 	})
 	if err != nil {
 		return err

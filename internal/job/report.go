@@ -48,6 +48,10 @@ type JobSummary struct {
 	// Outcome/WeightsCRC come from the backend's final segment (real mode).
 	Outcome    string `json:"outcome,omitempty"`
 	WeightsCRC uint32 `json:"weights_crc,omitempty"`
+	// Bottleneck/CommFrac carry the backend's per-job attribution: the
+	// limiting resource and the exposed-communication fraction behind it.
+	Bottleneck string  `json:"bottleneck,omitempty"`
+	CommFrac   float64 `json:"comm_frac,omitempty"`
 }
 
 // SchedReport is the control plane's end-of-run summary. Every field is
@@ -141,6 +145,8 @@ func (s *Scheduler) buildReport(mode string, makespan int64) *SchedReport {
 		if h.Result != nil {
 			js.Outcome = h.Result.Outcome
 			js.WeightsCRC = h.Result.WeightsCRC
+			js.Bottleneck = h.Result.Bottleneck
+			js.CommFrac = h.Result.CommFrac
 		}
 		rep.PerJob = append(rep.PerJob, js)
 	}

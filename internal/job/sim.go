@@ -34,13 +34,22 @@ func (b *SimBackend) Run(rc *RunContext) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Outcome:      "simulated",
 		FinalStep:    int64(spec.Steps),
 		WorldSize:    spec.Ranks(),
 		ImagesPerSec: sim.ImagesPerSec,
 		Sim:          sim,
-	}, nil
+	}
+	if sim.IterTimeSec > 0 {
+		res.CommFrac = sim.ExposedCommSec / sim.IterTimeSec
+		if res.CommFrac >= 0.5 {
+			res.Bottleneck = "network"
+		} else {
+			res.Bottleneck = "compute"
+		}
+	}
+	return res, nil
 }
 
 // IterTime is the discrete-event estimator: the simulated per-iteration

@@ -131,7 +131,12 @@ func sendOwnedVia(ep Endpoint, pool *FramePool, to int, tag uint32, frame []byte
 }
 
 // sendPooled is the Comm-level owned send: frame must come from c.pool.
+// When a flow is open and this is the collective's first frame to the peer,
+// the frame carries the flow's trace context (see Comm.BeginFlow).
 func (c *Comm) sendPooled(to int, tag uint32, frame []byte) error {
+	if ctx, ok := c.flowCtx(to); ok {
+		return c.flow.cs.SendOwnedCtx(to, tag, frame, ctx)
+	}
 	return sendOwnedVia(c.ep, c.pool, to, tag, frame)
 }
 

@@ -53,7 +53,7 @@ func (c *Comm) Barrier() error {
 		from := (r - k + p) % p
 		tag := tagBarrier + uint32(round)
 		errCh := make(chan error, 1)
-		go func() { errCh <- c.ep.Send(to, tag, nil) }()
+		go func() { errCh <- c.csend(to, tag, nil) }()
 		if _, err := c.ep.Recv(from, tag); err != nil {
 			return fmt.Errorf("barrier round %d: %w", round, joinSendErr(err, errCh))
 		}
@@ -110,7 +110,7 @@ func (c *Comm) BcastBytes(payload []byte, root int) ([]byte, error) {
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vr+mask < p {
 			child := (vr + mask + root) % p
-			if err := c.ep.Send(child, tagBcast, payload); err != nil {
+			if err := c.csend(child, tagBcast, payload); err != nil {
 				return nil, fmt.Errorf("bcast send: %w", err)
 			}
 		}
@@ -364,7 +364,7 @@ func (c *Comm) AllgatherBytes(mine []byte) ([][]byte, error) {
 			parts[from] = b
 		}
 	} else {
-		if err := c.ep.Send(0, tagGather, mine); err != nil {
+		if err := c.csend(0, tagGather, mine); err != nil {
 			return nil, fmt.Errorf("allgather send: %w", err)
 		}
 	}

@@ -218,6 +218,64 @@ func (f *FaultTransport) SendOwned(to int, tag uint32, frame []byte) error {
 	return sendOwnedVia(f.inner, &sharedFramePool, to, tag, frame)
 }
 
+// SendCtx applies the fault model to a context-stamped send. Exactly one
+// decide() draw happens per logical send — same as Send — so arming causal
+// tracing does not perturb a seeded fault sequence. A duplicated send ships
+// the stamped frame first and an unstamped copy second: one flow arrow per
+// logical send.
+func (f *FaultTransport) SendCtx(to int, tag uint32, payload []byte, ctx TraceCtx) error {
+	cs, ok := f.inner.(ctxSender)
+	if !ok || ctx.Span == 0 {
+		return f.Send(to, tag, payload)
+	}
+	discard, delay, dup := f.decide(to)
+	if discard {
+		return nil
+	}
+	if delay {
+		time.Sleep(f.cfg.Delay)
+	}
+	if err := cs.SendCtx(to, tag, payload, ctx); err != nil {
+		return err
+	}
+	if dup {
+		if err := f.inner.Send(to, tag, payload); err != nil {
+			return fmt.Errorf("mpi: fault duplicate: %w", err)
+		}
+	}
+	return nil
+}
+
+// SendOwnedCtx is SendOwned under the fault model with a trace context on
+// the original delivery; see SendCtx for the determinism contract.
+func (f *FaultTransport) SendOwnedCtx(to int, tag uint32, frame []byte, ctx TraceCtx) error {
+	cs, ok := f.inner.(ctxSender)
+	if !ok || ctx.Span == 0 {
+		return f.SendOwned(to, tag, frame)
+	}
+	discard, delay, dup := f.decide(to)
+	if discard {
+		sharedFramePool.Put(frame)
+		return nil
+	}
+	if delay {
+		time.Sleep(f.cfg.Delay)
+	}
+	if dup {
+		// Stamped copy first (the original), then the owned frame as the
+		// unstamped duplicate.
+		if err := cs.SendCtx(to, tag, frame, ctx); err != nil {
+			sharedFramePool.Put(frame)
+			return err
+		}
+		if err := sendOwnedVia(f.inner, &sharedFramePool, to, tag, frame); err != nil {
+			return fmt.Errorf("mpi: fault duplicate: %w", err)
+		}
+		return nil
+	}
+	return cs.SendOwnedCtx(to, tag, frame, ctx)
+}
+
 // Recv passes through: faults are injected on the send side only.
 func (f *FaultTransport) Recv(from int, tag uint32) ([]byte, error) {
 	return f.inner.Recv(from, tag)

@@ -4,13 +4,17 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// inprocMsg is one queued message.
+// inprocMsg is one queued message. ctx carries the sender's causal trace
+// context (zero Span = unstamped); both transports queue this struct, so
+// context survives mailbox buffering and out-of-tag reordering alike.
 type inprocMsg struct {
 	tag     uint32
 	payload []byte
+	ctx     TraceCtx
 }
 
 // WorldOptions configures the in-process transport.
@@ -157,12 +161,18 @@ type inprocEndpoint struct {
 	closed  bool
 	mu      sync.Mutex
 	pending map[int][]inprocMsg // from -> out-of-tag frames awaiting a match
+	sink    atomic.Pointer[TraceSink]
 }
 
 func (e *inprocEndpoint) Rank() int { return e.rank }
 func (e *inprocEndpoint) Size() int { return e.w.n }
 
 func (e *inprocEndpoint) Send(to int, tag uint32, payload []byte) error {
+	return e.SendCtx(to, tag, payload, TraceCtx{})
+}
+
+// SendCtx is Send with a causal trace context attached to the frame.
+func (e *inprocEndpoint) SendCtx(to int, tag uint32, payload []byte, ctx TraceCtx) error {
 	if err := e.check(to); err != nil {
 		return err
 	}
@@ -171,7 +181,7 @@ func (e *inprocEndpoint) Send(to int, tag uint32, payload []byte) error {
 	if e.w.subDeliver(to, e.rank, tag, cp) {
 		return nil
 	}
-	e.w.boxes[to][e.rank] <- inprocMsg{tag: tag, payload: cp}
+	e.w.boxes[to][e.rank] <- inprocMsg{tag: tag, payload: cp, ctx: ctx}
 	return nil
 }
 
@@ -180,6 +190,11 @@ func (e *inprocEndpoint) Send(to int, tag uint32, payload []byte) error {
 // (or the pool, on a failed delivery) takes it from there. In-process this
 // makes a collective segment zero-copy from serialization to reduce.
 func (e *inprocEndpoint) SendOwned(to int, tag uint32, frame []byte) error {
+	return e.SendOwnedCtx(to, tag, frame, TraceCtx{})
+}
+
+// SendOwnedCtx is SendOwned with a causal trace context attached.
+func (e *inprocEndpoint) SendOwnedCtx(to int, tag uint32, frame []byte, ctx TraceCtx) error {
 	if err := e.check(to); err != nil {
 		sharedFramePool.Put(frame)
 		return err
@@ -190,8 +205,27 @@ func (e *inprocEndpoint) SendOwned(to int, tag uint32, frame []byte) error {
 		// accounting — sync.Pool makes that a GC matter, not a leak.
 		return nil
 	}
-	e.w.boxes[to][e.rank] <- inprocMsg{tag: tag, payload: frame}
+	e.w.boxes[to][e.rank] <- inprocMsg{tag: tag, payload: frame, ctx: ctx}
 	return nil
+}
+
+// SetTraceSink installs the receive-side causal-trace observer.
+func (e *inprocEndpoint) SetTraceSink(sink TraceSink) {
+	if sink == nil {
+		e.sink.Store(nil)
+		return
+	}
+	e.sink.Store(&sink)
+}
+
+// observe reports a delivered stamped frame to the trace sink, if any.
+func (e *inprocEndpoint) observe(from int, m inprocMsg) {
+	if m.ctx.Span == 0 {
+		return
+	}
+	if s := e.sink.Load(); s != nil {
+		(*s)(from, m.tag, m.ctx)
+	}
 }
 
 // Subscribe registers a tag side channel for this rank in the world, so
@@ -214,6 +248,7 @@ func (e *inprocEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 			q := e.pending[from]
 			e.pending[from] = append(q[:i:i], q[i+1:]...)
 			e.mu.Unlock()
+			e.observe(from, m)
 			return m.payload, nil
 		}
 	}
@@ -231,6 +266,7 @@ func (e *inprocEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 				return nil, fmt.Errorf("mpi: rank %d mailbox from %d closed", e.rank, from)
 			}
 			if m.tag == tag {
+				e.observe(from, m)
 				return m.payload, nil
 			}
 			e.mu.Lock()

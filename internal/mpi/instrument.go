@@ -91,6 +91,49 @@ func (ie *instrumentedEndpoint) SendOwned(to int, tag uint32, frame []byte) erro
 	return nil
 }
 
+// SendCtx forwards a context-stamped send, counted exactly like a plain
+// Send. If the wrapped transport lacks the capability the context is
+// dropped, never the frame.
+func (ie *instrumentedEndpoint) SendCtx(to int, tag uint32, payload []byte, ctx TraceCtx) error {
+	cs, ok := ie.Endpoint.(ctxSender)
+	if !ok {
+		return ie.Send(to, tag, payload)
+	}
+	err := cs.SendCtx(to, tag, payload, ctx)
+	if err != nil {
+		ie.sendErrors.Inc()
+		ie.countDeadline(err)
+		return err
+	}
+	if to >= 0 && to < len(ie.framesSent) {
+		ie.framesSent[to].Inc()
+		ie.bytesSent[to].Add(int64(len(payload)))
+	}
+	return nil
+}
+
+// SendOwnedCtx forwards a context-stamped zero-copy send, counting the
+// frame before ownership transfers.
+func (ie *instrumentedEndpoint) SendOwnedCtx(to int, tag uint32, frame []byte, ctx TraceCtx) error {
+	n := int64(len(frame))
+	var err error
+	if cs, ok := ie.Endpoint.(ctxSender); ok {
+		err = cs.SendOwnedCtx(to, tag, frame, ctx)
+	} else {
+		err = sendOwnedVia(ie.Endpoint, &sharedFramePool, to, tag, frame)
+	}
+	if err != nil {
+		ie.sendErrors.Inc()
+		ie.countDeadline(err)
+		return err
+	}
+	if to >= 0 && to < len(ie.framesSent) {
+		ie.framesSent[to].Inc()
+		ie.bytesSent[to].Add(n)
+	}
+	return nil
+}
+
 func (ie *instrumentedEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 	b, err := ie.Endpoint.Recv(from, tag)
 	if err != nil {

@@ -46,6 +46,13 @@ type Comm struct {
 	// semantics), so these need no lock.
 	rs          *ringState
 	boundsCache []int
+
+	// flow is the causal-tracing state (SetFlowTracer); nil when tracing is
+	// off, making the stamped-send check a single pointer test. Like the
+	// ring scratch it is only touched on the collective caller's goroutine.
+	// Deliberately not inherited by derive: a shrunk or split communicator's
+	// owner re-arms tracing against the new endpoint.
+	flow *flowState
 }
 
 // NewComm wraps ep in a Comm.

@@ -12,7 +12,11 @@ import (
 	"dnnperf/internal/telemetry"
 )
 
-// TCP wire format: every frame is [4B payloadLen][4B tag][payload].
+// TCP wire format: every frame is [4B payloadLen][4B tag][payload]. The top
+// bit of the payloadLen word (tcpCtxFlag) marks a frame carrying a causal
+// trace context: a traceCtxBytes block between the header and the payload.
+// Lengths stay well below the flag bit (maxFrameBytes = 1<<30), so legacy
+// frames and stamped frames share one header layout.
 // Bootstrap: rank 0 runs a rendezvous service at a known address; every
 // rank registers its own listener address, receives the full table, and the
 // job then builds a full mesh (rank i dials every j < i; j accepts and
@@ -124,16 +128,16 @@ func (ps *peerState) latched() error {
 }
 
 // takePending removes and returns the first queued frame with tag, if any.
-func (ps *peerState) takePending(tag uint32) ([]byte, bool) {
+func (ps *peerState) takePending(tag uint32) (inprocMsg, bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	for i, m := range ps.pending {
 		if m.tag == tag {
 			ps.pending = append(ps.pending[:i:i], ps.pending[i+1:]...)
-			return m.payload, true
+			return m, true
 		}
 	}
-	return nil, false
+	return inprocMsg{}, false
 }
 
 func (ps *peerState) queue(m inprocMsg) {
@@ -164,6 +168,27 @@ type tcpEndpoint struct {
 
 	subMu sync.RWMutex
 	subs  map[uint32]chan Tagged // tag -> subscription channel (Subscribe)
+
+	sink atomic.Pointer[TraceSink] // receive-side causal-trace observer
+}
+
+// SetTraceSink installs the receive-side causal-trace observer.
+func (ep *tcpEndpoint) SetTraceSink(sink TraceSink) {
+	if sink == nil {
+		ep.sink.Store(nil)
+		return
+	}
+	ep.sink.Store(&sink)
+}
+
+// observe reports a delivered stamped frame to the trace sink, if any.
+func (ep *tcpEndpoint) observe(from int, m inprocMsg) {
+	if m.ctx.Span == 0 {
+		return
+	}
+	if s := ep.sink.Load(); s != nil {
+		(*s)(from, m.tag, m.ctx)
+	}
 }
 
 // slot snapshots a peer's current connection state under the read lock.
@@ -244,6 +269,26 @@ func (tc *tcpConn) writeFrameDeadline(tag uint32, payload []byte, d time.Duratio
 	return err
 }
 
+// writeFrameCtx writes a stamped frame: the length word carries tcpCtxFlag
+// and the encoded context rides between the header and the payload.
+func (tc *tcpConn) writeFrameCtx(tag uint32, payload []byte, ctx TraceCtx) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if d := tc.writeTimeout; d > 0 {
+		tc.c.SetWriteDeadline(time.Now().Add(d))
+		defer tc.c.SetWriteDeadline(time.Time{})
+	}
+	var hdr [8 + traceCtxBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload))|tcpCtxFlag)
+	binary.LittleEndian.PutUint32(hdr[4:], tag)
+	ctx.encode(hdr[8:])
+	if _, err := tc.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := tc.c.Write(payload)
+	return err
+}
+
 // close drops the socket, taking the write lock first so an in-flight
 // writeFrame finishes its frame before the connection goes away.
 func (tc *tcpConn) close() {
@@ -256,15 +301,30 @@ func (tc *tcpConn) close() {
 // a corrupt or hostile stream, not a legitimate gradient payload.
 const maxFrameBytes = 1 << 30
 
-func readFrame(c net.Conn) (uint32, []byte, error) {
+// tcpCtxFlag marks a frame whose header is followed by an encoded TraceCtx.
+// It lives in the payload-length word's top bit, which maxFrameBytes keeps
+// clear for legitimate lengths.
+const tcpCtxFlag = uint32(1) << 31
+
+func readFrame(c net.Conn) (uint32, []byte, TraceCtx, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(c, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, nil, TraceCtx{}, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:])
 	tag := binary.LittleEndian.Uint32(hdr[4:])
+	hasCtx := n&tcpCtxFlag != 0
+	n &^= tcpCtxFlag
 	if n > maxFrameBytes {
-		return 0, nil, fmt.Errorf("mpi: frame length %d exceeds limit", n)
+		return 0, nil, TraceCtx{}, fmt.Errorf("mpi: frame length %d exceeds limit", n)
+	}
+	var ctx TraceCtx
+	if hasCtx {
+		var cb [traceCtxBytes]byte
+		if _, err := io.ReadFull(c, cb[:]); err != nil {
+			return 0, nil, TraceCtx{}, err
+		}
+		ctx = decodeTraceCtx(cb[:])
 	}
 	// Pooled so steady-state collective traffic recycles frames: receivers
 	// that finish with a frame (the collectives) return it; receivers that
@@ -273,9 +333,9 @@ func readFrame(c net.Conn) (uint32, []byte, error) {
 	payload := sharedFramePool.Get(int(n))
 	if _, err := io.ReadFull(c, payload); err != nil {
 		sharedFramePool.Put(payload)
-		return 0, nil, err
+		return 0, nil, TraceCtx{}, err
 	}
-	return tag, payload, nil
+	return tag, payload, ctx, nil
 }
 
 // DialTCP joins a size-rank TCP job as the given rank with default options.
@@ -405,7 +465,7 @@ func rendezvous(rank, size int, rootAddr string, ln net.Listener, opts TCPOption
 				return nil, fmt.Errorf("mpi: rendezvous accept: %w", err)
 			}
 			c.SetReadDeadline(deadline)
-			tag, payload, err := readFrame(c)
+			tag, payload, _, err := readFrame(c)
 			if err != nil || tag != tcpHelloTag || len(payload) < 4 {
 				c.Close()
 				if err != nil && isTimeout(err) {
@@ -455,7 +515,7 @@ func rendezvous(rank, size int, rootAddr string, ln net.Listener, opts TCPOption
 		return nil, fmt.Errorf("mpi: register: %w", err)
 	}
 	conn.SetReadDeadline(deadline)
-	tag, packed, err := readFrame(conn)
+	tag, packed, _, err := readFrame(conn)
 	if err != nil || tag != tcpHelloTag {
 		if err != nil && isTimeout(err) {
 			return nil, &PeerError{Rank: 0, Op: OpRendezvous, Err: ErrTimeout}
@@ -534,7 +594,7 @@ func (ep *tcpEndpoint) mesh(table []string) error {
 				return
 			}
 			c.SetReadDeadline(deadline)
-			tag, payload, err := readFrame(c)
+			tag, payload, _, err := readFrame(c)
 			if err != nil || tag != tcpHelloTag || len(payload) != 4 {
 				c.Close()
 				if err != nil && isTimeout(err) {
@@ -605,7 +665,7 @@ func (ep *tcpEndpoint) mesh(table []string) error {
 func (ep *tcpEndpoint) readLoop(peer int, tc *tcpConn, ps *peerState, box chan inprocMsg) {
 	defer ep.readWG.Done()
 	for {
-		tag, payload, err := readFrame(tc.c)
+		tag, payload, ctx, err := readFrame(tc.c)
 		if err != nil {
 			cause := err
 			if ep.closed.Load() {
@@ -623,7 +683,7 @@ func (ep *tcpEndpoint) readLoop(peer int, tc *tcpConn, ps *peerState, box chan i
 		if ep.subDeliver(peer, tag, payload) {
 			continue
 		}
-		box <- inprocMsg{tag: tag, payload: payload}
+		box <- inprocMsg{tag: tag, payload: payload, ctx: ctx}
 	}
 }
 
@@ -631,6 +691,12 @@ func (ep *tcpEndpoint) Rank() int { return ep.rank }
 func (ep *tcpEndpoint) Size() int { return ep.size }
 
 func (ep *tcpEndpoint) Send(to int, tag uint32, payload []byte) error {
+	return ep.SendCtx(to, tag, payload, TraceCtx{})
+}
+
+// SendCtx is Send with a causal trace context attached; a zero context
+// writes a legacy frame, so the hot path is a single comparison wider.
+func (ep *tcpEndpoint) SendCtx(to int, tag uint32, payload []byte, ctx TraceCtx) error {
 	if to < 0 || to >= ep.size || to == ep.rank {
 		return fmt.Errorf("mpi: invalid send target %d", to)
 	}
@@ -641,7 +707,13 @@ func (ep *tcpEndpoint) Send(to int, tag uint32, payload []byte) error {
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection to rank %d", to)
 	}
-	if err := tc.writeFrame(tag, payload); err != nil {
+	var err error
+	if ctx.Span != 0 {
+		err = tc.writeFrameCtx(tag, payload, ctx)
+	} else {
+		err = tc.writeFrame(tag, payload)
+	}
+	if err != nil {
 		cause := err
 		if isTimeout(err) {
 			cause = fmt.Errorf("%w: %v", ErrTimeout, err)
@@ -664,6 +736,13 @@ func (ep *tcpEndpoint) SendOwned(to int, tag uint32, frame []byte) error {
 	return err
 }
 
+// SendOwnedCtx is SendOwned with a causal trace context attached.
+func (ep *tcpEndpoint) SendOwnedCtx(to int, tag uint32, frame []byte, ctx TraceCtx) error {
+	err := ep.SendCtx(to, tag, frame, ctx)
+	sharedFramePool.Put(frame)
+	return err
+}
+
 // Recv returns the next frame from the peer carrying tag. Frames with other
 // tags are queued for their own Recv instead of being dropped; a dead peer
 // or an expired deadline yields a typed *PeerError. Concurrent Recvs from
@@ -673,8 +752,9 @@ func (ep *tcpEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 		return nil, fmt.Errorf("mpi: invalid recv source %d", from)
 	}
 	_, box, ps := ep.slot(from)
-	if payload, ok := ps.takePending(tag); ok {
-		return payload, nil
+	if m, ok := ps.takePending(tag); ok {
+		ep.observe(from, m)
+		return m.payload, nil
 	}
 	var timeout <-chan time.Time
 	if d := ep.opts.RecvTimeout; d > 0 {
@@ -689,6 +769,7 @@ func (ep *tcpEndpoint) Recv(from int, tag uint32) ([]byte, error) {
 				return nil, ps.latched()
 			}
 			if m.tag == tag {
+				ep.observe(from, m)
 				return m.payload, nil
 			}
 			ps.queue(m)
@@ -790,7 +871,7 @@ func (ep *tcpEndpoint) handleRejoin(c net.Conn) {
 	if d := ep.opts.RendezvousTimeout; d > 0 {
 		c.SetReadDeadline(time.Now().Add(d))
 	}
-	tag, payload, err := readFrame(c)
+	tag, payload, _, err := readFrame(c)
 	if err != nil || tag != tcpRejoinTag || len(payload) < 4 {
 		c.Close()
 		return
@@ -894,7 +975,7 @@ func (ep *tcpEndpoint) redialOnce(peer int, addr string, hello []byte, deadline 
 		return err
 	}
 	c.SetReadDeadline(deadline)
-	tag, _, err := readFrame(c)
+	tag, _, _, err := readFrame(c)
 	if err != nil || tag != tcpRejoinTag {
 		c.Close()
 		if err == nil {

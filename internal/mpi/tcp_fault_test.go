@@ -248,7 +248,7 @@ func TestMeshRejectsDuplicateHello(t *testing.T) {
 	c2 := register(2)
 	defer c2.Close()
 	for _, c := range []net.Conn{c1, c2} {
-		if _, _, err := readFrame(c); err != nil { // the table reply
+		if _, _, _, err := readFrame(c); err != nil { // the table reply
 			t.Fatal(err)
 		}
 	}

@@ -45,6 +45,10 @@ func evalAssert(a Assert, oc *outcome) AssertResult {
 		res.Detail = fmt.Sprintf("%d sends dropped (want >= %d)", dropped, int64(a.Value))
 	case "metric_min", "metric_max":
 		res.Pass, res.Detail = assertMetric(a, oc)
+	case "latency_p99_max":
+		res.Pass, res.Detail = assertHistQuantile(a, 0.99, oc)
+	case "step_time_p50_max":
+		res.Pass, res.Detail = assertHistQuantile(a, 0.50, oc)
 	case "world_size_final":
 		res.Pass, res.Detail = assertWorldSizeFinal(int(a.Value), oc)
 	case "regrown_within":
@@ -257,6 +261,41 @@ func assertStragglerFlagged(rank int, oc *outcome) (bool, string) {
 		}
 	}
 	return false, fmt.Sprintf("rank %d not flagged (flagged: %v)", rank, oc.flagged)
+}
+
+// assertHistQuantile bounds a latency quantile: the named histogram's
+// q-quantile must stay under `within` on every rank that recorded it.
+// step_time_p50_max pins the median step time; latency_p99_max the tail.
+// The bound is per rank, not merged: one slow rank hiding inside a healthy
+// fleet is exactly what the check is for.
+func assertHistQuantile(a Assert, q float64, oc *outcome) (bool, string) {
+	if oc.merged == nil {
+		return false, "run produced no merged metrics"
+	}
+	metric := a.Metric
+	if metric == "" {
+		metric = "train.step_ns"
+	}
+	bound := a.Within.D()
+	worst := -1.0 // histogram unit: nanoseconds for the *_ns families
+	worstRank := -1
+	for _, snap := range oc.merged.Ranks {
+		h, ok := snap.Histograms[metric]
+		if !ok {
+			continue
+		}
+		if v := h.Quantile(q); v > worst {
+			worst, worstRank = v, snap.Rank
+		}
+	}
+	if worstRank == -1 {
+		return false, fmt.Sprintf("histogram %q not recorded on any rank", metric)
+	}
+	got := time.Duration(worst)
+	if got > bound {
+		return false, fmt.Sprintf("%s p%g = %v on rank %d exceeds %v", metric, q*100, got.Round(time.Millisecond), worstRank, bound)
+	}
+	return true, fmt.Sprintf("%s p%g = %v (worst rank %d, bound %v)", metric, q*100, got.Round(time.Millisecond), worstRank, bound)
 }
 
 func assertMetric(a Assert, oc *outcome) (bool, string) {

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnnperf/internal/telemetry"
+)
+
+// TestVictimFlightRecorderDump runs a kill-rank scenario with an output
+// directory and verifies the doomed rank left a flight-recorder dump behind:
+// a post-mortem with the final spans leading up to the crash, readable as
+// the documented FlightDump JSON. This is the acceptance contract for the
+// flight recorder — a rank that dies mid-run must not die silently.
+func TestVictimFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := Parse([]byte(killRankYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, Options{OutDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("scenario failed: %+v", rep.Asserts)
+	}
+
+	path := filepath.Join(dir, "flight-kill_replay-rank2.json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("victim flight-recorder dump missing: %v", err)
+	}
+	var dump telemetry.FlightDump
+	if err := json.Unmarshal(blob, &dump); err != nil {
+		t.Fatalf("dump is not valid FlightDump JSON: %v", err)
+	}
+	if !dump.FlightRecorder {
+		t.Error("dump missing flightRecorder marker")
+	}
+	if dump.Rank != 2 {
+		t.Errorf("dump rank = %d, want 2", dump.Rank)
+	}
+	if dump.Reason != "killed" {
+		t.Errorf("dump reason = %q, want \"killed\"", dump.Reason)
+	}
+	if len(dump.Events) < 100 {
+		t.Errorf("dump holds %d spans, want >= 100 (the victim trained 3 full steps before dying)", len(dump.Events))
+	}
+	// The final spans must include the training step the victim died after.
+	sawStep := false
+	for _, ev := range dump.Events {
+		if ev.Name == "train.step" {
+			sawStep = true
+			break
+		}
+	}
+	if !sawStep {
+		t.Error("dump carries no train.step span — the post-mortem lost the training timeline")
+	}
+}

@@ -496,7 +496,20 @@ func runTrain(spec *Spec, opts Options) (*outcome, error) {
 		go func(r int) {
 			defer wg.Done()
 			if killStep, doomed := kills[r]; doomed {
-				errs[r] = js.RunVictim(comms[r], killStep, ctl.hook(r))
+				// The doomed rank carries a ring-only tracer feeding a flight
+				// recorder: the kill leaves its final spans on disk (under
+				// OutDir) instead of vanishing with the rank.
+				vtr := telemetry.NewTracer()
+				vtr.SetPID(r)
+				vfr := telemetry.NewFlightRecorder(0)
+				vtr.SetFlightRecorder(vfr, true)
+				errs[r] = js.RunVictimTraced(comms[r], killStep, vtr, ctl.hook(r))
+				if opts.OutDir != "" && vfr.Len() > 0 {
+					path := filepath.Join(opts.OutDir, fmt.Sprintf("flight-%s-rank%d.json", spec.Name, r))
+					if vfr.DumpToFile(path, r, "killed") == nil {
+						opts.logf("  rank %d: flight recorder: %d span(s) -> %s", r, vfr.Len(), path)
+					}
+				}
 				return
 			}
 			scfg := js.SupervisorConfig(comms[r])

@@ -187,6 +187,10 @@ type Event struct {
 //	min_dropped        — fault injection dropped >= value sends in total.
 //	metric_min         — merged telemetry counter `metric` total >= value.
 //	metric_max         — merged telemetry counter `metric` total <= value.
+//	latency_p99_max    — the p99 of histogram `metric` (default
+//	                     train.step_ns) stays <= `within` on every rank.
+//	step_time_p50_max  — the median per-rank step time (train.step_ns by
+//	                     default, or histogram `metric`) stays <= `within`.
 //	world_size_final   — every surviving supervised rank ended on a world
 //	                     of `value` ranks (0 = the fleet's full size): the
 //	                     regrow brought everyone back.
@@ -222,6 +226,7 @@ var (
 		"checkpoint_valid": true, "throughput_floor": true,
 		"straggler_flagged": true, "typed_errors": true,
 		"min_dropped": true, "metric_min": true, "metric_max": true,
+		"latency_p99_max": true, "step_time_p50_max": true,
 		"world_size_final": true, "regrown_within": true,
 		"no_split_brain": true,
 		"sched_complete": true, "utilization_min": true,
@@ -441,6 +446,10 @@ func (s *Spec) Validate() error {
 		case "metric_min", "metric_max":
 			if a.Metric == "" {
 				return fmt.Errorf("scenario %s: asserts[%d]: %s needs a metric name", s.Name, i, a.Check)
+			}
+		case "latency_p99_max", "step_time_p50_max":
+			if a.Within <= 0 {
+				return fmt.Errorf("scenario %s: asserts[%d]: %s needs within > 0 (the latency bound)", s.Name, i, a.Check)
 			}
 		case "straggler_flagged":
 			if a.Rank < 0 || a.Rank >= s.Fleet.Ranks {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -15,20 +16,24 @@ import (
 
 // Server is the rank-0 live metrics endpoint. Routes:
 //
-//	/metrics      Prometheus text exposition of every rank's freshest snapshot
-//	/metrics.json the live merged document (same schema as -metrics files)
-//	/trace        Chrome trace-event JSON snapshot of the buffered spans
-//	/healthz      supervisor/elastic state (200 healthy, 503 otherwise)
+//	/metrics              Prometheus text exposition of every rank's freshest snapshot
+//	/metrics.json         the live merged document (same schema as -metrics files)
+//	/trace                Chrome trace-event JSON snapshot of the buffered spans
+//	/healthz              supervisor/elastic state (200 healthy, 503 otherwise)
+//	/debug/flightrecorder the host rank's in-memory flight-recorder ring as a dump
+//	/debug/pprof/...      Go runtime profiling (CPU, heap, goroutines, ...)
 type Server struct {
 	store    *Store
 	health   *telemetry.Health
 	detector *detect.Detector
 
-	mu   sync.Mutex
-	ln   net.Listener
-	srv  *http.Server
-	stop chan struct{}
-	wg   sync.WaitGroup
+	mu     sync.Mutex
+	ln     net.Listener
+	srv    *http.Server
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	fr     *telemetry.FlightRecorder
+	frRank int
 }
 
 // New builds a server over store. health may be nil (reports starting /
@@ -47,6 +52,14 @@ func New(store *Store, health *telemetry.Health, detector *detect.Detector) *Ser
 // it directly on the host rank).
 func (s *Server) Store() *Store { return s.store }
 
+// SetFlightRecorder exposes the host rank's flight-recorder ring at
+// /debug/flightrecorder. rank tags the dump; call before Start.
+func (s *Server) SetFlightRecorder(fr *telemetry.FlightRecorder, rank int) {
+	s.mu.Lock()
+	s.fr, s.frRank = fr, rank
+	s.mu.Unlock()
+}
+
 // Handler returns the route mux, for tests and embedding.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -54,6 +67,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/flightrecorder", s.handleFlightRecorder)
+	// Go runtime profiling on the same plane: a hung or slow rank 0 can be
+	// profiled with `go tool pprof http://host:port/debug/pprof/profile`.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -139,6 +160,18 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	telemetry.WriteChromeTrace(w, s.store.Events())
+}
+
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fr, rank := s.fr, s.frRank
+	s.mu.Unlock()
+	if fr == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fr.WriteDump(w, rank, "http")
 }
 
 // healthzBody is the /healthz response document.

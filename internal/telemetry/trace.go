@@ -13,13 +13,20 @@ import (
 // onto this one schema, so measured and simulated timelines overlay in a
 // single view: real ranks use pid = rank, simulated timelines use SimPID.
 type TraceEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	TS   float64        `json:"ts"`
-	Dur  float64        `json:"dur"`
-	PID  int            `json:"pid"`
-	TID  int            `json:"tid"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	// ID links flow events ("s"/"t"/"f" phases): the producer's flow-start
+	// and every consumer's flow-finish that carry the same id are drawn as
+	// one arrow across process lanes.
+	ID uint64 `json:"id,omitempty"`
+	// BP is the flow bind point ("e" binds a flow-finish to the enclosing
+	// slice rather than the next one).
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -71,6 +78,13 @@ type Tracer struct {
 	pid    int
 	epoch  time.Time
 	events []TraceEvent
+	// fr, when set, receives a copy of every recorded event into its
+	// fixed-size ring — the crash-surviving flight recorder.
+	fr *FlightRecorder
+	// ringOnly suppresses the unbounded events slice: the tracer records
+	// into the flight recorder alone. This is the always-on mode for runs
+	// that did not ask for a -trace export but still want post-mortems.
+	ringOnly bool
 }
 
 // NewTracer returns a tracer whose timestamps are relative to now.
@@ -87,6 +101,41 @@ func (t *Tracer) SetPID(pid int) {
 		t.events[i].PID = pid
 	}
 	t.mu.Unlock()
+}
+
+// SetFlightRecorder attaches a ring buffer that mirrors every event the
+// tracer records from now on. Pass ringOnly=true to stop accumulating the
+// unbounded in-memory timeline as well — the tracer then costs a bounded,
+// constant amount of memory no matter how long the run lives.
+func (t *Tracer) SetFlightRecorder(fr *FlightRecorder, ringOnly bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.fr = fr
+	t.ringOnly = ringOnly
+	t.mu.Unlock()
+}
+
+// FlightRecorder returns the attached ring, if any.
+func (t *Tracer) FlightRecorder() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fr
+}
+
+// record is the single sink every emission path funnels through.
+// Caller holds t.mu.
+func (t *Tracer) record(ev TraceEvent) {
+	if t.fr != nil {
+		t.fr.add(ev)
+	}
+	if !t.ringOnly {
+		t.events = append(t.events, ev)
+	}
 }
 
 // Span is an open interval started by Begin; End closes and records it.
@@ -118,15 +167,55 @@ func (s Span) End() {
 // Complete records a complete ("X") event from an explicit start and
 // duration — for callers that already timed the interval themselves.
 func (t *Tracer) Complete(name, cat string, tid int, start time.Time, d time.Duration) {
+	t.CompleteArgs(name, cat, tid, start, d, nil)
+}
+
+// CompleteArgs is Complete with an args payload — used for the first-class
+// elastic lifecycle spans (recovery, regrow, checkpoint, preemption) that
+// annotate what happened, not just how long it took.
+func (t *Tracer) CompleteArgs(name, cat string, tid int, start time.Time, d time.Duration, args map[string]any) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, TraceEvent{
+	t.record(TraceEvent{
 		Name: name, Cat: cat, Ph: "X",
-		TS:  float64(start.Sub(t.epoch)) / float64(time.Microsecond),
-		Dur: float64(d) / float64(time.Microsecond),
-		PID: t.pid, TID: tid,
+		TS:   float64(start.Sub(t.epoch)) / float64(time.Microsecond),
+		Dur:  float64(d) / float64(time.Microsecond),
+		PID:  t.pid, TID: tid,
+		Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// FlowStart records a flow-start ("s") event: the producing side of a
+// cross-rank arrow. Every FlowFinish recorded anywhere with the same id is
+// causally linked to it when traces are merged.
+func (t *Tracer) FlowStart(name, cat string, tid int, id uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.record(TraceEvent{
+		Name: name, Cat: cat, Ph: "s",
+		TS:  float64(time.Since(t.epoch)) / float64(time.Microsecond),
+		PID: t.pid, TID: tid, ID: id,
+	})
+	t.mu.Unlock()
+}
+
+// FlowFinish records a flow-finish ("f", bound to the enclosing slice):
+// the consuming side of a cross-rank arrow started elsewhere with the same
+// id.
+func (t *Tracer) FlowFinish(name, cat string, tid int, id uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.record(TraceEvent{
+		Name: name, Cat: cat, Ph: "f", BP: "e",
+		TS:  float64(time.Since(t.epoch)) / float64(time.Microsecond),
+		PID: t.pid, TID: tid, ID: id,
 	})
 	t.mu.Unlock()
 }
@@ -143,7 +232,7 @@ func (t *Tracer) InstantOn(name, cat string, tid int, args map[string]any) {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, TraceEvent{
+	t.record(TraceEvent{
 		Name: name, Cat: cat, Ph: "i",
 		TS:  float64(time.Since(t.epoch)) / float64(time.Microsecond),
 		PID: t.pid, TID: tid,
@@ -166,7 +255,7 @@ func (t *Tracer) Emit(ev TraceEvent) {
 	}
 	t.mu.Lock()
 	ev.PID = t.pid
-	t.events = append(t.events, ev)
+	t.record(ev)
 	t.mu.Unlock()
 }
 

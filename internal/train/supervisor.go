@@ -657,7 +657,7 @@ func (s *supervisor) recover(suspects []int) error {
 	s.cfg.Health.Set(telemetry.HealthDegraded,
 		"failed_ranks", failed, "new_size", newComm.Size(), "recoveries", len(s.res.Recoveries))
 	s.cfg.Health.RecordWorld(newComm.Size())
-	s.cfg.Tracer.Instant("train.recovery", "elastic", map[string]any{
+	s.cfg.Tracer.CompleteArgs("train.recovery", "elastic", 0, t0, time.Since(t0), map[string]any{
 		"failed_ranks": failed,
 		"old_size":     oldSize,
 		"new_size":     newComm.Size(),
@@ -706,7 +706,7 @@ func (s *supervisor) park(old *incarnation) error {
 	s.regrows.Inc()
 	s.cfg.Health.Set(telemetry.HealthOK, "world", newComm.Size(), "rejoined", true)
 	s.cfg.Health.RecordWorld(newComm.Size())
-	s.cfg.Tracer.Instant("train.rejoin", "elastic", map[string]any{
+	s.cfg.Tracer.CompleteArgs("train.rejoin", "elastic", 0, t0, time.Since(t0), map[string]any{
 		"root_rank":   myRoot,
 		"new_size":    newComm.Size(),
 		"resume_step": s.step,
@@ -783,7 +783,7 @@ func (s *supervisor) regrow(epoch int) error {
 	s.cfg.Health.Set(telemetry.HealthOK,
 		"world", newComm.Size(), "joined", joined, "regrows", len(s.res.Regrows))
 	s.cfg.Health.RecordWorld(newComm.Size())
-	s.cfg.Tracer.Instant("train.regrow", "elastic", map[string]any{
+	s.cfg.Tracer.CompleteArgs("train.regrow", "elastic", 0, t0, time.Since(t0), map[string]any{
 		"joined":      joined,
 		"old_size":    oldSize,
 		"new_size":    newComm.Size(),
@@ -802,11 +802,15 @@ func (s *supervisor) maybeCheckpoint() error {
 	if s.step%int64(s.cfg.CkptEvery) != 0 {
 		return nil
 	}
+	t0 := time.Now()
 	path := filepath.Join(s.cfg.CkptDir, ckptFileName(s.step))
 	if err := SaveTrainingCheckpointFile(path, s.in.model, CaptureTrainState(s.in.opt, s.step)); err != nil {
 		return err
 	}
 	s.checkpoints.Inc()
+	s.cfg.Tracer.CompleteArgs("train.checkpoint", "train", 0, t0, time.Since(t0), map[string]any{
+		"step": s.step,
+	})
 	if s.cfg.KeepCkpts > 0 {
 		// Best effort: a GC hiccup must not fail training — the next save
 		// retries it.
@@ -827,6 +831,7 @@ var errPreempted = errors.New("train: preempted")
 // preemption sentinel. All ranks reach the same boundary before any engine
 // tears down, so no peer observes the halt as a failure.
 func (s *supervisor) halt() error {
+	t0 := time.Now()
 	if s.cfg.CkptDir != "" && s.in.comm.Rank() == 0 {
 		path := filepath.Join(s.cfg.CkptDir, ckptFileName(s.step))
 		if err := SaveTrainingCheckpointFile(path, s.in.model, CaptureTrainState(s.in.opt, s.step)); err != nil {
@@ -835,6 +840,9 @@ func (s *supervisor) halt() error {
 		s.checkpoints.Inc()
 	}
 	s.cfg.Health.Set(telemetry.HealthParked, "preempted_step", s.step)
+	s.cfg.Tracer.CompleteArgs("train.preempt", "elastic", 0, t0, time.Since(t0), map[string]any{
+		"preempted_step": s.step,
+	})
 	return errPreempted
 }
 

@@ -134,6 +134,11 @@ func (t *Trainer) Step(b data.Batch) (StepStats, error) {
 	start := time.Now()
 	m := t.cfg.Model
 	t.step++
+	if t.cfg.Engine != nil {
+		// Collectives this step submits carry the step number in their
+		// causal trace context.
+		t.cfg.Engine.SetStep(int64(t.step))
+	}
 	stepSpan := t.tracer.Begin("train.step", "train", 0)
 
 	// Gradient-readiness plumbing: hook fires per variable.

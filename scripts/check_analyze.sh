@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# check_analyze.sh — gate on a `dnnperf analyze` JSON report: the time
+# decomposition (compute + comm transfer + straggler wait + checkpoint +
+# recovery) must account for at least <min_permille> of the aggregate wall
+# time, or the attribution engine has lost track of where a run's time went.
+#
+# Usage: scripts/check_analyze.sh report.json [min_permille]   (default 950)
+set -euo pipefail
+
+REPORT="$1"
+MIN="${2:-950}"
+
+COV="$(sed -n 's/.*"coverage_permille": *\([0-9][0-9]*\).*/\1/p' "$REPORT" | head -1)"
+if [ -z "$COV" ]; then
+    echo "check_analyze: no coverage_permille field in $REPORT" >&2
+    exit 1
+fi
+if [ "$COV" -lt "$MIN" ]; then
+    echo "check_analyze: FAIL — $REPORT attributes only ${COV}‰ of wall time (need >= ${MIN}‰)" >&2
+    exit 1
+fi
+echo "check_analyze: OK — $REPORT attributes ${COV}‰ of wall time (>= ${MIN}‰)"
